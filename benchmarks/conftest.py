@@ -1,0 +1,29 @@
+"""Shared fixtures for the per-figure benchmark harness.
+
+Every ``test_bench_*`` module regenerates one table or figure of the
+paper (see DESIGN.md's experiment index) and prints it, so
+``pytest benchmarks/ --benchmark-only -s`` reproduces the evaluation.
+
+Scale knobs: REPRO_INSTRUCTIONS (default 100000), REPRO_BENCHMARKS
+(comma-separated subset), REPRO_TRIALS (fault-injection trials),
+REPRO_TIMEOUT (checkpoint timeout; keep instructions >= 20x this).
+"""
+
+import pytest
+
+from repro.harness.runner import WorkloadCache
+
+
+@pytest.fixture(scope="session")
+def cache():
+    """One workload cache shared by every figure (traces + baselines)."""
+    return WorkloadCache()
+
+
+def render(table, extra_lines=()):
+    """Print a rendered table under ``-s`` and return it."""
+    text = table.render()
+    print("\n" + text)
+    for line in extra_lines:
+        print(line)
+    return text

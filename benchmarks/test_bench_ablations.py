@@ -1,0 +1,90 @@
+"""Ablations of ParaVerser's design choices (DESIGN.md's ablation index).
+
+Each ablation removes one optimisation from section IV and measures what
+it was buying, on the fdiv-heavy worst case (bwaves) and a compute-dense
+one (imagick):
+
+* eager checker waking (section IV-H) vs. prior work's wake-at-end;
+* the repurposed 32-64 KiB LSL$ (section IV-B) vs. a 3 KiB dedicated
+  SRAM log (checkpoint frequency);
+* Hash Mode (section IV-I) traffic reduction.
+"""
+
+from conftest import render
+
+from repro.cpu.config import CoreInstance
+from repro.cpu.presets import A510
+from repro.harness.report import Table, slowdown_percent
+from repro.harness.runner import env_timeout, make_config
+
+BENCHMARKS = ("bwaves", "imagick", "exchange2")
+
+
+def a510s(count=4, freq=2.0):
+    return [CoreInstance(A510, freq)] * count
+
+
+def test_bench_ablation_eager_waking(benchmark, cache):
+    def run():
+        table = Table(title="Ablation — eager checker waking (slowdown %)")
+        for name in BENCHMARKS:
+            eager = cache.run_config(name, make_config(a510s(freq=1.8)))
+            lazy = cache.run_config(
+                name, make_config(a510s(freq=1.8), eager_wake=False))
+            table.add(name, "eager (IV-H)", slowdown_percent(eager.slowdown))
+            table.add(name, "wake-at-end", slowdown_percent(lazy.slowdown))
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    render(table)
+    for name in BENCHMARKS:
+        cells = table.rows[name]
+        assert cells["eager (IV-H)"] <= cells["wake-at-end"] + 0.5
+
+
+def test_bench_ablation_lsl_capacity(benchmark, cache):
+    def run():
+        table = Table(title="Ablation — LSL storage (slowdown %)")
+        for name in BENCHMARKS:
+            big = cache.run_config(name, make_config(a510s()))
+            small = cache.run_config(name, make_config(
+                a510s(), lsl_capacity_bytes=3 * 1024))
+            table.add(name, "32KiB LSL$ (IV-B)",
+                      slowdown_percent(big.slowdown))
+            table.add(name, "3KiB dedicated SRAM",
+                      slowdown_percent(small.slowdown))
+            table.notes.append(
+                f"{name}: {big.segments} vs {small.segments} checkpoints")
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    render(table)
+    # The tiny log must checkpoint far more often...
+    notes = "\n".join(table.notes)
+    assert notes
+    for name in BENCHMARKS:
+        cells = table.rows[name]
+        # ...and cost at least as much (checkpoint + stall pressure).
+        assert cells["3KiB dedicated SRAM"] >= \
+            cells["32KiB LSL$ (IV-B)"] - 0.5
+
+
+def test_bench_ablation_hash_mode_traffic(benchmark, cache):
+    def run():
+        table = Table(title="Ablation — Hash Mode LSL traffic (KiB)",
+                      unit="KiB pushed over the NoC")
+        for name in BENCHMARKS:
+            plain = cache.run_config(name, make_config(a510s()))
+            hashed = cache.run_config(
+                name, make_config(a510s(), hash_mode=True))
+            table.add(name, "plain LSL", plain.lsl_bytes / 1024)
+            table.add(name, "hash mode", hashed.lsl_bytes / 1024)
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    render(table, extra_lines=[
+        "paper: >=50% reduction for loads, stores eliminated (IV-I)",
+    ])
+    for name in BENCHMARKS:
+        cells = table.rows[name]
+        assert cells["hash mode"] < 0.6 * cells["plain LSL"]

@@ -1,0 +1,27 @@
+"""Fig. 10 — 4-main-core multi-process SPEC mixes.
+
+The paper's five random mixes run on four main cores simultaneously;
+LSL traffic from one process contends with every process's demand
+traffic on the mesh.  Paper reference points: ~1 % geomean slowdown on
+total CPI for homogeneous or 2xX2@1.5GHz checkers, <0.6 % for
+4xA510@2GHz; the coloured bars (slowdown without LSL NoC impact) sit
+slightly below the full bars.
+"""
+
+from conftest import render
+
+from repro.harness.experiments import run_fig10
+
+
+def test_bench_fig10(benchmark):
+    table = benchmark.pedantic(run_fig10, rounds=1, iterations=1)
+    render(table, extra_lines=[
+        "paper: ~1% geomean (homogeneous / 2xX2@1.5GHz), "
+        "<0.6% (4xA510@2GHz)",
+    ])
+    gm = table.geomean_row()
+    for label in ("1xX2@3GHz", "2xX2@1.5GHz", "4xA510@2GHz"):
+        # Multi-process overheads stay small...
+        assert gm[label] < 8.0, (label, gm[label])
+        # ...and removing LSL NoC traffic never makes things worse.
+        assert gm[label + " (no LSL NoC)"] <= gm[label] + 0.5

@@ -1,0 +1,29 @@
+"""Fig. 11 — NoC sensitivity: slow NoC vs. Hash Mode vs. fast NoC.
+
+With checkers at their highest frequency on an underprovisioned NoC
+(128-bit @ 1.5 GHz), LSL traffic contends hard with demand traffic —
+the paper sees >15 % geomean overhead.  SHA-256 Hash Mode at least
+halves the traffic and brings the geomean to within 0.8 % of the fast
+NoC (256-bit @ 2 GHz).
+"""
+
+from conftest import render
+
+from repro.harness.experiments import run_fig11
+
+
+def test_bench_fig11(benchmark, cache):
+    table = benchmark.pedantic(
+        lambda: run_fig11(cache), rounds=1, iterations=1)
+    gm = table.geomean_row()
+    render(table, extra_lines=[
+        "paper: slowNoC >15% geomean; hash mode within 0.8% of fastNoC "
+        "(~1.5% NoC overhead homogeneous)",
+    ])
+
+    assert gm["slowNoC"] > gm["fastNoC"], \
+        "the slow NoC must cost more than the fast one"
+    assert gm["slowNoC+hash"] < gm["slowNoC"], \
+        "hash mode must relieve the slow NoC"
+    assert gm["slowNoC+hash"] <= gm["fastNoC"] + 4.0, \
+        "hash mode should bring the slow NoC close to the fast one"

@@ -1,0 +1,41 @@
+"""Fig. 6 — full-coverage-mode slowdown across checker configurations.
+
+Regenerates the paper's headline figure: slowdown of the 3 GHz X2 main
+core with {1xX2@3GHz, 2xX2@1.5GHz, 4xA510@2GHz, per-benchmark ED2P
+A510s} checker pools, against the DSN18 (12 dedicated) and ParaDox
+(16 dedicated) baselines, over SPECspeed 2017.
+
+Paper reference points (section VII-A): homogeneous 1.6 % geomean,
+4xA510@2GHz 3.4 %, ED2P 4.3 %, DSN18 9 %, ParaDox 1.2 %; bwaves is the
+worst case for A510 checkers (fdiv).
+"""
+
+from conftest import render
+
+from repro.harness.experiments import run_fig6
+
+
+def test_bench_fig6(benchmark, cache):
+    table = benchmark.pedantic(
+        lambda: run_fig6(cache), rounds=1, iterations=1)
+    gm = table.geomean_row()
+    render(table, extra_lines=[
+        "paper geomeans: 1xX2 1.6% | 4xA510@2GHz 3.4% | ED2P 4.3% | "
+        "DSN18 9% | ParaDox 1.2%",
+    ])
+
+    # Shape assertions: who wins and by roughly what ordering.
+    assert gm["1xX2@3GHz"] < 5.0, "homogeneous checking should be cheap"
+    assert gm["2xX2@1.5GHz"] < gm["1xX2@3GHz"] + 3.0, \
+        "half-frequency pair should be comparable to homogeneous"
+    assert gm["DSN18(12ded)"] > gm["ParaDox(16ded)"], \
+        "12 dedicated checkers are insufficient where 16 keep up"
+    assert gm["ParaDox(16ded)"] < gm["DSN18(12ded)"]
+    # bwaves is the A510 worst case (fdiv gap, section VII-A); imagick —
+    # the other divide-heavy benchmark — can tie it, so assert top-2.
+    if "bwaves" in table.rows:
+        bwaves = table.rows["bwaves"]["4xA510@2GHz"]
+        column = sorted(
+            (cells.get("4xA510@2GHz", 0.0) for cells in table.rows.values()),
+            reverse=True)
+        assert bwaves >= column[min(1, len(column) - 1)] - 1e-9

@@ -1,0 +1,62 @@
+"""Section VII-E — power and area overheads.
+
+Three results:
+
+* per-core storage overhead: the paper's 1064 B budget, component by
+  component;
+* dedicated-checker area: 16 extrapolated A35s ~ 0.84 mm^2 = 35 % of an
+  X2 (the price prior work pays, which ParaVerser avoids);
+* energy overheads vs. a power-gated baseline: ~95 % homogeneous
+  lockstep-like, ~45 % for 2xX2@1.5GHz, ~49 % for 4xA510@2GHz, ~29 % at
+  the ED2P point, ~25 % for dedicated checkers.
+"""
+
+import pytest
+from conftest import render
+
+from repro.cpu.presets import A35, X2
+from repro.harness.experiments import run_sec7e_energy
+from repro.power.area import dedicated_checker_area, storage_overhead
+
+
+def test_bench_sec7e_storage(benchmark):
+    overhead = benchmark(storage_overhead, X2)
+    print("\nSection VII-E — per-core storage overhead")
+    for component, bits in overhead.breakdown().items():
+        print(f"  {component:32s} {bits:6d} bits")
+    print(f"  {'TOTAL':32s} {overhead.total_bytes:6.0f} B (paper: 1064 B)")
+    assert overhead.total_bytes == pytest.approx(1064, abs=2)
+
+
+def test_bench_sec7e_area(benchmark):
+    comparison = benchmark(dedicated_checker_area, X2, A35, 16)
+    print(f"\n16xA35 = {comparison.checkers_area_mm2:.2f} mm^2 vs X2 "
+          f"{comparison.main_area_mm2:.2f} mm^2 -> "
+          f"{comparison.overhead_percent:.0f}% (paper: 35%)")
+    assert comparison.overhead_percent == pytest.approx(35, abs=2)
+
+
+def test_bench_sec7e_energy(benchmark, cache):
+    result = benchmark.pedantic(
+        lambda: run_sec7e_energy(cache), rounds=1, iterations=1)
+    render(result.energy, extra_lines=[
+        f"ED2P-minimal 4xA510: {result.ed2p_energy_percent:.0f}% energy at "
+        f"{result.ed2p_slowdown_percent:.1f}% slowdown "
+        "(paper: 29% at 4.3%)",
+        "paper: 95% homogeneous / 45% 2xX2@1.5 / 49% 4xA510@2GHz / "
+        "25% dedicated",
+    ])
+    gm = result.energy.geomean_row(from_percent=False)
+    means = {
+        c: sum(result.energy.column_values(c))
+        / len(result.energy.column_values(c))
+        for c in result.energy.columns
+    }
+    homogeneous = means["1xX2@3GHz (lockstep-like)"]
+    a510 = means["4xA510@2GHz"]
+    # The headline: heterogeneous checking at roughly a third to a half
+    # of lockstep's energy overhead, identical guarantees.
+    assert a510 < 0.65 * homogeneous
+    assert homogeneous > 70.0
+    assert result.ed2p_energy_percent < a510 + 2.0
+    assert means["DSN18/ParaDox ded."] < a510

@@ -1,0 +1,33 @@
+"""Section VII-F — compute opportunity costs.
+
+The alternative use of spare little cores is running the workload in
+parallel.  The paper measures (on real hardware) GAP at 1.52x speedup
+from 1 big + 2 little cores — versus those same littles giving
+full-coverage checking at ~10 % overhead — and 1.9x from a second big
+core.  Our analytic strong-scaling model reproduces the trade-off.
+"""
+
+from repro.harness.experiments import run_sec7f
+
+
+def test_bench_sec7f(benchmark):
+    rows = benchmark.pedantic(run_sec7f, rounds=1, iterations=1)
+    print("\nSection VII-F — compute opportunity cost (GAP)")
+    print(f"{'workload':10s} {'1big+2little':>14s} {'2 big':>8s} "
+          f"{'checking overhead':>18s}")
+    for row in rows:
+        print(f"{row.workload:10s} {row.hetero_speedup:13.2f}x "
+              f"{row.homo_speedup:7.2f}x "
+              f"{row.checking_overhead_percent:17.2f}%")
+    print("paper: GAP 1.52x hetero / 1.9x homo; checking ~10% overhead")
+
+    for row in rows:
+        # Parallel speedup from little cores is modest...
+        assert 1.0 < row.hetero_speedup < 2.2
+        # ...a second big core scales sublinearly too (paper: 1.9x).  On
+        # fully memory-bound kernels our little cores track the big one
+        # more closely than the paper's hardware, so allow a small margin.
+        assert row.hetero_speedup <= row.homo_speedup + 0.15
+        assert 1.4 < row.homo_speedup < 2.0
+        # ...while the same littles check at small overhead.
+        assert row.checking_overhead_percent < 20.0

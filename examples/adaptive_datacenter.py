@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Adaptive checking under datacenter load (Fig. 1 + sections I, IV-A).
+
+A day in the life of one 6-core big.LITTLE server node: demand rises and
+falls; the OS-level role scheduler reassigns cores between main work,
+checking and idle at checkpoint boundaries. Checking runs at full
+coverage when spare little cores are plentiful, degrades to
+opportunistic under pressure, disables entirely at peak load, and
+resumes afterwards — while a health monitor accumulates the detection
+statistics that drive predictive maintenance.
+"""
+
+from repro.core.errors import DetectionEvent, DetectionKind
+from repro.core.maintenance import CoreHealth, HealthMonitor
+from repro.core.scheduler import PoolCore, RoleScheduler
+from repro.cpu import A510, CoreInstance, X2
+
+#: Hourly demand (cores of main work wanted), a plausible diurnal curve.
+DEMAND = [1, 1, 1, 1, 1, 2, 3, 4, 5, 6, 6, 6,
+          5, 5, 6, 6, 5, 4, 4, 3, 2, 2, 1, 1]
+
+
+def main() -> None:
+    cores = [PoolCore(f"big{i}", CoreInstance(X2, 3.0)) for i in range(2)]
+    cores += [PoolCore(f"little{i}", CoreInstance(A510, 2.0))
+              for i in range(4)]
+    scheduler = RoleScheduler(cores, min_checkers_per_main=2)
+    outcome = scheduler.run(DEMAND)
+
+    print("hour  demand  mains  checkers  mode")
+    for plan in outcome.plans:
+        mode = scheduler.coverage_mode_for(plan)
+        print(f"{plan.epoch:4d} {plan.demand_cores:7.0f} "
+              f"{len(plan.mains):6d} {len(plan.checkers):9d}  {mode}")
+    print(f"\nchecking available {outcome.checking_availability:.0%} "
+          "of the day (disabled only at peak load)")
+
+    # Meanwhile the health monitor digests the day's detection events:
+    # little2 develops a hard fault at hour 14 — every checked segment it
+    # touches afterwards reports a divergence.
+    monitor = HealthMonitor(retire_threshold=0.01, min_checks=50)
+    for plan in outcome.plans:
+        if not plan.checking_enabled:
+            continue
+        for main_id in plan.mains:
+            for checker_id in plan.checkers:
+                event = None
+                if checker_id == "little2" and plan.epoch >= 14:
+                    event = DetectionEvent(
+                        DetectionKind.REGISTER_CHECKPOINT, plan.epoch,
+                        "divergence")
+                for _ in range(40):  # segments per pairing per hour
+                    monitor.observe_check(main_id, checker_id)
+                if event is not None:
+                    monitor.observe_check(main_id, checker_id, event)
+
+    print("\ncore health after the day:")
+    for core_id, health in monitor.report().items():
+        marker = {"healthy": " ", "suspect": "?", "retire": "!"}[health.value]
+        print(f"  [{marker}] {core_id:8s} {health.value}")
+    candidates = monitor.retirement_candidates()
+    if candidates:
+        print("\nretirement candidates (predictive maintenance):")
+        for record in candidates:
+            print(f"  {record.core_id}: implicated in {record.implicated} "
+                  f"checks across partners {sorted(record.partners)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Fault-injection study on a SPEC-like workload (Fig. 8 in miniature).
+
+Runs deepsjeng (chess) under *opportunistic* checking with a single slow
+A510 checker — the cheapest configuration the paper studies — then
+injects random stuck-at faults into the checker per the standard
+hard-error model and reports detection coverage, masking, and latency,
+contrasting against the software scanners deployed in production today.
+"""
+
+from repro.baselines import FLEETSCANNER, RIPPLE
+from repro.core import CheckMode, ParaVerserConfig, ParaVerserSystem
+from repro.cpu import A510, CoreInstance, X2
+from repro.faults import FaultCampaign, covered_segments
+from repro.workloads import build_program, get_profile
+
+INSTRUCTIONS = 40_000
+TRIALS = 30
+
+
+def main() -> None:
+    profile = get_profile("deepsjeng")
+    program = build_program(profile, seed=11)
+
+    config = ParaVerserConfig(
+        main=CoreInstance(X2, 3.0),
+        checkers=[CoreInstance(A510, 1.0)],
+        mode=CheckMode.OPPORTUNISTIC,
+        seed=11,
+    )
+    system = ParaVerserSystem(config)
+    run = system.execute(program, max_instructions=INSTRUCTIONS)
+    result = system.run(program, run_result=run)
+    segments = system.segment(run)
+
+    print(f"workload: {profile.name} — {profile.description}")
+    print(f"opportunistic slowdown:    {result.overhead_percent:.2f}%")
+    print(f"instruction coverage:      {result.coverage * 100:.1f}%")
+
+    campaign = FaultCampaign(program, segments, A510)
+    outcome = campaign.run(TRIALS, seed=42, covered=covered_segments(result))
+
+    print(f"\ninjected faults:           {outcome.injected}")
+    print(f"detected:                  {outcome.detected}")
+    print(f"masked (never perturbed):  {outcome.masked}")
+    print(f"detection rate (all):      {outcome.detection_rate_all * 100:.0f}%"
+          "   (paper: ~76% detected, rest masked)")
+    print("detection rate (effective):"
+          f" {outcome.detection_rate_effective * 100:.0f}%")
+    if outcome.detected:
+        print(f"mean detection latency:    "
+              f"{outcome.mean_detection_latency:,.0f} main-core instructions")
+
+    print("\nfirst few injections:")
+    for trial in outcome.trials[:8]:
+        status = ("DETECTED (" + trial.event.kind.value + ")"
+                  if trial.detected else
+                  "masked" if trial.masked else "missed by coverage")
+        print(f"  {trial.fault.describe():55s} -> {status}")
+
+    # Contrast with the deployed software scanners (section III-A).
+    print("\ntime to detect a permanent fault (expected):")
+    print(f"  FleetScanner: {FLEETSCANNER.expected_detection_days():.0f} days"
+          f" ({FLEETSCANNER.detection_probability(180) * 100:.0f}% within 6 months)")
+    print(f"  Ripple:       {RIPPLE.expected_detection_days():.0f} days"
+          f" ({RIPPLE.detection_probability(180) * 100:.0f}% within 6 months)")
+    print("  ParaVerser:   first checked faulty computation "
+          "(sub-second at data-center rates)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Fleet-scale comparison: software scanners vs. ParaVerser (section III).
+
+Simulates a year of a 10 000-machine fleet developing permanent CPU
+faults at hyperscaler-reported rates, and compares the deployed software
+scanners against ParaVerser's opportunistic checking on: detection
+fraction, mean time to detection, and total silent-data-corruption
+exposure — the paper's core motivation, quantified.
+"""
+
+from repro.baselines import FLEETSCANNER, RIPPLE
+from repro.fleet import (
+    FleetConfig,
+    FleetSimulator,
+    ParaVerserStrategy,
+    ScannerStrategy,
+)
+
+
+def main() -> None:
+    config = FleetConfig(machines=10_000,
+                         fault_rate_per_machine_day=5e-5,
+                         sdc_per_faulty_day=3.0,
+                         duration_days=365)
+    simulator = FleetSimulator(config, seed=1)
+    strategies = [
+        ScannerStrategy(FLEETSCANNER),
+        ScannerStrategy(RIPPLE),
+        ParaVerserStrategy(instruction_coverage=0.97),
+    ]
+    results = simulator.compare(strategies)
+
+    print(f"fleet: {config.machines} machines over "
+          f"{config.duration_days} days, "
+          f"{results[0].faults} permanent faults arose\n")
+    print(f"{'strategy':14s} {'detected':>9s} {'mean days':>10s} "
+          f"{'exposure days':>14s} {'SDC events':>11s}")
+    for result in results:
+        print(f"{result.strategy:14s} "
+              f"{result.detection_fraction * 100:8.1f}% "
+              f"{result.mean_detection_days:10.2f} "
+              f"{result.exposure_days:14.0f} "
+              f"{result.sdc_events:11.0f}")
+    print("\npaper section III-A: FleetScanner detects 93% of permanent")
+    print("faults within 6 months; Ripple ~70%; ParaVerser detects at the")
+    print("first checked faulty computation — the exposure window (and the")
+    print("silent corruption it admits) collapses by orders of magnitude.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""NoC sensitivity, Hash Mode, and the energy/area story.
+
+Reproduces the paper's operator-facing trade-off in one script:
+
+* Fig. 11 in miniature: an underprovisioned NoC (128-bit @ 1.5 GHz) hurts
+  LSL-heavy workloads; SHA-256 Hash Mode recovers most of it.
+* Section VII-E: per-core storage overhead (the 1064 B budget), the 35 %
+  area cost of prior work's dedicated checkers, and energy overheads of
+  the main checker configurations.
+"""
+
+from repro.core import CheckMode, ParaVerserConfig, ParaVerserSystem
+from repro.cpu import A35, A510, CoreInstance, X2
+from repro.noc import FAST_NOC, SLOW_NOC
+from repro.power import dedicated_checker_area, energy_report, storage_overhead
+from repro.workloads import build_program, get_profile
+
+INSTRUCTIONS = 40_000
+
+
+def run(name: str, noc, hash_mode: bool) -> float:
+    program = build_program(get_profile(name), seed=3)
+    config = ParaVerserConfig(
+        main=CoreInstance(X2, 3.0),
+        checkers=[CoreInstance(X2, 3.0)],
+        mode=CheckMode.FULL,
+        hash_mode=hash_mode,
+        noc=noc,
+        seed=3,
+    )
+    result = ParaVerserSystem(config).run(program,
+                                          max_instructions=INSTRUCTIONS)
+    return result.overhead_percent
+
+
+def main() -> None:
+    print("== NoC sensitivity (Fig. 11 in miniature) ==")
+    for name in ("lbm", "xz", "exchange2"):
+        slow = run(name, SLOW_NOC, hash_mode=False)
+        hashed = run(name, SLOW_NOC, hash_mode=True)
+        fast = run(name, FAST_NOC, hash_mode=False)
+        print(f"  {name:10s} slowNoC {slow:6.2f}%   "
+              f"slowNoC+hash {hashed:6.2f}%   fastNoC {fast:6.2f}%")
+
+    print("\n== Per-core storage overhead (section VII-E) ==")
+    overhead = storage_overhead(X2)
+    for component, bits in overhead.breakdown().items():
+        print(f"  {component:32s} {bits:6d} bits")
+    print(f"  {'TOTAL':32s} {overhead.total_bytes:6.0f} bytes "
+          "(paper: 1064 B)")
+
+    print("\n== Dedicated-checker area (prior work) ==")
+    area = dedicated_checker_area(X2, A35, 16)
+    print(f"  16 x A35 = {area.checkers_area_mm2:.2f} mm^2 against an "
+          f"X2 at {area.main_area_mm2:.2f} mm^2 "
+          f"-> {area.overhead_percent:.0f}% area overhead (paper: 35%)")
+
+    print("\n== Energy overhead of checking (section VII-E) ==")
+    program = build_program(get_profile("exchange2"), seed=3)
+    for label, checkers in [
+        ("1xX2@3GHz (lockstep-like)", [CoreInstance(X2, 3.0)]),
+        ("2xX2@1.5GHz", [CoreInstance(X2, 1.5)] * 2),
+        ("4xA510@2GHz", [CoreInstance(A510, 2.0)] * 4),
+        ("4xA510@1.4GHz (toward ED2P)", [CoreInstance(A510, 1.4)] * 4),
+    ]:
+        config = ParaVerserConfig(main=CoreInstance(X2, 3.0),
+                                  checkers=checkers, seed=3)
+        result = ParaVerserSystem(config).run(
+            program, max_instructions=INSTRUCTIONS)
+        report = energy_report(result, config.main)
+        print(f"  {label:28s} energy +{report.overhead_percent:5.1f}%   "
+              f"slowdown +{result.overhead_percent:.2f}%")
+
+
+if __name__ == "__main__":
+    main()

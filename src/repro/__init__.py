@@ -1,0 +1,81 @@
+"""ParaVerser: heterogeneous parallel error detection for data centers.
+
+A complete reproduction of *ParaVerser: Harnessing Heterogeneous
+Parallelism for Affordable Fault Detection in Data Centers* (DSN 2025),
+including the ParaVerser mechanisms themselves (load-store log cache,
+push unit, register checkpointing, speculative indexed checking, eager
+waking, hash mode), the simulated substrates the paper evaluates on
+(functional+timing core models, caches, NoC), the workloads, baselines,
+fault-injection machinery, power/area models, and a benchmark harness
+that regenerates every table and figure of the evaluation.
+
+Quick start::
+
+    from repro import (CheckMode, CoreInstance, ParaVerserConfig,
+                       ParaVerserSystem, A510, X2)
+    from repro.workloads import build_program, get_profile
+
+    program = build_program(get_profile("bwaves"))
+    config = ParaVerserConfig(
+        main=CoreInstance(X2, 3.0),
+        checkers=[CoreInstance(A510, 2.0)] * 4,
+        mode=CheckMode.FULL,
+    )
+    result = ParaVerserSystem(config).run(program, max_instructions=50_000)
+    print(f"slowdown: {result.overhead_percent:.2f}%")
+"""
+
+from repro.core.checker import CheckerCore, CheckResult
+from repro.core.cluster import ClusterResult, ClusterSystem
+from repro.core.counter import Segment, SegmentBuilder
+from repro.core.errors import DetectionEvent, DetectionKind
+from repro.core.maintenance import CoreHealth, HealthMonitor
+from repro.core.rollback import RecoverableSystem, RecoveredRun
+from repro.core.system import (
+    CheckMode,
+    ParaVerserConfig,
+    ParaVerserSystem,
+    SystemResult,
+)
+from repro.cpu.config import CoreConfig, CoreInstance
+from repro.cpu.presets import A35, A510, X2
+from repro.faults.campaign import CampaignResult, FaultCampaign
+from repro.faults.models import StuckAtFault, TransientFault
+from repro.power.energy import EnergyReport, energy_report
+from repro.workloads.generator import build_parallel_programs, build_program
+from repro.workloads.profiles import get_profile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "A35",
+    "A510",
+    "CampaignResult",
+    "CheckMode",
+    "CheckResult",
+    "CheckerCore",
+    "ClusterResult",
+    "ClusterSystem",
+    "CoreConfig",
+    "CoreHealth",
+    "CoreInstance",
+    "DetectionEvent",
+    "DetectionKind",
+    "EnergyReport",
+    "FaultCampaign",
+    "HealthMonitor",
+    "ParaVerserConfig",
+    "ParaVerserSystem",
+    "RecoverableSystem",
+    "RecoveredRun",
+    "Segment",
+    "SegmentBuilder",
+    "StuckAtFault",
+    "SystemResult",
+    "TransientFault",
+    "X2",
+    "build_parallel_programs",
+    "build_program",
+    "energy_report",
+    "get_profile",
+]

@@ -1,0 +1,26 @@
+"""Baselines the paper compares against.
+
+* Dual-/triple-core lockstep (automotive-style full redundancy),
+* DSN18 [11] — 12 tiny dedicated checker cores with a 3 KiB SRAM LSL,
+* ParaDox [13] — 16 dedicated checker cores,
+* FleetScanner / Ripple — the deployed software scanners of section III-A.
+"""
+
+from repro.baselines.lockstep import LockstepKind, LockstepModel
+from repro.baselines.prior_work import (
+    DEDICATED_LSL_BYTES,
+    dsn18_config,
+    paradox_config,
+)
+from repro.baselines.swscan import ScannerModel, FLEETSCANNER, RIPPLE
+
+__all__ = [
+    "DEDICATED_LSL_BYTES",
+    "FLEETSCANNER",
+    "LockstepKind",
+    "LockstepModel",
+    "RIPPLE",
+    "ScannerModel",
+    "dsn18_config",
+    "paradox_config",
+]

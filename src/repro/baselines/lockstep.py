@@ -1,0 +1,67 @@
+"""Dual- and triple-core lockstep baselines.
+
+Automotive-grade lockstep duplicates (or triplicates) the core and
+compares outputs cycle by cycle.  Performance overhead is negligible —
+the checker is identical hardware kept perfectly in sync — but compute
+performance per area/power halves, which is why the paper argues it is
+unrealistic for data centers (section I).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.cpu.config import CoreInstance
+from repro.power.energy import (
+    DEFAULT_POWER_MODEL,
+    PowerModelConfig,
+    dynamic_energy_nj,
+    static_energy_nj,
+)
+
+
+class LockstepKind(enum.Enum):
+    """Degree of replication."""
+
+    DUAL = 2    # DCLS: detection only
+    TRIPLE = 3  # TCLS: detection + majority-vote correction
+
+
+@dataclass
+class LockstepModel:
+    """Analytic model of a lockstep pair/triple."""
+
+    main: CoreInstance
+    kind: LockstepKind = LockstepKind.DUAL
+    #: Cycle-synchronised comparison adds a tiny pipeline overhead.
+    slowdown: float = 1.001
+
+    @property
+    def replicas(self) -> int:
+        return self.kind.value
+
+    def area_overhead_fraction(self) -> float:
+        """Extra silicon relative to one main core."""
+        return float(self.replicas - 1)
+
+    def energy_overhead_fraction(
+        self, instructions: int, time_ns: float,
+        model: PowerModelConfig = DEFAULT_POWER_MODEL,
+    ) -> float:
+        """Energy overhead versus the unprotected main core.
+
+        Each replica executes every instruction at the same V/f point, so
+        the overhead is (replicas - 1) x the main core's own energy.
+        """
+        cfg = self.main.config
+        v = self.main.voltage
+        one = dynamic_energy_nj(cfg, v, instructions, model=model) \
+            + static_energy_nj(cfg, v, time_ns, model=model)
+        return (self.replicas - 1) * one / one
+
+    def detects_transients(self) -> bool:
+        return True
+
+    def corrects(self) -> bool:
+        return self.kind is LockstepKind.TRIPLE

@@ -1,0 +1,242 @@
+"""Command-line interface.
+
+Installed as ``paraverser`` (see pyproject.toml)::
+
+    paraverser workloads                         # list benchmark profiles
+    paraverser run -w bwaves -c 4xA510@2.0       # check one workload
+    paraverser run -w mcf -c 1xA510@1.0 -m opportunistic
+    paraverser inject -w deepsjeng -t 30         # fault-injection campaign
+    paraverser figures fig6 fig11                # regenerate paper figures
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from typing import Sequence
+
+from repro.core.system import CheckMode, ParaVerserConfig, ParaVerserSystem
+from repro.cpu.config import CoreInstance
+from repro.cpu.presets import CORE_CLASSES
+from repro.noc.mesh import FAST_NOC, SLOW_NOC
+from repro.power.energy import energy_report
+from repro.workloads.generator import build_program
+from repro.workloads.profiles import ALL_PROFILES, get_profile
+
+_CHECKER_SPEC = re.compile(r"^(\d+)x([A-Za-z0-9]+)@([\d.]+)$")
+
+
+def parse_checkers(spec: str) -> list[CoreInstance]:
+    """Parse ``"4xA510@2.0,1xX2@3.0"`` into core instances."""
+    instances: list[CoreInstance] = []
+    for part in spec.split(","):
+        match = _CHECKER_SPEC.match(part.strip())
+        if not match:
+            raise argparse.ArgumentTypeError(
+                f"bad checker spec {part!r}; expected e.g. 4xA510@2.0"
+            )
+        count, name, freq = match.groups()
+        config = CORE_CLASSES.get(name)
+        if config is None:
+            raise argparse.ArgumentTypeError(
+                f"unknown core class {name!r}; known: {sorted(CORE_CLASSES)}"
+            )
+        instances.extend([CoreInstance(config, float(freq))] * int(count))
+    if not instances:
+        raise argparse.ArgumentTypeError("empty checker specification")
+    return instances
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="paraverser",
+        description="ParaVerser (DSN 2025) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="check one workload and report overheads")
+    run.add_argument("-w", "--workload", required=True,
+                     help="benchmark name (see `paraverser workloads`)")
+    run.add_argument("-c", "--checkers", type=parse_checkers,
+                     default=parse_checkers("4xA510@2.0"),
+                     help="checker pool, e.g. 4xA510@2.0 or 2xX2@1.5")
+    run.add_argument("-m", "--mode",
+                     choices=[m.value for m in CheckMode], default="full")
+    run.add_argument("-n", "--instructions", type=int, default=100_000)
+    run.add_argument("--hash", action="store_true", dest="hash_mode",
+                     help="enable SHA-256 Hash Mode (section IV-I)")
+    run.add_argument("--slow-noc", action="store_true",
+                     help="use the 128-bit @ 1.5 GHz mesh (Fig. 11)")
+    run.add_argument("--sampling-rate", type=float, default=0.25)
+    run.add_argument("--stats", action="store_true",
+                     help="print a gem5-style statistics dump")
+    run.add_argument("--seed", type=int, default=7)
+
+    inject = sub.add_parser("inject",
+                            help="run a stuck-at fault-injection campaign")
+    inject.add_argument("-w", "--workload", required=True)
+    inject.add_argument("-c", "--checkers", type=parse_checkers,
+                        default=parse_checkers("1xA510@1.0"))
+    inject.add_argument("-t", "--trials", type=int, default=20)
+    inject.add_argument("-n", "--instructions", type=int, default=40_000)
+    inject.add_argument("--seed", type=int, default=7)
+
+    workloads = sub.add_parser("workloads", help="list benchmark profiles")
+    workloads.add_argument("--suite", choices=["spec2017", "gap", "parsec"],
+                           default=None)
+
+    figures = sub.add_parser("figures",
+                             help="regenerate the paper's tables/figures")
+    figures.add_argument("names", nargs="+",
+                         choices=["fig6", "fig7", "fig8", "fig9", "fig10",
+                                  "fig11", "sec7e", "sec7f", "all"])
+    figures.add_argument("--chart", action="store_true",
+                         help="render ASCII bar charts instead of tables")
+    return parser
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """`paraverser run`: check one workload and print the overhead report."""
+    program = build_program(get_profile(args.workload), seed=args.seed)
+    config = ParaVerserConfig(
+        main=CoreInstance(CORE_CLASSES["X2"], 3.0),
+        checkers=args.checkers,
+        mode=CheckMode(args.mode),
+        hash_mode=args.hash_mode,
+        noc=SLOW_NOC if args.slow_noc else FAST_NOC,
+        sampling_rate=args.sampling_rate,
+        seed=args.seed,
+    )
+    system = ParaVerserSystem(config)
+    result = system.run(program, max_instructions=args.instructions)
+    energy = energy_report(result, config.main)
+    print(f"workload:          {result.workload}")
+    print(f"configuration:     {result.config_label}")
+    print(f"instructions:      {result.instructions}")
+    print(f"segments:          {result.segments} ({result.cut_reasons})")
+    print(f"slowdown:          {result.overhead_percent:+.2f}%")
+    print(f"coverage:          {result.coverage * 100:.1f}%")
+    print(f"main-core stalls:  {result.stall_ns:.0f} ns")
+    print(f"LSL traffic:       {result.lsl_bytes / 1024:.1f} KiB")
+    print(f"NoC extra latency: {result.noc_extra_llc_ns:.2f} ns/LLC access")
+    print(f"energy overhead:   {energy.overhead_percent:+.1f}% "
+          "(vs. power-gated checkers)")
+    print(f"verified segments: {len(result.verify_results)} (all clean)")
+    if args.stats:
+        from repro.cpu.timing import format_stats
+
+        print("\n-- main-core statistics (checked run) --")
+        print(format_stats(result.main_timing, config.main.config))
+    return 0
+
+
+def cmd_inject(args: argparse.Namespace) -> int:
+    """`paraverser inject`: run a stuck-at fault-injection campaign."""
+    from repro.faults.campaign import FaultCampaign, covered_segments
+
+    program = build_program(get_profile(args.workload), seed=args.seed)
+    config = ParaVerserConfig(
+        main=CoreInstance(CORE_CLASSES["X2"], 3.0),
+        checkers=args.checkers,
+        mode=CheckMode.OPPORTUNISTIC,
+        seed=args.seed,
+    )
+    system = ParaVerserSystem(config)
+    run = system.execute(program, max_instructions=args.instructions)
+    result = system.run(program, run_result=run)
+    segments = system.segment(run)
+    campaign = FaultCampaign(program, segments,
+                             args.checkers[0].config)
+    outcome = campaign.run(args.trials, seed=args.seed,
+                           covered=covered_segments(result))
+    print(f"workload:                {args.workload}")
+    print(f"instruction coverage:    {result.coverage * 100:.1f}%")
+    print(f"injected faults:         {outcome.injected}")
+    print(f"detected:                {outcome.detected}")
+    print(f"masked:                  {outcome.masked}")
+    print(f"detection (all):         {outcome.detection_rate_all * 100:.0f}%")
+    print("detection (effective):   "
+          f"{outcome.detection_rate_effective * 100:.0f}%")
+    for trial in outcome.trials:
+        status = ("DETECTED" if trial.detected
+                  else "masked" if trial.masked else "missed")
+        print(f"  {trial.fault.describe():55s} {status}")
+    return 0
+
+
+def cmd_workloads(args: argparse.Namespace) -> int:
+    """`paraverser workloads`: list the benchmark profiles."""
+    print(f"{'name':12s} {'suite':9s} {'threads':>7s}  description")
+    for name, profile in sorted(ALL_PROFILES.items()):
+        if args.suite and profile.suite != args.suite:
+            continue
+        print(f"{name:12s} {profile.suite:9s} {profile.threads:7d}  "
+              f"{profile.description}")
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    """`paraverser figures`: regenerate the paper's tables/figures."""
+    from repro.harness import experiments
+    from repro.harness.plot import bar_chart
+    from repro.harness.runner import WorkloadCache
+
+    def show(table):
+        print(bar_chart(table) if args.chart else table.render())
+
+    names = list(args.names)
+    if "all" in names:
+        names = ["fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+                 "sec7e", "sec7f"]
+    cache = WorkloadCache()
+    for name in names:
+        print(f"\n===== {name} =====")
+        if name == "fig6":
+            show(experiments.run_fig6(cache))
+        elif name == "fig7":
+            result = experiments.run_fig7(cache)
+            show(result.slowdown)
+            show(result.coverage)
+        elif name == "fig8":
+            result = experiments.run_fig8(cache)
+            show(result.coverage)
+            print(f"detected {result.full_coverage_detection * 100:.0f}% of "
+                  f"{result.injected} injections ({result.masked} masked)")
+        elif name == "fig9":
+            show(experiments.run_fig9_gap())
+            show(experiments.run_fig9_parsec())
+        elif name == "fig10":
+            show(experiments.run_fig10())
+        elif name == "fig11":
+            show(experiments.run_fig11(cache))
+        elif name == "sec7e":
+            result = experiments.run_sec7e_energy(cache)
+            show(result.energy)
+            print(f"ED2P: {result.ed2p_energy_percent:.0f}% energy at "
+                  f"{result.ed2p_slowdown_percent:.1f}% slowdown")
+        elif name == "sec7f":
+            for row in experiments.run_sec7f():
+                print(f"{row.workload:10s} hetero {row.hetero_speedup:.2f}x "
+                      f"homo {row.homo_speedup:.2f}x "
+                      f"checking {row.checking_overhead_percent:.2f}%")
+    return 0
+
+
+_COMMANDS = {
+    "run": cmd_run,
+    "inject": cmd_inject,
+    "workloads": cmd_workloads,
+    "figures": cmd_figures,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,89 @@
+"""Checker-core allocation (section IV-A).
+
+The operating system decides which cores act as checkers.  Preference goes
+to idle cores, and among idle cores to lower-performance ones, since
+checking does not need single-thread performance.  A core can be
+reassigned at each checkpoint boundary; checkpoints are bounded (timeout),
+so there is no starvation from non-preemptible checkpoints.
+
+In full-coverage mode an unavailable pool stalls the main core until the
+earliest checker frees; in opportunistic mode the segment simply goes
+unchecked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cpu.config import CoreInstance
+
+
+@dataclass
+class CheckerSlot:
+    """One allocatable checker core and its utilisation accounting."""
+
+    instance: CoreInstance
+    lsl_capacity_bytes: int
+    position: int = 0          # pool order; checker "i" (contended) first
+    free_at_ns: float = 0.0
+    busy_ns: float = 0.0
+    segments_checked: int = 0
+    instructions_checked: int = 0
+
+    @property
+    def label(self) -> str:
+        return f"{self.instance.label}#{self.position}"
+
+    def assign(self, start_ns: float, finish_ns: float,
+               instructions: int) -> None:
+        self.busy_ns += finish_ns - max(start_ns, self.free_at_ns)
+        self.free_at_ns = finish_ns
+        self.segments_checked += 1
+        self.instructions_checked += instructions
+
+
+@dataclass
+class Allocation:
+    """Result of an allocation request."""
+
+    slot: CheckerSlot
+    start_ns: float     # when the checker is actually available
+    stalled_ns: float   # main-core stall incurred (full-coverage mode only)
+
+
+class CheckerAllocator:
+    """Allocates checker slots to segments."""
+
+    def __init__(self, slots: list[CheckerSlot]) -> None:
+        if not slots:
+            raise ValueError("checker pool is empty")
+        # Idle preference goes to lower-performance (slower) cores first,
+        # then pool position (paper: contended checker i used first).
+        self.slots = sorted(
+            slots,
+            key=lambda s: (s.instance.config.area_mm2, s.position),
+        )
+
+    def acquire_full(self, now_ns: float) -> Allocation:
+        """Full-coverage mode: wait for a checker if none is free."""
+        idle = [s for s in self.slots if s.free_at_ns <= now_ns]
+        if idle:
+            return Allocation(idle[0], now_ns, 0.0)
+        earliest = min(self.slots, key=lambda s: s.free_at_ns)
+        return Allocation(earliest, earliest.free_at_ns,
+                          earliest.free_at_ns - now_ns)
+
+    def acquire_opportunistic(self, now_ns: float) -> Allocation | None:
+        """Opportunistic mode: only an idle checker will do."""
+        for slot in self.slots:
+            if slot.free_at_ns <= now_ns:
+                return Allocation(slot, now_ns, 0.0)
+        return None
+
+    @property
+    def total_busy_ns(self) -> float:
+        return sum(slot.busy_ns for slot in self.slots)
+
+    @property
+    def total_instructions_checked(self) -> int:
+        return sum(slot.instructions_checked for slot in self.slots)

@@ -1,0 +1,173 @@
+"""Multi-main-core cluster simulation (Figs. 9 and 10).
+
+Runs up to four main cores — independent processes (Fig. 10's SPEC mixes)
+or threads of one parallel workload over shared memory (Fig. 9's PARSEC)
+— each with its own checker pool, on the Fig. 5 tile layout.  The key
+cross-core interactions:
+
+* LSL traffic from one main core contends on the mesh with *every*
+  main's demand traffic (the paper reports Fig. 10 with and without this
+  effect, which :class:`ClusterResult` exposes as ``slowdown`` vs.
+  ``slowdown_no_lsl``);
+* the shared LLC and DRAM bandwidth are statically partitioned 1/N
+  (a deterministic approximation of capacity contention);
+* parallel workloads get forced checkpoint boundaries at scheduler
+  switch points, and replay uses the logged load values so races check
+  deterministically (section IV-J).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.system import (
+    CheckMode,
+    ParaVerserConfig,
+    ParaVerserSystem,
+    PreparedRun,
+    SystemResult,
+)
+from repro.cpu.config import CoreInstance
+from repro.cpu.multicore import run_multicore
+from repro.isa.program import Program
+from repro.noc.layout import TileLayout, fig5_layout
+from repro.noc.mesh import NocConfig, FAST_NOC
+from repro.noc.traffic import TrafficModel
+
+
+@dataclass
+class ClusterResult:
+    """Aggregate of one multi-main run."""
+
+    per_main: list[SystemResult]
+    per_main_no_lsl: list[SystemResult]
+
+    @property
+    def total_baseline_ns(self) -> float:
+        return sum(r.baseline_time_ns for r in self.per_main)
+
+    @property
+    def total_checked_ns(self) -> float:
+        return sum(r.checked_time_ns for r in self.per_main)
+
+    @property
+    def slowdown(self) -> float:
+        """Slowdown on total CPI, with LSL NoC traffic (Fig. 10 full bars)."""
+        return self.total_checked_ns / self.total_baseline_ns
+
+    @property
+    def slowdown_no_lsl(self) -> float:
+        """Slowdown excluding LSL NoC impact (Fig. 10 coloured bars)."""
+        total = sum(r.checked_time_ns for r in self.per_main_no_lsl)
+        return total / self.total_baseline_ns
+
+    @property
+    def parallel_slowdown(self) -> float:
+        """For parallel workloads: ratio of critical-path (max) times."""
+        base = max(r.baseline_time_ns for r in self.per_main)
+        checked = max(r.checked_time_ns for r in self.per_main)
+        return checked / base
+
+    @property
+    def coverage(self) -> float:
+        insns = sum(r.instructions for r in self.per_main)
+        covered = sum(r.coverage * r.instructions for r in self.per_main)
+        return covered / insns if insns else 1.0
+
+
+class ClusterSystem:
+    """Simulates N main cores with checking on one mesh."""
+
+    def __init__(
+        self,
+        mains: list[CoreInstance],
+        checkers_per_main: list[list[CoreInstance]],
+        mode: CheckMode = CheckMode.FULL,
+        hash_mode: bool = False,
+        eager_wake: bool = True,
+        lsl_capacity_bytes: int | None = None,
+        noc: NocConfig = FAST_NOC,
+        layout: TileLayout | None = None,
+        verify_segments: int = 2,
+        seed: int = 0,
+    ) -> None:
+        if len(mains) != len(checkers_per_main):
+            raise ValueError("one checker pool per main core required")
+        if not 1 <= len(mains) <= 4:
+            raise ValueError("the Fig. 5 layout supports 1-4 main cores")
+        self.layout = layout or fig5_layout()
+        share = 1.0 / len(mains)
+        self.systems = [
+            ParaVerserSystem(
+                ParaVerserConfig(
+                    main=main,
+                    checkers=checkers,
+                    mode=mode,
+                    hash_mode=hash_mode,
+                    eager_wake=eager_wake,
+                    lsl_capacity_bytes=lsl_capacity_bytes,
+                    noc=noc,
+                    main_id=i,
+                    verify_segments=verify_segments,
+                    seed=seed + i,
+                    llc_share=share,
+                ),
+                layout=self.layout,
+            )
+            for i, (main, checkers) in enumerate(zip(mains, checkers_per_main))
+        ]
+        self.traffic_model = TrafficModel(noc, self.layout)
+
+    def _finalize_all(self, prepared: list[PreparedRun]) -> ClusterResult:
+        contributions = [
+            system.estimate_traffic(prep)
+            for system, prep in zip(self.systems, prepared)
+        ]
+        mesh = self.traffic_model.build(contributions)
+        mesh_no_lsl = self.traffic_model.build(contributions,
+                                               include_lsl=False)
+        per_main: list[SystemResult] = []
+        per_main_no_lsl: list[SystemResult] = []
+        for i, (system, prep) in enumerate(zip(self.systems, prepared)):
+            extra = self.traffic_model.llc_extra_latency_ns(mesh, i)
+            push = self.traffic_model.lsl_push_latency_ns(
+                mesh, i, len(system.config.checkers))
+            per_main.append(system.finalize(prep, extra, push))
+            extra0 = self.traffic_model.llc_extra_latency_ns(mesh_no_lsl, i)
+            per_main_no_lsl.append(
+                system.finalize(prep, extra0, 0.0, verify=False))
+        return ClusterResult(per_main=per_main,
+                             per_main_no_lsl=per_main_no_lsl)
+
+    def run_multiprocess(self, programs: list[Program],
+                         max_instructions: int = 60_000) -> ClusterResult:
+        """Independent programs on the main cores (Fig. 10 mixes)."""
+        if len(programs) != len(self.systems):
+            raise ValueError("one program per main core required")
+        prepared = [
+            system.prepare(program, max_instructions)
+            for system, program in zip(self.systems, programs)
+        ]
+        return self._finalize_all(prepared)
+
+    def run_parallel(self, programs: list[Program],
+                     max_instructions_per_thread: int = 50_000,
+                     quantum: int = 2000) -> ClusterResult:
+        """Threads of one parallel workload over shared memory (Fig. 9)."""
+        if len(programs) != len(self.systems):
+            raise ValueError("one thread program per main core required")
+        runs = run_multicore(
+            programs,
+            max_instructions_per_thread=max_instructions_per_thread,
+            quantum=quantum,
+        )
+        prepared = []
+        for system, thread_run in zip(self.systems, runs):
+            forced = set(thread_run.switch_points)
+            prepared.append(system.prepare(
+                thread_run.program,
+                run_result=thread_run.result,
+                forced_boundaries=forced,
+                boundary_checkpoints=thread_run.checkpoints,
+            ))
+        return self._finalize_all(prepared)

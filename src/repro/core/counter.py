@@ -1,0 +1,140 @@
+"""Instruction counter and segment construction.
+
+Section IV-F: checkpoints end when (i) the target LSL$ fills, (ii) an
+interrupt/context switch occurs, or (iii) a 5000-instruction timeout is
+reached.  The counter interrupts main and checker cores at identical
+committed-instruction counts, which in trace terms means segments are
+contiguous index ranges of the commit trace.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.lsl import LSLRecord, record_from_trace
+from repro.cpu.functional import TraceEntry
+from repro.isa.instructions import CACHE_LINE_BYTES
+from repro.isa.registers import RegisterCheckpoint
+
+#: The paper's checkpoint timeout (Table I).
+DEFAULT_TIMEOUT_INSTRUCTIONS = 5000
+
+
+class CutReason(enum.Enum):
+    """Why a segment ended."""
+
+    LSL_FULL = "lsl_full"
+    TIMEOUT = "timeout"
+    INTERRUPT = "interrupt"
+    PROGRAM_END = "program_end"
+
+
+@dataclass
+class Segment:
+    """One checkpointed interval of main-core execution."""
+
+    index: int
+    start: int  # trace index, inclusive
+    end: int    # trace index, exclusive
+    records: list[LSLRecord]
+    lsl_bytes: int   # log bytes incl. line padding (what the LSL$ holds)
+    lines: int       # cache lines pushed over the NoC
+    reason: CutReason
+    start_checkpoint: RegisterCheckpoint | None = None
+    end_checkpoint: RegisterCheckpoint | None = None
+    digest: bytes | None = None  # Hash Mode digest of verify metadata
+
+    @property
+    def instructions(self) -> int:
+        return self.end - self.start
+
+
+class SegmentBuilder:
+    """Splits a commit trace into checkpointed segments.
+
+    ``lsl_capacity_bytes`` is the smallest LSL$ among the configured
+    checker cores — the main core sizes segments for the checker it will
+    hand them to.
+    """
+
+    def __init__(
+        self,
+        lsl_capacity_bytes: int,
+        timeout_instructions: int = DEFAULT_TIMEOUT_INSTRUCTIONS,
+        line_bytes: int = CACHE_LINE_BYTES,
+        hash_mode: bool = False,
+    ) -> None:
+        if lsl_capacity_bytes < line_bytes:
+            raise ValueError("LSL capacity below one cache line")
+        if timeout_instructions < 1:
+            raise ValueError("timeout must be positive")
+        self.capacity = lsl_capacity_bytes
+        self.timeout = timeout_instructions
+        self.line_bytes = line_bytes
+        self.hash_mode = hash_mode
+
+    def split(self, trace: list[TraceEntry],
+              forced_boundaries: set[int] | None = None) -> list[Segment]:
+        """Segment ``trace``; ``forced_boundaries`` are interrupt points."""
+        forced = forced_boundaries or set()
+        segments: list[Segment] = []
+        records: list[LSLRecord] = []
+        seg_start = 0
+        lines_full = 0
+        buffer_bytes = 0
+
+        def cut(end: int, reason: CutReason) -> None:
+            nonlocal records, seg_start, lines_full, buffer_bytes
+            lines = lines_full + (1 if buffer_bytes else 0)
+            segments.append(Segment(
+                index=len(segments),
+                start=seg_start,
+                end=end,
+                records=records,
+                lsl_bytes=lines * self.line_bytes,
+                lines=lines,
+                reason=reason,
+            ))
+            records = []
+            seg_start = end
+            lines_full = 0
+            buffer_bytes = 0
+
+        def pack(lines: int, buf: int, entry: int) -> tuple[int, int]:
+            """Line-packing preview mirroring the LSPU: an entry that does
+            not fit the current line starts a new one."""
+            if buf + entry > self.line_bytes:
+                if buf:
+                    lines += 1
+                lines += entry // self.line_bytes
+                buf = entry % self.line_bytes
+            else:
+                buf += entry
+            if buf == self.line_bytes:
+                lines += 1
+                buf = 0
+            return lines, buf
+
+        for i, entry in enumerate(trace):
+            record = record_from_trace(entry, i)
+            entry_bytes = record.entry_bytes(self.hash_mode) if record else 0
+            if entry_bytes:
+                new_lines, new_buffer = pack(lines_full, buffer_bytes,
+                                             entry_bytes)
+                used = new_lines * self.line_bytes + new_buffer
+                if used > self.capacity and (records or buffer_bytes):
+                    cut(i, CutReason.LSL_FULL)
+                    lines_full, buffer_bytes = pack(0, 0, entry_bytes)
+                else:
+                    lines_full, buffer_bytes = new_lines, new_buffer
+            if record is not None:
+                records.append(record)
+            count = i + 1 - seg_start
+            if i + 1 in forced and i + 1 < len(trace):
+                cut(i + 1, CutReason.INTERRUPT)
+            elif count >= self.timeout:
+                cut(i + 1, CutReason.TIMEOUT)
+        if seg_start < len(trace):
+            cut(len(trace), CutReason.PROGRAM_END)
+        return segments

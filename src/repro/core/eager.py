@@ -1,0 +1,74 @@
+"""Eager checker-core waking (section IV-H).
+
+Prior work woke a checker only after the whole checkpoint finished, which
+wastes a conventional-core-sized checker.  ParaVerser lets the checker
+start as soon as log lines arrive, sleeping whenever it would read past
+the last pushed entry.  In timing terms this is a producer/consumer
+pipeline: line *i* cannot be consumed before it arrives, so
+
+    finish = fold over lines: t = max(t, arrival_i) + service_i
+
+which this module computes, given the main core's per-line push times and
+the checker's per-line service time.
+"""
+
+from __future__ import annotations
+
+
+def line_arrival_times(segment_start_ns: float, segment_end_ns: float,
+                       lines: int, noc_latency_ns: float = 0.0) -> list[float]:
+    """Approximate when each pushed line reaches the checker's LSL$.
+
+    The main core commits log entries roughly uniformly across the segment,
+    so line pushes are spread linearly between segment start and end, plus
+    the NoC transfer latency.
+    """
+    if lines <= 0:
+        return []
+    duration = max(segment_end_ns - segment_start_ns, 0.0)
+    return [
+        segment_start_ns + duration * (i + 1) / lines + noc_latency_ns
+        for i in range(lines)
+    ]
+
+
+def eager_finish_time(checker_start_ns: float, arrivals_ns: list[float],
+                      service_per_line_ns: float) -> float:
+    """Checker completion time when consuming lines as they arrive.
+
+    The checker sleeps (section IV-H) whenever it would pass the
+    log-end register, then resumes on the next line push; squash/restart
+    costs are folded into ``service_per_line_ns``.
+    """
+    t = checker_start_ns
+    for arrival in arrivals_ns:
+        if arrival > t:
+            t = arrival  # asleep, waiting for the push
+        t += service_per_line_ns
+    return t
+
+
+def lazy_finish_time(checker_start_ns: float, segment_end_ns: float,
+                     check_duration_ns: float) -> float:
+    """Prior-work behaviour: start only after the checkpoint completes."""
+    return max(checker_start_ns, segment_end_ns) + check_duration_ns
+
+
+def segment_finish_time(
+    checker_free_ns: float,
+    segment_start_ns: float,
+    segment_end_ns: float,
+    check_duration_ns: float,
+    lines: int,
+    noc_latency_ns: float = 0.0,
+    eager: bool = True,
+) -> float:
+    """When a checker assigned at segment start finishes verifying it."""
+    if not eager or lines <= 0:
+        return lazy_finish_time(checker_free_ns, segment_end_ns,
+                                check_duration_ns) + noc_latency_ns
+    arrivals = line_arrival_times(segment_start_ns, segment_end_ns, lines,
+                                  noc_latency_ns)
+    service = check_duration_ns / lines
+    return eager_finish_time(max(checker_free_ns, segment_start_ns),
+                             arrivals, service)

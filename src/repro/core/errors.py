@@ -1,0 +1,39 @@
+"""Error-detection event types raised/reported by ParaVerser checking."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class DetectionKind(enum.Enum):
+    """What kind of divergence a checker observed."""
+
+    LOAD_ADDRESS = "load_address"        # wrong load address or size
+    STORE_ADDRESS = "store_address"      # wrong store address or size
+    STORE_DATA = "store_data"            # store value differs from log
+    REGISTER_CHECKPOINT = "register_checkpoint"  # end-of-segment regfile diff
+    HASH_MISMATCH = "hash_mismatch"      # Hash Mode digest differs
+    LOG_UNDERFLOW = "log_underflow"      # checker used more entries than logged
+    LOG_OVERFLOW = "log_overflow"        # checker used fewer entries than logged
+    CONTROL_FLOW = "control_flow"        # replay escaped the program
+    INSTRUCTION_COUNT = "instruction_count"  # replay halted at the wrong count
+    PARITY = "parity"                    # LSQ/NoC parity failure
+
+
+@dataclass(frozen=True)
+class DetectionEvent:
+    """One detected divergence between main-core and checker execution."""
+
+    kind: DetectionKind
+    segment: int
+    detail: str = ""
+    trace_index: int = -1  # global index of the offending instruction, if known
+
+    def __str__(self) -> str:
+        where = f" @trace[{self.trace_index}]" if self.trace_index >= 0 else ""
+        return f"[segment {self.segment}] {self.kind.value}{where}: {self.detail}"
+
+
+class ParaVerserError(Exception):
+    """Base class for configuration/usage errors in the core package."""

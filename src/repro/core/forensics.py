@@ -1,0 +1,141 @@
+"""Post-detection forensics (section V).
+
+ParaVerser cannot directly tell whether a detected divergence came from
+the main core or the checker — but the paper notes that retaining
+*starting* register checkpoints (776 B extra per core) enables repeat
+replays to identify culprits.  This module implements that playbook:
+
+* :func:`replay_vote` — re-check the failing segment on several
+  (differently-faulted or healthy) checker cores and majority-vote: if
+  independent checkers agree the log is inconsistent, the main core (or
+  the log path) is the culprit; if only one checker complains, that
+  checker is;
+* :func:`locate_divergence` — binary-search the failing segment with a
+  healthy checker to find the first instruction whose architectural
+  effect diverges from the log, for operator forensics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.checker import CheckerCore, CheckResult
+from repro.core.counter import CutReason, Segment
+from repro.core.errors import DetectionEvent
+from repro.cpu.functional import FaultSurface
+from repro.isa.program import Program
+
+
+@dataclass
+class VoteOutcome:
+    """Result of a replay vote over one suspicious segment."""
+
+    segment_index: int
+    votes_detected: int
+    votes_clean: int
+    per_checker: list[CheckResult] = field(default_factory=list)
+
+    @property
+    def culprit(self) -> str:
+        """Majority reading of where the fault lives."""
+        if self.votes_detected == 0:
+            return "transient-or-checker"  # did not reproduce at all
+        if self.votes_detected > self.votes_clean:
+            return "main-core-or-log"      # independent checkers agree
+        return "single-checker"            # minority report
+
+
+def replay_vote(program: Program, segment: Segment,
+                checker_surfaces: list[FaultSurface | None],
+                hash_mode: bool = False) -> VoteOutcome:
+    """Re-check ``segment`` once per provided checker fault surface.
+
+    Pass ``None`` surfaces for healthy checker cores; in production the
+    vote runs on physically distinct cores, which the surfaces model.
+    """
+    if not checker_surfaces:
+        raise ValueError("at least one checker is required for a vote")
+    outcome = VoteOutcome(segment_index=segment.index,
+                          votes_detected=0, votes_clean=0)
+    for surface in checker_surfaces:
+        checker = CheckerCore(program, fault_surface=surface,
+                              hash_mode=hash_mode)
+        result = checker.check_segment(segment)
+        outcome.per_checker.append(result)
+        if result.detected:
+            outcome.votes_detected += 1
+        else:
+            outcome.votes_clean += 1
+    return outcome
+
+
+@dataclass
+class DivergencePoint:
+    """The first instruction whose effects diverge from the log."""
+
+    segment_index: int
+    #: Offset within the segment (0-based committed-instruction index).
+    instruction_offset: int
+    event: DetectionEvent | None
+
+    @property
+    def found(self) -> bool:
+        return self.instruction_offset >= 0
+
+
+def _check_prefix(program: Program, segment: Segment, length: int) -> CheckResult:
+    """Replay only the first ``length`` instructions of ``segment``.
+
+    End-of-segment comparisons (register file, record count) are skipped
+    for prefixes by replaying into a truncated segment whose end
+    checkpoint is unknown — only inline LSC detections count.
+    """
+    prefix = Segment(
+        index=segment.index,
+        start=segment.start,
+        end=segment.start + length,
+        records=segment.records,
+        lsl_bytes=segment.lsl_bytes,
+        lines=segment.lines,
+        reason=CutReason.TIMEOUT,
+    )
+    prefix.start_checkpoint = segment.start_checkpoint
+    # A placeholder end checkpoint: prefix replay only reports *inline*
+    # divergences (LSC / log discipline), which is what bisection needs.
+    prefix.end_checkpoint = segment.start_checkpoint
+    prefix.digest = segment.digest
+    checker = CheckerCore(program)
+    result = checker.check_segment(prefix)
+    inline = [event for event in result.events
+              if event.kind.value not in ("register_checkpoint",
+                                          "instruction_count",
+                                          "log_overflow",
+                                          "hash_mismatch")]
+    trimmed = CheckResult(segment_index=result.segment_index,
+                          detected=bool(inline), events=inline,
+                          instructions_replayed=result.instructions_replayed,
+                          records_consumed=result.records_consumed)
+    return trimmed
+
+
+def locate_divergence(program: Program,
+                      segment: Segment) -> DivergencePoint:
+    """Bisect a failing segment to its first inline divergence.
+
+    Requires the fault to be in the *logged data or main-core execution*
+    (the healthy-checker case of :func:`replay_vote`); returns
+    ``instruction_offset == -1`` when no inline divergence exists (e.g.
+    the mismatch only shows in the end register checkpoint).
+    """
+    length = segment.instructions
+    if not _check_prefix(program, segment, length).detected:
+        return DivergencePoint(segment.index, -1, None)
+    low, high = 1, length  # smallest prefix that detects
+    while low < high:
+        mid = (low + high) // 2
+        if _check_prefix(program, segment, mid).detected:
+            high = mid
+        else:
+            low = mid + 1
+    event = _check_prefix(program, segment, low).first_event
+    return DivergencePoint(segment.index, low - 1, event)

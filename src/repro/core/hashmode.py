@@ -1,0 +1,55 @@
+"""Hash Mode (section IV-I).
+
+In Hash Mode only replay data (loaded values, non-repeatable results)
+travel over the NoC; verification metadata — addresses, sizes and stored
+data — is folded into a SHA-256 digest on both sides and compared once per
+checkpoint.  SHA-256 is the paper's choice because weaker hashes can miss
+repeated same-bit errors or reorderings; serialisation below is
+position-dependent, so reordered accesses produce different digests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+from repro.core.lsl import LSLRecord
+
+#: Digest bytes shipped with the end checkpoint.
+DIGEST_BYTES = 32
+
+
+class HashStream:
+    """Order-preserving SHA-256 accumulator over verification metadata."""
+
+    def __init__(self) -> None:
+        self._hash = hashlib.sha256()
+        self.accesses_digested = 0
+
+    def add_access(self, addr: int, size: int, stored: int | None) -> None:
+        """Digest one memory access's verification metadata."""
+        # Fixed-width, order-dependent serialisation: (addr, size, has-store,
+        # store-data).  Two different access sequences cannot collide by
+        # concatenation ambiguity.
+        self._hash.update(struct.pack("<QB", addr & ((1 << 64) - 1), size & 0xFF))
+        if stored is None:
+            self._hash.update(b"\x00")
+        else:
+            self._hash.update(struct.pack("<BQ", 1, stored & ((1 << 64) - 1)))
+        self.accesses_digested += 1
+
+    def add_record(self, record: LSLRecord) -> None:
+        """Digest every access of a log record (main-core side)."""
+        for access in record.accesses:
+            self.add_access(access.addr, access.size, access.stored)
+
+    def digest(self) -> bytes:
+        return self._hash.digest()
+
+
+def digest_segment(records: list[LSLRecord]) -> bytes:
+    """Main-core-side digest of a whole segment's verify metadata."""
+    stream = HashStream()
+    for record in records:
+        stream.add_record(record)
+    return stream.digest()

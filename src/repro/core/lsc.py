@@ -1,0 +1,76 @@
+"""Load-Store Comparator (LSC).
+
+Section IV-E: for every load and store the checker executes, the LSC
+compares the generated address and size against the logged entry; for
+stores it also compares the data.  Loads compare out of order (as soon as
+the LSL$ entry is read); stores compare at commit.  In our functional
+replay both happen at the point the instruction executes, which is
+equivalent because detection is deferred to commit anyway (precise
+exceptions, section IV-G).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import DetectionEvent, DetectionKind
+from repro.core.lsl import LSLAccess
+
+
+@dataclass
+class LSCStats:
+    """Comparison accounting."""
+
+    load_compares: int = 0
+    store_compares: int = 0
+    mismatches: int = 0
+
+
+class LoadStoreComparator:
+    """Compares checker-side accesses against logged accesses."""
+
+    #: Storage for a 2-wide comparator (paper section VII-E: 48 B).
+    STORAGE_BYTES = 48
+
+    def __init__(self) -> None:
+        self.stats = LSCStats()
+
+    def compare_load(self, logged: LSLAccess, addr: int, size: int,
+                     segment: int, trace_index: int) -> DetectionEvent | None:
+        """Check a load's address/size against the log."""
+        self.stats.load_compares += 1
+        if logged.addr != addr or logged.size != size:
+            self.stats.mismatches += 1
+            return DetectionEvent(
+                DetectionKind.LOAD_ADDRESS,
+                segment,
+                f"load at {addr:#x}/{size} != logged {logged.addr:#x}/{logged.size}",
+                trace_index,
+            )
+        return None
+
+    def compare_store(self, logged: LSLAccess, addr: int, size: int,
+                      value: int, segment: int,
+                      trace_index: int) -> DetectionEvent | None:
+        """Check a store's address/size/data against the log."""
+        self.stats.store_compares += 1
+        if logged.addr != addr or logged.size != size:
+            self.stats.mismatches += 1
+            return DetectionEvent(
+                DetectionKind.STORE_ADDRESS,
+                segment,
+                f"store at {addr:#x}/{size} != logged "
+                f"{logged.addr:#x}/{logged.size}",
+                trace_index,
+            )
+        masked = value & ((1 << (size * 8)) - 1)
+        if logged.stored is not None and logged.stored != masked:
+            self.stats.mismatches += 1
+            return DetectionEvent(
+                DetectionKind.STORE_DATA,
+                segment,
+                f"store data {masked:#x} != logged {logged.stored:#x} "
+                f"at {addr:#x}",
+                trace_index,
+            )
+        return None

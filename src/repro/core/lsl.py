@@ -1,0 +1,199 @@
+"""Load-Store Log records and the Load-Store Log Cache (LSL$).
+
+Section IV-B of the paper: the checker core's data cache is repurposed as a
+linear log.  A typical entry is a 7-byte address, a 1-byte size field and a
+payload rounded up to the nearest 8 bytes (loaded data first, then stored
+data when both exist, e.g. for a SWP).  Multi-address instructions
+(scatter/gather) store each (address, size, data) group in sequence, lowest
+address first.  In Hash Mode only replay data (loaded values) occupy the
+log; verification metadata is folded into a SHA-256 digest instead.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.cpu.functional import TraceEntry
+from repro.isa.instructions import CACHE_LINE_BYTES, LSL_ADDRESS_BYTES, \
+    LSL_SIZE_FIELD_BYTES, Opcode
+
+
+class RecordKind(enum.Enum):
+    """What a log record describes, which drives checker-side handling."""
+
+    LOAD = "load"
+    STORE = "store"
+    SWAP = "swap"            # loaded and stored data in one entry
+    GATHER = "gather"        # multiple independent loads
+    SCATTER = "scatter"      # multiple independent stores
+    BULK = "bulk"            # bulk copy: many words in one macro-op entry
+    NONREP = "nonrep"        # non-memory non-repeatable value (RNG, timer...)
+    NONREP_STORE = "nonrep_store"  # store-conditional: flag + optional store
+
+
+@dataclass(frozen=True, slots=True)
+class LSLAccess:
+    """One (address, size, data) group within a record."""
+
+    addr: int
+    size: int
+    loaded: int | None = None
+    stored: int | None = None
+
+    def payload_bytes(self) -> int:
+        """Data bytes, rounded up to 8 (the paper's entry format)."""
+        data = 0
+        if self.loaded is not None:
+            data += self.size
+        if self.stored is not None:
+            data += self.size
+        return (data + 7) & ~7 if data else 8
+
+
+@dataclass(frozen=True, slots=True)
+class LSLRecord:
+    """One load-store-log entry, possibly multi-access (scatter/gather)."""
+
+    kind: RecordKind
+    accesses: tuple[LSLAccess, ...]
+    trace_index: int
+
+    def entry_bytes(self, hash_mode: bool = False) -> int:
+        """Log bytes this record occupies.
+
+        In Hash Mode only the replay payload (loaded/non-repeatable data)
+        is stored; addresses, sizes and stored data live in the running
+        hash (section IV-I), halving load traffic and eliminating store
+        traffic.
+        """
+        if hash_mode:
+            replay = 0
+            for access in self.accesses:
+                if access.loaded is not None:
+                    replay += (access.size + 7) & ~7
+            return replay
+        total = 0
+        for access in self.accesses:
+            total += LSL_ADDRESS_BYTES + LSL_SIZE_FIELD_BYTES
+            total += access.payload_bytes()
+        return total
+
+
+def record_from_trace(entry: TraceEntry, index: int) -> LSLRecord | None:
+    """Build the log record a committed instruction produces, if any."""
+    instr = entry.instr
+    op = instr.op
+    spec = instr.spec
+    if op is Opcode.BCOPY:
+        # One macro-op, many accesses: the oversized-entry case the paper
+        # flags for x86 REP MOVS (footnote 14).  Loads first (in address
+        # order from the source), then the mirrored stores.
+        assert entry.bulk is not None
+        accesses = tuple(
+            LSLAccess(entry.addr + 8 * i, 8, loaded=value, stored=None)
+            for i, value in enumerate(entry.bulk)
+        ) + tuple(
+            LSLAccess(entry.addr2 + 8 * i, 8, loaded=None, stored=value)
+            for i, value in enumerate(entry.bulk)
+        )
+        return LSLRecord(RecordKind.BULK, accesses, index)
+    if op is Opcode.SWP:
+        return LSLRecord(
+            RecordKind.SWAP,
+            (LSLAccess(entry.addr, entry.size, entry.loaded, entry.stored),),
+            index,
+        )
+    if op is Opcode.SC:
+        access = LSLAccess(entry.addr, entry.size, entry.nonrep, entry.stored)
+        return LSLRecord(RecordKind.NONREP_STORE, (access,), index)
+    if op is Opcode.LDG:
+        first = LSLAccess(entry.addr, entry.size, entry.loaded, None)
+        second = LSLAccess(entry.addr2, entry.size, entry.loaded2, None)
+        # Lowest address first (microarchitectural invariance, section IV-C).
+        accesses = (first, second) if entry.addr <= entry.addr2 else (second, first)
+        return LSLRecord(RecordKind.GATHER, accesses, index)
+    if op is Opcode.STS:
+        first = LSLAccess(entry.addr, entry.size, None, entry.stored)
+        second = LSLAccess(entry.addr2, entry.size, None, entry.stored)
+        accesses = (first, second) if entry.addr <= entry.addr2 else (second, first)
+        return LSLRecord(RecordKind.SCATTER, accesses, index)
+    if spec.is_load:
+        return LSLRecord(
+            RecordKind.LOAD,
+            (LSLAccess(entry.addr, entry.size, entry.loaded, None),),
+            index,
+        )
+    if spec.is_store:
+        return LSLRecord(
+            RecordKind.STORE,
+            (LSLAccess(entry.addr, entry.size, None, entry.stored),),
+            index,
+        )
+    if spec.is_nonrepeatable:
+        return LSLRecord(
+            RecordKind.NONREP, (LSLAccess(0, 8, entry.nonrep, None),), index
+        )
+    return None
+
+
+class LoadStoreLogCache:
+    """The checker-side LSL$: a data cache repurposed as a linear log.
+
+    Models Fig. 3: lines are claimed from index 0 upwards, each tagged with
+    the extra log bit; the *log end register* tracks the last valid line.
+    Entries are accessed by index (for speculative out-of-order checkers,
+    section IV-G), not by tag comparison.
+    """
+
+    def __init__(self, capacity_bytes: int,
+                 line_bytes: int = CACHE_LINE_BYTES) -> None:
+        if capacity_bytes < line_bytes:
+            raise ValueError("LSL$ must hold at least one cache line")
+        self.capacity_bytes = capacity_bytes
+        self.line_bytes = line_bytes
+        self.capacity_lines = capacity_bytes // line_bytes
+        self._records: list[LSLRecord] = []
+        self._line_of_record: list[int] = []
+        self.end_register = -1  # last valid log line, like the paper's register
+        self.bytes_used = 0
+        self.lines_evicted = 0
+        self.checkpoint_armed = False  # set when the end checkpoint arrives
+
+    def push_line(self, records: list[LSLRecord], line_count: int = 1) -> None:
+        """Receive one pushed cache line (or flush) of records from the NoC."""
+        new_end = self.end_register + line_count
+        if new_end >= self.capacity_lines:
+            raise OverflowError(
+                f"LSL$ overflow: line {new_end} >= capacity {self.capacity_lines}"
+            )
+        for record in records:
+            self._records.append(record)
+            self._line_of_record.append(new_end)
+        self.end_register = new_end
+        self.lines_evicted += line_count
+        self.bytes_used += line_count * self.line_bytes
+
+    @property
+    def valid_records(self) -> int:
+        return len(self._records)
+
+    def record_at(self, index: int) -> LSLRecord:
+        """Indexed access (the speculative-index scheme reads by offset)."""
+        return self._records[index]
+
+    def is_pushed(self, index: int) -> bool:
+        """True when entry ``index`` has arrived (eager-wake limiter)."""
+        return index < len(self._records)
+
+    def would_fill(self, extra_bytes: int, used_bytes: int) -> bool:
+        """Main-core-side check: would appending overflow the target LSL$?"""
+        return used_bytes + extra_bytes > self.capacity_bytes
+
+    def reset(self) -> None:
+        """Free the log (end of checkpoint: all lines revert to cache use)."""
+        self._records.clear()
+        self._line_of_record.clear()
+        self.end_register = -1
+        self.bytes_used = 0
+        self.checkpoint_armed = False

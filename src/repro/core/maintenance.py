@@ -1,0 +1,113 @@
+"""Predictive-maintenance support (paper sections I and V).
+
+ParaVerser "can facilitate hardware predictive maintenance by identifying
+CPUs that may become error-prone, possibly due to aging, before they
+fail".  Detection events cannot be attributed to main or checker core
+(section V), so the monitor scores *pairs*: a core repeatedly present in
+detecting pairs — across different partners — is the likely culprit.
+
+The classifier follows the operator playbook the paper describes:
+
+* a core whose implication rate crosses ``retire_threshold`` with at
+  least ``min_partners`` distinct partners is flagged ``RETIRE``;
+* cores with sporadic implications are ``SUSPECT`` (intermittent faults
+  are temperature/voltage dependent, section III-A);
+* everything else is ``HEALTHY``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.errors import DetectionEvent
+
+
+class CoreHealth(enum.Enum):
+    """Operator-facing verdict for one core."""
+
+    HEALTHY = "healthy"
+    SUSPECT = "suspect"
+    RETIRE = "retire"
+
+
+@dataclass
+class CoreRecord:
+    """Accumulated evidence about one core."""
+
+    core_id: str
+    checks_participated: int = 0
+    implicated: int = 0
+    partners: set[str] = field(default_factory=set)
+    events: list[DetectionEvent] = field(default_factory=list)
+
+    @property
+    def implication_rate(self) -> float:
+        if self.checks_participated == 0:
+            return 0.0
+        return self.implicated / self.checks_participated
+
+
+class HealthMonitor:
+    """Tracks detection events per core pair and classifies cores."""
+
+    def __init__(self, retire_threshold: float = 0.01,
+                 suspect_threshold: float = 0.0005,
+                 min_partners: int = 2,
+                 min_checks: int = 100) -> None:
+        if not 0 < suspect_threshold <= retire_threshold:
+            raise ValueError("thresholds must satisfy 0 < suspect <= retire")
+        self.retire_threshold = retire_threshold
+        self.suspect_threshold = suspect_threshold
+        self.min_partners = min_partners
+        self.min_checks = min_checks
+        self._records: dict[str, CoreRecord] = {}
+
+    def _record(self, core_id: str) -> CoreRecord:
+        record = self._records.get(core_id)
+        if record is None:
+            record = CoreRecord(core_id)
+            self._records[core_id] = record
+        return record
+
+    def observe_check(self, main_id: str, checker_id: str,
+                      event: DetectionEvent | None = None) -> None:
+        """Record one checked segment between a main/checker pair.
+
+        ``event`` is the detection, if any.  Both cores of the pair are
+        implicated — attribution emerges statistically across partners.
+        """
+        for core_id, partner in ((main_id, checker_id),
+                                 (checker_id, main_id)):
+            record = self._record(core_id)
+            record.checks_participated += 1
+            if event is not None:
+                record.implicated += 1
+                record.partners.add(partner)
+                record.events.append(event)
+
+    def health_of(self, core_id: str) -> CoreHealth:
+        record = self._records.get(core_id)
+        if record is None or record.checks_participated < self.min_checks:
+            return CoreHealth.HEALTHY
+        rate = record.implication_rate
+        if rate >= self.retire_threshold \
+                and len(record.partners) >= self.min_partners:
+            return CoreHealth.RETIRE
+        if rate >= self.suspect_threshold and record.implicated >= 2:
+            return CoreHealth.SUSPECT
+        return CoreHealth.HEALTHY
+
+    def report(self) -> dict[str, CoreHealth]:
+        """Verdict for every observed core."""
+        return {core_id: self.health_of(core_id)
+                for core_id in sorted(self._records)}
+
+    def retirement_candidates(self) -> list[CoreRecord]:
+        """Cores to pull from production, most implicated first."""
+        candidates = [
+            record for record in self._records.values()
+            if self.health_of(record.core_id) is CoreHealth.RETIRE
+        ]
+        return sorted(candidates, key=lambda r: r.implication_rate,
+                      reverse=True)

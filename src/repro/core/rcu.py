@@ -1,0 +1,88 @@
+"""Register Checkpointing Unit (RCU).
+
+Section IV-D: the RCU copies the architectural register file at segment
+start/end on the main core, ships it over the NoC (776 B per checkpoint),
+and on the checker side stores the expected end checkpoint and compares it
+against the replayed register file at the matching committed-instruction
+count.  In Hash Mode the RCU also carries the SHA-256 digest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import DetectionEvent, DetectionKind
+from repro.isa.registers import (
+    ARCH_CHECKPOINT_BYTES,
+    RegisterCheckpoint,
+    RegisterFile,
+)
+
+
+@dataclass
+class RCUStats:
+    """Checkpoint traffic accounting."""
+
+    checkpoints_taken: int = 0
+    bytes_forwarded: int = 0
+    comparisons: int = 0
+    mismatches: int = 0
+
+
+class RegisterCheckpointUnit:
+    """Takes, forwards and compares architectural register checkpoints."""
+
+    #: Extra per-core storage if starting checkpoints are retained for
+    #: forensic replay (paper section V).
+    FORENSIC_EXTRA_BYTES = 776
+
+    def __init__(self) -> None:
+        self.stats = RCUStats()
+        self.expected_end: RegisterCheckpoint | None = None
+        self.expected_digest: bytes | None = None
+
+    # -- main-core side ------------------------------------------------------
+
+    def take_checkpoint(self, regs: RegisterFile, pc: int) -> RegisterCheckpoint:
+        """Snapshot the architectural state (start or end of a segment)."""
+        self.stats.checkpoints_taken += 1
+        self.stats.bytes_forwarded += ARCH_CHECKPOINT_BYTES
+        return regs.snapshot(pc)
+
+    # -- checker-core side ----------------------------------------------------
+
+    def arm(self, end: RegisterCheckpoint, digest: bytes | None = None) -> None:
+        """Receive the end checkpoint (and Hash Mode digest) from the main."""
+        self.expected_end = end
+        self.expected_digest = digest
+
+    def compare(self, actual: RegisterCheckpoint,
+                segment: int) -> DetectionEvent | None:
+        """Compare the replayed end state against the main core's."""
+        if self.expected_end is None:
+            raise RuntimeError("RCU compare before end checkpoint armed")
+        self.stats.comparisons += 1
+        mismatches = self.expected_end.diff(actual)
+        if mismatches:
+            self.stats.mismatches += 1
+            return DetectionEvent(
+                DetectionKind.REGISTER_CHECKPOINT,
+                segment,
+                "; ".join(mismatches[:4]),
+            )
+        return None
+
+    def compare_digest(self, actual: bytes,
+                       segment: int) -> DetectionEvent | None:
+        """Hash Mode: compare the replayed digest against the main core's."""
+        if self.expected_digest is None:
+            raise RuntimeError("RCU digest compare before digest armed")
+        self.stats.comparisons += 1
+        if actual != self.expected_digest:
+            self.stats.mismatches += 1
+            return DetectionEvent(
+                DetectionKind.HASH_MISMATCH,
+                segment,
+                f"{actual.hex()[:16]} != {self.expected_digest.hex()[:16]}",
+            )
+        return None

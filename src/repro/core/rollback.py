@@ -1,0 +1,199 @@
+"""Error *correction* via checkpoint rollback (ParaMedic-style extension).
+
+ParaVerser proper is detection-only (section IV-J): data-center stacks
+tolerate fail-stop nodes, so software cleans up.  Footnote 1 of the paper
+notes that where synchronous guarantees are needed, ParaMedic's [12]
+rollback and dynamic-checkpointing strategies apply at ~1 % extra
+overhead.  This module implements that extension:
+
+* the main core keeps a per-segment **undo log** (old value of every
+  store) while the segment is unverified;
+* verified segments retire their undo logs (their state is now protected
+  by induction);
+* on a detected error, memory is unwound through the undo logs of every
+  unverified segment and the register file returns to the last verified
+  checkpoint, from which execution simply re-runs.
+
+Because detection cannot attribute an error to main or checker core, the
+re-execution is itself checked; a recurring divergence on the same
+segment indicates a hard fault (see :mod:`repro.core.maintenance`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.checker import CheckerCore, CheckResult
+from repro.core.counter import Segment, SegmentBuilder
+from repro.core.errors import DetectionEvent
+from repro.cpu.functional import (
+    DirectMemoryPort,
+    FaultSurface,
+    FunctionalCore,
+    MainNonRepSource,
+    MemoryPort,
+)
+from repro.isa.program import Program
+from repro.isa.registers import RegisterCheckpoint
+from repro.mem.memory import Memory
+
+
+class UndoLogPort:
+    """MemoryPort wrapper that records the old value of every store."""
+
+    __slots__ = ("inner", "memory", "undo")
+
+    def __init__(self, memory: Memory) -> None:
+        self.inner = DirectMemoryPort(memory)
+        self.memory = memory
+        #: (addr, size, old_value) in store order; unwound in reverse.
+        self.undo: list[tuple[int, int, int]] = []
+
+    def load(self, addr: int, size: int) -> int:
+        return self.inner.load(addr, size)
+
+    def store(self, addr: int, size: int, value: int) -> None:
+        self.undo.append((addr, size, self.memory.load(addr, size)))
+        self.inner.store(addr, size, value)
+
+    def swap(self, addr: int, size: int, value: int) -> int:
+        self.undo.append((addr, size, self.memory.load(addr, size)))
+        return self.inner.swap(addr, size, value)
+
+    def take_undo(self) -> list[tuple[int, int, int]]:
+        log, self.undo = self.undo, []
+        return log
+
+    def unwind(self, log: list[tuple[int, int, int]]) -> None:
+        for addr, size, old in reversed(log):
+            self.memory.store(addr, size, old)
+
+
+@dataclass
+class RecoveryEvent:
+    """One rollback: which segment failed and what was detected."""
+
+    segment_index: int
+    attempt: int
+    detection: DetectionEvent | None
+
+
+@dataclass
+class RecoveredRun:
+    """Outcome of a checked-and-corrected execution."""
+
+    instructions: int
+    segments: int
+    recoveries: list[RecoveryEvent] = field(default_factory=list)
+    end_checkpoint: RegisterCheckpoint | None = None
+    memory: Memory | None = None
+
+    @property
+    def rolled_back(self) -> int:
+        return len(self.recoveries)
+
+
+class RecoverableSystem:
+    """Runs a program with synchronous segment-granular error correction.
+
+    Execution proceeds one segment at a time; each segment is immediately
+    replayed by a checker before the next begins (the paper's asynchronous
+    pipelining is a performance concern, orthogonal to the correction
+    semantics shown here).  On detection, memory and registers roll back
+    and the segment re-executes, up to ``max_retries`` times per segment.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        segment_instructions: int = 1000,
+        main_fault: FaultSurface | None = None,
+        checker_fault: FaultSurface | None = None,
+        max_retries: int = 3,
+        seed: int = 0,
+    ) -> None:
+        self.program = program
+        self.segment_instructions = segment_instructions
+        self.main_fault = main_fault
+        self.checker_fault = checker_fault
+        self.max_retries = max_retries
+        self.seed = seed
+
+    def run(self, max_instructions: int) -> RecoveredRun:
+        memory = Memory(self.program.memory_image)
+        port = UndoLogPort(memory)
+        core = FunctionalCore(
+            self.program, port,
+            nonrep=MainNonRepSource(seed=self.seed),
+            fault_surface=self.main_fault,
+        )
+        checker = CheckerCore(self.program,
+                              fault_surface=self.checker_fault)
+        builder = SegmentBuilder(
+            lsl_capacity_bytes=64 * 1024,
+            timeout_instructions=self.segment_instructions,
+        )
+        result = RecoveredRun(instructions=0, segments=0)
+        executed = 0
+        segment_index = 0
+        while executed < max_instructions and not core.halted:
+            start = core.regs.snapshot(core.pc)
+            saved_committed = core.committed
+            budget = min(self.segment_instructions,
+                         max_instructions - executed)
+            attempt = 0
+            while True:
+                chunk = core.run(budget, record_trace=True)
+                if chunk.instructions == 0:
+                    return self._finish(result, core, memory, executed)
+                undo = port.take_undo()
+                segment = self._segment_of(builder, chunk, start,
+                                           segment_index)
+                check = checker.check_segment(segment)
+                if not check.detected:
+                    break  # verified: the undo log can be dropped
+                attempt += 1
+                result.recoveries.append(RecoveryEvent(
+                    segment_index, attempt, check.first_event))
+                if attempt > self.max_retries:
+                    raise RuntimeError(
+                        f"segment {segment_index} failed "
+                        f"{self.max_retries} retries: hard fault "
+                        f"({check.first_event})"
+                    )
+                # Roll back: memory via the undo log, registers/PC via the
+                # verified checkpoint, and replay the non-repeatable
+                # sources by rewinding the committed count.
+                port.unwind(undo)
+                core.regs.restore(start)
+                core.pc = start.pc
+                core.halted = False
+                core.committed = saved_committed
+                core.nonrep = MainNonRepSource(seed=self.seed + 1000 + attempt)
+            executed += chunk.instructions
+            result.instructions = executed
+            segment_index += 1
+            result.segments = segment_index
+        return self._finish(result, core, memory, executed)
+
+    def _segment_of(self, builder: SegmentBuilder, chunk, start,
+                    index: int) -> Segment:
+        segments = builder.split(chunk.trace)
+        records = [record for seg in segments for record in seg.records]
+        segment = Segment(
+            index=index, start=0, end=chunk.instructions,
+            records=records,
+            lsl_bytes=sum(seg.lsl_bytes for seg in segments),
+            lines=sum(seg.lines for seg in segments),
+            reason=segments[-1].reason,
+        )
+        segment.start_checkpoint = start
+        segment.end_checkpoint = chunk.end_checkpoint
+        return segment
+
+    def _finish(self, result: RecoveredRun, core, memory,
+                executed: int) -> RecoveredRun:
+        result.instructions = executed
+        result.end_checkpoint = core.regs.snapshot(core.pc)
+        result.memory = memory
+        return result

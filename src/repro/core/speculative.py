@@ -1,0 +1,148 @@
+"""Speculative out-of-order LSL indexing (section IV-G, Fig. 4).
+
+Prior work filled *and consumed* the log strictly in order, restricting
+checkers to simple in-order cores.  ParaVerser lets out-of-order checkers
+access the LSL$ by *index*: the in-order front-end assigns each decoded
+load/store the running offset of its log entry; squashed instructions
+deduct their contribution; mismatching accesses set a precise-exception
+(PE) bit that is only raised if the instruction commits.
+
+This module models that machinery explicitly so its invariants can be
+tested (including the exact Fig. 4 scenario): out-of-order access order,
+misspeculated wrong-path accesses, index reuse after squash, and deferred
+error reporting.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.lsl import LSLRecord
+
+
+class AccessOutcome(enum.Enum):
+    """Result of one speculative LSL$ access."""
+
+    MATCH = "match"
+    PE_SET = "pe_set"          # mismatch recorded, raised only at commit
+    BEYOND_END = "beyond_end"  # past the last pushed entry (eager-wake sleep)
+
+
+@dataclass
+class InFlightOp:
+    """One decoded memory operation tracked by the front-end."""
+
+    op_id: int
+    index: int          # entry index assigned at decode
+    entries: int        # how many log entries this macro-op covers
+    pe_bit: bool = False
+    squashed: bool = False
+    committed: bool = False
+
+
+class SpeculativeIndexAllocator:
+    """Front-end speculative index assignment with squash repair.
+
+    ``decode`` hands out the next log index in program (decode) order;
+    ``squash`` returns the allocation of the squashed ops so the correct
+    path reuses the same entries; ``reset`` starts a new segment.
+    In Hash Mode, ops without replay payload (plain stores) consume no
+    index (section IV-I), which callers express with ``entries=0``.
+    """
+
+    def __init__(self) -> None:
+        self._next_index = 0
+        self._ops: dict[int, InFlightOp] = {}
+        self._decode_order: list[int] = []
+
+    @property
+    def next_index(self) -> int:
+        return self._next_index
+
+    def decode(self, op_id: int, entries: int = 1) -> InFlightOp:
+        """Assign the next ``entries`` log slots to ``op_id``."""
+        if op_id in self._ops:
+            raise ValueError(f"op {op_id} decoded twice")
+        op = InFlightOp(op_id=op_id, index=self._next_index, entries=entries)
+        self._next_index += entries
+        self._ops[op_id] = op
+        self._decode_order.append(op_id)
+        return op
+
+    def squash_from(self, op_id: int) -> list[InFlightOp]:
+        """Squash ``op_id`` and everything decoded after it.
+
+        The front-end index rewinds to the squashed op's index, so the
+        correct-path instruction fetched next reuses the same log entry
+        (Fig. 4's "correct-path instruction reuses LSL index").
+        """
+        if op_id not in self._ops:
+            raise KeyError(f"op {op_id} not in flight")
+        position = self._decode_order.index(op_id)
+        squashed: list[InFlightOp] = []
+        for victim_id in self._decode_order[position:]:
+            victim = self._ops[victim_id]
+            if not victim.committed:
+                victim.squashed = True
+                squashed.append(victim)
+        if squashed:
+            self._next_index = squashed[0].index
+        self._decode_order = self._decode_order[:position]
+        for victim in squashed:
+            del self._ops[victim.op_id]
+        return squashed
+
+    def commit(self, op_id: int) -> InFlightOp:
+        """Retire ``op_id``; its PE bit, if set, becomes a real error."""
+        op = self._ops.pop(op_id)
+        if op.squashed:
+            raise ValueError(f"op {op_id} was squashed; cannot commit")
+        op.committed = True
+        self._decode_order.remove(op_id)
+        return op
+
+    def reset(self) -> None:
+        """Start of a new segment/checkpoint: index returns to zero."""
+        self._next_index = 0
+        self._ops.clear()
+        self._decode_order.clear()
+
+
+class SpeculativeLSLWindow:
+    """Checker-side LSL$ view accessed by speculative index.
+
+    Combines the allocator with the pushed-entry limiter used for eager
+    waking (section IV-H): an access past the last pushed entry reports
+    ``BEYOND_END`` and the checker sleeps until more lines arrive.
+    """
+
+    def __init__(self, records: list[LSLRecord],
+                 pushed: int | None = None) -> None:
+        self.records = records
+        self.pushed = len(records) if pushed is None else pushed
+        self.allocator = SpeculativeIndexAllocator()
+        self.accesses: list[tuple[int, int, AccessOutcome]] = []
+
+    def push_to(self, count: int) -> None:
+        """More lines arrived from the main core."""
+        if count < self.pushed:
+            raise ValueError("push count cannot decrease")
+        self.pushed = min(count, len(self.records))
+
+    def access(self, op: InFlightOp, addr: int,
+               is_store: bool) -> AccessOutcome:
+        """Perform the (possibly out-of-order) LSL$ access for ``op``."""
+        if op.index >= self.pushed:
+            outcome = AccessOutcome.BEYOND_END
+        else:
+            record = self.records[op.index]
+            logged = record.accesses[0]
+            is_logged_store = logged.stored is not None and logged.loaded is None
+            if logged.addr != addr or is_logged_store != is_store:
+                op.pe_bit = True
+                outcome = AccessOutcome.PE_SET
+            else:
+                outcome = AccessOutcome.MATCH
+        self.accesses.append((op.op_id, op.index, outcome))
+        return outcome

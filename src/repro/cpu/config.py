@@ -1,0 +1,91 @@
+"""Core configuration records shared by the timing and power models."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import FUKind
+from repro.mem.hierarchy import HierarchyConfig
+
+
+class CoreKind(enum.Enum):
+    """Pipeline style."""
+
+    OUT_OF_ORDER = "ooo"
+    IN_ORDER = "inorder"
+
+
+@dataclass(frozen=True)
+class FUConfig:
+    """One functional-unit class: instance count, latency, issue interval.
+
+    ``interval`` is the initiation interval: 1 for fully pipelined units,
+    equal to the latency for unpipelined dividers.
+    """
+
+    units: int
+    latency: int
+    interval: int = 1
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Microarchitectural parameters of one core class (Table I)."""
+
+    name: str
+    kind: CoreKind
+    width: int
+    commit_width: int
+    rob_size: int  # instruction window; LSQ depth for in-order cores
+    lq_size: int
+    sq_size: int
+    fus: dict[FUKind, FUConfig]
+    hierarchy: HierarchyConfig
+    predictor_kib: int
+    mispredict_penalty: int
+    max_freq_ghz: float
+    min_freq_ghz: float
+    #: Voltage at max/min frequency, linearly interpolated in between.
+    voltage_max: float
+    voltage_min: float
+    #: Register-checkpoint copy latency in cycles (Table I: 8 cycles).
+    checkpoint_latency: int = 8
+    #: Relative dynamic energy per instruction at nominal voltage (unitless,
+    #: calibrated against the paper's McPAT results in repro.power).
+    epi_scale: float = 1.0
+    #: Relative static (leakage) power (unitless).
+    static_scale: float = 1.0
+    #: Area in mm^2 (paper section VII-E die-shot estimates).
+    area_mm2: float = 1.0
+
+    def voltage_at(self, freq_ghz: float) -> float:
+        """Linear V/f curve between the min and max operating points."""
+        if not self.min_freq_ghz <= freq_ghz <= self.max_freq_ghz + 1e-9:
+            raise ValueError(
+                f"{self.name}: frequency {freq_ghz} GHz outside "
+                f"[{self.min_freq_ghz}, {self.max_freq_ghz}]"
+            )
+        if self.max_freq_ghz == self.min_freq_ghz:
+            return self.voltage_max
+        frac = (freq_ghz - self.min_freq_ghz) / (self.max_freq_ghz - self.min_freq_ghz)
+        return self.voltage_min + frac * (self.voltage_max - self.voltage_min)
+
+
+@dataclass(frozen=True)
+class CoreInstance:
+    """A core class pinned to an operating frequency."""
+
+    config: CoreConfig
+    freq_ghz: float
+
+    def __post_init__(self) -> None:
+        self.config.voltage_at(self.freq_ghz)  # validates the range
+
+    @property
+    def voltage(self) -> float:
+        return self.config.voltage_at(self.freq_ghz)
+
+    @property
+    def label(self) -> str:
+        return f"{self.config.name}@{self.freq_ghz:g}GHz"

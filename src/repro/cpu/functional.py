@@ -1,0 +1,547 @@
+"""Functional execution engine.
+
+This is the architectural simulator both sides of ParaVerser run on: the
+main core executes against real memory while logging (``repro.core``), and
+checker cores replay against the load-store log.  The two are the same
+engine parameterised by a :class:`MemoryPort` and a :class:`NonRepSource`,
+which guarantees that replay semantics match original-run semantics by
+construction.
+
+Fault injection (section VII-B) hooks in through :class:`FaultSurface`:
+every functional-unit result and every load/store address passes through
+``apply`` tagged with the unit class and instance that produced it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.isa.instructions import FUKind, Instruction, Opcode
+from repro.isa.program import Program
+from repro.isa.registers import RegisterCheckpoint, RegisterFile
+from repro.mem.memory import Memory
+
+_MASK64 = (1 << 64) - 1
+_SIGN = 1 << 63
+
+
+def to_signed(value: int) -> int:
+    """Interpret a 64-bit unsigned value as signed."""
+    return value - (1 << 64) if value & _SIGN else value
+
+
+class ExecutionError(Exception):
+    """Base class for functional-execution failures."""
+
+
+class ControlFlowEscape(ExecutionError):
+    """Control transferred outside the program (e.g. fault-corrupted JALR)."""
+
+
+class FaultSurface(Protocol):
+    """Hook applied to every value produced by a functional unit."""
+
+    def apply(self, fu: FUKind, unit: int, value: int | float,
+              is_address: bool = False) -> int | float: ...
+
+
+class NoFaults:
+    """Fault surface of a healthy core."""
+
+    def apply(self, fu: FUKind, unit: int, value: int | float,
+              is_address: bool = False) -> int | float:
+        return value
+
+
+class MemoryPort(Protocol):
+    """Where loads/stores go: real memory (main core) or the LSL (checker)."""
+
+    def load(self, addr: int, size: int) -> int: ...
+    def store(self, addr: int, size: int, value: int) -> None: ...
+    def swap(self, addr: int, size: int, value: int) -> int: ...
+    def bulk_copy(self, src: int, dst: int, words: int) -> tuple[int, ...]: ...
+
+
+class DirectMemoryPort:
+    """MemoryPort over flat functional memory (the main core's view)."""
+
+    __slots__ = ("memory",)
+
+    def __init__(self, memory: Memory) -> None:
+        self.memory = memory
+
+    def load(self, addr: int, size: int) -> int:
+        return self.memory.load(addr, size)
+
+    def store(self, addr: int, size: int, value: int) -> None:
+        self.memory.store(addr, size, value)
+
+    def swap(self, addr: int, size: int, value: int) -> int:
+        return self.memory.swap(addr, size, value)
+
+    def bulk_copy(self, src: int, dst: int, words: int) -> tuple[int, ...]:
+        values = tuple(self.memory.load(src + 8 * i, 8) for i in range(words))
+        for i, value in enumerate(values):
+            self.memory.store(dst + 8 * i, 8, value)
+        return values
+
+
+class NonRepSource(Protocol):
+    """Source of non-repeatable values (RNG, timers, system registers)."""
+
+    def rdrand(self) -> int: ...
+    def rdtime(self, committed: int) -> int: ...
+    def sysrd(self) -> int: ...
+    def sc_success(self) -> int: ...
+
+
+class MainNonRepSource:
+    """The main core's live non-repeatable sources (deterministic per seed)."""
+
+    def __init__(self, seed: int = 0, core_id: int = 0,
+                 time_base: int = 1_000_000) -> None:
+        self._rng = random.Random(seed ^ 0x5DEECE66D)
+        self.core_id = core_id
+        self.time_base = time_base
+
+    def rdrand(self) -> int:
+        return self._rng.getrandbits(64)
+
+    def rdtime(self, committed: int) -> int:
+        return self.time_base + committed
+
+    def sysrd(self) -> int:
+        return 0xC0DE0000 | self.core_id
+
+    def sc_success(self) -> int:
+        return 1
+
+
+@dataclass(slots=True)
+class TraceEntry:
+    """One committed instruction, with its architectural effects."""
+
+    pc: int
+    instr: Instruction
+    addr: int = -1
+    addr2: int = -1
+    size: int = 0
+    loaded: int | None = None
+    loaded2: int | None = None
+    stored: int | None = None
+    nonrep: int | None = None
+    taken: bool = False
+    next_pc: int = 0
+    #: BCOPY: the words moved (one macro-op, many micro-op accesses).
+    bulk: tuple[int, ...] | None = None
+
+
+@dataclass
+class RunResult:
+    """Outcome of a functional run (one segment or a whole program)."""
+
+    program: Program
+    trace: list[TraceEntry]
+    start_checkpoint: RegisterCheckpoint
+    end_checkpoint: RegisterCheckpoint
+    halted: bool
+    instructions: int
+    class_counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def final_pc(self) -> int:
+        return self.end_checkpoint.pc
+
+
+class FunctionalCore:
+    """Executes a :class:`Program` instruction by instruction."""
+
+    def __init__(
+        self,
+        program: Program,
+        memory_port: MemoryPort,
+        registers: RegisterFile | None = None,
+        nonrep: NonRepSource | None = None,
+        fault_surface: FaultSurface | None = None,
+        fu_counts: dict[FUKind, int] | None = None,
+        start_pc: int | None = None,
+    ) -> None:
+        self.program = program
+        self.port = memory_port
+        self.regs = registers or RegisterFile()
+        self.nonrep = nonrep or MainNonRepSource()
+        self.fault = fault_surface or NoFaults()
+        self.fu_counts = fu_counts or {}
+        self._fu_rr: dict[FUKind, int] = {}
+        self.pc = program.entry if start_pc is None else start_pc
+        self.committed = 0
+        self.halted = False
+
+    # -- functional-unit plumbing -------------------------------------------
+
+    def _unit_for(self, fu: FUKind) -> int:
+        """Round-robin unit selection, so stuck-at faults hit a subset of ops."""
+        count = self.fu_counts.get(fu, 1)
+        if count <= 1:
+            return 0
+        nxt = self._fu_rr.get(fu, 0)
+        self._fu_rr[fu] = (nxt + 1) % count
+        return nxt
+
+    def _alu(self, fu: FUKind, value: int) -> int:
+        out = self.fault.apply(fu, self._unit_for(fu), value & _MASK64)
+        return int(out) & _MASK64
+
+    def _fpu(self, fu: FUKind, value: float) -> float:
+        return float(self.fault.apply(fu, self._unit_for(fu), value))
+
+    def _mem_addr(self, fu: FUKind, addr: int) -> int:
+        out = self.fault.apply(fu, self._unit_for(fu), addr & _MASK64,
+                               is_address=True)
+        return int(out) & _MASK64
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self, max_instructions: int,
+            record_trace: bool = True) -> RunResult:
+        """Execute up to ``max_instructions`` instructions."""
+        start = self.regs.snapshot(self.pc)
+        trace: list[TraceEntry] = []
+        class_counts: dict[str, int] = {}
+        instructions = self.program.instructions
+        n = len(instructions)
+        executed = 0
+        while executed < max_instructions and not self.halted:
+            if not 0 <= self.pc < n:
+                break  # fell off the end of the program
+            instr = instructions[self.pc]
+            entry = self._execute(instr)
+            executed += 1
+            self.committed += 1
+            if record_trace:
+                trace.append(entry)
+                fu = instr.spec.fu.value
+                class_counts[fu] = class_counts.get(fu, 0) + 1
+            self.pc = entry.next_pc
+        return RunResult(
+            program=self.program,
+            trace=trace,
+            start_checkpoint=start,
+            end_checkpoint=self.regs.snapshot(self.pc),
+            halted=self.halted,
+            instructions=executed,
+            class_counts=class_counts,
+        )
+
+    def _execute(self, instr: Instruction) -> TraceEntry:
+        handler = _HANDLERS[instr.op]
+        return handler(self, instr)
+
+    # -- opcode handlers ----------------------------------------------------
+    # Each returns a fully-populated TraceEntry.
+
+    def _entry(self, instr: Instruction, **kw) -> TraceEntry:
+        return TraceEntry(pc=self.pc, instr=instr,
+                          next_pc=kw.pop("next_pc", self.pc + 1), **kw)
+
+    def _h_int3(self, instr: Instruction) -> TraceEntry:
+        a = self.regs.ints[instr.rs1]
+        b = self.regs.ints[instr.rs2]
+        op = instr.op
+        if op is Opcode.ADD:
+            v = a + b
+        elif op is Opcode.SUB:
+            v = a - b
+        elif op is Opcode.AND:
+            v = a & b
+        elif op is Opcode.OR:
+            v = a | b
+        elif op is Opcode.XOR:
+            v = a ^ b
+        elif op is Opcode.SLL:
+            v = a << (b & 63)
+        elif op is Opcode.SRL:
+            v = a >> (b & 63)
+        else:  # SLT
+            v = 1 if to_signed(a) < to_signed(b) else 0
+        self.regs.write_int(instr.rd, self._alu(FUKind.INT_ALU, v))
+        return self._entry(instr)
+
+    def _h_mul(self, instr: Instruction) -> TraceEntry:
+        v = self.regs.ints[instr.rs1] * self.regs.ints[instr.rs2]
+        self.regs.write_int(instr.rd, self._alu(FUKind.INT_MUL, v))
+        return self._entry(instr)
+
+    def _h_div(self, instr: Instruction) -> TraceEntry:
+        a = to_signed(self.regs.ints[instr.rs1])
+        b = to_signed(self.regs.ints[instr.rs2])
+        if instr.op is Opcode.DIV:
+            if b == 0:
+                v = -1
+            else:
+                v = abs(a) // abs(b)
+                if (a < 0) != (b < 0):
+                    v = -v
+        else:  # REM
+            if b == 0:
+                v = a
+            else:
+                v = abs(a) % abs(b)
+                if a < 0:
+                    v = -v
+        self.regs.write_int(instr.rd, self._alu(FUKind.INT_DIV, v))
+        return self._entry(instr)
+
+    def _h_imm(self, instr: Instruction) -> TraceEntry:
+        a = self.regs.ints[instr.rs1]
+        op = instr.op
+        imm = instr.imm
+        if op is Opcode.ADDI:
+            v = a + imm
+        elif op is Opcode.ANDI:
+            v = a & (imm & _MASK64)
+        elif op is Opcode.ORI:
+            v = a | (imm & _MASK64)
+        elif op is Opcode.XORI:
+            v = a ^ (imm & _MASK64)
+        elif op is Opcode.SLLI:
+            v = a << (imm & 63)
+        else:  # SRLI
+            v = a >> (imm & 63)
+        self.regs.write_int(instr.rd, self._alu(FUKind.INT_ALU, v))
+        return self._entry(instr)
+
+    def _h_lui(self, instr: Instruction) -> TraceEntry:
+        self.regs.write_int(instr.rd, self._alu(FUKind.INT_ALU, instr.imm))
+        return self._entry(instr)
+
+    def _h_mov(self, instr: Instruction) -> TraceEntry:
+        self.regs.write_int(
+            instr.rd, self._alu(FUKind.INT_ALU, self.regs.ints[instr.rs1])
+        )
+        return self._entry(instr)
+
+    def _h_fp3(self, instr: Instruction) -> TraceEntry:
+        a = self.regs.fps[instr.rs1]
+        b = self.regs.fps[instr.rs2]
+        op = instr.op
+        if op is Opcode.FADD:
+            v = a + b
+        elif op is Opcode.FSUB:
+            v = a - b
+        elif op is Opcode.FMUL:
+            v = a * b
+        elif op is Opcode.FMIN:
+            v = min(a, b)
+        else:  # FMAX
+            v = max(a, b)
+        self.regs.write_fp(instr.rd, self._fpu(FUKind.FP, v))
+        return self._entry(instr)
+
+    def _h_fdiv(self, instr: Instruction) -> TraceEntry:
+        a = self.regs.fps[instr.rs1]
+        if instr.op is Opcode.FDIV:
+            b = self.regs.fps[instr.rs2]
+            if b == 0.0:
+                v = float("inf") if a > 0 else float("-inf") if a < 0 else float("nan")
+            else:
+                v = a / b
+        else:  # FSQRT
+            v = a ** 0.5 if a >= 0.0 else float("nan")
+        self.regs.write_fp(instr.rd, self._fpu(FUKind.FP_DIV, v))
+        return self._entry(instr)
+
+    def _h_fcvt_if(self, instr: Instruction) -> TraceEntry:
+        v = float(to_signed(self.regs.ints[instr.rs1]))
+        self.regs.write_fp(instr.rd, self._fpu(FUKind.FP, v))
+        return self._entry(instr)
+
+    def _h_fcvt_fi(self, instr: Instruction) -> TraceEntry:
+        f = self.regs.fps[instr.rs1]
+        if f != f:  # NaN
+            v = 0
+        elif f >= (1 << 63):  # +inf and out-of-range clamp high
+            v = (1 << 63) - 1
+        elif f < -(1 << 63):  # -inf and out-of-range clamp low
+            v = -(1 << 63)
+        else:
+            v = int(f)
+        self.regs.write_int(instr.rd, self._alu(FUKind.FP, v))
+        return self._entry(instr)
+
+    def _h_fmov(self, instr: Instruction) -> TraceEntry:
+        self.regs.write_fp(
+            instr.rd, self._fpu(FUKind.FP, self.regs.fps[instr.rs1])
+        )
+        return self._entry(instr)
+
+    def _h_ld(self, instr: Instruction) -> TraceEntry:
+        addr = self._mem_addr(
+            FUKind.LOAD, self.regs.ints[instr.rs1] + instr.imm
+        )
+        value = self.port.load(addr, instr.size)
+        # Loaded data is ECC-protected on its way into the load queue
+        # (section IV-C), so it does not pass through the fault surface.
+        if instr.size == 8:
+            self.regs.write_int(instr.rd, value)
+        else:
+            self.regs.write_int(instr.rd, value & ((1 << (instr.size * 8)) - 1))
+        return self._entry(instr, addr=addr, size=instr.size, loaded=value)
+
+    def _h_st(self, instr: Instruction) -> TraceEntry:
+        addr = self._mem_addr(
+            FUKind.STORE, self.regs.ints[instr.rs1] + instr.imm
+        )
+        value = self.regs.ints[instr.rs2]
+        self.port.store(addr, instr.size, value)
+        return self._entry(instr, addr=addr, size=instr.size,
+                           stored=value & ((1 << (instr.size * 8)) - 1))
+
+    def _h_ldg(self, instr: Instruction) -> TraceEntry:
+        addr1 = self._mem_addr(FUKind.LOAD, self.regs.ints[instr.rs1])
+        addr2 = self._mem_addr(FUKind.LOAD, self.regs.ints[instr.rs2])
+        v1 = self.port.load(addr1, 8)
+        v2 = self.port.load(addr2, 8)
+        self.regs.write_int(instr.rd, v1)
+        self.regs.write_int(instr.rd2, v2)
+        return self._entry(instr, addr=addr1, addr2=addr2, size=8,
+                           loaded=v1, loaded2=v2)
+
+    def _h_sts(self, instr: Instruction) -> TraceEntry:
+        addr1 = self._mem_addr(FUKind.STORE, self.regs.ints[instr.rs1])
+        addr2 = self._mem_addr(FUKind.STORE, self.regs.ints[instr.rs2])
+        value = self.regs.ints[instr.rs3]
+        self.port.store(addr1, 8, value)
+        self.port.store(addr2, 8, value)
+        return self._entry(instr, addr=addr1, addr2=addr2, size=8, stored=value)
+
+    def _h_swp(self, instr: Instruction) -> TraceEntry:
+        addr = self._mem_addr(FUKind.LOAD, self.regs.ints[instr.rs1])
+        new = self.regs.ints[instr.rs2]
+        old = self.port.swap(addr, 8, new)
+        self.regs.write_int(instr.rd, old)
+        return self._entry(instr, addr=addr, size=8, loaded=old, stored=new)
+
+    def _h_bcopy(self, instr: Instruction) -> TraceEntry:
+        words = max(1, min(instr.imm, 32))
+        src = self._mem_addr(FUKind.LOAD, self.regs.ints[instr.rs1])
+        dst = self._mem_addr(FUKind.STORE, self.regs.ints[instr.rs2])
+        values = self.port.bulk_copy(src, dst, words)
+        return self._entry(instr, addr=src, addr2=dst, size=8, bulk=values)
+
+    def _h_sc(self, instr: Instruction) -> TraceEntry:
+        addr = self._mem_addr(FUKind.STORE, self.regs.ints[instr.rs1])
+        success = self.nonrep.sc_success() & 1
+        stored = None
+        if success:
+            stored = self.regs.ints[instr.rs2]
+            self.port.store(addr, 8, stored)
+        self.regs.write_int(instr.rd, success)
+        return self._entry(instr, addr=addr, size=8, stored=stored,
+                           nonrep=success)
+
+    def _h_rdrand(self, instr: Instruction) -> TraceEntry:
+        v = self.nonrep.rdrand()
+        self.regs.write_int(instr.rd, v)
+        return self._entry(instr, nonrep=v)
+
+    def _h_rdtime(self, instr: Instruction) -> TraceEntry:
+        v = self.nonrep.rdtime(self.committed)
+        self.regs.write_int(instr.rd, v)
+        return self._entry(instr, nonrep=v)
+
+    def _h_sysrd(self, instr: Instruction) -> TraceEntry:
+        v = self.nonrep.sysrd()
+        self.regs.write_int(instr.rd, v)
+        return self._entry(instr, nonrep=v)
+
+    def _h_branch(self, instr: Instruction) -> TraceEntry:
+        a = to_signed(self.regs.ints[instr.rs1])
+        b = to_signed(self.regs.ints[instr.rs2])
+        op = instr.op
+        if op is Opcode.BEQ:
+            taken = a == b
+        elif op is Opcode.BNE:
+            taken = a != b
+        elif op is Opcode.BLT:
+            taken = a < b
+        else:  # BGE
+            taken = a >= b
+        # The branch ALU computes the condition; a fault can flip it.
+        cond = self._alu(FUKind.BRANCH, 1 if taken else 0) & 1
+        taken = bool(cond)
+        return self._entry(instr, taken=taken,
+                           next_pc=instr.target if taken else self.pc + 1)
+
+    def _h_jmp(self, instr: Instruction) -> TraceEntry:
+        return self._entry(instr, taken=True, next_pc=instr.target)
+
+    def _h_jalr(self, instr: Instruction) -> TraceEntry:
+        target = self._alu(FUKind.BRANCH, self.regs.ints[instr.rs1])
+        self.regs.write_int(instr.rd, self.pc + 1)
+        if not 0 <= target < len(self.program.instructions):
+            raise ControlFlowEscape(
+                f"jalr to {target} at pc={self.pc} "
+                f"(program has {len(self.program.instructions)} instructions)"
+            )
+        return self._entry(instr, taken=True, next_pc=target)
+
+    def _h_nop(self, instr: Instruction) -> TraceEntry:
+        return self._entry(instr)
+
+    def _h_halt(self, instr: Instruction) -> TraceEntry:
+        self.halted = True
+        return self._entry(instr, next_pc=self.pc)
+
+
+_HANDLERS = {
+    Opcode.ADD: FunctionalCore._h_int3,
+    Opcode.SUB: FunctionalCore._h_int3,
+    Opcode.AND: FunctionalCore._h_int3,
+    Opcode.OR: FunctionalCore._h_int3,
+    Opcode.XOR: FunctionalCore._h_int3,
+    Opcode.SLL: FunctionalCore._h_int3,
+    Opcode.SRL: FunctionalCore._h_int3,
+    Opcode.SLT: FunctionalCore._h_int3,
+    Opcode.MUL: FunctionalCore._h_mul,
+    Opcode.DIV: FunctionalCore._h_div,
+    Opcode.REM: FunctionalCore._h_div,
+    Opcode.ADDI: FunctionalCore._h_imm,
+    Opcode.ANDI: FunctionalCore._h_imm,
+    Opcode.ORI: FunctionalCore._h_imm,
+    Opcode.XORI: FunctionalCore._h_imm,
+    Opcode.SLLI: FunctionalCore._h_imm,
+    Opcode.SRLI: FunctionalCore._h_imm,
+    Opcode.LUI: FunctionalCore._h_lui,
+    Opcode.MOV: FunctionalCore._h_mov,
+    Opcode.FADD: FunctionalCore._h_fp3,
+    Opcode.FSUB: FunctionalCore._h_fp3,
+    Opcode.FMUL: FunctionalCore._h_fp3,
+    Opcode.FMIN: FunctionalCore._h_fp3,
+    Opcode.FMAX: FunctionalCore._h_fp3,
+    Opcode.FDIV: FunctionalCore._h_fdiv,
+    Opcode.FSQRT: FunctionalCore._h_fdiv,
+    Opcode.FCVTIF: FunctionalCore._h_fcvt_if,
+    Opcode.FCVTFI: FunctionalCore._h_fcvt_fi,
+    Opcode.FMOV: FunctionalCore._h_fmov,
+    Opcode.LD: FunctionalCore._h_ld,
+    Opcode.ST: FunctionalCore._h_st,
+    Opcode.LDG: FunctionalCore._h_ldg,
+    Opcode.STS: FunctionalCore._h_sts,
+    Opcode.SWP: FunctionalCore._h_swp,
+    Opcode.BCOPY: FunctionalCore._h_bcopy,
+    Opcode.SC: FunctionalCore._h_sc,
+    Opcode.RDRAND: FunctionalCore._h_rdrand,
+    Opcode.RDTIME: FunctionalCore._h_rdtime,
+    Opcode.SYSRD: FunctionalCore._h_sysrd,
+    Opcode.BEQ: FunctionalCore._h_branch,
+    Opcode.BNE: FunctionalCore._h_branch,
+    Opcode.BLT: FunctionalCore._h_branch,
+    Opcode.BGE: FunctionalCore._h_branch,
+    Opcode.JMP: FunctionalCore._h_jmp,
+    Opcode.JALR: FunctionalCore._h_jalr,
+    Opcode.NOP: FunctionalCore._h_nop,
+    Opcode.HALT: FunctionalCore._h_halt,
+}

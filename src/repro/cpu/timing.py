@@ -1,0 +1,465 @@
+"""Trace-driven, cycle-approximate core timing model.
+
+One engine serves every core class in Table I, parameterised by
+:class:`~repro.cpu.config.CoreConfig`:
+
+* **out-of-order** (X2): instructions issue as soon as operands and a
+  functional unit are available, within a ROB-sized window;
+* **in-order** (A510, A35): issue is monotonic in program order, so a
+  stalled instruction blocks the issue of everything behind it (completion
+  may still overlap, as on the real cores).
+
+Both respect fetch/commit width, per-class functional-unit counts and
+initiation intervals, branch misprediction redirects (with a real
+predictor model), instruction-cache misses, and MSHR-limited miss
+overlap in the data cache.
+
+``checker_mode`` models a ParaVerser checker core: loads and stores are
+served by the Load-Store Log Cache at a fixed one-cycle latency — no data
+cache misses and no data traffic to the shared LLC (paper section VII-A,
+"Instruction Fetch") — while instruction fetch still uses the cache
+hierarchy and can contend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cpu.branch import BranchPredictor
+from repro.cpu.config import CoreConfig, CoreInstance, CoreKind
+from repro.cpu.functional import TraceEntry
+from repro.isa.instructions import FUKind, Instruction, Opcode
+from repro.isa.program import Program
+from repro.mem.hierarchy import MemoryHierarchy, SharedUncore
+
+_FP_BASE = 32  # fp register keys offset in the scoreboard
+
+
+def _compute_operands(instr: Instruction) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """Scoreboard keys read and written by ``instr`` (x0 excluded)."""
+    op = instr.op
+    spec = instr.spec
+    reads: list[int] = []
+    writes: list[int] = []
+    if op in (Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE):
+        reads = [instr.rs1, instr.rs2]
+    elif op is Opcode.JMP or op is Opcode.NOP or op is Opcode.HALT:
+        pass
+    elif op is Opcode.JALR:
+        reads, writes = [instr.rs1], [instr.rd]
+    elif op is Opcode.LD:
+        reads, writes = [instr.rs1], [instr.rd]
+    elif op is Opcode.ST:
+        reads = [instr.rs1, instr.rs2]
+    elif op is Opcode.LDG:
+        reads, writes = [instr.rs1, instr.rs2], [instr.rd, instr.rd2]
+    elif op is Opcode.STS:
+        reads = [instr.rs1, instr.rs2, instr.rs3]
+    elif op is Opcode.SWP:
+        reads, writes = [instr.rs1, instr.rs2], [instr.rd]
+    elif op is Opcode.SC:
+        reads, writes = [instr.rs1, instr.rs2], [instr.rd]
+    elif op in (Opcode.RDRAND, Opcode.RDTIME, Opcode.SYSRD):
+        writes = [instr.rd]
+    elif op is Opcode.LUI:
+        writes = [instr.rd]
+    elif op in (Opcode.ADDI, Opcode.ANDI, Opcode.ORI, Opcode.XORI,
+                Opcode.SLLI, Opcode.SRLI, Opcode.MOV):
+        reads, writes = [instr.rs1], [instr.rd]
+    elif op is Opcode.FSQRT or op is Opcode.FMOV:
+        reads = [_FP_BASE + instr.rs1]
+        writes = [_FP_BASE + instr.rd]
+    elif op is Opcode.FCVTIF:
+        reads, writes = [instr.rs1], [_FP_BASE + instr.rd]
+    elif op is Opcode.FCVTFI:
+        reads, writes = [_FP_BASE + instr.rs1], [instr.rd]
+    elif spec.is_fp:
+        reads = [_FP_BASE + instr.rs1, _FP_BASE + instr.rs2]
+        writes = [_FP_BASE + instr.rd]
+    else:  # three-register integer ops
+        reads, writes = [instr.rs1, instr.rs2], [instr.rd]
+    reads_t = tuple(r for r in reads if r != 0)
+    writes_t = tuple(w for w in writes if w != 0)
+    return reads_t, writes_t
+
+
+@dataclass
+class TimingResult:
+    """Cycle/latency outcome of one trace replay on one core instance."""
+
+    label: str
+    instructions: int
+    cycles: float
+    freq_ghz: float
+    mispredicts: int = 0
+    icache_misses: int = 0
+    loads: int = 0
+    stores: int = 0
+    level_counts: dict[str, int] = field(default_factory=dict)
+    llc_accesses: int = 0
+    dram_accesses: int = 0
+    boundary_cycles: list[float] = field(default_factory=list)
+    #: > 1 when the DRAM bandwidth floor bound the run (time was dilated).
+    floor_scale: float = 1.0
+    #: Instructions issued per functional-unit class.
+    fu_issue_counts: dict[str, int] = field(default_factory=dict)
+    #: Busy cycles per functional-unit class (issue intervals summed).
+    fu_busy_cycles: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def time_ns(self) -> float:
+        return self.cycles / self.freq_ghz
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def boundary_times_ns(self) -> list[float]:
+        return [c / self.freq_ghz for c in self.boundary_cycles]
+
+
+def format_stats(result: TimingResult, config: CoreConfig) -> str:
+    """gem5-style statistics dump for one timing run."""
+    lines = [
+        f"simTicks        {result.cycles:.0f} cycles @ {result.freq_ghz} GHz",
+        f"simInsts        {result.instructions}",
+        f"ipc             {result.ipc:.4f}",
+        f"timeNs          {result.time_ns:.1f}",
+        f"branchMispred   {result.mispredicts}",
+        f"icacheMisses    {result.icache_misses}",
+        f"loads           {result.loads}",
+        f"stores          {result.stores}",
+        f"llcAccesses     {result.llc_accesses}",
+        f"dramAccesses    {result.dram_accesses}",
+    ]
+    for level, count in sorted(result.level_counts.items()):
+        lines.append(f"dataHits.{level:6s} {count}")
+    for name in sorted(result.fu_issue_counts):
+        issued = result.fu_issue_counts[name]
+        busy = result.fu_busy_cycles.get(name, 0.0)
+        fu = config.fus.get(FUKind(name))
+        util = busy / (result.cycles * fu.units) if fu and result.cycles else 0.0
+        lines.append(f"fu.{name:10s} issued {issued:8d}  "
+                     f"busy {busy:10.0f} cyc  util {util:6.1%}")
+    if result.floor_scale > 1.0:
+        lines.append(f"dramBandwidthFloor dilated time x{result.floor_scale:.2f}")
+    return "\n".join(lines)
+
+
+class TimingModel:
+    """Replays a commit trace against one core instance."""
+
+    #: LSL$ access latency in cycles for checker-mode loads/stores
+    #: (direct indexing, no tag comparison — paper section IV-B).
+    LSL_LATENCY = 1
+
+    def __init__(
+        self,
+        instance: CoreInstance,
+        uncore: SharedUncore | None = None,
+        checker_mode: bool = False,
+    ) -> None:
+        self.instance = instance
+        self.config: CoreConfig = instance.config
+        self.freq = instance.freq_ghz
+        self.checker_mode = checker_mode
+        self.hierarchy = MemoryHierarchy(self.config.hierarchy, uncore)
+        self.predictor = BranchPredictor(self.config.predictor_kib)
+        self._operand_cache: dict[int, tuple[tuple[int, ...], tuple[int, ...]]] = {}
+        #: Per-PC stride prefetcher state: pc -> [last_addr, stride, confidence].
+        self._prefetch: dict[int, list[int]] = {}
+        self.prefetches_issued = 0
+
+    #: Prefetch distance in strides once a pattern is confirmed.
+    PREFETCH_DISTANCE = 4
+
+    def _prefetch_data(self, pc: int, addr: int) -> None:
+        """Per-PC stride prefetcher (all Table I cores have one).
+
+        Confirmed strides pull ``PREFETCH_DISTANCE`` strides ahead into the
+        cache hierarchy, converting streaming misses into hits — without
+        this, streaming workloads (lbm, fotonik3d, bwaves) would be
+        latency-bound instead of bandwidth-bound.
+        """
+        state = self._prefetch.get(pc)
+        if state is None:
+            self._prefetch[pc] = [addr, 0, 0]
+            return
+        stride = addr - state[0]
+        if stride != 0 and stride == state[1]:
+            state[2] += 1
+        else:
+            state[1] = stride
+            state[2] = 0
+        state[0] = addr
+        if state[2] >= 2 and state[1] != 0:
+            target = addr + state[1] * self.PREFETCH_DISTANCE
+            if (target ^ addr) >> 6:  # only when it lands on another line
+                self.hierarchy.data_access(target, self.freq)
+                self.prefetches_issued += 1
+
+    def _operands(self, instr: Instruction):
+        key = id(instr)
+        ops = self._operand_cache.get(key)
+        if ops is None:
+            ops = _compute_operands(instr)
+            self._operand_cache[key] = ops
+        return ops
+
+    def warm_data(self, addresses) -> None:
+        """Functionally warm the data-cache hierarchy (gem5-style).
+
+        The paper fast-forwards 10 B instructions before measuring; we
+        instead prime the caches with the workload's resident data
+        (pointer-chase rings, seeded working-set pages) so steady-state
+        locality is visible from the first measured instruction.
+        """
+        for addr in addresses:
+            self.hierarchy.data_access(addr, self.freq)
+        self.hierarchy.reset_stats()
+        self.hierarchy.uncore.reset_stats()
+
+    def warm_code(self, program: Program) -> None:
+        """Functionally warm the instruction-cache path.
+
+        Checker cores in steady state have run many prior segments of the
+        same code; without this, a short simulation charges every checker
+        a cold icache that the paper's fast-forwarded runs would not see.
+        """
+        base = program.fetch_address(0)
+        # One extra line: the next-line prefetcher reaches past the end.
+        end = program.fetch_address(len(program.instructions)) + 64
+        for addr in range(base, end, 64):
+            self.hierarchy.fetch_access(addr, self.freq)
+        self.hierarchy.reset_stats()
+        self.hierarchy.uncore.reset_stats()
+
+    def simulate(
+        self,
+        program: Program,
+        trace: list[TraceEntry],
+        boundaries: list[int] | None = None,
+        checkpoint_overhead: bool = False,
+    ) -> TimingResult:
+        """Replay ``trace`` and return timing.
+
+        ``boundaries`` is a sorted list of *end-exclusive* instruction
+        indices; the cumulative commit cycle at each boundary is reported in
+        ``boundary_cycles``.  With ``checkpoint_overhead``, the RCU's
+        register-file copy latency is charged at every boundary (this is the
+        main-core cost the paper measures under "Register Checkpointing").
+        """
+        config = self.config
+        freq = self.freq
+        hier = self.hierarchy
+        predictor = self.predictor
+        in_order = config.kind is CoreKind.IN_ORDER
+        width_step = 1.0 / config.width
+        commit_step = 1.0 / config.commit_width
+        window = config.rob_size
+        penalty = config.mispredict_penalty
+        l1i_hit_cycles = config.hierarchy.l1i.hit_latency
+        checker = self.checker_mode
+        lsl_latency = self.LSL_LATENCY
+        uncore = hier.uncore
+        llc_before = uncore.llc_accesses
+        dram_before = uncore.dram.accesses
+
+        fu_free: dict[FUKind, list[float]] = {
+            kind: [0.0] * fu.units for kind, fu in config.fus.items()
+        }
+        fu_meta = {kind: (fu.latency, fu.interval) for kind, fu in config.fus.items()}
+        mshrs = [0.0] * config.hierarchy.l1d.mshrs
+        ready: dict[int, float] = {}
+        rob: list[float] = [0.0] * window  # ring buffer of commit cycles
+        rob_pos = 0
+
+        fetch_cycle = 0.0
+        last_issue = 0.0
+        last_commit = 0.0
+        last_fetch_line = -1
+        mispredicts = 0
+        icache_misses = 0
+        loads = 0
+        stores = 0
+        fu_issue_counts: dict[str, int] = {}
+        fu_busy_cycles: dict[str, float] = {}
+
+        boundary_iter = iter(boundaries or [])
+        next_boundary = next(boundary_iter, None)
+        boundary_cycles: list[float] = []
+
+        for i, entry in enumerate(trace):
+            instr = entry.instr
+            spec = instr.spec
+            fu_kind = spec.fu
+
+            # -- fetch / dispatch ----------------------------------------
+            fetch_addr = program.fetch_address(entry.pc)
+            line = fetch_addr >> 6
+            if line != last_fetch_line:
+                last_fetch_line = line
+                result = hier.fetch_access(fetch_addr, freq)
+                # Next-line instruction prefetch (sequential streams hit).
+                hier.fetch_access(fetch_addr + 64, freq)
+                if result.level != "l1":
+                    icache_misses += 1
+                    fetch_cycle += result.latency_ns * freq - l1i_hit_cycles
+            disp = fetch_cycle
+            fetch_cycle += width_step
+            # Window limit: the i-th instruction cannot dispatch before the
+            # (i - window)-th commits.
+            oldest = rob[rob_pos]
+            if oldest > disp:
+                disp = oldest
+            if in_order and last_issue > disp:
+                disp = last_issue
+
+            # -- register dependencies -----------------------------------
+            reads, writes = self._operands(instr)
+            t_ready = disp
+            for key in reads:
+                t = ready.get(key, 0.0)
+                if t > t_ready:
+                    t_ready = t
+
+            # -- functional unit -----------------------------------------
+            units = fu_free[fu_kind]
+            if len(units) == 1:
+                unit_idx = 0
+                unit_free = units[0]
+            else:
+                unit_idx = min(range(len(units)), key=units.__getitem__)
+                unit_free = units[unit_idx]
+            issue = t_ready if t_ready > unit_free else unit_free
+            if in_order:
+                last_issue = issue
+
+            latency, interval = fu_meta[fu_kind]
+            # -- memory ----------------------------------------------------
+            if instr.op is Opcode.BCOPY and entry.bulk is not None:
+                # Microcoded bulk copy: one word per cycle through the
+                # load/store pipes, touching source and destination lines.
+                words = len(entry.bulk)
+                loads += words
+                stores += words
+                if checker:
+                    latency = max(words, lsl_latency)
+                else:
+                    worst = 0.0
+                    for base in (entry.addr, entry.addr2):
+                        for off in range(0, words * 8, 64):
+                            result = hier.data_access(base + off, freq)
+                            worst = max(worst, result.latency_ns * freq)
+                    latency = max(words, worst)
+                interval = max(words, interval)
+            elif spec.is_load or spec.is_store:
+                if spec.is_load:
+                    loads += 1
+                    if entry.addr2 >= 0:
+                        loads += 1
+                if spec.is_store:
+                    stores += 1
+                    if entry.addr2 >= 0 and instr.op is Opcode.STS:
+                        stores += 1
+                if checker:
+                    latency = lsl_latency
+                elif spec.is_load:
+                    self._prefetch_data(entry.pc, entry.addr)
+                    result = hier.data_access(entry.addr, freq)
+                    mem_cycles = result.latency_ns * freq
+                    if entry.addr2 >= 0:
+                        result2 = hier.data_access(entry.addr2, freq)
+                        mem_cycles = max(mem_cycles, result2.latency_ns * freq)
+                    if result.level != "l1":
+                        # A miss occupies an MSHR until the fill returns.
+                        slot = min(range(len(mshrs)), key=mshrs.__getitem__)
+                        if mshrs[slot] > issue:
+                            issue = mshrs[slot]
+                        mshrs[slot] = issue + mem_cycles
+                    latency = mem_cycles
+                else:
+                    # Stores retire through the store buffer: residency and
+                    # stats are tracked but the pipeline sees 1 cycle.
+                    hier.data_access(entry.addr, freq, is_write=True)
+                    if entry.addr2 >= 0:
+                        hier.data_access(entry.addr2, freq, is_write=True)
+                    latency = 1
+
+            units[unit_idx] = issue + interval
+            fu_name = fu_kind.value
+            fu_issue_counts[fu_name] = fu_issue_counts.get(fu_name, 0) + 1
+            fu_busy_cycles[fu_name] = fu_busy_cycles.get(fu_name, 0.0) + interval
+            complete = issue + latency
+
+            for key in writes:
+                ready[key] = complete
+
+            # -- commit ----------------------------------------------------
+            commit = last_commit + commit_step
+            if complete > commit:
+                commit = complete
+            last_commit = commit
+            rob[rob_pos] = commit
+            rob_pos += 1
+            if rob_pos == window:
+                rob_pos = 0
+
+            # -- control flow ----------------------------------------------
+            if spec.is_branch:
+                if instr.op is Opcode.JALR:
+                    correct = predictor.predict_indirect(entry.pc, entry.next_pc)
+                elif instr.op is Opcode.JMP:
+                    correct = True
+                else:
+                    correct = predictor.predict_conditional(entry.pc, entry.taken)
+                if not correct:
+                    mispredicts += 1
+                    redirect = complete + penalty
+                    if redirect > fetch_cycle:
+                        fetch_cycle = redirect
+                # Any taken control flow changes the fetch line.
+                if entry.next_pc != entry.pc + 1:
+                    last_fetch_line = -1
+
+            # -- segment boundary ------------------------------------------
+            if next_boundary is not None and i + 1 == next_boundary:
+                if checkpoint_overhead:
+                    last_commit += self.config.checkpoint_latency
+                    if last_commit > fetch_cycle:
+                        fetch_cycle = last_commit
+                boundary_cycles.append(last_commit)
+                next_boundary = next(boundary_iter, None)
+
+        # DRAM bandwidth floor: the run cannot finish faster than the memory
+        # channel can deliver its line traffic (demand + prefetch).  If the
+        # floor binds (bandwidth-bound streaming workloads), time dilates
+        # uniformly.
+        dram_lines = uncore.dram.accesses - dram_before
+        floor_scale = 1.0
+        if dram_lines and last_commit > 0:
+            dram_cfg = uncore.dram.config
+            floor = (dram_lines * dram_cfg.line_bytes
+                     / dram_cfg.peak_bandwidth_gbps) * freq
+            if floor > last_commit:
+                floor_scale = floor / last_commit
+                last_commit = floor
+                boundary_cycles = [c * floor_scale for c in boundary_cycles]
+
+        return TimingResult(
+            label=self.instance.label + (" (checker)" if checker else ""),
+            instructions=len(trace),
+            cycles=last_commit,
+            freq_ghz=freq,
+            mispredicts=mispredicts,
+            icache_misses=icache_misses,
+            loads=loads,
+            stores=stores,
+            level_counts=dict(hier.level_counts),
+            llc_accesses=uncore.llc_accesses - llc_before,
+            dram_accesses=uncore.dram.accesses - dram_before,
+            boundary_cycles=boundary_cycles,
+            floor_scale=floor_scale,
+            fu_issue_counts=fu_issue_counts,
+            fu_busy_cycles=fu_busy_cycles,
+        )

@@ -1,0 +1,142 @@
+"""Trace and program serialization.
+
+Functional runs are the expensive part of large sweeps; this module
+persists them as portable JSON so a trace captured once (e.g. in CI, or
+on a big machine) can be replayed through any number of timing/checking
+configurations later.  No pickle: the format is stable, diffable and
+safe to load from untrusted sources.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cpu.functional import RunResult, TraceEntry
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import Program
+from repro.isa.registers import RegisterCheckpoint
+
+FORMAT_VERSION = 1
+
+_INSTR_FIELDS = ("rd", "rs1", "rs2", "rs3", "rd2", "imm", "target", "size")
+
+
+def _instruction_to_json(instr: Instruction) -> dict:
+    data: dict = {"op": instr.op.value}
+    for name in _INSTR_FIELDS:
+        value = getattr(instr, name)
+        default = 8 if name == "size" else 0
+        if value != default:
+            data[name] = value
+    return data
+
+
+def _instruction_from_json(data: dict) -> Instruction:
+    kwargs = {name: data[name] for name in _INSTR_FIELDS if name in data}
+    return Instruction(Opcode(data["op"]), **kwargs)
+
+
+def program_to_json(program: Program) -> dict:
+    """Serialize a program (instructions, memory image, metadata)."""
+    return {
+        "name": program.name,
+        "entry": program.entry,
+        "instructions": [_instruction_to_json(i)
+                         for i in program.instructions],
+        # JSON keys must be strings.
+        "memory_image": {str(addr): value
+                         for addr, value in program.memory_image.items()},
+        "metadata": _jsonable_metadata(program.metadata),
+    }
+
+
+def _jsonable_metadata(metadata: dict) -> dict:
+    out = {}
+    for key, value in metadata.items():
+        if isinstance(value, (str, int, float, bool, type(None))):
+            out[key] = value
+        elif isinstance(value, (list, tuple)):
+            out[key] = [list(v) if isinstance(v, tuple) else v for v in value]
+        elif isinstance(value, dict):
+            out[key] = dict(value)
+    return out
+
+
+def program_from_json(data: dict) -> Program:
+    program = Program(
+        name=data["name"],
+        instructions=[_instruction_from_json(i)
+                      for i in data["instructions"]],
+        memory_image={int(addr): value
+                      for addr, value in data["memory_image"].items()},
+        entry=data.get("entry", 0),
+        metadata=data.get("metadata", {}),
+    )
+    program.validate()
+    return program
+
+
+def _entry_to_row(entry: TraceEntry) -> list:
+    """Compact positional row; instruction recovered through the pc."""
+    return [
+        entry.pc, entry.addr, entry.addr2, entry.size,
+        entry.loaded, entry.loaded2, entry.stored, entry.nonrep,
+        1 if entry.taken else 0, entry.next_pc,
+        list(entry.bulk) if entry.bulk is not None else None,
+    ]
+
+
+def _entry_from_row(row: list, program: Program) -> TraceEntry:
+    (pc, addr, addr2, size, loaded, loaded2, stored, nonrep,
+     taken, next_pc, bulk) = row
+    return TraceEntry(
+        pc=pc, instr=program.instructions[pc],
+        addr=addr, addr2=addr2, size=size,
+        loaded=loaded, loaded2=loaded2, stored=stored, nonrep=nonrep,
+        taken=bool(taken), next_pc=next_pc,
+        bulk=tuple(bulk) if bulk is not None else None,
+    )
+
+
+def _checkpoint_to_json(ckpt: RegisterCheckpoint) -> dict:
+    return {"ints": list(ckpt.ints), "fps": list(ckpt.fps), "pc": ckpt.pc}
+
+
+def _checkpoint_from_json(data: dict) -> RegisterCheckpoint:
+    return RegisterCheckpoint(
+        tuple(data["ints"]), tuple(data["fps"]), data["pc"])
+
+
+def save_run(run: RunResult, path: str | Path) -> None:
+    """Persist a functional run (program + trace + checkpoints)."""
+    payload = {
+        "version": FORMAT_VERSION,
+        "program": program_to_json(run.program),
+        "trace": [_entry_to_row(entry) for entry in run.trace],
+        "start_checkpoint": _checkpoint_to_json(run.start_checkpoint),
+        "end_checkpoint": _checkpoint_to_json(run.end_checkpoint),
+        "halted": run.halted,
+        "instructions": run.instructions,
+        "class_counts": run.class_counts,
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_run(path: str | Path) -> RunResult:
+    """Load a run saved by :func:`save_run`."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported trace format version {version!r}")
+    program = program_from_json(payload["program"])
+    trace = [_entry_from_row(row, program) for row in payload["trace"]]
+    return RunResult(
+        program=program,
+        trace=trace,
+        start_checkpoint=_checkpoint_from_json(payload["start_checkpoint"]),
+        end_checkpoint=_checkpoint_from_json(payload["end_checkpoint"]),
+        halted=payload["halted"],
+        instructions=payload["instructions"],
+        class_counts=payload.get("class_counts", {}),
+    )

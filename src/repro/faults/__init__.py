@@ -1,0 +1,31 @@
+"""Fault models and injection campaigns (section VII-B, Fig. 8)."""
+
+from repro.faults.campaign import (
+    CampaignResult,
+    FaultCampaign,
+    InjectionResult,
+    checker_fu_counts,
+    covered_segments,
+)
+from repro.faults.models import (
+    INJECTABLE_UNITS,
+    StuckAtFault,
+    TransientFault,
+    bits_to_float,
+    float_to_bits,
+    random_stuck_at,
+)
+
+__all__ = [
+    "CampaignResult",
+    "FaultCampaign",
+    "INJECTABLE_UNITS",
+    "InjectionResult",
+    "StuckAtFault",
+    "TransientFault",
+    "bits_to_float",
+    "checker_fu_counts",
+    "covered_segments",
+    "float_to_bits",
+    "random_stuck_at",
+]

@@ -1,0 +1,146 @@
+"""Fault-injection campaigns (Fig. 8 and the section VII-B numbers).
+
+Errors are injected on the *checker* core (detection is symmetric, and
+this keeps the main core's execution pristine, exactly as the paper
+does).  A trial:
+
+1. builds a fault and a faulty :class:`~repro.core.checker.CheckerCore`;
+2. replays, in order, the segments the opportunistic schedule actually
+   covered with the configured checker pool;
+3. records the first detection and its latency in main-core instructions;
+4. if no covered segment detects, replays *all* segments to classify the
+   fault as masked (it never changed execution — the paper's "correctly
+   masked" 24 %) or as missed-by-coverage.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.checker import CheckerCore
+from repro.core.counter import Segment
+from repro.core.errors import DetectionEvent
+from repro.core.system import SystemResult
+from repro.cpu.config import CoreConfig
+from repro.faults.models import StuckAtFault, random_stuck_at
+from repro.isa.instructions import FUKind
+from repro.isa.program import Program
+
+
+@dataclass
+class InjectionResult:
+    """Outcome of one injected fault."""
+
+    fault: StuckAtFault
+    detected: bool
+    masked: bool
+    detection_instruction: int = -1  # main-core trace index at detection
+    detecting_segment: int = -1
+    event: DetectionEvent | None = None
+
+    @property
+    def effective(self) -> bool:
+        """An error that actually perturbed execution somewhere."""
+        return not self.masked
+
+
+@dataclass
+class CampaignResult:
+    """Aggregate of one campaign."""
+
+    workload: str
+    trials: list[InjectionResult] = field(default_factory=list)
+
+    @property
+    def injected(self) -> int:
+        return len(self.trials)
+
+    @property
+    def masked(self) -> int:
+        return sum(1 for t in self.trials if t.masked)
+
+    @property
+    def detected(self) -> int:
+        return sum(1 for t in self.trials if t.detected)
+
+    @property
+    def detection_rate_all(self) -> float:
+        """Detected / injected (the paper's 76 % full-coverage number)."""
+        return self.detected / self.injected if self.injected else 0.0
+
+    @property
+    def detection_rate_effective(self) -> float:
+        """Detected / non-masked (Fig. 8's coverage metric)."""
+        effective = self.injected - self.masked
+        return self.detected / effective if effective else 1.0
+
+    @property
+    def mean_detection_latency(self) -> float:
+        latencies = [t.detection_instruction for t in self.trials
+                     if t.detected]
+        return sum(latencies) / len(latencies) if latencies else float("nan")
+
+
+def checker_fu_counts(config: CoreConfig) -> dict[FUKind, int]:
+    """Functional-unit instance counts for round-robin fault exposure."""
+    return {kind: fu.units for kind, fu in config.fus.items()}
+
+
+class FaultCampaign:
+    """Runs stuck-at injection trials against checked segments."""
+
+    def __init__(self, program: Program, segments: list[Segment],
+                 checker_config: CoreConfig,
+                 hash_mode: bool = False) -> None:
+        self.program = program
+        self.segments = segments
+        self.fu_counts = checker_fu_counts(checker_config)
+        self.hash_mode = hash_mode
+
+    def run_trial(self, fault: StuckAtFault,
+                  covered: list[int] | None = None) -> InjectionResult:
+        """Inject ``fault`` on the checker; replay covered segments."""
+        covered_set = set(covered) if covered is not None else None
+        checker = CheckerCore(self.program, fault_surface=fault,
+                              fu_counts=self.fu_counts,
+                              hash_mode=self.hash_mode)
+        for seg in self.segments:
+            if covered_set is not None and seg.index not in covered_set:
+                continue
+            result = checker.check_segment(seg)
+            if result.detected:
+                return InjectionResult(
+                    fault=fault, detected=True, masked=False,
+                    detection_instruction=seg.end,
+                    detecting_segment=seg.index,
+                    event=result.first_event,
+                )
+        # Nothing detected among covered segments: was it masked entirely?
+        if covered_set is not None and len(covered_set) < len(self.segments):
+            full = CheckerCore(self.program, fault_surface=fault,
+                               fu_counts=self.fu_counts,
+                               hash_mode=self.hash_mode)
+            for seg in self.segments:
+                if seg.index in covered_set:
+                    continue
+                if full.check_segment(seg).detected:
+                    # Effective fault that coverage missed.
+                    return InjectionResult(fault=fault, detected=False,
+                                           masked=False)
+        return InjectionResult(fault=fault, detected=False, masked=True)
+
+    def run(self, trials: int, seed: int = 0,
+            covered: list[int] | None = None) -> CampaignResult:
+        """Run ``trials`` random stuck-at injections."""
+        rng = random.Random(seed ^ 0xFA17)
+        result = CampaignResult(workload=self.program.name)
+        for _ in range(trials):
+            fault = random_stuck_at(rng, self.fu_counts)
+            result.trials.append(self.run_trial(fault, covered))
+        return result
+
+
+def covered_segments(system_result: SystemResult) -> list[int]:
+    """Segment indices the (opportunistic) schedule actually checked."""
+    return [s.segment for s in system_result.schedule if s.covered]

@@ -1,0 +1,133 @@
+"""Hardware fault models (section VII-B).
+
+The paper injects hard errors per the standard model of Li et al. [53]:
+a single bit stuck at 0 or 1 on the *output of one functional unit*
+(integer ALU or FPU), or on a load/store address in the LSQ.  Because
+instructions round-robin over multiple unit instances, a fault in one
+unit only corrupts the subset of operations that unit executes — the
+model preserves that.
+
+Transient (soft) faults flip one bit on one specific dynamic use, then
+disappear — the full-coverage mode must catch these too.
+
+Floating-point values are corrupted in their IEEE-754 bit pattern, which
+naturally reproduces the Meta anecdote of an FPU returning wrong values
+only for particular inputs.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import struct
+from dataclasses import dataclass
+
+from repro.isa.instructions import FUKind
+
+_MASK64 = (1 << 64) - 1
+
+
+def float_to_bits(value: float) -> int:
+    if value != value:  # NaN: canonicalise so corruption is deterministic
+        return 0x7FF8000000000000
+    if value == math.inf:
+        return 0x7FF0000000000000
+    if value == -math.inf:
+        return 0xFFF0000000000000
+    return struct.unpack("<Q", struct.pack("<d", value))[0]
+
+
+def bits_to_float(bits: int) -> float:
+    return struct.unpack("<d", struct.pack("<Q", bits & _MASK64))[0]
+
+
+def _apply_stuck(bits: int, bit: int, stuck_at: int) -> int:
+    if stuck_at:
+        return bits | (1 << bit)
+    return bits & ~(1 << bit)
+
+
+@dataclass(frozen=True)
+class StuckAtFault:
+    """A permanent single-bit stuck-at fault in one functional unit.
+
+    Implements the :class:`~repro.cpu.functional.FaultSurface` protocol.
+    """
+
+    fu: FUKind
+    unit: int
+    bit: int
+    stuck_at: int  # 0 or 1
+    addresses_only: bool = False  # LSQ address-path fault
+
+    def apply(self, fu: FUKind, unit: int, value: int | float,
+              is_address: bool = False) -> int | float:
+        if fu is not self.fu or unit != self.unit:
+            return value
+        if self.addresses_only and not is_address:
+            return value
+        if isinstance(value, float):
+            return bits_to_float(
+                _apply_stuck(float_to_bits(value), self.bit, self.stuck_at))
+        return _apply_stuck(value, self.bit, self.stuck_at) & _MASK64
+
+    def describe(self) -> str:
+        where = f"{self.fu.value}[{self.unit}]"
+        if self.addresses_only:
+            where += " (LSQ address path)"
+        return f"stuck-at-{self.stuck_at} bit {self.bit} on {where}"
+
+
+@dataclass
+class TransientFault:
+    """A single-event upset: flips one bit on the Nth use of a unit."""
+
+    fu: FUKind
+    unit: int
+    bit: int
+    strike_at_use: int
+    _uses: int = 0
+    fired: bool = False
+
+    def apply(self, fu: FUKind, unit: int, value: int | float,
+              is_address: bool = False) -> int | float:
+        del is_address
+        if fu is not self.fu or unit != self.unit or self.fired:
+            return value
+        self._uses += 1
+        if self._uses < self.strike_at_use:
+            return value
+        self.fired = True
+        if isinstance(value, float):
+            return bits_to_float(float_to_bits(value) ^ (1 << self.bit))
+        return (int(value) ^ (1 << self.bit)) & _MASK64
+
+    def describe(self) -> str:
+        return (f"transient bit-{self.bit} flip on {self.fu.value}"
+                f"[{self.unit}] at use {self.strike_at_use}")
+
+
+#: Units the paper injects into: ALU/FPU outputs and LSQ addresses.
+INJECTABLE_UNITS = (
+    FUKind.INT_ALU, FUKind.INT_MUL, FUKind.INT_DIV,
+    FUKind.FP, FUKind.FP_DIV,
+    FUKind.LOAD, FUKind.STORE,
+)
+
+
+def random_stuck_at(rng: random.Random,
+                    fu_counts: dict[FUKind, int]) -> StuckAtFault:
+    """Draw a random stuck-at fault per the paper's injection model."""
+    fu = rng.choice(INJECTABLE_UNITS)
+    units = fu_counts.get(fu, 1)
+    addresses_only = fu in (FUKind.LOAD, FUKind.STORE)
+    # Address bit flips above bit ~40 would always escape the program's
+    # address space; real LSQs are also narrower than 64 bits.
+    max_bit = 39 if addresses_only else 63
+    return StuckAtFault(
+        fu=fu,
+        unit=rng.randrange(units),
+        bit=rng.randrange(max_bit + 1),
+        stuck_at=rng.randrange(2),
+        addresses_only=addresses_only,
+    )

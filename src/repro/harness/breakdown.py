@@ -1,0 +1,99 @@
+"""Overhead decomposition (the paper's section VII-A narrative).
+
+The paper attributes full-coverage overhead to four causes: register
+checkpointing, stalling for busy checkers, instruction-fetch contention,
+and NoC contention on LLC traffic.  This module recomputes a
+:class:`~repro.core.system.SystemResult`'s overhead with each mechanism
+disabled in turn, yielding the same per-cause split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.system import ParaVerserSystem, PreparedRun, SystemResult
+
+
+@dataclass
+class OverheadBreakdown:
+    """Per-cause slowdown components, in percentage points."""
+
+    workload: str
+    total_percent: float
+    checkpointing_percent: float
+    stalling_percent: float
+    noc_percent: float
+    residual_percent: float
+
+    def rows(self) -> list[tuple[str, float]]:
+        """(label, percentage) pairs in presentation order."""
+        return [
+            ("register checkpointing", self.checkpointing_percent),
+            ("stalling for checkers", self.stalling_percent),
+            ("NoC contention", self.noc_percent),
+            ("other (fetch/jitter)", self.residual_percent),
+            ("TOTAL", self.total_percent),
+        ]
+
+    def render(self) -> str:
+        """Human-readable multi-line breakdown."""
+        lines = [f"overhead breakdown — {self.workload}"]
+        for label, value in self.rows():
+            lines.append(f"  {label:24s} {value:6.2f}%")
+        return "\n".join(lines)
+
+
+def overhead_breakdown(system: ParaVerserSystem, prepared: PreparedRun,
+                       result: SystemResult) -> OverheadBreakdown:
+    """Split ``result``'s overhead into the paper's §VII-A causes.
+
+    * **stalling** — the scheduled main-core stalls, directly measured;
+    * **NoC contention** — re-finalise with zero extra LLC latency and
+      take the difference;
+    * **register checkpointing** — re-time the checked run without the
+      RCU's per-boundary commit cost;
+    * **residual** — what remains (icache contention on shared levels,
+      eager-wake tails, measurement jitter).
+    """
+    baseline = result.baseline_time_ns
+    total = (result.checked_time_ns - baseline) / baseline * 100.0
+
+    stalling = result.stall_ns / baseline * 100.0
+
+    # NoC component: the same schedule without LLC queueing or push latency.
+    no_noc = system.finalize(prepared, 0.0, 0.0, verify=False)
+    noc = (result.checked_time_ns - no_noc.checked_time_ns) \
+        / baseline * 100.0
+
+    # Checkpoint component: checked timing minus the RCU boundary cost
+    # (compare against the same boundaries without checkpoint_overhead).
+    with_ckpt = system._main_timing(prepared.run, prepared.boundaries, 0.0,
+                                    checkpoint_overhead=True)
+    without_ckpt = system._main_timing(prepared.run, prepared.boundaries,
+                                       0.0, checkpoint_overhead=False)
+    checkpointing = (with_ckpt.time_ns - without_ckpt.time_ns) \
+        / baseline * 100.0
+
+    residual = total - stalling - noc - checkpointing
+    return OverheadBreakdown(
+        workload=result.workload,
+        total_percent=total,
+        checkpointing_percent=checkpointing,
+        stalling_percent=stalling,
+        noc_percent=noc,
+        residual_percent=residual,
+    )
+
+
+def breakdown_for(system: ParaVerserSystem, program,
+                  max_instructions: int = 60_000) -> OverheadBreakdown:
+    """Convenience wrapper: run + decompose in one call."""
+    prepared = system.prepare(program, max_instructions)
+    traffic = system.estimate_traffic(prepared)
+    mesh = system.traffic_model.build([traffic])
+    extra = system.traffic_model.llc_extra_latency_ns(
+        mesh, system.config.main_id)
+    push = system.traffic_model.lsl_push_latency_ns(
+        mesh, system.config.main_id, len(system.config.checkers))
+    result = system.finalize(prepared, extra, push)
+    return overhead_breakdown(system, prepared, result)

@@ -1,0 +1,74 @@
+"""ASCII bar-chart rendering, for figure-shaped terminal output.
+
+The paper's figures are grouped bar charts (benchmark on the x-axis, one
+bar per checker configuration); :func:`bar_chart` renders the same shape
+in a terminal so `paraverser figures` and the benchmark harness can show
+the data the way the paper does.
+"""
+
+from __future__ import annotations
+
+from repro.harness.report import Table
+
+#: Characters for the bar body and its fractional tail.
+_FULL = "█"
+_PARTIAL = ("", "▏", "▎", "▍", "▌", "▋", "▊", "▉")
+
+
+def _bar(value: float, scale: float, width: int) -> str:
+    if scale <= 0:
+        return ""
+    units = max(value, 0.0) / scale * width
+    whole = int(units)
+    fraction = int((units - whole) * len(_PARTIAL))
+    return _FULL * whole + _PARTIAL[fraction]
+
+
+def bar_chart(table: Table, width: int = 40,
+              include_geomean: bool = True) -> str:
+    """Render a grouped horizontal bar chart of ``table``.
+
+    One group per row (benchmark), one bar per column (configuration),
+    all scaled to the table's maximum value.
+    """
+    values = [v for column in table.columns
+              for v in table.column_values(column)]
+    if not values:
+        return table.title + "\n(empty)"
+    scale = max(max(values), 1e-9)
+    label_width = max(len(c) for c in table.columns) + 2
+    lines = [table.title, ""]
+    for row_name, cells in table.rows.items():
+        lines.append(row_name)
+        for column in table.columns:
+            value = cells.get(column)
+            if value is None:
+                continue
+            bar = _bar(value, scale, width)
+            lines.append(f"  {column.ljust(label_width)}"
+                         f"{bar} {value:.2f}")
+        lines.append("")
+    if include_geomean:
+        lines.append("geomean")
+        for column, value in table.geomean_row().items():
+            bar = _bar(value, scale, width)
+            lines.append(f"  {column.ljust(label_width)}"
+                         f"{bar} {value:.2f}")
+    if table.unit:
+        lines.append(f"(bars in {table.unit}, scale max = {scale:.2f})")
+    return "\n".join(lines)
+
+
+def sparkline(values: list[float]) -> str:
+    """One-line trend (e.g. coverage vs. checker frequency)."""
+    if not values:
+        return ""
+    blocks = "▁▂▃▄▅▆▇█"
+    low = min(values)
+    high = max(values)
+    span = (high - low) or 1.0
+    return "".join(
+        blocks[min(int((v - low) / span * (len(blocks) - 1)),
+                   len(blocks) - 1)]
+        for v in values
+    )

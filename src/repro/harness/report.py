@@ -1,0 +1,91 @@
+"""Result-table rendering for the benchmark harness."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+def geomean(values: list[float]) -> float:
+    """Geometric mean; tolerates values at/under 0 by flooring at 1e-9."""
+    if not values:
+        return float("nan")
+    total = 0.0
+    for value in values:
+        total += math.log(max(value, 1e-9))
+    return math.exp(total / len(values))
+
+
+def slowdown_percent(slowdown: float) -> float:
+    """Convert a slowdown ratio into overhead percentage points."""
+    return (slowdown - 1.0) * 100.0
+
+
+@dataclass
+class Table:
+    """A printable result table: one row per workload, one named series
+    per configuration — mirroring one figure of the paper."""
+
+    title: str
+    row_label: str = "benchmark"
+    columns: list[str] = field(default_factory=list)
+    rows: dict[str, dict[str, float]] = field(default_factory=dict)
+    unit: str = "%"
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, row: str, column: str, value: float) -> None:
+        """Record one cell, creating the column on first use."""
+        if column not in self.columns:
+            self.columns.append(column)
+        self.rows.setdefault(row, {})[column] = value
+
+    def column_values(self, column: str) -> list[float]:
+        """All recorded values of one column, in row order."""
+        return [cells[column] for cells in self.rows.values()
+                if column in cells]
+
+    def geomean_row(self, from_percent: bool = True) -> dict[str, float]:
+        """Geomean per column; percent columns go through ratio space."""
+        out: dict[str, float] = {}
+        for column in self.columns:
+            values = self.column_values(column)
+            if not values:
+                continue
+            if from_percent:
+                ratios = [1.0 + v / 100.0 for v in values]
+                out[column] = (geomean(ratios) - 1.0) * 100.0
+            else:
+                out[column] = geomean(values)
+        return out
+
+    def render(self, geomean_from_percent: bool | None = None) -> str:
+        """Format as an aligned text table with a geomean footer."""
+        if geomean_from_percent is None:
+            geomean_from_percent = self.unit == "%"
+        width = max([len(self.row_label)]
+                    + [len(name) for name in self.rows]) + 2
+        col_widths = [max(len(c), 8) + 2 for c in self.columns]
+        lines = [self.title]
+        header = self.row_label.ljust(width) + "".join(
+            c.rjust(w) for c, w in zip(self.columns, col_widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row_name, cells in self.rows.items():
+            line = row_name.ljust(width)
+            for column, w in zip(self.columns, col_widths):
+                value = cells.get(column)
+                line += ("-".rjust(w) if value is None
+                         else f"{value:.2f}".rjust(w))
+            lines.append(line)
+        lines.append("-" * len(header))
+        gm = self.geomean_row(geomean_from_percent)
+        line = "geomean".ljust(width)
+        for column, w in zip(self.columns, col_widths):
+            value = gm.get(column)
+            line += ("-".rjust(w) if value is None
+                     else f"{value:.2f}".rjust(w))
+        lines.append(line)
+        if self.unit:
+            lines.append(f"(values in {self.unit})")
+        lines.extend(self.notes)
+        return "\n".join(lines)

@@ -1,0 +1,165 @@
+"""Shared infrastructure for the per-figure experiment runners.
+
+Caches the expensive pieces that are identical across checker
+configurations — the functional run (commit trace) and the unchecked
+baseline timing of the main core — so a figure with six configurations
+only pays for them once per benchmark.
+
+Scale knobs (environment variables, so `pytest benchmarks/` can be sized
+to the machine):
+
+* ``REPRO_INSTRUCTIONS`` — instructions simulated per benchmark
+  (default 30000; the paper runs 1 B after 10 B of fast-forward —
+  functional cache warming stands in for the fast-forward).
+* ``REPRO_BENCHMARKS`` — comma-separated subset of benchmark names.
+* ``REPRO_TRIALS`` — fault-injection trials per benchmark (Fig. 8).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.core.system import (
+    CheckMode,
+    ParaVerserConfig,
+    ParaVerserSystem,
+    SystemResult,
+)
+from repro.cpu.config import CoreInstance
+from repro.cpu.functional import RunResult
+from repro.cpu.presets import X2
+from repro.cpu.timing import TimingResult
+from repro.isa.program import Program
+from repro.noc.mesh import NocConfig, FAST_NOC
+from repro.workloads.generator import build_program
+from repro.workloads.profiles import SPEC2017, get_profile
+
+DEFAULT_INSTRUCTIONS = 100_000
+DEFAULT_TRIALS = 20
+DEFAULT_TIMEOUT = 5000
+DEFAULT_SEED = 7
+
+
+def env_instructions() -> int:
+    """REPRO_INSTRUCTIONS: instructions simulated per benchmark."""
+    return int(os.environ.get("REPRO_INSTRUCTIONS", DEFAULT_INSTRUCTIONS))
+
+
+def env_trials() -> int:
+    """REPRO_TRIALS: fault-injection trials per configuration."""
+    return int(os.environ.get("REPRO_TRIALS", DEFAULT_TRIALS))
+
+
+def env_timeout() -> int:
+    """Checkpoint timeout (Table I: 5000 instructions).
+
+    Keep REPRO_INSTRUCTIONS >= ~20x this value: per-segment costs (RCU
+    copy, eager-wake tail) are physical, so shrinking segments instead of
+    lengthening runs inflates overheads.
+    """
+    return int(os.environ.get("REPRO_TIMEOUT", DEFAULT_TIMEOUT))
+
+
+def env_benchmarks(default: list[str]) -> list[str]:
+    """REPRO_BENCHMARKS: comma-separated benchmark subset, or the default."""
+    raw = os.environ.get("REPRO_BENCHMARKS")
+    if not raw:
+        return default
+    return [name.strip() for name in raw.split(",") if name.strip()]
+
+
+def spec_benchmarks() -> list[str]:
+    """The SPEC benchmark scope for figure runs (env-overridable)."""
+    return env_benchmarks(sorted(SPEC2017))
+
+
+@dataclass
+class CachedWorkload:
+    """One benchmark's reusable artefacts."""
+
+    program: Program
+    run: RunResult
+    baselines: dict[tuple[str, str], TimingResult] = field(
+        default_factory=dict)
+
+
+class WorkloadCache:
+    """Builds, executes and caches workloads across configurations."""
+
+    def __init__(self, max_instructions: int | None = None,
+                 seed: int = DEFAULT_SEED) -> None:
+        self.max_instructions = max_instructions or env_instructions()
+        self.seed = seed
+        self._cache: dict[str, CachedWorkload] = {}
+
+    def get(self, name: str) -> CachedWorkload:
+        """Build-or-fetch the cached program + functional run for a benchmark."""
+        cached = self._cache.get(name)
+        if cached is None:
+            program = build_program(get_profile(name), seed=self.seed)
+            system = ParaVerserSystem(_probe_config(self.seed))
+            run = system.execute(program, self.max_instructions)
+            cached = CachedWorkload(program=program, run=run)
+            self._cache[name] = cached
+        return cached
+
+    def run_config(self, name: str, config: ParaVerserConfig) -> SystemResult:
+        """Run one benchmark under one configuration, reusing the trace.
+
+        The unchecked baseline depends on the main core *and* on the NoC
+        (demand traffic suffers queueing too), so it is cached per
+        (main, NoC) pair.
+        """
+        cached = self.get(name)
+        system = ParaVerserSystem(config)
+        key = (config.main.label, config.noc.name)
+        baseline = cached.baselines.get(key)
+        result = system.run(
+            cached.program,
+            run_result=cached.run,
+            baseline=baseline,
+        )
+        cached.baselines[key] = result.baseline_timing
+        return result
+
+
+def _probe_config(seed: int = DEFAULT_SEED) -> ParaVerserConfig:
+    """A minimal config used only to drive functional execution.
+
+    The seed must match the configs later run against the cached trace:
+    non-repeatable values (RNG/timer) are drawn from it, and the RCU
+    checkpoint pass re-executes with the same sources.
+    """
+    main = CoreInstance(X2, 3.0)
+    return ParaVerserConfig(main=main, checkers=[main], seed=seed)
+
+
+def main_x2() -> CoreInstance:
+    """The evaluation's main core: an X2 at 3 GHz (Table I)."""
+    return CoreInstance(X2, 3.0)
+
+
+def make_config(
+    checkers: list[CoreInstance],
+    mode: CheckMode = CheckMode.FULL,
+    hash_mode: bool = False,
+    eager_wake: bool = True,
+    lsl_capacity_bytes: int | None = None,
+    noc: NocConfig = FAST_NOC,
+    verify_segments: int = 2,
+    timeout_instructions: int | None = None,
+) -> ParaVerserConfig:
+    """Convenience constructor with the standard main core."""
+    return ParaVerserConfig(
+        main=main_x2(),
+        checkers=checkers,
+        mode=mode,
+        hash_mode=hash_mode,
+        eager_wake=eager_wake,
+        lsl_capacity_bytes=lsl_capacity_bytes,
+        noc=noc,
+        verify_segments=verify_segments,
+        seed=DEFAULT_SEED,
+        timeout_instructions=timeout_instructions or env_timeout(),
+    )

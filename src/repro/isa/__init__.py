@@ -1,0 +1,51 @@
+"""Instruction-set architecture for the ParaVerser reproduction.
+
+This package defines a small, RISC-style register machine that stands in
+for AArch64 in the paper's evaluation.  It deliberately includes every
+instruction *class* ParaVerser's mechanisms care about:
+
+* plain integer and floating-point arithmetic (including long-latency
+  divide/sqrt, which drive the bwaves results in the paper),
+* loads and stores of 1/2/4/8-byte values,
+* multi-address accesses (gather/scatter) that produce multi-entry
+  load-store-log records,
+* atomic swaps (load *and* store data in one log entry),
+* non-repeatable instructions (random numbers, timers, system registers,
+  store-conditional results) whose values must be logged for replay,
+* direct and indirect control flow.
+"""
+
+from repro.isa.instructions import (
+    FUKind,
+    Instruction,
+    Opcode,
+    OpSpec,
+    OP_SPECS,
+    spec_of,
+)
+from repro.isa.registers import (
+    ARCH_CHECKPOINT_BYTES,
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    RegisterCheckpoint,
+    RegisterFile,
+)
+from repro.isa.program import Program
+from repro.isa.assembler import AssemblyError, assemble
+
+__all__ = [
+    "ARCH_CHECKPOINT_BYTES",
+    "AssemblyError",
+    "FUKind",
+    "Instruction",
+    "NUM_FP_REGS",
+    "NUM_INT_REGS",
+    "OP_SPECS",
+    "Opcode",
+    "OpSpec",
+    "Program",
+    "RegisterCheckpoint",
+    "RegisterFile",
+    "assemble",
+    "spec_of",
+]

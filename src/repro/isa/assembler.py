@@ -1,0 +1,287 @@
+"""A tiny two-pass assembler for the reproduction ISA.
+
+The assembler exists so that examples and tests can express programs
+readably.  Syntax, one instruction per line::
+
+    # comment
+    .data 0x1000 42          # initial memory word
+    start:
+        addi x1, x0, 10
+    loop:
+        ld x2, 0(x3)         # ld.4 / ld.2 / ld.1 select narrower sizes
+        st x2, 8(x3)
+        fadd f1, f2, f3
+        swp x4, x2, (x3)
+        ldg x5, x6, (x3), (x7)
+        sts x2, (x3), (x7)
+        sc x8, x2, (x3)
+        rdrand x9
+        beq x1, x0, done
+        subi x1, x1, 1       # sugar for addi with negated immediate
+        jmp loop
+    done:
+        halt
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import Program
+
+
+class AssemblyError(ValueError):
+    """Raised on malformed assembly input."""
+
+
+_MEM_OPERAND = re.compile(r"^(-?\w*)\s*\(\s*(\w+)\s*\)$")
+
+
+def _parse_reg(token: str, want_fp: bool | None = None) -> int:
+    token = token.strip()
+    match = re.fullmatch(r"([xf])(\d+)", token)
+    if not match:
+        raise AssemblyError(f"bad register {token!r}")
+    kind, idx = match.group(1), int(match.group(2))
+    if idx >= 32:
+        raise AssemblyError(f"register index out of range: {token!r}")
+    if want_fp is True and kind != "f":
+        raise AssemblyError(f"expected fp register, got {token!r}")
+    if want_fp is False and kind != "x":
+        raise AssemblyError(f"expected int register, got {token!r}")
+    return idx
+
+
+def _parse_int(token: str) -> int:
+    try:
+        return int(token.strip(), 0)
+    except ValueError as exc:
+        raise AssemblyError(f"bad integer {token!r}") from exc
+
+
+def _split_operands(rest: str) -> list[str]:
+    # Split on commas that are not inside parentheses.
+    out, depth, cur = [], 0, []
+    for ch in rest:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if ch == "," and depth == 0:
+            out.append("".join(cur).strip())
+            cur = []
+        else:
+            cur.append(ch)
+    tail = "".join(cur).strip()
+    if tail:
+        out.append(tail)
+    return out
+
+
+_THREE_REG_INT = {
+    "add": Opcode.ADD, "sub": Opcode.SUB, "mul": Opcode.MUL, "div": Opcode.DIV,
+    "rem": Opcode.REM, "and": Opcode.AND, "or": Opcode.OR, "xor": Opcode.XOR,
+    "sll": Opcode.SLL, "srl": Opcode.SRL, "slt": Opcode.SLT,
+}
+_IMM_INT = {
+    "addi": Opcode.ADDI, "andi": Opcode.ANDI, "ori": Opcode.ORI,
+    "xori": Opcode.XORI, "slli": Opcode.SLLI, "srli": Opcode.SRLI,
+}
+_THREE_REG_FP = {
+    "fadd": Opcode.FADD, "fsub": Opcode.FSUB, "fmul": Opcode.FMUL,
+    "fdiv": Opcode.FDIV, "fmin": Opcode.FMIN, "fmax": Opcode.FMAX,
+}
+_BRANCHES = {
+    "beq": Opcode.BEQ, "bne": Opcode.BNE, "blt": Opcode.BLT, "bge": Opcode.BGE,
+}
+
+
+def assemble(text: str, name: str = "program") -> Program:
+    """Assemble ``text`` into a :class:`Program`."""
+    labels: dict[str, int] = {}
+    memory_image: dict[int, int] = {}
+    # First pass: collect labels and raw instruction lines.
+    lines: list[tuple[int, str]] = []
+    pc = 0
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith(".data"):
+            parts = line.split()
+            if len(parts) != 3:
+                raise AssemblyError(f"line {lineno}: .data needs address and value")
+            memory_image[_parse_int(parts[1])] = _parse_int(parts[2])
+            continue
+        while ":" in line:
+            label, _, line = line.partition(":")
+            label = label.strip()
+            if not label.isidentifier():
+                raise AssemblyError(f"line {lineno}: bad label {label!r}")
+            if label in labels:
+                raise AssemblyError(f"line {lineno}: duplicate label {label!r}")
+            labels[label] = pc
+            line = line.strip()
+        if line:
+            lines.append((lineno, line))
+            pc += 1
+
+    def resolve(token: str, lineno: int) -> int:
+        token = token.strip()
+        if token in labels:
+            return labels[token]
+        try:
+            return int(token, 0)
+        except ValueError:
+            raise AssemblyError(f"line {lineno}: unknown label {token!r}") from None
+
+    instructions: list[Instruction] = []
+    for lineno, line in lines:
+        mnemonic, _, rest = line.partition(" ")
+        mnemonic = mnemonic.strip().lower()
+        ops = _split_operands(rest) if rest.strip() else []
+        size = 8
+        if "." in mnemonic and mnemonic.split(".", 1)[0] in ("ld", "st"):
+            mnemonic, suffix = mnemonic.split(".", 1)
+            size = int(suffix)
+            if size not in (1, 2, 4, 8):
+                raise AssemblyError(f"line {lineno}: bad access size {size}")
+        try:
+            instructions.append(
+                _assemble_one(mnemonic, ops, size, lineno, resolve)
+            )
+        except AssemblyError:
+            raise
+        except Exception as exc:  # pragma: no cover - defensive
+            raise AssemblyError(f"line {lineno}: {exc}") from exc
+
+    program = Program(
+        name=name,
+        instructions=instructions,
+        memory_image=memory_image,
+        entry=labels.get("start", 0),
+    )
+    program.validate()
+    return program
+
+
+def _parse_mem(token: str, lineno: int) -> tuple[int, int]:
+    """Parse ``imm(reg)`` or ``(reg)`` into ``(imm, reg_idx)``."""
+    match = _MEM_OPERAND.match(token.strip())
+    if not match:
+        raise AssemblyError(f"line {lineno}: bad memory operand {token!r}")
+    imm_text = match.group(1)
+    imm = int(imm_text, 0) if imm_text else 0
+    return imm, _parse_reg(match.group(2), want_fp=False)
+
+
+def _assemble_one(mnemonic, ops, size, lineno, resolve) -> Instruction:
+    if mnemonic in _THREE_REG_INT:
+        return Instruction(
+            _THREE_REG_INT[mnemonic],
+            rd=_parse_reg(ops[0], False), rs1=_parse_reg(ops[1], False),
+            rs2=_parse_reg(ops[2], False),
+        )
+    if mnemonic in _IMM_INT:
+        return Instruction(
+            _IMM_INT[mnemonic],
+            rd=_parse_reg(ops[0], False), rs1=_parse_reg(ops[1], False),
+            imm=_parse_int(ops[2]),
+        )
+    if mnemonic == "subi":
+        return Instruction(
+            Opcode.ADDI, rd=_parse_reg(ops[0], False),
+            rs1=_parse_reg(ops[1], False), imm=-_parse_int(ops[2]),
+        )
+    if mnemonic in _THREE_REG_FP:
+        return Instruction(
+            _THREE_REG_FP[mnemonic],
+            rd=_parse_reg(ops[0], True), rs1=_parse_reg(ops[1], True),
+            rs2=_parse_reg(ops[2], True),
+        )
+    if mnemonic == "fsqrt":
+        return Instruction(
+            Opcode.FSQRT, rd=_parse_reg(ops[0], True), rs1=_parse_reg(ops[1], True)
+        )
+    if mnemonic == "fmov":
+        return Instruction(
+            Opcode.FMOV, rd=_parse_reg(ops[0], True), rs1=_parse_reg(ops[1], True)
+        )
+    if mnemonic == "fcvt.if":
+        return Instruction(
+            Opcode.FCVTIF, rd=_parse_reg(ops[0], True), rs1=_parse_reg(ops[1], False)
+        )
+    if mnemonic == "fcvt.fi":
+        return Instruction(
+            Opcode.FCVTFI, rd=_parse_reg(ops[0], False), rs1=_parse_reg(ops[1], True)
+        )
+    if mnemonic == "lui":
+        return Instruction(
+            Opcode.LUI, rd=_parse_reg(ops[0], False), imm=_parse_int(ops[1])
+        )
+    if mnemonic == "mov":
+        return Instruction(
+            Opcode.MOV, rd=_parse_reg(ops[0], False), rs1=_parse_reg(ops[1], False)
+        )
+    if mnemonic == "ld":
+        imm, base = _parse_mem(ops[1], lineno)
+        return Instruction(
+            Opcode.LD, rd=_parse_reg(ops[0], False), rs1=base, imm=imm, size=size
+        )
+    if mnemonic == "st":
+        imm, base = _parse_mem(ops[1], lineno)
+        return Instruction(
+            Opcode.ST, rs2=_parse_reg(ops[0], False), rs1=base, imm=imm, size=size
+        )
+    if mnemonic == "ldg":
+        _, base1 = _parse_mem(ops[2], lineno)
+        _, base2 = _parse_mem(ops[3], lineno)
+        return Instruction(
+            Opcode.LDG, rd=_parse_reg(ops[0], False), rd2=_parse_reg(ops[1], False),
+            rs1=base1, rs2=base2,
+        )
+    if mnemonic == "sts":
+        _, base1 = _parse_mem(ops[1], lineno)
+        _, base2 = _parse_mem(ops[2], lineno)
+        return Instruction(
+            Opcode.STS, rs3=_parse_reg(ops[0], False), rs1=base1, rs2=base2
+        )
+    if mnemonic == "bcopy":
+        return Instruction(
+            Opcode.BCOPY, rs1=_parse_reg(ops[0], False),
+            rs2=_parse_reg(ops[1], False), imm=_parse_int(ops[2]),
+        )
+    if mnemonic == "swp":
+        _, base = _parse_mem(ops[2], lineno)
+        return Instruction(
+            Opcode.SWP, rd=_parse_reg(ops[0], False),
+            rs2=_parse_reg(ops[1], False), rs1=base,
+        )
+    if mnemonic == "sc":
+        _, base = _parse_mem(ops[2], lineno)
+        return Instruction(
+            Opcode.SC, rd=_parse_reg(ops[0], False),
+            rs2=_parse_reg(ops[1], False), rs1=base,
+        )
+    if mnemonic in ("rdrand", "rdtime", "sysrd"):
+        op = {"rdrand": Opcode.RDRAND, "rdtime": Opcode.RDTIME,
+              "sysrd": Opcode.SYSRD}[mnemonic]
+        return Instruction(op, rd=_parse_reg(ops[0], False))
+    if mnemonic in _BRANCHES:
+        return Instruction(
+            _BRANCHES[mnemonic],
+            rs1=_parse_reg(ops[0], False), rs2=_parse_reg(ops[1], False),
+            target=resolve(ops[2], lineno),
+        )
+    if mnemonic == "jmp":
+        return Instruction(Opcode.JMP, target=resolve(ops[0], lineno))
+    if mnemonic == "jalr":
+        return Instruction(
+            Opcode.JALR, rd=_parse_reg(ops[0], False), rs1=_parse_reg(ops[1], False)
+        )
+    if mnemonic == "nop":
+        return Instruction(Opcode.NOP)
+    if mnemonic == "halt":
+        return Instruction(Opcode.HALT)
+    raise AssemblyError(f"line {lineno}: unknown mnemonic {mnemonic!r}")

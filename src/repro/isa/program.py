@@ -1,0 +1,61 @@
+"""Program container: instruction list plus an initial memory image."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import Instruction
+
+
+@dataclass
+class Program:
+    """A runnable program.
+
+    Attributes:
+        name: Identifier (typically the workload name, e.g. ``"bwaves"``).
+        instructions: The static instruction stream; the ``target`` field of
+            branch instructions is an absolute index into this list.
+        memory_image: Initial contents of memory, as a mapping from 8-byte
+            aligned addresses to 64-bit values.
+        entry: Index of the first instruction to execute.
+        static_code_bytes: Estimated static code footprint, used by the
+            instruction-cache model (each instruction is 4 bytes, as on Arm).
+        metadata: Free-form annotations (workload profile name, thread id...).
+    """
+
+    name: str
+    instructions: list[Instruction]
+    memory_image: dict[int, int] = field(default_factory=dict)
+    entry: int = 0
+    metadata: dict = field(default_factory=dict)
+
+    #: Bytes per encoded instruction (fixed-width, as on AArch64).
+    INSTRUCTION_BYTES = 4
+
+    #: Base virtual address of the code segment, used to derive instruction
+    #: fetch addresses for the icache model.
+    CODE_BASE = 0x100000
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    @property
+    def static_code_bytes(self) -> int:
+        return len(self.instructions) * self.INSTRUCTION_BYTES
+
+    def fetch_address(self, pc: int) -> int:
+        """Virtual address of the instruction at index ``pc``."""
+        return self.CODE_BASE + pc * self.INSTRUCTION_BYTES
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` for out-of-range branch targets."""
+        n = len(self.instructions)
+        for i, instr in enumerate(self.instructions):
+            if instr.spec.is_branch and instr.op.value != "jalr":
+                if not 0 <= instr.target < n:
+                    raise ValueError(
+                        f"{self.name}: instruction {i} ({instr.op.value}) "
+                        f"branches to {instr.target}, outside [0, {n})"
+                    )
+        if not 0 <= self.entry < n:
+            raise ValueError(f"{self.name}: entry point {self.entry} out of range")

@@ -1,0 +1,86 @@
+"""Architectural register file and checkpoints.
+
+The Register Checkpointing Unit (RCU, section IV-D of the paper) copies the
+architectural register file at segment boundaries.  The paper budgets 776 B
+per checkpoint; we mirror that constant for area/traffic accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+
+#: Bytes per architectural register checkpoint (paper section VII-E).
+ARCH_CHECKPOINT_BYTES = 776
+
+_MASK64 = (1 << 64) - 1
+
+
+@dataclass(frozen=True, slots=True)
+class RegisterCheckpoint:
+    """An immutable snapshot of the architectural register state."""
+
+    ints: tuple[int, ...]
+    fps: tuple[float, ...]
+    pc: int
+
+    def diff(self, other: "RegisterCheckpoint") -> list[str]:
+        """Return a human-readable list of mismatching fields."""
+        mismatches: list[str] = []
+        if self.pc != other.pc:
+            mismatches.append(f"pc: {self.pc} != {other.pc}")
+        for i, (a, b) in enumerate(zip(self.ints, other.ints)):
+            if a != b:
+                mismatches.append(f"x{i}: {a:#x} != {b:#x}")
+        for i, (a, b) in enumerate(zip(self.fps, other.fps)):
+            # NaNs never compare equal; treat bit-identical NaNs as matching.
+            if a != b and not (a != a and b != b):
+                mismatches.append(f"f{i}: {a!r} != {b!r}")
+        return mismatches
+
+    def matches(self, other: "RegisterCheckpoint") -> bool:
+        return not self.diff(other)
+
+
+class RegisterFile:
+    """Architectural register file: 32 integer + 32 floating-point registers.
+
+    Integer register x0 is hard-wired to zero, like RISC-V, which gives the
+    workload generator a convenient always-zero source.
+    """
+
+    __slots__ = ("ints", "fps")
+
+    def __init__(self) -> None:
+        self.ints: list[int] = [0] * NUM_INT_REGS
+        self.fps: list[float] = [0.0] * NUM_FP_REGS
+
+    def read_int(self, idx: int) -> int:
+        return self.ints[idx]
+
+    def write_int(self, idx: int, value: int) -> None:
+        if idx != 0:
+            self.ints[idx] = value & _MASK64
+
+    def read_fp(self, idx: int) -> float:
+        return self.fps[idx]
+
+    def write_fp(self, idx: int, value: float) -> None:
+        self.fps[idx] = float(value)
+
+    def snapshot(self, pc: int) -> RegisterCheckpoint:
+        """Copy the architectural state (what the RCU ships over the NoC)."""
+        return RegisterCheckpoint(tuple(self.ints), tuple(self.fps), pc)
+
+    def restore(self, checkpoint: RegisterCheckpoint) -> None:
+        """Overwrite the register file from a checkpoint."""
+        self.ints = list(checkpoint.ints)
+        self.fps = list(checkpoint.fps)
+
+    def copy(self) -> "RegisterFile":
+        clone = RegisterFile()
+        clone.ints = list(self.ints)
+        clone.fps = list(self.fps)
+        return clone

@@ -1,0 +1,53 @@
+"""DRAM timing model (DDR4-2400 8x8 channel, as in Table I).
+
+A closed-form model: fixed device latency plus an M/M/1-style queueing
+term that grows with channel utilisation.  This mirrors the paper's use of
+an analytic queueing model for shared resources (section VI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """Channel parameters."""
+
+    base_latency_ns: float = 60.0
+    #: DDR4-2400, 8 bytes wide -> 2400 MT/s * 8 B = 19.2 GB/s.
+    peak_bandwidth_gbps: float = 19.2
+    line_bytes: int = 64
+
+
+class DramModel:
+    """Latency/bandwidth model for one memory channel."""
+
+    def __init__(self, config: DramConfig | None = None) -> None:
+        self.config = config or DramConfig()
+        self.accesses = 0
+
+    def record_access(self) -> None:
+        self.accesses += 1
+
+    def service_time_ns(self) -> float:
+        """Time to transfer one line at peak bandwidth."""
+        return self.config.line_bytes / self.config.peak_bandwidth_gbps
+
+    def latency_ns(self, utilisation: float = 0.0) -> float:
+        """Access latency at the given channel utilisation in [0, 1).
+
+        M/M/1 waiting time: ``rho / (1 - rho)`` service times of queueing on
+        top of the unloaded latency.  Utilisation is clamped below 1 so a
+        saturated channel degrades smoothly instead of diverging.
+        """
+        rho = min(max(utilisation, 0.0), 0.95)
+        queueing = (rho / (1.0 - rho)) * self.service_time_ns()
+        return self.config.base_latency_ns + queueing
+
+    def utilisation(self, elapsed_ns: float) -> float:
+        """Fraction of peak bandwidth consumed by recorded accesses."""
+        if elapsed_ns <= 0:
+            return 0.0
+        bytes_moved = self.accesses * self.config.line_bytes
+        return min((bytes_moved / elapsed_ns) / self.config.peak_bandwidth_gbps, 1.0)

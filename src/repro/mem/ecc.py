@@ -1,0 +1,123 @@
+"""ECC and parity codecs.
+
+ParaVerser's sphere of replication is the core (section V): caches and the
+NoC payloads are protected by conventional ECC/parity instead.  The paper
+also forwards per-entry parity from the cache into the load queue before
+data reaches the LSPU (section IV-C) so that a load error is isolated to
+exactly one side.  This module provides:
+
+* a single parity bit (:func:`parity_bit` / :func:`check_parity`), used on
+  load/store-queue entries, and
+* a SEC-DED Hamming(72,64) codec (:func:`encode_secded` /
+  :func:`decode_secded`), used for cache lines and DRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_DATA_BITS = 64
+# Hamming positions 1..71 with parity bits at powers of two (1..64) plus an
+# overall parity bit for double-error detection => SEC-DED (72, 64).
+_PARITY_POSITIONS = [1 << i for i in range(7)]
+_TOTAL_POSITIONS = _DATA_BITS + len(_PARITY_POSITIONS)  # 71 code positions
+
+
+class EccError(Exception):
+    """Raised when an uncorrectable (double-bit) error is detected."""
+
+
+class ParityError(Exception):
+    """Raised when a parity check fails."""
+
+
+def parity_bit(value: int) -> int:
+    """Even-parity bit over all bits of ``value``."""
+    return bin(value).count("1") & 1
+
+
+def check_parity(value: int, stored_parity: int) -> None:
+    """Raise :class:`ParityError` when ``value`` mismatches its parity bit."""
+    if parity_bit(value) != stored_parity:
+        raise ParityError(f"parity mismatch on value {value:#x}")
+
+
+def _data_positions() -> list[int]:
+    return [p for p in range(1, _TOTAL_POSITIONS + 1) if p not in _PARITY_POSITIONS]
+
+
+_DATA_POSITIONS = _data_positions()
+
+
+@dataclass(frozen=True)
+class EccWord:
+    """A 64-bit word with its SEC-DED check bits.
+
+    ``codeword`` holds the Hamming code positions 1..71 packed into an int
+    (bit ``i`` of codeword = position ``i+1``); ``overall`` is the extra
+    whole-word parity bit used to distinguish single from double errors.
+    """
+
+    codeword: int
+    overall: int
+
+    def flip(self, bit_position: int) -> "EccWord":
+        """Return a copy with code position ``bit_position`` (1-based) flipped."""
+        if not 1 <= bit_position <= _TOTAL_POSITIONS:
+            raise ValueError(f"bit position {bit_position} out of range")
+        return EccWord(self.codeword ^ (1 << (bit_position - 1)), self.overall)
+
+    def flip_overall(self) -> "EccWord":
+        return EccWord(self.codeword, self.overall ^ 1)
+
+
+def encode_secded(value: int) -> EccWord:
+    """Encode a 64-bit ``value`` into a SEC-DED codeword."""
+    value &= (1 << _DATA_BITS) - 1
+    codeword = 0
+    for i, pos in enumerate(_DATA_POSITIONS):
+        if (value >> i) & 1:
+            codeword |= 1 << (pos - 1)
+    for parity_pos in _PARITY_POSITIONS:
+        parity = 0
+        for pos in range(1, _TOTAL_POSITIONS + 1):
+            if pos & parity_pos and (codeword >> (pos - 1)) & 1:
+                parity ^= 1
+        if parity:
+            codeword |= 1 << (parity_pos - 1)
+    return EccWord(codeword, parity_bit(codeword))
+
+
+def decode_secded(word: EccWord) -> tuple[int, bool]:
+    """Decode a codeword, correcting up to one flipped bit.
+
+    Returns ``(value, corrected)``.  Raises :class:`EccError` on a detected
+    double-bit error.
+    """
+    syndrome = 0
+    for parity_pos in _PARITY_POSITIONS:
+        parity = 0
+        for pos in range(1, _TOTAL_POSITIONS + 1):
+            if pos & parity_pos and (word.codeword >> (pos - 1)) & 1:
+                parity ^= 1
+        if parity:
+            syndrome |= parity_pos
+    overall_ok = parity_bit(word.codeword) == word.overall
+    corrected = False
+    codeword = word.codeword
+    if syndrome:
+        if overall_ok:
+            # Non-zero syndrome but overall parity consistent: two flips.
+            raise EccError(f"double-bit error (syndrome {syndrome:#x})")
+        if syndrome > _TOTAL_POSITIONS:
+            raise EccError(f"invalid syndrome {syndrome:#x}")
+        codeword ^= 1 << (syndrome - 1)
+        corrected = True
+    elif not overall_ok:
+        # Only the overall parity bit itself flipped.
+        corrected = True
+    value = 0
+    for i, pos in enumerate(_DATA_POSITIONS):
+        if (codeword >> (pos - 1)) & 1:
+            value |= 1 << i
+    return value, corrected

@@ -1,0 +1,117 @@
+"""Per-core cache hierarchy with a shared uncore (LLC + DRAM).
+
+Latency bookkeeping is in nanoseconds so that cores in different clock
+domains (DVFS, section VII-A) can share the uncore: L1/L2 latencies are
+expressed in core cycles and converted by the owning core's frequency,
+while the L3 runs in the 2 GHz uncore domain and DRAM in absolute time.
+
+The uncore exposes ``extra_llc_latency_ns``: the paper backpropagates the
+average added latency from LSL NoC traffic into the LLC access latency
+(section VI), and :mod:`repro.noc` sets this knob the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mem.cache import Cache, CacheConfig
+from repro.mem.dram import DramConfig, DramModel
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Cache geometry for one core plus the shared uncore."""
+
+    l1i: CacheConfig
+    l1d: CacheConfig
+    l2: CacheConfig
+    l3: CacheConfig
+    dram: DramConfig = field(default_factory=DramConfig)
+    uncore_clock_ghz: float = 2.0
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one memory access."""
+
+    latency_ns: float
+    level: str  # "l1", "l2", "l3", "dram"
+
+
+class SharedUncore:
+    """The L3 slice set and memory channel shared by all cores."""
+
+    def __init__(self, l3_config: CacheConfig, dram_config: DramConfig,
+                 clock_ghz: float = 2.0) -> None:
+        self.l3 = Cache(l3_config)
+        self.dram = DramModel(dram_config)
+        self.clock_ghz = clock_ghz
+        #: Added by the NoC model to every LLC access (paper section VI).
+        self.extra_llc_latency_ns = 0.0
+        #: Utilisation fed into the DRAM queueing model.
+        self.dram_utilisation = 0.0
+        self.llc_accesses = 0
+
+    def l3_hit_latency_ns(self) -> float:
+        return self.l3.config.hit_latency / self.clock_ghz
+
+    def reset_stats(self) -> None:
+        self.l3.reset_stats()
+        self.llc_accesses = 0
+        self.dram.accesses = 0
+
+    def access(self, addr: int) -> AccessResult:
+        """Access the LLC, falling through to DRAM on a miss."""
+        self.llc_accesses += 1
+        latency = self.l3_hit_latency_ns() + self.extra_llc_latency_ns
+        if self.l3.access(addr):
+            return AccessResult(latency, "l3")
+        self.dram.record_access()
+        latency += self.dram.latency_ns(self.dram_utilisation)
+        return AccessResult(latency, "dram")
+
+
+class MemoryHierarchy:
+    """One core's private L1I/L1D/L2 in front of a shared uncore."""
+
+    def __init__(self, config: HierarchyConfig,
+                 uncore: SharedUncore | None = None) -> None:
+        self.config = config
+        self.l1i = Cache(config.l1i)
+        self.l1d = Cache(config.l1d)
+        self.l2 = Cache(config.l2)
+        self.uncore = uncore or SharedUncore(
+            config.l3, config.dram, config.uncore_clock_ghz
+        )
+        self.level_counts = {"l1": 0, "l2": 0, "l3": 0, "dram": 0}
+
+    def _cycles_ns(self, cycles: int, core_freq_ghz: float) -> float:
+        return cycles / core_freq_ghz
+
+    def _walk(self, l1: Cache, addr: int, core_freq_ghz: float) -> AccessResult:
+        latency = self._cycles_ns(l1.config.hit_latency, core_freq_ghz)
+        if l1.access(addr):
+            self.level_counts["l1"] += 1
+            return AccessResult(latency, "l1")
+        latency += self._cycles_ns(self.l2.config.hit_latency, core_freq_ghz)
+        if self.l2.access(addr):
+            self.level_counts["l2"] += 1
+            return AccessResult(latency, "l2")
+        result = self.uncore.access(addr)
+        self.level_counts[result.level] += 1
+        return AccessResult(latency + result.latency_ns, result.level)
+
+    def data_access(self, addr: int, core_freq_ghz: float,
+                    is_write: bool = False) -> AccessResult:
+        """A load or store (write-allocate) from this core's pipeline."""
+        del is_write  # write-allocate: identical residency behaviour
+        return self._walk(self.l1d, addr, core_freq_ghz)
+
+    def fetch_access(self, addr: int, core_freq_ghz: float) -> AccessResult:
+        """An instruction fetch."""
+        return self._walk(self.l1i, addr, core_freq_ghz)
+
+    def reset_stats(self) -> None:
+        for cache in (self.l1i, self.l1d, self.l2):
+            cache.reset_stats()
+        self.level_counts = {k: 0 for k in self.level_counts}

@@ -1,0 +1,70 @@
+"""Flat functional memory.
+
+Backing store for the functional executor: a sparse, word-granular map from
+8-byte-aligned addresses to 64-bit values.  Sub-word and straddling accesses
+are supported because the load-store log stores ISA-level accesses of any
+size (section IV-B).
+"""
+
+from __future__ import annotations
+
+_MASK64 = (1 << 64) - 1
+
+
+class Memory:
+    """Sparse byte-addressable memory with 64-bit word backing."""
+
+    __slots__ = ("_words",)
+
+    def __init__(self, image: dict[int, int] | None = None) -> None:
+        self._words: dict[int, int] = {}
+        if image:
+            for addr, value in image.items():
+                self.store(addr, 8, value)
+
+    def load(self, addr: int, size: int = 8) -> int:
+        """Read ``size`` bytes starting at ``addr`` (little-endian)."""
+        if size == 8 and addr & 7 == 0:
+            return self._words.get(addr, 0)
+        value = 0
+        for i in range(size):
+            byte_addr = addr + i
+            word = self._words.get(byte_addr & ~7, 0)
+            value |= ((word >> ((byte_addr & 7) * 8)) & 0xFF) << (i * 8)
+        return value
+
+    def store(self, addr: int, size: int, value: int) -> None:
+        """Write the low ``size`` bytes of ``value`` at ``addr``."""
+        value &= (1 << (size * 8)) - 1
+        if size == 8 and addr & 7 == 0:
+            self._words[addr] = value
+            return
+        for i in range(size):
+            byte_addr = addr + i
+            base = byte_addr & ~7
+            shift = (byte_addr & 7) * 8
+            word = self._words.get(base, 0)
+            word = (word & ~(0xFF << shift)) | (((value >> (i * 8)) & 0xFF) << shift)
+            self._words[base] = word & _MASK64
+
+    def swap(self, addr: int, size: int, value: int) -> int:
+        """Atomically exchange ``value`` with the current contents."""
+        old = self.load(addr, size)
+        self.store(addr, size, value)
+        return old
+
+    def copy(self) -> "Memory":
+        clone = Memory()
+        clone._words = dict(self._words)
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Memory):
+            return NotImplemented
+        # Ignore zero words: absent and explicit zero are equivalent.
+        mine = {a: v for a, v in self._words.items() if v}
+        theirs = {a: v for a, v in other._words.items() if v}
+        return mine == theirs
+
+    def __len__(self) -> int:
+        return len(self._words)

@@ -1,0 +1,159 @@
+"""ECC-protected memory (section V: outside the sphere of replication).
+
+ParaVerser replicates *computation*; caches and DRAM are protected by
+conventional SEC-DED ECC instead.  The paper's load path depends on it:
+ECC/parity bits are forwarded with loaded data into the load queue and
+checked before data reaches the LSPU, so a memory error is corrected (or
+isolated) rather than silently logged — guaranteeing at least one of
+main/checker sees the correct value (section IV-C).
+
+:class:`EccMemory` wraps the flat functional memory with a per-word
+SEC-DED codeword store, fault injection on the *storage* bits, and
+correction/detection statistics.  :class:`EccMemoryPort` adapts it to the
+executor's MemoryPort protocol, scrubbing on every load.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.mem.ecc import EccError, EccWord, decode_secded, encode_secded
+from repro.mem.memory import Memory
+
+
+@dataclass
+class EccStats:
+    """Correction/detection accounting."""
+
+    loads: int = 0
+    corrected: int = 0
+    uncorrectable: int = 0
+
+
+class EccMemory:
+    """Word-granular memory where every stored word carries SEC-DED bits.
+
+    Words never written through this interface decode as zero (like the
+    underlying sparse memory).  ``flip_bit``/``flip_two_bits`` model
+    storage-cell upsets; loads transparently correct single-bit errors and
+    raise :class:`~repro.mem.ecc.EccError` on double-bit ones.
+    """
+
+    def __init__(self, image: dict[int, int] | None = None) -> None:
+        self._codewords: dict[int, EccWord] = {}
+        self.stats = EccStats()
+        if image:
+            for addr, value in image.items():
+                self.store_word(addr, value)
+
+    def store_word(self, addr: int, value: int) -> None:
+        if addr & 7:
+            raise ValueError("EccMemory stores aligned 64-bit words")
+        self._codewords[addr] = encode_secded(value)
+
+    def load_word(self, addr: int) -> int:
+        if addr & 7:
+            raise ValueError("EccMemory loads aligned 64-bit words")
+        self.stats.loads += 1
+        word = self._codewords.get(addr)
+        if word is None:
+            return 0
+        try:
+            value, corrected = decode_secded(word)
+        except EccError:
+            self.stats.uncorrectable += 1
+            raise
+        if corrected:
+            # Scrub: rewrite the corrected codeword.
+            self.stats.corrected += 1
+            self._codewords[addr] = encode_secded(value)
+        return value
+
+    def flip_bit(self, addr: int, position: int) -> None:
+        """Upset one storage cell of the codeword at ``addr`` (1-based)."""
+        word = self._codewords.get(addr)
+        if word is None:
+            word = encode_secded(0)
+        self._codewords[addr] = word.flip(position)
+
+    def flip_two_bits(self, addr: int, first: int, second: int) -> None:
+        self.flip_bit(addr, first)
+        self.flip_bit(addr, second)
+
+    def scrub_all(self) -> int:
+        """Background scrubber: correct every single-bit error in place."""
+        corrected = 0
+        for addr in list(self._codewords):
+            try:
+                value, was_corrected = decode_secded(self._codewords[addr])
+            except EccError:
+                continue  # uncorrectable: left for the demand path to trap
+            if was_corrected:
+                self._codewords[addr] = encode_secded(value)
+                corrected += 1
+        return corrected
+
+
+class EccMemoryPort:
+    """MemoryPort over :class:`EccMemory` (sub-word via read-modify-write)."""
+
+    __slots__ = ("ecc",)
+
+    def __init__(self, ecc: EccMemory) -> None:
+        self.ecc = ecc
+
+    def _word_addr(self, addr: int) -> tuple[int, int]:
+        return addr & ~7, (addr & 7) * 8
+
+    def load(self, addr: int, size: int) -> int:
+        base, shift = self._word_addr(addr)
+        word = self.ecc.load_word(base)
+        if size == 8 and shift == 0:
+            return word
+        if shift + size * 8 > 64:  # straddling: decode the next word too
+            upper = self.ecc.load_word(base + 8)
+            word |= upper << 64
+        return (word >> shift) & ((1 << (size * 8)) - 1)
+
+    def store(self, addr: int, size: int, value: int) -> None:
+        value &= (1 << (size * 8)) - 1
+        base, shift = self._word_addr(addr)
+        if size == 8 and shift == 0:
+            self.ecc.store_word(base, value)
+            return
+        span = shift + size * 8
+        current = self.ecc.load_word(base)
+        if span > 64:
+            current |= self.ecc.load_word(base + 8) << 64
+        mask = ((1 << (size * 8)) - 1) << shift
+        combined = (current & ~mask) | (value << shift)
+        self.ecc.store_word(base, combined & ((1 << 64) - 1))
+        if span > 64:
+            self.ecc.store_word(base + 8, combined >> 64)
+
+    def swap(self, addr: int, size: int, value: int) -> int:
+        old = self.load(addr, size)
+        self.store(addr, size, value)
+        return old
+
+    def bulk_copy(self, src: int, dst: int, words: int) -> tuple[int, ...]:
+        values = tuple(self.load(src + 8 * i, 8) for i in range(words))
+        for i, value in enumerate(values):
+            self.store(dst + 8 * i, 8, value)
+        return values
+
+
+def inject_random_upsets(ecc: EccMemory, count: int,
+                         seed: int = 0) -> list[int]:
+    """Flip ``count`` random storage bits across resident words."""
+    rng = random.Random(seed)
+    addresses = sorted(ecc._codewords)
+    struck: list[int] = []
+    if not addresses:
+        return struck
+    for _ in range(count):
+        addr = rng.choice(addresses)
+        ecc.flip_bit(addr, rng.randint(1, 71))
+        struck.append(addr)
+    return struck

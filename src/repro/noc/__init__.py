@@ -1,0 +1,16 @@
+"""Network-on-chip substrate: mesh, Fig. 5 layout, traffic backpropagation."""
+
+from repro.noc.layout import TileLayout, fig5_layout
+from repro.noc.mesh import FAST_NOC, SLOW_NOC, MeshNetwork, NocConfig
+from repro.noc.traffic import MainTraffic, TrafficModel
+
+__all__ = [
+    "FAST_NOC",
+    "MainTraffic",
+    "MeshNetwork",
+    "NocConfig",
+    "SLOW_NOC",
+    "TileLayout",
+    "TrafficModel",
+    "fig5_layout",
+]

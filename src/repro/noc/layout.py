@@ -1,0 +1,59 @@
+"""The paper's Fig. 5 tile layout.
+
+A 4x4 mesh: the four middle crosspoints each carry an LLC slice plus one
+core (checker *i* of each main core — the contended position used first);
+the eight non-corner edge crosspoints carry two cores each; corners carry
+none.  That yields 20 cores: 4 mains and 16 checkers (i-iv per main),
+tiled so big and little cores are distributed through the mesh rather
+than clustered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+Coord = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class TileLayout:
+    """Positions of main cores, their checkers, and LLC slices."""
+
+    main_positions: dict[int, Coord]
+    checker_positions: dict[int, tuple[Coord, ...]]  # per main: i, ii, iii, iv
+    llc_positions: tuple[Coord, ...]
+
+    def checkers_for(self, main_id: int, count: int) -> list[Coord]:
+        """Positions of the first ``count`` checkers of ``main_id``.
+
+        Checker i (sharing a crosspoint with an LLC slice, hence contending
+        with demand traffic) is used first, as in the paper's evaluation.
+        """
+        available = self.checker_positions[main_id]
+        # Pools larger than the four mesh positions (e.g. dedicated-checker
+        # baselines) co-locate multiple checkers per crosspoint.
+        return [available[i % len(available)] for i in range(count)]
+
+    def cores_per_crosspoint(self) -> dict[Coord, int]:
+        counts: dict[Coord, int] = {}
+        for pos in self.main_positions.values():
+            counts[pos] = counts.get(pos, 0) + 1
+        for positions in self.checker_positions.values():
+            for pos in positions:
+                counts[pos] = counts.get(pos, 0) + 1
+        return counts
+
+
+def fig5_layout() -> TileLayout:
+    """The concrete Fig. 5 arrangement used in the evaluation."""
+    return TileLayout(
+        main_positions={0: (1, 0), 1: (2, 0), 2: (1, 3), 3: (2, 3)},
+        checker_positions={
+            #       i       ii      iii     iv
+            0: ((1, 1), (0, 1), (0, 1), (1, 0)),
+            1: ((2, 1), (3, 1), (3, 1), (2, 0)),
+            2: ((1, 2), (0, 2), (0, 2), (1, 3)),
+            3: ((2, 2), (3, 2), (3, 2), (2, 3)),
+        },
+        llc_positions=((1, 1), (2, 1), (1, 2), (2, 2)),
+    )

@@ -1,0 +1,110 @@
+"""2D bidirectional mesh network-on-chip with M/M/1 queueing latency.
+
+The paper models NoC latency by feeding gem5 network parameters into an
+M/M/1 queueing model of a 2D mesh (section VI) and backpropagating the
+observed average extra latency into the LLC access latency.  This module
+is that model: flows are routed XY (X first, then Y), per-link byte rates
+accumulate into utilisation, and each flow's extra latency is the sum of
+per-link M/M/1 waiting times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+Coord = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class NocConfig:
+    """Mesh geometry and link parameters (Table I)."""
+
+    name: str = "fast"
+    width_bits: int = 256
+    freq_ghz: float = 2.0
+    cols: int = 4
+    rows: int = 4
+    hop_latency_cycles: int = 1
+    #: Response packet carrying one cache line (64 B data + header).
+    data_packet_bytes: int = 72
+    #: Request/control packet.
+    control_packet_bytes: int = 16
+
+    @property
+    def link_bandwidth_gbps(self) -> float:
+        """Bytes per nanosecond per directed link."""
+        return (self.width_bits / 8) * self.freq_ghz
+
+    def hop_latency_ns(self) -> float:
+        return self.hop_latency_cycles / self.freq_ghz
+
+
+#: Table I: 256-bit 2 GHz mesh (CMN-700-like).
+FAST_NOC = NocConfig(name="fast", width_bits=256, freq_ghz=2.0)
+
+#: Table I: the underprovisioned "slowNoC" (128-bit, 1.5 GHz) of Fig. 11.
+SLOW_NOC = NocConfig(name="slow", width_bits=128, freq_ghz=1.5)
+
+
+class MeshNetwork:
+    """Tracks flow rates over directed mesh links and computes queueing."""
+
+    def __init__(self, config: NocConfig) -> None:
+        self.config = config
+        self._link_rate: dict[tuple[Coord, Coord], float] = {}
+
+    @staticmethod
+    def route(src: Coord, dst: Coord) -> list[tuple[Coord, Coord]]:
+        """Dimension-ordered (XY) route as a list of directed links."""
+        links: list[tuple[Coord, Coord]] = []
+        x, y = src
+        dx, dy = dst
+        while x != dx:
+            nxt = x + (1 if dx > x else -1)
+            links.append(((x, y), (nxt, y)))
+            x = nxt
+        while y != dy:
+            nxt = y + (1 if dy > y else -1)
+            links.append(((x, y), (x, nxt)))
+            y = nxt
+        return links
+
+    def add_flow(self, src: Coord, dst: Coord, rate_gbps: float) -> None:
+        """Register ``rate_gbps`` (bytes/ns) of traffic from src to dst."""
+        if rate_gbps <= 0 or src == dst:
+            return
+        for link in self.route(src, dst):
+            self._link_rate[link] = self._link_rate.get(link, 0.0) + rate_gbps
+
+    def link_utilisation(self, link: tuple[Coord, Coord]) -> float:
+        return self._link_rate.get(link, 0.0) / self.config.link_bandwidth_gbps
+
+    def max_utilisation(self) -> float:
+        bw = self.config.link_bandwidth_gbps
+        return max((r / bw for r in self._link_rate.values()), default=0.0)
+
+    def queueing_ns(self, src: Coord, dst: Coord,
+                    packet_bytes: int | None = None) -> float:
+        """Extra (queueing-only) latency for a packet from src to dst.
+
+        Per link, M/M/1 waiting time is ``rho / (1 - rho)`` service times;
+        utilisation is clamped below 1 so saturation degrades smoothly.
+        """
+        packet = packet_bytes or self.config.data_packet_bytes
+        service = packet / self.config.link_bandwidth_gbps
+        total = 0.0
+        for link in self.route(src, dst):
+            rho = min(self.link_utilisation(link), 0.96)
+            total += (rho / (1.0 - rho)) * service
+        return total
+
+    def base_latency_ns(self, src: Coord, dst: Coord,
+                        packet_bytes: int | None = None) -> float:
+        """Unloaded latency: hop latency plus serialisation."""
+        packet = packet_bytes or self.config.data_packet_bytes
+        hops = len(self.route(src, dst))
+        return hops * self.config.hop_latency_ns() + \
+            packet / self.config.link_bandwidth_gbps
+
+    def reset(self) -> None:
+        self._link_rate.clear()

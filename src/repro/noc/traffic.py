@@ -1,0 +1,108 @@
+"""Traffic construction and LLC-latency backpropagation.
+
+Converts per-run statistics (LLC accesses, LSL bytes, checkpoints) into
+mesh flows, then computes the average extra (queueing) latency a main
+core's LLC accesses suffer.  The result feeds
+``SharedUncore.extra_llc_latency_ns`` — the same backpropagation step the
+paper describes in section VI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.registers import ARCH_CHECKPOINT_BYTES
+from repro.noc.layout import TileLayout
+from repro.noc.mesh import Coord, MeshNetwork, NocConfig
+
+
+@dataclass
+class MainTraffic:
+    """One main core's traffic contribution over a run."""
+
+    main_id: int
+    duration_ns: float
+    #: Demand LLC accesses from the main core (L2 misses).
+    llc_accesses: int = 0
+    #: Demand LLC accesses from this main's checkers (instruction fetch only).
+    checker_llc_accesses: int = 0
+    #: LSL bytes pushed to checkers (already includes line padding).
+    lsl_bytes: int = 0
+    #: Register checkpoints shipped (two per segment: start is forwarded
+    #: from the previous end, so one fresh copy per boundary in steady
+    #: state, plus the end-of-segment copy).
+    checkpoints: int = 0
+    #: How many checker positions are in use (traffic spreads over them).
+    checkers_used: int = 1
+
+
+@dataclass
+class TrafficModel:
+    """Builds mesh flows and backpropagates queueing into LLC latency."""
+
+    config: NocConfig
+    layout: TileLayout
+
+    def build(self, contributions: list[MainTraffic],
+              include_lsl: bool = True) -> MeshNetwork:
+        """Populate a mesh with demand (and optionally LSL) flows."""
+        mesh = MeshNetwork(self.config)
+        for traffic in contributions:
+            if traffic.duration_ns <= 0:
+                continue
+            main_pos = self.layout.main_positions[traffic.main_id]
+            per_slice = traffic.llc_accesses / len(self.layout.llc_positions)
+            for llc in self.layout.llc_positions:
+                # Request up, data line back.
+                rate_req = per_slice * self.config.control_packet_bytes \
+                    / traffic.duration_ns
+                rate_rsp = per_slice * self.config.data_packet_bytes \
+                    / traffic.duration_ns
+                mesh.add_flow(main_pos, llc, rate_req)
+                mesh.add_flow(llc, main_pos, rate_rsp)
+            checkers = self.layout.checkers_for(
+                traffic.main_id, traffic.checkers_used)
+            if checkers:
+                per_checker_fetch = traffic.checker_llc_accesses / len(checkers)
+                for checker in checkers:
+                    for llc in self.layout.llc_positions:
+                        rate = per_checker_fetch / len(self.layout.llc_positions) \
+                            * (self.config.control_packet_bytes
+                               + self.config.data_packet_bytes) \
+                            / traffic.duration_ns
+                        mesh.add_flow(checker, llc, rate / 2)
+                        mesh.add_flow(llc, checker, rate / 2)
+                if include_lsl:
+                    lsl_total = traffic.lsl_bytes \
+                        + traffic.checkpoints * ARCH_CHECKPOINT_BYTES
+                    per_checker = lsl_total / len(checkers)
+                    for checker in checkers:
+                        mesh.add_flow(
+                            main_pos, checker,
+                            per_checker / traffic.duration_ns,
+                        )
+        return mesh
+
+    def llc_extra_latency_ns(self, mesh: MeshNetwork, main_id: int) -> float:
+        """Average queueing latency added to this main's LLC accesses."""
+        main_pos = self.layout.main_positions[main_id]
+        total = 0.0
+        for llc in self.layout.llc_positions:
+            total += mesh.queueing_ns(
+                main_pos, llc, self.config.control_packet_bytes)
+            total += mesh.queueing_ns(
+                llc, main_pos, self.config.data_packet_bytes)
+        return total / len(self.layout.llc_positions)
+
+    def lsl_push_latency_ns(self, mesh: MeshNetwork, main_id: int,
+                            checkers_used: int) -> float:
+        """Average latency of one LSL line push (base + queueing)."""
+        main_pos = self.layout.main_positions[main_id]
+        checkers = self.layout.checkers_for(main_id, checkers_used)
+        if not checkers:
+            return 0.0
+        total = 0.0
+        for checker in checkers:
+            total += mesh.base_latency_ns(main_pos, checker)
+            total += mesh.queueing_ns(main_pos, checker)
+        return total / len(checkers)

@@ -1,0 +1,34 @@
+"""Power and area models (McPAT/die-shot substitutes, section VII-E)."""
+
+from repro.power.area import (
+    AreaComparison,
+    StorageOverhead,
+    dedicated_checker_area,
+    storage_overhead,
+)
+from repro.power.energy import (
+    DEFAULT_POWER_MODEL,
+    EnergyReport,
+    PowerModelConfig,
+    dynamic_energy_nj,
+    energy_report,
+    static_energy_nj,
+)
+from repro.power.ed2p import A510_SWEEP_GHZ, ED2PSelection, SweepPoint, ed2p_sweep
+
+__all__ = [
+    "A510_SWEEP_GHZ",
+    "AreaComparison",
+    "DEFAULT_POWER_MODEL",
+    "ED2PSelection",
+    "EnergyReport",
+    "PowerModelConfig",
+    "StorageOverhead",
+    "SweepPoint",
+    "dedicated_checker_area",
+    "dynamic_energy_nj",
+    "ed2p_sweep",
+    "energy_report",
+    "static_energy_nj",
+    "storage_overhead",
+]

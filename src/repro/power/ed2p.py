@@ -1,0 +1,69 @@
+"""ED2P-optimal checker frequency selection (section VII-A/VII-E).
+
+The paper varies the A510 checkers' frequency (and voltage, via the V/f
+curve) from 2 GHz down to 1.4 GHz per benchmark and picks the
+energy-delay-squared-product minimum: 29 % energy overhead at 4.3 %
+slowdown, against 49 % / 3.4 % at full checker speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.system import SystemResult
+from repro.cpu.config import CoreInstance
+from repro.power.energy import (
+    DEFAULT_POWER_MODEL,
+    EnergyReport,
+    PowerModelConfig,
+    energy_report,
+)
+
+#: The frequencies the paper sweeps for A510 checkers.
+A510_SWEEP_GHZ = (2.0, 1.8, 1.6, 1.4)
+
+
+@dataclass
+class SweepPoint:
+    """One (frequency, result, energy) point of a DVFS sweep."""
+
+    freq_ghz: float
+    result: SystemResult
+    energy: EnergyReport
+
+    @property
+    def ed2p(self) -> float:
+        return self.energy.checked_nj * self.result.checked_time_ns ** 2
+
+
+@dataclass
+class ED2PSelection:
+    """The ED2P-minimal point of a sweep, with the full sweep retained."""
+
+    best: SweepPoint
+    sweep: list[SweepPoint]
+
+    @property
+    def freq_ghz(self) -> float:
+        return self.best.freq_ghz
+
+
+def ed2p_sweep(
+    run_at: Callable[[float], SystemResult],
+    main: CoreInstance,
+    frequencies: tuple[float, ...] = A510_SWEEP_GHZ,
+    model: PowerModelConfig = DEFAULT_POWER_MODEL,
+) -> ED2PSelection:
+    """Sweep checker frequencies and pick the ED2P minimum.
+
+    ``run_at(freq)`` must return the :class:`SystemResult` of running the
+    workload with the checker pool clocked at ``freq``.
+    """
+    sweep: list[SweepPoint] = []
+    for freq in frequencies:
+        result = run_at(freq)
+        sweep.append(SweepPoint(freq, result, energy_report(result, main,
+                                                            model)))
+    best = min(sweep, key=lambda p: p.ed2p)
+    return ED2PSelection(best=best, sweep=sweep)

@@ -1,0 +1,114 @@
+"""Energy model (McPAT-substitute, section VII-E).
+
+Per-core energy is split into dynamic (energy per instruction, scaling
+with V²) and static (leakage power, scaling with V, integrated over busy
+time).  The per-class constants (``epi_scale``/``static_scale`` on
+:class:`~repro.cpu.config.CoreConfig`) are calibrated so the paper's
+McPAT-derived overhead band is reproduced:
+
+* 1 homogeneous X2 checker at 3 GHz   ->  ~95 % energy overhead,
+* 2 X2 checkers at 1.5 GHz            ->  ~45 %,
+* 4 A510 checkers at 2 GHz            ->  ~49 %,
+* ED2P-minimal 4 A510 configuration   ->  ~29 %,
+* 16 dedicated A35-class checkers     ->  ~25 %.
+
+The baseline is the main core alone with all checker cores power gated
+(exactly the paper's baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.system import SystemResult
+from repro.cpu.config import CoreConfig, CoreInstance
+
+
+@dataclass(frozen=True)
+class PowerModelConfig:
+    """Global calibration constants for the analytic energy model."""
+
+    #: Dynamic energy per instruction of the reference core (X2 class,
+    #: epi_scale == 1.0) at 1.0 V, in nanojoules.
+    base_epi_nj: float = 1.0
+    #: Static (leakage) power of the reference core at 1.0 V, in watts
+    #: (1 W == 1 nJ/ns).
+    base_static_w: float = 0.35
+    #: Checker-mode dynamic discount: loads index the LSL$ directly (no tag
+    #: match, no TLB, no miss handling), section IV-B.
+    checker_epi_factor: float = 0.92
+
+
+DEFAULT_POWER_MODEL = PowerModelConfig()
+
+
+def dynamic_energy_nj(config: CoreConfig, voltage: float, instructions: int,
+                      checker_mode: bool = False,
+                      model: PowerModelConfig = DEFAULT_POWER_MODEL) -> float:
+    """Dynamic energy of executing ``instructions`` at ``voltage``."""
+    energy = model.base_epi_nj * config.epi_scale * voltage ** 2 * instructions
+    if checker_mode:
+        energy *= model.checker_epi_factor
+    return energy
+
+
+def static_energy_nj(config: CoreConfig, voltage: float, busy_ns: float,
+                     model: PowerModelConfig = DEFAULT_POWER_MODEL) -> float:
+    """Leakage energy over ``busy_ns`` (cores are power gated when idle)."""
+    return model.base_static_w * config.static_scale * voltage * busy_ns
+
+
+@dataclass
+class EnergyReport:
+    """Energy accounting of one checked run against its baseline."""
+
+    workload: str
+    config_label: str
+    baseline_nj: float
+    main_nj: float
+    checker_nj: float
+
+    @property
+    def checked_nj(self) -> float:
+        return self.main_nj + self.checker_nj
+
+    @property
+    def overhead(self) -> float:
+        """Fractional energy overhead versus the power-gated baseline."""
+        return self.checked_nj / self.baseline_nj - 1.0
+
+    @property
+    def overhead_percent(self) -> float:
+        return self.overhead * 100.0
+
+
+def energy_report(result: SystemResult, main: CoreInstance,
+                  model: PowerModelConfig = DEFAULT_POWER_MODEL) -> EnergyReport:
+    """Compute the energy overhead of a :class:`SystemResult`."""
+    main_cfg = main.config
+    main_v = main.voltage
+    baseline = (
+        dynamic_energy_nj(main_cfg, main_v, result.instructions, model=model)
+        + static_energy_nj(main_cfg, main_v, result.baseline_time_ns,
+                           model=model)
+    )
+    main_energy = (
+        dynamic_energy_nj(main_cfg, main_v, result.instructions, model=model)
+        + static_energy_nj(main_cfg, main_v, result.checked_time_ns,
+                           model=model)
+    )
+    checker_energy = 0.0
+    for slot in result.checker_slots:
+        inst = slot.instance
+        checker_energy += dynamic_energy_nj(
+            inst.config, inst.voltage, slot.instructions_checked,
+            checker_mode=True, model=model)
+        checker_energy += static_energy_nj(
+            inst.config, inst.voltage, slot.busy_ns, model=model)
+    return EnergyReport(
+        workload=result.workload,
+        config_label=result.config_label,
+        baseline_nj=baseline,
+        main_nj=main_energy,
+        checker_nj=checker_energy,
+    )

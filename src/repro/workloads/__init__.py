@@ -1,0 +1,29 @@
+"""Synthetic workloads: SPECspeed 2017, GAP and PARSEC profiles."""
+
+from repro.workloads.generator import (
+    build_parallel_programs,
+    build_program,
+    build_thread_program,
+)
+from repro.workloads.profiles import (
+    ALL_PROFILES,
+    GAP,
+    PARSEC,
+    SPEC2017,
+    SPEC_MIXES,
+    WorkloadProfile,
+    get_profile,
+)
+
+__all__ = [
+    "ALL_PROFILES",
+    "GAP",
+    "PARSEC",
+    "SPEC2017",
+    "SPEC_MIXES",
+    "WorkloadProfile",
+    "build_parallel_programs",
+    "build_program",
+    "build_thread_program",
+    "get_profile",
+]

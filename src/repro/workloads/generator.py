@@ -1,0 +1,415 @@
+"""Synthetic program generator.
+
+Turns a :class:`~repro.workloads.profiles.WorkloadProfile` into a runnable
+:class:`~repro.isa.program.Program` whose *dynamic* instruction mix tracks
+the profile's target fractions.  Generation is greedy: at every step the
+instruction class furthest below its target is emitted next, and any
+support instructions (address computation, LCG advance) are charged to
+the integer-ALU class, so the realised mix self-corrects.
+
+Memory behaviour:
+
+* **pointer-chase loads** follow a shuffled ring through a dedicated
+  region — fully dependent loads that defeat both caches and MLP, giving
+  mcf/GAP their memory-latency-bound character;
+* **streaming loads/stores** walk the working set at a fixed stride;
+* **LCG-random accesses** hash the LCG state into the working set.
+
+Thread variants (`build_thread_program`) add accesses to a shared region
+plus SWP/SC-based synchronisation, exercising the paper's multicore
+logging argument (section IV-J).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import Program
+from repro.workloads.profiles import WorkloadProfile
+
+# Fixed virtual-address map for generated programs.
+WS_BASE = 0x4000_0000
+CHASE_BASE = 0x8000_0000
+SHARED_BASE = 0xC000_0000
+SHARED_BYTES = 4096
+
+# Register conventions (see module docstring in repro.isa).
+R_LOOP = 1       # outer loop counter
+R_LCG = 2        # LCG state
+R_WSBASE = 3     # working-set base
+R_WSMASK = 4     # working-set mask
+R_CHASE = 5      # pointer-chase pointer
+# x6..x15: scratch
+R_ONE = 20       # constant 1
+R_LCG_A = 21     # LCG multiplier
+R_SHARED = 22    # shared-region base
+R_STREAM = 23    # streaming pointer
+
+_LCG_A = 6364136223846793005
+_LCG_C = 1442695040888963407
+
+
+def _pow2_at_least(value: int) -> int:
+    return 1 << max(value - 1, 1).bit_length()
+
+
+class _Builder:
+    """Accumulates instructions and per-class counts."""
+
+    def __init__(self, profile: WorkloadProfile, seed: int, tid: int) -> None:
+        self.profile = profile
+        self.rng = random.Random((seed << 8) ^ tid ^ 0xA5A5)
+        self.tid = tid
+        self.instructions: list[Instruction] = []
+        self.counts: dict[str, int] = {}
+        self.scratch = list(range(6, 16))
+        self._scratch_i = 0
+        self._last_addr_reg: int | None = None
+        self._lcg_shift = 3
+
+    # -- emission helpers -------------------------------------------------
+
+    def emit(self, instr: Instruction, cls: str) -> int:
+        self.instructions.append(instr)
+        self.counts[cls] = self.counts.get(cls, 0) + 1
+        return len(self.instructions) - 1
+
+    def next_scratch(self) -> int:
+        reg = self.scratch[self._scratch_i]
+        self._scratch_i = (self._scratch_i + 1) % len(self.scratch)
+        return reg
+
+    def total(self) -> int:
+        return len(self.instructions)
+
+    # -- templates ---------------------------------------------------------
+
+    def lcg_advance(self) -> None:
+        tmp = self.next_scratch()
+        self.emit(Instruction(Opcode.MUL, rd=tmp, rs1=R_LCG, rs2=R_LCG_A), "mul")
+        self.emit(Instruction(Opcode.ADDI, rd=R_LCG, rs1=tmp, imm=_LCG_C & 0xFFFF),
+                  "int")
+
+    def random_address(self, base_reg: int, mask_imm: int | None = None) -> int:
+        """Hash the LCG into an address register; returns the register."""
+        p = self.profile
+        if mask_imm is None and p.stride == 0 \
+                and self.rng.random() < p.hot_fraction:
+            # Skewed locality: most irregular accesses land in a hot set.
+            hot_bytes = _pow2_at_least(
+                min(p.hot_set_kib, p.working_set_kib) * 1024)
+            mask_imm = hot_bytes - 8
+        dst = self.next_scratch()
+        shift = 3 + (self._lcg_shift % 29)
+        self._lcg_shift += 7
+        self.emit(Instruction(Opcode.SRLI, rd=dst, rs1=R_LCG, imm=shift), "int")
+        if mask_imm is None:
+            self.emit(Instruction(Opcode.AND, rd=dst, rs1=dst, rs2=R_WSMASK), "int")
+        else:
+            self.emit(Instruction(Opcode.ANDI, rd=dst, rs1=dst, imm=mask_imm), "int")
+        self.emit(Instruction(Opcode.ADD, rd=dst, rs1=dst, rs2=base_reg), "int")
+        self._last_addr_reg = dst
+        return dst
+
+    def template_load(self) -> None:
+        p = self.profile
+        roll = self.rng.random()
+        if p.gather and roll < p.gather:
+            ofs = self.next_scratch()
+            self.emit(Instruction(Opcode.ADDI, rd=ofs, rs1=R_STREAM, imm=64), "int")
+            self.emit(Instruction(Opcode.LDG, rd=self.next_scratch(),
+                                  rd2=self.next_scratch(), rs1=R_STREAM, rs2=ofs),
+                      "load")
+            return
+        if p.pointer_chase and roll < p.pointer_chase + p.gather:
+            self.emit(Instruction(Opcode.LD, rd=R_CHASE, rs1=R_CHASE), "load")
+            return
+        if p.threads > 1 and self.rng.random() < p.shared_fraction:
+            addr = self.random_address(R_SHARED, mask_imm=SHARED_BYTES - 8)
+            self.emit(Instruction(Opcode.LD, rd=self.next_scratch(), rs1=addr),
+                      "load")
+            return
+        if p.stride:
+            self.emit(Instruction(Opcode.LD, rd=self.next_scratch(),
+                                  rs1=R_STREAM), "load")
+            self.emit(Instruction(Opcode.ADDI, rd=R_STREAM, rs1=R_STREAM,
+                                  imm=p.stride), "int")
+            return
+        # LCG-random cluster: one address computation amortised over a few
+        # accesses (real irregular code dereferences several fields of the
+        # object it just located).
+        addr = self.random_address(R_WSBASE)
+        self.emit(Instruction(Opcode.LD, rd=self.next_scratch(), rs1=addr), "load")
+        self.emit(Instruction(Opcode.LD, rd=self.next_scratch(), rs1=addr,
+                              imm=8), "load")
+        if self.rng.random() < 0.5:
+            size = self.rng.choice((8, 8, 4, 2))
+            self.emit(Instruction(Opcode.LD, rd=self.next_scratch(), rs1=addr,
+                                  imm=16, size=size), "load")
+
+    def template_store(self) -> None:
+        p = self.profile
+        value = self.scratch[self._scratch_i]  # whatever was computed last
+        if p.threads > 1 and self.rng.random() < p.shared_fraction:
+            addr = self.random_address(R_SHARED, mask_imm=SHARED_BYTES - 8)
+            self.emit(Instruction(Opcode.ST, rs2=value, rs1=addr), "store")
+            return
+        if self._last_addr_reg is not None and self.rng.random() < 0.4:
+            self.emit(Instruction(Opcode.ST, rs2=value,
+                                  rs1=self._last_addr_reg, imm=16), "store")
+            return
+        if p.stride:
+            self.emit(Instruction(Opcode.ST, rs2=value, rs1=R_STREAM, imm=8),
+                      "store")
+            return
+        addr = self.random_address(R_WSBASE)
+        size = self.rng.choice((8, 8, 8, 4))
+        self.emit(Instruction(Opcode.ST, rs2=value, rs1=addr, size=size), "store")
+
+    def template_branch(self) -> None:
+        p = self.profile
+        unpredictable = self.rng.random() < p.branch_entropy
+        filler = self.rng.randint(1, 2)
+        if unpredictable:
+            # Shift a pseudo-random LCG bit into the sign position and
+            # branch on it: one support instruction per random branch.
+            cond = self.next_scratch()
+            shift = self.rng.randint(23, 60)
+            self.emit(Instruction(Opcode.SLLI, rd=cond, rs1=R_LCG,
+                                  imm=shift), "int")
+            branch_idx = self.emit(
+                Instruction(Opcode.BLT, rs1=cond, rs2=0), "branch"
+            )
+        else:
+            taken = self.rng.random() < 0.5
+            op = Opcode.BGE if taken else Opcode.BLT
+            branch_idx = self.emit(
+                Instruction(op, rs1=R_LOOP, rs2=0), "branch"
+            )
+        for _ in range(filler):
+            dst = self.next_scratch()
+            self.emit(Instruction(Opcode.XORI, rd=dst, rs1=dst, imm=0x55), "int")
+        self.instructions[branch_idx].target = len(self.instructions)
+
+    _FP_OPS = (Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FADD, Opcode.FMUL)
+
+    def template_fp(self) -> None:
+        op = self.rng.choice(self._FP_OPS)
+        rd = self.rng.randint(0, 5)
+        rs1 = self.rng.randint(0, 7)
+        rs2 = self.rng.randint(6, 7)  # f6/f7 hold stable constants
+        self.emit(Instruction(op, rd=rd, rs1=rs1, rs2=rs2), "fp")
+
+    def template_fdiv(self) -> None:
+        if self.rng.random() < 0.2:
+            self.emit(Instruction(Opcode.FSQRT, rd=self.rng.randint(0, 5),
+                                  rs1=self.rng.randint(0, 5)), "fdiv")
+        else:
+            self.emit(Instruction(Opcode.FDIV, rd=self.rng.randint(0, 5),
+                                  rs1=self.rng.randint(0, 5), rs2=7), "fdiv")
+
+    def template_mul(self) -> None:
+        a = self.next_scratch()
+        self.emit(Instruction(Opcode.MUL, rd=self.next_scratch(), rs1=a,
+                              rs2=R_LCG), "mul")
+
+    def template_bulk(self) -> None:
+        """memcpy-style macro-op: copies 8-16 words within the working set."""
+        words = self.rng.choice((8, 12, 16))
+        src = self.random_address(R_WSBASE)
+        dst = self.next_scratch()
+        self.emit(Instruction(Opcode.ADDI, rd=dst, rs1=R_WSBASE,
+                              imm=self.rng.randrange(0, 4096, 8)), "int")
+        self.emit(Instruction(Opcode.BCOPY, rs1=src, rs2=dst, imm=words),
+                  "bulk")
+
+    def template_nonrep(self) -> None:
+        roll = self.rng.random()
+        dst = self.next_scratch()
+        if self.profile.threads > 1 and roll < 0.5:
+            # Synchronisation on the shared region: SWP or SC on a "lock".
+            lock = self.random_address(R_SHARED, mask_imm=56)
+            if roll < 0.25:
+                self.emit(Instruction(Opcode.SWP, rd=dst, rs2=R_ONE, rs1=lock),
+                          "nonrep")
+            else:
+                self.emit(Instruction(Opcode.SC, rd=dst, rs2=R_ONE, rs1=lock),
+                          "nonrep")
+        elif roll < 0.4:
+            self.emit(Instruction(Opcode.RDRAND, rd=dst), "nonrep")
+        elif roll < 0.7:
+            self.emit(Instruction(Opcode.RDTIME, rd=dst), "nonrep")
+        else:
+            self.emit(Instruction(Opcode.SYSRD, rd=dst), "nonrep")
+
+    def template_int(self) -> None:
+        op = self.rng.choice((Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR,
+                              Opcode.XOR, Opcode.SLL, Opcode.SRL, Opcode.SLT,
+                              Opcode.ADDI))
+        a = self.scratch[self.rng.randrange(len(self.scratch))]
+        b = self.scratch[self.rng.randrange(len(self.scratch))]
+        dst = self.next_scratch()
+        if op is Opcode.ADDI:
+            self.emit(Instruction(op, rd=dst, rs1=a,
+                                  imm=self.rng.randint(-128, 127)), "int")
+        elif op in (Opcode.SLL, Opcode.SRL):
+            shift = self.next_scratch()
+            self.emit(Instruction(Opcode.ANDI, rd=shift, rs1=b, imm=31), "int")
+            self.emit(Instruction(op, rd=dst, rs1=a, rs2=shift), "int")
+        else:
+            self.emit(Instruction(op, rd=dst, rs1=a, rs2=b), "int")
+
+
+_TEMPLATES = {
+    "load": _Builder.template_load,
+    "bulk": _Builder.template_bulk,
+    "store": _Builder.template_store,
+    "branch": _Builder.template_branch,
+    "fp": _Builder.template_fp,
+    "fdiv": _Builder.template_fdiv,
+    "mul": _Builder.template_mul,
+    "nonrep": _Builder.template_nonrep,
+    "int": _Builder.template_int,
+}
+
+
+def _targets(profile: WorkloadProfile) -> dict[str, float]:
+    named = {
+        "load": profile.loads,
+        "store": profile.stores,
+        "branch": profile.branches,
+        "fp": profile.fp,
+        "fdiv": profile.fdiv,
+        "mul": profile.mul,
+        "nonrep": profile.nonrep,
+        "bulk": profile.bulk,
+    }
+    rest = 1.0 - sum(named.values())
+    if rest < 0:
+        raise ValueError(f"{profile.name}: instruction mix sums above 1")
+    named["int"] = rest
+    return {k: v for k, v in named.items() if v > 0}
+
+
+def _build_chase_ring(profile: WorkloadProfile, rng: random.Random,
+                      tid: int) -> tuple[dict[int, int], int]:
+    """Build the pointer-chase permutation ring; returns (image, start)."""
+    ws_bytes = _pow2_at_least(profile.working_set_kib * 1024)
+    entries = max(16, min(ws_bytes // 64, 16384))
+    base = CHASE_BASE + tid * 0x1000_0000
+    order = list(range(entries))
+    rng.shuffle(order)
+    image: dict[int, int] = {}
+    for i, idx in enumerate(order):
+        nxt = order[(i + 1) % entries]
+        image[base + idx * 64] = base + nxt * 64
+    return image, base + order[0] * 64
+
+
+def build_thread_program(profile: WorkloadProfile, seed: int = 0,
+                         tid: int = 0) -> Program:
+    """Generate the program one thread of ``profile`` executes."""
+    builder = _Builder(profile, seed, tid)
+    rng = builder.rng
+    ws_bytes = _pow2_at_least(profile.working_set_kib * 1024)
+    ws_base = WS_BASE + tid * 0x1000_0000
+    memory_image: dict[int, int] = {}
+
+    chase_start = 0
+    if profile.pointer_chase:
+        chase_image, chase_start = _build_chase_ring(profile, rng, tid)
+        memory_image.update(chase_image)
+    # Seed the first pages of the working set with nonzero data.
+    for i in range(0, 4096, 8):
+        memory_image[ws_base + i] = (i * 2654435761) & ((1 << 64) - 1)
+
+    e = builder.emit
+    # -- initialisation ----------------------------------------------------
+    e(Instruction(Opcode.LUI, rd=R_LOOP, imm=1 << 40), "int")
+    e(Instruction(Opcode.LUI, rd=R_LCG, imm=(seed * 2 + tid) | 1), "int")
+    e(Instruction(Opcode.LUI, rd=R_WSBASE, imm=ws_base), "int")
+    e(Instruction(Opcode.LUI, rd=R_WSMASK, imm=(ws_bytes - 1) & ~7), "int")
+    e(Instruction(Opcode.LUI, rd=R_CHASE, imm=chase_start or ws_base), "int")
+    e(Instruction(Opcode.LUI, rd=R_ONE, imm=1), "int")
+    e(Instruction(Opcode.LUI, rd=R_LCG_A, imm=_LCG_A), "int")
+    e(Instruction(Opcode.LUI, rd=R_SHARED, imm=SHARED_BASE), "int")
+    e(Instruction(Opcode.LUI, rd=R_STREAM, imm=ws_base), "int")
+    for i in range(8):
+        tmp = builder.next_scratch()
+        e(Instruction(Opcode.LUI, rd=tmp, imm=i + 1), "int")
+        e(Instruction(Opcode.FCVTIF, rd=i, rs1=tmp), "fp")
+
+    loop_start = builder.total()
+    targets = _targets(profile)
+
+    # -- body: icache_blocks blocks, each with its own generation stream ---
+    for block in range(profile.icache_blocks):
+        builder.rng = random.Random((seed << 16) ^ (block << 2) ^ tid)
+        # Block prologue: advance LCG, wrap the streaming pointer, refresh
+        # one fp register so values stay finite and varied.
+        builder.lcg_advance()
+        if profile.stride:
+            e(Instruction(Opcode.AND, rd=R_STREAM, rs1=R_STREAM, rs2=R_WSMASK),
+              "int")
+            e(Instruction(Opcode.OR, rd=R_STREAM, rs1=R_STREAM, rs2=R_WSBASE),
+              "int")
+        if profile.fp or profile.fdiv:
+            tmp = builder.next_scratch()
+            e(Instruction(Opcode.ANDI, rd=tmp, rs1=R_LCG, imm=14), "int")
+            e(Instruction(Opcode.FCVTIF, rd=block % 6, rs1=tmp), "fp")
+            e(Instruction(Opcode.FADD, rd=block % 6, rs1=block % 6, rs2=7), "fp")
+        block_end = builder.total() + profile.block_instrs
+        while builder.total() < block_end:
+            total = builder.total() + 1
+            # Proportional-fair selection: emit the class furthest below
+            # its share.  Ratios (rather than absolute deficits) keep rare
+            # classes (fdiv, nonrep) from being starved by the support
+            # integer instructions that load/branch templates emit.
+            cls = min(
+                targets,
+                key=lambda c: builder.counts.get(c, 0) / (targets[c] * total),
+            )
+            _TEMPLATES[cls](builder)
+
+    # -- outer loop --------------------------------------------------------
+    e(Instruction(Opcode.ADDI, rd=R_LOOP, rs1=R_LOOP, imm=-1), "int")
+    e(Instruction(Opcode.BNE, rs1=R_LOOP, rs2=0, target=loop_start), "branch")
+    e(Instruction(Opcode.HALT), "int")
+
+    program = Program(
+        name=profile.name if profile.threads == 1 else f"{profile.name}.t{tid}",
+        instructions=builder.instructions,
+        memory_image=memory_image,
+        metadata={
+            "profile": profile.name,
+            "suite": profile.suite,
+            "tid": tid,
+            "class_targets": targets,
+            "class_counts": dict(builder.counts),
+            # Regions the timing model should functionally warm: working
+            # sets that fit in the LLC reach steady-state residency almost
+            # immediately in a real (fast-forwarded) run.  Bigger-than-LLC
+            # random/streaming sets stay miss-dominated, which is their
+            # correct steady state, so they are not warmed.
+            "warm_ranges": (
+                [(ws_base, ws_bytes)] if ws_bytes <= 8 * 1024 * 1024 else []
+            ),
+        },
+    )
+    program.validate()
+    return program
+
+
+def build_program(profile: WorkloadProfile, seed: int = 0) -> Program:
+    """Generate the single-thread program for ``profile``."""
+    return build_thread_program(profile, seed=seed, tid=0)
+
+
+def build_parallel_programs(profile: WorkloadProfile,
+                            seed: int = 0) -> list[Program]:
+    """Generate one program per thread of a parallel profile."""
+    return [
+        build_thread_program(profile, seed=seed, tid=tid)
+        for tid in range(profile.threads)
+    ]

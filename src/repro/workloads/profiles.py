@@ -1,0 +1,241 @@
+"""Workload profiles for SPECspeed 2017, GAP and PARSEC.
+
+Each profile captures the first-order behavioural properties of one
+benchmark, as characterised in the literature and as the paper's results
+depend on them:
+
+* instruction mix (loads, stores, branches, int, fp, fp-divide) — e.g.
+  bwaves' unusually high floating-point divide fraction, the single
+  biggest driver of its behaviour in Figs. 6-8;
+* branch entropy — how unpredictable the conditional branches are
+  (deepsjeng/leela/mcf high; fp codes low);
+* working-set size and access pattern — streaming (lbm, fotonik3d),
+  LCG-random (xz), or pointer-chasing (mcf, omnetpp, GAP) — which drives
+  memory-boundedness;
+* static code footprint — gcc/perlbench/xalancbmk stress the L1 icache
+  (the paper's "Instruction Fetch" overhead component).
+
+The numbers are synthetic calibrations, not measurements of SPEC binaries:
+they are chosen so that the *relative* behaviour matches the published
+characterisations (SPEC CPU2017 analysis papers and the paper itself).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Synthetic behavioural profile of one benchmark."""
+
+    name: str
+    suite: str
+    #: Instruction-class target fractions; the remainder is plain int ALU.
+    loads: float
+    stores: float
+    branches: float
+    fp: float
+    fdiv: float = 0.0
+    mul: float = 0.02
+    #: Fraction of non-repeatable instructions (RNG/timer/SWP/SC).
+    nonrep: float = 0.0
+    #: Fraction of loads that are gather (two-address) operations.
+    gather: float = 0.0
+    #: Fraction of instructions that are bulk copies (memcpy-style
+    #: macro-ops producing oversized, multi-line log entries).
+    bulk: float = 0.0
+    #: 0 = perfectly predictable branches, 1 = coin flips.
+    branch_entropy: float = 0.1
+    #: Data working set; rounded up to a power of two by the generator.
+    working_set_kib: int = 256
+    #: Fraction of loads that pointer-chase a dependent ring.
+    pointer_chase: float = 0.0
+    #: Streaming stride in bytes for non-chasing loads (0 = LCG-random).
+    stride: int = 64
+    #: For LCG-random access (stride=0): fraction of address computations
+    #: confined to a small hot set — real irregular workloads are skewed,
+    #: not uniform-random over the whole working set.
+    hot_fraction: float = 0.75
+    #: Size of that hot set.
+    hot_set_kib: int = 64
+    #: Number of distinct generated code blocks (icache footprint knob).
+    icache_blocks: int = 24
+    #: Instructions per generated block.
+    block_instrs: int = 48
+    #: Number of threads (1 for SPEC/GAP single-thread runs).
+    threads: int = 1
+    #: Fraction of memory accesses that hit a region shared across threads.
+    shared_fraction: float = 0.0
+    description: str = ""
+
+    @property
+    def static_instructions(self) -> int:
+        return self.icache_blocks * self.block_instrs
+
+
+def _spec(name: str, **kw) -> WorkloadProfile:
+    return WorkloadProfile(name=name, suite="spec2017", **kw)
+
+
+#: SPECspeed 2017 — the 20 benchmarks named in the paper (Figs. 6, 7, 10).
+SPEC2017: dict[str, WorkloadProfile] = {p.name: p for p in [
+    _spec("bwaves", loads=0.22, stores=0.07, branches=0.07, fp=0.28,
+          fdiv=0.14, branch_entropy=0.04, working_set_kib=4 * 1024,
+          stride=8, icache_blocks=20,
+          description="FP blast waves; extreme fdiv density"),
+    _spec("cactuBSSN", loads=0.28, stores=0.10, branches=0.06, fp=0.34,
+          fdiv=0.015, branch_entropy=0.05, working_set_kib=8 * 1024,
+          stride=16, icache_blocks=40,
+          description="numerical relativity stencils"),
+    _spec("lbm", loads=0.26, stores=0.16, branches=0.05, fp=0.33,
+          fdiv=0.004, branch_entropy=0.03, working_set_kib=32 * 1024,
+          stride=16, icache_blocks=12,
+          description="lattice Boltzmann; streaming, store heavy"),
+    _spec("wrf", loads=0.27, stores=0.09, branches=0.09, fp=0.28,
+          fdiv=0.008, branch_entropy=0.10, working_set_kib=4 * 1024,
+          stride=16, icache_blocks=64, description="weather model"),
+    _spec("cam4", loads=0.26, stores=0.09, branches=0.11, fp=0.26,
+          fdiv=0.008, branch_entropy=0.12, working_set_kib=2 * 1024,
+          stride=16, icache_blocks=56, description="atmosphere model"),
+    _spec("pop2", loads=0.27, stores=0.10, branches=0.10, fp=0.27,
+          fdiv=0.012, branch_entropy=0.10, working_set_kib=4 * 1024,
+          stride=16, icache_blocks=48, description="ocean model"),
+    _spec("imagick", loads=0.22, stores=0.08, branches=0.10, fp=0.31,
+          fdiv=0.018, branch_entropy=0.10, working_set_kib=512,
+          stride=16, icache_blocks=24, description="image processing; high ILP"),
+    _spec("nab", loads=0.25, stores=0.08, branches=0.10, fp=0.29,
+          fdiv=0.015, branch_entropy=0.08, working_set_kib=1024,
+          stride=16, icache_blocks=28, description="molecular dynamics"),
+    _spec("fotonik3d", loads=0.29, stores=0.11, branches=0.05, fp=0.31,
+          fdiv=0.006, branch_entropy=0.04, working_set_kib=16 * 1024,
+          stride=8, icache_blocks=16, description="FDTD electromagnetics"),
+    _spec("roms", loads=0.27, stores=0.10, branches=0.08, fp=0.29,
+          fdiv=0.01, branch_entropy=0.07, working_set_kib=8 * 1024,
+          stride=16, icache_blocks=40, description="regional ocean model"),
+    _spec("perlbench", loads=0.26, stores=0.12, branches=0.17, fp=0.01,
+          branch_entropy=0.30, working_set_kib=256, pointer_chase=0.25,
+          icache_blocks=360, nonrep=0.002,
+          description="interpreter; icache and branch heavy"),
+    _spec("gcc", loads=0.25, stores=0.11, branches=0.20, fp=0.005,
+          branch_entropy=0.28, working_set_kib=1024, pointer_chase=0.3,
+          icache_blocks=600, description="compiler; biggest icache footprint"),
+    _spec("mcf", loads=0.34, stores=0.09, branches=0.15, fp=0.0,
+          branch_entropy=0.38, working_set_kib=64 * 1024, pointer_chase=0.7,
+          stride=0, hot_fraction=0.55, icache_blocks=10,
+          description="network simplex; memory-latency bound"),
+    _spec("omnetpp", loads=0.28, stores=0.12, branches=0.16, fp=0.01,
+          branch_entropy=0.32, working_set_kib=32 * 1024, pointer_chase=0.5,
+          stride=0, hot_fraction=0.6, icache_blocks=96, description="discrete-event simulation"),
+    _spec("xalancbmk", loads=0.30, stores=0.10, branches=0.18, fp=0.0,
+          branch_entropy=0.25, working_set_kib=16 * 1024, pointer_chase=0.4,
+          stride=0, hot_fraction=0.7, icache_blocks=280, description="XSLT processor"),
+    _spec("x264", loads=0.28, stores=0.10, branches=0.08, fp=0.10,
+          branch_entropy=0.10, working_set_kib=2 * 1024, stride=16,
+          icache_blocks=32, mul=0.06, bulk=0.004, description="video encoder; SIMD-ish"),
+    _spec("deepsjeng", loads=0.24, stores=0.09, branches=0.16, fp=0.0,
+          branch_entropy=0.45, working_set_kib=4 * 1024, mul=0.04,
+          stride=0, hot_fraction=0.9, icache_blocks=48, description="chess; very unpredictable branches"),
+    _spec("leela", loads=0.25, stores=0.08, branches=0.15, fp=0.03,
+          branch_entropy=0.40, working_set_kib=512, pointer_chase=0.2,
+          stride=0, hot_fraction=0.85, icache_blocks=40, description="go engine"),
+    _spec("exchange2", loads=0.15, stores=0.06, branches=0.15, fp=0.0,
+          branch_entropy=0.18, working_set_kib=64, icache_blocks=36,
+          description="recursive puzzle solver; cache resident"),
+    _spec("xz", loads=0.30, stores=0.11, branches=0.14, fp=0.0,
+          branch_entropy=0.42, working_set_kib=4 * 1024, stride=0,
+          hot_fraction=0.6, bulk=0.003, icache_blocks=24, description="compression; random access"),
+]}
+
+
+def _gap(name: str, **kw) -> WorkloadProfile:
+    return WorkloadProfile(name=name, suite="gap", **kw)
+
+
+#: GAP graph benchmarks (Fig. 9): so memory bound that few checkers suffice.
+GAP: dict[str, WorkloadProfile] = {p.name: p for p in [
+    _gap("bfs", loads=0.40, stores=0.08, branches=0.16, fp=0.0,
+         branch_entropy=0.35, working_set_kib=128 * 1024, pointer_chase=0.75,
+         stride=0, hot_fraction=0.5, icache_blocks=8, description="breadth-first search"),
+    _gap("sssp", loads=0.38, stores=0.10, branches=0.15, fp=0.0,
+         branch_entropy=0.32, working_set_kib=128 * 1024, pointer_chase=0.7,
+         stride=0, hot_fraction=0.5, icache_blocks=10, description="single-source shortest paths"),
+    _gap("pr", loads=0.36, stores=0.09, branches=0.08, fp=0.18,
+         branch_entropy=0.12, working_set_kib=128 * 1024, pointer_chase=0.5,
+         stride=0, hot_fraction=0.5, icache_blocks=8,
+         description="PageRank: the least memory-bound GAP kernel"),
+    _gap("cc", loads=0.40, stores=0.09, branches=0.14, fp=0.0,
+         branch_entropy=0.30, working_set_kib=128 * 1024, pointer_chase=0.72,
+         stride=0, hot_fraction=0.5, icache_blocks=8, description="connected components"),
+    _gap("bc", loads=0.38, stores=0.09, branches=0.13, fp=0.06,
+         branch_entropy=0.28, working_set_kib=128 * 1024, pointer_chase=0.65,
+         stride=0, hot_fraction=0.5, icache_blocks=12, description="betweenness centrality"),
+    _gap("tc", loads=0.42, stores=0.05, branches=0.16, fp=0.0,
+         branch_entropy=0.30, working_set_kib=64 * 1024, pointer_chase=0.6,
+         stride=0, hot_fraction=0.5, icache_blocks=8, description="triangle counting"),
+]}
+
+
+def _parsec(name: str, **kw) -> WorkloadProfile:
+    return WorkloadProfile(name=name, suite="parsec", threads=2, **kw)
+
+
+#: PARSEC on simmedium, 2 threads (Fig. 9).
+PARSEC: dict[str, WorkloadProfile] = {p.name: p for p in [
+    _parsec("blackscholes", loads=0.24, stores=0.07, branches=0.08, fp=0.33,
+            fdiv=0.04, branch_entropy=0.05, working_set_kib=512,
+            shared_fraction=0.01, icache_blocks=12,
+            description="option pricing; embarrassingly parallel"),
+    _parsec("bodytrack", loads=0.27, stores=0.09, branches=0.13, fp=0.22,
+            fdiv=0.02, branch_entropy=0.20, working_set_kib=4 * 1024,
+            shared_fraction=0.03, nonrep=0.002, icache_blocks=48,
+            description="computer vision tracking"),
+    _parsec("canneal", loads=0.33, stores=0.10, branches=0.14, fp=0.02,
+            branch_entropy=0.35, working_set_kib=64 * 1024, pointer_chase=0.6,
+            stride=0, hot_fraction=0.6, shared_fraction=0.05, nonrep=0.004, icache_blocks=16,
+            description="simulated annealing; pointer chasing, SWP-based"),
+    _parsec("fluidanimate", loads=0.28, stores=0.12, branches=0.10, fp=0.26,
+            fdiv=0.015, branch_entropy=0.12, working_set_kib=8 * 1024,
+            shared_fraction=0.04, nonrep=0.003, icache_blocks=24,
+            description="SPH fluid simulation; fine-grained locks"),
+    _parsec("freqmine", loads=0.31, stores=0.10, branches=0.16, fp=0.0,
+            branch_entropy=0.28, working_set_kib=16 * 1024, pointer_chase=0.45,
+            shared_fraction=0.02, icache_blocks=32,
+            description="frequent itemset mining"),
+    _parsec("streamcluster", loads=0.30, stores=0.08, branches=0.09, fp=0.22,
+            branch_entropy=0.10, working_set_kib=16 * 1024, stride=16,
+            shared_fraction=0.02, icache_blocks=12,
+            description="online clustering; streaming fp"),
+    _parsec("swaptions", loads=0.24, stores=0.08, branches=0.09, fp=0.30,
+            fdiv=0.03, branch_entropy=0.08, working_set_kib=512,
+            shared_fraction=0.01, nonrep=0.002, icache_blocks=16,
+            description="Monte-Carlo swaption pricing"),
+    _parsec("vips", loads=0.27, stores=0.11, branches=0.12, fp=0.18,
+            branch_entropy=0.15, working_set_kib=4 * 1024, stride=32,
+            shared_fraction=0.02, icache_blocks=64,
+            description="image pipeline"),
+]}
+
+
+ALL_PROFILES: dict[str, WorkloadProfile] = {**SPEC2017, **GAP, **PARSEC}
+
+#: The paper's five multi-process SPEC mixes (Fig. 10, footnote 19).  The
+#: paper's text spells two names as "excahnge2" and "wrt"; we use the real
+#: benchmark names.
+SPEC_MIXES: dict[str, list[str]] = {
+    "mix1": ["bwaves", "gcc", "mcf", "deepsjeng"],
+    "mix2": ["cam4", "imagick", "nab", "fotonik3d"],
+    "mix3": ["leela", "exchange2", "xz", "wrf"],
+    "mix4": ["pop2", "roms", "perlbench", "x264"],
+    "mix5": ["xalancbmk", "omnetpp", "cactuBSSN", "lbm"],
+}
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    """Look up a profile by benchmark name."""
+    try:
+        return ALL_PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {sorted(ALL_PROFILES)}"
+        ) from None

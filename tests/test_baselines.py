@@ -1,0 +1,112 @@
+"""Tests for the baseline models: lockstep, DSN18/ParaDox, scanners."""
+
+import pytest
+
+from repro.baselines.lockstep import LockstepKind, LockstepModel
+from repro.baselines.prior_work import (
+    DEDICATED_LSL_BYTES,
+    dsn18_config,
+    paradox_config,
+)
+from repro.baselines.swscan import (
+    FLEETSCANNER,
+    RIPPLE,
+    ScannerModel,
+    paraverser_detection_days,
+)
+from repro.cpu.config import CoreInstance
+from repro.cpu.presets import X2
+
+
+class TestLockstep:
+    def make(self, kind=LockstepKind.DUAL):
+        return LockstepModel(CoreInstance(X2, 3.0), kind)
+
+    def test_dual_area_overhead_is_100_percent(self):
+        assert self.make().area_overhead_fraction() == 1.0
+
+    def test_triple_area_overhead_is_200_percent(self):
+        assert self.make(LockstepKind.TRIPLE).area_overhead_fraction() == 2.0
+
+    def test_energy_overhead_matches_replication(self):
+        model = self.make()
+        assert model.energy_overhead_fraction(10_000, 5_000.0) == \
+            pytest.approx(1.0)
+
+    def test_negligible_slowdown(self):
+        assert self.make().slowdown < 1.01
+
+    def test_correction_capability(self):
+        assert not self.make().corrects()
+        assert self.make(LockstepKind.TRIPLE).corrects()
+        assert self.make().detects_transients()
+
+
+class TestPriorWorkConfigs:
+    def test_dsn18_has_twelve_checkers(self):
+        config = dsn18_config(CoreInstance(X2, 3.0))
+        assert len(config.checkers) == 12
+
+    def test_paradox_has_sixteen_checkers(self):
+        config = paradox_config(CoreInstance(X2, 3.0))
+        assert len(config.checkers) == 16
+
+    def test_dedicated_srams_are_3kib(self):
+        # The paper contrasts 3 KiB dedicated SRAM vs 64 KiB repurposed L1.
+        assert DEDICATED_LSL_BYTES == 3 * 1024
+        config = dsn18_config(CoreInstance(X2, 3.0))
+        assert config.lsl_capacity() == 3 * 1024
+
+    def test_no_eager_waking_in_prior_work(self):
+        # Section IV-H: prior work wakes checkers only at checkpoint end.
+        assert dsn18_config(CoreInstance(X2, 3.0)).eager_wake is False
+
+    def test_dedicated_interconnect(self):
+        assert paradox_config(CoreInstance(X2, 3.0)).dedicated_interconnect
+
+    def test_checkers_are_scalar_a35s(self):
+        config = dsn18_config(CoreInstance(X2, 3.0))
+        assert all(c.config.name == "A35" for c in config.checkers)
+        assert all(c.config.width == 1 for c in config.checkers)
+
+    def test_timeout_override(self):
+        config = dsn18_config(CoreInstance(X2, 3.0),
+                              timeout_instructions=777)
+        assert config.timeout_instructions == 777
+
+
+class TestScanners:
+    def test_fleetscanner_fit_93_percent_in_six_months(self):
+        # Paper section III-A: 93 % of permanent faults within 6 months.
+        assert FLEETSCANNER.detection_probability(180) == \
+            pytest.approx(0.93, abs=0.02)
+
+    def test_ripple_fit_70_percent(self):
+        assert RIPPLE.detection_probability(180) == \
+            pytest.approx(0.70, abs=0.03)
+
+    def test_detection_probability_monotone(self):
+        previous = 0.0
+        for days in (10, 30, 90, 180, 365):
+            p = FLEETSCANNER.detection_probability(days)
+            assert p >= previous
+            previous = p
+
+    def test_zero_days_zero_probability(self):
+        assert RIPPLE.detection_probability(0) == 0.0
+
+    def test_expected_detection_days(self):
+        # Months for both scanners — the window ParaVerser closes.
+        assert FLEETSCANNER.expected_detection_days() > 30
+        assert RIPPLE.expected_detection_days() > 30
+
+    def test_zero_coverage_never_detects(self):
+        scanner = ScannerModel("null", 0.0, 1.0, True)
+        assert scanner.detection_probability(1000) == 0.0
+        assert scanner.expected_detection_days() == float("inf")
+
+    def test_paraverser_detection_is_subsecond(self):
+        # 100 M instructions at ~10 G instructions/day-equivalent rates.
+        instructions_per_day = 10e9 * 86_400
+        days = paraverser_detection_days(instructions_per_day, 100e6)
+        assert days < 1e-6  # vs months for scanners

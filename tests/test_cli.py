@@ -1,0 +1,82 @@
+"""Tests for the `paraverser` command-line interface."""
+
+import argparse
+
+import pytest
+
+from repro.cli import main, parse_checkers
+
+
+class TestParseCheckers:
+    def test_single_group(self):
+        checkers = parse_checkers("4xA510@2.0")
+        assert len(checkers) == 4
+        assert all(c.config.name == "A510" for c in checkers)
+        assert all(c.freq_ghz == 2.0 for c in checkers)
+
+    def test_mixed_pool(self):
+        checkers = parse_checkers("2xX2@1.5,1xA510@2.0")
+        assert len(checkers) == 3
+        assert checkers[0].config.name == "X2"
+        assert checkers[2].config.name == "A510"
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_checkers("A510")
+
+    def test_unknown_core_rejected(self):
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_checkers("1xM1@3.0")
+
+    def test_out_of_range_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            parse_checkers("1xA510@9.9")
+
+
+class TestCommands:
+    def test_workloads_lists_profiles(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "bwaves" in out and "bfs" in out and "canneal" in out
+
+    def test_workloads_suite_filter(self, capsys):
+        main(["workloads", "--suite", "gap"])
+        out = capsys.readouterr().out
+        assert "bfs" in out
+        assert "bwaves" not in out
+
+    def test_run_reports_overheads(self, capsys):
+        code = main(["run", "-w", "exchange2", "-c", "1xA510@2.0",
+                     "-n", "6000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "slowdown" in out
+        assert "coverage" in out
+        assert "energy overhead" in out
+
+    def test_run_opportunistic_mode(self, capsys):
+        main(["run", "-w", "exchange2", "-c", "1xA510@0.5",
+              "-m", "opportunistic", "-n", "6000"])
+        out = capsys.readouterr().out
+        assert "opportunistic" in out
+
+    def test_run_hash_slow_noc(self, capsys):
+        main(["run", "-w", "exchange2", "-c", "1xX2@3.0",
+              "--hash", "--slow-noc", "-n", "6000"])
+        out = capsys.readouterr().out
+        assert "hash" in out
+
+    def test_inject_campaign(self, capsys):
+        code = main(["inject", "-w", "exchange2", "-t", "5", "-n", "6000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "injected faults:         5" in out
+        assert "detection" in out
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "-w", "doom", "-n", "1000"])
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])

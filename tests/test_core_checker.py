@@ -1,0 +1,259 @@
+"""Tests for the checker-core replay engine — the heart of ParaVerser."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.checker import CheckerCore
+from repro.core.errors import DetectionKind
+from repro.core.system import ParaVerserConfig, ParaVerserSystem
+from repro.cpu.config import CoreInstance
+from repro.cpu.presets import A510, X2
+from repro.faults.models import StuckAtFault
+from repro.isa.assembler import assemble
+from repro.isa.instructions import FUKind
+from repro.workloads.generator import build_program
+from repro.workloads.profiles import WorkloadProfile
+
+
+def system_for(program, seed=0, timeout=500):
+    config = ParaVerserConfig(
+        main=CoreInstance(X2, 3.0),
+        checkers=[CoreInstance(A510, 2.0)],
+        seed=seed,
+        timeout_instructions=timeout,
+    )
+    return ParaVerserSystem(config)
+
+
+def segments_of(text_or_program, max_instructions=5_000, seed=0, timeout=500):
+    program = (assemble(text_or_program)
+               if isinstance(text_or_program, str) else text_or_program)
+    system = system_for(program, seed=seed, timeout=timeout)
+    run = system.execute(program, max_instructions)
+    return program, system.segment(run)
+
+
+RICH_PROGRAM = """
+    addi x1, x0, 300
+    lui x3, 0x8000
+    lui x22, 0x9000
+    addi x20, x0, 1
+    addi x9, x0, 3
+    fcvt.if f1, x9
+    fcvt.if f2, x20
+loop:
+    ld x4, 0(x3)
+    addi x4, x4, 1
+    st x4, 0(x3)
+    swp x5, x20, (x22)
+    rdrand x6
+    and x6, x6, x9
+    fadd f3, f1, f2
+    fdiv f4, f3, f1
+    sc x7, x4, (x22)
+    addi x3, x3, 8
+    subi x1, x1, 1
+    bne x1, x0, loop
+    halt
+"""
+
+
+class TestHealthyReplay:
+    def test_rich_program_verifies_clean(self):
+        program, segments = segments_of(RICH_PROGRAM)
+        checker = CheckerCore(program)
+        for segment in segments:
+            result = checker.check_segment(segment)
+            assert not result.detected, str(result.first_event)
+            assert result.instructions_replayed == segment.instructions
+            assert result.records_consumed == len(segment.records)
+
+    def test_hash_mode_verifies_clean(self):
+        program = assemble(RICH_PROGRAM)
+        config = ParaVerserConfig(
+            main=CoreInstance(X2, 3.0),
+            checkers=[CoreInstance(A510, 2.0)],
+            hash_mode=True,
+            timeout_instructions=500,
+        )
+        system = ParaVerserSystem(config)
+        run = system.execute(program, 5_000)
+        segments = system.segment(run)
+        checker = CheckerCore(program, hash_mode=True)
+        for segment in segments:
+            result = checker.check_segment(segment)
+            assert not result.detected, str(result.first_event)
+
+    def test_induction_chain(self):
+        # Each segment's end state is the next segment's start state.
+        _, segments = segments_of(RICH_PROGRAM)
+        for prev, cur in zip(segments, segments[1:]):
+            assert prev.end_checkpoint.matches(cur.start_checkpoint)
+
+    def test_missing_checkpoints_rejected(self):
+        program, segments = segments_of(RICH_PROGRAM)
+        segments[0].start_checkpoint = None
+        with pytest.raises(ValueError):
+            CheckerCore(program).check_segment(segments[0])
+
+
+class TestFaultDetection:
+    def check_with_fault(self, fault, program=None, segments=None):
+        if segments is None:
+            program, segments = segments_of(RICH_PROGRAM)
+        checker = CheckerCore(program, fault_surface=fault)
+        for segment in segments:
+            result = checker.check_segment(segment)
+            if result.detected:
+                return result
+        return None
+
+    def test_alu_fault_detected(self):
+        result = self.check_with_fault(
+            StuckAtFault(FUKind.INT_ALU, unit=0, bit=0, stuck_at=1))
+        assert result is not None
+
+    def test_fpu_fault_detected(self):
+        result = self.check_with_fault(
+            StuckAtFault(FUKind.FP, unit=0, bit=52, stuck_at=1))
+        assert result is not None
+
+    def test_fdiv_fault_detected(self):
+        result = self.check_with_fault(
+            StuckAtFault(FUKind.FP_DIV, unit=0, bit=51, stuck_at=1))
+        assert result is not None
+
+    def test_load_address_fault_detected_as_address_mismatch(self):
+        result = self.check_with_fault(
+            StuckAtFault(FUKind.LOAD, unit=0, bit=4, stuck_at=1,
+                         addresses_only=True))
+        assert result is not None
+        assert result.first_event.kind in (
+            DetectionKind.LOAD_ADDRESS, DetectionKind.STORE_ADDRESS)
+
+    def test_store_address_fault_detected(self):
+        result = self.check_with_fault(
+            StuckAtFault(FUKind.STORE, unit=0, bit=5, stuck_at=1,
+                         addresses_only=True))
+        assert result is not None
+
+    def test_branch_fault_changes_control_flow_and_is_detected(self):
+        result = self.check_with_fault(
+            StuckAtFault(FUKind.BRANCH, unit=0, bit=0, stuck_at=0))
+        assert result is not None
+
+    def test_fault_detected_in_hash_mode(self):
+        program = assemble(RICH_PROGRAM)
+        config = ParaVerserConfig(
+            main=CoreInstance(X2, 3.0),
+            checkers=[CoreInstance(A510, 2.0)],
+            hash_mode=True,
+            timeout_instructions=500,
+        )
+        system = ParaVerserSystem(config)
+        run = system.execute(program, 5_000)
+        segments = system.segment(run)
+        checker = CheckerCore(
+            program, hash_mode=True,
+            fault_surface=StuckAtFault(FUKind.STORE, unit=0, bit=6,
+                                       stuck_at=1, addresses_only=True))
+        detected = any(
+            checker.check_segment(seg).detected for seg in segments)
+        assert detected
+
+    def test_stuck_at_current_value_is_masked(self):
+        # A bit stuck at a value it always has does not perturb anything.
+        program, segments = segments_of(
+            """
+            addi x1, x0, 200
+            loop:
+            addi x2, x2, 2   # x2 stays even: bit 0 is always 0
+            subi x1, x1, 2   # counter stays even too
+            bne x1, x0, loop
+            halt
+            """
+        )
+        checker = CheckerCore(
+            program,
+            fault_surface=StuckAtFault(FUKind.INT_ALU, unit=0, bit=0,
+                                       stuck_at=0))
+        for segment in segments:
+            assert not checker.check_segment(segment).detected
+
+
+class TestLogDiscipline:
+    def test_log_underflow_detected(self):
+        program, segments = segments_of(RICH_PROGRAM)
+        seg = segments[0]
+        # Drop the tail of the log: replay runs out of records.
+        seg.records[:] = seg.records[:3]
+        result = CheckerCore(program).check_segment(seg)
+        assert result.detected
+        assert result.first_event.kind is DetectionKind.LOG_UNDERFLOW
+
+    def test_log_overflow_detected(self):
+        from repro.core.lsl import LSLAccess, LSLRecord, RecordKind
+        program, segments = segments_of(RICH_PROGRAM)
+        seg = segments[0]
+        seg.records.append(LSLRecord(
+            RecordKind.LOAD, (LSLAccess(0xDEAD, 8, loaded=0),), 10 ** 9))
+        result = CheckerCore(program).check_segment(seg)
+        assert result.detected
+        assert any(e.kind is DetectionKind.LOG_OVERFLOW
+                   for e in result.events)
+
+    def test_corrupted_end_checkpoint_detected(self):
+        program, segments = segments_of(RICH_PROGRAM)
+        seg = segments[0]
+        bad = list(seg.end_checkpoint.ints)
+        bad[5] ^= 1
+        from repro.isa.registers import RegisterCheckpoint
+        seg.end_checkpoint = RegisterCheckpoint(
+            tuple(bad), seg.end_checkpoint.fps, seg.end_checkpoint.pc)
+        result = CheckerCore(program).check_segment(seg)
+        assert result.detected
+        assert result.first_event.kind is DetectionKind.REGISTER_CHECKPOINT
+
+    def test_corrupted_loaded_value_detected(self):
+        # Flip a loaded value in the log: replay diverges somewhere.
+        from dataclasses import replace
+        program, segments = segments_of(RICH_PROGRAM)
+        seg = segments[0]
+        for i, record in enumerate(seg.records):
+            access = record.accesses[0]
+            if access.loaded is not None:
+                new_access = replace(access, loaded=access.loaded ^ 0xFF)
+                seg.records[i] = replace(record, accesses=(new_access,))
+                break
+        result = CheckerCore(program).check_segment(seg)
+        assert result.detected
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    loads=st.floats(min_value=0.05, max_value=0.35),
+    stores=st.floats(min_value=0.02, max_value=0.15),
+    branches=st.floats(min_value=0.02, max_value=0.2),
+    fp=st.floats(min_value=0.0, max_value=0.3),
+    entropy=st.floats(min_value=0.0, max_value=0.5),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_any_generated_workload_replays_clean(loads, stores, branches, fp,
+                                              entropy, seed):
+    """Property: whatever the generator produces, a healthy checker must
+    verify every segment without a false positive."""
+    profile = WorkloadProfile(
+        name="prop", suite="test",
+        loads=loads, stores=stores, branches=branches, fp=fp,
+        fdiv=0.02, nonrep=0.01, gather=0.05,
+        branch_entropy=entropy, working_set_kib=64,
+        pointer_chase=0.3, stride=0, icache_blocks=4, block_instrs=32,
+    )
+    program = build_program(profile, seed=seed)
+    system = system_for(program, seed=seed, timeout=400)
+    run = system.execute(program, 3_000)
+    segments = system.segment(run)
+    checker = CheckerCore(program)
+    for segment in segments:
+        result = checker.check_segment(segment)
+        assert not result.detected, str(result.first_event)

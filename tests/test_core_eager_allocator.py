@@ -1,0 +1,145 @@
+"""Tests for eager checker waking and the checker allocator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.allocator import CheckerAllocator, CheckerSlot
+from repro.core.eager import (
+    eager_finish_time,
+    lazy_finish_time,
+    line_arrival_times,
+    segment_finish_time,
+)
+from repro.cpu.config import CoreInstance
+from repro.cpu.presets import A510, X2
+
+
+class TestEagerWaking:
+    def test_line_arrivals_spread_across_segment(self):
+        arrivals = line_arrival_times(0.0, 100.0, 4)
+        assert arrivals == [25.0, 50.0, 75.0, 100.0]
+
+    def test_noc_latency_shifts_arrivals(self):
+        arrivals = line_arrival_times(0.0, 100.0, 2, noc_latency_ns=5.0)
+        assert arrivals == [55.0, 105.0]
+
+    def test_zero_lines(self):
+        assert line_arrival_times(0.0, 100.0, 0) == []
+
+    def test_fast_checker_bound_by_arrivals(self):
+        # A checker faster than the producer finishes just after the last
+        # push, not earlier.
+        arrivals = line_arrival_times(0.0, 100.0, 10)
+        finish = eager_finish_time(0.0, arrivals, service_per_line_ns=1.0)
+        assert finish == pytest.approx(101.0)
+
+    def test_slow_checker_bound_by_service(self):
+        arrivals = line_arrival_times(0.0, 100.0, 10)
+        finish = eager_finish_time(0.0, arrivals, service_per_line_ns=20.0)
+        assert finish == pytest.approx(10.0 + 10 * 20.0)
+
+    def test_eager_beats_lazy(self):
+        arrivals = line_arrival_times(0.0, 100.0, 10)
+        eager = eager_finish_time(0.0, arrivals, 5.0)
+        lazy = lazy_finish_time(0.0, 100.0, 50.0)
+        assert eager < lazy
+
+    def test_lazy_waits_for_segment_end(self):
+        assert lazy_finish_time(0.0, 100.0, 30.0) == 130.0
+        assert lazy_finish_time(150.0, 100.0, 30.0) == 180.0
+
+    def test_segment_finish_time_eager_vs_lazy(self):
+        eager = segment_finish_time(0.0, 0.0, 100.0, 50.0, lines=10,
+                                    eager=True)
+        lazy = segment_finish_time(0.0, 0.0, 100.0, 50.0, lines=10,
+                                   eager=False)
+        assert eager < lazy
+
+    def test_busy_checker_delays_start(self):
+        free_late = segment_finish_time(500.0, 0.0, 100.0, 50.0, lines=10,
+                                        eager=True)
+        free_early = segment_finish_time(0.0, 0.0, 100.0, 50.0, lines=10,
+                                         eager=True)
+        assert free_late > free_early
+
+    @given(
+        st.floats(min_value=0, max_value=1e3),
+        st.floats(min_value=1, max_value=1e3),
+        st.floats(min_value=0.1, max_value=100),
+        st.integers(min_value=1, max_value=50),
+    )
+    def test_finish_after_last_arrival_property(self, start, duration,
+                                                service, lines):
+        arrivals = line_arrival_times(start, start + duration, lines)
+        finish = eager_finish_time(start, arrivals, service)
+        assert finish >= arrivals[-1]          # cannot outrun the producer
+        assert finish >= start + lines * service  # nor its own service
+
+
+def slot(freq=2.0, position=0, config=A510):
+    return CheckerSlot(
+        instance=CoreInstance(config, freq),
+        lsl_capacity_bytes=32 * 1024,
+        position=position,
+    )
+
+
+class TestAllocator:
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            CheckerAllocator([])
+
+    def test_full_mode_prefers_idle(self):
+        slots = [slot(position=0), slot(position=1)]
+        allocator = CheckerAllocator(slots)
+        first = allocator.acquire_full(0.0)
+        assert first.stalled_ns == 0.0
+        first.slot.assign(0.0, 100.0, 10)
+        second = allocator.acquire_full(0.0)
+        assert second.slot is not first.slot
+
+    def test_full_mode_stalls_when_all_busy(self):
+        slots = [slot(position=0), slot(position=1)]
+        allocator = CheckerAllocator(slots)
+        for s in slots:
+            s.free_at_ns = 100.0
+        allocation = allocator.acquire_full(40.0)
+        assert allocation.stalled_ns == pytest.approx(60.0)
+        assert allocation.start_ns == pytest.approx(100.0)
+
+    def test_full_mode_picks_earliest_free(self):
+        slots = [slot(position=0), slot(position=1)]
+        slots[0].free_at_ns = 200.0
+        slots[1].free_at_ns = 120.0
+        allocation = CheckerAllocator(slots).acquire_full(50.0)
+        assert allocation.slot.position == 1
+
+    def test_opportunistic_returns_none_when_busy(self):
+        slots = [slot()]
+        slots[0].free_at_ns = 10.0
+        allocator = CheckerAllocator(slots)
+        assert allocator.acquire_opportunistic(5.0) is None
+        assert allocator.acquire_opportunistic(10.0) is not None
+
+    def test_little_cores_preferred_over_big(self):
+        mixed = [slot(config=X2, freq=3.0, position=0),
+                 slot(config=A510, freq=2.0, position=1)]
+        allocator = CheckerAllocator(mixed)
+        allocation = allocator.acquire_full(0.0)
+        assert allocation.slot.instance.config.name == "A510"
+
+    def test_assignment_accounting(self):
+        s = slot()
+        s.assign(10.0, 60.0, instructions=500)
+        assert s.free_at_ns == 60.0
+        assert s.busy_ns == 50.0
+        assert s.segments_checked == 1
+        assert s.instructions_checked == 500
+
+    def test_totals(self):
+        slots = [slot(position=0), slot(position=1)]
+        allocator = CheckerAllocator(slots)
+        slots[0].assign(0.0, 30.0, 100)
+        slots[1].assign(0.0, 20.0, 50)
+        assert allocator.total_busy_ns == 50.0
+        assert allocator.total_instructions_checked == 150

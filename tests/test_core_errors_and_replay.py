@@ -1,0 +1,163 @@
+"""Detection-event formatting and replay-interface edge paths."""
+
+import pytest
+
+from repro.core.checker import LogReplayInterface, ReplayDetection
+from repro.core.counter import CutReason, Segment
+from repro.core.errors import DetectionEvent, DetectionKind
+from repro.core.lsc import LoadStoreComparator
+from repro.core.lsl import LSLAccess, LSLRecord, RecordKind
+
+
+def make_segment(records):
+    return Segment(index=0, start=0, end=10, records=list(records),
+                   lsl_bytes=64, lines=1, reason=CutReason.TIMEOUT)
+
+
+def load_record(addr=0x100, value=7):
+    return LSLRecord(RecordKind.LOAD, (LSLAccess(addr, 8, loaded=value),), 0)
+
+
+def store_record(addr=0x200, value=9):
+    return LSLRecord(RecordKind.STORE, (LSLAccess(addr, 8, stored=value),), 1)
+
+
+class TestDetectionEvent:
+    def test_str_includes_segment_and_kind(self):
+        event = DetectionEvent(DetectionKind.STORE_DATA, 7, "bad data", 123)
+        text = str(event)
+        assert "segment 7" in text
+        assert "store_data" in text
+        assert "trace[123]" in text
+
+    def test_str_without_trace_index(self):
+        event = DetectionEvent(DetectionKind.HASH_MISMATCH, 1, "x")
+        assert "trace[" not in str(event)
+
+    def test_all_kinds_have_distinct_values(self):
+        values = [kind.value for kind in DetectionKind]
+        assert len(values) == len(set(values))
+
+
+class TestReplayInterface:
+    def make(self, records, hash_mode=False):
+        return LogReplayInterface(make_segment(records),
+                                 LoadStoreComparator(), hash_mode)
+
+    def test_load_served_from_log(self):
+        interface = self.make([load_record(value=42)])
+        assert interface.load(0x100, 8) == 42
+        assert interface.consumed == 1
+        assert interface.surplus_records == 0
+
+    def test_load_when_log_has_store_is_detected(self):
+        interface = self.make([store_record()])
+        with pytest.raises(ReplayDetection) as excinfo:
+            interface.load(0x200, 8)
+        assert excinfo.value.event.kind is DetectionKind.LOAD_ADDRESS
+
+    def test_store_when_log_has_load_is_detected(self):
+        interface = self.make([load_record()])
+        with pytest.raises(ReplayDetection) as excinfo:
+            interface.store(0x100, 8, 7)
+        assert excinfo.value.event.kind is DetectionKind.STORE_ADDRESS
+
+    def test_log_underflow(self):
+        interface = self.make([])
+        with pytest.raises(ReplayDetection) as excinfo:
+            interface.load(0x100, 8)
+        assert excinfo.value.event.kind is DetectionKind.LOG_UNDERFLOW
+
+    def test_wrong_load_address_detected(self):
+        interface = self.make([load_record(addr=0x100)])
+        with pytest.raises(ReplayDetection):
+            interface.load(0x108, 8)
+
+    def test_wrong_store_value_detected(self):
+        interface = self.make([store_record(addr=0x200, value=9)])
+        with pytest.raises(ReplayDetection) as excinfo:
+            interface.store(0x200, 8, 10)
+        assert excinfo.value.event.kind is DetectionKind.STORE_DATA
+
+    def test_swap_roundtrip(self):
+        record = LSLRecord(
+            RecordKind.SWAP, (LSLAccess(0x10, 8, loaded=5, stored=6),), 0)
+        interface = self.make([record])
+        assert interface.swap(0x10, 8, 6) == 5
+
+    def test_swap_with_wrong_new_value_detected(self):
+        record = LSLRecord(
+            RecordKind.SWAP, (LSLAccess(0x10, 8, loaded=5, stored=6),), 0)
+        interface = self.make([record])
+        with pytest.raises(ReplayDetection):
+            interface.swap(0x10, 8, 99)
+
+    def test_nonrep_values_replayed_in_order(self):
+        records = [
+            LSLRecord(RecordKind.NONREP, (LSLAccess(0, 8, loaded=11),), 0),
+            LSLRecord(RecordKind.NONREP, (LSLAccess(0, 8, loaded=22),), 1),
+        ]
+        interface = self.make(records)
+        assert interface.rdrand() == 11
+        assert interface.rdtime(0) == 22
+
+    def test_sc_success_then_store_checked(self):
+        record = LSLRecord(RecordKind.NONREP_STORE,
+                           (LSLAccess(0x30, 8, loaded=1, stored=77),), 0)
+        interface = self.make([record])
+        assert interface.sc_success() == 1
+        interface.store(0x30, 8, 77)  # consumes the pending SC record
+
+    def test_sc_failure_skips_store(self):
+        record = LSLRecord(RecordKind.NONREP_STORE,
+                           (LSLAccess(0x30, 8, loaded=0, stored=None),), 0)
+        interface = self.make([record])
+        assert interface.sc_success() == 0
+        assert interface.surplus_records == 0
+
+    def test_gather_serves_by_address(self):
+        record = LSLRecord(RecordKind.GATHER, (
+            LSLAccess(0x100, 8, loaded=1),
+            LSLAccess(0x200, 8, loaded=2),
+        ), 0)
+        interface = self.make([record])
+        # The executor may ask in either order; values match addresses.
+        assert interface.load(0x200, 8) == 2
+        assert interface.load(0x100, 8) == 1
+
+    def test_gather_wrong_address_detected(self):
+        record = LSLRecord(RecordKind.GATHER, (
+            LSLAccess(0x100, 8, loaded=1),
+            LSLAccess(0x200, 8, loaded=2),
+        ), 0)
+        interface = self.make([record])
+        with pytest.raises(ReplayDetection):
+            interface.load(0x300, 8)
+
+    def test_hash_mode_defers_compare_to_digest(self):
+        # In Hash Mode a wrong address does NOT raise inline; it corrupts
+        # the digest instead.
+        interface = self.make([load_record(addr=0x100)], hash_mode=True)
+        interface.load(0x108, 8)  # no exception
+        good = self.make([load_record(addr=0x100)], hash_mode=True)
+        good.load(0x100, 8)
+        assert interface.hash_stream.digest() != good.hash_stream.digest()
+
+    def test_hash_mode_digests_stores(self):
+        a = self.make([store_record()], hash_mode=True)
+        b = self.make([store_record()], hash_mode=True)
+        a.store(0x200, 8, 9)
+        b.store(0x200, 8, 10)
+        assert a.hash_stream.digest() != b.hash_stream.digest()
+
+
+def test_examples_compile():
+    """Every example script must at least be valid Python."""
+    import pathlib
+    import py_compile
+
+    examples = pathlib.Path(__file__).parent.parent / "examples"
+    scripts = sorted(examples.glob("*.py"))
+    assert len(scripts) >= 4
+    for script in scripts:
+        py_compile.compile(str(script), doraise=True)

@@ -1,0 +1,117 @@
+"""Tests for Hash Mode (section IV-I)."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.hashmode import DIGEST_BYTES, HashStream, digest_segment
+from repro.core.lsl import LSLAccess, LSLRecord, RecordKind
+
+
+def test_digest_is_sha256_sized():
+    stream = HashStream()
+    assert len(stream.digest()) == DIGEST_BYTES == 32
+
+
+def test_same_accesses_same_digest():
+    a, b = HashStream(), HashStream()
+    for stream in (a, b):
+        stream.add_access(0x100, 8, None)
+        stream.add_access(0x200, 4, 42)
+    assert a.digest() == b.digest()
+
+
+def test_different_address_different_digest():
+    a, b = HashStream(), HashStream()
+    a.add_access(0x100, 8, None)
+    b.add_access(0x108, 8, None)
+    assert a.digest() != b.digest()
+
+
+def test_different_size_different_digest():
+    a, b = HashStream(), HashStream()
+    a.add_access(0x100, 8, None)
+    b.add_access(0x100, 4, None)
+    assert a.digest() != b.digest()
+
+
+def test_different_store_data_different_digest():
+    a, b = HashStream(), HashStream()
+    a.add_access(0x100, 8, 1)
+    b.add_access(0x100, 8, 2)
+    assert a.digest() != b.digest()
+
+
+def test_store_presence_changes_digest():
+    a, b = HashStream(), HashStream()
+    a.add_access(0x100, 8, None)
+    b.add_access(0x100, 8, 0)
+    assert a.digest() != b.digest()
+
+
+def test_reordering_detected():
+    # The paper requires the hash to catch reordering (section IV-I).
+    a, b = HashStream(), HashStream()
+    a.add_access(0x100, 8, 1)
+    a.add_access(0x200, 8, 2)
+    b.add_access(0x200, 8, 2)
+    b.add_access(0x100, 8, 1)
+    assert a.digest() != b.digest()
+
+
+def test_repeated_same_bit_error_detected():
+    # Weak checksums (e.g. XOR) cancel repeated errors; SHA-256 must not.
+    a, b = HashStream(), HashStream()
+    a.add_access(0x100, 8, 1)
+    a.add_access(0x100, 8, 1)
+    b.add_access(0x101, 8, 1)  # same bit flipped twice
+    b.add_access(0x101, 8, 1)
+    assert a.digest() != b.digest()
+
+
+def test_digest_segment_covers_all_accesses():
+    records = [
+        LSLRecord(RecordKind.LOAD, (LSLAccess(0x100, 8, loaded=1),), 0),
+        LSLRecord(RecordKind.GATHER, (
+            LSLAccess(0x200, 8, loaded=1),
+            LSLAccess(0x300, 8, loaded=2),
+        ), 1),
+    ]
+    one = digest_segment(records)
+    two = digest_segment(records[:1])
+    assert one != two
+
+
+def test_accesses_counted():
+    stream = HashStream()
+    stream.add_access(0x100, 8, None)
+    stream.add_access(0x200, 8, 3)
+    assert stream.accesses_digested == 2
+
+
+@given(st.lists(st.tuples(
+    st.integers(min_value=0, max_value=(1 << 64) - 1),
+    st.integers(min_value=1, max_value=8),
+    st.one_of(st.none(), st.integers(min_value=0, max_value=(1 << 64) - 1)),
+), min_size=1, max_size=30))
+def test_digest_deterministic_property(accesses):
+    a, b = HashStream(), HashStream()
+    for addr, size, stored in accesses:
+        a.add_access(addr, size, stored)
+        b.add_access(addr, size, stored)
+    assert a.digest() == b.digest()
+
+
+@given(
+    st.lists(st.tuples(
+        st.integers(min_value=0, max_value=(1 << 32) - 1),
+        st.integers(min_value=1, max_value=8),
+    ), min_size=2, max_size=10, unique=True),
+)
+def test_any_single_perturbation_changes_digest(accesses):
+    base = HashStream()
+    for addr, size in accesses:
+        base.add_access(addr, size, None)
+    # Perturb the first access's address by one.
+    other = HashStream()
+    for i, (addr, size) in enumerate(accesses):
+        other.add_access(addr + (1 if i == 0 else 0), size, None)
+    assert base.digest() != other.digest()

@@ -1,0 +1,98 @@
+"""Tests for predictive-maintenance health monitoring."""
+
+import pytest
+
+from repro.core.errors import DetectionEvent, DetectionKind
+from repro.core.maintenance import CoreHealth, HealthMonitor
+
+
+def event(segment=0):
+    return DetectionEvent(DetectionKind.STORE_DATA, segment, "boom")
+
+
+def feed(monitor, main, checker, checks, errors):
+    for i in range(checks):
+        monitor.observe_check(main, checker,
+                              event(i) if i < errors else None)
+
+
+def test_unknown_core_is_healthy():
+    assert HealthMonitor().health_of("cpu9") is CoreHealth.HEALTHY
+
+
+def test_too_few_checks_stay_healthy():
+    monitor = HealthMonitor(min_checks=100)
+    feed(monitor, "main0", "chk0", checks=50, errors=10)
+    assert monitor.health_of("chk0") is CoreHealth.HEALTHY
+
+
+def test_clean_core_healthy():
+    monitor = HealthMonitor()
+    feed(monitor, "main0", "chk0", checks=500, errors=0)
+    assert monitor.health_of("main0") is CoreHealth.HEALTHY
+    assert monitor.health_of("chk0") is CoreHealth.HEALTHY
+
+
+def test_error_prone_core_retired_across_partners():
+    monitor = HealthMonitor(retire_threshold=0.01, min_partners=2)
+    # "bad" is implicated with two different partners: it is the culprit.
+    feed(monitor, "bad", "peerA", checks=200, errors=6)
+    feed(monitor, "bad", "peerB", checks=200, errors=6)
+    assert monitor.health_of("bad") is CoreHealth.RETIRE
+
+
+def test_single_partner_not_retired():
+    # With only one partner the blame is ambiguous (section V): the core
+    # stays a suspect rather than being pulled.
+    monitor = HealthMonitor(retire_threshold=0.01, min_partners=2)
+    feed(monitor, "maybe", "peerA", checks=400, errors=10)
+    assert monitor.health_of("maybe") is CoreHealth.SUSPECT
+
+
+def test_sporadic_implication_is_suspect():
+    monitor = HealthMonitor(retire_threshold=0.05,
+                            suspect_threshold=0.001)
+    feed(monitor, "flaky", "peerA", checks=1000, errors=2)
+    feed(monitor, "flaky", "peerB", checks=1000, errors=1)
+    assert monitor.health_of("flaky") is CoreHealth.SUSPECT
+
+
+def test_partner_of_bad_core_not_retired():
+    monitor = HealthMonitor(retire_threshold=0.01, min_partners=2)
+    feed(monitor, "bad", "innocentA", checks=300, errors=9)
+    feed(monitor, "bad", "innocentB", checks=300, errors=9)
+    feed(monitor, "innocentA", "cleanPeer", checks=2000, errors=0)
+    # innocentA has errors only with "bad" (one partner): not RETIRE.
+    assert monitor.health_of("innocentA") is not CoreHealth.RETIRE
+    assert monitor.health_of("bad") is CoreHealth.RETIRE
+
+
+def test_report_covers_all_cores():
+    monitor = HealthMonitor()
+    feed(monitor, "a", "b", checks=10, errors=0)
+    report = monitor.report()
+    assert set(report) == {"a", "b"}
+
+
+def test_retirement_candidates_sorted_by_rate():
+    monitor = HealthMonitor(retire_threshold=0.01, min_partners=2,
+                            min_checks=10)
+    feed(monitor, "worse", "p1", checks=100, errors=20)
+    feed(monitor, "worse", "p2", checks=100, errors=20)
+    feed(monitor, "bad", "p3", checks=100, errors=5)
+    feed(monitor, "bad", "p4", checks=100, errors=5)
+    candidates = monitor.retirement_candidates()
+    assert [c.core_id for c in candidates][:2] == ["worse", "bad"]
+
+
+def test_invalid_thresholds_rejected():
+    with pytest.raises(ValueError):
+        HealthMonitor(retire_threshold=0.001, suspect_threshold=0.01)
+
+
+def test_implication_rate():
+    monitor = HealthMonitor()
+    feed(monitor, "x", "y", checks=100, errors=4)
+    record = monitor._records["x"]
+    assert record.implication_rate == pytest.approx(0.04)
+    assert record.partners == {"y"}

@@ -1,0 +1,124 @@
+"""Tests for the Register Checkpointing Unit and Load-Store Comparator."""
+
+import pytest
+
+from repro.core.errors import DetectionKind
+from repro.core.lsc import LoadStoreComparator
+from repro.core.lsl import LSLAccess
+from repro.core.rcu import RegisterCheckpointUnit
+from repro.isa.registers import ARCH_CHECKPOINT_BYTES, RegisterFile
+
+
+class TestRCU:
+    def test_take_checkpoint_counts_traffic(self):
+        rcu = RegisterCheckpointUnit()
+        regs = RegisterFile()
+        rcu.take_checkpoint(regs, pc=0)
+        rcu.take_checkpoint(regs, pc=1)
+        assert rcu.stats.checkpoints_taken == 2
+        assert rcu.stats.bytes_forwarded == 2 * ARCH_CHECKPOINT_BYTES
+
+    def test_compare_matching_state(self):
+        rcu = RegisterCheckpointUnit()
+        regs = RegisterFile()
+        regs.write_int(3, 7)
+        expected = regs.snapshot(5)
+        rcu.arm(expected)
+        assert rcu.compare(regs.snapshot(5), segment=0) is None
+        assert rcu.stats.mismatches == 0
+
+    def test_compare_detects_register_divergence(self):
+        rcu = RegisterCheckpointUnit()
+        regs = RegisterFile()
+        expected = regs.snapshot(5)
+        rcu.arm(expected)
+        regs.write_int(9, 1)
+        event = rcu.compare(regs.snapshot(5), segment=3)
+        assert event is not None
+        assert event.kind is DetectionKind.REGISTER_CHECKPOINT
+        assert event.segment == 3
+        assert "x9" in event.detail
+
+    def test_compare_detects_pc_divergence(self):
+        rcu = RegisterCheckpointUnit()
+        regs = RegisterFile()
+        rcu.arm(regs.snapshot(5))
+        event = rcu.compare(regs.snapshot(6), segment=0)
+        assert event is not None
+
+    def test_compare_before_arm_is_an_error(self):
+        rcu = RegisterCheckpointUnit()
+        with pytest.raises(RuntimeError):
+            rcu.compare(RegisterFile().snapshot(0), segment=0)
+
+    def test_digest_compare(self):
+        rcu = RegisterCheckpointUnit()
+        rcu.arm(RegisterFile().snapshot(0), digest=b"\x01" * 32)
+        assert rcu.compare_digest(b"\x01" * 32, segment=0) is None
+        event = rcu.compare_digest(b"\x02" * 32, segment=0)
+        assert event is not None
+        assert event.kind is DetectionKind.HASH_MISMATCH
+
+    def test_digest_compare_before_arm_is_an_error(self):
+        rcu = RegisterCheckpointUnit()
+        rcu.arm(RegisterFile().snapshot(0))
+        with pytest.raises(RuntimeError):
+            rcu.compare_digest(b"", segment=0)
+
+
+class TestLSC:
+    def make(self):
+        return LoadStoreComparator()
+
+    def test_matching_load(self):
+        lsc = self.make()
+        logged = LSLAccess(0x100, 8, loaded=1)
+        assert lsc.compare_load(logged, 0x100, 8, 0, 0) is None
+        assert lsc.stats.load_compares == 1
+
+    def test_load_address_mismatch(self):
+        lsc = self.make()
+        logged = LSLAccess(0x100, 8, loaded=1)
+        event = lsc.compare_load(logged, 0x108, 8, 0, 7)
+        assert event.kind is DetectionKind.LOAD_ADDRESS
+        assert event.trace_index == 7
+
+    def test_load_size_mismatch(self):
+        lsc = self.make()
+        logged = LSLAccess(0x100, 8, loaded=1)
+        event = lsc.compare_load(logged, 0x100, 4, 0, 0)
+        assert event is not None
+
+    def test_matching_store(self):
+        lsc = self.make()
+        logged = LSLAccess(0x200, 8, stored=42)
+        assert lsc.compare_store(logged, 0x200, 8, 42, 0, 0) is None
+
+    def test_store_address_mismatch(self):
+        lsc = self.make()
+        logged = LSLAccess(0x200, 8, stored=42)
+        event = lsc.compare_store(logged, 0x208, 8, 42, 0, 0)
+        assert event.kind is DetectionKind.STORE_ADDRESS
+
+    def test_store_data_mismatch(self):
+        lsc = self.make()
+        logged = LSLAccess(0x200, 8, stored=42)
+        event = lsc.compare_store(logged, 0x200, 8, 43, 0, 0)
+        assert event.kind is DetectionKind.STORE_DATA
+
+    def test_store_data_masked_to_size(self):
+        # A 2-byte store of 0x12345 only commits 0x2345.
+        lsc = self.make()
+        logged = LSLAccess(0x200, 2, stored=0x2345)
+        assert lsc.compare_store(logged, 0x200, 2, 0x12345, 0, 0) is None
+
+    def test_mismatch_counter(self):
+        lsc = self.make()
+        logged = LSLAccess(0x100, 8, loaded=1)
+        lsc.compare_load(logged, 0x100, 8, 0, 0)
+        lsc.compare_load(logged, 0x999, 8, 0, 0)
+        assert lsc.stats.mismatches == 1
+
+    def test_storage_budget(self):
+        # Paper section VII-E: 48 B for a 2-wide LSC.
+        assert LoadStoreComparator.STORAGE_BYTES == 48

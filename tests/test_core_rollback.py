@@ -1,0 +1,136 @@
+"""Tests for the rollback-correction extension (ParaMedic-style)."""
+
+import pytest
+
+from repro.core.rollback import RecoverableSystem, UndoLogPort
+from repro.cpu.functional import DirectMemoryPort, FunctionalCore
+from repro.faults.models import StuckAtFault, TransientFault
+from repro.isa.assembler import assemble
+from repro.isa.instructions import FUKind
+from repro.mem.memory import Memory
+
+PROGRAM_TEXT = """
+    addi x1, x0, 400
+    lui x3, 0x1000
+loop:
+    ld x4, 0(x3)
+    addi x4, x4, 3
+    st x4, 0(x3)
+    mul x5, x4, x1
+    st x5, 8(x3)
+    addi x3, x3, 16
+    subi x1, x1, 1
+    bne x1, x0, loop
+    halt
+"""
+
+
+def reference_run(max_instructions=10_000):
+    program = assemble(PROGRAM_TEXT, name="rollback")
+    memory = Memory(program.memory_image)
+    core = FunctionalCore(program, DirectMemoryPort(memory))
+    result = core.run(max_instructions)
+    return result.end_checkpoint, memory
+
+
+class TestUndoLog:
+    def test_records_old_values(self):
+        memory = Memory({0x10: 5})
+        port = UndoLogPort(memory)
+        port.store(0x10, 8, 9)
+        assert port.undo == [(0x10, 8, 5)]
+
+    def test_unwind_restores_in_reverse(self):
+        memory = Memory()
+        port = UndoLogPort(memory)
+        port.store(0x10, 8, 1)
+        port.store(0x10, 8, 2)
+        log = port.take_undo()
+        port.unwind(log)
+        assert memory.load(0x10, 8) == 0
+
+    def test_swap_is_logged(self):
+        memory = Memory({0x20: 7})
+        port = UndoLogPort(memory)
+        assert port.swap(0x20, 8, 8) == 7
+        port.unwind(port.take_undo())
+        assert memory.load(0x20, 8) == 7
+
+    def test_take_undo_clears(self):
+        port = UndoLogPort(Memory())
+        port.store(0x10, 8, 1)
+        port.take_undo()
+        assert port.undo == []
+
+
+class TestRecovery:
+    def test_clean_run_never_rolls_back(self):
+        program = assemble(PROGRAM_TEXT, name="rollback")
+        system = RecoverableSystem(program, segment_instructions=500)
+        result = system.run(6_000)
+        assert result.rolled_back == 0
+        assert result.segments > 5
+
+    def test_clean_run_matches_reference(self):
+        program = assemble(PROGRAM_TEXT, name="rollback")
+        system = RecoverableSystem(program, segment_instructions=500)
+        result = system.run(10_000)
+        reference_end, reference_memory = reference_run(10_000)
+        assert result.end_checkpoint.matches(reference_end)
+        assert result.memory == reference_memory
+
+    def test_transient_main_fault_corrected(self):
+        """A soft error in the main core is detected, rolled back, and the
+        re-executed run converges to the fault-free result."""
+        program = assemble(PROGRAM_TEXT, name="rollback")
+        fault = TransientFault(FUKind.INT_ALU, unit=0, bit=7,
+                               strike_at_use=1000)
+        system = RecoverableSystem(program, segment_instructions=500,
+                                   main_fault=fault)
+        result = system.run(10_000)
+        assert result.rolled_back >= 1
+        reference_end, reference_memory = reference_run(10_000)
+        assert result.end_checkpoint.matches(reference_end)
+        assert result.memory == reference_memory
+
+    def test_recovery_event_carries_detection(self):
+        program = assemble(PROGRAM_TEXT, name="rollback")
+        fault = TransientFault(FUKind.INT_ALU, unit=0, bit=3,
+                               strike_at_use=700)
+        system = RecoverableSystem(program, segment_instructions=500,
+                                   main_fault=fault)
+        result = system.run(5_000)
+        if result.recoveries:  # the strike may be architecturally masked
+            event = result.recoveries[0]
+            assert event.detection is not None
+            assert event.attempt == 1
+
+    def test_hard_checker_fault_exhausts_retries(self):
+        program = assemble(PROGRAM_TEXT, name="rollback")
+        fault = StuckAtFault(FUKind.INT_ALU, unit=0, bit=0, stuck_at=1)
+        system = RecoverableSystem(program, segment_instructions=500,
+                                   checker_fault=fault, max_retries=2)
+        with pytest.raises(RuntimeError, match="hard fault"):
+            system.run(5_000)
+
+    def test_multiple_transients_all_corrected(self):
+        program = assemble(PROGRAM_TEXT, name="rollback")
+
+        class TwoStrikes:
+            def __init__(self):
+                self.faults = [
+                    TransientFault(FUKind.INT_ALU, 0, 5, strike_at_use=600),
+                    TransientFault(FUKind.INT_MUL, 0, 9, strike_at_use=400),
+                ]
+
+            def apply(self, fu, unit, value, is_address=False):
+                for fault in self.faults:
+                    value = fault.apply(fu, unit, value, is_address)
+                return value
+
+        system = RecoverableSystem(program, segment_instructions=400,
+                                   main_fault=TwoStrikes())
+        result = system.run(10_000)
+        reference_end, reference_memory = reference_run(10_000)
+        assert result.end_checkpoint.matches(reference_end)
+        assert result.memory == reference_memory

@@ -1,0 +1,176 @@
+"""Tests for speculative out-of-order LSL indexing (section IV-G, Fig. 4)."""
+
+import pytest
+
+from repro.core.lsl import LSLAccess, LSLRecord, RecordKind
+from repro.core.speculative import (
+    AccessOutcome,
+    SpeculativeIndexAllocator,
+    SpeculativeLSLWindow,
+)
+
+
+def records(*specs):
+    """Build log records from (addr, is_store) pairs."""
+    out = []
+    for i, (addr, is_store) in enumerate(specs):
+        access = LSLAccess(addr, 8,
+                           loaded=None if is_store else 1,
+                           stored=2 if is_store else None)
+        kind = RecordKind.STORE if is_store else RecordKind.LOAD
+        out.append(LSLRecord(kind, (access,), i))
+    return out
+
+
+class TestAllocator:
+    def test_indices_assigned_in_decode_order(self):
+        alloc = SpeculativeIndexAllocator()
+        a = alloc.decode(1)
+        b = alloc.decode(2)
+        c = alloc.decode(3)
+        assert (a.index, b.index, c.index) == (0, 1, 2)
+
+    def test_multi_entry_ops_advance_by_their_size(self):
+        alloc = SpeculativeIndexAllocator()
+        a = alloc.decode(1, entries=2)  # e.g. a gather
+        b = alloc.decode(2)
+        assert a.index == 0
+        assert b.index == 2
+
+    def test_hash_mode_zero_entry_ops_share_index(self):
+        # In Hash Mode plain stores carry no log payload (section IV-I).
+        alloc = SpeculativeIndexAllocator()
+        a = alloc.decode(1, entries=0)
+        b = alloc.decode(2)
+        assert a.index == 0 and b.index == 0
+
+    def test_double_decode_rejected(self):
+        alloc = SpeculativeIndexAllocator()
+        alloc.decode(1)
+        with pytest.raises(ValueError):
+            alloc.decode(1)
+
+    def test_squash_rewinds_index(self):
+        alloc = SpeculativeIndexAllocator()
+        alloc.decode(1)
+        victim = alloc.decode(2)
+        alloc.decode(3)
+        squashed = alloc.squash_from(2)
+        assert [op.op_id for op in squashed] == [2, 3]
+        # Correct-path instruction reuses the squashed index (Fig. 4).
+        replay = alloc.decode(4)
+        assert replay.index == victim.index
+
+    def test_squash_unknown_op_rejected(self):
+        alloc = SpeculativeIndexAllocator()
+        with pytest.raises(KeyError):
+            alloc.squash_from(9)
+
+    def test_commit_retires_in_flight_op(self):
+        alloc = SpeculativeIndexAllocator()
+        op = alloc.decode(1)
+        committed = alloc.commit(1)
+        assert committed is op
+        assert committed.committed
+
+    def test_cannot_commit_squashed_op(self):
+        alloc = SpeculativeIndexAllocator()
+        alloc.decode(1)
+        alloc.squash_from(1)
+        with pytest.raises(KeyError):
+            alloc.commit(1)
+
+    def test_reset_for_new_segment(self):
+        alloc = SpeculativeIndexAllocator()
+        alloc.decode(1)
+        alloc.reset()
+        assert alloc.next_index == 0
+        assert alloc.decode(2).index == 0
+
+
+class TestFig4Scenario:
+    """The exact example of the paper's Fig. 4."""
+
+    def test_fig4(self):
+        # Log: id0 -> load x, id2 -> store x, id4 -> load y... the figure's
+        # entries are (load x, a), (store x, b), (load z, c): three log
+        # entries at indices 0, 1, 2 in our record-granular model.
+        log = records((0x100, False),   # load x
+                      (0x100, True),    # store x
+                      (0x300, False))   # load z
+        window = SpeculativeLSLWindow(log)
+        alloc = window.allocator
+
+        i1 = alloc.decode(1)  # load x
+        i2 = alloc.decode(2)  # store x
+        i3 = alloc.decode(3)  # wrong-path "load y"
+
+        # Out-of-order backend: I3 accesses before I2.
+        assert window.access(i1, 0x100, is_store=False) is AccessOutcome.MATCH
+        # I3 is a load to y (0x200) but its entry holds a load to z: the
+        # PE bit is set, not raised.
+        outcome = window.access(i3, 0x200, is_store=False)
+        assert outcome is AccessOutcome.PE_SET
+        assert i3.pe_bit
+        # I2 accesses its own entry by index despite executing after I3.
+        assert window.access(i2, 0x100, is_store=True) is AccessOutcome.MATCH
+
+        # I3 turns out to be a misspeculation: squash and rewind.
+        alloc.squash_from(3)
+        # The correct-path instruction (a load to z) reuses index 2.
+        i3b = alloc.decode(4)
+        assert i3b.index == 2
+        assert window.access(i3b, 0x300, is_store=False) is AccessOutcome.MATCH
+        assert not i3b.pe_bit
+
+    def test_pe_bit_raised_only_if_committed(self):
+        log = records((0x100, False))
+        window = SpeculativeLSLWindow(log)
+        op = window.allocator.decode(1)
+        window.access(op, 0x999, is_store=False)
+        assert op.pe_bit
+        committed = window.allocator.commit(1)
+        # A committed op with the PE bit set is a reported error.
+        assert committed.pe_bit and committed.committed
+
+
+class TestEagerLimiter:
+    def test_access_beyond_pushed_entries_sleeps(self):
+        log = records((0x100, False), (0x200, False))
+        window = SpeculativeLSLWindow(log, pushed=1)
+        a = window.allocator.decode(1)
+        b = window.allocator.decode(2)
+        assert window.access(a, 0x100, False) is AccessOutcome.MATCH
+        assert window.access(b, 0x200, False) is AccessOutcome.BEYOND_END
+
+    def test_push_wakes_access(self):
+        log = records((0x100, False), (0x200, False))
+        window = SpeculativeLSLWindow(log, pushed=1)
+        b = window.allocator.decode(2, entries=1)
+        window.allocator.squash_from(2)  # restart fetch after sleep
+        window.push_to(2)
+        b2 = window.allocator.decode(3)
+        assert window.access(b2, 0x100, False) is AccessOutcome.MATCH
+
+    def test_push_count_cannot_decrease(self):
+        window = SpeculativeLSLWindow(records((0x100, False)), pushed=1)
+        with pytest.raises(ValueError):
+            window.push_to(0)
+
+
+def test_out_of_order_access_order_matches_inorder_consumption():
+    """Whatever the access order, committed ops must map to the same
+    entries as sequential in-order consumption would give them."""
+    import random
+    rng = random.Random(0)
+    log = records(*[(0x1000 + i * 8, i % 3 == 0) for i in range(20)])
+    window = SpeculativeLSLWindow(log)
+    ops = [window.allocator.decode(i) for i in range(20)]
+    shuffled = ops[:]
+    rng.shuffle(shuffled)
+    for op in shuffled:
+        access = log[op.index].accesses[0]
+        is_store = access.stored is not None
+        assert window.access(op, access.addr, is_store) is AccessOutcome.MATCH
+    for i, op in enumerate(ops):
+        assert op.index == i

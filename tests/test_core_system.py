@@ -1,0 +1,164 @@
+"""System-level tests: full-coverage vs opportunistic, NoC, modes."""
+
+import pytest
+
+from repro.core.counter import CutReason
+from repro.core.system import (
+    CheckMode,
+    ParaVerserConfig,
+    ParaVerserSystem,
+)
+from repro.cpu.config import CoreInstance
+from repro.cpu.presets import A35, A510, X2
+from repro.noc.mesh import SLOW_NOC
+from repro.workloads.generator import build_program
+from repro.workloads.profiles import get_profile
+
+INSTRUCTIONS = 15_000
+
+
+@pytest.fixture(scope="module")
+def bwaves_program():
+    return build_program(get_profile("bwaves"), seed=3)
+
+
+@pytest.fixture(scope="module")
+def exchange_program():
+    return build_program(get_profile("exchange2"), seed=3)
+
+
+def run(program, checkers, mode=CheckMode.FULL, **kw):
+    config = ParaVerserConfig(
+        main=CoreInstance(X2, 3.0),
+        checkers=checkers,
+        mode=mode,
+        seed=3,
+        timeout_instructions=kw.pop("timeout", 1000),
+        **kw,
+    )
+    return ParaVerserSystem(config).run(program,
+                                        max_instructions=INSTRUCTIONS)
+
+
+def test_full_coverage_checks_everything(exchange_program):
+    result = run(exchange_program, [CoreInstance(X2, 3.0)])
+    assert result.coverage == 1.0
+    assert result.mode is CheckMode.FULL
+
+
+def test_full_coverage_verifies_sample_segments(exchange_program):
+    result = run(exchange_program, [CoreInstance(X2, 3.0)])
+    assert result.verify_results
+    assert all(not r.detected for r in result.verify_results)
+
+
+def test_slow_checkers_stall_on_fdiv_heavy_code(bwaves_program):
+    result = run(bwaves_program, [CoreInstance(A510, 1.0)])
+    assert result.stall_ns > 0
+    assert result.slowdown > 1.05
+
+
+def test_more_checkers_reduce_stalls(bwaves_program):
+    one = run(bwaves_program, [CoreInstance(A510, 2.0)])
+    four = run(bwaves_program, [CoreInstance(A510, 2.0)] * 4)
+    assert four.stall_ns < one.stall_ns
+
+
+def test_opportunistic_never_stalls(bwaves_program):
+    result = run(bwaves_program, [CoreInstance(A510, 1.0)],
+                 mode=CheckMode.OPPORTUNISTIC)
+    assert result.stall_ns == 0.0
+    assert result.coverage < 1.0  # one slow checker cannot keep up
+
+
+def test_opportunistic_coverage_scales_with_checkers(bwaves_program):
+    weak = run(bwaves_program, [CoreInstance(A510, 1.0)],
+               mode=CheckMode.OPPORTUNISTIC)
+    strong = run(bwaves_program, [CoreInstance(A510, 2.0)] * 4,
+                 mode=CheckMode.OPPORTUNISTIC)
+    assert strong.coverage > weak.coverage
+
+
+def test_opportunistic_cheaper_than_full(bwaves_program):
+    full = run(bwaves_program, [CoreInstance(A510, 1.0)])
+    opp = run(bwaves_program, [CoreInstance(A510, 1.0)],
+              mode=CheckMode.OPPORTUNISTIC)
+    assert opp.checked_time_ns < full.checked_time_ns
+
+
+def test_segments_cut_by_timeout(exchange_program):
+    result = run(exchange_program, [CoreInstance(X2, 3.0)])
+    assert result.cut_reasons.get(CutReason.TIMEOUT.value, 0) > 0
+
+
+def test_tiny_dedicated_lsl_cuts_on_capacity(exchange_program):
+    result = run(exchange_program, [CoreInstance(A35, 1.0)] * 12,
+                 lsl_capacity_bytes=3 * 1024, timeout=5000)
+    assert result.cut_reasons.get(CutReason.LSL_FULL.value, 0) > 0
+
+
+def test_hash_mode_reduces_lsl_traffic(exchange_program):
+    plain = run(exchange_program, [CoreInstance(X2, 3.0)])
+    hashed = run(exchange_program, [CoreInstance(X2, 3.0)], hash_mode=True)
+    # Hash Mode halves load traffic and eliminates store traffic.
+    assert hashed.lsl_bytes < 0.6 * plain.lsl_bytes
+
+
+def test_slow_noc_hurts_more_than_fast(exchange_program):
+    fast = run(exchange_program, [CoreInstance(X2, 3.0)])
+    slow = run(exchange_program, [CoreInstance(X2, 3.0)], noc=SLOW_NOC)
+    assert slow.noc_extra_llc_ns >= fast.noc_extra_llc_ns
+
+
+def test_hash_mode_relieves_slow_noc(exchange_program):
+    slow = run(exchange_program, [CoreInstance(X2, 3.0)], noc=SLOW_NOC)
+    hashed = run(exchange_program, [CoreInstance(X2, 3.0)], noc=SLOW_NOC,
+                 hash_mode=True)
+    assert hashed.noc_extra_llc_ns <= slow.noc_extra_llc_ns
+
+
+def test_eager_wake_beats_lazy(bwaves_program):
+    eager = run(bwaves_program, [CoreInstance(A510, 1.6)] * 2)
+    lazy = run(bwaves_program, [CoreInstance(A510, 1.6)] * 2,
+               eager_wake=False)
+    assert eager.checked_time_ns <= lazy.checked_time_ns
+
+
+def test_empty_checker_pool_rejected(exchange_program):
+    config = ParaVerserConfig(main=CoreInstance(X2, 3.0), checkers=[])
+    with pytest.raises(ValueError):
+        ParaVerserSystem(config)
+
+
+def test_config_label_mentions_checkers(exchange_program):
+    result = run(exchange_program, [CoreInstance(A510, 2.0)] * 4)
+    assert "4xA510@2GHz" in result.config_label
+    assert "full" in result.config_label
+
+
+def test_checker_slots_account_work(exchange_program):
+    result = run(exchange_program, [CoreInstance(A510, 2.0)] * 2)
+    checked = sum(slot.instructions_checked for slot in result.checker_slots)
+    # Warmup exclusion aside, every instruction is checked exactly once.
+    assert checked == result.instructions
+
+
+def test_lsl_capacity_defaults_to_smallest_checker_l1d():
+    config = ParaVerserConfig(
+        main=CoreInstance(X2, 3.0),
+        checkers=[CoreInstance(X2, 3.0), CoreInstance(A510, 2.0)],
+    )
+    assert config.lsl_capacity() == 32 * 1024  # the A510's L1D
+
+
+def test_induction_checkpoint_chain(exchange_program):
+    config = ParaVerserConfig(
+        main=CoreInstance(X2, 3.0), checkers=[CoreInstance(A510, 2.0)],
+        seed=3, timeout_instructions=500,
+    )
+    system = ParaVerserSystem(config)
+    run_result = system.execute(exchange_program, 4_000)
+    segments = system.segment(run_result)
+    assert segments[0].start_checkpoint.matches(run_result.start_checkpoint)
+    for prev, cur in zip(segments, segments[1:]):
+        assert prev.end_checkpoint.matches(cur.start_checkpoint)

@@ -1,0 +1,90 @@
+"""Tests for the tournament branch predictor."""
+
+import random
+
+from repro.cpu.branch import BranchPredictor
+
+
+def test_learns_always_taken_branch():
+    predictor = BranchPredictor(8)
+    results = [predictor.predict_conditional(0x40, True) for _ in range(50)]
+    assert all(results[2:])  # 2-bit counters train within two outcomes
+
+
+def test_learns_never_taken_branch():
+    predictor = BranchPredictor(8)
+    results = [predictor.predict_conditional(0x40, False) for _ in range(50)]
+    assert sum(results[4:]) == len(results[4:])
+
+
+def test_random_branch_mispredicts_about_half():
+    predictor = BranchPredictor(8)
+    rng = random.Random(1)
+    for _ in range(4000):
+        predictor.predict_conditional(0x80, rng.random() < 0.5)
+    assert 0.35 < predictor.misprediction_rate < 0.65
+
+
+def test_biased_branches_survive_random_neighbours():
+    """A strongly biased branch must stay predictable even when another
+    branch injects random outcomes into the global history (the chooser
+    should fall back to bimodal)."""
+    predictor = BranchPredictor(8)
+    rng = random.Random(2)
+    correct = 0
+    total = 0
+    for i in range(4000):
+        predictor.predict_conditional(0x100, rng.random() < 0.5)  # noise
+        outcome = predictor.predict_conditional(0x200, True)      # biased
+        if i > 500:
+            total += 1
+            correct += outcome
+    assert correct / total > 0.95
+
+
+def test_alternating_pattern_learned_via_history():
+    predictor = BranchPredictor(64)
+    outcomes = [bool(i % 2) for i in range(3000)]
+    correct = 0
+    for i, taken in enumerate(outcomes):
+        result = predictor.predict_conditional(0x300, taken)
+        if i > 1000:
+            correct += result
+    assert correct / (len(outcomes) - 1001) > 0.9
+
+
+def test_indirect_predictor_learns_stable_target():
+    predictor = BranchPredictor(8)
+    results = [predictor.predict_indirect(0x10, 77) for _ in range(10)]
+    assert results[0] is False
+    assert all(results[1:])
+
+
+def test_indirect_predictor_tracks_target_changes():
+    predictor = BranchPredictor(8)
+    predictor.predict_indirect(0x10, 1)
+    assert predictor.predict_indirect(0x10, 2) is False
+    assert predictor.predict_indirect(0x10, 2) is True
+
+
+def test_misprediction_rate_empty():
+    assert BranchPredictor(8).misprediction_rate == 0.0
+
+
+def test_storage_budget_scales_tables():
+    small = BranchPredictor(2)
+    large = BranchPredictor(64)
+    assert len(large._bimodal) > len(small._bimodal)
+
+
+def test_distinct_pcs_do_not_destructively_interfere():
+    predictor = BranchPredictor(64)
+    correct = 0
+    total = 0
+    for i in range(2000):
+        for pc, taken in ((0x1000, True), (0x2000, False), (0x3000, True)):
+            outcome = predictor.predict_conditional(pc, taken)
+            if i > 50:
+                total += 1
+                correct += outcome
+    assert correct / total > 0.98

@@ -1,0 +1,124 @@
+"""Table I presets must match the paper's configuration."""
+
+import pytest
+
+from repro.cpu.config import CoreInstance, CoreKind
+from repro.cpu.presets import A35, A510, CORE_CLASSES, X2
+from repro.isa.instructions import FUKind
+
+
+class TestX2:
+    def test_pipeline_shape(self):
+        assert X2.kind is CoreKind.OUT_OF_ORDER
+        assert X2.width == 5          # 5-wide
+        assert X2.rob_size == 288     # 288-entry ROB
+        assert X2.lq_size == 85       # 85-entry LQ
+        assert X2.sq_size == 90       # 90-entry SQ
+
+    def test_frequency_range(self):
+        assert X2.max_freq_ghz == 3.0  # 3 GHz in main mode
+
+    def test_caches(self):
+        hier = X2.hierarchy
+        assert hier.l1i.size_bytes == 64 * 1024 and hier.l1i.ways == 4
+        assert hier.l1i.hit_latency == 2
+        assert hier.l1d.size_bytes == 64 * 1024 and hier.l1d.hit_latency == 4
+        assert hier.l1d.mshrs == 16
+        assert hier.l2.size_bytes == 1024 * 1024 and hier.l2.hit_latency == 9
+        assert hier.l2.mshrs == 32
+
+    def test_predictor_and_checkpoint(self):
+        assert X2.predictor_kib == 64     # 64 KiB MPP-TAGE
+        assert X2.checkpoint_latency == 8  # 8-cycle reg. checkpoint
+
+    def test_functional_units(self):
+        assert X2.fus[FUKind.BRANCH].units == 2
+        assert X2.fus[FUKind.FP].units == 4
+        assert X2.fus[FUKind.LOAD].units == 2   # load-only + load-store
+        assert X2.fus[FUKind.STORE].units == 1
+
+
+class TestA510:
+    def test_pipeline_shape(self):
+        assert A510.kind is CoreKind.IN_ORDER
+        assert A510.width == 3        # 3-wide in-order
+        assert A510.lq_size == 16     # 16-entry LSQ
+
+    def test_frequency_range(self):
+        assert A510.max_freq_ghz == 2.0  # up to 2 GHz
+
+    def test_caches(self):
+        hier = A510.hierarchy
+        assert hier.l1i.size_bytes == 32 * 1024 and hier.l1i.hit_latency == 1
+        assert hier.l1d.size_bytes == 32 * 1024 and hier.l1d.mshrs == 12
+        assert hier.l2.size_bytes == 256 * 1024 and hier.l2.mshrs == 16
+
+    def test_predictor(self):
+        assert A510.predictor_kib == 8  # 8 KiB MPP-TAGE
+
+    def test_fdiv_is_long_latency(self):
+        # The A510 optimisation guide's up-to-22-cycle FP divide: the
+        # mechanism behind bwaves in Figs. 6-8.
+        fdiv = A510.fus[FUKind.FP_DIV]
+        assert fdiv.units == 1
+        assert fdiv.latency == 22
+        assert fdiv.interval >= 10  # unpipelined
+
+    def test_int_units(self):
+        assert A510.fus[FUKind.INT_ALU].units == 3  # 3 Int
+        assert A510.fus[FUKind.INT_DIV].units == 1  # 1 Div
+
+
+class TestA35:
+    def test_scalar_in_order(self):
+        assert A35.kind is CoreKind.IN_ORDER
+        assert A35.width == 1
+        for fu in A35.fus.values():
+            assert fu.units == 1
+
+    def test_sixteen_checkers_match_paper_area(self):
+        # Paper section VII-E: 16 extrapolated A35s ~ 0.84 mm^2.
+        assert 16 * A35.area_mm2 == pytest.approx(0.84)
+
+
+class TestSystem:
+    def test_shared_l3(self):
+        l3 = X2.hierarchy.l3
+        assert l3.size_bytes == 8 * 1024 * 1024
+        assert l3.ways == 8
+        assert l3.hit_latency == 25
+        assert l3.mshrs == 48
+        assert A510.hierarchy.l3 == l3
+
+    def test_dram_is_ddr4_2400(self):
+        assert X2.hierarchy.dram.peak_bandwidth_gbps == pytest.approx(19.2)
+
+    def test_core_classes_registry(self):
+        assert set(CORE_CLASSES) == {"X2", "A510", "A35"}
+
+    def test_area_ratio(self):
+        # Die-shot estimates: X2 2.43 mm^2, A510 0.44 mm^2.
+        assert X2.area_mm2 == pytest.approx(2.43)
+        assert A510.area_mm2 == pytest.approx(0.44)
+
+
+class TestVoltageCurves:
+    def test_voltage_interpolation(self):
+        assert X2.voltage_at(3.0) == pytest.approx(1.0)
+        assert X2.voltage_at(1.0) == pytest.approx(0.65)
+        mid = X2.voltage_at(2.0)
+        assert 0.65 < mid < 1.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            X2.voltage_at(4.0)
+        with pytest.raises(ValueError):
+            A510.voltage_at(0.1)
+
+    def test_core_instance_validates_frequency(self):
+        with pytest.raises(ValueError):
+            CoreInstance(A510, 3.0)
+
+    def test_core_instance_label(self):
+        assert CoreInstance(A510, 2.0).label == "A510@2GHz"
+        assert CoreInstance(X2, 1.5).label == "X2@1.5GHz"

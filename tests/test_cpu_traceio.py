@@ -1,0 +1,100 @@
+"""Tests for trace/program serialization."""
+
+import json
+
+import pytest
+
+from repro.core.checker import CheckerCore
+from repro.core.system import ParaVerserConfig, ParaVerserSystem
+from repro.cpu.config import CoreInstance
+from repro.cpu.presets import A510, X2
+from repro.cpu.timing import TimingModel
+from repro.cpu.traceio import (
+    load_run,
+    program_from_json,
+    program_to_json,
+    save_run,
+)
+from repro.workloads.generator import build_program
+from repro.workloads.profiles import get_profile
+
+
+@pytest.fixture(scope="module")
+def run_and_program():
+    program = build_program(get_profile("x264"), seed=3)  # incl. BCOPY ops
+    config = ParaVerserConfig(
+        main=CoreInstance(X2, 3.0), checkers=[CoreInstance(A510, 2.0)],
+        seed=3, timeout_instructions=500,
+    )
+    system = ParaVerserSystem(config)
+    return system, program, system.execute(program, 6_000)
+
+
+def test_program_roundtrip(run_and_program):
+    _, program, _ = run_and_program
+    restored = program_from_json(program_to_json(program))
+    assert restored.name == program.name
+    assert len(restored.instructions) == len(program.instructions)
+    assert restored.memory_image == program.memory_image
+    for a, b in zip(restored.instructions, program.instructions):
+        assert a == b
+
+
+def test_run_roundtrip(tmp_path, run_and_program):
+    _, _, run = run_and_program
+    path = tmp_path / "run.json"
+    save_run(run, path)
+    restored = load_run(path)
+    assert restored.instructions == run.instructions
+    assert restored.halted == run.halted
+    assert restored.start_checkpoint.matches(run.start_checkpoint)
+    assert restored.end_checkpoint.matches(run.end_checkpoint)
+    assert len(restored.trace) == len(run.trace)
+    for a, b in zip(restored.trace[:200], run.trace[:200]):
+        assert (a.pc, a.addr, a.loaded, a.stored, a.taken, a.next_pc, a.bulk) \
+            == (b.pc, b.addr, b.loaded, b.stored, b.taken, b.next_pc, b.bulk)
+
+
+def test_loaded_trace_is_checkable(tmp_path, run_and_program):
+    """A reloaded run must drive segmentation + healthy replay cleanly."""
+    system, _, run = run_and_program
+    path = tmp_path / "run.json"
+    save_run(run, path)
+    restored = load_run(path)
+    segments = system.segment(restored)
+    checker = CheckerCore(restored.program)
+    for segment in segments[:3]:
+        result = checker.check_segment(segment)
+        assert not result.detected, str(result.first_event)
+
+
+def test_loaded_trace_times_identically(tmp_path, run_and_program):
+    _, _, run = run_and_program
+    path = tmp_path / "run.json"
+    save_run(run, path)
+    restored = load_run(path)
+    original = TimingModel(CoreInstance(X2, 3.0)).simulate(
+        run.program, run.trace)
+    reloaded = TimingModel(CoreInstance(X2, 3.0)).simulate(
+        restored.program, restored.trace)
+    assert reloaded.cycles == pytest.approx(original.cycles)
+
+
+def test_format_is_plain_json(tmp_path, run_and_program):
+    _, _, run = run_and_program
+    path = tmp_path / "run.json"
+    save_run(run, path)
+    payload = json.loads(path.read_text())
+    assert payload["version"] == 1
+    assert isinstance(payload["trace"], list)
+
+
+def test_version_check(tmp_path, run_and_program):
+    _, _, run = run_and_program
+    path = tmp_path / "run.json"
+    save_run(run, path)
+    payload = json.loads(path.read_text())
+    payload["version"] = 99
+    path.write_text(json.dumps(payload))
+    with pytest.raises(ValueError):
+        load_run(path)

@@ -1,0 +1,59 @@
+"""Smoke-run the lighter example scripts end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+#: Examples cheap enough to execute in the unit-test suite; the heavier
+#: ones (quickstart, fault_injection, noc_and_energy) are exercised by
+#: their underlying APIs throughout tests/ and by the benchmark harness.
+LIGHT_EXAMPLES = [
+    "rollback_recovery.py",
+    "adaptive_datacenter.py",
+    "fleet_simulation.py",
+]
+
+
+@pytest.mark.parametrize("script", LIGHT_EXAMPLES)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()
+
+
+def test_rollback_example_restores_correctness():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "rollback_recovery.py")],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert "matches fault-free run: True" in result.stdout
+
+
+def test_fleet_example_orders_strategies():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "fleet_simulation.py")],
+        capture_output=True, text=True, timeout=300,
+    )
+    out = result.stdout
+    assert "FleetScanner" in out and "ParaVerser" in out
+    # ParaVerser's line reports 100 % detection.
+    paraverser_line = next(line for line in out.splitlines()
+                           if line.startswith("ParaVerser"))
+    assert "100.0%" in paraverser_line
+
+
+def test_adaptive_example_shows_mode_transitions():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "adaptive_datacenter.py")],
+        capture_output=True, text=True, timeout=300,
+    )
+    out = result.stdout
+    assert "full" in out and "opportunistic" in out and "disabled" in out
+    assert "retire" in out

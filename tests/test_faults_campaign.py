@@ -1,0 +1,119 @@
+"""Tests for the fault-injection campaign driver (Fig. 8 machinery)."""
+
+import pytest
+
+from repro.core.system import CheckMode, ParaVerserConfig, ParaVerserSystem
+from repro.cpu.config import CoreInstance
+from repro.cpu.presets import A510, X2
+from repro.faults.campaign import (
+    FaultCampaign,
+    checker_fu_counts,
+    covered_segments,
+)
+from repro.faults.models import StuckAtFault
+from repro.isa.instructions import FUKind
+from repro.workloads.generator import build_program
+from repro.workloads.profiles import get_profile
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    program = build_program(get_profile("deepsjeng"), seed=5)
+    config = ParaVerserConfig(
+        main=CoreInstance(X2, 3.0),
+        checkers=[CoreInstance(A510, 2.0)],
+        mode=CheckMode.OPPORTUNISTIC,
+        seed=5,
+        timeout_instructions=500,
+    )
+    system = ParaVerserSystem(config)
+    run = system.execute(program, 8_000)
+    segments = system.segment(run)
+    result = system.run(program, run_result=run)
+    return program, segments, result
+
+
+def test_checker_fu_counts_match_config():
+    counts = checker_fu_counts(A510)
+    assert counts[FUKind.INT_ALU] == 3
+    assert counts[FUKind.FP_DIV] == 1
+
+
+def test_covered_segments_from_schedule(prepared):
+    _, segments, result = prepared
+    covered = covered_segments(result)
+    assert set(covered) <= {seg.index for seg in segments}
+
+
+def test_aggressive_fault_detected_quickly(prepared):
+    program, segments, _ = prepared
+    campaign = FaultCampaign(program, segments, A510)
+    fault = StuckAtFault(FUKind.INT_ALU, 0, bit=0, stuck_at=1)
+    outcome = campaign.run_trial(fault)
+    assert outcome.detected
+    assert outcome.detecting_segment >= 0
+    assert outcome.detection_instruction > 0
+    assert outcome.event is not None
+
+
+def test_detection_latency_is_segment_end(prepared):
+    program, segments, _ = prepared
+    campaign = FaultCampaign(program, segments, A510)
+    fault = StuckAtFault(FUKind.INT_ALU, 0, bit=1, stuck_at=1)
+    outcome = campaign.run_trial(fault)
+    if outcome.detected:
+        seg = segments[outcome.detecting_segment]
+        assert outcome.detection_instruction == seg.end
+
+
+def test_harmless_fault_classified_masked(prepared):
+    program, segments, _ = prepared
+    campaign = FaultCampaign(program, segments, A510)
+    # Bit 63 of an FP_DIV unit the int-heavy chess workload barely uses.
+    fault = StuckAtFault(FUKind.FP_DIV, 0, bit=62, stuck_at=0)
+    outcome = campaign.run_trial(fault)
+    assert outcome.masked
+    assert not outcome.detected
+
+
+def test_fault_outside_coverage_counted_as_missed(prepared):
+    program, segments, _ = prepared
+    campaign = FaultCampaign(program, segments, A510)
+    fault = StuckAtFault(FUKind.INT_ALU, 0, bit=0, stuck_at=1)
+    outcome = campaign.run_trial(fault, covered=[])  # nothing checked
+    assert not outcome.detected
+    assert not outcome.masked  # full replay shows it was effective
+
+
+def test_campaign_statistics(prepared):
+    program, segments, _ = prepared
+    campaign = FaultCampaign(program, segments, A510)
+    result = campaign.run(trials=10, seed=1)
+    assert result.injected == 10
+    assert result.detected + result.masked <= 10
+    assert 0.0 <= result.detection_rate_all <= 1.0
+    assert 0.0 <= result.detection_rate_effective <= 1.0
+
+
+def test_full_coverage_detects_all_effective_faults(prepared):
+    # With every segment checked, any non-masked fault must be detected.
+    program, segments, _ = prepared
+    campaign = FaultCampaign(program, segments, A510)
+    result = campaign.run(trials=15, seed=2)  # covered=None -> everything
+    assert result.detection_rate_effective == pytest.approx(1.0)
+
+
+def test_campaign_deterministic_by_seed(prepared):
+    program, segments, _ = prepared
+    campaign = FaultCampaign(program, segments, A510)
+    a = campaign.run(trials=8, seed=3)
+    b = campaign.run(trials=8, seed=3)
+    assert [t.detected for t in a.trials] == [t.detected for t in b.trials]
+
+
+def test_mean_detection_latency_nan_when_nothing_detected(prepared):
+    program, segments, _ = prepared
+    campaign = FaultCampaign(program, segments, A510)
+    result = campaign.run(trials=0)
+    import math
+    assert math.isnan(result.mean_detection_latency)

@@ -1,0 +1,137 @@
+"""Tests for the hardware fault models."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.faults.models import (
+    INJECTABLE_UNITS,
+    StuckAtFault,
+    TransientFault,
+    bits_to_float,
+    float_to_bits,
+    random_stuck_at,
+)
+from repro.isa.instructions import FUKind
+
+
+class TestFloatBits:
+    def test_roundtrip(self):
+        for value in (0.0, 1.0, -2.5, 1e300, 5e-324):
+            assert bits_to_float(float_to_bits(value)) == value
+
+    def test_infinities(self):
+        assert bits_to_float(float_to_bits(math.inf)) == math.inf
+        assert bits_to_float(float_to_bits(-math.inf)) == -math.inf
+
+    def test_nan_canonicalised(self):
+        assert float_to_bits(math.nan) == 0x7FF8000000000000
+
+    @given(st.floats(allow_nan=False))
+    def test_roundtrip_property(self, value):
+        assert bits_to_float(float_to_bits(value)) == value
+
+
+class TestStuckAt:
+    def test_sticks_bit_to_one(self):
+        fault = StuckAtFault(FUKind.INT_ALU, 0, bit=3, stuck_at=1)
+        assert fault.apply(FUKind.INT_ALU, 0, 0) == 8
+        assert fault.apply(FUKind.INT_ALU, 0, 8) == 8
+
+    def test_sticks_bit_to_zero(self):
+        fault = StuckAtFault(FUKind.INT_ALU, 0, bit=3, stuck_at=0)
+        assert fault.apply(FUKind.INT_ALU, 0, 0xF) == 0x7
+        assert fault.apply(FUKind.INT_ALU, 0, 0x7) == 0x7
+
+    def test_only_hits_matching_unit(self):
+        fault = StuckAtFault(FUKind.INT_ALU, unit=1, bit=0, stuck_at=1)
+        assert fault.apply(FUKind.INT_ALU, 0, 0) == 0  # other instance
+        assert fault.apply(FUKind.INT_ALU, 1, 0) == 1
+
+    def test_only_hits_matching_kind(self):
+        fault = StuckAtFault(FUKind.FP, 0, bit=0, stuck_at=1)
+        assert fault.apply(FUKind.INT_ALU, 0, 0) == 0
+
+    def test_float_corruption_is_bitwise(self):
+        # Sticking the MSB of the mantissa changes the value subtly — the
+        # Meta FPU anecdote in miniature.
+        fault = StuckAtFault(FUKind.FP, 0, bit=51, stuck_at=1)
+        corrupted = fault.apply(FUKind.FP, 0, 1.0)
+        assert corrupted != 1.0
+        assert corrupted == 1.5
+
+    def test_addresses_only_spares_data(self):
+        fault = StuckAtFault(FUKind.LOAD, 0, bit=2, stuck_at=1,
+                             addresses_only=True)
+        assert fault.apply(FUKind.LOAD, 0, 0, is_address=False) == 0
+        assert fault.apply(FUKind.LOAD, 0, 0, is_address=True) == 4
+
+    def test_describe_mentions_location(self):
+        fault = StuckAtFault(FUKind.FP_DIV, 1, bit=7, stuck_at=0)
+        text = fault.describe()
+        assert "fp_div[1]" in text and "bit 7" in text
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1),
+           st.integers(min_value=0, max_value=63),
+           st.integers(min_value=0, max_value=1))
+    def test_idempotent_property(self, value, bit, stuck):
+        fault = StuckAtFault(FUKind.INT_ALU, 0, bit=bit, stuck_at=stuck)
+        once = fault.apply(FUKind.INT_ALU, 0, value)
+        twice = fault.apply(FUKind.INT_ALU, 0, once)
+        assert once == twice
+        assert (once >> bit) & 1 == stuck
+
+
+class TestTransient:
+    def test_fires_exactly_once(self):
+        fault = TransientFault(FUKind.INT_ALU, 0, bit=0, strike_at_use=3)
+        values = [fault.apply(FUKind.INT_ALU, 0, 0) for _ in range(6)]
+        assert values == [0, 0, 1, 0, 0, 0]
+        assert fault.fired
+
+    def test_other_units_do_not_advance_the_counter(self):
+        fault = TransientFault(FUKind.INT_ALU, 0, bit=0, strike_at_use=2)
+        fault.apply(FUKind.FP, 0, 0)
+        fault.apply(FUKind.INT_ALU, 1, 0)
+        assert fault.apply(FUKind.INT_ALU, 0, 0) == 0  # first real use
+        assert fault.apply(FUKind.INT_ALU, 0, 0) == 1  # strikes
+
+    def test_flips_float_bit(self):
+        fault = TransientFault(FUKind.FP, 0, bit=51, strike_at_use=1)
+        assert fault.apply(FUKind.FP, 0, 1.0) == 1.5
+
+    def test_describe(self):
+        fault = TransientFault(FUKind.FP, 0, bit=5, strike_at_use=9)
+        assert "use 9" in fault.describe()
+
+
+class TestRandomStuckAt:
+    def test_respects_unit_counts(self):
+        rng = random.Random(0)
+        counts = {kind: 2 for kind in INJECTABLE_UNITS}
+        for _ in range(100):
+            fault = random_stuck_at(rng, counts)
+            assert fault.fu in INJECTABLE_UNITS
+            assert 0 <= fault.unit < 2
+            assert fault.stuck_at in (0, 1)
+
+    def test_address_faults_use_low_bits(self):
+        rng = random.Random(1)
+        for _ in range(200):
+            fault = random_stuck_at(rng, {})
+            if fault.addresses_only:
+                assert fault.bit <= 39
+            else:
+                assert fault.bit <= 63
+
+    def test_lsq_faults_marked_addresses_only(self):
+        rng = random.Random(2)
+        seen = set()
+        for _ in range(300):
+            fault = random_stuck_at(rng, {})
+            seen.add((fault.fu, fault.addresses_only))
+        assert (FUKind.LOAD, True) in seen
+        assert (FUKind.STORE, True) in seen
+        assert (FUKind.INT_ALU, False) in seen

@@ -1,0 +1,103 @@
+"""Tests for the fleet-scale detection simulation."""
+
+import math
+
+import pytest
+
+from repro.baselines.swscan import FLEETSCANNER, RIPPLE, ScannerModel
+from repro.fleet import (
+    FleetConfig,
+    FleetSimulator,
+    ParaVerserStrategy,
+    ScannerStrategy,
+)
+
+
+def small_fleet(seed=0, days=365, rate=2e-4):
+    return FleetSimulator(
+        FleetConfig(machines=5_000, fault_rate_per_machine_day=rate,
+                    duration_days=days),
+        seed=seed,
+    )
+
+
+class TestScannerStrategy:
+    def test_daily_hazard_integrates_to_per_scan_coverage(self):
+        strategy = ScannerStrategy(FLEETSCANNER)
+        p = strategy.daily_detection_probability(0)
+        days = FLEETSCANNER.scan_interval_days
+        over_interval = 1.0 - (1.0 - p) ** days
+        assert over_interval == pytest.approx(FLEETSCANNER.coverage, rel=1e-9)
+
+    def test_name_comes_from_scanner(self):
+        assert ScannerStrategy(RIPPLE).name == "Ripple"
+
+
+class TestParaVerserStrategy:
+    def test_high_daily_probability(self):
+        strategy = ParaVerserStrategy()
+        assert strategy.daily_detection_probability(0) > 0.8
+
+    def test_detectable_fraction_reflects_masking(self):
+        assert ParaVerserStrategy().detectable_fraction == \
+            pytest.approx(0.76)
+
+
+class TestSimulation:
+    def test_deterministic_by_seed(self):
+        a = small_fleet(seed=3).run(ScannerStrategy(FLEETSCANNER))
+        b = small_fleet(seed=3).run(ScannerStrategy(FLEETSCANNER))
+        assert a.faults == b.faults
+        assert a.sdc_events == b.sdc_events
+
+    def test_fault_count_near_expectation(self):
+        sim = small_fleet(seed=1)
+        result = sim.run(ParaVerserStrategy())
+        expected = (sim.config.machines
+                    * sim.config.fault_rate_per_machine_day
+                    * sim.config.duration_days)
+        assert result.faults == pytest.approx(expected, rel=0.25)
+
+    def test_paraverser_detects_faster_than_scanners(self):
+        sim = small_fleet(seed=2)
+        scanner = sim.run(ScannerStrategy(FLEETSCANNER))
+        paraverser = sim.run(ParaVerserStrategy())
+        assert paraverser.mean_detection_days < 1.0
+        assert scanner.mean_detection_days > 20.0
+
+    def test_paraverser_collapses_sdc_exposure(self):
+        sim = small_fleet(seed=2)
+        scanner = sim.run(ScannerStrategy(FLEETSCANNER))
+        paraverser = sim.run(ParaVerserStrategy())
+        assert paraverser.sdc_events < 0.05 * scanner.sdc_events
+
+    def test_fleetscanner_beats_ripple(self):
+        # In-production tests are cheaper but far less sensitive.
+        sim = small_fleet(seed=4)
+        fleet = sim.run(ScannerStrategy(FLEETSCANNER))
+        ripple = sim.run(ScannerStrategy(RIPPLE))
+        assert fleet.detection_fraction > ripple.detection_fraction
+
+    def test_zero_coverage_scanner_never_detects(self):
+        sim = small_fleet(seed=5, days=100)
+        null = ScannerModel("null", coverage=0.0, scan_interval_days=1.0,
+                            in_production=True)
+        result = sim.run(ScannerStrategy(null))
+        assert result.detected == 0
+        assert result.detection_fraction == 0.0
+        assert result.exposure_days > 0
+
+    def test_compare_runs_same_arrivals(self):
+        sim = small_fleet(seed=6)
+        results = sim.compare([ScannerStrategy(FLEETSCANNER),
+                               ParaVerserStrategy()])
+        assert results[0].faults == results[1].faults
+
+    def test_no_faults_edge_case(self):
+        sim = FleetSimulator(
+            FleetConfig(machines=1, fault_rate_per_machine_day=0.0,
+                        duration_days=10))
+        result = sim.run(ParaVerserStrategy())
+        assert result.faults == 0
+        assert result.detection_fraction == 1.0
+        assert math.isnan(result.mean_detection_days)

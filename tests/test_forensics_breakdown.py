@@ -1,0 +1,197 @@
+"""Tests for detection forensics (section V) and overhead breakdown."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.forensics import locate_divergence, replay_vote
+from repro.core.system import ParaVerserConfig, ParaVerserSystem
+from repro.cpu.config import CoreInstance
+from repro.cpu.presets import A510, X2
+from repro.faults.models import StuckAtFault
+from repro.harness.breakdown import breakdown_for, overhead_breakdown
+from repro.isa.instructions import FUKind
+from repro.workloads.generator import build_program
+from repro.workloads.profiles import get_profile
+
+
+@pytest.fixture(scope="module")
+def prepared_case():
+    program = build_program(get_profile("exchange2"), seed=13)
+    config = ParaVerserConfig(
+        main=CoreInstance(X2, 3.0),
+        checkers=[CoreInstance(A510, 2.0)],
+        seed=13, timeout_instructions=500,
+    )
+    system = ParaVerserSystem(config)
+    run = system.execute(program, 6_000)
+    segments = system.segment(run)
+    return program, system, run, segments
+
+
+def corrupt_loaded_value(segment, record_offset=0):
+    """Flip a loaded value in the log (a main-core/log-path fault)."""
+    count = 0
+    for i, record in enumerate(segment.records):
+        access = record.accesses[0]
+        if access.loaded is not None:
+            if count == record_offset:
+                new_access = replace(access, loaded=access.loaded ^ 0xF0)
+                segment.records[i] = replace(record,
+                                             accesses=(new_access,))
+                return record.trace_index
+            count += 1
+    raise AssertionError("no load records in segment")
+
+
+def corrupt_stored_value(segment, record_offset=0):
+    """Flip a logged store's data (detected inline at that store)."""
+    count = 0
+    for i, record in enumerate(segment.records):
+        access = record.accesses[0]
+        if access.stored is not None:
+            if count == record_offset:
+                new_access = replace(access, stored=access.stored ^ 0x0F)
+                segment.records[i] = replace(record,
+                                             accesses=(new_access,))
+                return record.trace_index
+            count += 1
+    raise AssertionError("no store records in segment")
+
+
+class TestReplayVote:
+    def test_healthy_segment_votes_clean(self, prepared_case):
+        program, _, _, segments = prepared_case
+        outcome = replay_vote(program, segments[0], [None, None, None])
+        assert outcome.votes_clean == 3
+        assert outcome.culprit == "transient-or-checker"
+
+    def test_log_corruption_blames_main_or_log(self, prepared_case):
+        program, _, _, segments = prepared_case
+        import copy
+        from repro.core.checker import CheckerCore
+
+        # Find a loaded-value corruption that actually perturbs execution
+        # (some are architecturally masked), then vote on it.
+        segment = None
+        for offset in range(0, 25):
+            candidate = copy.deepcopy(segments[1])
+            try:
+                corrupt_loaded_value(candidate, record_offset=offset)
+            except AssertionError:
+                break
+            if CheckerCore(program).check_segment(candidate).detected:
+                segment = candidate
+                break
+        assert segment is not None, "no detectable corruption found"
+        outcome = replay_vote(program, segment, [None, None, None])
+        assert outcome.votes_detected == 3
+        assert outcome.culprit == "main-core-or-log"
+
+    def test_single_faulty_checker_is_the_minority(self, prepared_case):
+        program, _, _, segments = prepared_case
+        fault = StuckAtFault(FUKind.INT_ALU, 0, bit=0, stuck_at=1)
+        outcome = replay_vote(program, segments[0],
+                              [fault, None, None])
+        assert outcome.votes_detected == 1
+        assert outcome.culprit == "single-checker"
+
+    def test_empty_vote_rejected(self, prepared_case):
+        program, _, _, segments = prepared_case
+        with pytest.raises(ValueError):
+            replay_vote(program, segments[0], [])
+
+
+class TestLocateDivergence:
+    def test_clean_segment_has_no_divergence(self, prepared_case):
+        program, _, _, segments = prepared_case
+        point = locate_divergence(program, segments[0])
+        assert not point.found
+
+    def test_bisection_pinpoints_corrupted_store(self, prepared_case):
+        program, _, _, segments = prepared_case
+        import copy
+        segment = copy.deepcopy(segments[1])
+        trace_index = corrupt_stored_value(segment, record_offset=5)
+        point = locate_divergence(program, segment)
+        assert point.found
+        # Store-data comparison is inline: the divergence is at exactly
+        # the corrupted store.
+        assert point.instruction_offset == trace_index - segment.start
+        assert point.event is not None
+        assert point.event.kind.value == "store_data"
+
+    def test_earlier_corruption_found_earlier(self, prepared_case):
+        program, _, _, segments = prepared_case
+        import copy
+        early = copy.deepcopy(segments[1])
+        late = copy.deepcopy(segments[1])
+        corrupt_stored_value(early, record_offset=1)
+        corrupt_stored_value(late, record_offset=15)
+        early_point = locate_divergence(program, early)
+        late_point = locate_divergence(program, late)
+        assert early_point.found and late_point.found
+        assert early_point.instruction_offset < late_point.instruction_offset
+
+    def test_register_only_divergence_reported_as_not_inline(
+            self, prepared_case):
+        """A loaded-value corruption that only surfaces in the end
+        register checkpoint has no inline divergence to bisect to."""
+        program, _, _, segments = prepared_case
+        import copy
+        from repro.core.checker import CheckerCore
+
+        # A corrupted loaded value may be architecturally dead (masked),
+        # dead-by-checkpoint, or propagate inline; scan offsets until one
+        # is at least *detected* and classify it.
+        detected_point = None
+        for offset in range(0, 20):
+            segment = copy.deepcopy(segments[1])
+            try:
+                corrupt_loaded_value(segment, record_offset=offset)
+            except AssertionError:
+                break
+            if CheckerCore(program).check_segment(segment).detected:
+                detected_point = locate_divergence(program, segment)
+                break
+        assert detected_point is not None, \
+            "no loaded-value corruption was detectable in this segment"
+        # found implies a real inline event; not-found means the
+        # divergence only appears at the end register checkpoint.
+        if detected_point.found:
+            assert detected_point.event is not None
+
+
+class TestBreakdown:
+    def test_components_sum_to_total(self, prepared_case):
+        program, system, run, _ = prepared_case
+        prepared = system.prepare(program, run_result=run)
+        result = system.finalize(prepared, 0.5, 2.0)
+        breakdown = overhead_breakdown(system, prepared, result)
+        total = (breakdown.checkpointing_percent
+                 + breakdown.stalling_percent
+                 + breakdown.noc_percent
+                 + breakdown.residual_percent)
+        assert total == pytest.approx(breakdown.total_percent, abs=1e-6)
+
+    def test_stall_dominates_underprovisioned_fdiv(self):
+        program = build_program(get_profile("bwaves"), seed=13)
+        config = ParaVerserConfig(
+            main=CoreInstance(X2, 3.0),
+            checkers=[CoreInstance(A510, 1.0)],
+            seed=13, timeout_instructions=1000,
+        )
+        system = ParaVerserSystem(config)
+        breakdown = breakdown_for(system, program, max_instructions=15_000)
+        assert breakdown.stalling_percent > breakdown.noc_percent
+        assert breakdown.stalling_percent > breakdown.checkpointing_percent
+        assert breakdown.total_percent > 5.0
+
+    def test_render_lists_all_causes(self, prepared_case):
+        program, system, run, _ = prepared_case
+        prepared = system.prepare(program, run_result=run)
+        result = system.finalize(prepared, 0.0, 0.0)
+        text = overhead_breakdown(system, prepared, result).render()
+        for label in ("register checkpointing", "stalling", "NoC",
+                      "TOTAL"):
+            assert label in text

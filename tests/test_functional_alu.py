@@ -1,0 +1,173 @@
+"""Integer-ALU semantics of the functional executor."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cpu.functional import DirectMemoryPort, FunctionalCore, to_signed
+from repro.isa.assembler import assemble
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import Program
+from repro.mem.memory import Memory
+
+_MASK64 = (1 << 64) - 1
+
+
+def run_snippet(text: str, max_instructions: int = 10_000):
+    program = assemble(text)
+    core = FunctionalCore(program, DirectMemoryPort(Memory(program.memory_image)))
+    result = core.run(max_instructions)
+    return core, result
+
+
+def run_ops(*instructions, setup=None):
+    """Run raw instructions with optional register setup."""
+    instrs = list(instructions) + [Instruction(Opcode.HALT)]
+    program = Program("t", instrs)
+    program.validate()
+    core = FunctionalCore(program, DirectMemoryPort(Memory()))
+    if setup:
+        for idx, value in setup.items():
+            core.regs.write_int(idx, value)
+    core.run(10_000)
+    return core
+
+
+def test_add():
+    core = run_ops(Instruction(Opcode.ADD, rd=3, rs1=1, rs2=2),
+                   setup={1: 5, 2: 7})
+    assert core.regs.read_int(3) == 12
+
+
+def test_add_wraps_64_bits():
+    core = run_ops(Instruction(Opcode.ADD, rd=3, rs1=1, rs2=2),
+                   setup={1: _MASK64, 2: 1})
+    assert core.regs.read_int(3) == 0
+
+
+def test_sub_wraps():
+    core = run_ops(Instruction(Opcode.SUB, rd=3, rs1=1, rs2=2),
+                   setup={1: 0, 2: 1})
+    assert core.regs.read_int(3) == _MASK64
+
+
+def test_logic_ops():
+    core = run_ops(
+        Instruction(Opcode.AND, rd=3, rs1=1, rs2=2),
+        Instruction(Opcode.OR, rd=4, rs1=1, rs2=2),
+        Instruction(Opcode.XOR, rd=5, rs1=1, rs2=2),
+        setup={1: 0b1100, 2: 0b1010},
+    )
+    assert core.regs.read_int(3) == 0b1000
+    assert core.regs.read_int(4) == 0b1110
+    assert core.regs.read_int(5) == 0b0110
+
+
+def test_shifts_mask_amount():
+    core = run_ops(
+        Instruction(Opcode.SLL, rd=3, rs1=1, rs2=2),
+        setup={1: 1, 2: 64},  # shift amount masked to 0
+    )
+    assert core.regs.read_int(3) == 1
+
+
+def test_srl_is_logical():
+    core = run_ops(Instruction(Opcode.SRL, rd=3, rs1=1, rs2=2),
+                   setup={1: 1 << 63, 2: 63})
+    assert core.regs.read_int(3) == 1
+
+
+def test_slt_signed():
+    core = run_ops(Instruction(Opcode.SLT, rd=3, rs1=1, rs2=2),
+                   setup={1: _MASK64, 2: 1})  # -1 < 1
+    assert core.regs.read_int(3) == 1
+
+
+def test_mul():
+    core = run_ops(Instruction(Opcode.MUL, rd=3, rs1=1, rs2=2),
+                   setup={1: 1 << 40, 2: 1 << 30})
+    assert core.regs.read_int(3) == (1 << 70) & _MASK64
+
+
+def test_div_truncates_toward_zero():
+    core = run_ops(Instruction(Opcode.DIV, rd=3, rs1=1, rs2=2),
+                   setup={1: (-7) & _MASK64, 2: 2})
+    assert to_signed(core.regs.read_int(3)) == -3
+
+
+def test_div_by_zero_returns_all_ones():
+    core = run_ops(Instruction(Opcode.DIV, rd=3, rs1=1, rs2=2),
+                   setup={1: 10, 2: 0})
+    assert core.regs.read_int(3) == _MASK64
+
+
+def test_rem_sign_follows_dividend():
+    core = run_ops(Instruction(Opcode.REM, rd=3, rs1=1, rs2=2),
+                   setup={1: (-7) & _MASK64, 2: 2})
+    assert to_signed(core.regs.read_int(3)) == -1
+
+
+def test_rem_by_zero_returns_dividend():
+    core = run_ops(Instruction(Opcode.REM, rd=3, rs1=1, rs2=2),
+                   setup={1: 42, 2: 0})
+    assert core.regs.read_int(3) == 42
+
+
+def test_immediates():
+    core = run_ops(
+        Instruction(Opcode.ADDI, rd=3, rs1=1, imm=-2),
+        Instruction(Opcode.XORI, rd=4, rs1=1, imm=0xFF),
+        Instruction(Opcode.SLLI, rd=5, rs1=1, imm=4),
+        Instruction(Opcode.SRLI, rd=6, rs1=1, imm=1),
+        setup={1: 10},
+    )
+    assert core.regs.read_int(3) == 8
+    assert core.regs.read_int(4) == 10 ^ 0xFF
+    assert core.regs.read_int(5) == 160
+    assert core.regs.read_int(6) == 5
+
+
+def test_lui_and_mov():
+    core = run_ops(
+        Instruction(Opcode.LUI, rd=1, imm=0xABCD0000),
+        Instruction(Opcode.MOV, rd=2, rs1=1),
+    )
+    assert core.regs.read_int(2) == 0xABCD0000
+
+
+def test_writes_to_x0_discarded():
+    core = run_ops(Instruction(Opcode.ADDI, rd=0, rs1=0, imm=5))
+    assert core.regs.read_int(0) == 0
+
+
+@given(st.integers(min_value=0, max_value=_MASK64),
+       st.integers(min_value=0, max_value=_MASK64))
+def test_add_matches_python_semantics(a, b):
+    core = run_ops(Instruction(Opcode.ADD, rd=3, rs1=1, rs2=2),
+                   setup={1: a, 2: b})
+    assert core.regs.read_int(3) == (a + b) & _MASK64
+
+
+@given(st.integers(min_value=0, max_value=_MASK64),
+       st.integers(min_value=0, max_value=_MASK64))
+def test_div_rem_identity(a, b):
+    """Property: dividend == divisor * quotient + remainder (signed)."""
+    core = run_ops(
+        Instruction(Opcode.DIV, rd=3, rs1=1, rs2=2),
+        Instruction(Opcode.REM, rd=4, rs1=1, rs2=2),
+        setup={1: a, 2: b},
+    )
+    sa, sb = to_signed(a), to_signed(b)
+    q = to_signed(core.regs.read_int(3))
+    r = to_signed(core.regs.read_int(4))
+    if sb != 0:
+        assert (sb * q + r) & _MASK64 == a
+        assert abs(r) < abs(sb)
+    else:
+        assert q == -1 and r == sa
+
+
+def test_to_signed_boundaries():
+    assert to_signed(0) == 0
+    assert to_signed(_MASK64) == -1
+    assert to_signed(1 << 63) == -(1 << 63)
+    assert to_signed((1 << 63) - 1) == (1 << 63) - 1

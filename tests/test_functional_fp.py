@@ -1,0 +1,120 @@
+"""Floating-point semantics of the functional executor."""
+
+import math
+
+from hypothesis import given, strategies as st
+
+from repro.cpu.functional import DirectMemoryPort, FunctionalCore, to_signed
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import Program
+from repro.mem.memory import Memory
+
+
+def run_fp(*instructions, ints=None, fps=None):
+    instrs = list(instructions) + [Instruction(Opcode.HALT)]
+    program = Program("t", instrs)
+    program.validate()
+    core = FunctionalCore(program, DirectMemoryPort(Memory()))
+    for idx, value in (ints or {}).items():
+        core.regs.write_int(idx, value)
+    for idx, value in (fps or {}).items():
+        core.regs.write_fp(idx, value)
+    core.run(1000)
+    return core
+
+
+def test_fadd_fsub_fmul():
+    core = run_fp(
+        Instruction(Opcode.FADD, rd=3, rs1=1, rs2=2),
+        Instruction(Opcode.FSUB, rd=4, rs1=1, rs2=2),
+        Instruction(Opcode.FMUL, rd=5, rs1=1, rs2=2),
+        fps={1: 6.0, 2: 1.5},
+    )
+    assert core.regs.read_fp(3) == 7.5
+    assert core.regs.read_fp(4) == 4.5
+    assert core.regs.read_fp(5) == 9.0
+
+
+def test_fdiv():
+    core = run_fp(Instruction(Opcode.FDIV, rd=3, rs1=1, rs2=2),
+                  fps={1: 7.0, 2: 2.0})
+    assert core.regs.read_fp(3) == 3.5
+
+
+def test_fdiv_by_zero_gives_signed_infinity():
+    pos = run_fp(Instruction(Opcode.FDIV, rd=3, rs1=1, rs2=2),
+                 fps={1: 1.0, 2: 0.0})
+    neg = run_fp(Instruction(Opcode.FDIV, rd=3, rs1=1, rs2=2),
+                 fps={1: -1.0, 2: 0.0})
+    assert pos.regs.read_fp(3) == math.inf
+    assert neg.regs.read_fp(3) == -math.inf
+
+
+def test_zero_over_zero_is_nan():
+    core = run_fp(Instruction(Opcode.FDIV, rd=3, rs1=1, rs2=2),
+                  fps={1: 0.0, 2: 0.0})
+    assert math.isnan(core.regs.read_fp(3))
+
+
+def test_fsqrt():
+    core = run_fp(Instruction(Opcode.FSQRT, rd=3, rs1=1), fps={1: 9.0})
+    assert core.regs.read_fp(3) == 3.0
+
+
+def test_fsqrt_negative_is_nan():
+    core = run_fp(Instruction(Opcode.FSQRT, rd=3, rs1=1), fps={1: -4.0})
+    assert math.isnan(core.regs.read_fp(3))
+
+
+def test_fmin_fmax():
+    core = run_fp(
+        Instruction(Opcode.FMIN, rd=3, rs1=1, rs2=2),
+        Instruction(Opcode.FMAX, rd=4, rs1=1, rs2=2),
+        fps={1: -2.0, 2: 5.0},
+    )
+    assert core.regs.read_fp(3) == -2.0
+    assert core.regs.read_fp(4) == 5.0
+
+
+def test_fmov():
+    core = run_fp(Instruction(Opcode.FMOV, rd=3, rs1=1), fps={1: 1.25})
+    assert core.regs.read_fp(3) == 1.25
+
+
+def test_fcvt_if_signed():
+    core = run_fp(Instruction(Opcode.FCVTIF, rd=3, rs1=1),
+                  ints={1: (-5) & ((1 << 64) - 1)})
+    assert core.regs.read_fp(3) == -5.0
+
+
+def test_fcvt_fi_truncates():
+    core = run_fp(Instruction(Opcode.FCVTFI, rd=3, rs1=1), fps={1: 2.9})
+    assert core.regs.read_int(3) == 2
+
+
+def test_fcvt_fi_nan_gives_zero():
+    core = run_fp(Instruction(Opcode.FCVTFI, rd=3, rs1=1), fps={1: math.nan})
+    assert core.regs.read_int(3) == 0
+
+
+def test_fcvt_fi_clamps_infinity():
+    core = run_fp(Instruction(Opcode.FCVTFI, rd=3, rs1=1), fps={1: math.inf})
+    assert to_signed(core.regs.read_int(3)) == (1 << 63) - 1
+    core = run_fp(Instruction(Opcode.FCVTFI, rd=3, rs1=1), fps={1: -math.inf})
+    assert to_signed(core.regs.read_int(3)) == -(1 << 63)
+
+
+@given(st.floats(allow_nan=False, allow_infinity=False, width=64),
+       st.floats(allow_nan=False, allow_infinity=False, width=64))
+def test_fadd_matches_python(a, b):
+    core = run_fp(Instruction(Opcode.FADD, rd=3, rs1=1, rs2=2),
+                  fps={1: a, 2: b})
+    expected = a + b
+    got = core.regs.read_fp(3)
+    assert got == expected or (math.isnan(got) and math.isnan(expected))
+
+
+@given(st.floats(min_value=0.0, allow_nan=False, allow_infinity=False))
+def test_fsqrt_matches_python(a):
+    core = run_fp(Instruction(Opcode.FSQRT, rd=3, rs1=1), fps={1: a})
+    assert core.regs.read_fp(3) == a ** 0.5

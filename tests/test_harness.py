@@ -1,0 +1,120 @@
+"""Tests for the experiment harness (report tables, runner, opportunity)."""
+
+import math
+
+import pytest
+
+from repro.core.system import CheckMode
+from repro.cpu.config import CoreInstance
+from repro.cpu.presets import A510, X2
+from repro.harness.opportunity import core_throughput_gips, parallel_speedup
+from repro.harness.report import Table, geomean, slowdown_percent
+from repro.harness.runner import WorkloadCache, make_config
+
+
+class TestReport:
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+    def test_geomean_empty_is_nan(self):
+        assert math.isnan(geomean([]))
+
+    def test_slowdown_percent(self):
+        assert slowdown_percent(1.05) == pytest.approx(5.0)
+
+    def test_table_add_and_columns(self):
+        table = Table(title="t")
+        table.add("bench1", "cfgA", 1.0)
+        table.add("bench1", "cfgB", 2.0)
+        table.add("bench2", "cfgA", 3.0)
+        assert table.columns == ["cfgA", "cfgB"]
+        assert table.column_values("cfgA") == [1.0, 3.0]
+
+    def test_geomean_row_through_ratio_space(self):
+        table = Table(title="t")
+        table.add("a", "cfg", 0.0)    # 1.00x
+        table.add("b", "cfg", 10.0)   # 1.10x
+        gm = table.geomean_row(from_percent=True)
+        assert gm["cfg"] == pytest.approx((math.sqrt(1.1) - 1) * 100)
+
+    def test_render_contains_rows_and_geomean(self):
+        table = Table(title="My Figure")
+        table.add("bwaves", "cfg", 5.0)
+        text = table.render()
+        assert "My Figure" in text
+        assert "bwaves" in text
+        assert "geomean" in text
+        assert "5.00" in text
+
+    def test_render_handles_missing_cells(self):
+        table = Table(title="t")
+        table.add("a", "cfgA", 1.0)
+        table.add("b", "cfgB", 2.0)
+        assert "-" in table.render()
+
+
+class TestRunner:
+    def test_cache_reuses_trace(self):
+        cache = WorkloadCache(max_instructions=3_000)
+        first = cache.get("exchange2")
+        second = cache.get("exchange2")
+        assert first is second
+
+    def test_run_config_produces_result(self):
+        cache = WorkloadCache(max_instructions=3_000)
+        config = make_config([CoreInstance(A510, 2.0)],
+                             timeout_instructions=500)
+        result = cache.run_config("exchange2", config)
+        assert result.workload == "exchange2"
+        assert result.instructions == 3_000
+
+    def test_baseline_cached_across_configs(self):
+        cache = WorkloadCache(max_instructions=3_000)
+        r1 = cache.run_config("exchange2", make_config(
+            [CoreInstance(A510, 2.0)], timeout_instructions=500))
+        r2 = cache.run_config("exchange2", make_config(
+            [CoreInstance(X2, 3.0)], timeout_instructions=500))
+        assert r1.baseline_time_ns == r2.baseline_time_ns
+
+    def test_make_config_defaults(self):
+        config = make_config([CoreInstance(A510, 2.0)])
+        assert config.main.config.name == "X2"
+        assert config.main.freq_ghz == 3.0
+        assert config.mode is CheckMode.FULL
+
+
+class TestOpportunity:
+    @pytest.fixture(scope="class")
+    def cached(self):
+        cache = WorkloadCache(max_instructions=6_000)
+        return cache.get("pr")
+
+    def test_throughput_ordering(self, cached):
+        big = core_throughput_gips(cached.program, cached.run,
+                                   CoreInstance(X2, 3.0))
+        little = core_throughput_gips(cached.program, cached.run,
+                                      CoreInstance(A510, 2.0))
+        assert big > little > 0
+
+    def test_speedup_above_one_below_ideal(self, cached):
+        speedup = parallel_speedup(
+            cached.program, cached.run, CoreInstance(X2, 3.0),
+            [CoreInstance(A510, 2.0)] * 2)
+        assert 1.0 < speedup < 3.0
+
+    def test_homogeneous_scaling_close_to_two(self, cached):
+        speedup = parallel_speedup(
+            cached.program, cached.run, CoreInstance(X2, 3.0),
+            [CoreInstance(X2, 3.0)])
+        # The paper measures 1.8-1.9x for a second big core.
+        assert 1.5 < speedup < 2.0
+
+    def test_more_littles_more_speedup(self, cached):
+        two = parallel_speedup(cached.program, cached.run,
+                               CoreInstance(X2, 3.0),
+                               [CoreInstance(A510, 2.0)] * 2)
+        four = parallel_speedup(cached.program, cached.run,
+                                CoreInstance(X2, 3.0),
+                                [CoreInstance(A510, 2.0)] * 4)
+        assert four > two

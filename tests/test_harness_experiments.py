@@ -1,0 +1,80 @@
+"""Smoke tests for the per-figure experiment runners (tiny scale)."""
+
+import pytest
+
+from repro.harness.experiments import (
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9_gap,
+    run_fig10,
+    run_fig11,
+    run_sec7e_energy,
+    run_sec7f,
+)
+from repro.harness.runner import WorkloadCache
+
+TINY = ["exchange2", "xz"]
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return WorkloadCache(max_instructions=10_000)
+
+
+def test_fig6_runner(cache):
+    table = run_fig6(cache, benchmarks=TINY, include_ed2p=False)
+    assert set(table.rows) == set(TINY)
+    assert "1xX2@3GHz" in table.columns
+    assert "DSN18(12ded)" in table.columns
+    rendered = table.render()
+    assert "geomean" in rendered
+
+
+def test_fig7_runner(cache):
+    result = run_fig7(cache, benchmarks=["exchange2"])
+    assert "exchange2" in result.slowdown.rows
+    coverage = result.coverage.rows["exchange2"]
+    for value in coverage.values():
+        assert 0.0 <= value <= 100.0
+
+
+def test_fig8_runner(cache):
+    result = run_fig8(cache, benchmarks=["exchange2"], trials=4)
+    assert result.injected == 4 * 3  # trials x configurations
+    for value in result.coverage.rows["exchange2"].values():
+        assert 0.0 <= value <= 100.0
+
+
+def test_fig9_gap_runner():
+    table = run_fig9_gap(benchmarks=["bfs"], checker_counts=(1, 2))
+    assert "bfs" in table.rows
+    assert set(table.rows["bfs"]) == {"1xA510", "2xA510"}
+
+
+def test_fig10_runner(monkeypatch):
+    monkeypatch.setenv("REPRO_INSTRUCTIONS", "8000")
+    table = run_fig10(mixes={"mini": ["exchange2", "xz", "leela", "x264"]})
+    assert "mini" in table.rows
+    assert any("no LSL NoC" in column for column in table.columns)
+
+
+def test_fig11_runner(cache):
+    table = run_fig11(cache, benchmarks=["exchange2"])
+    cells = table.rows["exchange2"]
+    assert set(cells) == {"slowNoC", "slowNoC+hash", "fastNoC"}
+
+
+def test_sec7e_runner(cache):
+    result = run_sec7e_energy(cache, benchmarks=["exchange2"])
+    cells = result.energy.rows["exchange2"]
+    assert cells["1xX2@3GHz (lockstep-like)"] > \
+        cells["4xA510@2GHz"]
+    assert result.ed2p_energy_percent > 0
+
+
+def test_sec7f_runner(monkeypatch):
+    monkeypatch.setenv("REPRO_INSTRUCTIONS", "8000")
+    rows = run_sec7f(benchmarks=["cc"], little_count=2)
+    assert rows[0].workload == "cc"
+    assert rows[0].hetero_speedup > 1.0

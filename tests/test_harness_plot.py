@@ -1,0 +1,67 @@
+"""Tests for the ASCII chart rendering."""
+
+from repro.harness.plot import bar_chart, sparkline
+from repro.harness.report import Table
+
+
+def make_table():
+    table = Table(title="Fig. X — demo", unit="%")
+    table.add("bwaves", "cfgA", 10.0)
+    table.add("bwaves", "cfgB", 5.0)
+    table.add("gcc", "cfgA", 1.0)
+    table.add("gcc", "cfgB", 0.5)
+    return table
+
+
+def test_bar_chart_contains_rows_and_bars():
+    text = bar_chart(make_table())
+    assert "bwaves" in text and "gcc" in text
+    assert "█" in text
+    assert "10.00" in text
+
+
+def test_bars_scale_to_maximum():
+    text = bar_chart(make_table(), width=20)
+    lines = {line.strip() for line in text.splitlines()}
+    # The max value gets the full-width bar.
+    assert any(line.count("█") == 20 for line in lines)
+
+
+def test_bar_chart_handles_missing_cells():
+    table = Table(title="t")
+    table.add("a", "cfgA", 1.0)
+    table.add("b", "cfgB", 2.0)
+    text = bar_chart(table)
+    assert "a" in text and "b" in text
+
+
+def test_bar_chart_empty_table():
+    assert "(empty)" in bar_chart(Table(title="t"))
+
+
+def test_geomean_footer_optional():
+    with_gm = bar_chart(make_table(), include_geomean=True)
+    without = bar_chart(make_table(), include_geomean=False)
+    assert "geomean" in with_gm
+    assert "geomean" not in without
+
+
+def test_zero_values_render_empty_bars():
+    table = Table(title="t")
+    table.add("a", "cfg", 0.0)
+    table.add("b", "cfg", 4.0)
+    text = bar_chart(table)
+    assert "0.00" in text
+
+
+def test_sparkline_shape():
+    line = sparkline([1.0, 2.0, 3.0, 2.0, 1.0])
+    assert len(line) == 5
+    assert line[0] == line[-1]
+    assert line[2] > line[0]
+
+
+def test_sparkline_flat_and_empty():
+    assert sparkline([]) == ""
+    flat = sparkline([2.0, 2.0, 2.0])
+    assert len(set(flat)) == 1

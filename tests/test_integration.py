@@ -1,0 +1,134 @@
+"""End-to-end integration tests cutting across every subsystem."""
+
+import pytest
+
+from repro.core.checker import CheckerCore
+from repro.core.system import CheckMode, ParaVerserConfig, ParaVerserSystem
+from repro.cpu.config import CoreInstance
+from repro.cpu.presets import A510, X2
+from repro.faults.campaign import FaultCampaign, covered_segments
+from repro.faults.models import StuckAtFault, TransientFault
+from repro.isa.instructions import FUKind
+from repro.power.energy import energy_report
+from repro.workloads.generator import build_program
+from repro.workloads.profiles import get_profile
+
+INSTRUCTIONS = 12_000
+
+
+@pytest.fixture(scope="module")
+def bwaves():
+    program = build_program(get_profile("bwaves"), seed=9)
+    config = ParaVerserConfig(
+        main=CoreInstance(X2, 3.0),
+        checkers=[CoreInstance(A510, 2.0)] * 4,
+        seed=9,
+        timeout_instructions=1000,
+    )
+    system = ParaVerserSystem(config)
+    run = system.execute(program, INSTRUCTIONS)
+    return program, system, run
+
+
+def test_full_pipeline_produces_consistent_result(bwaves):
+    program, system, run = bwaves
+    result = system.run(program, run_result=run)
+    assert result.instructions == INSTRUCTIONS
+    assert result.coverage == 1.0
+    assert result.segments > 5
+    assert result.lsl_bytes > 0
+    assert result.slowdown >= 0.99
+
+
+def test_energy_hierarchy_ordering(bwaves):
+    """Heterogeneous checking must beat homogeneous lockstep on energy."""
+    program, _, run = bwaves
+
+    def energy_for(checkers):
+        config = ParaVerserConfig(main=CoreInstance(X2, 3.0),
+                                  checkers=checkers, seed=9,
+                                  timeout_instructions=1000)
+        result = ParaVerserSystem(config).run(program, run_result=run)
+        return energy_report(result, config.main).overhead
+
+    homogeneous = energy_for([CoreInstance(X2, 3.0)])
+    heterogeneous = energy_for([CoreInstance(A510, 2.0)] * 4)
+    assert heterogeneous < homogeneous
+    # The paper's headline: about a third of lockstep's energy overhead.
+    assert heterogeneous < 0.62 * homogeneous
+
+
+def test_transient_fault_detected_by_full_coverage(bwaves):
+    """A single-event upset must be caught by full coverage — though any
+    individual strike can be architecturally masked (dead value), so we
+    probe several strike points and require that some are detected."""
+    program, system, run = bwaves
+    segments = system.segment(run)
+    detections = 0
+    for strike in (100, 500, 900, 1300, 1700):
+        fault = TransientFault(FUKind.INT_ALU, unit=0, bit=3,
+                               strike_at_use=strike)
+        checker = CheckerCore(program, fault_surface=fault)
+        if any(checker.check_segment(seg).detected for seg in segments):
+            detections += 1
+    assert detections >= 2
+
+
+def test_hard_fault_detected_under_opportunistic_coverage(bwaves):
+    program, _, run = bwaves
+    config = ParaVerserConfig(
+        main=CoreInstance(X2, 3.0),
+        checkers=[CoreInstance(A510, 1.0)],
+        mode=CheckMode.OPPORTUNISTIC,
+        seed=9,
+        timeout_instructions=1000,
+    )
+    system = ParaVerserSystem(config)
+    result = system.run(program, run_result=run)
+    assert result.coverage < 1.0
+    segments = system.segment(run)
+    campaign = FaultCampaign(program, segments, A510)
+    fault = StuckAtFault(FUKind.FP_DIV, 0, bit=50, stuck_at=1)
+    outcome = campaign.run_trial(fault, covered=covered_segments(result))
+    assert outcome.detected or not outcome.masked
+
+
+def test_detection_is_attributable_to_a_segment(bwaves):
+    program, system, run = bwaves
+    segments = system.segment(run)
+    fault = StuckAtFault(FUKind.INT_ALU, 0, bit=0, stuck_at=1)
+    campaign = FaultCampaign(program, segments, A510)
+    outcome = campaign.run_trial(fault)
+    assert outcome.detected
+    assert 0 <= outcome.detecting_segment < len(segments)
+    assert outcome.event.segment == outcome.detecting_segment
+
+
+def test_false_positive_rate_is_zero_across_benchmarks():
+    """Healthy checkers across diverse workloads never report errors."""
+    for name in ("gcc", "mcf", "imagick"):
+        program = build_program(get_profile(name), seed=2)
+        config = ParaVerserConfig(
+            main=CoreInstance(X2, 3.0),
+            checkers=[CoreInstance(A510, 2.0)],
+            seed=2, timeout_instructions=800,
+        )
+        system = ParaVerserSystem(config)
+        run = system.execute(program, 6_000)
+        segments = system.segment(run)
+        checker = CheckerCore(program)
+        for segment in segments:
+            result = checker.check_segment(segment)
+            assert not result.detected, (name, str(result.first_event))
+
+
+def test_public_api_importable():
+    import repro
+
+    assert repro.__version__
+    from repro import (  # noqa: F401
+        CheckMode,
+        CheckerCore,
+        ParaVerserConfig,
+        ParaVerserSystem,
+    )

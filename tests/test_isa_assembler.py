@@ -1,0 +1,170 @@
+"""Tests for the two-pass assembler."""
+
+import pytest
+
+from repro.isa.assembler import AssemblyError, assemble
+from repro.isa.instructions import Opcode
+
+
+def test_assemble_empty_program_fails_validation():
+    with pytest.raises((AssemblyError, ValueError)):
+        assemble("")
+
+
+def test_simple_arithmetic():
+    program = assemble("add x1, x2, x3\nhalt")
+    assert program.instructions[0].op is Opcode.ADD
+    assert program.instructions[0].rd == 1
+    assert program.instructions[0].rs1 == 2
+    assert program.instructions[0].rs2 == 3
+
+
+def test_immediate_forms():
+    program = assemble("addi x1, x2, -5\nhalt")
+    assert program.instructions[0].op is Opcode.ADDI
+    assert program.instructions[0].imm == -5
+
+
+def test_subi_sugar_negates():
+    program = assemble("subi x1, x1, 3\nhalt")
+    instr = program.instructions[0]
+    assert instr.op is Opcode.ADDI
+    assert instr.imm == -3
+
+
+def test_hex_immediates():
+    program = assemble("lui x3, 0x4000\nhalt")
+    assert program.instructions[0].imm == 0x4000
+
+
+def test_load_store_with_offsets():
+    program = assemble("ld x1, 8(x2)\nst x3, -16(x4)\nhalt")
+    ld, st_ = program.instructions[0], program.instructions[1]
+    assert ld.op is Opcode.LD and ld.imm == 8 and ld.rs1 == 2
+    assert st_.op is Opcode.ST and st_.imm == -16 and st_.rs2 == 3
+
+
+@pytest.mark.parametrize("suffix,size", [(".1", 1), (".2", 2), (".4", 4),
+                                         (".8", 8)])
+def test_sized_loads(suffix, size):
+    program = assemble(f"ld{suffix} x1, 0(x2)\nhalt")
+    assert program.instructions[0].size == size
+
+
+def test_bad_size_rejected():
+    with pytest.raises(AssemblyError):
+        assemble("ld.3 x1, 0(x2)\nhalt")
+
+
+def test_labels_resolve_forward_and_backward():
+    program = assemble(
+        """
+        start:
+            addi x1, x0, 2
+        loop:
+            subi x1, x1, 1
+            bne x1, x0, loop
+            jmp end
+            nop
+        end:
+            halt
+        """
+    )
+    bne = program.instructions[2]
+    jmp = program.instructions[3]
+    assert bne.target == 1
+    assert jmp.target == 5
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(AssemblyError):
+        assemble("a:\nnop\na:\nhalt")
+
+
+def test_unknown_label_rejected():
+    with pytest.raises(AssemblyError):
+        assemble("jmp nowhere\nhalt")
+
+
+def test_unknown_mnemonic_rejected():
+    with pytest.raises(AssemblyError):
+        assemble("frobnicate x1\nhalt")
+
+
+def test_bad_register_rejected():
+    with pytest.raises(AssemblyError):
+        assemble("add x1, x2, x99\nhalt")
+
+
+def test_fp_register_in_int_slot_rejected():
+    with pytest.raises(AssemblyError):
+        assemble("add x1, f2, x3\nhalt")
+
+
+def test_fp_ops():
+    program = assemble("fadd f1, f2, f3\nfsqrt f4, f5\nfmov f6, f7\nhalt")
+    assert program.instructions[0].op is Opcode.FADD
+    assert program.instructions[1].op is Opcode.FSQRT
+    assert program.instructions[2].op is Opcode.FMOV
+
+
+def test_conversions():
+    program = assemble("fcvt.if f1, x2\nfcvt.fi x3, f4\nhalt")
+    assert program.instructions[0].op is Opcode.FCVTIF
+    assert program.instructions[1].op is Opcode.FCVTFI
+
+
+def test_gather_scatter_swap_sc():
+    program = assemble(
+        """
+        ldg x1, x2, (x3), (x4)
+        sts x5, (x3), (x4)
+        swp x6, x7, (x8)
+        sc x9, x10, (x11)
+        halt
+        """
+    )
+    ldg, sts, swp, sc = program.instructions[:4]
+    assert ldg.op is Opcode.LDG and ldg.rd == 1 and ldg.rd2 == 2
+    assert sts.op is Opcode.STS and sts.rs3 == 5
+    assert swp.op is Opcode.SWP and swp.rd == 6 and swp.rs2 == 7
+    assert sc.op is Opcode.SC and sc.rd == 9
+
+
+def test_nonrepeatable_instructions():
+    program = assemble("rdrand x1\nrdtime x2\nsysrd x3\nhalt")
+    assert program.instructions[0].op is Opcode.RDRAND
+    assert program.instructions[1].op is Opcode.RDTIME
+    assert program.instructions[2].op is Opcode.SYSRD
+
+
+def test_data_directive_builds_memory_image():
+    program = assemble(".data 0x1000 42\n.data 0x1008 7\nhalt")
+    assert program.memory_image[0x1000] == 42
+    assert program.memory_image[0x1008] == 7
+
+
+def test_data_directive_bad_arity():
+    with pytest.raises(AssemblyError):
+        assemble(".data 0x1000\nhalt")
+
+
+def test_comments_are_ignored():
+    program = assemble("# leading comment\nadd x1, x1, x2  # trailing\nhalt")
+    assert len(program.instructions) == 2
+
+
+def test_start_label_sets_entry():
+    program = assemble("nop\nstart:\nhalt")
+    assert program.entry == 1
+
+
+def test_jalr():
+    program = assemble("jalr x1, x2\nhalt")
+    instr = program.instructions[0]
+    assert instr.op is Opcode.JALR and instr.rd == 1 and instr.rs1 == 2
+
+
+def test_branch_out_of_range_target_rejected():
+    with pytest.raises(ValueError):
+        assemble("jmp 99\nhalt")

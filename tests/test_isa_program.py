@@ -1,0 +1,75 @@
+"""Tests for the Program container."""
+
+import pytest
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import Program
+
+
+def _program(instructions, **kw):
+    return Program(name="t", instructions=instructions, **kw)
+
+
+def test_len_counts_instructions():
+    program = _program([Instruction(Opcode.NOP), Instruction(Opcode.HALT)])
+    assert len(program) == 2
+
+
+def test_static_code_bytes():
+    program = _program([Instruction(Opcode.NOP)] * 10)
+    assert program.static_code_bytes == 40  # 4 B per instruction
+
+
+def test_fetch_addresses_are_contiguous():
+    program = _program([Instruction(Opcode.NOP)] * 3)
+    a0 = program.fetch_address(0)
+    a1 = program.fetch_address(1)
+    assert a1 - a0 == Program.INSTRUCTION_BYTES
+    assert a0 == Program.CODE_BASE
+
+
+def test_validate_accepts_good_branches():
+    program = _program([
+        Instruction(Opcode.BNE, rs1=1, rs2=0, target=0),
+        Instruction(Opcode.HALT),
+    ])
+    program.validate()
+
+
+def test_validate_rejects_out_of_range_branch():
+    program = _program([
+        Instruction(Opcode.JMP, target=5),
+        Instruction(Opcode.HALT),
+    ])
+    with pytest.raises(ValueError):
+        program.validate()
+
+
+def test_validate_rejects_negative_branch():
+    program = _program([
+        Instruction(Opcode.BEQ, rs1=0, rs2=0, target=-1),
+        Instruction(Opcode.HALT),
+    ])
+    with pytest.raises(ValueError):
+        program.validate()
+
+
+def test_validate_rejects_bad_entry():
+    program = _program([Instruction(Opcode.HALT)], entry=3)
+    with pytest.raises(ValueError):
+        program.validate()
+
+
+def test_jalr_targets_not_statically_validated():
+    # Indirect targets are only known at run time.
+    program = _program([
+        Instruction(Opcode.JALR, rd=1, rs1=2),
+        Instruction(Opcode.HALT),
+    ])
+    program.validate()
+
+
+def test_memory_image_defaults_empty():
+    program = _program([Instruction(Opcode.HALT)])
+    assert program.memory_image == {}
+    assert program.metadata == {}

@@ -1,0 +1,152 @@
+"""Tests for the register file and architectural checkpoints."""
+
+import math
+
+from hypothesis import given, strategies as st
+
+from repro.isa.registers import (
+    ARCH_CHECKPOINT_BYTES,
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    RegisterFile,
+)
+
+
+def test_register_file_initial_state():
+    regs = RegisterFile()
+    assert regs.ints == [0] * NUM_INT_REGS
+    assert regs.fps == [0.0] * NUM_FP_REGS
+
+
+def test_x0_is_hardwired_zero():
+    regs = RegisterFile()
+    regs.write_int(0, 12345)
+    assert regs.read_int(0) == 0
+
+
+def test_int_writes_mask_to_64_bits():
+    regs = RegisterFile()
+    regs.write_int(5, 1 << 70)
+    assert regs.read_int(5) == 0
+    regs.write_int(5, (1 << 64) + 7)
+    assert regs.read_int(5) == 7
+
+
+def test_negative_int_write_wraps():
+    regs = RegisterFile()
+    regs.write_int(3, -1)
+    assert regs.read_int(3) == (1 << 64) - 1
+
+
+def test_fp_write_and_read():
+    regs = RegisterFile()
+    regs.write_fp(2, 3.5)
+    assert regs.read_fp(2) == 3.5
+
+
+def test_snapshot_is_immutable_copy():
+    regs = RegisterFile()
+    regs.write_int(1, 42)
+    snap = regs.snapshot(pc=7)
+    regs.write_int(1, 99)
+    assert snap.ints[1] == 42
+    assert snap.pc == 7
+
+
+def test_restore_round_trips():
+    regs = RegisterFile()
+    regs.write_int(4, 17)
+    regs.write_fp(4, 2.25)
+    snap = regs.snapshot(pc=3)
+    other = RegisterFile()
+    other.restore(snap)
+    assert other.read_int(4) == 17
+    assert other.read_fp(4) == 2.25
+
+
+def test_copy_is_independent():
+    regs = RegisterFile()
+    regs.write_int(2, 5)
+    clone = regs.copy()
+    clone.write_int(2, 9)
+    assert regs.read_int(2) == 5
+
+
+def test_checkpoint_matches_identical_state():
+    regs = RegisterFile()
+    regs.write_int(1, 10)
+    a = regs.snapshot(0)
+    b = regs.snapshot(0)
+    assert a.matches(b)
+    assert a.diff(b) == []
+
+
+def test_checkpoint_diff_reports_int_register():
+    regs = RegisterFile()
+    a = regs.snapshot(0)
+    regs.write_int(7, 1)
+    b = regs.snapshot(0)
+    diff = a.diff(b)
+    assert len(diff) == 1
+    assert "x7" in diff[0]
+
+
+def test_checkpoint_diff_reports_fp_register():
+    regs = RegisterFile()
+    a = regs.snapshot(0)
+    regs.write_fp(3, 1.5)
+    b = regs.snapshot(0)
+    assert any("f3" in item for item in a.diff(b))
+
+
+def test_checkpoint_diff_reports_pc():
+    regs = RegisterFile()
+    a = regs.snapshot(1)
+    b = regs.snapshot(2)
+    assert any("pc" in item for item in a.diff(b))
+
+
+def test_nan_values_compare_equal():
+    # Both replays producing NaN must not be flagged as divergence.
+    regs = RegisterFile()
+    regs.write_fp(1, math.nan)
+    a = regs.snapshot(0)
+    b = regs.snapshot(0)
+    assert a.matches(b)
+
+
+def test_nan_vs_number_is_divergence():
+    regs = RegisterFile()
+    regs.write_fp(1, math.nan)
+    a = regs.snapshot(0)
+    regs.write_fp(1, 0.0)
+    b = regs.snapshot(0)
+    assert not a.matches(b)
+
+
+def test_checkpoint_byte_budget():
+    # The paper's RCU ships 776 B per checkpoint (section VII-E).
+    assert ARCH_CHECKPOINT_BYTES == 776
+
+
+@given(st.integers(min_value=1, max_value=31), st.integers())
+def test_int_roundtrip_any_value(idx, value):
+    regs = RegisterFile()
+    regs.write_int(idx, value)
+    assert regs.read_int(idx) == value & ((1 << 64) - 1)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=(1 << 64) - 1),
+             min_size=32, max_size=32),
+    st.integers(min_value=0, max_value=1000),
+)
+def test_snapshot_restore_property(values, pc):
+    regs = RegisterFile()
+    for i, value in enumerate(values):
+        regs.write_int(i, value)
+    snap = regs.snapshot(pc)
+    fresh = RegisterFile()
+    fresh.restore(snap)
+    assert fresh.snapshot(pc).matches(snap)
+    assert fresh.read_int(0) == 0  # x0 stays zero through restore+snapshot

@@ -1,0 +1,129 @@
+"""Tests for the set-associative cache model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mem.cache import Cache, CacheConfig
+
+
+def make_cache(size=1024, ways=2, line=64, **kw):
+    return Cache(CacheConfig("test", size, ways, line_bytes=line, **kw))
+
+
+def test_geometry():
+    config = CacheConfig("c", 64 * 1024, 4, line_bytes=64)
+    assert config.num_sets == 256
+    assert config.num_lines == 1024
+
+
+def test_invalid_geometry_rejected():
+    with pytest.raises(ValueError):
+        Cache(CacheConfig("c", 64, 4, line_bytes=64)).access(0)  # 0 sets
+
+
+def test_non_power_of_two_sets_rejected():
+    with pytest.raises(ValueError):
+        Cache(CacheConfig("c", 3 * 64, 1, line_bytes=64))
+
+
+def test_first_access_misses_second_hits():
+    cache = make_cache()
+    assert cache.access(0x1000) is False
+    assert cache.access(0x1000) is True
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_same_line_hits_different_line_misses():
+    cache = make_cache()
+    cache.access(0x1000)
+    assert cache.access(0x103F) is True   # same 64 B line
+    assert cache.access(0x1040) is False  # next line
+
+
+def test_lru_eviction_order():
+    cache = make_cache(size=2 * 64, ways=2, line=64)  # 1 set, 2 ways
+    cache.access(0x000)
+    cache.access(0x040)
+    cache.access(0x000)   # touch A: B is now LRU
+    cache.access(0x080)   # evicts B
+    assert cache.probe(0x000) is True
+    assert cache.probe(0x040) is False
+    assert cache.evictions == 1
+
+
+def test_probe_does_not_change_state():
+    cache = make_cache()
+    cache.access(0x1000)
+    hits_before = cache.hits
+    cache.probe(0x1000)
+    cache.probe(0x9999)
+    assert cache.hits == hits_before
+
+
+def test_invalidate():
+    cache = make_cache()
+    cache.access(0x1000)
+    assert cache.invalidate(0x1000) is True
+    assert cache.invalidate(0x1000) is False
+    assert cache.probe(0x1000) is False
+
+
+def test_flush_clears_everything():
+    cache = make_cache()
+    for i in range(8):
+        cache.access(i * 64)
+    cache.flush()
+    for i in range(8):
+        assert cache.probe(i * 64) is False
+
+
+def test_miss_rate():
+    cache = make_cache()
+    cache.access(0)
+    cache.access(0)
+    assert cache.miss_rate == 0.5
+    assert cache.accesses == 2
+
+
+def test_reset_stats():
+    cache = make_cache()
+    cache.access(0)
+    cache.reset_stats()
+    assert cache.hits == cache.misses == cache.evictions == 0
+    assert cache.probe(0)  # contents survive a stats reset
+
+
+def test_sets_are_independent():
+    cache = make_cache(size=4 * 64, ways=1, line=64)  # 4 sets, direct mapped
+    cache.access(0 * 64)
+    cache.access(1 * 64)
+    cache.access(2 * 64)
+    cache.access(3 * 64)
+    assert cache.misses == 4 and cache.evictions == 0
+
+
+def test_working_set_bigger_than_cache_thrashes():
+    cache = make_cache(size=4 * 64, ways=4, line=64)  # 1 set, 4 ways
+    for _ in range(3):
+        for i in range(5):  # 5 lines into 4 ways, LRU: all miss
+            cache.access(i * 64)
+    assert cache.hits == 0
+
+
+@given(st.lists(st.integers(min_value=0, max_value=(1 << 32) - 1),
+                max_size=200))
+def test_occupancy_never_exceeds_capacity(addresses):
+    cache = make_cache(size=8 * 64, ways=2, line=64)
+    for addr in addresses:
+        cache.access(addr)
+    occupancy = sum(len(ways) for ways in cache._sets)
+    assert occupancy <= cache.config.num_lines
+
+
+@given(st.lists(st.integers(min_value=0, max_value=(1 << 20) - 1),
+                min_size=1, max_size=100))
+def test_immediate_reaccess_always_hits(addresses):
+    cache = make_cache(size=64 * 64, ways=4, line=64)
+    for addr in addresses:
+        cache.access(addr)
+        assert cache.access(addr) is True

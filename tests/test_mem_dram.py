@@ -1,0 +1,48 @@
+"""Tests for the DRAM timing model."""
+
+from hypothesis import given, strategies as st
+
+from repro.mem.dram import DramConfig, DramModel
+
+
+def test_unloaded_latency_is_base():
+    dram = DramModel()
+    assert dram.latency_ns(0.0) == dram.config.base_latency_ns
+
+
+def test_latency_monotone_in_utilisation():
+    dram = DramModel()
+    previous = 0.0
+    for rho in (0.0, 0.2, 0.5, 0.8, 0.94):
+        latency = dram.latency_ns(rho)
+        assert latency >= previous
+        previous = latency
+
+
+def test_latency_clamped_near_saturation():
+    dram = DramModel()
+    assert dram.latency_ns(5.0) == dram.latency_ns(0.95)
+
+
+def test_service_time():
+    dram = DramModel(DramConfig(peak_bandwidth_gbps=19.2, line_bytes=64))
+    assert abs(dram.service_time_ns() - 64 / 19.2) < 1e-12
+
+
+def test_utilisation_from_accesses():
+    dram = DramModel(DramConfig(peak_bandwidth_gbps=19.2, line_bytes=64))
+    for _ in range(300):
+        dram.record_access()
+    elapsed = 1000.0  # ns -> 300*64 B over 1 us = 19.2 GB/s = saturation
+    assert dram.utilisation(elapsed) == 1.0
+    assert dram.utilisation(2 * elapsed) == 0.5
+
+
+def test_utilisation_zero_elapsed():
+    assert DramModel().utilisation(0.0) == 0.0
+
+
+@given(st.floats(min_value=0.0, max_value=0.94))
+def test_latency_at_least_base_property(rho):
+    dram = DramModel()
+    assert dram.latency_ns(rho) >= dram.config.base_latency_ns

@@ -1,0 +1,90 @@
+"""Tests for the parity and SEC-DED codecs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mem.ecc import (
+    EccError,
+    ParityError,
+    check_parity,
+    decode_secded,
+    encode_secded,
+    parity_bit,
+)
+
+WORDS = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+def test_parity_bit():
+    assert parity_bit(0) == 0
+    assert parity_bit(1) == 1
+    assert parity_bit(0b11) == 0
+    assert parity_bit(0b111) == 1
+
+
+def test_check_parity_accepts_good():
+    check_parity(0xDEAD, parity_bit(0xDEAD))
+
+
+def test_check_parity_rejects_bad():
+    with pytest.raises(ParityError):
+        check_parity(0xDEAD, parity_bit(0xDEAD) ^ 1)
+
+
+def test_clean_roundtrip():
+    word = encode_secded(0x0123456789ABCDEF)
+    value, corrected = decode_secded(word)
+    assert value == 0x0123456789ABCDEF
+    assert corrected is False
+
+
+@pytest.mark.parametrize("position", [1, 2, 3, 5, 17, 33, 64, 70, 71])
+def test_single_bit_error_corrected(position):
+    word = encode_secded(0xCAFEBABE12345678).flip(position)
+    value, corrected = decode_secded(word)
+    assert value == 0xCAFEBABE12345678
+    assert corrected is True
+
+
+def test_overall_parity_bit_error_corrected():
+    word = encode_secded(42).flip_overall()
+    value, corrected = decode_secded(word)
+    assert value == 42
+    assert corrected is True
+
+
+def test_double_bit_error_detected():
+    word = encode_secded(99).flip(3).flip(40)
+    with pytest.raises(EccError):
+        decode_secded(word)
+
+
+def test_flip_out_of_range_rejected():
+    word = encode_secded(0)
+    with pytest.raises(ValueError):
+        word.flip(0)
+    with pytest.raises(ValueError):
+        word.flip(72)
+
+
+@given(WORDS)
+def test_roundtrip_property(value):
+    decoded, corrected = decode_secded(encode_secded(value))
+    assert decoded == value and not corrected
+
+
+@given(WORDS, st.integers(min_value=1, max_value=71))
+def test_any_single_flip_corrected_property(value, position):
+    decoded, corrected = decode_secded(encode_secded(value).flip(position))
+    assert decoded == value
+    assert corrected
+
+
+@given(WORDS, st.integers(min_value=1, max_value=71),
+       st.integers(min_value=1, max_value=71))
+def test_any_double_flip_detected_property(value, p1, p2):
+    if p1 == p2:
+        return  # flips cancel
+    word = encode_secded(value).flip(p1).flip(p2)
+    with pytest.raises(EccError):
+        decode_secded(word)

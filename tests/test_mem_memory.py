@@ -1,0 +1,110 @@
+"""Tests for flat functional memory."""
+
+from hypothesis import given, strategies as st
+
+from repro.mem.memory import Memory
+
+
+def test_initial_image():
+    memory = Memory({0x100: 42})
+    assert memory.load(0x100, 8) == 42
+
+
+def test_load_defaults_zero():
+    assert Memory().load(0xDEAD, 8) == 0
+
+
+def test_aligned_word_roundtrip():
+    memory = Memory()
+    memory.store(0x2000, 8, 0x1122334455667788)
+    assert memory.load(0x2000, 8) == 0x1122334455667788
+
+
+def test_byte_granular_access():
+    memory = Memory()
+    memory.store(0x1000, 8, 0x1122334455667788)
+    assert memory.load(0x1000, 1) == 0x88  # little endian
+    assert memory.load(0x1007, 1) == 0x11
+    assert memory.load(0x1002, 2) == 0x5566
+
+
+def test_unaligned_straddling_access():
+    memory = Memory()
+    memory.store(0x1006, 4, 0xAABBCCDD)  # straddles two words
+    assert memory.load(0x1006, 4) == 0xAABBCCDD
+    assert memory.load(0x1006, 1) == 0xDD
+    assert memory.load(0x1009, 1) == 0xAA
+
+
+def test_partial_store_preserves_neighbours():
+    memory = Memory()
+    memory.store(0x1000, 8, 0xFFFFFFFFFFFFFFFF)
+    memory.store(0x1002, 2, 0)
+    assert memory.load(0x1000, 8) == 0xFFFFFFFF0000FFFF
+
+
+def test_store_masks_oversized_value():
+    memory = Memory()
+    memory.store(0x1000, 2, 0x123456)
+    assert memory.load(0x1000, 8) == 0x3456
+
+
+def test_swap():
+    memory = Memory({0x10: 5})
+    old = memory.swap(0x10, 8, 9)
+    assert old == 5
+    assert memory.load(0x10, 8) == 9
+
+
+def test_copy_is_independent():
+    memory = Memory({0x10: 1})
+    clone = memory.copy()
+    clone.store(0x10, 8, 2)
+    assert memory.load(0x10, 8) == 1
+
+
+def test_equality_ignores_explicit_zeros():
+    a = Memory()
+    b = Memory()
+    a.store(0x10, 8, 0)
+    assert a == b
+    a.store(0x10, 8, 3)
+    assert a != b
+
+
+def test_len_counts_words():
+    memory = Memory()
+    memory.store(0x0, 8, 1)
+    memory.store(0x8, 8, 2)
+    assert len(memory) == 2
+
+
+@given(
+    st.integers(min_value=0, max_value=(1 << 48) - 1),
+    st.sampled_from([1, 2, 4, 8]),
+    st.integers(min_value=0, max_value=(1 << 64) - 1),
+)
+def test_roundtrip_property(addr, size, value):
+    memory = Memory()
+    memory.store(addr, size, value)
+    assert memory.load(addr, size) == value & ((1 << (8 * size)) - 1)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=255),
+            st.integers(min_value=0, max_value=255),
+        ),
+        max_size=50,
+    )
+)
+def test_byte_store_model_property(writes):
+    """Memory must behave like a simple byte array."""
+    memory = Memory()
+    model: dict[int, int] = {}
+    for addr, value in writes:
+        memory.store(addr, 1, value)
+        model[addr] = value
+    for addr, value in model.items():
+        assert memory.load(addr, 1) == value

@@ -1,0 +1,85 @@
+"""Miscellaneous unit coverage: ED2P math, scanners, tables, errors."""
+
+import pytest
+
+from repro.baselines.swscan import RIPPLE, ScannerModel
+from repro.core.errors import ParaVerserError
+from repro.cpu.config import CoreInstance, FUConfig
+from repro.cpu.presets import A510, X2
+from repro.harness.report import Table
+from repro.power.ed2p import SweepPoint
+
+
+class TestSweepPointMath:
+    class FakeEnergy:
+        checked_nj = 100.0
+
+    class FakeResult:
+        checked_time_ns = 10.0
+
+    def test_ed2p_is_energy_times_delay_squared(self):
+        point = SweepPoint(2.0, self.FakeResult(), self.FakeEnergy())
+        assert point.ed2p == pytest.approx(100.0 * 10.0 ** 2)
+
+    def test_lower_delay_wins_quadratically(self):
+        class Slow:
+            checked_time_ns = 20.0
+
+        fast = SweepPoint(2.0, self.FakeResult(), self.FakeEnergy())
+        slow = SweepPoint(1.4, Slow(), self.FakeEnergy())
+        assert fast.ed2p < slow.ed2p
+
+
+class TestScannerEdgeCases:
+    def test_detection_within_window_alias(self):
+        assert RIPPLE.detection_within_window(90) == \
+            RIPPLE.detection_probability(90)
+
+    def test_full_coverage_scanner_detects_first_scan(self):
+        perfect = ScannerModel("perfect", 1.0, 7.0, False)
+        assert perfect.detection_probability(7.0) == pytest.approx(1.0)
+        assert perfect.expected_detection_days() == 7.0
+
+
+class TestTableExtras:
+    def test_notes_rendered(self):
+        table = Table(title="t", notes=["a note"])
+        table.add("row", "col", 1.0)
+        assert "a note" in table.render()
+
+    def test_column_values_for_missing_column(self):
+        table = Table(title="t")
+        table.add("row", "col", 1.0)
+        assert table.column_values("other") == []
+
+    def test_geomean_row_skips_empty_columns(self):
+        table = Table(title="t")
+        table.columns.append("empty")
+        assert "empty" not in table.geomean_row()
+
+    def test_non_percent_geomean(self):
+        table = Table(title="t", unit="x")
+        table.add("a", "col", 2.0)
+        table.add("b", "col", 8.0)
+        gm = table.geomean_row(from_percent=False)
+        assert gm["col"] == pytest.approx(4.0)
+
+
+class TestConfigExtras:
+    def test_fu_config_defaults_pipelined(self):
+        assert FUConfig(units=2, latency=3).interval == 1
+
+    def test_voltage_at_flat_curve(self):
+        from dataclasses import replace
+
+        flat = replace(X2, min_freq_ghz=3.0, max_freq_ghz=3.0)
+        assert flat.voltage_at(3.0) == flat.voltage_max
+
+    def test_instance_voltage_property(self):
+        inst = CoreInstance(A510, 2.0)
+        assert inst.voltage == pytest.approx(A510.voltage_max)
+
+
+def test_paraverser_error_is_an_exception():
+    with pytest.raises(ParaVerserError):
+        raise ParaVerserError("config problem")

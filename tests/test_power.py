@@ -1,0 +1,124 @@
+"""Tests for the energy, area and ED2P models (section VII-E)."""
+
+import pytest
+
+from repro.cpu.config import CoreInstance
+from repro.cpu.presets import A35, A510, X2
+from repro.power.area import dedicated_checker_area, storage_overhead
+from repro.power.energy import (
+    DEFAULT_POWER_MODEL,
+    dynamic_energy_nj,
+    energy_report,
+    static_energy_nj,
+)
+from repro.power.ed2p import ed2p_sweep
+
+
+class TestEnergyPrimitives:
+    def test_dynamic_energy_scales_with_v_squared(self):
+        low = dynamic_energy_nj(X2, 0.5, 1000)
+        high = dynamic_energy_nj(X2, 1.0, 1000)
+        assert high == pytest.approx(4 * low)
+
+    def test_dynamic_energy_linear_in_instructions(self):
+        one = dynamic_energy_nj(X2, 1.0, 1000)
+        two = dynamic_energy_nj(X2, 1.0, 2000)
+        assert two == pytest.approx(2 * one)
+
+    def test_checker_mode_discount(self):
+        plain = dynamic_energy_nj(X2, 1.0, 1000)
+        checker = dynamic_energy_nj(X2, 1.0, 1000, checker_mode=True)
+        assert checker == pytest.approx(
+            plain * DEFAULT_POWER_MODEL.checker_epi_factor)
+
+    def test_static_energy_scales_with_voltage_and_time(self):
+        assert static_energy_nj(X2, 1.0, 200.0) == \
+            pytest.approx(2 * static_energy_nj(X2, 1.0, 100.0))
+        assert static_energy_nj(X2, 1.0, 100.0) > \
+            static_energy_nj(X2, 0.7, 100.0)
+
+    def test_little_core_cheaper_per_instruction(self):
+        x2 = dynamic_energy_nj(X2, 1.0, 1000)
+        a510 = dynamic_energy_nj(A510, 0.9, 1000)
+        a35 = dynamic_energy_nj(A35, 0.85, 1000)
+        assert a35 < a510 < x2
+
+
+class TestStorageOverhead:
+    def test_x2_budget_matches_paper(self):
+        # Section VII-E: 1064 B per core (we land within a byte or two of
+        # the paper's rounding).
+        overhead = storage_overhead(X2)
+        assert overhead.total_bytes == pytest.approx(1064, abs=2)
+
+    def test_breakdown_components(self):
+        overhead = storage_overhead(X2)
+        parts = overhead.breakdown()
+        assert parts["LSC (2-wide comparator)"] == 48 * 8
+        assert parts["LQ/SQ parity (2 bits/entry)"] == 2 * (85 + 90)
+        assert parts["LSPU (one cache line)"] == 512
+        assert parts["instruction timer"] == 13
+        assert parts["RCU (register checkpoint)"] == 776 * 8
+        assert sum(parts.values()) == overhead.total_bits
+
+    def test_lsl_tag_bits_one_per_line(self):
+        overhead = storage_overhead(X2)
+        assert overhead.lsl_tag_bits == 64 * 1024 // 64
+
+    def test_smaller_core_smaller_overhead(self):
+        assert storage_overhead(A510).total_bits < \
+            storage_overhead(X2).total_bits
+
+
+class TestArea:
+    def test_sixteen_a35_is_35_percent_of_x2(self):
+        comparison = dedicated_checker_area(X2, A35, 16)
+        assert comparison.overhead_percent == pytest.approx(34.6, abs=1.0)
+
+    def test_twelve_checkers_cost_less(self):
+        twelve = dedicated_checker_area(X2, A35, 12)
+        sixteen = dedicated_checker_area(X2, A35, 16)
+        assert twelve.checkers_area_mm2 < sixteen.checkers_area_mm2
+
+
+class TestED2P:
+    def test_sweep_picks_minimum(self):
+        class FakeResult:
+            def __init__(self, time, slots):
+                self.checked_time_ns = time
+                self.baseline_time_ns = time / 1.01
+                self.instructions = 1000
+                self.checker_slots = slots
+                self.workload = "w"
+                self.config_label = "c"
+
+        def run_at(freq):
+            # Lower frequency -> slower but the (empty-slot) energy is
+            # dominated by the main core; craft times so 1.8 wins ED2P.
+            times = {2.0: 120.0, 1.8: 100.0, 1.6: 140.0, 1.4: 200.0}
+            return FakeResult(times[freq], [])
+
+        selection = ed2p_sweep(run_at, CoreInstance(X2, 3.0))
+        assert selection.freq_ghz == 1.8
+        assert len(selection.sweep) == 4
+
+    def test_energy_report_structure(self):
+        from repro.core.system import ParaVerserConfig, ParaVerserSystem
+        from repro.workloads.generator import build_program
+        from repro.workloads.profiles import get_profile
+
+        program = build_program(get_profile("exchange2"), seed=1)
+        config = ParaVerserConfig(
+            main=CoreInstance(X2, 3.0),
+            checkers=[CoreInstance(A510, 2.0)] * 4,
+            seed=1, timeout_instructions=1000,
+        )
+        result = ParaVerserSystem(config).run(program,
+                                              max_instructions=8_000)
+        report = energy_report(result, config.main)
+        assert report.baseline_nj > 0
+        assert report.checked_nj > report.baseline_nj
+        assert report.overhead > 0
+        assert report.checker_nj > 0
+        # Heterogeneous checking costs less than duplicating the main core.
+        assert report.checker_nj < report.main_nj
