@@ -7,6 +7,10 @@ paper (see DESIGN.md's experiment index) and prints it, so
 Scale knobs: REPRO_INSTRUCTIONS (default 100000), REPRO_BENCHMARKS
 (comma-separated subset), REPRO_TRIALS (fault-injection trials),
 REPRO_TIMEOUT (checkpoint timeout; keep instructions >= 20x this).
+
+Speed knobs: REPRO_JOBS (sweep worker processes; 0 = all CPUs) and
+REPRO_TRACE_CACHE (directory persisting functional traces across
+invocations).  See docs/simulation.md, "Performance & parallelism".
 """
 
 import pytest
@@ -17,7 +21,9 @@ from repro.harness.runner import WorkloadCache
 @pytest.fixture(scope="session")
 def cache():
     """One workload cache shared by every figure (traces + baselines)."""
-    return WorkloadCache()
+    shared = WorkloadCache()
+    yield shared
+    shared.close()
 
 
 def render(table, extra_lines=()):

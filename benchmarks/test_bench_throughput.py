@@ -1,0 +1,101 @@
+"""Simulator throughput microbenchmark (instructions per second).
+
+Tracks the raw speed of the two inner loops everything else is built
+on: functional execution (``FunctionalCore.run`` via the system's
+execute path) and timing replay (``TimingModel.simulate``).  Each is
+measured best-of-N on a steady-state (warm) workload, so dispatch-table
+construction and per-program metadata passes are amortised exactly as
+they are in real sweeps.
+
+Writes ``BENCH_throughput.json`` at the repo root with the measured
+rates and the speedup over the pre-optimisation baseline recorded
+below, so the perf trajectory is visible PR over PR.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.core.system import ParaVerserSystem, warm_addresses
+from repro.cpu.timing import TimingModel
+from repro.harness.runner import _probe_config, main_x2
+from repro.mem.hierarchy import SharedUncore
+from repro.workloads.generator import build_program
+from repro.workloads.profiles import get_profile
+
+#: Dispatch-chain / per-instruction-recompute implementation, measured
+#: on the reference runner before this optimisation pass (gcc profile,
+#: 30 k instructions, best of 5).
+PRE_PR_FUNCTIONAL_IPS = 259_312
+PRE_PR_TIMING_IPS = 117_229
+
+BENCH = "gcc"
+BUDGET = 30_000
+REPS = 5
+SEED = 7
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
+
+
+def _best_of(reps, fn):
+    best = float("inf")
+    value = None
+    for _ in range(reps):
+        start = time.perf_counter()
+        value = fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best, value
+
+
+def _functional_rate(program):
+    system = ParaVerserSystem(_probe_config(SEED))
+    system.execute(program, BUDGET)  # warm-up: builds dispatch tables
+    elapsed, run = _best_of(REPS, lambda: system.execute(program, BUDGET))
+    return run.instructions / elapsed, run
+
+
+def _timing_rate(program, run):
+    main = main_x2()
+    hierarchy = main.config.hierarchy
+    uncore = SharedUncore(hierarchy.l3, hierarchy.dram,
+                          hierarchy.uncore_clock_ghz)
+    model = TimingModel(main, uncore)
+    model.warm_data(warm_addresses(program))
+    model.simulate(program, run.trace)  # warm-up: caches + metadata pass
+    elapsed, _ = _best_of(
+        REPS, lambda: model.simulate(program, run.trace))
+    return len(run.trace) / elapsed
+
+
+def test_bench_throughput(benchmark):
+    program = build_program(get_profile(BENCH), seed=SEED)
+
+    def measure():
+        functional_ips, run = _functional_rate(program)
+        timing_ips = _timing_rate(program, run)
+        return functional_ips, timing_ips
+
+    functional_ips, timing_ips = benchmark.pedantic(
+        measure, rounds=1, iterations=1)
+
+    payload = {
+        "benchmark": BENCH,
+        "instructions": BUDGET,
+        "reps": REPS,
+        "functional_inst_per_sec": round(functional_ips),
+        "timing_inst_per_sec": round(timing_ips),
+        "pre_pr_functional_inst_per_sec": PRE_PR_FUNCTIONAL_IPS,
+        "pre_pr_timing_inst_per_sec": PRE_PR_TIMING_IPS,
+        "functional_speedup": round(
+            functional_ips / PRE_PR_FUNCTIONAL_IPS, 3),
+        "timing_speedup": round(timing_ips / PRE_PR_TIMING_IPS, 3),
+    }
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(f"\nfunctional: {functional_ips:,.0f} inst/s "
+          f"({payload['functional_speedup']:.2f}x pre-PR)")
+    print(f"timing:     {timing_ips:,.0f} inst/s "
+          f"({payload['timing_speedup']:.2f}x pre-PR)")
+
+    assert functional_ips > 0 and timing_ips > 0

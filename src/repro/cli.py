@@ -12,6 +12,7 @@ Installed as ``paraverser`` (see pyproject.toml)::
 from __future__ import annotations
 
 import argparse
+import os
 import re
 import sys
 from typing import Sequence
@@ -93,6 +94,9 @@ def _build_parser() -> argparse.ArgumentParser:
                                   "fig11", "sec7e", "sec7f", "all"])
     figures.add_argument("--chart", action="store_true",
                          help="render ASCII bar charts instead of tables")
+    figures.add_argument("-j", "--jobs", type=int, default=None,
+                         help="worker processes for config sweeps "
+                              "(default: REPRO_JOBS or 1; 0 = all CPUs)")
     return parser
 
 
@@ -189,37 +193,45 @@ def cmd_figures(args: argparse.Namespace) -> int:
     if "all" in names:
         names = ["fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
                  "sec7e", "sec7f"]
+    if args.jobs is not None:
+        # Propagate so helper runners creating their own caches agree.
+        os.environ["REPRO_JOBS"] = str(args.jobs)
     cache = WorkloadCache()
-    for name in names:
-        print(f"\n===== {name} =====")
-        if name == "fig6":
-            show(experiments.run_fig6(cache))
-        elif name == "fig7":
-            result = experiments.run_fig7(cache)
-            show(result.slowdown)
-            show(result.coverage)
-        elif name == "fig8":
-            result = experiments.run_fig8(cache)
-            show(result.coverage)
-            print(f"detected {result.full_coverage_detection * 100:.0f}% of "
-                  f"{result.injected} injections ({result.masked} masked)")
-        elif name == "fig9":
-            show(experiments.run_fig9_gap())
-            show(experiments.run_fig9_parsec())
-        elif name == "fig10":
-            show(experiments.run_fig10())
-        elif name == "fig11":
-            show(experiments.run_fig11(cache))
-        elif name == "sec7e":
-            result = experiments.run_sec7e_energy(cache)
-            show(result.energy)
-            print(f"ED2P: {result.ed2p_energy_percent:.0f}% energy at "
-                  f"{result.ed2p_slowdown_percent:.1f}% slowdown")
-        elif name == "sec7f":
-            for row in experiments.run_sec7f():
-                print(f"{row.workload:10s} hetero {row.hetero_speedup:.2f}x "
-                      f"homo {row.homo_speedup:.2f}x "
-                      f"checking {row.checking_overhead_percent:.2f}%")
+    try:
+        for name in names:
+            print(f"\n===== {name} =====")
+            if name == "fig6":
+                show(experiments.run_fig6(cache))
+            elif name == "fig7":
+                result = experiments.run_fig7(cache)
+                show(result.slowdown)
+                show(result.coverage)
+            elif name == "fig8":
+                result = experiments.run_fig8(cache)
+                show(result.coverage)
+                print(f"detected {result.full_coverage_detection * 100:.0f}% "
+                      f"of {result.injected} injections "
+                      f"({result.masked} masked)")
+            elif name == "fig9":
+                show(experiments.run_fig9_gap(cache=cache))
+                show(experiments.run_fig9_parsec())
+            elif name == "fig10":
+                show(experiments.run_fig10())
+            elif name == "fig11":
+                show(experiments.run_fig11(cache))
+            elif name == "sec7e":
+                result = experiments.run_sec7e_energy(cache)
+                show(result.energy)
+                print(f"ED2P: {result.ed2p_energy_percent:.0f}% energy at "
+                      f"{result.ed2p_slowdown_percent:.1f}% slowdown")
+            elif name == "sec7f":
+                for row in experiments.run_sec7f():
+                    print(f"{row.workload:10s} "
+                          f"hetero {row.hetero_speedup:.2f}x "
+                          f"homo {row.homo_speedup:.2f}x "
+                          f"checking {row.checking_overhead_percent:.2f}%")
+    finally:
+        cache.close()
     return 0
 
 

@@ -128,7 +128,7 @@ class ParaVerserConfig:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class SegmentSchedule:
     """Scheduling outcome for one segment."""
 
@@ -349,11 +349,17 @@ class ParaVerserSystem:
         """Discrete-event schedule; returns (per-segment, stall_ns, covered)."""
         allocator = CheckerAllocator(slots)
         schedule: list[SegmentSchedule] = []
+        append = schedule.append
         shift = 0.0
         stall_total = 0.0
         covered_instructions = 0
-        opportunistic = self.config.mode is CheckMode.OPPORTUNISTIC
-        sampling = self.config.mode is CheckMode.SAMPLING
+        config = self.config
+        opportunistic = config.mode is CheckMode.OPPORTUNISTIC
+        sampling = config.mode is CheckMode.SAMPLING
+        sampling_rate = config.sampling_rate
+        eager_wake = config.eager_wake
+        acquire_opportunistic = allocator.acquire_opportunistic
+        acquire_full = allocator.acquire_full
         sample_accumulator = 0.0
         prev_end_raw = 0.0
         for seg, end_raw in zip(segments, boundary_times_ns):
@@ -364,19 +370,19 @@ class ParaVerserSystem:
             if sampling:
                 # Deterministic stride sampling: accumulate the rate and
                 # check a segment each time it crosses an integer.
-                sample_accumulator += self.config.sampling_rate
+                sample_accumulator += sampling_rate
                 take = sample_accumulator >= 1.0
                 if take:
                     sample_accumulator -= 1.0
-                allocation = (allocator.acquire_opportunistic(m_start)
+                allocation = (acquire_opportunistic(m_start)
                               if take else None)
                 if allocation is None:
-                    schedule.append(SegmentSchedule(
+                    append(SegmentSchedule(
                         seg.index, m_start, m_end, None, m_end, 0.0, False,
                         0.0))
                     continue
             elif opportunistic:
-                allocation = allocator.acquire_opportunistic(m_start)
+                allocation = acquire_opportunistic(m_start)
                 if allocation is None:
                     # No checker free at segment start — but one freeing
                     # mid-segment immediately resumes checking from a new
@@ -397,22 +403,22 @@ class ParaVerserSystem:
                             check_duration_ns=duration,
                             lines=lines,
                             noc_latency_ns=push_latency_ns,
-                            eager=self.config.eager_wake,
+                            eager=eager_wake,
                         )
                         part_instructions = int(seg.instructions * fraction)
                         earliest.assign(part_start, finish,
                                         part_instructions)
                         covered_instructions += part_instructions
-                        schedule.append(SegmentSchedule(
+                        append(SegmentSchedule(
                             seg.index, m_start, m_end, earliest.label,
                             finish, 0.0, fraction >= 0.5, fraction))
                         continue
-                    schedule.append(SegmentSchedule(
+                    append(SegmentSchedule(
                         seg.index, m_start, m_end, None, m_end, 0.0, False,
                         0.0))
                     continue
             else:
-                allocation = allocator.acquire_full(m_start)
+                allocation = acquire_full(m_start)
                 if allocation.stalled_ns > 0:
                     shift += allocation.stalled_ns
                     stall_total += allocation.stalled_ns
@@ -427,11 +433,11 @@ class ParaVerserSystem:
                 check_duration_ns=duration,
                 lines=seg.lines,
                 noc_latency_ns=push_latency_ns,
-                eager=self.config.eager_wake,
+                eager=eager_wake,
             )
             slot.assign(m_start, finish, seg.instructions)
             covered_instructions += seg.instructions
-            schedule.append(SegmentSchedule(
+            append(SegmentSchedule(
                 seg.index, m_start, m_end, slot.label, finish,
                 allocation.stalled_ns if not opportunistic else 0.0, True))
         return schedule, stall_total, covered_instructions

@@ -10,6 +10,13 @@ construction.
 Fault injection (section VII-B) hooks in through :class:`FaultSurface`:
 every functional-unit result and every load/store address passes through
 ``apply`` tagged with the unit class and instance that produced it.
+
+Dispatch is table-driven end to end: every opcode maps to a dedicated
+handler function (generated from per-family operator tables, so there is
+no if/elif chain on the commit path), and the per-opcode handler list is
+precomputed once per :class:`Program` and cached on the program object.
+Cores with no fault surface and single-unit FU pools additionally bind
+no-op fast paths for the ALU/FPU/AGU fault hooks.
 """
 
 from __future__ import annotations
@@ -18,7 +25,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Protocol
 
-from repro.isa.instructions import FUKind, Instruction, Opcode
+from repro.isa.instructions import FUKind, Instruction, OP_SPECS, Opcode
 from repro.isa.program import Program
 from repro.isa.registers import RegisterCheckpoint, RegisterFile
 from repro.mem.memory import Memory
@@ -82,9 +89,8 @@ class DirectMemoryPort:
         return self.memory.swap(addr, size, value)
 
     def bulk_copy(self, src: int, dst: int, words: int) -> tuple[int, ...]:
-        values = tuple(self.memory.load(src + 8 * i, 8) for i in range(words))
-        for i, value in enumerate(values):
-            self.memory.store(dst + 8 * i, 8, value)
+        values = self.memory.load_range(src, words)
+        self.memory.store_range(dst, values)
         return values
 
 
@@ -155,6 +161,24 @@ class RunResult:
         return self.end_checkpoint.pc
 
 
+def _program_tables(program: Program) -> tuple[list, list]:
+    """Per-pc (handler, fu-name) tables, computed once per program.
+
+    The tables only depend on the static instruction stream, so they are
+    cached on the program object and shared by every core — main, the
+    RCU's checkpoint pass, checkers, and fault-injection replays — that
+    executes it.
+    """
+    tables = getattr(program, "_functional_tables", None)
+    if tables is None:
+        handlers = [_HANDLERS[instr.op] for instr in program.instructions]
+        fu_names = [OP_SPECS[instr.op].fu.value
+                    for instr in program.instructions]
+        tables = (handlers, fu_names)
+        program._functional_tables = tables
+    return tables
+
+
 class FunctionalCore:
     """Executes a :class:`Program` instruction by instruction."""
 
@@ -178,6 +202,14 @@ class FunctionalCore:
         self.pc = program.entry if start_pc is None else start_pc
         self.committed = 0
         self.halted = False
+        # Healthy single-unit cores skip the fault surface and the
+        # round-robin unit selection entirely (their slow-path results are
+        # identities by construction, so this is bit-exact).
+        if (type(self.fault) is NoFaults
+                and all(c <= 1 for c in self.fu_counts.values())):
+            self._alu = _alu_fast
+            self._fpu = _fpu_fast
+            self._mem_addr = _addr_fast
 
     # -- functional-unit plumbing -------------------------------------------
 
@@ -209,27 +241,33 @@ class FunctionalCore:
         """Execute up to ``max_instructions`` instructions."""
         start = self.regs.snapshot(self.pc)
         trace: list[TraceEntry] = []
+        append = trace.append
         class_counts: dict[str, int] = {}
+        counts_get = class_counts.get
         instructions = self.program.instructions
+        handlers, fu_names = _program_tables(self.program)
         n = len(instructions)
         executed = 0
+        pc = self.pc
         while executed < max_instructions and not self.halted:
-            if not 0 <= self.pc < n:
+            if not 0 <= pc < n:
                 break  # fell off the end of the program
-            instr = instructions[self.pc]
-            entry = self._execute(instr)
+            self.pc = pc
+            instr = instructions[pc]
+            entry = handlers[pc](self, instr)
             executed += 1
             self.committed += 1
             if record_trace:
-                trace.append(entry)
-                fu = instr.spec.fu.value
-                class_counts[fu] = class_counts.get(fu, 0) + 1
-            self.pc = entry.next_pc
+                append(entry)
+                fu = fu_names[pc]
+                class_counts[fu] = counts_get(fu, 0) + 1
+            pc = entry.next_pc
+        self.pc = pc
         return RunResult(
             program=self.program,
             trace=trace,
             start_checkpoint=start,
-            end_checkpoint=self.regs.snapshot(self.pc),
+            end_checkpoint=self.regs.snapshot(pc),
             halted=self.halted,
             instructions=executed,
             class_counts=class_counts,
@@ -239,309 +277,383 @@ class FunctionalCore:
         handler = _HANDLERS[instr.op]
         return handler(self, instr)
 
-    # -- opcode handlers ----------------------------------------------------
-    # Each returns a fully-populated TraceEntry.
 
-    def _entry(self, instr: Instruction, **kw) -> TraceEntry:
-        return TraceEntry(pc=self.pc, instr=instr,
-                          next_pc=kw.pop("next_pc", self.pc + 1), **kw)
+# -- fast-path functional-unit hooks (healthy, single-unit cores) -----------
+# Bound per-instance in FunctionalCore.__init__; bit-identical to the slow
+# path with a NoFaults surface and unit count <= 1 for every class.
 
-    def _h_int3(self, instr: Instruction) -> TraceEntry:
-        a = self.regs.ints[instr.rs1]
-        b = self.regs.ints[instr.rs2]
-        op = instr.op
-        if op is Opcode.ADD:
-            v = a + b
-        elif op is Opcode.SUB:
-            v = a - b
-        elif op is Opcode.AND:
-            v = a & b
-        elif op is Opcode.OR:
-            v = a | b
-        elif op is Opcode.XOR:
-            v = a ^ b
-        elif op is Opcode.SLL:
-            v = a << (b & 63)
-        elif op is Opcode.SRL:
-            v = a >> (b & 63)
-        else:  # SLT
-            v = 1 if to_signed(a) < to_signed(b) else 0
-        self.regs.write_int(instr.rd, self._alu(FUKind.INT_ALU, v))
-        return self._entry(instr)
+def _alu_fast(fu: FUKind, value: int) -> int:
+    return value & _MASK64
 
-    def _h_mul(self, instr: Instruction) -> TraceEntry:
-        v = self.regs.ints[instr.rs1] * self.regs.ints[instr.rs2]
-        self.regs.write_int(instr.rd, self._alu(FUKind.INT_MUL, v))
-        return self._entry(instr)
 
-    def _h_div(self, instr: Instruction) -> TraceEntry:
-        a = to_signed(self.regs.ints[instr.rs1])
-        b = to_signed(self.regs.ints[instr.rs2])
-        if instr.op is Opcode.DIV:
-            if b == 0:
-                v = -1
-            else:
-                v = abs(a) // abs(b)
-                if (a < 0) != (b < 0):
-                    v = -v
-        else:  # REM
-            if b == 0:
-                v = a
-            else:
-                v = abs(a) % abs(b)
-                if a < 0:
-                    v = -v
-        self.regs.write_int(instr.rd, self._alu(FUKind.INT_DIV, v))
-        return self._entry(instr)
+def _fpu_fast(fu: FUKind, value: float) -> float:
+    return value
 
-    def _h_imm(self, instr: Instruction) -> TraceEntry:
-        a = self.regs.ints[instr.rs1]
-        op = instr.op
-        imm = instr.imm
-        if op is Opcode.ADDI:
-            v = a + imm
-        elif op is Opcode.ANDI:
-            v = a & (imm & _MASK64)
-        elif op is Opcode.ORI:
-            v = a | (imm & _MASK64)
-        elif op is Opcode.XORI:
-            v = a ^ (imm & _MASK64)
-        elif op is Opcode.SLLI:
-            v = a << (imm & 63)
-        else:  # SRLI
-            v = a >> (imm & 63)
-        self.regs.write_int(instr.rd, self._alu(FUKind.INT_ALU, v))
-        return self._entry(instr)
 
-    def _h_lui(self, instr: Instruction) -> TraceEntry:
-        self.regs.write_int(instr.rd, self._alu(FUKind.INT_ALU, instr.imm))
-        return self._entry(instr)
+def _addr_fast(fu: FUKind, addr: int) -> int:
+    return addr & _MASK64
 
-    def _h_mov(self, instr: Instruction) -> TraceEntry:
-        self.regs.write_int(
-            instr.rd, self._alu(FUKind.INT_ALU, self.regs.ints[instr.rs1])
+
+# -- opcode handlers --------------------------------------------------------
+# One dedicated handler per opcode, generated from per-family operator
+# tables (the precomputed-dispatch replacement for the old if/elif chains).
+# Each takes (core, instr) and returns a fully-populated TraceEntry.
+
+_INT_ALU = FUKind.INT_ALU
+
+
+def _make_int3(op_fn):
+    def handler(core: FunctionalCore, instr: Instruction) -> TraceEntry:
+        regs = core.regs
+        ints = regs.ints
+        regs.write_int(
+            instr.rd,
+            core._alu(_INT_ALU, op_fn(ints[instr.rs1], ints[instr.rs2])),
         )
-        return self._entry(instr)
+        pc = core.pc
+        return TraceEntry(pc=pc, instr=instr, next_pc=pc + 1)
+    return handler
 
-    def _h_fp3(self, instr: Instruction) -> TraceEntry:
-        a = self.regs.fps[instr.rs1]
-        b = self.regs.fps[instr.rs2]
-        op = instr.op
-        if op is Opcode.FADD:
-            v = a + b
-        elif op is Opcode.FSUB:
-            v = a - b
-        elif op is Opcode.FMUL:
-            v = a * b
-        elif op is Opcode.FMIN:
-            v = min(a, b)
-        else:  # FMAX
-            v = max(a, b)
-        self.regs.write_fp(instr.rd, self._fpu(FUKind.FP, v))
-        return self._entry(instr)
 
-    def _h_fdiv(self, instr: Instruction) -> TraceEntry:
-        a = self.regs.fps[instr.rs1]
-        if instr.op is Opcode.FDIV:
-            b = self.regs.fps[instr.rs2]
-            if b == 0.0:
-                v = float("inf") if a > 0 else float("-inf") if a < 0 else float("nan")
-            else:
-                v = a / b
-        else:  # FSQRT
-            v = a ** 0.5 if a >= 0.0 else float("nan")
-        self.regs.write_fp(instr.rd, self._fpu(FUKind.FP_DIV, v))
-        return self._entry(instr)
-
-    def _h_fcvt_if(self, instr: Instruction) -> TraceEntry:
-        v = float(to_signed(self.regs.ints[instr.rs1]))
-        self.regs.write_fp(instr.rd, self._fpu(FUKind.FP, v))
-        return self._entry(instr)
-
-    def _h_fcvt_fi(self, instr: Instruction) -> TraceEntry:
-        f = self.regs.fps[instr.rs1]
-        if f != f:  # NaN
-            v = 0
-        elif f >= (1 << 63):  # +inf and out-of-range clamp high
-            v = (1 << 63) - 1
-        elif f < -(1 << 63):  # -inf and out-of-range clamp low
-            v = -(1 << 63)
-        else:
-            v = int(f)
-        self.regs.write_int(instr.rd, self._alu(FUKind.FP, v))
-        return self._entry(instr)
-
-    def _h_fmov(self, instr: Instruction) -> TraceEntry:
-        self.regs.write_fp(
-            instr.rd, self._fpu(FUKind.FP, self.regs.fps[instr.rs1])
+def _make_imm(op_fn):
+    def handler(core: FunctionalCore, instr: Instruction) -> TraceEntry:
+        regs = core.regs
+        regs.write_int(
+            instr.rd,
+            core._alu(_INT_ALU, op_fn(regs.ints[instr.rs1], instr.imm)),
         )
-        return self._entry(instr)
+        pc = core.pc
+        return TraceEntry(pc=pc, instr=instr, next_pc=pc + 1)
+    return handler
 
-    def _h_ld(self, instr: Instruction) -> TraceEntry:
-        addr = self._mem_addr(
-            FUKind.LOAD, self.regs.ints[instr.rs1] + instr.imm
+
+def _make_fp3(op_fn):
+    def handler(core: FunctionalCore, instr: Instruction) -> TraceEntry:
+        regs = core.regs
+        fps = regs.fps
+        regs.write_fp(
+            instr.rd,
+            core._fpu(FUKind.FP, op_fn(fps[instr.rs1], fps[instr.rs2])),
         )
-        value = self.port.load(addr, instr.size)
-        # Loaded data is ECC-protected on its way into the load queue
-        # (section IV-C), so it does not pass through the fault surface.
-        if instr.size == 8:
-            self.regs.write_int(instr.rd, value)
-        else:
-            self.regs.write_int(instr.rd, value & ((1 << (instr.size * 8)) - 1))
-        return self._entry(instr, addr=addr, size=instr.size, loaded=value)
+        pc = core.pc
+        return TraceEntry(pc=pc, instr=instr, next_pc=pc + 1)
+    return handler
 
-    def _h_st(self, instr: Instruction) -> TraceEntry:
-        addr = self._mem_addr(
-            FUKind.STORE, self.regs.ints[instr.rs1] + instr.imm
-        )
-        value = self.regs.ints[instr.rs2]
-        self.port.store(addr, instr.size, value)
-        return self._entry(instr, addr=addr, size=instr.size,
-                           stored=value & ((1 << (instr.size * 8)) - 1))
 
-    def _h_ldg(self, instr: Instruction) -> TraceEntry:
-        addr1 = self._mem_addr(FUKind.LOAD, self.regs.ints[instr.rs1])
-        addr2 = self._mem_addr(FUKind.LOAD, self.regs.ints[instr.rs2])
-        v1 = self.port.load(addr1, 8)
-        v2 = self.port.load(addr2, 8)
-        self.regs.write_int(instr.rd, v1)
-        self.regs.write_int(instr.rd2, v2)
-        return self._entry(instr, addr=addr1, addr2=addr2, size=8,
-                           loaded=v1, loaded2=v2)
-
-    def _h_sts(self, instr: Instruction) -> TraceEntry:
-        addr1 = self._mem_addr(FUKind.STORE, self.regs.ints[instr.rs1])
-        addr2 = self._mem_addr(FUKind.STORE, self.regs.ints[instr.rs2])
-        value = self.regs.ints[instr.rs3]
-        self.port.store(addr1, 8, value)
-        self.port.store(addr2, 8, value)
-        return self._entry(instr, addr=addr1, addr2=addr2, size=8, stored=value)
-
-    def _h_swp(self, instr: Instruction) -> TraceEntry:
-        addr = self._mem_addr(FUKind.LOAD, self.regs.ints[instr.rs1])
-        new = self.regs.ints[instr.rs2]
-        old = self.port.swap(addr, 8, new)
-        self.regs.write_int(instr.rd, old)
-        return self._entry(instr, addr=addr, size=8, loaded=old, stored=new)
-
-    def _h_bcopy(self, instr: Instruction) -> TraceEntry:
-        words = max(1, min(instr.imm, 32))
-        src = self._mem_addr(FUKind.LOAD, self.regs.ints[instr.rs1])
-        dst = self._mem_addr(FUKind.STORE, self.regs.ints[instr.rs2])
-        values = self.port.bulk_copy(src, dst, words)
-        return self._entry(instr, addr=src, addr2=dst, size=8, bulk=values)
-
-    def _h_sc(self, instr: Instruction) -> TraceEntry:
-        addr = self._mem_addr(FUKind.STORE, self.regs.ints[instr.rs1])
-        success = self.nonrep.sc_success() & 1
-        stored = None
-        if success:
-            stored = self.regs.ints[instr.rs2]
-            self.port.store(addr, 8, stored)
-        self.regs.write_int(instr.rd, success)
-        return self._entry(instr, addr=addr, size=8, stored=stored,
-                           nonrep=success)
-
-    def _h_rdrand(self, instr: Instruction) -> TraceEntry:
-        v = self.nonrep.rdrand()
-        self.regs.write_int(instr.rd, v)
-        return self._entry(instr, nonrep=v)
-
-    def _h_rdtime(self, instr: Instruction) -> TraceEntry:
-        v = self.nonrep.rdtime(self.committed)
-        self.regs.write_int(instr.rd, v)
-        return self._entry(instr, nonrep=v)
-
-    def _h_sysrd(self, instr: Instruction) -> TraceEntry:
-        v = self.nonrep.sysrd()
-        self.regs.write_int(instr.rd, v)
-        return self._entry(instr, nonrep=v)
-
-    def _h_branch(self, instr: Instruction) -> TraceEntry:
-        a = to_signed(self.regs.ints[instr.rs1])
-        b = to_signed(self.regs.ints[instr.rs2])
-        op = instr.op
-        if op is Opcode.BEQ:
-            taken = a == b
-        elif op is Opcode.BNE:
-            taken = a != b
-        elif op is Opcode.BLT:
-            taken = a < b
-        else:  # BGE
-            taken = a >= b
+def _make_branch(cmp_fn):
+    def handler(core: FunctionalCore, instr: Instruction) -> TraceEntry:
+        ints = core.regs.ints
+        taken = cmp_fn(to_signed(ints[instr.rs1]), to_signed(ints[instr.rs2]))
         # The branch ALU computes the condition; a fault can flip it.
-        cond = self._alu(FUKind.BRANCH, 1 if taken else 0) & 1
-        taken = bool(cond)
-        return self._entry(instr, taken=taken,
-                           next_pc=instr.target if taken else self.pc + 1)
+        cond = core._alu(FUKind.BRANCH, 1 if taken else 0) & 1
+        pc = core.pc
+        return TraceEntry(pc=pc, instr=instr, taken=bool(cond),
+                          next_pc=instr.target if cond else pc + 1)
+    return handler
 
-    def _h_jmp(self, instr: Instruction) -> TraceEntry:
-        return self._entry(instr, taken=True, next_pc=instr.target)
 
-    def _h_jalr(self, instr: Instruction) -> TraceEntry:
-        target = self._alu(FUKind.BRANCH, self.regs.ints[instr.rs1])
-        self.regs.write_int(instr.rd, self.pc + 1)
-        if not 0 <= target < len(self.program.instructions):
-            raise ControlFlowEscape(
-                f"jalr to {target} at pc={self.pc} "
-                f"(program has {len(self.program.instructions)} instructions)"
-            )
-        return self._entry(instr, taken=True, next_pc=target)
+_INT3_OPS = {
+    Opcode.ADD: lambda a, b: a + b,
+    Opcode.SUB: lambda a, b: a - b,
+    Opcode.AND: lambda a, b: a & b,
+    Opcode.OR: lambda a, b: a | b,
+    Opcode.XOR: lambda a, b: a ^ b,
+    Opcode.SLL: lambda a, b: a << (b & 63),
+    Opcode.SRL: lambda a, b: a >> (b & 63),
+    Opcode.SLT: lambda a, b: 1 if to_signed(a) < to_signed(b) else 0,
+}
 
-    def _h_nop(self, instr: Instruction) -> TraceEntry:
-        return self._entry(instr)
+_IMM_OPS = {
+    Opcode.ADDI: lambda a, imm: a + imm,
+    Opcode.ANDI: lambda a, imm: a & (imm & _MASK64),
+    Opcode.ORI: lambda a, imm: a | (imm & _MASK64),
+    Opcode.XORI: lambda a, imm: a ^ (imm & _MASK64),
+    Opcode.SLLI: lambda a, imm: a << (imm & 63),
+    Opcode.SRLI: lambda a, imm: a >> (imm & 63),
+}
 
-    def _h_halt(self, instr: Instruction) -> TraceEntry:
-        self.halted = True
-        return self._entry(instr, next_pc=self.pc)
+_FP3_OPS = {
+    Opcode.FADD: lambda a, b: a + b,
+    Opcode.FSUB: lambda a, b: a - b,
+    Opcode.FMUL: lambda a, b: a * b,
+    Opcode.FMIN: min,
+    Opcode.FMAX: max,
+}
+
+_BRANCH_OPS = {
+    Opcode.BEQ: lambda a, b: a == b,
+    Opcode.BNE: lambda a, b: a != b,
+    Opcode.BLT: lambda a, b: a < b,
+    Opcode.BGE: lambda a, b: a >= b,
+}
+
+
+def _h_mul(core: FunctionalCore, instr: Instruction) -> TraceEntry:
+    ints = core.regs.ints
+    v = ints[instr.rs1] * ints[instr.rs2]
+    core.regs.write_int(instr.rd, core._alu(FUKind.INT_MUL, v))
+    pc = core.pc
+    return TraceEntry(pc=pc, instr=instr, next_pc=pc + 1)
+
+
+def _h_div(core: FunctionalCore, instr: Instruction) -> TraceEntry:
+    ints = core.regs.ints
+    a = to_signed(ints[instr.rs1])
+    b = to_signed(ints[instr.rs2])
+    if b == 0:
+        v = -1
+    else:
+        v = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            v = -v
+    core.regs.write_int(instr.rd, core._alu(FUKind.INT_DIV, v))
+    pc = core.pc
+    return TraceEntry(pc=pc, instr=instr, next_pc=pc + 1)
+
+
+def _h_rem(core: FunctionalCore, instr: Instruction) -> TraceEntry:
+    ints = core.regs.ints
+    a = to_signed(ints[instr.rs1])
+    b = to_signed(ints[instr.rs2])
+    if b == 0:
+        v = a
+    else:
+        v = abs(a) % abs(b)
+        if a < 0:
+            v = -v
+    core.regs.write_int(instr.rd, core._alu(FUKind.INT_DIV, v))
+    pc = core.pc
+    return TraceEntry(pc=pc, instr=instr, next_pc=pc + 1)
+
+
+def _h_lui(core: FunctionalCore, instr: Instruction) -> TraceEntry:
+    core.regs.write_int(instr.rd, core._alu(_INT_ALU, instr.imm))
+    pc = core.pc
+    return TraceEntry(pc=pc, instr=instr, next_pc=pc + 1)
+
+
+def _h_mov(core: FunctionalCore, instr: Instruction) -> TraceEntry:
+    regs = core.regs
+    regs.write_int(instr.rd, core._alu(_INT_ALU, regs.ints[instr.rs1]))
+    pc = core.pc
+    return TraceEntry(pc=pc, instr=instr, next_pc=pc + 1)
+
+
+def _h_fdiv(core: FunctionalCore, instr: Instruction) -> TraceEntry:
+    fps = core.regs.fps
+    a = fps[instr.rs1]
+    b = fps[instr.rs2]
+    if b == 0.0:
+        v = float("inf") if a > 0 else float("-inf") if a < 0 else float("nan")
+    else:
+        v = a / b
+    core.regs.write_fp(instr.rd, core._fpu(FUKind.FP_DIV, v))
+    pc = core.pc
+    return TraceEntry(pc=pc, instr=instr, next_pc=pc + 1)
+
+
+def _h_fsqrt(core: FunctionalCore, instr: Instruction) -> TraceEntry:
+    a = core.regs.fps[instr.rs1]
+    v = a ** 0.5 if a >= 0.0 else float("nan")
+    core.regs.write_fp(instr.rd, core._fpu(FUKind.FP_DIV, v))
+    pc = core.pc
+    return TraceEntry(pc=pc, instr=instr, next_pc=pc + 1)
+
+
+def _h_fcvt_if(core: FunctionalCore, instr: Instruction) -> TraceEntry:
+    v = float(to_signed(core.regs.ints[instr.rs1]))
+    core.regs.write_fp(instr.rd, core._fpu(FUKind.FP, v))
+    pc = core.pc
+    return TraceEntry(pc=pc, instr=instr, next_pc=pc + 1)
+
+
+def _h_fcvt_fi(core: FunctionalCore, instr: Instruction) -> TraceEntry:
+    f = core.regs.fps[instr.rs1]
+    if f != f:  # NaN
+        v = 0
+    elif f >= (1 << 63):  # +inf and out-of-range clamp high
+        v = (1 << 63) - 1
+    elif f < -(1 << 63):  # -inf and out-of-range clamp low
+        v = -(1 << 63)
+    else:
+        v = int(f)
+    core.regs.write_int(instr.rd, core._alu(FUKind.FP, v))
+    pc = core.pc
+    return TraceEntry(pc=pc, instr=instr, next_pc=pc + 1)
+
+
+def _h_fmov(core: FunctionalCore, instr: Instruction) -> TraceEntry:
+    regs = core.regs
+    regs.write_fp(instr.rd, core._fpu(FUKind.FP, regs.fps[instr.rs1]))
+    pc = core.pc
+    return TraceEntry(pc=pc, instr=instr, next_pc=pc + 1)
+
+
+def _h_ld(core: FunctionalCore, instr: Instruction) -> TraceEntry:
+    regs = core.regs
+    addr = core._mem_addr(FUKind.LOAD, regs.ints[instr.rs1] + instr.imm)
+    size = instr.size
+    value = core.port.load(addr, size)
+    # Loaded data is ECC-protected on its way into the load queue
+    # (section IV-C), so it does not pass through the fault surface.
+    if size == 8:
+        regs.write_int(instr.rd, value)
+    else:
+        regs.write_int(instr.rd, value & ((1 << (size * 8)) - 1))
+    pc = core.pc
+    return TraceEntry(pc=pc, instr=instr, next_pc=pc + 1,
+                      addr=addr, size=size, loaded=value)
+
+
+def _h_st(core: FunctionalCore, instr: Instruction) -> TraceEntry:
+    regs = core.regs
+    addr = core._mem_addr(FUKind.STORE, regs.ints[instr.rs1] + instr.imm)
+    size = instr.size
+    value = regs.ints[instr.rs2]
+    core.port.store(addr, size, value)
+    pc = core.pc
+    return TraceEntry(pc=pc, instr=instr, next_pc=pc + 1,
+                      addr=addr, size=size,
+                      stored=value & ((1 << (size * 8)) - 1))
+
+
+def _h_ldg(core: FunctionalCore, instr: Instruction) -> TraceEntry:
+    regs = core.regs
+    addr1 = core._mem_addr(FUKind.LOAD, regs.ints[instr.rs1])
+    addr2 = core._mem_addr(FUKind.LOAD, regs.ints[instr.rs2])
+    v1 = core.port.load(addr1, 8)
+    v2 = core.port.load(addr2, 8)
+    regs.write_int(instr.rd, v1)
+    regs.write_int(instr.rd2, v2)
+    pc = core.pc
+    return TraceEntry(pc=pc, instr=instr, next_pc=pc + 1,
+                      addr=addr1, addr2=addr2, size=8, loaded=v1, loaded2=v2)
+
+
+def _h_sts(core: FunctionalCore, instr: Instruction) -> TraceEntry:
+    regs = core.regs
+    addr1 = core._mem_addr(FUKind.STORE, regs.ints[instr.rs1])
+    addr2 = core._mem_addr(FUKind.STORE, regs.ints[instr.rs2])
+    value = regs.ints[instr.rs3]
+    core.port.store(addr1, 8, value)
+    core.port.store(addr2, 8, value)
+    pc = core.pc
+    return TraceEntry(pc=pc, instr=instr, next_pc=pc + 1,
+                      addr=addr1, addr2=addr2, size=8, stored=value)
+
+
+def _h_swp(core: FunctionalCore, instr: Instruction) -> TraceEntry:
+    regs = core.regs
+    addr = core._mem_addr(FUKind.LOAD, regs.ints[instr.rs1])
+    new = regs.ints[instr.rs2]
+    old = core.port.swap(addr, 8, new)
+    regs.write_int(instr.rd, old)
+    pc = core.pc
+    return TraceEntry(pc=pc, instr=instr, next_pc=pc + 1,
+                      addr=addr, size=8, loaded=old, stored=new)
+
+
+def _h_bcopy(core: FunctionalCore, instr: Instruction) -> TraceEntry:
+    regs = core.regs
+    words = max(1, min(instr.imm, 32))
+    src = core._mem_addr(FUKind.LOAD, regs.ints[instr.rs1])
+    dst = core._mem_addr(FUKind.STORE, regs.ints[instr.rs2])
+    values = core.port.bulk_copy(src, dst, words)
+    pc = core.pc
+    return TraceEntry(pc=pc, instr=instr, next_pc=pc + 1,
+                      addr=src, addr2=dst, size=8, bulk=values)
+
+
+def _h_sc(core: FunctionalCore, instr: Instruction) -> TraceEntry:
+    regs = core.regs
+    addr = core._mem_addr(FUKind.STORE, regs.ints[instr.rs1])
+    success = core.nonrep.sc_success() & 1
+    stored = None
+    if success:
+        stored = regs.ints[instr.rs2]
+        core.port.store(addr, 8, stored)
+    regs.write_int(instr.rd, success)
+    pc = core.pc
+    return TraceEntry(pc=pc, instr=instr, next_pc=pc + 1,
+                      addr=addr, size=8, stored=stored, nonrep=success)
+
+
+def _h_rdrand(core: FunctionalCore, instr: Instruction) -> TraceEntry:
+    v = core.nonrep.rdrand()
+    core.regs.write_int(instr.rd, v)
+    pc = core.pc
+    return TraceEntry(pc=pc, instr=instr, next_pc=pc + 1, nonrep=v)
+
+
+def _h_rdtime(core: FunctionalCore, instr: Instruction) -> TraceEntry:
+    v = core.nonrep.rdtime(core.committed)
+    core.regs.write_int(instr.rd, v)
+    pc = core.pc
+    return TraceEntry(pc=pc, instr=instr, next_pc=pc + 1, nonrep=v)
+
+
+def _h_sysrd(core: FunctionalCore, instr: Instruction) -> TraceEntry:
+    v = core.nonrep.sysrd()
+    core.regs.write_int(instr.rd, v)
+    pc = core.pc
+    return TraceEntry(pc=pc, instr=instr, next_pc=pc + 1, nonrep=v)
+
+
+def _h_jmp(core: FunctionalCore, instr: Instruction) -> TraceEntry:
+    return TraceEntry(pc=core.pc, instr=instr, taken=True,
+                      next_pc=instr.target)
+
+
+def _h_jalr(core: FunctionalCore, instr: Instruction) -> TraceEntry:
+    target = core._alu(FUKind.BRANCH, core.regs.ints[instr.rs1])
+    pc = core.pc
+    core.regs.write_int(instr.rd, pc + 1)
+    if not 0 <= target < len(core.program.instructions):
+        raise ControlFlowEscape(
+            f"jalr to {target} at pc={pc} "
+            f"(program has {len(core.program.instructions)} instructions)"
+        )
+    return TraceEntry(pc=pc, instr=instr, taken=True, next_pc=target)
+
+
+def _h_nop(core: FunctionalCore, instr: Instruction) -> TraceEntry:
+    pc = core.pc
+    return TraceEntry(pc=pc, instr=instr, next_pc=pc + 1)
+
+
+def _h_halt(core: FunctionalCore, instr: Instruction) -> TraceEntry:
+    core.halted = True
+    pc = core.pc
+    return TraceEntry(pc=pc, instr=instr, next_pc=pc)
 
 
 _HANDLERS = {
-    Opcode.ADD: FunctionalCore._h_int3,
-    Opcode.SUB: FunctionalCore._h_int3,
-    Opcode.AND: FunctionalCore._h_int3,
-    Opcode.OR: FunctionalCore._h_int3,
-    Opcode.XOR: FunctionalCore._h_int3,
-    Opcode.SLL: FunctionalCore._h_int3,
-    Opcode.SRL: FunctionalCore._h_int3,
-    Opcode.SLT: FunctionalCore._h_int3,
-    Opcode.MUL: FunctionalCore._h_mul,
-    Opcode.DIV: FunctionalCore._h_div,
-    Opcode.REM: FunctionalCore._h_div,
-    Opcode.ADDI: FunctionalCore._h_imm,
-    Opcode.ANDI: FunctionalCore._h_imm,
-    Opcode.ORI: FunctionalCore._h_imm,
-    Opcode.XORI: FunctionalCore._h_imm,
-    Opcode.SLLI: FunctionalCore._h_imm,
-    Opcode.SRLI: FunctionalCore._h_imm,
-    Opcode.LUI: FunctionalCore._h_lui,
-    Opcode.MOV: FunctionalCore._h_mov,
-    Opcode.FADD: FunctionalCore._h_fp3,
-    Opcode.FSUB: FunctionalCore._h_fp3,
-    Opcode.FMUL: FunctionalCore._h_fp3,
-    Opcode.FMIN: FunctionalCore._h_fp3,
-    Opcode.FMAX: FunctionalCore._h_fp3,
-    Opcode.FDIV: FunctionalCore._h_fdiv,
-    Opcode.FSQRT: FunctionalCore._h_fdiv,
-    Opcode.FCVTIF: FunctionalCore._h_fcvt_if,
-    Opcode.FCVTFI: FunctionalCore._h_fcvt_fi,
-    Opcode.FMOV: FunctionalCore._h_fmov,
-    Opcode.LD: FunctionalCore._h_ld,
-    Opcode.ST: FunctionalCore._h_st,
-    Opcode.LDG: FunctionalCore._h_ldg,
-    Opcode.STS: FunctionalCore._h_sts,
-    Opcode.SWP: FunctionalCore._h_swp,
-    Opcode.BCOPY: FunctionalCore._h_bcopy,
-    Opcode.SC: FunctionalCore._h_sc,
-    Opcode.RDRAND: FunctionalCore._h_rdrand,
-    Opcode.RDTIME: FunctionalCore._h_rdtime,
-    Opcode.SYSRD: FunctionalCore._h_sysrd,
-    Opcode.BEQ: FunctionalCore._h_branch,
-    Opcode.BNE: FunctionalCore._h_branch,
-    Opcode.BLT: FunctionalCore._h_branch,
-    Opcode.BGE: FunctionalCore._h_branch,
-    Opcode.JMP: FunctionalCore._h_jmp,
-    Opcode.JALR: FunctionalCore._h_jalr,
-    Opcode.NOP: FunctionalCore._h_nop,
-    Opcode.HALT: FunctionalCore._h_halt,
+    **{op: _make_int3(fn) for op, fn in _INT3_OPS.items()},
+    **{op: _make_imm(fn) for op, fn in _IMM_OPS.items()},
+    **{op: _make_fp3(fn) for op, fn in _FP3_OPS.items()},
+    **{op: _make_branch(fn) for op, fn in _BRANCH_OPS.items()},
+    Opcode.MUL: _h_mul,
+    Opcode.DIV: _h_div,
+    Opcode.REM: _h_rem,
+    Opcode.LUI: _h_lui,
+    Opcode.MOV: _h_mov,
+    Opcode.FDIV: _h_fdiv,
+    Opcode.FSQRT: _h_fsqrt,
+    Opcode.FCVTIF: _h_fcvt_if,
+    Opcode.FCVTFI: _h_fcvt_fi,
+    Opcode.FMOV: _h_fmov,
+    Opcode.LD: _h_ld,
+    Opcode.ST: _h_st,
+    Opcode.LDG: _h_ldg,
+    Opcode.STS: _h_sts,
+    Opcode.SWP: _h_swp,
+    Opcode.BCOPY: _h_bcopy,
+    Opcode.SC: _h_sc,
+    Opcode.RDRAND: _h_rdrand,
+    Opcode.RDTIME: _h_rdtime,
+    Opcode.SYSRD: _h_sysrd,
+    Opcode.JMP: _h_jmp,
+    Opcode.JALR: _h_jalr,
+    Opcode.NOP: _h_nop,
+    Opcode.HALT: _h_halt,
 }

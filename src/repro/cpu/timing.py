@@ -83,6 +83,44 @@ def _compute_operands(instr: Instruction) -> tuple[tuple[int, ...], tuple[int, .
     return reads_t, writes_t
 
 
+#: ``branch_kind`` codes in the per-program static metadata.
+_NOT_BRANCH, _COND_BRANCH, _JMP, _JALR = 0, 1, 2, 3
+
+
+def _program_metadata(program: Program) -> list[tuple]:
+    """Per-pc static timing metadata, computed once per program.
+
+    Everything ``simulate`` needs per dynamic instruction that only
+    depends on the static instruction — scoreboard operands, FU class,
+    load/store/branch kind, fetch address — is precomputed here and
+    cached on the program object, so it is shared across every timing
+    model (baseline, checked main, every checker class, every
+    configuration of a sweep) that replays the same program.
+    """
+    meta = getattr(program, "_timing_metadata", None)
+    if meta is None:
+        meta = []
+        for pc, instr in enumerate(program.instructions):
+            spec = instr.spec
+            op = instr.op
+            reads, writes = _compute_operands(instr)
+            if not spec.is_branch:
+                branch_kind = _NOT_BRANCH
+            elif op is Opcode.JALR:
+                branch_kind = _JALR
+            elif op is Opcode.JMP:
+                branch_kind = _JMP
+            else:
+                branch_kind = _COND_BRANCH
+            meta.append((
+                spec.fu, spec.fu.value, reads, writes,
+                spec.is_load, spec.is_store, op is Opcode.BCOPY,
+                branch_kind, program.fetch_address(pc), op is Opcode.STS,
+            ))
+        program._timing_metadata = meta
+    return meta
+
+
 @dataclass
 class TimingResult:
     """Cycle/latency outcome of one trace replay on one core instance."""
@@ -165,7 +203,6 @@ class TimingModel:
         self.checker_mode = checker_mode
         self.hierarchy = MemoryHierarchy(self.config.hierarchy, uncore)
         self.predictor = BranchPredictor(self.config.predictor_kib)
-        self._operand_cache: dict[int, tuple[tuple[int, ...], tuple[int, ...]]] = {}
         #: Per-PC stride prefetcher state: pc -> [last_addr, stride, confidence].
         self._prefetch: dict[int, list[int]] = {}
         self.prefetches_issued = 0
@@ -197,14 +234,6 @@ class TimingModel:
             if (target ^ addr) >> 6:  # only when it lands on another line
                 self.hierarchy.data_access(target, self.freq)
                 self.prefetches_issued += 1
-
-    def _operands(self, instr: Instruction):
-        key = id(instr)
-        ops = self._operand_cache.get(key)
-        if ops is None:
-            ops = _compute_operands(instr)
-            self._operand_cache[key] = ops
-        return ops
 
     def warm_data(self, addresses) -> None:
         """Functionally warm the data-cache hierarchy (gem5-style).
@@ -268,7 +297,9 @@ class TimingModel:
         fu_free: dict[FUKind, list[float]] = {
             kind: [0.0] * fu.units for kind, fu in config.fus.items()
         }
-        fu_meta = {kind: (fu.latency, fu.interval) for kind, fu in config.fus.items()}
+        #: One lookup per instruction: kind -> (units, latency, interval).
+        fu_info = {kind: (fu_free[kind], fu.latency, fu.interval)
+                   for kind, fu in config.fus.items()}
         mshrs = [0.0] * config.hierarchy.l1d.mshrs
         ready: dict[int, float] = {}
         rob: list[float] = [0.0] * window  # ring buffer of commit cycles
@@ -289,19 +320,26 @@ class TimingModel:
         next_boundary = next(boundary_iter, None)
         boundary_cycles: list[float] = []
 
+        meta = _program_metadata(program)
+        fetch_access = hier.fetch_access
+        data_access = hier.data_access
+        ready_get = ready.get
+        predict_conditional = predictor.predict_conditional
+        predict_indirect = predictor.predict_indirect
+        issue_get = fu_issue_counts.get
+        busy_get = fu_busy_cycles.get
+
         for i, entry in enumerate(trace):
-            instr = entry.instr
-            spec = instr.spec
-            fu_kind = spec.fu
+            (fu_kind, fu_name, reads, writes, is_load, is_store, is_bcopy,
+             branch_kind, fetch_addr, is_sts) = meta[entry.pc]
 
             # -- fetch / dispatch ----------------------------------------
-            fetch_addr = program.fetch_address(entry.pc)
             line = fetch_addr >> 6
             if line != last_fetch_line:
                 last_fetch_line = line
-                result = hier.fetch_access(fetch_addr, freq)
+                result = fetch_access(fetch_addr, freq)
                 # Next-line instruction prefetch (sequential streams hit).
-                hier.fetch_access(fetch_addr + 64, freq)
+                fetch_access(fetch_addr + 64, freq)
                 if result.level != "l1":
                     icache_misses += 1
                     fetch_cycle += result.latency_ns * freq - l1i_hit_cycles
@@ -316,15 +354,14 @@ class TimingModel:
                 disp = last_issue
 
             # -- register dependencies -----------------------------------
-            reads, writes = self._operands(instr)
             t_ready = disp
             for key in reads:
-                t = ready.get(key, 0.0)
+                t = ready_get(key, 0.0)
                 if t > t_ready:
                     t_ready = t
 
             # -- functional unit -----------------------------------------
-            units = fu_free[fu_kind]
+            units, latency, interval = fu_info[fu_kind]
             if len(units) == 1:
                 unit_idx = 0
                 unit_free = units[0]
@@ -335,9 +372,8 @@ class TimingModel:
             if in_order:
                 last_issue = issue
 
-            latency, interval = fu_meta[fu_kind]
             # -- memory ----------------------------------------------------
-            if instr.op is Opcode.BCOPY and entry.bulk is not None:
+            if is_bcopy and entry.bulk is not None:
                 # Microcoded bulk copy: one word per cycle through the
                 # load/store pipes, touching source and destination lines.
                 words = len(entry.bulk)
@@ -349,27 +385,27 @@ class TimingModel:
                     worst = 0.0
                     for base in (entry.addr, entry.addr2):
                         for off in range(0, words * 8, 64):
-                            result = hier.data_access(base + off, freq)
+                            result = data_access(base + off, freq)
                             worst = max(worst, result.latency_ns * freq)
                     latency = max(words, worst)
                 interval = max(words, interval)
-            elif spec.is_load or spec.is_store:
-                if spec.is_load:
+            elif is_load or is_store:
+                if is_load:
                     loads += 1
                     if entry.addr2 >= 0:
                         loads += 1
-                if spec.is_store:
+                if is_store:
                     stores += 1
-                    if entry.addr2 >= 0 and instr.op is Opcode.STS:
+                    if entry.addr2 >= 0 and is_sts:
                         stores += 1
                 if checker:
                     latency = lsl_latency
-                elif spec.is_load:
+                elif is_load:
                     self._prefetch_data(entry.pc, entry.addr)
-                    result = hier.data_access(entry.addr, freq)
+                    result = data_access(entry.addr, freq)
                     mem_cycles = result.latency_ns * freq
                     if entry.addr2 >= 0:
-                        result2 = hier.data_access(entry.addr2, freq)
+                        result2 = data_access(entry.addr2, freq)
                         mem_cycles = max(mem_cycles, result2.latency_ns * freq)
                     if result.level != "l1":
                         # A miss occupies an MSHR until the fill returns.
@@ -381,15 +417,14 @@ class TimingModel:
                 else:
                     # Stores retire through the store buffer: residency and
                     # stats are tracked but the pipeline sees 1 cycle.
-                    hier.data_access(entry.addr, freq, is_write=True)
+                    data_access(entry.addr, freq, is_write=True)
                     if entry.addr2 >= 0:
-                        hier.data_access(entry.addr2, freq, is_write=True)
+                        data_access(entry.addr2, freq, is_write=True)
                     latency = 1
 
             units[unit_idx] = issue + interval
-            fu_name = fu_kind.value
-            fu_issue_counts[fu_name] = fu_issue_counts.get(fu_name, 0) + 1
-            fu_busy_cycles[fu_name] = fu_busy_cycles.get(fu_name, 0.0) + interval
+            fu_issue_counts[fu_name] = issue_get(fu_name, 0) + 1
+            fu_busy_cycles[fu_name] = busy_get(fu_name, 0.0) + interval
             complete = issue + latency
 
             for key in writes:
@@ -406,13 +441,13 @@ class TimingModel:
                 rob_pos = 0
 
             # -- control flow ----------------------------------------------
-            if spec.is_branch:
-                if instr.op is Opcode.JALR:
-                    correct = predictor.predict_indirect(entry.pc, entry.next_pc)
-                elif instr.op is Opcode.JMP:
+            if branch_kind:
+                if branch_kind == _JALR:
+                    correct = predict_indirect(entry.pc, entry.next_pc)
+                elif branch_kind == _JMP:
                     correct = True
                 else:
-                    correct = predictor.predict_conditional(entry.pc, entry.taken)
+                    correct = predict_conditional(entry.pc, entry.taken)
                 if not correct:
                     mispredicts += 1
                     redirect = complete + penalty

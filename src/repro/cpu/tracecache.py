@@ -1,0 +1,96 @@
+"""Persistent, content-addressed cache of functional runs.
+
+A functional run is fully determined by (workload profile, RNG seed,
+instruction budget) plus the code that interprets them, so repeated
+bench invocations can skip functional execution entirely by persisting
+the run with :mod:`repro.cpu.traceio` and keying it on those inputs.
+
+The key also folds in every version that could silently change the
+trace semantics: the cache's own schema version, the ``traceio`` format
+version, and a fingerprint of the ISA opcode set.  Bumping any of them
+invalidates old entries without needing a manual wipe — stale files are
+simply misses (and corrupt ones are deleted on sight).
+
+Enable it via ``REPRO_TRACE_CACHE=/path/to/dir`` (unset, empty or ``0``
+disables caching), or construct a :class:`TraceCache` explicitly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.cpu import traceio
+from repro.cpu.functional import RunResult
+from repro.isa.instructions import Opcode
+
+CACHE_VERSION = 1
+
+
+def _isa_fingerprint() -> str:
+    """Hash of the opcode set: any ISA change invalidates cached traces."""
+    blob = ",".join(op.value for op in Opcode)
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def cache_key(profile: str, seed: int, max_instructions: int) -> str:
+    """Content address for one functional run."""
+    payload = json.dumps(
+        {
+            "cache_version": CACHE_VERSION,
+            "trace_format": traceio.FORMAT_VERSION,
+            "isa": _isa_fingerprint(),
+            "profile": profile,
+            "seed": seed,
+            "max_instructions": max_instructions,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class TraceCache:
+    """On-disk store of serialized functional runs."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+
+    def path_for(self, profile: str, seed: int,
+                 max_instructions: int) -> Path:
+        key = cache_key(profile, seed, max_instructions)
+        return self.directory / f"{key}.json"
+
+    def get(self, profile: str, seed: int,
+            max_instructions: int) -> RunResult | None:
+        """Load a cached run, or None on miss.
+
+        Unreadable or stale-format files count as misses and are removed
+        so they cannot shadow a fresh entry forever.
+        """
+        path = self.path_for(profile, seed, max_instructions)
+        if not path.is_file():
+            return None
+        try:
+            return traceio.load_run(path)
+        except (ValueError, KeyError, TypeError, IndexError, OSError):
+            path.unlink(missing_ok=True)
+            return None
+
+    def put(self, profile: str, seed: int, max_instructions: int,
+            run: RunResult) -> None:
+        """Persist a run atomically (write-temp-then-rename)."""
+        path = self.path_for(profile, seed, max_instructions)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        traceio.save_run(run, tmp)
+        tmp.replace(path)
+
+
+def env_trace_cache() -> TraceCache | None:
+    """REPRO_TRACE_CACHE: cache directory, or unset/empty/``0`` to disable."""
+    raw = os.environ.get("REPRO_TRACE_CACHE")
+    if not raw or raw == "0":
+        return None
+    return TraceCache(raw)

@@ -15,6 +15,7 @@ from repro.core.system import CheckMode, ParaVerserSystem
 from repro.cpu.config import CoreInstance
 from repro.cpu.presets import A510, X2
 from repro.faults.campaign import FaultCampaign, covered_segments
+from repro.harness.parallel import SweepCell
 from repro.harness.report import Table, slowdown_percent
 from repro.harness.runner import (
     WorkloadCache,
@@ -64,23 +65,43 @@ def run_fig6(cache: WorkloadCache | None = None,
     """Fig. 6: slowdown of the 3 GHz X2 main core, full-coverage mode."""
     cache = cache or WorkloadCache()
     benchmarks = benchmarks or spec_benchmarks()
-    table = Table(title="Fig. 6 — full-coverage slowdown (%)")
+    cells = []
     for name in benchmarks:
         for label, make in FIG6_CONFIGS.items():
-            result = cache.run_config(name, make())
-            table.add(name, label, slowdown_percent(result.slowdown))
+            cells.append(SweepCell(name, label, make()))
         if include_ed2p:
-            best = _ed2p_best(cache, name)
+            cells.extend(_ed2p_cells(name))
+    results = dict(zip(((c.benchmark, c.label) for c in cells),
+                       cache.sweep(cells)))
+    table = Table(title="Fig. 6 — full-coverage slowdown (%)")
+    for name in benchmarks:
+        for label in FIG6_CONFIGS:
+            table.add(name, label,
+                      slowdown_percent(results[name, label].slowdown))
+        if include_ed2p:
+            best = _ed2p_best(cache, name, results)
             table.add(name, "4xA510@ED2P",
                       slowdown_percent(best.result.slowdown))
     return table
 
 
-def _ed2p_best(cache: WorkloadCache, name: str):
-    """Per-benchmark ED2P-minimal 4xA510 configuration (section VII-A)."""
+def _ed2p_cells(name: str) -> list[SweepCell]:
+    """Sweep cells for the per-benchmark ED2P frequency search."""
+    return [SweepCell(name, f"ed2p@{freq}", make_config([a510(freq)] * 4))
+            for freq in A510_SWEEP_GHZ]
+
+
+def _ed2p_best(cache: WorkloadCache, name: str, results: dict | None = None):
+    """Per-benchmark ED2P-minimal 4xA510 configuration (section VII-A).
+
+    When ``results`` holds pre-swept ``(benchmark, label)`` cells the
+    frequency search reads from them instead of re-simulating.
+    """
     from repro.power.ed2p import ed2p_sweep
 
     def run_at(freq: float):
+        if results is not None:
+            return results[name, f"ed2p@{freq}"]
         return cache.run_config(name, make_config([a510(freq)] * 4))
 
     return ed2p_sweep(run_at, main_x2(), A510_SWEEP_GHZ).best
@@ -115,6 +136,13 @@ def run_fig7(cache: WorkloadCache | None = None,
     """Fig. 7: opportunistic-mode slowdown (and section VII-B coverage)."""
     cache = cache or WorkloadCache()
     benchmarks = benchmarks or spec_benchmarks()
+    cells = [
+        SweepCell(name, f"{label}#{i}", make())
+        for name in benchmarks
+        for label, makers in FIG7_CONFIGS.items()
+        for i, make in enumerate(makers)
+    ]
+    swept = iter(cache.sweep(cells))
     slowdown = Table(title="Fig. 7 — opportunistic-mode slowdown (%)")
     coverage = Table(
         title="Run-time instruction coverage, opportunistic mode (%)",
@@ -122,8 +150,8 @@ def run_fig7(cache: WorkloadCache | None = None,
     for name in benchmarks:
         for label, makers in FIG7_CONFIGS.items():
             slowdowns, coverages = [], []
-            for make in makers:
-                result = cache.run_config(name, make())
+            for _ in makers:
+                result = next(swept)
                 slowdowns.append(slowdown_percent(result.slowdown))
                 coverages.append(result.coverage * 100)
             slowdown.add(name, label, sum(slowdowns) / len(slowdowns))
@@ -200,17 +228,21 @@ def run_fig8(cache: WorkloadCache | None = None,
 # -- Fig. 9: GAP and PARSEC ---------------------------------------------------
 
 def run_fig9_gap(benchmarks: list[str] | None = None,
-                 checker_counts: tuple[int, ...] = (1, 2, 3, 4)) -> Table:
+                 checker_counts: tuple[int, ...] = (1, 2, 3, 4),
+                 cache: WorkloadCache | None = None) -> Table:
     """Fig. 9 (left): GAP full-coverage slowdown vs. #A510 checkers."""
     # GAP has its own fixed set; REPRO_BENCHMARKS only scopes SPEC figures.
     benchmarks = benchmarks or sorted(GAP)
-    cache = WorkloadCache()
+    cache = cache or WorkloadCache()
+    cells = [
+        SweepCell(name, f"{count}xA510", make_config([a510(2.0)] * count))
+        for name in benchmarks
+        for count in checker_counts
+    ]
     table = Table(title="Fig. 9 — GAP full-coverage slowdown (%)")
-    for name in benchmarks:
-        for count in checker_counts:
-            result = cache.run_config(
-                name, make_config([a510(2.0)] * count))
-            table.add(name, f"{count}xA510", slowdown_percent(result.slowdown))
+    for cell, result in zip(cells, cache.sweep(cells)):
+        table.add(cell.benchmark, cell.label,
+                  slowdown_percent(result.slowdown))
     return table
 
 
@@ -283,10 +315,12 @@ def run_fig11(cache: WorkloadCache | None = None,
         "slowNoC+hash": make_config([x2(3.0)], hash_mode=True, noc=SLOW_NOC),
         "fastNoC": make_config([x2(3.0)], noc=FAST_NOC),
     }
-    for name in benchmarks:
-        for label, config in configs.items():
-            result = cache.run_config(name, config)
-            table.add(name, label, slowdown_percent(result.slowdown))
+    cells = [SweepCell(name, label, config)
+             for name in benchmarks
+             for label, config in configs.items()]
+    for cell, result in zip(cells, cache.sweep(cells)):
+        table.add(cell.benchmark, cell.label,
+                  slowdown_percent(result.slowdown))
     return table
 
 
@@ -322,16 +356,22 @@ def run_sec7e_energy(cache: WorkloadCache | None = None,
     """Section VII-E energy overheads vs. the power-gated baseline."""
     cache = cache or WorkloadCache()
     benchmarks = benchmarks or env_benchmarks(SEC7E_DEFAULT_BENCHMARKS)
+    cells = []
+    for name in benchmarks:
+        for label, make in SEC7E_ENERGY_CONFIGS.items():
+            cells.append(SweepCell(name, label, make()))
+        cells.extend(_ed2p_cells(name))
+    results = dict(zip(((c.benchmark, c.label) for c in cells),
+                       cache.sweep(cells)))
     table = Table(title="Section VII-E — energy overhead (%)",
                   unit="% energy overhead vs power-gated checkers")
     ed2p_energy = []
     ed2p_slow = []
     for name in benchmarks:
-        for label, make in SEC7E_ENERGY_CONFIGS.items():
-            result = cache.run_config(name, make())
-            report = energy_report(result, main_x2())
+        for label in SEC7E_ENERGY_CONFIGS:
+            report = energy_report(results[name, label], main_x2())
             table.add(name, label, report.overhead_percent)
-        best = _ed2p_best(cache, name)
+        best = _ed2p_best(cache, name, results)
         table.add(name, "4xA510@ED2P", best.energy.overhead_percent)
         ed2p_energy.append(best.energy.overhead_percent)
         ed2p_slow.append(slowdown_percent(best.result.slowdown))

@@ -1,0 +1,117 @@
+"""Parallel sweep engine for ``(benchmark, config)`` cells.
+
+Figure benchmarks are embarrassingly parallel across benchmarks: every
+cell shares nothing but the functional trace of its own benchmark.  The
+:class:`SweepRunner` fans cells across a ``ProcessPoolExecutor``, one
+task per *benchmark* rather than per cell, for two reasons:
+
+* **Trace reuse** — each worker keeps a process-global
+  :class:`~repro.harness.runner.WorkloadCache`, so all configs of a
+  benchmark landing in one task share a single functional run exactly
+  like the serial path does.
+* **Determinism** — the unchecked baseline timing is cached per
+  ``(main core, NoC)`` pair but computed by whichever config of that
+  pair runs *first*, so configs within a benchmark must execute in the
+  same order as the serial path.  Grouping preserves that order; merge
+  order is the input cell order, so ``jobs=N`` output is bit-identical
+  to ``jobs=1``.
+
+With ``jobs=1`` (the default, via ``REPRO_JOBS``) no pool is created
+and everything runs in-process.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.core.system import ParaVerserConfig, SystemResult
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One unit of sweep work: a benchmark under one checker config."""
+
+    benchmark: str
+    label: str
+    config: ParaVerserConfig
+
+
+# One cache per (budget, seed) per worker process, reused across tasks so
+# a worker that sees the same benchmark twice never re-runs the trace.
+_WORKER_CACHES: dict = {}
+
+
+def _worker_cache(max_instructions: int, seed: int):
+    from repro.harness.runner import WorkloadCache
+
+    key = (max_instructions, seed)
+    cache = _WORKER_CACHES.get(key)
+    if cache is None:
+        # jobs=1 in workers: no recursive pools.
+        cache = WorkloadCache(max_instructions=max_instructions,
+                              seed=seed, jobs=1)
+        _WORKER_CACHES[key] = cache
+    return cache
+
+
+def _run_group(benchmark: str, configs: list[ParaVerserConfig],
+               max_instructions: int, seed: int) -> list[SystemResult]:
+    """Worker entry point: run one benchmark's configs, in given order."""
+    cache = _worker_cache(max_instructions, seed)
+    return [cache.run_config(benchmark, config) for config in configs]
+
+
+class SweepRunner:
+    """Fans sweep cells across worker processes, merging deterministically."""
+
+    def __init__(self, jobs: int, max_instructions: int, seed: int) -> None:
+        self.jobs = jobs
+        self.max_instructions = max_instructions
+        self.seed = seed
+        self._pool: ProcessPoolExecutor | None = None
+
+    def _executor(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def run(self, cells: list[SweepCell]) -> list[SystemResult]:
+        """Run all cells; results are returned in input-cell order."""
+        if self.jobs <= 1 or len(cells) <= 1:
+            cache = _worker_cache(self.max_instructions, self.seed)
+            return [cache.run_config(cell.benchmark, cell.config)
+                    for cell in cells]
+
+        # Group by benchmark, preserving config order within each group
+        # (and first-seen benchmark order across groups).
+        groups: dict[str, list[int]] = {}
+        for index, cell in enumerate(cells):
+            groups.setdefault(cell.benchmark, []).append(index)
+
+        pool = self._executor()
+        futures = {
+            benchmark: pool.submit(
+                _run_group, benchmark,
+                [cells[i].config for i in indices],
+                self.max_instructions, self.seed,
+            )
+            for benchmark, indices in groups.items()
+        }
+
+        results: list[SystemResult | None] = [None] * len(cells)
+        for benchmark, indices in groups.items():
+            for index, result in zip(indices, futures[benchmark].result()):
+                results[index] = result
+        return results
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "SweepRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -13,6 +13,10 @@ to the machine):
   functional cache warming stands in for the fast-forward).
 * ``REPRO_BENCHMARKS`` — comma-separated subset of benchmark names.
 * ``REPRO_TRIALS`` — fault-injection trials per benchmark (Fig. 8).
+* ``REPRO_JOBS`` — worker processes for config sweeps (default 1 =
+  in-process; 0 or negative = one per CPU).
+* ``REPRO_TRACE_CACHE`` — directory for the persistent trace cache
+  (unset/empty/``0`` disables it).
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ from repro.cpu.config import CoreInstance
 from repro.cpu.functional import RunResult
 from repro.cpu.presets import X2
 from repro.cpu.timing import TimingResult
+from repro.cpu.tracecache import TraceCache, env_trace_cache
 from repro.isa.program import Program
 from repro.noc.mesh import NocConfig, FAST_NOC
 from repro.workloads.generator import build_program
@@ -44,6 +49,14 @@ DEFAULT_SEED = 7
 def env_instructions() -> int:
     """REPRO_INSTRUCTIONS: instructions simulated per benchmark."""
     return int(os.environ.get("REPRO_INSTRUCTIONS", DEFAULT_INSTRUCTIONS))
+
+
+def env_jobs() -> int:
+    """REPRO_JOBS: sweep worker processes (0 or negative = CPU count)."""
+    jobs = int(os.environ.get("REPRO_JOBS", 1))
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return jobs
 
 
 def env_trials() -> int:
@@ -84,22 +97,42 @@ class CachedWorkload:
         default_factory=dict)
 
 
+_ENV_DEFAULT = object()
+
+
 class WorkloadCache:
     """Builds, executes and caches workloads across configurations."""
 
     def __init__(self, max_instructions: int | None = None,
-                 seed: int = DEFAULT_SEED) -> None:
+                 seed: int = DEFAULT_SEED,
+                 trace_cache: TraceCache | None = _ENV_DEFAULT,
+                 jobs: int | None = None) -> None:
         self.max_instructions = max_instructions or env_instructions()
         self.seed = seed
+        if trace_cache is _ENV_DEFAULT:
+            trace_cache = env_trace_cache()
+        self.trace_cache = trace_cache
+        self.jobs = jobs if jobs is not None else env_jobs()
         self._cache: dict[str, CachedWorkload] = {}
+        self._runner = None
 
     def get(self, name: str) -> CachedWorkload:
         """Build-or-fetch the cached program + functional run for a benchmark."""
         cached = self._cache.get(name)
         if cached is None:
-            program = build_program(get_profile(name), seed=self.seed)
-            system = ParaVerserSystem(_probe_config(self.seed))
-            run = system.execute(program, self.max_instructions)
+            run = None
+            if self.trace_cache is not None:
+                run = self.trace_cache.get(
+                    name, self.seed, self.max_instructions)
+            if run is None:
+                program = build_program(get_profile(name), seed=self.seed)
+                system = ParaVerserSystem(_probe_config(self.seed))
+                run = system.execute(program, self.max_instructions)
+                if self.trace_cache is not None:
+                    self.trace_cache.put(
+                        name, self.seed, self.max_instructions, run)
+            else:
+                program = run.program
             cached = CachedWorkload(program=program, run=run)
             self._cache[name] = cached
         return cached
@@ -122,6 +155,33 @@ class WorkloadCache:
         )
         cached.baselines[key] = result.baseline_timing
         return result
+
+    def sweep(self, cells) -> list[SystemResult]:
+        """Run many ``(benchmark, config)`` cells, in parallel if jobs > 1.
+
+        Results come back in cell order and are numerically identical to
+        running each cell through :meth:`run_config` serially (see
+        :mod:`repro.harness.parallel` for how ordering is preserved).
+        """
+        cells = list(cells)
+        if self.jobs <= 1 or len(cells) <= 1:
+            return [self.run_config(cell.benchmark, cell.config)
+                    for cell in cells]
+        if self._runner is None:
+            # Imported lazily: parallel imports this module.
+            from repro.harness.parallel import SweepRunner
+            self._runner = SweepRunner(
+                jobs=self.jobs,
+                max_instructions=self.max_instructions,
+                seed=self.seed,
+            )
+        return self._runner.run(cells)
+
+    def close(self) -> None:
+        """Shut down the worker pool, if one was started."""
+        if self._runner is not None:
+            self._runner.close()
+            self._runner = None
 
 
 def _probe_config(seed: int = DEFAULT_SEED) -> ParaVerserConfig:

@@ -53,6 +53,27 @@ class Memory:
         self.store(addr, size, value)
         return old
 
+    def load_range(self, addr: int, words: int) -> tuple[int, ...]:
+        """Read ``words`` consecutive 8-byte words starting at ``addr``.
+
+        Single ranged path for macro-ops (BCOPY): one dict lookup per word
+        on the aligned fast path instead of a full ``load`` call each.
+        """
+        if addr & 7 == 0:
+            get = self._words.get
+            return tuple(get(addr + 8 * i, 0) for i in range(words))
+        return tuple(self.load(addr + 8 * i, 8) for i in range(words))
+
+    def store_range(self, addr: int, values: tuple[int, ...]) -> None:
+        """Write consecutive 8-byte words starting at ``addr``."""
+        if addr & 7 == 0:
+            backing = self._words
+            for i, value in enumerate(values):
+                backing[addr + 8 * i] = value & _MASK64
+            return
+        for i, value in enumerate(values):
+            self.store(addr + 8 * i, 8, value)
+
     def copy(self) -> "Memory":
         clone = Memory()
         clone._words = dict(self._words)

@@ -1,0 +1,132 @@
+"""Persistent trace cache: round-trip, keying, invalidation, determinism."""
+
+import json
+
+import pytest
+
+from repro.core.system import CheckMode
+from repro.cpu import tracecache, traceio
+from repro.harness.experiments import a510
+from repro.cpu.tracecache import TraceCache, cache_key, env_trace_cache
+from repro.harness.runner import WorkloadCache, make_config
+from repro.workloads.generator import build_program
+from repro.workloads.profiles import get_profile
+
+BENCH = "exchange2"
+BUDGET = 4000
+SEED = 7
+
+
+@pytest.fixture()
+def run_result():
+    cache = WorkloadCache(max_instructions=BUDGET, seed=SEED,
+                          trace_cache=None)
+    return cache.get(BENCH).run
+
+
+def test_traceio_round_trip(tmp_path, run_result):
+    path = tmp_path / "run.json"
+    traceio.save_run(run_result, path)
+    loaded = traceio.load_run(path)
+    assert loaded.instructions == run_result.instructions
+    assert loaded.halted == run_result.halted
+    assert loaded.end_checkpoint == run_result.end_checkpoint
+    assert len(loaded.trace) == len(run_result.trace)
+    assert all(a == b for a, b in zip(loaded.trace, run_result.trace))
+    assert loaded.program.instructions == run_result.program.instructions
+
+
+def test_cache_key_sensitivity():
+    base = cache_key(BENCH, SEED, BUDGET)
+    assert base == cache_key(BENCH, SEED, BUDGET)  # stable
+    assert base != cache_key("gcc", SEED, BUDGET)
+    assert base != cache_key(BENCH, SEED + 1, BUDGET)
+    assert base != cache_key(BENCH, SEED, BUDGET + 1)
+
+
+def test_cache_key_tracks_versions(monkeypatch):
+    base = cache_key(BENCH, SEED, BUDGET)
+    monkeypatch.setattr(tracecache, "CACHE_VERSION", 999)
+    bumped = cache_key(BENCH, SEED, BUDGET)
+    assert base != bumped
+    monkeypatch.setattr(tracecache, "CACHE_VERSION", 1)
+    monkeypatch.setattr(traceio, "FORMAT_VERSION", 999)
+    assert cache_key(BENCH, SEED, BUDGET) != base
+
+
+def test_hit_miss_and_put(tmp_path, run_result):
+    tc = TraceCache(tmp_path)
+    assert tc.get(BENCH, SEED, BUDGET) is None  # cold miss
+    tc.put(BENCH, SEED, BUDGET, run_result)
+    hit = tc.get(BENCH, SEED, BUDGET)
+    assert hit is not None
+    assert hit.instructions == run_result.instructions
+    # Different key parameters miss even with an entry on disk.
+    assert tc.get(BENCH, SEED + 1, BUDGET) is None
+    assert tc.get(BENCH, SEED, BUDGET + 1) is None
+
+
+def test_corrupt_entry_is_evicted(tmp_path, run_result):
+    tc = TraceCache(tmp_path)
+    tc.put(BENCH, SEED, BUDGET, run_result)
+    path = tc.path_for(BENCH, SEED, BUDGET)
+    path.write_text("{not json")
+    assert tc.get(BENCH, SEED, BUDGET) is None
+    assert not path.exists()  # evicted, next put can repopulate
+
+
+def test_stale_format_version_is_evicted(tmp_path, run_result):
+    tc = TraceCache(tmp_path)
+    tc.put(BENCH, SEED, BUDGET, run_result)
+    path = tc.path_for(BENCH, SEED, BUDGET)
+    payload = json.loads(path.read_text())
+    payload["version"] = -1
+    path.write_text(json.dumps(payload))
+    assert tc.get(BENCH, SEED, BUDGET) is None
+    assert not path.exists()
+
+
+def test_env_trace_cache(monkeypatch, tmp_path):
+    monkeypatch.delenv("REPRO_TRACE_CACHE", raising=False)
+    assert env_trace_cache() is None
+    monkeypatch.setenv("REPRO_TRACE_CACHE", "")
+    assert env_trace_cache() is None
+    monkeypatch.setenv("REPRO_TRACE_CACHE", "0")
+    assert env_trace_cache() is None
+    monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+    tc = env_trace_cache()
+    assert tc is not None and tc.directory == tmp_path
+
+
+def test_cached_run_config_is_bit_identical(tmp_path):
+    config = make_config([a510(2.0)] * 2, CheckMode.OPPORTUNISTIC)
+    uncached = WorkloadCache(max_instructions=BUDGET, seed=SEED,
+                             trace_cache=None)
+    want = uncached.run_config(BENCH, config)
+
+    tc = TraceCache(tmp_path)
+    warm = WorkloadCache(max_instructions=BUDGET, seed=SEED, trace_cache=tc)
+    warm.run_config(BENCH, config)  # populates the disk cache
+    assert tc.get(BENCH, SEED, BUDGET) is not None
+
+    cold = WorkloadCache(max_instructions=BUDGET, seed=SEED, trace_cache=tc)
+    got = cold.run_config(BENCH, config)  # loads the trace from disk
+
+    assert got.baseline_time_ns == want.baseline_time_ns
+    assert got.checked_time_ns == want.checked_time_ns
+    assert got.slowdown == want.slowdown
+    assert got.coverage == want.coverage
+    assert got.stall_ns == want.stall_ns
+    assert got.segments == want.segments
+    assert got.lsl_bytes == want.lsl_bytes
+    assert got.main_timing.cycles == want.main_timing.cycles
+    assert got.baseline_timing.cycles == want.baseline_timing.cycles
+
+
+def test_round_tripped_program_reproduces_run():
+    """A program loaded from JSON yields the same functional trace."""
+    program = build_program(get_profile(BENCH), seed=SEED)
+    round_tripped = traceio.program_from_json(
+        traceio.program_to_json(program))
+    assert round_tripped.instructions == program.instructions
+    assert round_tripped.memory_image == program.memory_image

@@ -1,0 +1,86 @@
+"""Parallel sweep engine: jobs>1 must match the serial path exactly."""
+
+from repro.core.system import CheckMode
+from repro.harness.experiments import a510, x2
+from repro.harness.parallel import SweepCell, SweepRunner
+from repro.harness.runner import WorkloadCache, env_jobs, make_config
+
+BUDGET = 4000
+SEED = 7
+
+
+def _cells():
+    """2 benchmarks x 2 configs, interleaved like a figure sweep."""
+    cells = []
+    for bench in ("exchange2", "xz"):
+        cells.append(SweepCell(bench, "2xA510",
+                               make_config([a510(2.0)] * 2)))
+        cells.append(SweepCell(bench, "1xX2-opp",
+                               make_config([x2(3.0)],
+                                           CheckMode.OPPORTUNISTIC)))
+    return cells
+
+
+def _fingerprint(result):
+    return (
+        result.baseline_time_ns,
+        result.checked_time_ns,
+        result.slowdown,
+        result.coverage,
+        result.stall_ns,
+        result.segments,
+        result.lsl_bytes,
+        result.noc_extra_llc_ns,
+        result.main_timing.cycles,
+        result.main_timing.mispredicts,
+        result.baseline_timing.cycles,
+    )
+
+
+def test_jobs2_matches_serial():
+    cells = _cells()
+    serial = WorkloadCache(max_instructions=BUDGET, seed=SEED,
+                           trace_cache=None, jobs=1)
+    want = [_fingerprint(r) for r in serial.sweep(cells)]
+
+    parallel = WorkloadCache(max_instructions=BUDGET, seed=SEED,
+                             trace_cache=None, jobs=2)
+    try:
+        got = [_fingerprint(r) for r in parallel.sweep(cells)]
+    finally:
+        parallel.close()
+
+    # Same ordering and the same numbers, cell for cell.
+    assert got == want
+
+
+def test_sweep_runner_preserves_cell_order():
+    cells = _cells()
+    runner = SweepRunner(jobs=2, max_instructions=BUDGET, seed=SEED)
+    try:
+        results = runner.run(cells)
+    finally:
+        runner.close()
+    assert len(results) == len(cells)
+    cache = WorkloadCache(max_instructions=BUDGET, seed=SEED,
+                          trace_cache=None, jobs=1)
+    for cell, result in zip(cells, results):
+        want = cache.run_config(cell.benchmark, cell.config)
+        assert _fingerprint(result) == _fingerprint(want)
+
+
+def test_env_jobs(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert env_jobs() == 1
+    monkeypatch.setenv("REPRO_JOBS", "3")
+    assert env_jobs() == 3
+    monkeypatch.setenv("REPRO_JOBS", "0")
+    assert env_jobs() >= 1  # resolves to the CPU count
+
+
+def test_sweep_serial_fallback_uses_no_pool():
+    cache = WorkloadCache(max_instructions=BUDGET, seed=SEED,
+                          trace_cache=None, jobs=1)
+    results = cache.sweep(_cells())
+    assert cache._runner is None  # never spawned a pool
+    assert len(results) == 4
