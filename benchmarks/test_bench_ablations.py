@@ -15,7 +15,7 @@ from conftest import render
 from repro.cpu.config import CoreInstance
 from repro.cpu.presets import A510
 from repro.harness.report import Table, slowdown_percent
-from repro.harness.runner import env_timeout, make_config
+from repro.harness.runner import make_config
 
 BENCHMARKS = ("bwaves", "imagick", "exchange2")
 

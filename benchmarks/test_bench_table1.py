@@ -8,7 +8,6 @@ configuration and prints them, and times how fast the timing models run
 from repro.cpu.config import CoreInstance
 from repro.cpu.presets import A35, A510, X2
 from repro.cpu.timing import TimingModel
-from repro.harness.runner import WorkloadCache
 
 
 def test_bench_table1_presets(benchmark):

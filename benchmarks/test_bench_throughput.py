@@ -13,6 +13,7 @@ below, so the perf trajectory is visible PR over PR.
 """
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -30,8 +31,10 @@ PRE_PR_FUNCTIONAL_IPS = 259_312
 PRE_PR_TIMING_IPS = 117_229
 
 BENCH = "gcc"
-BUDGET = 30_000
-REPS = 5
+#: Reduce via REPRO_BENCH_BUDGET for smoke runs (e.g. CI); speedup
+#: figures are only comparable at the default 30 k budget.
+BUDGET = int(os.environ.get("REPRO_BENCH_BUDGET", 30_000))
+REPS = int(os.environ.get("REPRO_BENCH_REPS", 5))
 SEED = 7
 
 ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"

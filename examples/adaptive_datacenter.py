@@ -11,7 +11,7 @@ statistics that drive predictive maintenance.
 """
 
 from repro.core.errors import DetectionEvent, DetectionKind
-from repro.core.maintenance import CoreHealth, HealthMonitor
+from repro.core.maintenance import HealthMonitor
 from repro.core.scheduler import PoolCore, RoleScheduler
 from repro.cpu import A510, CoreInstance, X2
 

@@ -23,7 +23,17 @@ Quick start::
     )
     result = ParaVerserSystem(config).run(program, max_instructions=50_000)
     print(f"slowdown: {result.overhead_percent:.2f}%")
+
+The library logs through the ``repro`` logger and is silent by default
+(a :class:`logging.NullHandler` is installed here); the ``paraverser``
+CLI attaches a handler.  Applications that want progress messages can
+``logging.getLogger("repro").addHandler(...)`` as usual.
 """
+
+import logging as _logging
+
+logger = _logging.getLogger("repro")
+logger.addHandler(_logging.NullHandler())
 
 from repro.core.checker import CheckerCore, CheckResult
 from repro.core.cluster import ClusterResult, ClusterSystem

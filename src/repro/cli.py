@@ -5,6 +5,9 @@ Installed as ``paraverser`` (see pyproject.toml)::
     paraverser workloads                         # list benchmark profiles
     paraverser run -w bwaves -c 4xA510@2.0       # check one workload
     paraverser run -w mcf -c 1xA510@1.0 -m opportunistic
+    paraverser run -w mcf --stats-json stats.json  # dump the stats tree
+    paraverser backends                          # list detection backends
+    paraverser run -w mcf --backend dual-lockstep  # evaluate one backend
     paraverser inject -w deepsjeng -t 30         # fault-injection campaign
     paraverser figures fig6 fig11                # regenerate paper figures
 """
@@ -12,6 +15,7 @@ Installed as ``paraverser`` (see pyproject.toml)::
 from __future__ import annotations
 
 import argparse
+import logging
 import os
 import re
 import sys
@@ -72,6 +76,12 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--sampling-rate", type=float, default=0.25)
     run.add_argument("--stats", action="store_true",
                      help="print a gem5-style statistics dump")
+    run.add_argument("--stats-json", metavar="PATH",
+                     help="write the run's full statistics tree as JSON")
+    run.add_argument("--backend", metavar="NAME",
+                     help="evaluate a registered detection backend instead "
+                          "of building a config from -c/-m "
+                          "(see `paraverser backends`)")
     run.add_argument("--seed", type=int, default=7)
 
     inject = sub.add_parser("inject",
@@ -87,6 +97,9 @@ def _build_parser() -> argparse.ArgumentParser:
     workloads.add_argument("--suite", choices=["spec2017", "gap", "parsec"],
                            default=None)
 
+    sub.add_parser("backends",
+                   help="list the registered detection backends")
+
     figures = sub.add_parser("figures",
                              help="regenerate the paper's tables/figures")
     figures.add_argument("names", nargs="+",
@@ -100,8 +113,49 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _write_stats_json(stats, path: str) -> None:
+    """Dump a run's full observability tree to ``path``."""
+    from pathlib import Path
+
+    Path(path).write_text(stats.to_json() + "\n")
+    print(f"stats tree:        {path}")
+
+
+def _run_backend(args: argparse.Namespace) -> int:
+    """``run --backend``: evaluate one registered detection backend."""
+    from repro.detect import get_backend
+    from repro.harness.runner import WorkloadCache
+
+    try:
+        backend = get_backend(args.backend)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    cache = WorkloadCache(max_instructions=args.instructions,
+                          seed=args.seed)
+    report = backend.evaluate(cache, args.workload)
+    print(f"backend:           {report.backend}")
+    print(f"workload:          {report.benchmark}")
+    print(f"slowdown:          {report.slowdown_percent:+.2f}%")
+    print(f"coverage:          {report.coverage * 100:.1f}%")
+    print(f"energy overhead:   {report.energy_overhead_percent:+.1f}%")
+    print(f"area overhead:     {report.area_overhead_percent:+.1f}%")
+    if report.segments:
+        print(f"segments:          {report.segments}")
+        clean = "all clean" if report.verified_clean else "DIVERGED"
+        print(f"verified segments: {clean}")
+    if args.stats_json:
+        if report.result is not None and report.result.stats is not None:
+            _write_stats_json(report.result.stats, args.stats_json)
+        else:
+            print("stats tree:        n/a (analytic backend)")
+    return 0
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     """`paraverser run`: check one workload and print the overhead report."""
+    if args.backend:
+        return _run_backend(args)
     program = build_program(get_profile(args.workload), seed=args.seed)
     config = ParaVerserConfig(
         main=CoreInstance(CORE_CLASSES["X2"], 3.0),
@@ -127,6 +181,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"energy overhead:   {energy.overhead_percent:+.1f}% "
           "(vs. power-gated checkers)")
     print(f"verified segments: {len(result.verify_results)} (all clean)")
+    if args.stats_json:
+        _write_stats_json(result.stats, args.stats_json)
     if args.stats:
         from repro.cpu.timing import format_stats
 
@@ -177,6 +233,17 @@ def cmd_workloads(args: argparse.Namespace) -> int:
             continue
         print(f"{name:12s} {profile.suite:9s} {profile.threads:7d}  "
               f"{profile.description}")
+    return 0
+
+
+def cmd_backends(args: argparse.Namespace) -> int:
+    """`paraverser backends`: list the registered detection backends."""
+    from repro.detect import all_backends
+
+    print(f"{'name':24s} {'kind':10s} description")
+    for backend in all_backends():
+        kind = type(backend).__name__.removesuffix("Backend").lower()
+        print(f"{backend.name:24s} {kind:10s} {backend.description}")
     return 0
 
 
@@ -239,12 +306,14 @@ _COMMANDS = {
     "run": cmd_run,
     "inject": cmd_inject,
     "workloads": cmd_workloads,
+    "backends": cmd_backends,
     "figures": cmd_figures,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    logging.basicConfig(level=logging.INFO, format="%(message)s")
     parser = _build_parser()
     args = parser.parse_args(argv)
     return _COMMANDS[args.command](args)

@@ -13,7 +13,7 @@ unchecked.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.cpu.config import CoreInstance
 

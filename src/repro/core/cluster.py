@@ -18,7 +18,7 @@ cross-core interactions:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 
 from repro.core.system import (
     CheckMode,

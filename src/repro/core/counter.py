@@ -10,7 +10,7 @@ contiguous index ranges of the commit trace.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.lsl import LSLRecord, record_from_trace
 from repro.cpu.functional import TraceEntry

@@ -11,7 +11,7 @@ next line; only an entry larger than a whole line straddles lines.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.lsl import LSLRecord
 from repro.isa.instructions import CACHE_LINE_BYTES

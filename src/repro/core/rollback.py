@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.checker import CheckerCore, CheckResult
+from repro.core.checker import CheckerCore
 from repro.core.counter import Segment, SegmentBuilder
 from repro.core.errors import DetectionEvent
 from repro.cpu.functional import (
@@ -31,7 +31,6 @@ from repro.cpu.functional import (
     FaultSurface,
     FunctionalCore,
     MainNonRepSource,
-    MemoryPort,
 )
 from repro.isa.program import Program
 from repro.isa.registers import RegisterCheckpoint

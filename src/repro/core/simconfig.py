@@ -1,0 +1,67 @@
+"""Checking-mode and per-main-core configuration types.
+
+Split out of :mod:`repro.core.system` so the pipeline stage modules
+(:mod:`repro.pipeline`) and the orchestration shell can share them
+without import cycles.  Public API is unchanged: both names are still
+re-exported from ``repro.core.system`` and ``repro``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.counter import DEFAULT_TIMEOUT_INSTRUCTIONS
+from repro.cpu.config import CoreInstance
+from repro.noc.mesh import FAST_NOC, NocConfig
+
+
+class CheckMode(enum.Enum):
+    """Operating mode (section III-C, plus the footnote-18 extension)."""
+
+    FULL = "full"                  # stall when checkers fall behind
+    OPPORTUNISTIC = "opportunistic"  # drop coverage instead of stalling
+    #: Time-based sampling (paper footnote 18): deliberately check only a
+    #: configured fraction of segments, never stalling — bounds hard-fault
+    #: detection latency at even lower cost than opportunistic mode.
+    SAMPLING = "sampling"
+
+
+@dataclass
+class ParaVerserConfig:
+    """Configuration of one main core's checking setup."""
+
+    main: CoreInstance
+    checkers: list[CoreInstance]
+    mode: CheckMode = CheckMode.FULL
+    hash_mode: bool = False
+    eager_wake: bool = True
+    timeout_instructions: int = DEFAULT_TIMEOUT_INSTRUCTIONS
+    #: Override for dedicated-SRAM LSLs (prior-work baselines); default is
+    #: the smallest checker L1D (the repurposed LSL$).
+    lsl_capacity_bytes: int | None = None
+    noc: NocConfig = FAST_NOC
+    main_id: int = 0
+    #: How many segments to verify functionally end-to-end per run.
+    verify_segments: int = 4
+    seed: int = 0
+    #: Fraction of the shared LLC capacity and DRAM bandwidth this main
+    #: core gets (cluster runs statically partition the uncore 1/N).
+    llc_share: float = 1.0
+    #: Prior-work baselines (DSN18/ParaDox) forward the LSL over dedicated
+    #: point-to-point wiring next to the main core, not the shared mesh.
+    dedicated_interconnect: bool = False
+    #: SAMPLING mode: target fraction of segments to check.
+    sampling_rate: float = 0.25
+    #: Fraction of instructions excluded from the start of the measured
+    #: window (cold caches/predictors on both sides — the paper
+    #: fast-forwards 10 B instructions before measuring; this is the
+    #: scaled equivalent).
+    warmup_fraction: float = 0.3
+
+    def lsl_capacity(self) -> int:
+        if self.lsl_capacity_bytes is not None:
+            return self.lsl_capacity_bytes
+        return min(
+            checker.config.hierarchy.l1d.size_bytes for checker in self.checkers
+        )

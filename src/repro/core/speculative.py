@@ -16,7 +16,7 @@ error reporting.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.lsl import LSLRecord
 

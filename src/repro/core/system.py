@@ -1,10 +1,12 @@
-"""The ParaVerser system simulator.
+"""The ParaVerser system simulator — orchestration shell.
 
-Orchestrates one main core plus a pool of checker cores over one workload,
-following the paper's two-stage methodology (section VI): detailed
-(trace-driven) core timing, then analytic NoC queueing backpropagated into
-the LLC access latency, then a segment-level discrete-event schedule of
-checkpoints across the checker pool.
+One run is a staged pipeline (see :mod:`repro.pipeline`): build →
+functional trace → core timing → NoC/LLC adjustment → segment schedule →
+check/compare → report.  Each stage lives in its own module and passes
+typed artifacts; this class threads a
+:class:`~repro.pipeline.context.SimContext` (config, seeded RNG streams,
+statistics tree) through them and keeps the historical public API, so
+``ParaVerserSystem(config).run(program)`` still does everything.
 
 Functional behaviour — logging, replay, comparison — is always executed
 for real: register checkpoints at segment boundaries come from a genuine
@@ -15,185 +17,50 @@ self-check.
 
 from __future__ import annotations
 
-import enum
-from dataclasses import dataclass, field
-
-from repro.core.allocator import CheckerAllocator, CheckerSlot
-from repro.core.checker import CheckerCore, CheckResult, LogReplayInterface
-from repro.core.counter import (
-    DEFAULT_TIMEOUT_INSTRUCTIONS,
-    Segment,
-    SegmentBuilder,
-)
-from repro.core.eager import segment_finish_time
-from repro.core.hashmode import DIGEST_BYTES, digest_segment
-from repro.core.lsc import LoadStoreComparator
+from repro.core.counter import Segment
+from repro.core.hashmode import DIGEST_BYTES
+from repro.core.simconfig import CheckMode, ParaVerserConfig
 from repro.cpu.config import CoreInstance
-from repro.cpu.functional import (
-    DirectMemoryPort,
-    FunctionalCore,
-    MainNonRepSource,
-    RunResult,
-)
-from repro.cpu.timing import TimingModel, TimingResult
+from repro.cpu.functional import RunResult
+from repro.cpu.timing import TimingResult
 from repro.isa.program import Program
-from repro.isa.registers import RegisterCheckpoint, RegisterFile
+from repro.isa.registers import RegisterCheckpoint
 from repro.mem.hierarchy import SharedUncore
-from repro.mem.memory import Memory
-from repro.noc.layout import TileLayout, fig5_layout
-from repro.noc.mesh import FAST_NOC, NocConfig
-from repro.noc.traffic import MainTraffic, TrafficModel
+from repro.noc.layout import TileLayout
+from repro.noc.traffic import MainTraffic
+from repro.pipeline.artifacts import (
+    PreparedRun,
+    SegmentSchedule,
+    SystemResult,
+)
+from repro.pipeline.context import SimContext
+from repro.pipeline.noc import estimate_traffic, noc_adjustment
+from repro.pipeline.report import finalize
+from repro.pipeline.timing import (
+    BASELINE_GRID,
+    baseline_timing,
+    build_uncore,
+    checker_durations,
+    checker_timing,
+    grid_time_at,
+    main_timing,
+    warm_addresses,
+)
+from repro.pipeline.trace import run_functional, segment_trace
 
+__all__ = [
+    "BASELINE_GRID",
+    "CheckMode",
+    "ParaVerserConfig",
+    "ParaVerserSystem",
+    "PreparedRun",
+    "SegmentSchedule",
+    "SystemResult",
+    "warm_addresses",
+]
 
-#: Instruction step of the baseline's measurement grid.
-BASELINE_GRID = 1000
-
-
-def _grid_time_at(baseline: TimingResult, instruction: int) -> float:
-    """Baseline elapsed time at ``instruction``, from its boundary grid."""
-    times = baseline.boundary_times_ns()
-    if not times:
-        return baseline.time_ns * instruction / max(baseline.instructions, 1)
-    idx = min(instruction // BASELINE_GRID, len(times) - 1)
-    base = times[idx - 1] if idx > 0 else 0.0
-    base_instr = idx * BASELINE_GRID
-    span_instr = min((idx + 1) * BASELINE_GRID,
-                     baseline.instructions) - base_instr
-    if span_instr <= 0:
-        return times[idx]
-    frac = (instruction - base_instr) / span_instr
-    return base + max(min(frac, 1.0), 0.0) * (times[idx] - base)
-
-
-def warm_addresses(program: Program):
-    """Addresses to functionally warm before timing a main core.
-
-    Covers the program's resident memory image (pointer-chase rings, seeded
-    pages) plus any profile-declared warm ranges (working sets small enough
-    to be LLC-resident in steady state).
-    """
-    yield from program.memory_image.keys()
-    for base, length in program.metadata.get("warm_ranges", []):
-        yield from range(base, base + length, 64)
-
-
-class CheckMode(enum.Enum):
-    """Operating mode (section III-C, plus the footnote-18 extension)."""
-
-    FULL = "full"                  # stall when checkers fall behind
-    OPPORTUNISTIC = "opportunistic"  # drop coverage instead of stalling
-    #: Time-based sampling (paper footnote 18): deliberately check only a
-    #: configured fraction of segments, never stalling — bounds hard-fault
-    #: detection latency at even lower cost than opportunistic mode.
-    SAMPLING = "sampling"
-
-
-@dataclass
-class ParaVerserConfig:
-    """Configuration of one main core's checking setup."""
-
-    main: CoreInstance
-    checkers: list[CoreInstance]
-    mode: CheckMode = CheckMode.FULL
-    hash_mode: bool = False
-    eager_wake: bool = True
-    timeout_instructions: int = DEFAULT_TIMEOUT_INSTRUCTIONS
-    #: Override for dedicated-SRAM LSLs (prior-work baselines); default is
-    #: the smallest checker L1D (the repurposed LSL$).
-    lsl_capacity_bytes: int | None = None
-    noc: NocConfig = FAST_NOC
-    main_id: int = 0
-    #: How many segments to verify functionally end-to-end per run.
-    verify_segments: int = 4
-    seed: int = 0
-    #: Fraction of the shared LLC capacity and DRAM bandwidth this main
-    #: core gets (cluster runs statically partition the uncore 1/N).
-    llc_share: float = 1.0
-    #: Prior-work baselines (DSN18/ParaDox) forward the LSL over dedicated
-    #: point-to-point wiring next to the main core, not the shared mesh.
-    dedicated_interconnect: bool = False
-    #: SAMPLING mode: target fraction of segments to check.
-    sampling_rate: float = 0.25
-    #: Fraction of instructions excluded from the start of the measured
-    #: window (cold caches/predictors on both sides — the paper
-    #: fast-forwards 10 B instructions before measuring; this is the
-    #: scaled equivalent).
-    warmup_fraction: float = 0.3
-
-    def lsl_capacity(self) -> int:
-        if self.lsl_capacity_bytes is not None:
-            return self.lsl_capacity_bytes
-        return min(
-            checker.config.hierarchy.l1d.size_bytes for checker in self.checkers
-        )
-
-
-@dataclass(slots=True)
-class SegmentSchedule:
-    """Scheduling outcome for one segment."""
-
-    segment: int
-    main_start_ns: float
-    main_end_ns: float
-    checker_label: str | None
-    checker_finish_ns: float
-    stalled_ns: float
-    covered: bool
-    #: Portion of the segment actually checked (opportunistic mode can
-    #: resume mid-segment when a checker frees, section IV-A).
-    coverage_fraction: float = 1.0
-
-
-@dataclass
-class SystemResult:
-    """Everything one ParaVerser run produced."""
-
-    workload: str
-    mode: CheckMode
-    config_label: str
-    instructions: int
-    baseline_time_ns: float
-    checked_time_ns: float
-    segments: int
-    stall_ns: float
-    coverage: float              # fraction of instructions checked
-    lsl_bytes: int
-    checkpoints: int
-    noc_extra_llc_ns: float
-    baseline_timing: TimingResult
-    main_timing: TimingResult
-    checker_slots: list[CheckerSlot]
-    schedule: list[SegmentSchedule]
-    verify_results: list[CheckResult] = field(default_factory=list)
-    cut_reasons: dict[str, int] = field(default_factory=dict)
-
-    @property
-    def slowdown(self) -> float:
-        return self.checked_time_ns / self.baseline_time_ns \
-            if self.baseline_time_ns else 1.0
-
-    @property
-    def overhead_percent(self) -> float:
-        return (self.slowdown - 1.0) * 100.0
-
-
-@dataclass
-class PreparedRun:
-    """Intermediate state between functional/timing prep and finalisation.
-
-    Produced by :meth:`ParaVerserSystem.prepare`; lets a multi-main
-    cluster aggregate NoC traffic across mains before finalising each.
-    """
-
-    system: "ParaVerserSystem"
-    run: RunResult
-    segments: list[Segment]
-    boundaries: list[int]
-    baseline: TimingResult
-    checked_pass1: TimingResult
-    durations_by_class: dict[str, list[float]]
-    checker_llc: int
-    lsl_bytes: int
+#: Historical alias; the implementation lives in the timing stage.
+_grid_time_at = grid_time_at
 
 
 class ParaVerserSystem:
@@ -204,243 +71,40 @@ class ParaVerserSystem:
         if not config.checkers:
             raise ValueError("at least one checker core is required")
         self.config = config
-        self.layout = layout or fig5_layout()
-        self.traffic_model = TrafficModel(config.noc, self.layout)
+        self.ctx = SimContext.create(config, layout)
+        self.layout = self.ctx.layout
+        self.traffic_model = self.ctx.traffic_model
 
     # -- functional stage --------------------------------------------------
 
     def execute(self, program: Program,
                 max_instructions: int = 100_000) -> RunResult:
         """Run the workload on the main core, producing the commit trace."""
-        memory = Memory(program.memory_image)
-        core = FunctionalCore(
-            program,
-            DirectMemoryPort(memory),
-            nonrep=MainNonRepSource(seed=self.config.seed,
-                                    core_id=self.config.main_id),
-        )
-        return core.run(max_instructions)
+        with self.ctx.stage_timer("trace"):
+            return run_functional(self.ctx, program, max_instructions)
 
     def segment(self, run: RunResult,
                 forced_boundaries: set[int] | None = None) -> list[Segment]:
         """Split the trace into checkpointed segments and fill checkpoints."""
-        builder = SegmentBuilder(
-            lsl_capacity_bytes=self.config.lsl_capacity(),
-            timeout_instructions=self.config.timeout_instructions,
-            hash_mode=self.config.hash_mode,
-        )
-        segments = builder.split(run.trace, forced_boundaries)
-        self._fill_checkpoints(run, segments)
-        if self.config.hash_mode:
-            for seg in segments:
-                seg.digest = digest_segment(seg.records)
-        return segments
+        with self.ctx.stage_timer("trace"):
+            return segment_trace(self.ctx, run, forced_boundaries)
 
-    def _fill_checkpoints(
-        self,
-        run: RunResult,
-        segments: list[Segment],
-        known: dict[int, RegisterCheckpoint] | None = None,
-    ) -> None:
-        """Capture the RCU's boundary register checkpoints.
-
-        For single-threaded runs this is a second (deterministic) execution
-        pass of the main core.  For multicore traces, quantum-boundary
-        checkpoints captured during the original run are used where they
-        align (``known``), and the remainder are derived by healthy log
-        replay, which is exact by construction.
-        """
-        known = known or {}
-        if not segments:
-            return
-        rerun_core: FunctionalCore | None = None
-        if not known:
-            memory = Memory(run.program.memory_image)
-            rerun_core = FunctionalCore(
-                run.program,
-                DirectMemoryPort(memory),
-                nonrep=MainNonRepSource(seed=self.config.seed,
-                                        core_id=self.config.main_id),
-            )
-        previous = run.start_checkpoint
-        for seg in segments:
-            seg.start_checkpoint = previous
-            if seg.end in known:
-                seg.end_checkpoint = known[seg.end]
-            elif rerun_core is not None:
-                chunk = rerun_core.run(seg.instructions, record_trace=False)
-                if chunk.instructions != seg.instructions:
-                    raise RuntimeError(
-                        "checkpoint pass diverged from the first run: "
-                        f"{chunk.instructions} != {seg.instructions}"
-                    )
-                seg.end_checkpoint = chunk.end_checkpoint
-            else:
-                seg.end_checkpoint = self._derive_end(run.program, seg)
-            previous = seg.end_checkpoint
-
-    def _derive_end(self, program: Program,
-                    seg: Segment) -> RegisterCheckpoint:
-        """Healthy log replay of one segment to recover its end state."""
-        interface = LogReplayInterface(seg, LoadStoreComparator(),
-                                       hash_mode=False)
-        regs = RegisterFile()
-        assert seg.start_checkpoint is not None
-        regs.restore(seg.start_checkpoint)
-        core = FunctionalCore(program, interface, registers=regs,
-                              nonrep=interface,
-                              start_pc=seg.start_checkpoint.pc)
-        result = core.run(seg.instructions)
-        return result.end_checkpoint
-
-    # -- timing stage --------------------------------------------------------
+    # -- timing stage (thin delegates kept for calibration/breakdown) ------
 
     def _uncore(self, extra_llc_ns: float) -> SharedUncore:
-        hierarchy = self.config.main.config.hierarchy
-        l3 = hierarchy.l3
-        dram = hierarchy.dram
-        share = self.config.llc_share
-        if share < 1.0:
-            # Static uncore partitioning for multi-main clusters: each main
-            # gets its slice of LLC capacity and DRAM bandwidth.
-            from dataclasses import replace
-
-            ways = max(1, round(l3.ways * share))
-            sets = int(l3.size_bytes * share) // (ways * l3.line_bytes)
-            sets = 1 << max(sets.bit_length() - 1, 0)  # power-of-two sets
-            l3 = replace(l3, size_bytes=sets * ways * l3.line_bytes, ways=ways)
-            dram = replace(
-                dram, peak_bandwidth_gbps=dram.peak_bandwidth_gbps * share)
-        uncore = SharedUncore(l3, dram, hierarchy.uncore_clock_ghz)
-        uncore.extra_llc_latency_ns = extra_llc_ns
-        return uncore
+        return build_uncore(self.config, extra_llc_ns)
 
     def _main_timing(self, run: RunResult, boundaries: list[int] | None,
                      extra_llc_ns: float,
                      uncore: SharedUncore | None = None,
                      checkpoint_overhead: bool | None = None) -> TimingResult:
-        model = TimingModel(self.config.main,
-                            uncore or self._uncore(extra_llc_ns))
-        model.warm_data(warm_addresses(run.program))
-        if checkpoint_overhead is None:
-            checkpoint_overhead = boundaries is not None
-        return model.simulate(run.program, run.trace, boundaries,
-                              checkpoint_overhead=checkpoint_overhead)
+        return main_timing(self.config, run, boundaries, extra_llc_ns,
+                           uncore, checkpoint_overhead)
 
     def _checker_timing(self, run: RunResult, boundaries: list[int],
                         instance: CoreInstance,
                         uncore: SharedUncore | None = None) -> TimingResult:
-        model = TimingModel(instance, uncore or self._uncore(0.0),
-                            checker_mode=True)
-        model.warm_code(run.program)
-        return model.simulate(run.program, run.trace, boundaries,
-                              checkpoint_overhead=True)
-
-    # -- scheduling stage -------------------------------------------------
-
-    def _schedule(
-        self,
-        segments: list[Segment],
-        boundary_times_ns: list[float],
-        durations_by_class: dict[str, list[float]],
-        slots: list[CheckerSlot],
-        push_latency_ns: float,
-    ) -> tuple[list[SegmentSchedule], float, int]:
-        """Discrete-event schedule; returns (per-segment, stall_ns, covered)."""
-        allocator = CheckerAllocator(slots)
-        schedule: list[SegmentSchedule] = []
-        append = schedule.append
-        shift = 0.0
-        stall_total = 0.0
-        covered_instructions = 0
-        config = self.config
-        opportunistic = config.mode is CheckMode.OPPORTUNISTIC
-        sampling = config.mode is CheckMode.SAMPLING
-        sampling_rate = config.sampling_rate
-        eager_wake = config.eager_wake
-        acquire_opportunistic = allocator.acquire_opportunistic
-        acquire_full = allocator.acquire_full
-        sample_accumulator = 0.0
-        prev_end_raw = 0.0
-        for seg, end_raw in zip(segments, boundary_times_ns):
-            start_raw = prev_end_raw
-            prev_end_raw = end_raw
-            m_start = start_raw + shift
-            m_end = end_raw + shift
-            if sampling:
-                # Deterministic stride sampling: accumulate the rate and
-                # check a segment each time it crosses an integer.
-                sample_accumulator += sampling_rate
-                take = sample_accumulator >= 1.0
-                if take:
-                    sample_accumulator -= 1.0
-                allocation = (acquire_opportunistic(m_start)
-                              if take else None)
-                if allocation is None:
-                    append(SegmentSchedule(
-                        seg.index, m_start, m_end, None, m_end, 0.0, False,
-                        0.0))
-                    continue
-            elif opportunistic:
-                allocation = acquire_opportunistic(m_start)
-                if allocation is None:
-                    # No checker free at segment start — but one freeing
-                    # mid-segment immediately resumes checking from a new
-                    # checkpoint there (section IV-A), covering the tail
-                    # of the interval.
-                    earliest = min(allocator.slots,
-                                   key=lambda s: s.free_at_ns)
-                    if earliest.free_at_ns < m_end:
-                        fraction = (m_end - earliest.free_at_ns)                             / max(m_end - m_start, 1e-12)
-                        part_start = earliest.free_at_ns
-                        duration = durations_by_class[
-                            earliest.instance.label][seg.index] * fraction
-                        lines = max(int(seg.lines * fraction), 1)
-                        finish = segment_finish_time(
-                            checker_free_ns=earliest.free_at_ns,
-                            segment_start_ns=part_start,
-                            segment_end_ns=m_end,
-                            check_duration_ns=duration,
-                            lines=lines,
-                            noc_latency_ns=push_latency_ns,
-                            eager=eager_wake,
-                        )
-                        part_instructions = int(seg.instructions * fraction)
-                        earliest.assign(part_start, finish,
-                                        part_instructions)
-                        covered_instructions += part_instructions
-                        append(SegmentSchedule(
-                            seg.index, m_start, m_end, earliest.label,
-                            finish, 0.0, fraction >= 0.5, fraction))
-                        continue
-                    append(SegmentSchedule(
-                        seg.index, m_start, m_end, None, m_end, 0.0, False,
-                        0.0))
-                    continue
-            else:
-                allocation = acquire_full(m_start)
-                if allocation.stalled_ns > 0:
-                    shift += allocation.stalled_ns
-                    stall_total += allocation.stalled_ns
-                    m_start += allocation.stalled_ns
-                    m_end += allocation.stalled_ns
-            slot = allocation.slot
-            duration = durations_by_class[slot.instance.label][seg.index]
-            finish = segment_finish_time(
-                checker_free_ns=slot.free_at_ns,
-                segment_start_ns=m_start,
-                segment_end_ns=m_end,
-                check_duration_ns=duration,
-                lines=seg.lines,
-                noc_latency_ns=push_latency_ns,
-                eager=eager_wake,
-            )
-            slot.assign(m_start, finish, seg.instructions)
-            covered_instructions += seg.instructions
-            append(SegmentSchedule(
-                seg.index, m_start, m_end, slot.label, finish,
-                allocation.stalled_ns if not opportunistic else 0.0, True))
-        return schedule, stall_total, covered_instructions
+        return checker_timing(self.config, run, boundaries, instance, uncore)
 
     # -- top level --------------------------------------------------------
 
@@ -452,61 +116,29 @@ class ParaVerserSystem:
         forced_boundaries: set[int] | None = None,
         boundary_checkpoints: dict[int, RegisterCheckpoint] | None = None,
         baseline: TimingResult | None = None,
-    ) -> "PreparedRun":
+    ) -> PreparedRun:
         """Functional run, segmentation, baseline and checker timings."""
+        ctx = self.ctx
         config = self.config
-        run = run_result or self.execute(program, max_instructions)
-
-        # Segmentation + checkpoints (+ digests in Hash Mode).
-        builder = SegmentBuilder(
-            lsl_capacity_bytes=config.lsl_capacity(),
-            timeout_instructions=config.timeout_instructions,
-            hash_mode=config.hash_mode,
-        )
-        segments = builder.split(run.trace, forced_boundaries)
-        self._fill_checkpoints(run, segments, boundary_checkpoints)
-        if config.hash_mode:
-            for seg in segments:
-                seg.digest = digest_segment(seg.records)
+        with ctx.stage_timer("trace"):
+            run = run_result or run_functional(ctx, program, max_instructions)
+            segments = segment_trace(ctx, run, forced_boundaries,
+                                     boundary_checkpoints)
         boundaries = [seg.end for seg in segments]
 
-        # Baseline timing (no checking, demand-traffic-only NoC effects).
-        # Timed against a fixed instruction grid so the measured window can
-        # be aligned with any configuration's segment boundaries — and so
-        # one baseline can be cached across configurations.
-        if baseline is None:
-            base_pass = self._main_timing(run, None, 0.0)
-            base_traffic = MainTraffic(
-                main_id=config.main_id,
-                duration_ns=base_pass.time_ns,
-                llc_accesses=base_pass.llc_accesses,
-                checkers_used=len(config.checkers),
-            )
-            mesh = self.traffic_model.build([base_traffic], include_lsl=False)
-            base_extra = self.traffic_model.llc_extra_latency_ns(
-                mesh, config.main_id)
-            grid = list(range(BASELINE_GRID, len(run.trace), BASELINE_GRID))
-            grid.append(len(run.trace))
-            baseline = self._main_timing(run, grid, base_extra,
-                                         checkpoint_overhead=False)
-
-        # Checked-run timing, first pass (no NoC penalty yet).
-        checked_pass1 = self._main_timing(run, boundaries, 0.0)
-
-        # Checker timing per distinct instance class.
-        distinct: dict[str, CoreInstance] = {
-            inst.label: inst for inst in config.checkers
-        }
-        durations_by_class: dict[str, list[float]] = {}
-        checker_llc = 0
-        for label, inst in distinct.items():
-            timing = self._checker_timing(run, boundaries, inst)
-            times = timing.boundary_times_ns()
-            durations = [times[0]] + [
-                times[i] - times[i - 1] for i in range(1, len(times))
-            ]
-            durations_by_class[label] = durations
-            checker_llc = max(checker_llc, timing.llc_accesses)
+        with ctx.stage_timer("timing"):
+            # Baseline timing (no checking, demand-traffic-only NoC
+            # effects), against a fixed instruction grid so the measured
+            # window can be aligned with any configuration's segment
+            # boundaries — and so one baseline can be cached across
+            # configurations.
+            if baseline is None:
+                baseline = baseline_timing(ctx, run)
+            # Checked-run timing, first pass (no NoC penalty yet), then
+            # checker timing per distinct instance class.
+            checked_pass1 = main_timing(config, run, boundaries, 0.0)
+            durations_by_class, checker_llc = checker_durations(
+                ctx, run, boundaries)
 
         lsl_bytes = sum(seg.lines for seg in segments) * 64
         if config.hash_mode:
@@ -524,88 +156,16 @@ class ParaVerserSystem:
             lsl_bytes=int(lsl_bytes),
         )
 
-    def estimate_traffic(self, prepared: "PreparedRun") -> MainTraffic:
+    def estimate_traffic(self, prepared: PreparedRun) -> MainTraffic:
         """First-pass traffic contribution (coverage-scaled LSL bytes)."""
-        config = self.config
-        slots = self._make_slots()
-        _, stall_ns, covered = self._schedule(
-            prepared.segments, prepared.checked_pass1.boundary_times_ns(),
-            prepared.durations_by_class, slots, push_latency_ns=0.0)
-        coverage = covered / max(prepared.run.instructions, 1)
-        return MainTraffic(
-            main_id=config.main_id,
-            duration_ns=prepared.checked_pass1.time_ns + stall_ns,
-            llc_accesses=prepared.checked_pass1.llc_accesses,
-            checker_llc_accesses=prepared.checker_llc,
-            lsl_bytes=int(prepared.lsl_bytes * coverage),
-            checkpoints=len(prepared.segments) + 1,
-            checkers_used=len(config.checkers),
-        )
+        with self.ctx.stage_timer("noc"):
+            return estimate_traffic(self.ctx, prepared)
 
-    def finalize(self, prepared: "PreparedRun", extra_llc: float,
+    def finalize(self, prepared: PreparedRun, extra_llc: float,
                  push_latency: float, verify: bool = True) -> SystemResult:
         """Final timing + schedule with NoC effects applied."""
-        config = self.config
-        run = prepared.run
-        segments = prepared.segments
-        checked = self._main_timing(run, prepared.boundaries, extra_llc)
-        slots = self._make_slots()
-        schedule, stall_ns, covered = self._schedule(
-            segments, checked.boundary_times_ns(),
-            prepared.durations_by_class, slots,
-            push_latency_ns=push_latency)
-        coverage = covered / max(run.instructions, 1)
-        checked_time = checked.time_ns + stall_ns
-        baseline_time = prepared.baseline.time_ns
-
-        # Measured window: drop a cold prefix from both sides, like the
-        # paper's fast-forwarded measurements.  The cut lands on a segment
-        # boundary; the baseline's time there comes from its instruction
-        # grid, so windows stay instruction-aligned across configurations.
-        target = int(config.warmup_fraction * run.instructions)
-        warmup = 0
-        while warmup < len(segments) and segments[warmup].end < target:
-            warmup += 1
-        checked_bt = checked.boundary_times_ns()
-        # Bandwidth-floor-bound runs are uniformly dilated, which breaks
-        # window alignment — and they have no cold-start transient to drop.
-        floor_bound = (checked.floor_scale > 1.0
-                       or prepared.baseline.floor_scale > 1.0)
-        if floor_bound:
-            warmup = 0
-        if 0 < warmup <= len(segments) // 2:
-            cut_instr = segments[warmup - 1].end
-            warm_stall = sum(s.stalled_ns for s in schedule[:warmup])
-            checked_time -= checked_bt[warmup - 1] + warm_stall
-            baseline_time -= _grid_time_at(prepared.baseline, cut_instr)
-
-        verify_results = self._verify(run.program, segments) if verify else []
-
-        cut_reasons: dict[str, int] = {}
-        for seg in segments:
-            cut_reasons[seg.reason.value] = cut_reasons.get(
-                seg.reason.value, 0) + 1
-
-        return SystemResult(
-            workload=run.program.name,
-            mode=config.mode,
-            config_label=self.config_label(),
-            instructions=run.instructions,
-            baseline_time_ns=baseline_time,
-            checked_time_ns=checked_time,
-            segments=len(segments),
-            stall_ns=stall_ns,
-            coverage=coverage,
-            lsl_bytes=prepared.lsl_bytes,
-            checkpoints=len(segments) + 1,
-            noc_extra_llc_ns=extra_llc,
-            baseline_timing=prepared.baseline,
-            main_timing=checked,
-            checker_slots=slots,
-            schedule=schedule,
-            verify_results=verify_results,
-            cut_reasons=cut_reasons,
-        )
+        return finalize(self.ctx, prepared, extra_llc, push_latency,
+                        verify, config_label=self.config_label())
 
     def run(
         self,
@@ -620,60 +180,13 @@ class ParaVerserSystem:
         prepared = self.prepare(
             program, max_instructions, run_result, forced_boundaries,
             boundary_checkpoints, baseline)
-        traffic = self.estimate_traffic(prepared)
-        if self.config.dedicated_interconnect:
-            # LSL goes over dedicated adjacent wiring; only demand traffic
-            # crosses the mesh, and pushes take a single hop.
-            mesh = self.traffic_model.build([traffic], include_lsl=False)
-            extra_llc = self.traffic_model.llc_extra_latency_ns(
-                mesh, self.config.main_id)
-            push_latency = self.config.noc.hop_latency_ns() + \
-                self.config.noc.data_packet_bytes \
-                / self.config.noc.link_bandwidth_gbps
-            return self.finalize(prepared, extra_llc, push_latency)
-        mesh = self.traffic_model.build([traffic])
-        extra_llc = self.traffic_model.llc_extra_latency_ns(
-            mesh, self.config.main_id)
-        push_latency = self.traffic_model.lsl_push_latency_ns(
-            mesh, self.config.main_id, len(self.config.checkers))
+        with self.ctx.stage_timer("noc"):
+            traffic = estimate_traffic(self.ctx, prepared)
+            extra_llc, push_latency = noc_adjustment(self.ctx, traffic)
         return self.finalize(prepared, extra_llc, push_latency)
 
-    def _make_slots(self) -> list[CheckerSlot]:
-        return [
-            CheckerSlot(
-                instance=inst,
-                lsl_capacity_bytes=self.config.lsl_capacity(),
-                position=i,
-            )
-            for i, inst in enumerate(self.config.checkers)
-        ]
-
-    def _verify(self, program: Program,
-                segments: list[Segment]) -> list[CheckResult]:
-        """Replay a sample of segments on a healthy checker.
-
-        A healthy checker must never report an error (no false positives);
-        a detection here means the logging/replay implementation itself
-        diverged, so it raises rather than returning quietly.
-        """
-        count = min(self.config.verify_segments, len(segments))
-        if count <= 0:
-            return []
-        checker = CheckerCore(program, hash_mode=self.config.hash_mode)
-        stride = max(len(segments) // count, 1)
-        results = []
-        for seg in segments[::stride][:count]:
-            result = checker.check_segment(seg)
-            if result.detected:
-                raise RuntimeError(
-                    "healthy checker detected a divergence (implementation "
-                    f"bug): {result.first_event}"
-                )
-            results.append(result)
-        return results
-
     def config_label(self) -> str:
-        checkers = {}
+        checkers: dict[str, int] = {}
         for inst in self.config.checkers:
             checkers[inst.label] = checkers.get(inst.label, 0) + 1
         parts = [f"{n}x{label}" for label, n in checkers.items()]

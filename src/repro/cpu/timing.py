@@ -155,32 +155,80 @@ class TimingResult:
     def boundary_times_ns(self) -> list[float]:
         return [c / self.freq_ghz for c in self.boundary_cycles]
 
+    def export_stats(self, group,
+                     config: CoreConfig | None = None) -> None:
+        """Publish this run's counters into an obs StatGroup.
+
+        This is the canonical statistics surface for a timing run; the
+        textual dump (:func:`format_stats`) and the ``--stats-json`` tree
+        are both rendered from it.  ``config`` enables the per-FU
+        utilisation gauges (busy cycles over ``cycles * units``).
+        """
+        group.scalar("cycles", self.cycles)
+        group.scalar("freq_ghz", self.freq_ghz)
+        group.count("instructions", self.instructions)
+        group.scalar("ipc", self.ipc)
+        group.scalar("time_ns", self.time_ns)
+        group.count("branch_mispredicts", self.mispredicts)
+        group.count("icache_misses", self.icache_misses)
+        group.count("loads", self.loads)
+        group.count("stores", self.stores)
+        group.count("llc_accesses", self.llc_accesses)
+        group.count("dram_accesses", self.dram_accesses)
+        group.scalar("dram_floor_scale", self.floor_scale,
+                     "> 1 when the DRAM bandwidth floor dilated time")
+        hits = group.group("data_hits_by_level")
+        for level, count in sorted(self.level_counts.items()):
+            hits.count(level, count)
+        fus = group.group("fu")
+        for name in sorted(self.fu_issue_counts):
+            fu_group = fus.group(name)
+            fu_group.count("issued", self.fu_issue_counts[name])
+            busy = self.fu_busy_cycles.get(name, 0.0)
+            fu_group.scalar("busy_cycles", busy)
+            fu = config.fus.get(FUKind(name)) if config else None
+            if fu and self.cycles:
+                fu_group.scalar("utilisation",
+                                busy / (self.cycles * fu.units))
+
 
 def format_stats(result: TimingResult, config: CoreConfig) -> str:
-    """gem5-style statistics dump for one timing run."""
+    """gem5-style statistics dump for one timing run.
+
+    Rendered from the :meth:`TimingResult.export_stats` tree so the text
+    dump and ``--stats-json`` can never disagree.
+    """
+    from repro.obs import StatGroup
+
+    stats = StatGroup("timing")
+    result.export_stats(stats, config)
+    flat = stats.flatten()
     lines = [
-        f"simTicks        {result.cycles:.0f} cycles @ {result.freq_ghz} GHz",
-        f"simInsts        {result.instructions}",
-        f"ipc             {result.ipc:.4f}",
-        f"timeNs          {result.time_ns:.1f}",
-        f"branchMispred   {result.mispredicts}",
-        f"icacheMisses    {result.icache_misses}",
-        f"loads           {result.loads}",
-        f"stores          {result.stores}",
-        f"llcAccesses     {result.llc_accesses}",
-        f"dramAccesses    {result.dram_accesses}",
+        f"simTicks        {flat['cycles']:.0f} cycles "
+        f"@ {flat['freq_ghz']} GHz",
+        f"simInsts        {flat['instructions']}",
+        f"ipc             {flat['ipc']:.4f}",
+        f"timeNs          {flat['time_ns']:.1f}",
+        f"branchMispred   {flat['branch_mispredicts']}",
+        f"icacheMisses    {flat['icache_misses']}",
+        f"loads           {flat['loads']}",
+        f"stores          {flat['stores']}",
+        f"llcAccesses     {flat['llc_accesses']}",
+        f"dramAccesses    {flat['dram_accesses']}",
     ]
-    for level, count in sorted(result.level_counts.items()):
-        lines.append(f"dataHits.{level:6s} {count}")
-    for name in sorted(result.fu_issue_counts):
-        issued = result.fu_issue_counts[name]
-        busy = result.fu_busy_cycles.get(name, 0.0)
-        fu = config.fus.get(FUKind(name))
-        util = busy / (result.cycles * fu.units) if fu and result.cycles else 0.0
+    hits = stats["data_hits_by_level"]
+    for level, _ in hits.items():
+        lines.append(f"dataHits.{level:6s} {hits[level].to_value()}")
+    for name, fu_group in stats["fu"].items():
+        issued = fu_group["issued"].to_value()
+        busy = fu_group["busy_cycles"].to_value()
+        util = (fu_group["utilisation"].to_value()
+                if "utilisation" in fu_group else 0.0)
         lines.append(f"fu.{name:10s} issued {issued:8d}  "
                      f"busy {busy:10.0f} cyc  util {util:6.1%}")
-    if result.floor_scale > 1.0:
-        lines.append(f"dramBandwidthFloor dilated time x{result.floor_scale:.2f}")
+    if flat["dram_floor_scale"] > 1.0:
+        lines.append("dramBandwidthFloor dilated time "
+                     f"x{flat['dram_floor_scale']:.2f}")
     return "\n".join(lines)
 
 

@@ -1,0 +1,44 @@
+"""Pluggable detection backends.
+
+Every scheme the paper compares — ParaVerser's modes, dual/triple
+lockstep, software scanners, and the DSN'18/ParaDox prior work — is a
+:class:`~repro.detect.backends.DetectionBackend` registered by name in
+:mod:`repro.detect.registry`.  The harness, the fleet simulator and the
+CLI consume backends uniformly through that registry.
+"""
+
+from repro.detect.backends import (
+    BackendResult,
+    DetectionBackend,
+    LockstepBackend,
+    ScannerBackend,
+    SimulatedBackend,
+)
+from repro.detect.registry import (
+    all_backends,
+    backend_names,
+    get_backend,
+    register,
+)
+from repro.detect.strategies import (
+    DetectionStrategy,
+    LockstepStrategy,
+    ParaVerserStrategy,
+    ScannerStrategy,
+)
+
+__all__ = [
+    "BackendResult",
+    "DetectionBackend",
+    "DetectionStrategy",
+    "LockstepBackend",
+    "LockstepStrategy",
+    "ParaVerserStrategy",
+    "ScannerBackend",
+    "ScannerStrategy",
+    "SimulatedBackend",
+    "all_backends",
+    "backend_names",
+    "get_backend",
+    "register",
+]

@@ -1,0 +1,172 @@
+"""The ``DetectionBackend`` protocol and its implementations.
+
+A backend is one way of catching silent data corruption, reduced to a
+uniform surface: evaluate it on a benchmark (simulated or analytic),
+report overhead/coverage/energy/area, and hand the fleet simulator a
+per-day detection strategy.  The harness, the fleet model and the CLI
+all consume backends through this protocol — none of them special-cases
+a scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Protocol, runtime_checkable
+
+from repro.baselines.lockstep import LockstepKind, LockstepModel
+from repro.baselines.swscan import ScannerModel
+from repro.core.simconfig import ParaVerserConfig
+from repro.detect.strategies import (
+    DetectionStrategy,
+    LockstepStrategy,
+    ParaVerserStrategy,
+    ScannerStrategy,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.harness.runner import WorkloadCache
+    from repro.pipeline.artifacts import SystemResult
+
+
+@dataclass
+class BackendResult:
+    """What any backend reports for one benchmark evaluation."""
+
+    backend: str
+    benchmark: str
+    slowdown_percent: float
+    coverage: float
+    energy_overhead_percent: float
+    area_overhead_percent: float
+    segments: int = 0
+    verified_clean: bool = True
+    #: The full simulation result, for simulated backends only.
+    result: "SystemResult | None" = field(default=None, repr=False)
+
+
+@runtime_checkable
+class DetectionBackend(Protocol):
+    """One registered way of detecting silent data corruption."""
+
+    name: str
+    description: str
+
+    def evaluate(self, cache: "WorkloadCache",
+                 benchmark: str) -> BackendResult:
+        """Overheads and coverage of this backend on one benchmark."""
+        ...
+
+    def fleet_strategy(self) -> DetectionStrategy | None:
+        """Per-day fleet detection hazard, or None if not applicable."""
+        ...
+
+
+@dataclass(frozen=True)
+class SimulatedBackend:
+    """A backend evaluated by the staged simulation pipeline.
+
+    ``config_factory`` builds the :class:`ParaVerserConfig` for one run
+    and accepts keyword overrides (``timeout_instructions=...``), so
+    figure runners can thread their environment knobs through without
+    knowing which scheme they are building.
+    """
+
+    name: str
+    description: str
+    config_factory: Callable[..., ParaVerserConfig]
+    #: Fleet-level hazard; opportunistic-style backends detect at the
+    #: first checked faulty computation.
+    strategy: DetectionStrategy | None = None
+
+    def make_config(self, **overrides) -> ParaVerserConfig:
+        return self.config_factory(**overrides)
+
+    def evaluate(self, cache: "WorkloadCache",
+                 benchmark: str) -> BackendResult:
+        from repro.power.energy import energy_report
+
+        config = self.make_config()
+        result = cache.run_config(benchmark, config)
+        energy = energy_report(result, config.main)
+        checker_area = sum(c.config.area_mm2 for c in config.checkers)
+        return BackendResult(
+            backend=self.name,
+            benchmark=benchmark,
+            slowdown_percent=result.overhead_percent,
+            coverage=result.coverage,
+            energy_overhead_percent=energy.overhead_percent,
+            area_overhead_percent=checker_area
+            / config.main.config.area_mm2 * 100.0,
+            segments=result.segments,
+            verified_clean=all(not r.detected
+                               for r in result.verify_results),
+            result=result,
+        )
+
+    def fleet_strategy(self) -> DetectionStrategy | None:
+        return self.strategy
+
+
+@dataclass(frozen=True)
+class LockstepBackend:
+    """Analytic dual/triple cycle-lockstep (DCLS/TCLS)."""
+
+    name: str
+    description: str
+    kind: LockstepKind
+
+    def make_model(self, main=None) -> LockstepModel:
+        if main is None:
+            from repro.harness.runner import main_x2
+            main = main_x2()
+        return LockstepModel(main, self.kind)
+
+    def evaluate(self, cache: "WorkloadCache",
+                 benchmark: str) -> BackendResult:
+        model = self.make_model()
+        return BackendResult(
+            backend=self.name,
+            benchmark=benchmark,
+            slowdown_percent=(model.slowdown - 1.0) * 100.0,
+            coverage=1.0,
+            energy_overhead_percent=model.energy_overhead_fraction(
+                cache.max_instructions, 1.0) * 100.0,
+            area_overhead_percent=model.area_overhead_fraction() * 100.0,
+        )
+
+    def fleet_strategy(self) -> DetectionStrategy | None:
+        return LockstepStrategy(name=self.name)
+
+
+@dataclass(frozen=True)
+class ScannerBackend:
+    """Analytic software scanner (FleetScanner/Ripple, section III-A).
+
+    ``coverage`` is reported as the probability of detecting a resident
+    fault within ``window_days`` — the paper's 6-month framing.
+    """
+
+    name: str
+    description: str
+    scanner: ScannerModel
+    window_days: float = 180.0
+
+    def evaluate(self, cache: "WorkloadCache",
+                 benchmark: str) -> BackendResult:
+        del cache
+        return BackendResult(
+            backend=self.name,
+            benchmark=benchmark,
+            slowdown_percent=0.0,
+            coverage=self.scanner.detection_within_window(self.window_days),
+            energy_overhead_percent=0.0,
+            area_overhead_percent=0.0,
+        )
+
+    def fleet_strategy(self) -> DetectionStrategy | None:
+        return ScannerStrategy(self.scanner)
+
+
+def paraverser_strategy() -> ParaVerserStrategy:
+    """The default ParaVerser fleet hazard (section VII-B numbers)."""
+    return ParaVerserStrategy()

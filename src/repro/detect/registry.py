@@ -1,0 +1,133 @@
+"""The detection-backend registry.
+
+All comparison schemes the paper evaluates against are registered here
+under stable names; the harness figure runners, the fleet simulator and
+the CLI look backends up by name instead of importing scheme-specific
+constructors.  Third parties can :func:`register` their own backends
+before running experiments.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.lockstep import LockstepKind
+from repro.baselines.prior_work import dsn18_config, paradox_config
+from repro.baselines.swscan import FLEETSCANNER, RIPPLE
+from repro.core.simconfig import CheckMode
+from repro.cpu.config import CoreInstance
+from repro.cpu.presets import A510
+from repro.detect.backends import (
+    DetectionBackend,
+    LockstepBackend,
+    ScannerBackend,
+    SimulatedBackend,
+)
+from repro.detect.strategies import ParaVerserStrategy
+
+_REGISTRY: dict[str, DetectionBackend] = {}
+
+
+def register(backend: DetectionBackend) -> DetectionBackend:
+    """Register a backend under its name; returns it for chaining."""
+    if backend.name in _REGISTRY:
+        raise ValueError(f"backend {backend.name!r} is already registered")
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def get_backend(name: str) -> DetectionBackend:
+    """Look a backend up by name; raises KeyError listing known names."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown detection backend {name!r}; "
+            f"known: {', '.join(backend_names())}"
+        ) from None
+
+
+def backend_names() -> list[str]:
+    """Registered backend names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def all_backends() -> list[DetectionBackend]:
+    """All registered backends, in name order."""
+    return [_REGISTRY[name] for name in backend_names()]
+
+
+def _a510(freq: float) -> CoreInstance:
+    return CoreInstance(A510, freq)
+
+
+def _paraverser_factory(mode: CheckMode):
+    def factory(**overrides):
+        from repro.harness.runner import make_config
+        return make_config([_a510(2.0)] * 4, mode, **overrides)
+    return factory
+
+
+def _prior_work_factory(build):
+    def factory(**overrides):
+        from repro.harness.runner import main_x2
+        return build(main_x2(), **overrides)
+    return factory
+
+
+register(SimulatedBackend(
+    name="paraverser-full",
+    description="ParaVerser, full coverage: 4xA510@2GHz, stall when "
+                "checkers fall behind",
+    config_factory=_paraverser_factory(CheckMode.FULL),
+    strategy=ParaVerserStrategy(instruction_coverage=1.0),
+))
+register(SimulatedBackend(
+    name="paraverser-opportunistic",
+    description="ParaVerser, opportunistic: 4xA510@2GHz, drop coverage "
+                "instead of stalling",
+    config_factory=_paraverser_factory(CheckMode.OPPORTUNISTIC),
+    strategy=ParaVerserStrategy(),
+))
+register(SimulatedBackend(
+    name="paraverser-sampling",
+    description="ParaVerser, stride sampling (footnote 18): check a "
+                "configured fraction of segments",
+    config_factory=_paraverser_factory(CheckMode.SAMPLING),
+    strategy=ParaVerserStrategy(instruction_coverage=0.25),
+))
+register(SimulatedBackend(
+    name="dsn18",
+    description="Ainsworth & Jones DSN'18: 12 dedicated A35-class "
+                "checkers, 3 KiB SRAM LSL, dedicated wiring",
+    config_factory=_prior_work_factory(dsn18_config),
+    strategy=ParaVerserStrategy(),
+))
+register(SimulatedBackend(
+    name="paradox",
+    description="ParaDox HPCA'21: 16 dedicated A35-class checkers, "
+                "3 KiB SRAM LSL, dedicated wiring",
+    config_factory=_prior_work_factory(paradox_config),
+    strategy=ParaVerserStrategy(),
+))
+register(LockstepBackend(
+    name="dual-lockstep",
+    description="DCLS: duplicate core, cycle-by-cycle comparison "
+                "(detection only)",
+    kind=LockstepKind.DUAL,
+))
+register(LockstepBackend(
+    name="triple-lockstep",
+    description="TCLS: triplicated core with majority-vote correction",
+    kind=LockstepKind.TRIPLE,
+))
+register(ScannerBackend(
+    name="swscan",
+    description="FleetScanner: out-of-production scans, ~93% of "
+                "permanent faults within 6 months",
+    scanner=FLEETSCANNER,
+))
+register(ScannerBackend(
+    name="ripple",
+    description="Ripple: tiny in-production tests, ~70% detection over "
+                "6 months",
+    scanner=RIPPLE,
+))

@@ -1,0 +1,87 @@
+"""Fleet-level detection strategies (per-day detection hazards).
+
+These adapt each detection backend to the fleet simulator's per-day
+Monte-Carlo model (:mod:`repro.fleet`): a strategy maps "this machine
+has had a fault for N days" to the probability the fault is caught
+today.  Historically these lived in ``repro.fleet``; they moved here so
+one registry (:mod:`repro.detect.registry`) can hand the fleet simulator
+a strategy for every backend, and ``repro.fleet`` re-exports them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.baselines.swscan import ScannerModel
+
+
+class DetectionStrategy(Protocol):
+    """Per-day detection model for one faulty machine."""
+
+    name: str
+
+    def daily_detection_probability(self, day_with_fault: int) -> float: ...
+
+
+@dataclass(frozen=True)
+class ScannerStrategy:
+    """Adapter: a periodic scanner as a per-day detection probability."""
+
+    scanner: ScannerModel
+
+    @property
+    def name(self) -> str:
+        return self.scanner.name
+
+    def daily_detection_probability(self, day_with_fault: int) -> float:
+        del day_with_fault
+        # One scan every scan_interval_days, each catching with coverage:
+        # spread into an equivalent daily hazard.
+        per_day = 1.0 - (1.0 - self.scanner.coverage) ** (
+            1.0 / self.scanner.scan_interval_days)
+        return per_day
+
+
+@dataclass(frozen=True)
+class ParaVerserStrategy:
+    """Opportunistic checking as a detection hazard.
+
+    ``instruction_coverage`` is the run-time coverage of opportunistic
+    mode (section VII-B: 94-99 %); ``effective_fraction`` is the share of
+    faults that perturb execution at all (Fig. 8: ~76 % — the rest are
+    architecturally masked and harmless by definition);
+    ``exercise_probability_per_day`` is how likely a day's workload is to
+    drive the faulty unit with triggering data at least once.
+    """
+
+    instruction_coverage: float = 0.97
+    effective_fraction: float = 0.76
+    exercise_probability_per_day: float = 0.95
+
+    @property
+    def name(self) -> str:
+        return "ParaVerser"
+
+    def daily_detection_probability(self, day_with_fault: int) -> float:
+        del day_with_fault
+        return self.instruction_coverage * self.exercise_probability_per_day
+
+    @property
+    def detectable_fraction(self) -> float:
+        return self.effective_fraction
+
+
+@dataclass(frozen=True)
+class LockstepStrategy:
+    """Cycle-synchronised lockstep: the first faulty computation is caught.
+
+    Coverage is total and immediate — the cost is paid in silicon
+    (100-200 % area/energy), not in detection latency.
+    """
+
+    name: str = "Lockstep"
+
+    def daily_detection_probability(self, day_with_fault: int) -> float:
+        del day_with_fault
+        return 1.0

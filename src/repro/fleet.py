@@ -23,65 +23,41 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Protocol
 
-from repro.baselines.swscan import ScannerModel
+from repro.detect.strategies import (
+    DetectionStrategy,
+    LockstepStrategy,
+    ParaVerserStrategy,
+    ScannerStrategy,
+)
 
-
-class DetectionStrategy(Protocol):
-    """Per-day detection model for one faulty machine."""
-
-    name: str
-
-    def daily_detection_probability(self, day_with_fault: int) -> float: ...
-
-
-@dataclass(frozen=True)
-class ScannerStrategy:
-    """Adapter: a periodic scanner as a per-day detection probability."""
-
-    scanner: ScannerModel
-
-    @property
-    def name(self) -> str:
-        return self.scanner.name
-
-    def daily_detection_probability(self, day_with_fault: int) -> float:
-        del day_with_fault
-        # One scan every scan_interval_days, each catching with coverage:
-        # spread into an equivalent daily hazard.
-        per_day = 1.0 - (1.0 - self.scanner.coverage) ** (
-            1.0 / self.scanner.scan_interval_days)
-        return per_day
+__all__ = [
+    "DetectionStrategy",
+    "FleetConfig",
+    "FleetResult",
+    "FleetSimulator",
+    "LockstepStrategy",
+    "ParaVerserStrategy",
+    "ScannerStrategy",
+    "registry_strategies",
+]
 
 
-@dataclass(frozen=True)
-class ParaVerserStrategy:
-    """Opportunistic checking as a detection hazard.
+def registry_strategies() -> list[DetectionStrategy]:
+    """The fleet strategies of the registered detection backends.
 
-    ``instruction_coverage`` is the run-time coverage of opportunistic
-    mode (section VII-B: 94-99 %); ``effective_fraction`` is the share of
-    faults that perturb execution at all (Fig. 8: ~76 % — the rest are
-    architecturally masked and harmless by definition);
-    ``exercise_probability_per_day`` is how likely a day's workload is to
-    drive the faulty unit with triggering data at least once.
+    Backends without a fleet-level model are skipped, and backends that
+    share one hazard model (e.g. every opportunistic-checking scheme)
+    contribute it once; the simulator itself stays scheme-agnostic.
     """
+    from repro.detect import all_backends
 
-    instruction_coverage: float = 0.97
-    effective_fraction: float = 0.76
-    exercise_probability_per_day: float = 0.95
-
-    @property
-    def name(self) -> str:
-        return "ParaVerser"
-
-    def daily_detection_probability(self, day_with_fault: int) -> float:
-        del day_with_fault
-        return self.instruction_coverage * self.exercise_probability_per_day
-
-    @property
-    def detectable_fraction(self) -> float:
-        return self.effective_fraction
+    strategies: list[DetectionStrategy] = []
+    for backend in all_backends():
+        strategy = backend.fleet_strategy()
+        if strategy is not None and strategy not in strategies:
+            strategies.append(strategy)
+    return strategies
 
 
 @dataclass

@@ -7,13 +7,13 @@ match what the paper plots, sized by the ``REPRO_*`` environment knobs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.baselines.prior_work import dsn18_config, paradox_config
 from repro.core.cluster import ClusterSystem
 from repro.core.system import CheckMode, ParaVerserSystem
 from repro.cpu.config import CoreInstance
 from repro.cpu.presets import A510, X2
+from repro.detect import get_backend
 from repro.faults.campaign import FaultCampaign, covered_segments
 from repro.harness.parallel import SweepCell
 from repro.harness.report import Table, slowdown_percent
@@ -47,15 +47,16 @@ def x2(freq: float) -> CoreInstance:
 
 # -- Fig. 6: full-coverage slowdown ------------------------------------------
 
-#: The checker configurations of Fig. 6, plus the prior-work baselines.
+#: The checker configurations of Fig. 6, plus the prior-work baselines
+#: (looked up in the detection-backend registry, like every other scheme).
 FIG6_CONFIGS = {
     "1xX2@3GHz": lambda: make_config([x2(3.0)]),
     "2xX2@1.5GHz": lambda: make_config([x2(1.5)] * 2),
     "4xA510@2GHz": lambda: make_config([a510(2.0)] * 4),
-    "DSN18(12ded)": lambda: dsn18_config(
-        main_x2(), timeout_instructions=env_timeout()),
-    "ParaDox(16ded)": lambda: paradox_config(
-        main_x2(), timeout_instructions=env_timeout()),
+    "DSN18(12ded)": lambda: get_backend("dsn18").make_config(
+        timeout_instructions=env_timeout()),
+    "ParaDox(16ded)": lambda: get_backend("paradox").make_config(
+        timeout_instructions=env_timeout()),
 }
 
 
@@ -330,8 +331,8 @@ SEC7E_ENERGY_CONFIGS = {
     "1xX2@3GHz (lockstep-like)": lambda: make_config([x2(3.0)]),
     "2xX2@1.5GHz": lambda: make_config([x2(1.5)] * 2),
     "4xA510@2GHz": lambda: make_config([a510(2.0)] * 4),
-    "DSN18/ParaDox ded.": lambda: paradox_config(
-        main_x2(), timeout_instructions=env_timeout()),
+    "DSN18/ParaDox ded.": lambda: get_backend("paradox").make_config(
+        timeout_instructions=env_timeout()),
 }
 
 

@@ -109,3 +109,10 @@ class Cache:
 
     def reset_stats(self) -> None:
         self.hits = self.misses = self.evictions = 0
+
+    def export_stats(self, group) -> None:
+        """Publish hit/miss/eviction counters into an obs StatGroup."""
+        group.count("hits", self.hits)
+        group.count("misses", self.misses)
+        group.count("evictions", self.evictions)
+        group.scalar("miss_rate", self.miss_rate)

@@ -3,11 +3,19 @@
 A closed-form model: fixed device latency plus an M/M/1-style queueing
 term that grows with channel utilisation.  This mirrors the paper's use of
 an analytic queueing model for shared resources (section VI).
+
+The model additionally tracks row-buffer locality as an *observation
+point*: per-bank open rows, hit/miss/conflict counts.  These counters
+feed the :mod:`repro.obs` statistics tree only — latency stays the
+closed-form expression above, so registering the stats cannot perturb
+simulated timing.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+from repro.obs import StatGroup
 
 
 @dataclass(frozen=True)
@@ -18,6 +26,10 @@ class DramConfig:
     #: DDR4-2400, 8 bytes wide -> 2400 MT/s * 8 B = 19.2 GB/s.
     peak_bandwidth_gbps: float = 19.2
     line_bytes: int = 64
+    #: Row-buffer (DRAM page) size per bank and bank count — observation
+    #: granularity for the row-locality statistics.
+    row_bytes: int = 2048
+    banks: int = 16
 
 
 class DramModel:
@@ -26,9 +38,28 @@ class DramModel:
     def __init__(self, config: DramConfig | None = None) -> None:
         self.config = config or DramConfig()
         self.accesses = 0
+        self.row_hits = 0
+        self.row_misses = 0
+        self.row_conflicts = 0
+        #: Open row per bank (bank index -> row number).
+        self._open_rows: dict[int, int] = {}
 
-    def record_access(self) -> None:
+    def record_access(self, addr: int | None = None) -> None:
         self.accesses += 1
+        if addr is None:
+            return
+        cfg = self.config
+        row_addr = addr // cfg.row_bytes
+        bank = row_addr % cfg.banks
+        row = row_addr // cfg.banks
+        open_row = self._open_rows.get(bank)
+        if open_row == row:
+            self.row_hits += 1
+        else:
+            self.row_misses += 1
+            if open_row is not None:
+                self.row_conflicts += 1
+            self._open_rows[bank] = row
 
     def service_time_ns(self) -> float:
         """Time to transfer one line at peak bandwidth."""
@@ -51,3 +82,25 @@ class DramModel:
             return 0.0
         bytes_moved = self.accesses * self.config.line_bytes
         return min((bytes_moved / elapsed_ns) / self.config.peak_bandwidth_gbps, 1.0)
+
+    @property
+    def row_hit_rate(self) -> float:
+        total = self.row_hits + self.row_misses
+        return self.row_hits / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        self.accesses = 0
+        self.row_hits = self.row_misses = self.row_conflicts = 0
+        self._open_rows.clear()
+
+    def export_stats(self, group: StatGroup) -> StatGroup:
+        """Publish a snapshot of the channel counters into ``group``."""
+        group.count("accesses", self.accesses, "line fetches from DRAM")
+        group.count("row_hits", self.row_hits,
+                    "accesses hitting the open row buffer")
+        group.count("row_misses", self.row_misses,
+                    "accesses opening a new row")
+        group.count("row_conflicts", self.row_conflicts,
+                    "row misses that closed another open row")
+        group.scalar("row_hit_rate", self.row_hit_rate)
+        return group

@@ -58,7 +58,7 @@ class SharedUncore:
     def reset_stats(self) -> None:
         self.l3.reset_stats()
         self.llc_accesses = 0
-        self.dram.accesses = 0
+        self.dram.reset_stats()
 
     def access(self, addr: int) -> AccessResult:
         """Access the LLC, falling through to DRAM on a miss."""
@@ -66,9 +66,18 @@ class SharedUncore:
         latency = self.l3_hit_latency_ns() + self.extra_llc_latency_ns
         if self.l3.access(addr):
             return AccessResult(latency, "l3")
-        self.dram.record_access()
+        self.dram.record_access(addr)
         latency += self.dram.latency_ns(self.dram_utilisation)
         return AccessResult(latency, "dram")
+
+    def export_stats(self, group) -> None:
+        """Publish LLC and DRAM counters into an obs StatGroup."""
+        group.count("llc_accesses", self.llc_accesses,
+                    "requests reaching the shared LLC")
+        group.scalar("extra_llc_latency_ns", self.extra_llc_latency_ns,
+                     "NoC queueing backpropagated into LLC latency")
+        self.l3.export_stats(group.group("l3"))
+        self.dram.export_stats(group.group("dram"))
 
 
 class MemoryHierarchy:
@@ -115,3 +124,12 @@ class MemoryHierarchy:
         for cache in (self.l1i, self.l1d, self.l2):
             cache.reset_stats()
         self.level_counts = {k: 0 for k in self.level_counts}
+
+    def export_stats(self, group) -> None:
+        """Publish per-level cache counters into an obs StatGroup."""
+        for name, cache in (("l1i", self.l1i), ("l1d", self.l1d),
+                            ("l2", self.l2)):
+            cache.export_stats(group.group(name))
+        hits = group.group("data_hits_by_level")
+        for level, count in self.level_counts.items():
+            hits.count(level, count)

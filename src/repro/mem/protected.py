@@ -16,10 +16,9 @@ executor's MemoryPort protocol, scrubbing on every load.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.mem.ecc import EccError, EccWord, decode_secded, encode_secded
-from repro.mem.memory import Memory
 
 
 @dataclass

@@ -108,3 +108,26 @@ class MeshNetwork:
 
     def reset(self) -> None:
         self._link_rate.clear()
+
+    def export_stats(self, group) -> None:
+        """Publish per-link utilisation into an obs StatGroup.
+
+        Emits the number of loaded links, max/mean utilisation, and a
+        utilisation histogram in 10 %-wide buckets, plus the per-link
+        utilisations under dotted ``(x,y)->(x,y)`` names.
+        """
+        bw = self.config.link_bandwidth_gbps
+        utils = [rate / bw for rate in self._link_rate.values()]
+        group.count("links_loaded", len(utils),
+                    "directed links carrying any traffic")
+        group.scalar("max_utilisation", max(utils, default=0.0))
+        group.scalar("mean_utilisation",
+                     sum(utils) / len(utils) if utils else 0.0)
+        hist = group.histogram("link_utilisation",
+                               "per-link utilisation distribution",
+                               bins=[i / 10 for i in range(11)])
+        for value in utils:
+            hist.record(value)
+        links = group.group("links")
+        for (src, dst), rate in sorted(self._link_rate.items()):
+            links.scalar(f"{src[0]},{src[1]}->{dst[0]},{dst[1]}", rate / bw)

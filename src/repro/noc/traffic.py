@@ -9,11 +9,11 @@ paper describes in section VI.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.isa.registers import ARCH_CHECKPOINT_BYTES
 from repro.noc.layout import TileLayout
-from repro.noc.mesh import Coord, MeshNetwork, NocConfig
+from repro.noc.mesh import MeshNetwork, NocConfig
 
 
 @dataclass

@@ -1,0 +1,27 @@
+"""Structured telemetry: a gem5-style hierarchical statistics registry.
+
+Every simulated component (caches, DRAM, NoC, timing models, pipeline
+stages, checker slots) publishes observation points into one
+:class:`StatGroup` tree carried by the pipeline's
+:class:`~repro.pipeline.context.SimContext`; ``paraverser run
+--stats-json PATH`` dumps the whole tree.  Statistics never influence
+simulated behaviour — registering more of them cannot change a result.
+"""
+
+from repro.obs.stats import (
+    Counter,
+    Gauge,
+    Histogram,
+    StageTimer,
+    Stat,
+    StatGroup,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "StageTimer",
+    "Stat",
+    "StatGroup",
+]

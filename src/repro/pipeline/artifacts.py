@@ -1,0 +1,95 @@
+"""Typed artifacts passed between pipeline stages.
+
+Each stage consumes and produces values of these types; nothing here has
+behaviour beyond derived metrics.  ``SegmentSchedule``, ``PreparedRun``
+and ``SystemResult`` keep their historical import path via re-exports in
+:mod:`repro.core.system`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.allocator import CheckerSlot
+from repro.core.checker import CheckResult
+from repro.core.counter import Segment
+from repro.core.simconfig import CheckMode
+from repro.cpu.functional import RunResult
+from repro.cpu.timing import TimingResult
+from repro.obs import StatGroup
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
+    from repro.core.system import ParaVerserSystem
+
+
+@dataclass(slots=True)
+class SegmentSchedule:
+    """Scheduling outcome for one segment."""
+
+    segment: int
+    main_start_ns: float
+    main_end_ns: float
+    checker_label: str | None
+    checker_finish_ns: float
+    stalled_ns: float
+    covered: bool
+    #: Portion of the segment actually checked (opportunistic mode can
+    #: resume mid-segment when a checker frees, section IV-A).
+    coverage_fraction: float = 1.0
+
+
+@dataclass
+class PreparedRun:
+    """Intermediate state between functional/timing prep and finalisation.
+
+    Produced by :meth:`ParaVerserSystem.prepare`; lets a multi-main
+    cluster aggregate NoC traffic across mains before finalising each.
+    """
+
+    system: "ParaVerserSystem"
+    run: RunResult
+    segments: list[Segment]
+    boundaries: list[int]
+    baseline: TimingResult
+    checked_pass1: TimingResult
+    durations_by_class: dict[str, list[float]]
+    checker_llc: int
+    lsl_bytes: int
+
+
+@dataclass
+class SystemResult:
+    """Everything one ParaVerser run produced."""
+
+    workload: str
+    mode: CheckMode
+    config_label: str
+    instructions: int
+    baseline_time_ns: float
+    checked_time_ns: float
+    segments: int
+    stall_ns: float
+    coverage: float              # fraction of instructions checked
+    lsl_bytes: int
+    checkpoints: int
+    noc_extra_llc_ns: float
+    baseline_timing: TimingResult
+    main_timing: TimingResult
+    checker_slots: list[CheckerSlot]
+    schedule: list[SegmentSchedule]
+    verify_results: list[CheckResult] = field(default_factory=list)
+    cut_reasons: dict[str, int] = field(default_factory=dict)
+    #: The run's full observability tree (``paraverser run --stats-json``).
+    #: Excluded from equality: wall-clock gauges differ across identical
+    #: runs while the simulated outcome stays bit-identical.
+    stats: StatGroup | None = field(default=None, compare=False, repr=False)
+
+    @property
+    def slowdown(self) -> float:
+        return self.checked_time_ns / self.baseline_time_ns \
+            if self.baseline_time_ns else 1.0
+
+    @property
+    def overhead_percent(self) -> float:
+        return (self.slowdown - 1.0) * 100.0

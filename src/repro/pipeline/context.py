@@ -1,0 +1,65 @@
+"""The context object threaded through every pipeline stage.
+
+A :class:`SimContext` carries what stages share but must not rebuild:
+the run configuration, the tile layout and NoC traffic model, named
+deterministic RNG streams, and the :mod:`repro.obs` statistics tree that
+every stage and component registers into.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.noc.layout import TileLayout, fig5_layout
+from repro.noc.traffic import TrafficModel
+from repro.obs import StageTimer, StatGroup
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
+    from repro.core.simconfig import ParaVerserConfig
+
+
+@dataclass
+class SimContext:
+    """Shared state for one simulated system's pipeline stages."""
+
+    config: "ParaVerserConfig"
+    layout: TileLayout
+    traffic_model: TrafficModel
+    stats: StatGroup = field(default_factory=lambda: StatGroup("sim"))
+
+    @classmethod
+    def create(cls, config: "ParaVerserConfig",
+               layout: TileLayout | None = None,
+               stats: StatGroup | None = None) -> "SimContext":
+        layout = layout or fig5_layout()
+        return cls(
+            config=config,
+            layout=layout,
+            traffic_model=TrafficModel(config.noc, layout),
+            stats=stats or StatGroup("sim"),
+        )
+
+    @property
+    def seed(self) -> int:
+        return self.config.seed
+
+    def rng(self, stream: str) -> random.Random:
+        """A deterministic RNG for a named stream.
+
+        Streams are independent of each other and of call order: the same
+        ``(seed, stream)`` pair always produces the same sequence, so
+        adding a consumer cannot perturb existing ones.
+        """
+        return random.Random(f"{self.config.seed}:{stream}")
+
+    def stage_timer(self, stage: str) -> StageTimer:
+        """Record a stage's wall time under ``pipeline.<stage>``.
+
+        Times accumulate across entries, so a stage that runs twice (the
+        cluster finalises with and without LSL traffic) reports its total.
+        """
+        gauge = self.stats.group("pipeline").group(stage).gauge(
+            "wall_time_ms", "stage wall-clock time (accumulated)")
+        return StageTimer(gauge)

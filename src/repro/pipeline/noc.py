@@ -1,0 +1,66 @@
+"""Pipeline stage 4: NoC traffic aggregation and LLC backpropagation.
+
+Estimates this main core's mesh traffic from the first-pass timing and
+schedule, then converts per-link M/M/1 queueing into the two knobs the
+rest of the pipeline consumes: extra LLC access latency and the LSL push
+latency.  Prior-work baselines with dedicated point-to-point LSL wiring
+keep their demand traffic on the mesh but push over a single hop.
+"""
+
+from __future__ import annotations
+
+from repro.noc.traffic import MainTraffic
+from repro.pipeline.artifacts import PreparedRun
+from repro.pipeline.context import SimContext
+from repro.pipeline.schedule import make_slots, schedule_segments
+
+
+def estimate_traffic(ctx: SimContext, prepared: PreparedRun) -> MainTraffic:
+    """First-pass traffic contribution (coverage-scaled LSL bytes)."""
+    config = ctx.config
+    slots = make_slots(config)
+    _, stall_ns, covered = schedule_segments(
+        config, prepared.segments,
+        prepared.checked_pass1.boundary_times_ns(),
+        prepared.durations_by_class, slots, push_latency_ns=0.0)
+    coverage = covered / max(prepared.run.instructions, 1)
+    return MainTraffic(
+        main_id=config.main_id,
+        duration_ns=prepared.checked_pass1.time_ns + stall_ns,
+        llc_accesses=prepared.checked_pass1.llc_accesses,
+        checker_llc_accesses=prepared.checker_llc,
+        lsl_bytes=int(prepared.lsl_bytes * coverage),
+        checkpoints=len(prepared.segments) + 1,
+        checkers_used=len(config.checkers),
+    )
+
+
+def noc_adjustment(ctx: SimContext,
+                   traffic: MainTraffic) -> tuple[float, float]:
+    """Build the loaded mesh and return ``(extra_llc_ns, push_latency_ns)``.
+
+    The mesh's per-link utilisation is published under ``noc`` in the
+    stats tree as a side effect.
+    """
+    config = ctx.config
+    noc_stats = ctx.stats.group("noc")
+    if config.dedicated_interconnect:
+        # LSL goes over dedicated adjacent wiring; only demand traffic
+        # crosses the mesh, and pushes take a single hop.
+        mesh = ctx.traffic_model.build([traffic], include_lsl=False)
+        extra_llc = ctx.traffic_model.llc_extra_latency_ns(
+            mesh, config.main_id)
+        push_latency = config.noc.hop_latency_ns() + \
+            config.noc.data_packet_bytes / config.noc.link_bandwidth_gbps
+    else:
+        mesh = ctx.traffic_model.build([traffic])
+        extra_llc = ctx.traffic_model.llc_extra_latency_ns(
+            mesh, config.main_id)
+        push_latency = ctx.traffic_model.lsl_push_latency_ns(
+            mesh, config.main_id, len(config.checkers))
+    mesh.export_stats(noc_stats)
+    noc_stats.scalar("extra_llc_latency_ns", extra_llc,
+                     "queueing backpropagated into each LLC access")
+    noc_stats.scalar("lsl_push_latency_ns", push_latency,
+                     "latency of one LSL line push to a checker")
+    return extra_llc, push_latency

@@ -1,0 +1,131 @@
+"""Pipeline stage 5: segment-level discrete-event checker scheduling.
+
+Implements the three operating modes over the checker pool: full
+coverage (stall when no checker is free), opportunistic (drop or
+partially cover instead of stalling), and deterministic stride sampling.
+"""
+
+from __future__ import annotations
+
+from repro.core.allocator import CheckerAllocator, CheckerSlot
+from repro.core.counter import Segment
+from repro.core.eager import segment_finish_time
+from repro.core.simconfig import CheckMode, ParaVerserConfig
+from repro.pipeline.artifacts import SegmentSchedule
+
+
+def make_slots(config: ParaVerserConfig) -> list[CheckerSlot]:
+    """Fresh allocatable slots for the configured checker pool."""
+    return [
+        CheckerSlot(
+            instance=inst,
+            lsl_capacity_bytes=config.lsl_capacity(),
+            position=i,
+        )
+        for i, inst in enumerate(config.checkers)
+    ]
+
+
+def schedule_segments(
+    config: ParaVerserConfig,
+    segments: list[Segment],
+    boundary_times_ns: list[float],
+    durations_by_class: dict[str, list[float]],
+    slots: list[CheckerSlot],
+    push_latency_ns: float,
+) -> tuple[list[SegmentSchedule], float, int]:
+    """Discrete-event schedule; returns (per-segment, stall_ns, covered)."""
+    allocator = CheckerAllocator(slots)
+    schedule: list[SegmentSchedule] = []
+    append = schedule.append
+    shift = 0.0
+    stall_total = 0.0
+    covered_instructions = 0
+    opportunistic = config.mode is CheckMode.OPPORTUNISTIC
+    sampling = config.mode is CheckMode.SAMPLING
+    sampling_rate = config.sampling_rate
+    eager_wake = config.eager_wake
+    acquire_opportunistic = allocator.acquire_opportunistic
+    acquire_full = allocator.acquire_full
+    sample_accumulator = 0.0
+    prev_end_raw = 0.0
+    for seg, end_raw in zip(segments, boundary_times_ns):
+        start_raw = prev_end_raw
+        prev_end_raw = end_raw
+        m_start = start_raw + shift
+        m_end = end_raw + shift
+        if sampling:
+            # Deterministic stride sampling: accumulate the rate and
+            # check a segment each time it crosses an integer.
+            sample_accumulator += sampling_rate
+            take = sample_accumulator >= 1.0
+            if take:
+                sample_accumulator -= 1.0
+            allocation = (acquire_opportunistic(m_start)
+                          if take else None)
+            if allocation is None:
+                append(SegmentSchedule(
+                    seg.index, m_start, m_end, None, m_end, 0.0, False,
+                    0.0))
+                continue
+        elif opportunistic:
+            allocation = acquire_opportunistic(m_start)
+            if allocation is None:
+                # No checker free at segment start — but one freeing
+                # mid-segment immediately resumes checking from a new
+                # checkpoint there (section IV-A), covering the tail
+                # of the interval.
+                earliest = min(allocator.slots,
+                               key=lambda s: s.free_at_ns)
+                if earliest.free_at_ns < m_end:
+                    fraction = (m_end - earliest.free_at_ns) \
+                        / max(m_end - m_start, 1e-12)
+                    part_start = earliest.free_at_ns
+                    duration = durations_by_class[
+                        earliest.instance.label][seg.index] * fraction
+                    lines = max(int(seg.lines * fraction), 1)
+                    finish = segment_finish_time(
+                        checker_free_ns=earliest.free_at_ns,
+                        segment_start_ns=part_start,
+                        segment_end_ns=m_end,
+                        check_duration_ns=duration,
+                        lines=lines,
+                        noc_latency_ns=push_latency_ns,
+                        eager=eager_wake,
+                    )
+                    part_instructions = int(seg.instructions * fraction)
+                    earliest.assign(part_start, finish,
+                                    part_instructions)
+                    covered_instructions += part_instructions
+                    append(SegmentSchedule(
+                        seg.index, m_start, m_end, earliest.label,
+                        finish, 0.0, fraction >= 0.5, fraction))
+                    continue
+                append(SegmentSchedule(
+                    seg.index, m_start, m_end, None, m_end, 0.0, False,
+                    0.0))
+                continue
+        else:
+            allocation = acquire_full(m_start)
+            if allocation.stalled_ns > 0:
+                shift += allocation.stalled_ns
+                stall_total += allocation.stalled_ns
+                m_start += allocation.stalled_ns
+                m_end += allocation.stalled_ns
+        slot = allocation.slot
+        duration = durations_by_class[slot.instance.label][seg.index]
+        finish = segment_finish_time(
+            checker_free_ns=slot.free_at_ns,
+            segment_start_ns=m_start,
+            segment_end_ns=m_end,
+            check_duration_ns=duration,
+            lines=seg.lines,
+            noc_latency_ns=push_latency_ns,
+            eager=eager_wake,
+        )
+        slot.assign(m_start, finish, seg.instructions)
+        covered_instructions += seg.instructions
+        append(SegmentSchedule(
+            seg.index, m_start, m_end, slot.label, finish,
+            allocation.stalled_ns if not opportunistic else 0.0, True))
+    return schedule, stall_total, covered_instructions

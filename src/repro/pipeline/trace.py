@@ -1,0 +1,118 @@
+"""Pipeline stage 1-2: functional execution and segmentation.
+
+Runs the workload on the main core to produce the commit trace, splits
+the trace into checkpointed segments (LSL-capacity / timeout / forced
+boundaries), captures the RCU's boundary register checkpoints by a
+genuine second execution pass, and digests segments in Hash Mode.
+"""
+
+from __future__ import annotations
+
+from repro.core.checker import LogReplayInterface
+from repro.core.counter import Segment, SegmentBuilder
+from repro.core.hashmode import digest_segment
+from repro.core.lsc import LoadStoreComparator
+from repro.core.simconfig import ParaVerserConfig
+from repro.cpu.functional import (
+    DirectMemoryPort,
+    FunctionalCore,
+    MainNonRepSource,
+    RunResult,
+)
+from repro.isa.program import Program
+from repro.isa.registers import RegisterCheckpoint, RegisterFile
+from repro.mem.memory import Memory
+from repro.pipeline.context import SimContext
+
+
+def run_functional(ctx: SimContext, program: Program,
+                   max_instructions: int = 100_000) -> RunResult:
+    """Run the workload on the main core, producing the commit trace."""
+    config = ctx.config
+    memory = Memory(program.memory_image)
+    core = FunctionalCore(
+        program,
+        DirectMemoryPort(memory),
+        nonrep=MainNonRepSource(seed=config.seed, core_id=config.main_id),
+    )
+    return core.run(max_instructions)
+
+
+def segment_trace(
+    ctx: SimContext,
+    run: RunResult,
+    forced_boundaries: set[int] | None = None,
+    boundary_checkpoints: dict[int, RegisterCheckpoint] | None = None,
+) -> list[Segment]:
+    """Split the trace into segments and fill checkpoints (+ digests)."""
+    config = ctx.config
+    builder = SegmentBuilder(
+        lsl_capacity_bytes=config.lsl_capacity(),
+        timeout_instructions=config.timeout_instructions,
+        hash_mode=config.hash_mode,
+    )
+    segments = builder.split(run.trace, forced_boundaries)
+    fill_checkpoints(config, run, segments, boundary_checkpoints)
+    if config.hash_mode:
+        for seg in segments:
+            seg.digest = digest_segment(seg.records)
+    return segments
+
+
+def fill_checkpoints(
+    config: ParaVerserConfig,
+    run: RunResult,
+    segments: list[Segment],
+    known: dict[int, RegisterCheckpoint] | None = None,
+) -> None:
+    """Capture the RCU's boundary register checkpoints.
+
+    For single-threaded runs this is a second (deterministic) execution
+    pass of the main core.  For multicore traces, quantum-boundary
+    checkpoints captured during the original run are used where they
+    align (``known``), and the remainder are derived by healthy log
+    replay, which is exact by construction.
+    """
+    known = known or {}
+    if not segments:
+        return
+    rerun_core: FunctionalCore | None = None
+    if not known:
+        memory = Memory(run.program.memory_image)
+        rerun_core = FunctionalCore(
+            run.program,
+            DirectMemoryPort(memory),
+            nonrep=MainNonRepSource(seed=config.seed,
+                                    core_id=config.main_id),
+        )
+    previous = run.start_checkpoint
+    for seg in segments:
+        seg.start_checkpoint = previous
+        if seg.end in known:
+            seg.end_checkpoint = known[seg.end]
+        elif rerun_core is not None:
+            chunk = rerun_core.run(seg.instructions, record_trace=False)
+            if chunk.instructions != seg.instructions:
+                raise RuntimeError(
+                    "checkpoint pass diverged from the first run: "
+                    f"{chunk.instructions} != {seg.instructions}"
+                )
+            seg.end_checkpoint = chunk.end_checkpoint
+        else:
+            seg.end_checkpoint = derive_end_checkpoint(run.program, seg)
+        previous = seg.end_checkpoint
+
+
+def derive_end_checkpoint(program: Program,
+                          seg: Segment) -> RegisterCheckpoint:
+    """Healthy log replay of one segment to recover its end state."""
+    interface = LogReplayInterface(seg, LoadStoreComparator(),
+                                   hash_mode=False)
+    regs = RegisterFile()
+    assert seg.start_checkpoint is not None
+    regs.restore(seg.start_checkpoint)
+    core = FunctionalCore(program, interface, registers=regs,
+                          nonrep=interface,
+                          start_pc=seg.start_checkpoint.pc)
+    result = core.run(seg.instructions)
+    return result.end_checkpoint

@@ -22,7 +22,7 @@ characterisations (SPEC CPU2017 analysis papers and the paper itself).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)

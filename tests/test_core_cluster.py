@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.cluster import ClusterSystem
-from repro.core.system import CheckMode
 from repro.cpu.config import CoreInstance
 from repro.cpu.presets import A510, X2
 from repro.workloads.generator import build_parallel_programs, build_program

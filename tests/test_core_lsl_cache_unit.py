@@ -1,6 +1,5 @@
 """Additional unit coverage: LSL$ bookkeeping and Fig. 3 semantics."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.core.lsl import LoadStoreLogCache, LSLAccess, LSLRecord, RecordKind

@@ -1,0 +1,88 @@
+"""The detection-backend registry: lookup, protocol and fleet wiring."""
+
+import pytest
+
+from repro.detect import (
+    BackendResult,
+    DetectionBackend,
+    LockstepBackend,
+    ScannerBackend,
+    SimulatedBackend,
+    all_backends,
+    backend_names,
+    get_backend,
+    register,
+)
+from repro.fleet import registry_strategies
+
+EXPECTED = {
+    "dsn18", "dual-lockstep", "paradox", "paraverser-full",
+    "paraverser-opportunistic", "paraverser-sampling", "ripple",
+    "swscan", "triple-lockstep",
+}
+
+
+def test_registry_contains_paper_schemes():
+    assert EXPECTED <= set(backend_names())
+
+
+def test_names_sorted_and_round_trip():
+    names = backend_names()
+    assert names == sorted(names)
+    for name in names:
+        assert get_backend(name).name == name
+    assert [b.name for b in all_backends()] == names
+
+
+def test_every_backend_satisfies_protocol():
+    for backend in all_backends():
+        assert isinstance(backend, DetectionBackend)
+        assert backend.description
+
+
+def test_unknown_backend_lists_known_names():
+    with pytest.raises(KeyError, match="paraverser-full"):
+        get_backend("does-not-exist")
+
+
+def test_duplicate_registration_rejected():
+    existing = get_backend("swscan")
+    with pytest.raises(ValueError, match="swscan"):
+        register(existing)
+
+
+def test_backend_kinds():
+    assert isinstance(get_backend("paraverser-full"), SimulatedBackend)
+    assert isinstance(get_backend("dual-lockstep"), LockstepBackend)
+    assert isinstance(get_backend("swscan"), ScannerBackend)
+
+
+def test_simulated_backend_config_overrides():
+    backend = get_backend("paraverser-full")
+    config = backend.make_config(timeout_instructions=1234)
+    assert config.timeout_instructions == 1234
+
+
+def test_analytic_evaluation_shape(tmp_path):
+    from repro.harness.runner import WorkloadCache
+
+    cache = WorkloadCache(max_instructions=1000, trace_cache=None)
+    report = get_backend("triple-lockstep").evaluate(cache, "mcf")
+    assert isinstance(report, BackendResult)
+    assert report.backend == "triple-lockstep"
+    assert report.coverage == 1.0
+    assert report.segments == 0 and report.result is None
+    scan = get_backend("ripple").evaluate(cache, "mcf")
+    assert scan.slowdown_percent == 0.0
+    assert 0.0 < scan.coverage < 1.0
+
+
+def test_fleet_strategies_come_from_registry():
+    strategies = registry_strategies()
+    # Structurally distinct hazards only; several backends may share one.
+    assert len(strategies) == len(set(strategies)) >= 5
+    assert {"ParaVerser", "FleetScanner", "Ripple", "dual-lockstep",
+            "triple-lockstep"} <= {s.name for s in strategies}
+    for strategy in strategies:
+        p = strategy.daily_detection_probability(3)
+        assert 0.0 <= p <= 1.0

@@ -5,7 +5,6 @@ global RNG state.  Determinism is what makes results reviewable, traces
 cacheable, and fault campaigns attributable.
 """
 
-import pytest
 
 from repro.core.system import CheckMode, ParaVerserConfig, ParaVerserSystem
 from repro.cpu.config import CoreInstance

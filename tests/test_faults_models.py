@@ -3,7 +3,6 @@
 import math
 import random
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.faults.models import (

@@ -1,6 +1,5 @@
 """Integer-ALU semantics of the functional executor."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.cpu.functional import DirectMemoryPort, FunctionalCore, to_signed

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.cpu.functional import DirectMemoryPort, FunctionalCore
+from repro.cpu.functional import FunctionalCore
 from repro.isa.assembler import assemble
 from repro.mem.ecc import EccError
 from repro.mem.protected import (

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.noc.layout import fig5_layout
-from repro.noc.mesh import FAST_NOC, SLOW_NOC, MeshNetwork, NocConfig
+from repro.noc.mesh import FAST_NOC, SLOW_NOC, MeshNetwork
 from repro.noc.traffic import MainTraffic, TrafficModel
 
 COORDS = st.tuples(st.integers(min_value=0, max_value=3),

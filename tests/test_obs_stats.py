@@ -1,0 +1,177 @@
+"""Unit tests for the observability spine (repro.obs) and the stats
+tree a full pipeline run publishes (``--stats-json`` schema)."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.stats import Counter, Gauge, Histogram, StageTimer, StatGroup
+
+
+# -- leaf statistics ---------------------------------------------------------
+
+def test_counter_increments():
+    c = Counter("hits")
+    c.inc()
+    c.inc(4)
+    assert c.to_value() == 5
+
+
+def test_gauge_sets():
+    g = Gauge("util")
+    g.set(0.75)
+    assert g.to_value() == 0.75
+
+
+def test_histogram_records_and_buckets():
+    h = Histogram("lat", bins=[0, 10, 100])
+    h.record(5)
+    h.record(50, n=2)
+    h.record(500)
+    v = h.to_value()
+    assert v["count"] == 4
+    assert v["sum"] == 5 + 100 + 500
+    assert v["min"] == 5 and v["max"] == 500
+    assert v["buckets"] == {">=0": 1, ">=10": 2, ">=100": 1}
+
+
+def test_histogram_reset():
+    h = Histogram("lat")
+    h.record(7)
+    h.reset()
+    assert h.count == 0 and h.total == 0.0
+    assert h.min == math.inf and h.max == -math.inf
+    assert h.to_value()["buckets"] == {}
+    h.record(3)
+    assert h.count == 1  # usable after reset
+
+
+def test_empty_histogram_min_max_null():
+    v = Histogram("lat").to_value()
+    assert v["min"] is None and v["max"] is None and v["mean"] == 0.0
+
+
+# -- the group tree ----------------------------------------------------------
+
+def test_group_get_or_create_returns_same_object():
+    root = StatGroup("root")
+    assert root.counter("x") is root.counter("x")
+    assert root.group("sub") is root.group("sub")
+
+
+def test_kind_clash_raises_type_error():
+    root = StatGroup("root")
+    root.counter("x")
+    with pytest.raises(TypeError, match="'x'"):
+        root.gauge("x")
+    with pytest.raises(TypeError):
+        root.group("x")
+
+
+def test_publish_semantics_overwrite():
+    """scalar()/count() set rather than accumulate, so re-exporting a
+    snapshot (finalize runs twice per cluster pass) stays correct."""
+    root = StatGroup("root")
+    root.count("n", 10)
+    root.count("n", 10)
+    root.scalar("v", 2.5)
+    root.scalar("v", 2.5)
+    assert root["n"].to_value() == 10
+    assert root["v"].to_value() == 2.5
+
+
+def test_flatten_and_to_dict_and_json():
+    root = StatGroup("root")
+    root.group("a").count("n", 3)
+    root.group("a").group("b").scalar("v", 1.5)
+    assert root.to_dict() == {"a": {"n": 3, "b": {"v": 1.5}}}
+    assert root.flatten() == {"a.n": 3, "a.b.v": 1.5}
+    assert json.loads(root.to_json()) == root.to_dict()
+
+
+def test_format_tree_lists_leaves():
+    root = StatGroup("root")
+    root.group("a").count("n", 3)
+    root.histogram("h").record(2)
+    text = root.format_tree()
+    assert "a.n" in text and "3" in text and "n=1" in text
+
+
+def test_stage_timer_accumulates():
+    gauge = Gauge("wall_time_ms")
+    for _ in range(2):
+        with StageTimer(gauge):
+            pass
+    first = gauge.value
+    assert first >= 0.0
+    with StageTimer(gauge):
+        pass
+    assert gauge.value >= first
+
+
+# -- the schema a real run publishes ----------------------------------------
+
+#: Dotted leaf names ISSUE acceptance requires in every simulated run.
+REQUIRED_LEAVES = [
+    "main.caches.l1d.hits",
+    "main.caches.l1d.misses",
+    "main.uncore.dram.row_hits",
+    "main.uncore.dram.row_misses",
+    "noc.link_utilisation",
+    "pipeline.trace.wall_time_ms",
+    "pipeline.timing.wall_time_ms",
+    "pipeline.noc.wall_time_ms",
+    "pipeline.schedule.wall_time_ms",
+    "pipeline.check.wall_time_ms",
+    "pipeline.report.wall_time_ms",
+    "schedule.segments",
+    "schedule.coverage",
+    "checkers.pool_occupancy",
+    "result.slowdown",
+    "result.baseline_time_ns",
+]
+
+
+@pytest.fixture(scope="module")
+def run_stats():
+    from repro.core.system import (CheckMode, ParaVerserConfig,
+                                   ParaVerserSystem)
+    from repro.cpu.config import CoreInstance
+    from repro.cpu.presets import A510, X2
+    from repro.workloads.generator import build_program
+    from repro.workloads.profiles import get_profile
+
+    config = ParaVerserConfig(
+        main=CoreInstance(X2, 3.0),
+        checkers=[CoreInstance(A510, 2.0)] * 2,
+        mode=CheckMode.FULL,
+        seed=7,
+    )
+    program = build_program(get_profile("exchange2"), seed=7)
+    result = ParaVerserSystem(config).run(program, max_instructions=20_000)
+    return result.stats
+
+
+def test_run_publishes_required_leaves(run_stats):
+    flat = run_stats.flatten()
+    missing = [name for name in REQUIRED_LEAVES if name not in flat]
+    assert not missing, f"stats tree missing {missing}"
+
+
+def test_per_slot_checker_occupancy(run_stats):
+    checkers = run_stats.group("checkers")
+    slots = [name for name in checkers
+             if isinstance(checkers[name], StatGroup)]
+    assert len(slots) == 2
+    for name in slots:
+        # Can exceed 1.0: checkers keep draining after the main run ends.
+        occupancy = checkers[name]["occupancy"].to_value()
+        assert occupancy >= 0.0
+
+
+def test_stats_json_round_trips(run_stats):
+    tree = json.loads(run_stats.to_json())
+    assert tree["result"]["slowdown"] == pytest.approx(
+        run_stats.flatten()["result.slowdown"])
+    assert tree["schedule"]["checker_lag_ns"]["count"] >= 0

@@ -1,0 +1,104 @@
+"""Bit-identity of the staged pipeline against pre-refactor goldens.
+
+``tests/golden/backend_equivalence.json`` was captured from the
+pre-pipeline monolithic ``ParaVerserSystem`` (commit 8cfb178) at 30 k
+instructions: three SPEC profiles under paraverser-full / opportunistic
+(at the standard 4xA510@2GHz pool and a stressed 1xA510@1.0 pool) plus
+the analytic dual-lockstep and swscan baselines.  The refactor moved
+code, not numerics — every float must match exactly, so comparisons use
+``==``, not ``pytest.approx``.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.system import CheckMode
+from repro.cpu.config import CoreInstance
+from repro.cpu.presets import A510
+from repro.detect import get_backend
+from repro.harness.runner import WorkloadCache, main_x2, make_config
+from repro.power.energy import energy_report
+
+GOLDEN = Path(__file__).parent / "golden" / "backend_equivalence.json"
+
+_DATA = json.loads(GOLDEN.read_text())
+CELLS = _DATA["cells"]
+PROFILES = sorted({key.split("/")[0] for key in CELLS})
+FIELDS = ("slowdown_percent", "coverage", "energy_overhead_percent",
+          "segments", "verified_clean")
+
+
+@pytest.fixture(scope="module")
+def cache():
+    shared = WorkloadCache(max_instructions=_DATA["max_instructions"],
+                           seed=_DATA["seed"], trace_cache=None, jobs=1)
+    yield shared
+    shared.close()
+
+
+def _assert_cell(key, measured):
+    golden = CELLS[key]
+    for field in FIELDS:
+        assert measured[field] == golden[field], (
+            f"{key}.{field}: measured {measured[field]!r} "
+            f"!= golden {golden[field]!r}")
+
+
+@pytest.mark.parametrize("profile", PROFILES)
+@pytest.mark.parametrize("backend", ["paraverser-full",
+                                     "paraverser-opportunistic"])
+def test_registry_backend_matches_golden(cache, profile, backend):
+    report = get_backend(backend).evaluate(cache, profile)
+    _assert_cell(f"{profile}/{backend}", {
+        "slowdown_percent": report.slowdown_percent,
+        "coverage": report.coverage,
+        "energy_overhead_percent": report.energy_overhead_percent,
+        "segments": report.segments,
+        "verified_clean": report.verified_clean,
+    })
+
+
+@pytest.mark.parametrize("profile", PROFILES)
+@pytest.mark.parametrize("mode", [CheckMode.FULL, CheckMode.OPPORTUNISTIC])
+def test_stressed_pool_matches_golden(cache, profile, mode):
+    """The 1xA510@1.0 cells stress stalls (full) / coverage drops (opp)."""
+    backend = ("paraverser-full" if mode is CheckMode.FULL
+               else "paraverser-opportunistic")
+    config = make_config([CoreInstance(A510, 1.0)], mode,
+                         timeout_instructions=_DATA["timeout"])
+    result = cache.run_config(profile, config)
+    energy = energy_report(result, main_x2())
+    _assert_cell(f"{profile}/{backend}/1xA510@1.0", {
+        "slowdown_percent": result.overhead_percent,
+        "coverage": result.coverage,
+        "energy_overhead_percent": energy.overhead_percent,
+        "segments": result.segments,
+        "verified_clean": all(not r.detected
+                              for r in result.verify_results),
+    })
+
+
+@pytest.mark.parametrize("profile", PROFILES)
+@pytest.mark.parametrize("backend", ["dual-lockstep", "swscan"])
+def test_analytic_backend_matches_golden(cache, profile, backend):
+    report = get_backend(backend).evaluate(cache, profile)
+    _assert_cell(f"{profile}/{backend}", {
+        "slowdown_percent": report.slowdown_percent,
+        "coverage": report.coverage,
+        "energy_overhead_percent": report.energy_overhead_percent,
+        "segments": report.segments,
+        "verified_clean": report.verified_clean,
+    })
+
+
+def test_golden_covers_every_cell():
+    """Every golden cell is exercised by one of the tests above."""
+    expected = set()
+    for profile in PROFILES:
+        for backend in ("paraverser-full", "paraverser-opportunistic"):
+            expected.add(f"{profile}/{backend}")
+            expected.add(f"{profile}/{backend}/1xA510@1.0")
+        expected.update({f"{profile}/dual-lockstep", f"{profile}/swscan"})
+    assert expected == set(CELLS)

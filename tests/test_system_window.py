@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.system import (
     BASELINE_GRID,
-    CheckMode,
     ParaVerserConfig,
     ParaVerserSystem,
     _grid_time_at,
