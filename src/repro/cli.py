@@ -10,6 +10,9 @@ Installed as ``paraverser`` (see pyproject.toml)::
     paraverser run -w mcf --backend dual-lockstep  # evaluate one backend
     paraverser inject -w deepsjeng -t 30         # fault-injection campaign
     paraverser figures fig6 fig11                # regenerate paper figures
+    paraverser serve --port 8347 --workers 4     # batched evaluation server
+    paraverser eval -w mcf --backend paraverser-full  # query a server
+    paraverser stats-diff old.json new.json      # flag stats regressions
 """
 
 from __future__ import annotations
@@ -110,6 +113,67 @@ def _build_parser() -> argparse.ArgumentParser:
     figures.add_argument("-j", "--jobs", type=int, default=None,
                          help="worker processes for config sweeps "
                               "(default: REPRO_JOBS or 1; 0 = all CPUs)")
+
+    serve = sub.add_parser(
+        "serve", help="run the async batched evaluation service")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8347,
+                       help="TCP port (0 = OS-assigned, printed on start)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="simulation worker processes (0 = all CPUs)")
+    serve.add_argument("--queue-depth", type=int, default=64,
+                       help="admission queue bound; beyond it requests "
+                            "are load-shed")
+    serve.add_argument("--batch-window-ms", type=float, default=10.0,
+                       help="how long a batch stays open for coalescing")
+    serve.add_argument("--timeout", type=float, default=None,
+                       help="default per-request deadline in seconds")
+    serve.add_argument("--trace-cache", metavar="DIR", default=None,
+                       help="persistent trace cache directory "
+                            "(default: REPRO_TRACE_CACHE)")
+    serve.add_argument("--prime", metavar="W1,W2,...", default=None,
+                       help="warm the trace cache for these workloads "
+                            "before accepting traffic")
+    serve.add_argument("-n", "--instructions", type=int, default=20_000,
+                       help="instruction budget used for --prime")
+    serve.add_argument("--seed", type=int, default=7,
+                       help="seed used for --prime")
+    serve.add_argument("--stats-json", metavar="PATH",
+                       help="write the service stats tree on shutdown")
+
+    eval_cmd = sub.add_parser(
+        "eval", help="evaluate a workload/backend pair on a running server")
+    eval_cmd.add_argument("-w", "--workload", required=True)
+    eval_cmd.add_argument("--backend", metavar="NAME", default=None,
+                          help="registered detection backend "
+                               "(see `paraverser backends`)")
+    eval_cmd.add_argument("-c", "--checkers", metavar="SPEC", default=None,
+                          help="checker pool spec, e.g. 4xA510@2.0 "
+                               "(alternative to --backend)")
+    eval_cmd.add_argument("-m", "--mode",
+                          choices=[m.value for m in CheckMode],
+                          default="full")
+    eval_cmd.add_argument("--hash", action="store_true", dest="hash_mode")
+    eval_cmd.add_argument("-n", "--instructions", type=int, default=20_000)
+    eval_cmd.add_argument("--seed", type=int, default=7)
+    eval_cmd.add_argument("--fault-trials", type=int, default=0,
+                          help="also run a stuck-at injection campaign")
+    eval_cmd.add_argument("--host", default="127.0.0.1")
+    eval_cmd.add_argument("--port", type=int, default=8347)
+    eval_cmd.add_argument("--timeout", type=float, default=None,
+                          help="per-request deadline in seconds")
+    eval_cmd.add_argument("--json", action="store_true",
+                          help="print the raw result row as JSON")
+
+    diff = sub.add_parser(
+        "stats-diff",
+        help="compare two --stats-json dumps and flag regressions")
+    diff.add_argument("baseline", help="stats JSON of the reference run")
+    diff.add_argument("candidate", help="stats JSON of the new run")
+    diff.add_argument("--threshold", type=float, default=0.10,
+                      help="relative regression threshold (default 0.10)")
+    diff.add_argument("--all", action="store_true", dest="show_all",
+                      help="show unchanged and informational leaves too")
     return parser
 
 
@@ -302,12 +366,129 @@ def cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """`paraverser serve`: run the batched evaluation service."""
+    import asyncio
+
+    from repro.serve.service import EvalService
+    from repro.serve.workers import WorkerPool
+
+    async def _serve() -> None:
+        pool = WorkerPool(workers=args.workers, trace_dir=args.trace_cache)
+        service = EvalService(
+            pool,
+            host=args.host,
+            port=args.port,
+            queue_depth=args.queue_depth,
+            batch_window_s=args.batch_window_ms / 1e3,
+            default_timeout_s=args.timeout,
+        )
+        if args.prime:
+            workloads = [w.strip() for w in args.prime.split(",")
+                         if w.strip()]
+            primed = await pool.prime(workloads, args.instructions,
+                                      args.seed)
+            print(f"primed traces:     {', '.join(primed)}", flush=True)
+        host, port = await service.start()
+        print(f"paraverser serve: listening on {host}:{port}", flush=True)
+        try:
+            await service.serve_forever()
+        except (asyncio.CancelledError, KeyboardInterrupt):
+            pass
+        finally:
+            await service.stop()
+            if args.stats_json:
+                _write_stats_json(service.stats_root, args.stats_json)
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+_EVAL_EXIT_CODES = {"ok": 0, "timeout": 4, "shed": 3, "error": 2}
+
+
+def cmd_eval(args: argparse.Namespace) -> int:
+    """`paraverser eval`: one evaluation request against a server."""
+    import json as _json
+
+    from repro.serve.client import EvalClient
+    from repro.serve.protocol import EvalRequest
+
+    checkers = args.checkers
+    if args.backend is None and checkers is None:
+        checkers = "4xA510@2.0"  # the `run` default pool
+    request = EvalRequest(
+        workload=args.workload,
+        backend=args.backend,
+        checkers=checkers,
+        mode=args.mode,
+        hash_mode=args.hash_mode,
+        instructions=args.instructions,
+        seed=args.seed,
+        fault_trials=args.fault_trials,
+        timeout_s=args.timeout,
+    )
+    try:
+        with EvalClient(args.host, args.port) as client:
+            response = client.evaluate(request)
+    except (OSError, ConnectionError) as exc:
+        print(f"eval: cannot reach {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
+    if not response.ok:
+        print(f"eval: {response.status}: {response.error}", file=sys.stderr)
+        return _EVAL_EXIT_CODES.get(response.status, 2)
+    row = response.result or {}
+    if args.json:
+        print(_json.dumps(row, sort_keys=True))
+        return 0
+    scheme = row.get("backend") or row.get("config_label", "")
+    print(f"workload:          {row.get('workload')}")
+    print(f"scheme:            {scheme}")
+    print(f"slowdown:          {row.get('slowdown_percent', 0.0):+.2f}%")
+    print(f"coverage:          {row.get('coverage', 0.0) * 100:.1f}%")
+    print(f"energy overhead:   "
+          f"{row.get('energy_overhead_percent', 0.0):+.1f}%")
+    print(f"area overhead:     "
+          f"{row.get('area_overhead_percent', 0.0):+.1f}%")
+    if row.get("segments"):
+        clean = "all clean" if row.get("verified_clean") else "DIVERGED"
+        print(f"segments:          {row['segments']} ({clean})")
+    print(f"trace source:      {row.get('trace_source', 'n/a')}")
+    injection = row.get("injection")
+    if injection:
+        if "error" in injection:
+            print(f"injection:         {injection['error']}")
+        else:
+            print(f"injected faults:   {injection['injected']} "
+                  f"({injection['detected']} detected, "
+                  f"{injection['masked']} masked)")
+    return 0
+
+
+def cmd_stats_diff(args: argparse.Namespace) -> int:
+    """`paraverser stats-diff`: flag regressions between two dumps."""
+    from repro.obs.diff import diff_stats, load_tree, render_diff
+
+    entries = diff_stats(load_tree(args.baseline),
+                         load_tree(args.candidate),
+                         threshold=args.threshold)
+    print(render_diff(entries, show_all=args.show_all))
+    return 1 if any(entry.regression for entry in entries) else 0
+
+
 _COMMANDS = {
     "run": cmd_run,
     "inject": cmd_inject,
     "workloads": cmd_workloads,
     "backends": cmd_backends,
     "figures": cmd_figures,
+    "serve": cmd_serve,
+    "eval": cmd_eval,
+    "stats-diff": cmd_stats_diff,
 }
 
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import tempfile
 from pathlib import Path
 
 from repro.cpu import traceio
@@ -80,12 +81,32 @@ class TraceCache:
 
     def put(self, profile: str, seed: int, max_instructions: int,
             run: RunResult) -> None:
-        """Persist a run atomically (write-temp-then-rename)."""
+        """Persist a run atomically (unique temp file + ``os.replace``).
+
+        The temp name must be unique *per writer*, not per process: the
+        serving layer runs concurrent writers inside one process (pool
+        tasks, threads), and a pid-derived name would let two of them
+        interleave writes to the same temp file and publish a torn
+        entry.  ``mkstemp`` guarantees uniqueness; ``os.replace`` makes
+        publication atomic, so readers only ever observe complete
+        entries (last writer wins — all writers of a key serialize the
+        same bytes).
+        """
         path = self.path_for(profile, seed, max_instructions)
         self.directory.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        traceio.save_run(run, tmp)
-        tmp.replace(path)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=f".{path.name}.", suffix=".tmp")
+        os.close(fd)
+        try:
+            traceio.save_run(run, tmp_name)
+            os.replace(tmp_name, path)
+        except BaseException:
+            # Never leave half-written temp files shadowing the cache.
+            try:
+                os.unlink(tmp_name)
+            except FileNotFoundError:
+                pass
+            raise
 
 
 def env_trace_cache() -> TraceCache | None:

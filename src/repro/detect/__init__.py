@@ -15,9 +15,11 @@ from repro.detect.backends import (
     SimulatedBackend,
 )
 from repro.detect.registry import (
+    ENTRY_POINT_GROUP,
     all_backends,
     backend_names,
     get_backend,
+    load_entry_point_backends,
     register,
 )
 from repro.detect.strategies import (
@@ -31,6 +33,7 @@ __all__ = [
     "BackendResult",
     "DetectionBackend",
     "DetectionStrategy",
+    "ENTRY_POINT_GROUP",
     "LockstepBackend",
     "LockstepStrategy",
     "ParaVerserStrategy",
@@ -40,5 +43,6 @@ __all__ = [
     "all_backends",
     "backend_names",
     "get_backend",
+    "load_entry_point_backends",
     "register",
 ]

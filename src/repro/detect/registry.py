@@ -3,8 +3,14 @@
 All comparison schemes the paper evaluates against are registered here
 under stable names; the harness figure runners, the fleet simulator and
 the CLI look backends up by name instead of importing scheme-specific
-constructors.  Third parties can :func:`register` their own backends
-before running experiments.
+constructors.  Third parties extend the registry two ways:
+
+* call :func:`register` before running experiments, or
+* expose backends through the ``repro.backends`` entry-point group —
+  installed distributions are discovered lazily on first lookup, no
+  patching of this module required.  An entry point may name a
+  :class:`DetectionBackend` instance, or a zero-argument factory
+  returning one backend or an iterable of them.
 """
 
 from __future__ import annotations
@@ -25,6 +31,11 @@ from repro.detect.strategies import ParaVerserStrategy
 
 _REGISTRY: dict[str, DetectionBackend] = {}
 
+#: Entry-point group third-party distributions register backends under.
+ENTRY_POINT_GROUP = "repro.backends"
+
+_entry_points_loaded = False
+
 
 def register(backend: DetectionBackend) -> DetectionBackend:
     """Register a backend under its name; returns it for chaining."""
@@ -34,8 +45,60 @@ def register(backend: DetectionBackend) -> DetectionBackend:
     return backend
 
 
+def _iter_backend_entry_points():
+    """The installed ``repro.backends`` entry points (test seam)."""
+    from importlib.metadata import entry_points
+
+    return entry_points(group=ENTRY_POINT_GROUP)
+
+
+def load_entry_point_backends(*, reload: bool = False) -> list[str]:
+    """Discover and register third-party backends; returns new names.
+
+    Runs once per process (every lookup calls it); ``reload=True``
+    forces a re-scan (tests, or after installing a plugin into a live
+    interpreter).  A plugin clashing with an existing name — builtin or
+    another plugin — raises ``ValueError`` naming the entry point, so a
+    misconfigured install never silently shadows a scheme.
+    """
+    global _entry_points_loaded
+    if _entry_points_loaded and not reload:
+        return []
+    _entry_points_loaded = True
+    loaded: list[str] = []
+    for entry_point in _iter_backend_entry_points():
+        obj = entry_point.load()
+        if not isinstance(obj, DetectionBackend) and callable(obj):
+            obj = obj()
+        backends = [obj] if isinstance(obj, DetectionBackend) else obj
+        try:
+            backends = list(backends)
+        except TypeError:
+            raise TypeError(
+                f"entry point {entry_point.name!r} in group "
+                f"{ENTRY_POINT_GROUP!r} must provide a DetectionBackend, "
+                f"a factory, or an iterable of backends; "
+                f"got {type(obj).__name__}"
+            ) from None
+        for backend in backends:
+            if not isinstance(backend, DetectionBackend):
+                raise TypeError(
+                    f"entry point {entry_point.name!r} in group "
+                    f"{ENTRY_POINT_GROUP!r} yielded "
+                    f"{type(backend).__name__}, not a DetectionBackend")
+            if backend.name in _REGISTRY:
+                raise ValueError(
+                    f"entry point {entry_point.name!r} in group "
+                    f"{ENTRY_POINT_GROUP!r} redefines backend "
+                    f"{backend.name!r}, which is already registered")
+            register(backend)
+            loaded.append(backend.name)
+    return loaded
+
+
 def get_backend(name: str) -> DetectionBackend:
     """Look a backend up by name; raises KeyError listing known names."""
+    load_entry_point_backends()
     try:
         return _REGISTRY[name]
     except KeyError:
@@ -47,6 +110,7 @@ def get_backend(name: str) -> DetectionBackend:
 
 def backend_names() -> list[str]:
     """Registered backend names, sorted."""
+    load_entry_point_backends()
     return sorted(_REGISTRY)
 
 

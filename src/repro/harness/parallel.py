@@ -39,10 +39,13 @@ class SweepCell:
 
 # One cache per (budget, seed) per worker process, reused across tasks so
 # a worker that sees the same benchmark twice never re-runs the trace.
+# Shared with the serving layer (repro.serve.workers), whose pool workers
+# must agree with sweep workers on trace reuse semantics.
 _WORKER_CACHES: dict = {}
 
 
-def _worker_cache(max_instructions: int, seed: int):
+def worker_cache(max_instructions: int, seed: int):
+    """The process-global :class:`WorkloadCache` for (budget, seed)."""
     from repro.harness.runner import WorkloadCache
 
     key = (max_instructions, seed)
@@ -58,7 +61,7 @@ def _worker_cache(max_instructions: int, seed: int):
 def _run_group(benchmark: str, configs: list[ParaVerserConfig],
                max_instructions: int, seed: int) -> list[SystemResult]:
     """Worker entry point: run one benchmark's configs, in given order."""
-    cache = _worker_cache(max_instructions, seed)
+    cache = worker_cache(max_instructions, seed)
     return [cache.run_config(benchmark, config) for config in configs]
 
 
@@ -79,7 +82,7 @@ class SweepRunner:
     def run(self, cells: list[SweepCell]) -> list[SystemResult]:
         """Run all cells; results are returned in input-cell order."""
         if self.jobs <= 1 or len(cells) <= 1:
-            cache = _worker_cache(self.max_instructions, self.seed)
+            cache = worker_cache(self.max_instructions, self.seed)
             return [cache.run_config(cell.benchmark, cell.config)
                     for cell in cells]
 

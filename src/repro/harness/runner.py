@@ -137,6 +137,21 @@ class WorkloadCache:
             self._cache[name] = cached
         return cached
 
+    def trace_source(self, name: str) -> str:
+        """Where :meth:`get` would find the functional run right now.
+
+        ``"memory"`` (already built in this process), ``"disk"`` (the
+        persistent trace cache holds it) or ``"computed"`` (a fresh
+        functional execution would run).  The serving layer publishes
+        this per evaluation, so cache effectiveness is observable.
+        """
+        if name in self._cache:
+            return "memory"
+        if self.trace_cache is not None and self.trace_cache.path_for(
+                name, self.seed, self.max_instructions).is_file():
+            return "disk"
+        return "computed"
+
     def run_config(self, name: str, config: ParaVerserConfig) -> SystemResult:
         """Run one benchmark under one configuration, reusing the trace.
 

@@ -1,0 +1,75 @@
+"""Dedup and batch planning over admitted requests.
+
+Two collapsing steps between the queue and the worker pool:
+
+1. **Dedup** — requests with identical :meth:`EvalRequest.sim_key`
+   collapse into one :class:`SimGroup`; a single execution fans its
+   result out to every waiter.
+2. **Trace grouping** — sim groups sharing a
+   :meth:`EvalRequest.trace_key` ``(workload, instructions, seed)``
+   ride in one :class:`Batch`, i.e. one worker invocation, so the
+   worker's in-process :class:`~repro.harness.runner.WorkloadCache`
+   computes the functional trace once and every scheme in the batch
+   replays it.
+
+Both steps preserve arrival order, so ``jobs``-style determinism holds:
+the first request of a dedup group decides when its simulation runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.serve.queue import PendingEval
+
+
+@dataclass
+class SimGroup:
+    """One unique simulation and every request waiting on it."""
+
+    sim_key: str
+    spec: dict
+    waiters: list[PendingEval] = field(default_factory=list)
+
+
+@dataclass
+class Batch:
+    """One worker invocation: sim groups sharing a functional trace."""
+
+    trace_key: tuple
+    groups: list[SimGroup] = field(default_factory=list)
+
+    @property
+    def requests(self) -> int:
+        return sum(len(group.waiters) for group in self.groups)
+
+    @property
+    def specs(self) -> list[dict]:
+        return [group.spec for group in self.groups]
+
+
+def plan_batches(pending: list[PendingEval]) -> list[Batch]:
+    """Collapse admitted requests into per-trace worker batches."""
+    groups: dict[str, SimGroup] = {}
+    order: list[str] = []
+    for entry in pending:
+        key = entry.request.sim_key()
+        group = groups.get(key)
+        if group is None:
+            group = SimGroup(sim_key=key, spec=entry.request.sim_spec())
+            groups[key] = group
+            order.append(key)
+        group.waiters.append(entry)
+
+    batches: dict[tuple, Batch] = {}
+    batch_order: list[tuple] = []
+    for key in order:
+        group = groups[key]
+        trace_key = group.waiters[0].request.trace_key()
+        batch = batches.get(trace_key)
+        if batch is None:
+            batch = Batch(trace_key=trace_key)
+            batches[trace_key] = batch
+            batch_order.append(trace_key)
+        batch.groups.append(group)
+    return [batches[key] for key in batch_order]

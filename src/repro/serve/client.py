@@ -1,0 +1,184 @@
+"""Clients for the evaluation service: blocking and asyncio flavours.
+
+The sync :class:`EvalClient` is a plain socket wrapper for scripts and
+the ``paraverser eval`` CLI; :class:`AsyncEvalClient` multiplexes many
+in-flight requests over one connection for asyncio callers (requests
+are matched to responses by ``request_id``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import itertools
+import socket
+
+from repro.serve import protocol
+from repro.serve.protocol import (
+    EvalRequest,
+    EvalResponse,
+    ProtocolError,
+)
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8347
+
+
+class EvalClient:
+    """Blocking newline-JSON client; one request at a time."""
+
+    def __init__(self, host: str = DEFAULT_HOST, port: int = DEFAULT_PORT,
+                 connect_timeout_s: float = 5.0) -> None:
+        self.host = host
+        self.port = port
+        self.connect_timeout_s = connect_timeout_s
+        self._sock: socket.socket | None = None
+        self._file = None
+
+    def connect(self) -> "EvalClient":
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.connect_timeout_s)
+            # Response waits are governed by the request deadline, not
+            # the connect timeout.
+            self._sock.settimeout(None)
+            self._file = self._sock.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def __enter__(self) -> "EvalClient":
+        return self.connect()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _round_trip(self, payload: dict) -> dict:
+        self.connect()
+        assert self._sock is not None and self._file is not None
+        self._sock.sendall(protocol.encode_message(payload))
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return protocol.decode_message(line)
+
+    def evaluate(self, request: EvalRequest) -> EvalResponse:
+        """Send one eval request and wait for its response."""
+        request.validate()
+        return protocol.response_from_wire(
+            self._round_trip(protocol.request_to_wire(request)))
+
+    def stats(self) -> dict:
+        """Fetch the service's stats tree (``serve.*`` telemetry)."""
+        response = protocol.response_from_wire(
+            self._round_trip({"op": protocol.OP_STATS}))
+        if not response.ok or response.result is None:
+            raise ProtocolError(f"stats query failed: {response.error}")
+        return response.result
+
+    def ping(self) -> bool:
+        try:
+            response = protocol.response_from_wire(
+                self._round_trip({"op": protocol.OP_PING}))
+        except (OSError, ProtocolError):
+            return False
+        return response.ok
+
+
+class AsyncEvalClient:
+    """Asyncio client multiplexing pipelined requests by request_id."""
+
+    def __init__(self, host: str = DEFAULT_HOST,
+                 port: int = DEFAULT_PORT) -> None:
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._waiters: dict[str, asyncio.Future] = {}
+        self._ids = itertools.count(1)
+        self._read_task: asyncio.Task | None = None
+
+    async def connect(self) -> "AsyncEvalClient":
+        if self._writer is None:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port, limit=protocol.MAX_LINE_BYTES)
+            self._read_task = asyncio.create_task(self._read_loop())
+        return self
+
+    async def close(self) -> None:
+        if self._read_task is not None:
+            self._read_task.cancel()
+            try:
+                await self._read_task
+            except asyncio.CancelledError:
+                pass
+            self._read_task = None
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+            self._writer = None
+            self._reader = None
+
+    async def __aenter__(self) -> "AsyncEvalClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    async def _read_loop(self) -> None:
+        assert self._reader is not None
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                payload = protocol.decode_message(line)
+                waiter = self._waiters.pop(
+                    payload.get("request_id", ""), None)
+                if waiter is not None and not waiter.done():
+                    waiter.set_result(payload)
+        except (ConnectionResetError, BrokenPipeError, ProtocolError) as exc:
+            self._fail_waiters(exc)
+            return
+        self._fail_waiters(ConnectionError("server closed the connection"))
+
+    def _fail_waiters(self, exc: Exception) -> None:
+        for waiter in self._waiters.values():
+            if not waiter.done():
+                waiter.set_exception(exc)
+        self._waiters.clear()
+
+    async def _send(self, payload: dict) -> dict:
+        await self.connect()
+        assert self._writer is not None
+        request_id = payload["request_id"]
+        future = asyncio.get_running_loop().create_future()
+        self._waiters[request_id] = future
+        self._writer.write(protocol.encode_message(payload))
+        await self._writer.drain()
+        return await future
+
+    async def evaluate(self, request: EvalRequest) -> EvalResponse:
+        request.validate()
+        if not request.request_id:
+            request = dataclasses.replace(
+                request, request_id=f"r{next(self._ids)}")
+        return protocol.response_from_wire(
+            await self._send(protocol.request_to_wire(request)))
+
+    async def stats(self) -> dict:
+        response = protocol.response_from_wire(await self._send(
+            {"op": protocol.OP_STATS,
+             "request_id": f"r{next(self._ids)}"}))
+        if not response.ok or response.result is None:
+            raise ProtocolError(f"stats query failed: {response.error}")
+        return response.result

@@ -1,0 +1,214 @@
+"""Request/response dataclasses and the newline-JSON wire codec.
+
+One connection carries a sequence of newline-delimited JSON objects.
+Requests carry an ``op`` ("eval", "stats", "ping"); responses carry a
+``status`` (:data:`STATUS_OK`, :data:`STATUS_TIMEOUT`, :data:`STATUS_SHED`,
+:data:`STATUS_ERROR`) plus the echoed ``request_id`` so clients can
+pipeline.  The codec is intentionally dumb — plain :mod:`json`, no
+pickle — so any language can speak it.
+
+Two derived keys drive the batching layer:
+
+* :meth:`EvalRequest.sim_key` — the canonical identity of one
+  simulation; requests with equal sim keys are satisfied by a single
+  execution (dedup);
+* :meth:`EvalRequest.trace_key` — the identity of the functional trace
+  ``(workload, instructions, seed)``; sim groups sharing a trace key are
+  shipped to one worker invocation so the in-process
+  :class:`~repro.harness.runner.WorkloadCache` computes the trace once.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+PROTOCOL_VERSION = 1
+
+#: Maximum accepted line length (a trace never travels over the wire,
+#: so anything bigger than this is a confused or hostile client).
+MAX_LINE_BYTES = 1 << 20
+
+OP_EVAL = "eval"
+OP_STATS = "stats"
+OP_PING = "ping"
+KNOWN_OPS = (OP_EVAL, OP_STATS, OP_PING)
+
+STATUS_OK = "ok"
+STATUS_TIMEOUT = "timeout"
+STATUS_SHED = "shed"
+STATUS_ERROR = "error"
+KNOWN_STATUSES = (STATUS_OK, STATUS_TIMEOUT, STATUS_SHED, STATUS_ERROR)
+
+DEFAULT_INSTRUCTIONS = 20_000
+DEFAULT_SEED = 7
+DEFAULT_MODE = "full"
+
+#: Fields that determine the simulated outcome (everything except
+#: delivery metadata such as ``request_id`` and ``timeout_s``).
+_SIM_FIELDS = ("workload", "backend", "checkers", "mode", "hash_mode",
+               "instructions", "seed", "fault_trials")
+
+
+class ProtocolError(ValueError):
+    """A malformed or unsupported wire message."""
+
+
+@dataclass(frozen=True)
+class EvalRequest:
+    """One evaluation query: a workload under one detection scheme.
+
+    Exactly one of ``backend`` (a registry name, see ``paraverser
+    backends``) or ``checkers`` (a pool spec such as ``"4xA510@2.0"``,
+    interpreted with ``mode``/``hash_mode``) selects the scheme.
+    ``fault_trials > 0`` additionally runs a stuck-at injection campaign
+    against the scheme's configuration.
+    """
+
+    workload: str
+    backend: str | None = None
+    checkers: str | None = None
+    mode: str = DEFAULT_MODE
+    hash_mode: bool = False
+    instructions: int = DEFAULT_INSTRUCTIONS
+    seed: int = DEFAULT_SEED
+    fault_trials: int = 0
+    #: Per-request deadline in seconds (None: the service default).
+    timeout_s: float | None = None
+    request_id: str = ""
+
+    def validate(self) -> None:
+        if not self.workload or not isinstance(self.workload, str):
+            raise ProtocolError("eval request needs a workload name")
+        if (self.backend is None) == (self.checkers is None):
+            raise ProtocolError(
+                "eval request needs exactly one of backend/checkers")
+        if self.instructions <= 0:
+            raise ProtocolError("instructions must be positive")
+        if self.fault_trials < 0:
+            raise ProtocolError("fault_trials must be >= 0")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ProtocolError("timeout_s must be positive when given")
+
+    def sim_spec(self) -> dict:
+        """The executable subset of the request, as a plain dict."""
+        data = asdict(self)
+        return {name: data[name] for name in _SIM_FIELDS}
+
+    def sim_key(self) -> str:
+        """Canonical identity of the simulation this request asks for."""
+        return json.dumps(self.sim_spec(), sort_keys=True)
+
+    def trace_key(self) -> tuple[str, int, int]:
+        """Identity of the functional trace the simulation replays."""
+        return (self.workload, self.instructions, self.seed)
+
+
+@dataclass(frozen=True)
+class EvalResponse:
+    """The service's answer to one request."""
+
+    status: str
+    request_id: str = ""
+    result: dict | None = field(default=None)
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+
+# -- wire codec -------------------------------------------------------------
+
+def encode_message(payload: dict) -> bytes:
+    """One wire message: compact JSON + newline."""
+    return json.dumps(payload, separators=(",", ":")).encode() + b"\n"
+
+
+def decode_message(line: bytes | str) -> dict:
+    """Parse one wire line; raises :class:`ProtocolError` on garbage."""
+    if isinstance(line, bytes):
+        if len(line) > MAX_LINE_BYTES:
+            raise ProtocolError("wire message exceeds MAX_LINE_BYTES")
+        try:
+            line = line.decode()
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"non-UTF-8 wire message: {exc}") from None
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"bad JSON on the wire: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError("wire message must be a JSON object")
+    return payload
+
+
+def request_to_wire(request: EvalRequest) -> dict:
+    """Serialise a request, tagging op and protocol version."""
+    payload = {"op": OP_EVAL, "v": PROTOCOL_VERSION}
+    payload.update(asdict(request))
+    return payload
+
+
+def request_from_wire(payload: dict) -> EvalRequest:
+    """Rebuild and validate an :class:`EvalRequest` from a wire dict."""
+    op = payload.get("op", OP_EVAL)
+    if op != OP_EVAL:
+        raise ProtocolError(f"expected an eval request, got op {op!r}")
+    version = payload.get("v", PROTOCOL_VERSION)
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(f"unsupported protocol version {version!r}")
+    kwargs = {}
+    for name in EvalRequest.__dataclass_fields__:
+        if name in payload:
+            kwargs[name] = payload[name]
+    try:
+        request = EvalRequest(**kwargs)
+    except TypeError as exc:
+        raise ProtocolError(f"bad eval request: {exc}") from None
+    request.validate()
+    return request
+
+
+def response_to_wire(response: EvalResponse) -> dict:
+    payload = {"v": PROTOCOL_VERSION, "status": response.status,
+               "request_id": response.request_id}
+    if response.result is not None:
+        payload["result"] = response.result
+    if response.error:
+        payload["error"] = response.error
+    return payload
+
+
+def response_from_wire(payload: dict) -> EvalResponse:
+    status = payload.get("status")
+    if status not in KNOWN_STATUSES:
+        raise ProtocolError(f"unknown response status {status!r}")
+    return EvalResponse(
+        status=status,
+        request_id=payload.get("request_id", ""),
+        result=payload.get("result"),
+        error=payload.get("error", ""),
+    )
+
+
+# -- canned responses -------------------------------------------------------
+
+def ok_response(request: EvalRequest, result: dict) -> EvalResponse:
+    return EvalResponse(STATUS_OK, request.request_id, result=result)
+
+
+def shed_response(request: EvalRequest, depth: int) -> EvalResponse:
+    return EvalResponse(
+        STATUS_SHED, request.request_id,
+        error=f"admission queue saturated (depth {depth}); retry later")
+
+
+def timeout_response(request: EvalRequest) -> EvalResponse:
+    return EvalResponse(
+        STATUS_TIMEOUT, request.request_id,
+        error="request deadline expired before a result was ready")
+
+
+def error_response(request: EvalRequest, message: str) -> EvalResponse:
+    return EvalResponse(STATUS_ERROR, request.request_id, error=message)

@@ -1,0 +1,130 @@
+"""Admission control: a bounded queue with deadlines and load shedding.
+
+The queue is the service's pressure valve, mirroring the paper's
+full-coverage-stall vs. opportunistic-drop tradeoff at the serving
+layer: a saturated queue answers immediately with a *shed* response
+(drop) instead of stalling every caller behind an unbounded backlog,
+and a request whose deadline passes while queued is answered with a
+*timeout* instead of occupying a worker.
+
+All state lives on the event loop — no locks; only the service's
+coroutines touch it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from dataclasses import dataclass
+
+from repro.serve.protocol import (
+    EvalRequest,
+    EvalResponse,
+    shed_response,
+    timeout_response,
+)
+
+
+@dataclass
+class PendingEval:
+    """One admitted request waiting for (or holding) its response."""
+
+    request: EvalRequest
+    future: "asyncio.Future[EvalResponse]"
+    enqueued_at: float
+    deadline: float | None
+
+    def expired(self, now: float) -> bool:
+        return self.deadline is not None and now >= self.deadline
+
+    def remaining(self, now: float) -> float | None:
+        """Seconds until the deadline, or None for no deadline."""
+        if self.deadline is None:
+            return None
+        return max(0.0, self.deadline - now)
+
+    def resolve(self, response: EvalResponse) -> None:
+        if not self.future.done():
+            self.future.set_result(response)
+
+
+class AdmissionQueue:
+    """Bounded FIFO of :class:`PendingEval` with shed/expiry semantics."""
+
+    def __init__(self, depth: int = 64,
+                 default_timeout_s: float | None = None) -> None:
+        if depth <= 0:
+            raise ValueError("queue depth must be positive")
+        self.depth = depth
+        self.default_timeout_s = default_timeout_s
+        self._items: deque[PendingEval] = deque()
+        self._wakeup = asyncio.Event()
+        # Telemetry, published by the service into the stats tree.
+        self.submitted = 0
+        self.shed = 0
+        self.expired = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def submit(self, request: EvalRequest) -> PendingEval:
+        """Admit (or immediately shed) one request.
+
+        Always returns a :class:`PendingEval`; on shed its future is
+        already resolved, so callers treat both cases uniformly.
+        """
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        timeout = (request.timeout_s if request.timeout_s is not None
+                   else self.default_timeout_s)
+        pending = PendingEval(
+            request=request,
+            future=loop.create_future(),
+            enqueued_at=now,
+            deadline=now + timeout if timeout is not None else None,
+        )
+        self.submitted += 1
+        if len(self._items) >= self.depth:
+            self.shed += 1
+            pending.resolve(shed_response(request, self.depth))
+            return pending
+        self._items.append(pending)
+        self._wakeup.set()
+        return pending
+
+    async def next_batch(self, window_s: float = 0.0) -> list[PendingEval]:
+        """Wait for work, then drain everything currently queued.
+
+        ``window_s`` holds the batch open briefly after the first
+        arrival so concurrent clients coalesce into one batch.
+        Expired entries are answered with a timeout response and
+        excluded.
+        """
+        while not self._items:
+            self._wakeup.clear()
+            await self._wakeup.wait()
+        if window_s > 0:
+            await asyncio.sleep(window_s)
+        now = asyncio.get_running_loop().time()
+        batch: list[PendingEval] = []
+        while self._items:
+            pending = self._items.popleft()
+            if pending.expired(now):
+                self.expired += 1
+                pending.resolve(timeout_response(pending.request))
+                continue
+            batch.append(pending)
+        return batch
+
+    def drain(self, response_for) -> int:
+        """Resolve everything still queued (shutdown path).
+
+        ``response_for`` maps an :class:`EvalRequest` to the terminal
+        response; returns how many entries were drained.
+        """
+        drained = 0
+        while self._items:
+            pending = self._items.popleft()
+            pending.resolve(response_for(pending.request))
+            drained += 1
+        return drained

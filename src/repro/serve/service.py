@@ -1,0 +1,309 @@
+"""The asyncio evaluation service: TCP accept → queue → batch → pool.
+
+One dispatcher coroutine pulls admitted requests off the
+:class:`~repro.serve.queue.AdmissionQueue`, collapses them with
+:func:`~repro.serve.batcher.plan_batches`, and launches one task per
+batch against the :class:`~repro.serve.workers.WorkerPool`.  Connection
+handlers only parse, admit, and await — all heavy work happens in pool
+processes, so the event loop stays responsive at high client counts.
+
+Telemetry is published into a ``serve`` group of a standard
+:class:`~repro.obs.StatGroup` tree — the same machinery as
+``paraverser run --stats-json`` — and is also queryable in-band via the
+``stats`` op.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+
+from repro.obs import StatGroup
+from repro.serve import protocol
+from repro.serve.batcher import Batch, plan_batches
+from repro.serve.protocol import (
+    EvalRequest,
+    EvalResponse,
+    ProtocolError,
+    encode_message,
+)
+from repro.serve.queue import AdmissionQueue, PendingEval
+from repro.serve.workers import RETRYABLE_POOL_ERRORS, ROW_ERROR, WorkerPool
+
+log = logging.getLogger("repro.serve")
+
+
+class EvalService:
+    """Batched evaluation server over the detection-backend registry."""
+
+    def __init__(self, pool: WorkerPool, *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 queue_depth: int = 64,
+                 batch_window_s: float = 0.01,
+                 default_timeout_s: float | None = None,
+                 max_retries: int = 2,
+                 retry_backoff_s: float = 0.25,
+                 stats: StatGroup | None = None) -> None:
+        self.pool = pool
+        self.host = host
+        self.port = port
+        self.batch_window_s = batch_window_s
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
+        self.queue = AdmissionQueue(depth=queue_depth,
+                                    default_timeout_s=default_timeout_s)
+        self.stats_root = stats if stats is not None else StatGroup("root")
+        self._stats = self.stats_root.group(
+            "serve", "evaluation service telemetry")
+        self._server: asyncio.base_events.Server | None = None
+        self._dispatcher: asyncio.Task | None = None
+        self._batch_tasks: set[asyncio.Task] = set()
+        self._running = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Bind, start accepting and dispatching; returns (host, port)."""
+        self._running = True
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port,
+            limit=protocol.MAX_LINE_BYTES)
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        self._dispatcher = asyncio.create_task(self._dispatch_loop(),
+                                               name="serve-dispatch")
+        log.info("serve: listening on %s:%d", self.host, self.port)
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, drain, shut the pool down."""
+        self._running = False
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+        # Whatever was admitted but never dispatched is shed; batches
+        # already in flight run to completion (pool drain).
+        self.queue.drain(
+            lambda request: protocol.shed_response(request,
+                                                   self.queue.depth))
+        if self._batch_tasks:
+            await asyncio.gather(*self._batch_tasks, return_exceptions=True)
+        self.pool.shutdown(wait=True)
+        self._publish_queue_stats()
+
+    # -- connection handling ----------------------------------------------
+
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        # Requests on one connection are served concurrently (pipelining);
+        # responses carry request_ids, and writes are serialised by a
+        # per-connection lock.
+        write_lock = asyncio.Lock()
+        in_flight: set[asyncio.Task] = set()
+        try:
+            while self._running:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._write(writer, {
+                        "v": protocol.PROTOCOL_VERSION,
+                        "status": protocol.STATUS_ERROR,
+                        "request_id": "",
+                        "error": "oversized wire message",
+                    }, write_lock)
+                    break
+                if not line:
+                    break
+                task = asyncio.create_task(
+                    self._handle_line(line, writer, write_lock))
+                in_flight.add(task)
+                task.add_done_callback(in_flight.discard)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            # Loop teardown while the connection is open: exit quietly
+            # (asyncio's stream glue logs cancelled handler tasks).
+            pass
+        finally:
+            if in_flight:
+                await asyncio.gather(*in_flight, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _handle_line(self, line: bytes, writer: asyncio.StreamWriter,
+                           write_lock: asyncio.Lock) -> None:
+        payload: dict | None = None
+        try:
+            payload = protocol.decode_message(line)
+            op = payload.get("op", protocol.OP_EVAL)
+            if op == protocol.OP_PING:
+                response = EvalResponse(
+                    protocol.STATUS_OK,
+                    payload.get("request_id", ""),
+                    result={"protocol": protocol.PROTOCOL_VERSION})
+            elif op == protocol.OP_STATS:
+                self._publish_queue_stats()
+                response = EvalResponse(
+                    protocol.STATUS_OK,
+                    payload.get("request_id", ""),
+                    result=self.stats_root.to_dict())
+            elif op == protocol.OP_EVAL:
+                request = protocol.request_from_wire(payload)
+                self._validate_names(request)
+                response = await self._serve_eval(request)
+            else:
+                raise ProtocolError(f"unknown op {op!r}")
+        except ProtocolError as exc:
+            self._stats.counter(
+                "protocol_errors", "malformed wire messages").inc()
+            request_id = (payload.get("request_id", "")
+                          if isinstance(payload, dict) else "")
+            response = EvalResponse(protocol.STATUS_ERROR, request_id,
+                                    error=str(exc))
+        await self._write(writer, protocol.response_to_wire(response),
+                          write_lock)
+
+    @staticmethod
+    def _validate_names(request: EvalRequest) -> None:
+        """Reject unknown workloads/backends at admission, not in a worker."""
+        from repro.detect import backend_names
+        from repro.workloads.profiles import ALL_PROFILES
+
+        if request.workload not in ALL_PROFILES:
+            raise ProtocolError(f"unknown workload {request.workload!r}")
+        if request.backend is not None \
+                and request.backend not in backend_names():
+            raise ProtocolError(
+                f"unknown detection backend {request.backend!r}; "
+                f"known: {', '.join(backend_names())}")
+
+    async def _serve_eval(self, request: EvalRequest) -> EvalResponse:
+        self._stats.counter("requests_total",
+                            "eval requests received").inc()
+        pending = self.queue.submit(request)
+        loop = asyncio.get_running_loop()
+        remaining = pending.remaining(loop.time())
+        done, _ = await asyncio.wait({pending.future}, timeout=remaining)
+        if done:
+            response = pending.future.result()
+        else:
+            # Deadline passed while queued/executing; the batch result
+            # (if it ever lands) is discarded for this waiter.
+            pending.resolve(protocol.timeout_response(request))
+            response = pending.future.result()
+        self._account_response(pending, response, loop.time())
+        return response
+
+    def _account_response(self, pending: PendingEval,
+                          response: EvalResponse, now: float) -> None:
+        latency_ms = (now - pending.enqueued_at) * 1e3
+        self._stats.histogram(
+            "latency_ms", "request admission-to-response latency",
+        ).record(latency_ms)
+        self._stats.group("responses").counter(
+            response.status, f"responses with status {response.status}",
+        ).inc()
+
+    async def _write(self, writer: asyncio.StreamWriter, payload: dict,
+                     write_lock: asyncio.Lock) -> None:
+        async with write_lock:
+            writer.write(encode_message(payload))
+            try:
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    # -- dispatch ----------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            pending = await self.queue.next_batch(self.batch_window_s)
+            if not pending:
+                continue
+            for batch in plan_batches(pending):
+                task = asyncio.create_task(
+                    self._run_batch(batch),
+                    name=f"serve-batch-{batch.trace_key[0]}")
+                self._batch_tasks.add(task)
+                task.add_done_callback(self._batch_tasks.discard)
+
+    async def _run_batch(self, batch: Batch) -> None:
+        self._stats.counter("batches", "worker invocations").inc()
+        self._stats.histogram(
+            "batch_requests", "requests coalesced per worker invocation",
+        ).record(batch.requests)
+        self._stats.histogram(
+            "batch_sims", "unique simulations per worker invocation",
+        ).record(len(batch.groups))
+        self._stats.counter(
+            "unique_simulations", "simulations actually executed",
+        ).inc(len(batch.groups))
+        self._stats.counter(
+            "requests_served", "requests answered from batch results",
+        ).inc(batch.requests)
+
+        rows: list[dict] | None = None
+        failure = ""
+        for attempt in range(self.max_retries + 1):
+            try:
+                rows = await self.pool.run_group(batch.specs)
+                break
+            except RETRYABLE_POOL_ERRORS as exc:
+                failure = f"{type(exc).__name__}: {exc}"
+                log.warning("serve: batch failed (%s), attempt %d/%d",
+                            failure, attempt + 1, self.max_retries + 1)
+                self.pool.reset()
+                if attempt < self.max_retries:
+                    self._stats.counter(
+                        "retries", "batches retried after a crash").inc()
+                    await asyncio.sleep(
+                        self.retry_backoff_s * (2 ** attempt))
+        if rows is None:
+            self._stats.counter("errors", "batches abandoned").inc()
+            for group in batch.groups:
+                for waiter in group.waiters:
+                    waiter.resolve(protocol.error_response(
+                        waiter.request,
+                        f"worker pool failed after "
+                        f"{self.max_retries + 1} attempts: {failure}"))
+            return
+
+        trace = self._stats.group("trace", "functional-trace reuse")
+        for group, row in zip(batch.groups, rows):
+            if ROW_ERROR in row and len(row) == 1:
+                for waiter in group.waiters:
+                    waiter.resolve(protocol.error_response(
+                        waiter.request, row[ROW_ERROR]))
+                continue
+            source = row.get("trace_source", "computed")
+            trace.counter(f"{source}", f"evaluations with {source} trace",
+                          ).inc()
+            if source in ("memory", "disk"):
+                trace.counter("hits", "trace-cache hits (memory+disk)").inc()
+            for waiter in group.waiters:
+                waiter.resolve(protocol.ok_response(waiter.request, row))
+
+    # -- stats -------------------------------------------------------------
+
+    def _publish_queue_stats(self) -> None:
+        queue = self._stats.group("queue", "admission control")
+        queue.count("submitted", self.queue.submitted)
+        queue.count("shed", self.queue.shed)
+        queue.count("expired", self.queue.expired)
+        queue.scalar("depth", float(len(self.queue)),
+                     "entries currently queued")
+        queue.scalar("depth_limit", float(self.queue.depth))

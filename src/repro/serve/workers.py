@@ -1,0 +1,218 @@
+"""Worker-pool lifecycle and the process-side evaluation entry points.
+
+The pool is a bounded :class:`~concurrent.futures.ProcessPoolExecutor`
+whose workers reuse the sweep engine's process-global
+:func:`~repro.harness.parallel.worker_cache`, so a worker that serves
+the same ``(workload, instructions, seed)`` twice never recomputes the
+functional trace — and with ``REPRO_TRACE_CACHE`` set, traces persist
+across workers and across service restarts.
+
+Everything a worker returns is a plain JSON-able dict: rows travel back
+through the executor, then over the wire, without pickle-sensitive
+simulator objects.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+
+#: Row key set on per-spec evaluation failure (the batch itself is fine).
+ROW_ERROR = "error"
+
+
+# -- worker-side (runs in pool processes) -----------------------------------
+
+def _result_row(result, config) -> dict:
+    """Headline numbers of one simulated run, JSON-able."""
+    from repro.power.energy import energy_report
+
+    energy = energy_report(result, config.main)
+    checker_area = sum(c.config.area_mm2 for c in config.checkers)
+    return {
+        "workload": result.workload,
+        "config_label": result.config_label,
+        "instructions": result.instructions,
+        "segments": result.segments,
+        "slowdown_percent": result.overhead_percent,
+        "coverage": result.coverage,
+        "energy_overhead_percent": energy.overhead_percent,
+        "area_overhead_percent": (
+            checker_area / config.main.config.area_mm2 * 100.0),
+        "stall_ns": result.stall_ns,
+        "verified_clean": all(not r.detected for r in result.verify_results),
+    }
+
+
+def _campaign_row(cache, workload: str, config, trials: int,
+                  seed: int) -> dict:
+    """Run a stuck-at injection campaign against one configuration."""
+    from repro.core.system import ParaVerserSystem
+    from repro.faults.campaign import FaultCampaign, covered_segments
+
+    cached = cache.get(workload)
+    result = cache.run_config(workload, config)
+    system = ParaVerserSystem(config)
+    segments = system.segment(cached.run)
+    campaign = FaultCampaign(cached.program, segments,
+                             config.checkers[0].config)
+    outcome = campaign.run(trials, seed=seed,
+                           covered=covered_segments(result))
+    return {
+        "injected": outcome.injected,
+        "detected": outcome.detected,
+        "masked": outcome.masked,
+        "detection_rate_all": outcome.detection_rate_all,
+        "detection_rate_effective": outcome.detection_rate_effective,
+    }
+
+
+def _config_for_spec(spec: dict):
+    """Build a ParaVerserConfig from a checkers-spec request."""
+    from repro.cli import parse_checkers
+    from repro.core.system import CheckMode
+    from repro.harness.runner import make_config
+
+    return make_config(parse_checkers(spec["checkers"]),
+                       CheckMode(spec["mode"]),
+                       hash_mode=bool(spec["hash_mode"]))
+
+
+def evaluate_spec(spec: dict) -> dict:
+    """Evaluate one sim spec (see ``EvalRequest.sim_spec``) to a row."""
+    from repro.detect import SimulatedBackend, get_backend
+    from repro.harness.parallel import worker_cache
+
+    cache = worker_cache(spec["instructions"], spec["seed"])
+    workload = spec["workload"]
+    source = cache.trace_source(workload)
+    if spec.get("backend"):
+        backend = get_backend(spec["backend"])
+        report = backend.evaluate(cache, workload)
+        row = {
+            "backend": report.backend,
+            "workload": report.benchmark,
+            "slowdown_percent": report.slowdown_percent,
+            "coverage": report.coverage,
+            "energy_overhead_percent": report.energy_overhead_percent,
+            "area_overhead_percent": report.area_overhead_percent,
+            "segments": report.segments,
+            "verified_clean": report.verified_clean,
+        }
+        config = (backend.make_config()
+                  if isinstance(backend, SimulatedBackend) else None)
+    else:
+        config = _config_for_spec(spec)
+        row = _result_row(cache.run_config(workload, config), config)
+    trials = int(spec.get("fault_trials") or 0)
+    if trials:
+        if config is None:
+            row["injection"] = {
+                "error": "fault injection needs a simulated configuration"}
+        else:
+            row["injection"] = _campaign_row(cache, workload, config,
+                                             trials, spec["seed"])
+    row["instructions"] = spec["instructions"]
+    row["seed"] = spec["seed"]
+    row["trace_source"] = source
+    return row
+
+
+def evaluate_specs(specs: list[dict]) -> list[dict]:
+    """Pool entry point: evaluate one trace-sharing batch, in order.
+
+    A failing spec yields an ``{"error": ...}`` row instead of poisoning
+    the whole batch.
+    """
+    rows = []
+    for spec in specs:
+        try:
+            rows.append(evaluate_spec(spec))
+        except Exception as exc:  # noqa: BLE001 - row-level fault barrier
+            rows.append({ROW_ERROR: f"{type(exc).__name__}: {exc}"})
+    return rows
+
+
+def prime_workload(workload: str, instructions: int, seed: int) -> str:
+    """Pool entry point: warm the trace caches for one workload."""
+    from repro.harness.parallel import worker_cache
+
+    cache = worker_cache(instructions, seed)
+    cache.get(workload)
+    return workload
+
+
+def _init_worker(trace_dir: str | None) -> None:
+    """Pool initializer: point workers at the shared persistent cache."""
+    if trace_dir:
+        os.environ["REPRO_TRACE_CACHE"] = trace_dir
+
+
+# -- service-side pool handle ----------------------------------------------
+
+class WorkerPool:
+    """Bounded process pool executing evaluation batches for the service.
+
+    ``trace_dir`` (or an inherited ``REPRO_TRACE_CACHE``) gives every
+    worker the same persistent trace cache, so identical traces are
+    computed once across the whole pool — and primed entries survive
+    worker crashes and restarts.
+    """
+
+    def __init__(self, workers: int = 1,
+                 trace_dir: str | os.PathLike | None = None) -> None:
+        if workers <= 0:
+            workers = os.cpu_count() or 1
+        self.workers = workers
+        raw = os.environ.get("REPRO_TRACE_CACHE")
+        inherited = raw if raw and raw != "0" else None
+        self.trace_dir = str(trace_dir) if trace_dir else inherited
+        self._executor: ProcessPoolExecutor | None = None
+
+    def _ensure(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_worker,
+                initargs=(self.trace_dir,),
+            )
+        return self._executor
+
+    async def run_group(self, specs: list[dict]) -> list[dict]:
+        """Evaluate one batch on the pool; raises on worker crashes."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._ensure(), evaluate_specs,
+                                          specs)
+
+    async def prime(self, workloads: list[str], instructions: int,
+                    seed: int) -> list[str]:
+        """Warm trace caches for ``workloads`` across the pool."""
+        loop = asyncio.get_running_loop()
+        executor = self._ensure()
+        futures = [loop.run_in_executor(executor, prime_workload,
+                                        workload, instructions, seed)
+                   for workload in workloads]
+        return list(await asyncio.gather(*futures))
+
+    def reset(self) -> None:
+        """Replace a broken pool (next batch recreates it)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Graceful drain: let running batches finish, then stop."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=wait)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+#: Exception types treated as "worker crashed; retry the batch".
+RETRYABLE_POOL_ERRORS = (BrokenExecutor, OSError)

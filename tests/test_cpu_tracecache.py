@@ -130,3 +130,61 @@ def test_round_tripped_program_reproduces_run():
         traceio.program_to_json(program))
     assert round_tripped.instructions == program.instructions
     assert round_tripped.memory_image == program.memory_image
+
+
+def test_concurrent_writers_never_publish_torn_entries(tmp_path,
+                                                       run_result):
+    """Same-process concurrent writers (serve pool tasks, threads) must
+    each use a unique temp file: readers only ever see complete entries,
+    and no temp files survive."""
+    import threading
+
+    tc = TraceCache(tmp_path)
+    errors = []
+    stop = threading.Event()
+
+    def writer():
+        try:
+            for _ in range(5):
+                tc.put(BENCH, SEED, BUDGET, run_result)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    def reader():
+        try:
+            while not stop.is_set():
+                hit = tc.get(BENCH, SEED, BUDGET)
+                # A miss (not-yet-written) is fine; a torn entry is not.
+                if hit is not None:
+                    assert hit.instructions == run_result.instructions
+                    assert len(hit.trace) == len(run_result.trace)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    writers = [threading.Thread(target=writer) for _ in range(6)]
+    readers = [threading.Thread(target=reader) for _ in range(2)]
+    for thread in readers + writers:
+        thread.start()
+    for thread in writers:
+        thread.join()
+    stop.set()
+    for thread in readers:
+        thread.join()
+
+    assert not errors
+    final = tc.get(BENCH, SEED, BUDGET)
+    assert final is not None
+    assert final.instructions == run_result.instructions
+    leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+    assert leftovers == []
+
+
+def test_put_failure_leaves_no_temp_files(tmp_path, run_result,
+                                          monkeypatch):
+    tc = TraceCache(tmp_path)
+    monkeypatch.setattr(traceio, "save_run",
+                        lambda run, path: (_ for _ in ()).throw(
+                            OSError("disk full")))
+    with pytest.raises(OSError):
+        tc.put(BENCH, SEED, BUDGET, run_result)
+    assert list(tmp_path.iterdir()) == []

@@ -1,0 +1,116 @@
+"""Third-party backend discovery through the repro.backends entry-point
+group."""
+
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.detect import (
+    BackendResult,
+    get_backend,
+    backend_names,
+)
+from repro.detect import registry
+
+
+@dataclass
+class PluginBackend:
+    """A minimal third-party DetectionBackend."""
+
+    name: str = "plugin-scheme"
+    description: str = "a scheme from outside the tree"
+    evaluated: list = field(default_factory=list)
+
+    def evaluate(self, cache, benchmark):
+        self.evaluated.append(benchmark)
+        return BackendResult(backend=self.name, benchmark=benchmark,
+                             slowdown_percent=1.0, coverage=0.5,
+                             energy_overhead_percent=2.0,
+                             area_overhead_percent=3.0)
+
+    def fleet_strategy(self):
+        return None
+
+
+class FakeEntryPoint:
+    def __init__(self, name, obj):
+        self.name = name
+        self._obj = obj
+
+    def load(self):
+        return self._obj
+
+
+@pytest.fixture()
+def plugin_env(monkeypatch):
+    """Patch the entry-point source and restore registry state after."""
+    snapshot = dict(registry._REGISTRY)
+
+    def install(*entry_points):
+        monkeypatch.setattr(registry, "_iter_backend_entry_points",
+                            lambda: list(entry_points))
+
+    yield install
+    registry._REGISTRY.clear()
+    registry._REGISTRY.update(snapshot)
+    registry._entry_points_loaded = True
+
+
+def test_entry_point_backend_is_discovered(plugin_env):
+    backend = PluginBackend()
+    plugin_env(FakeEntryPoint("plugin", backend))
+    loaded = registry.load_entry_point_backends(reload=True)
+    assert loaded == ["plugin-scheme"]
+    assert get_backend("plugin-scheme") is backend
+    assert "plugin-scheme" in backend_names()
+
+
+def test_factory_entry_point_returning_many(plugin_env):
+    backends = [PluginBackend(name="plugin-a"),
+                PluginBackend(name="plugin-b")]
+    plugin_env(FakeEntryPoint("plugin", lambda: backends))
+    loaded = registry.load_entry_point_backends(reload=True)
+    assert loaded == ["plugin-a", "plugin-b"]
+    assert get_backend("plugin-b") is backends[1]
+
+
+def test_duplicate_name_raises_clear_error(plugin_env):
+    plugin_env(FakeEntryPoint("plugin", PluginBackend(name="swscan")))
+    with pytest.raises(ValueError) as excinfo:
+        registry.load_entry_point_backends(reload=True)
+    message = str(excinfo.value)
+    assert "swscan" in message
+    assert "plugin" in message
+    assert "repro.backends" in message
+
+
+def test_duplicate_between_plugins_raises(plugin_env):
+    plugin_env(FakeEntryPoint("one", PluginBackend(name="plugin-x")),
+               FakeEntryPoint("two", PluginBackend(name="plugin-x")))
+    with pytest.raises(ValueError) as excinfo:
+        registry.load_entry_point_backends(reload=True)
+    assert "plugin-x" in str(excinfo.value)
+
+
+def test_non_backend_entry_point_raises(plugin_env):
+    plugin_env(FakeEntryPoint("junk", object()))
+    with pytest.raises(TypeError) as excinfo:
+        registry.load_entry_point_backends(reload=True)
+    assert "junk" in str(excinfo.value)
+
+
+def test_load_runs_once_unless_reloaded(plugin_env):
+    backend = PluginBackend()
+    plugin_env(FakeEntryPoint("plugin", backend))
+    assert registry.load_entry_point_backends(reload=True) == [
+        "plugin-scheme"]
+    # Second pass is a no-op: already loaded, nothing re-registered.
+    assert registry.load_entry_point_backends() == []
+
+
+def test_lookup_triggers_discovery(plugin_env):
+    backend = PluginBackend(name="plugin-lazy")
+    plugin_env(FakeEntryPoint("plugin", backend))
+    registry._entry_points_loaded = False
+    assert "plugin-lazy" in backend_names()
+    assert get_backend("plugin-lazy") is backend

@@ -1,0 +1,132 @@
+"""Admission queue and batch planning: dedup, trace grouping, shedding."""
+
+import asyncio
+
+from repro.serve.batcher import plan_batches
+from repro.serve.protocol import (
+    EvalRequest,
+    STATUS_SHED,
+    STATUS_TIMEOUT,
+    shed_response,
+)
+from repro.serve.queue import AdmissionQueue
+
+
+def _req(workload="mcf", backend="paraverser-full", instructions=4000,
+         **kwargs):
+    return EvalRequest(workload=workload, backend=backend,
+                       instructions=instructions, **kwargs)
+
+
+def _submit_all(queue, requests):
+    return [queue.submit(request) for request in requests]
+
+
+class TestAdmissionQueue:
+    def test_fifo_and_batch_drain(self):
+        async def scenario():
+            queue = AdmissionQueue(depth=8)
+            pending = _submit_all(queue, [_req(request_id=f"r{i}")
+                                          for i in range(3)])
+            batch = await queue.next_batch()
+            return pending, batch
+
+        pending, batch = asyncio.run(scenario())
+        assert [p.request.request_id for p in batch] == ["r0", "r1", "r2"]
+        assert pending[0] is batch[0]
+
+    def test_saturation_sheds_immediately(self):
+        async def scenario():
+            queue = AdmissionQueue(depth=2)
+            pending = _submit_all(queue, [_req(request_id=f"r{i}")
+                                          for i in range(4)])
+            return queue, pending
+
+        queue, pending = asyncio.run(scenario())
+        assert not pending[0].future.done()
+        assert not pending[1].future.done()
+        for entry in pending[2:]:
+            assert entry.future.done()
+            assert entry.future.result().status == STATUS_SHED
+        assert queue.shed == 2
+        assert queue.submitted == 4
+
+    def test_expired_entries_answered_with_timeout(self):
+        async def scenario():
+            queue = AdmissionQueue(depth=8)
+            expired = queue.submit(_req(request_id="old", timeout_s=0.01))
+            fresh = queue.submit(_req(request_id="new", timeout_s=30.0))
+            await asyncio.sleep(0.05)
+            batch = await queue.next_batch()
+            return queue, expired, fresh, batch
+
+        queue, expired, fresh, batch = asyncio.run(scenario())
+        assert [p.request.request_id for p in batch] == ["new"]
+        assert expired.future.result().status == STATUS_TIMEOUT
+        assert not fresh.future.done()
+        assert queue.expired == 1
+
+    def test_drain_resolves_everything(self):
+        async def scenario():
+            queue = AdmissionQueue(depth=8)
+            pending = _submit_all(queue, [_req(request_id=f"r{i}")
+                                          for i in range(3)])
+            drained = queue.drain(lambda request: shed_response(request, 8))
+            return pending, drained, len(queue)
+
+        pending, drained, depth = asyncio.run(scenario())
+        assert drained == 3 and depth == 0
+        assert all(p.future.result().status == STATUS_SHED for p in pending)
+
+
+class TestPlanBatches:
+    def test_dedup_collapses_identical_sims(self):
+        async def scenario():
+            queue = AdmissionQueue(depth=16)
+            _submit_all(queue, [_req(request_id=f"r{i}") for i in range(5)])
+            return plan_batches(await queue.next_batch())
+
+        batches = asyncio.run(scenario())
+        assert len(batches) == 1
+        assert len(batches[0].groups) == 1          # one unique simulation
+        assert len(batches[0].groups[0].waiters) == 5
+        assert batches[0].requests == 5
+
+    def test_trace_grouping_shares_one_invocation(self):
+        async def scenario():
+            queue = AdmissionQueue(depth=16)
+            requests = [
+                _req(backend="paraverser-full", request_id="a"),
+                _req(backend="dual-lockstep", request_id="b"),
+                _req(backend="paraverser-full", request_id="c"),
+                _req(workload="bwaves", request_id="d"),
+                _req(instructions=8000, request_id="e"),
+            ]
+            _submit_all(queue, requests)
+            return plan_batches(await queue.next_batch())
+
+        batches = asyncio.run(scenario())
+        # Three trace keys: (mcf,4000), (bwaves,4000), (mcf,8000).
+        assert len(batches) == 3
+        first = batches[0]
+        assert first.trace_key == ("mcf", 4000, 7)
+        # Two sim groups share the mcf/4000 trace; the duplicated
+        # paraverser-full request rides as a second waiter, not a spec.
+        assert len(first.groups) == 2
+        assert [len(g.waiters) for g in first.groups] == [2, 1]
+        assert first.requests == 3
+        assert [b.trace_key for b in batches[1:]] == [
+            ("bwaves", 4000, 7), ("mcf", 8000, 7)]
+
+    def test_specs_match_sim_spec(self):
+        async def scenario():
+            queue = AdmissionQueue(depth=16)
+            request = _req(request_id="r", timeout_s=5.0)
+            queue.submit(request)
+            return request, plan_batches(await queue.next_batch())
+
+        request, batches = asyncio.run(scenario())
+        assert batches[0].specs == [request.sim_spec()]
+        # Delivery metadata must not leak into worker specs.
+        assert "timeout_s" not in batches[0].specs[0]
+        assert "request_id" not in batches[0].specs[0]

@@ -1,0 +1,147 @@
+"""Stats-tree diffing: flatten, classification, regression flags, CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.diff import (
+    DiffEntry,
+    classify,
+    diff_stats,
+    flatten_tree,
+    render_diff,
+)
+
+
+def _tree(wall=10.0, hits=90, misses=10, occupancy=0.8, coverage=0.95,
+          lag_mean=120.0):
+    return {
+        "pipeline": {
+            "timing": {"wall_time_ms": wall},
+            "trace": {"wall_time_ms": wall / 2},
+        },
+        "main": {"caches": {"l1d": {"hits": hits, "misses": misses}}},
+        "checkers": {"c0": {"occupancy": occupancy},
+                     "pool_occupancy": occupancy},
+        "schedule": {"coverage": coverage,
+                     "checker_lag_ns": {"count": 10, "sum": lag_mean * 10,
+                                        "mean": lag_mean, "min": 1.0,
+                                        "max": 500.0,
+                                        "buckets": {">=0": 10}}},
+        "result": {"slowdown": 1.05},
+    }
+
+
+def test_flatten_tree_histograms_and_leaves():
+    flat = flatten_tree(_tree())
+    assert flat["pipeline.timing.wall_time_ms"] == 10.0
+    assert flat["main.caches.l1d.hits"] == 90.0
+    assert flat["schedule.checker_lag_ns.mean"] == 120.0
+    assert "schedule.checker_lag_ns.buckets.>=0" not in flat
+
+
+def test_classification():
+    assert classify("pipeline.timing.wall_time_ms") == 1
+    assert classify("schedule.stall_ns") == 1
+    assert classify("result.slowdown") == 1
+    assert classify("checkers.c0.occupancy") == -1
+    assert classify("schedule.coverage") == -1
+    assert classify("main.caches.l1d.hit_rate") == -1
+    assert classify("main.caches.l1d.hits") == 0
+
+
+def test_identical_trees_have_no_regressions():
+    entries = diff_stats(_tree(), _tree())
+    assert not any(entry.regression for entry in entries)
+
+
+def test_wall_time_regression_flagged():
+    entries = diff_stats(_tree(wall=10.0), _tree(wall=12.0),
+                         threshold=0.10)
+    flagged = {e.key for e in entries if e.regression}
+    assert "pipeline.timing.wall_time_ms" in flagged
+    # Within-threshold growth is not a regression.
+    entries = diff_stats(_tree(wall=10.0), _tree(wall=10.5),
+                         threshold=0.10)
+    assert not any(e.regression for e in entries)
+
+
+def test_hit_rate_regression_derived_from_counters():
+    # 90% -> 70% hit rate: a >10% relative drop.
+    entries = diff_stats(_tree(hits=90, misses=10),
+                         _tree(hits=70, misses=30), threshold=0.10)
+    flagged = {e.key for e in entries if e.regression}
+    assert "main.caches.l1d.hit_rate" in flagged
+
+
+def test_occupancy_and_coverage_regressions():
+    entries = diff_stats(_tree(occupancy=0.8, coverage=0.95),
+                         _tree(occupancy=0.5, coverage=0.6),
+                         threshold=0.10)
+    flagged = {e.key for e in entries if e.regression}
+    assert "checkers.c0.occupancy" in flagged
+    assert "checkers.pool_occupancy" in flagged
+    assert "schedule.coverage" in flagged
+
+
+def test_improvements_are_not_regressions():
+    entries = diff_stats(_tree(wall=10.0, occupancy=0.5),
+                         _tree(wall=5.0, occupancy=0.9))
+    assert not any(e.regression for e in entries)
+
+
+def test_rel_change_handles_zero_baseline():
+    entry = DiffEntry(key="x.wall_time_ms", a=0.0, b=1.0, direction=1,
+                      regression=True)
+    assert entry.rel_change == float("inf")
+
+
+def test_render_marks_regressions():
+    entries = diff_stats(_tree(wall=10.0), _tree(wall=20.0))
+    text = render_diff(entries)
+    assert "REGRESSION" in text
+    assert "regression(s)" in text
+
+
+class TestCli:
+    @pytest.fixture()
+    def dumps(self, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps(_tree()))
+        return a, b
+
+    def test_exit_zero_when_clean(self, dumps, capsys):
+        a, b = dumps
+        b.write_text(json.dumps(_tree()))
+        assert main(["stats-diff", str(a), str(b)]) == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+
+    def test_exit_nonzero_on_regression(self, dumps, capsys):
+        a, b = dumps
+        b.write_text(json.dumps(_tree(wall=30.0)))
+        assert main(["stats-diff", str(a), str(b)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_threshold_is_configurable(self, dumps):
+        a, b = dumps
+        b.write_text(json.dumps(_tree(wall=12.0)))
+        assert main(["stats-diff", str(a), str(b),
+                     "--threshold", "0.5"]) == 0
+        assert main(["stats-diff", str(a), str(b),
+                     "--threshold", "0.05"]) == 1
+
+    def test_real_stats_dump_diffs_cleanly(self, tmp_path, capsys):
+        a = tmp_path / "runA.json"
+        b = tmp_path / "runB.json"
+        for path in (a, b):
+            code = main(["run", "-w", "exchange2", "-c", "1xA510@2.0",
+                         "-n", "6000", "--stats-json", str(path)])
+            assert code == 0
+        capsys.readouterr()
+        # Simulated outcomes are bit-identical; only wall-clock gauges
+        # move, and they may move in either direction.  The tool must
+        # parse real dumps and compare every simulated leaf cleanly.
+        code = main(["stats-diff", str(a), str(b), "--threshold", "1e9"])
+        assert code == 0
