@@ -1,0 +1,7 @@
+#!/bin/sh
+# Regenerate the committed stats baseline the CI regression gate
+# compares against (see .github/workflows/ci.yml).  Run from the repo
+# root after an intentional change to simulated statistics.
+set -e
+PYTHONPATH=src python -m repro.cli run -w mcf -n 20000 --stage-jobs 2 \
+  --stats-json tests/golden/stats_smoke.json

@@ -81,6 +81,12 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="print a gem5-style statistics dump")
     run.add_argument("--stats-json", metavar="PATH",
                      help="write the run's full statistics tree as JSON")
+    run.add_argument("--stage-jobs", type=int, default=None,
+                     help="stage-graph worker threads for this run "
+                          "(default: REPRO_STAGE_JOBS or 1 = serial; "
+                          "0 = all CPUs)")
+    run.add_argument("--profile", action="store_true",
+                     help="print a per-stage wall-time table after the run")
     run.add_argument("--backend", metavar="NAME",
                      help="evaluate a registered detection backend instead "
                           "of building a config from -c/-m "
@@ -113,6 +119,10 @@ def _build_parser() -> argparse.ArgumentParser:
     figures.add_argument("-j", "--jobs", type=int, default=None,
                          help="worker processes for config sweeps "
                               "(default: REPRO_JOBS or 1; 0 = all CPUs)")
+    figures.add_argument("--stage-jobs", type=int, default=None,
+                         help="stage-graph threads inside each run "
+                              "(default: REPRO_STAGE_JOBS or 1; "
+                              "0 = all CPUs)")
 
     serve = sub.add_parser(
         "serve", help="run the async batched evaluation service")
@@ -174,7 +184,37 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="relative regression threshold (default 0.10)")
     diff.add_argument("--all", action="store_true", dest="show_all",
                       help="show unchanged and informational leaves too")
+    diff.add_argument("--ignore", action="append", default=[],
+                      metavar="GLOB",
+                      help="exclude dotted leaves matching this fnmatch "
+                           "glob (repeatable), e.g. --ignore 'pipeline.*' "
+                           "to mask host-dependent stage wall times")
     return parser
+
+
+def _print_stage_profile(stats) -> None:
+    """``run --profile``: per-stage wall times + executor occupancy."""
+    pipeline = stats.get("pipeline")
+    if pipeline is None:
+        print("stage profile:     n/a (no pipeline stats)")
+        return
+    print("\n-- stage profile --")
+    print(f"{'stage':12s} {'wall ms':>10s}")
+    executor = None
+    for name, node in pipeline.items():
+        if name == "executor":
+            executor = node
+            continue
+        gauge = node.get("wall_time_ms")
+        if gauge is not None:
+            print(f"{name:12s} {gauge.to_value():10.2f}")
+    if executor is not None:
+        flat = executor.flatten()
+        print(f"{'executor':12s} {flat.get('wall_time_ms', 0.0):10.2f}  "
+              f"(stage-jobs={int(flat.get('stage_jobs', 1))}, "
+              f"overlap={flat.get('overlap', 0.0):.2f}, "
+              f"occupancy={flat.get('occupancy', 0.0):.2f}, "
+              f"peak-ready={int(flat.get('queue_depth_max', 0))})")
 
 
 def _write_stats_json(stats, path: str) -> None:
@@ -230,7 +270,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         sampling_rate=args.sampling_rate,
         seed=args.seed,
     )
-    system = ParaVerserSystem(config)
+    system = ParaVerserSystem(config, stage_jobs=args.stage_jobs)
     result = system.run(program, max_instructions=args.instructions)
     energy = energy_report(result, config.main)
     print(f"workload:          {result.workload}")
@@ -247,6 +287,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"verified segments: {len(result.verify_results)} (all clean)")
     if args.stats_json:
         _write_stats_json(result.stats, args.stats_json)
+    if args.profile:
+        _print_stage_profile(result.stats)
     if args.stats:
         from repro.cpu.timing import format_stats
 
@@ -327,6 +369,8 @@ def cmd_figures(args: argparse.Namespace) -> int:
     if args.jobs is not None:
         # Propagate so helper runners creating their own caches agree.
         os.environ["REPRO_JOBS"] = str(args.jobs)
+    if args.stage_jobs is not None:
+        os.environ["REPRO_STAGE_JOBS"] = str(args.stage_jobs)
     cache = WorkloadCache()
     try:
         for name in names:
@@ -475,7 +519,8 @@ def cmd_stats_diff(args: argparse.Namespace) -> int:
 
     entries = diff_stats(load_tree(args.baseline),
                          load_tree(args.candidate),
-                         threshold=args.threshold)
+                         threshold=args.threshold,
+                         ignore=args.ignore)
     print(render_diff(entries, show_all=args.show_all))
     return 1 if any(entry.regression for entry in entries) else 0
 

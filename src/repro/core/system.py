@@ -30,11 +30,14 @@ from repro.noc.layout import TileLayout
 from repro.noc.traffic import MainTraffic
 from repro.pipeline.artifacts import (
     PreparedRun,
+    RunRequest,
     SegmentSchedule,
     SystemResult,
 )
 from repro.pipeline.context import SimContext
-from repro.pipeline.noc import estimate_traffic, noc_adjustment
+from repro.pipeline.executor import GraphExecutor
+from repro.pipeline.graph import RUN_GRAPH
+from repro.pipeline.noc import estimate_traffic
 from repro.pipeline.report import finalize
 from repro.pipeline.timing import (
     BASELINE_GRID,
@@ -67,13 +70,17 @@ class ParaVerserSystem:
     """Runs a workload under ParaVerser checking and reports overheads."""
 
     def __init__(self, config: ParaVerserConfig,
-                 layout: TileLayout | None = None) -> None:
+                 layout: TileLayout | None = None,
+                 stage_jobs: int | None = None) -> None:
         if not config.checkers:
             raise ValueError("at least one checker core is required")
         self.config = config
         self.ctx = SimContext.create(config, layout)
         self.layout = self.ctx.layout
         self.traffic_model = self.ctx.traffic_model
+        #: Stage-graph worker threads for :meth:`run` (None = the
+        #: REPRO_STAGE_JOBS default; <=1 = the serial pipeline).
+        self.stage_jobs = stage_jobs
 
     # -- functional stage --------------------------------------------------
 
@@ -176,14 +183,24 @@ class ParaVerserSystem:
         boundary_checkpoints: dict[int, RegisterCheckpoint] | None = None,
         baseline: TimingResult | None = None,
     ) -> SystemResult:
-        """Simulate the workload under checking and report overheads."""
-        prepared = self.prepare(
-            program, max_instructions, run_result, forced_boundaries,
-            boundary_checkpoints, baseline)
-        with self.ctx.stage_timer("noc"):
-            traffic = estimate_traffic(self.ctx, prepared)
-            extra_llc, push_latency = noc_adjustment(self.ctx, traffic)
-        return self.finalize(prepared, extra_llc, push_latency)
+        """Simulate the workload under checking and report overheads.
+
+        Executes the declared stage graph (:data:`~repro.pipeline.graph.
+        RUN_GRAPH`): serially with ``stage_jobs <= 1``, otherwise with
+        independent stages overlapped on a bounded thread pool.  Output
+        is bit-identical either way.
+        """
+        request = RunRequest(
+            program=program,
+            max_instructions=max_instructions,
+            run_result=run_result,
+            forced_boundaries=forced_boundaries,
+            boundary_checkpoints=boundary_checkpoints,
+            baseline=baseline,
+        )
+        executor = GraphExecutor(self.stage_jobs)
+        artifacts = executor.execute(RUN_GRAPH, self, {"request": request})
+        return artifacts["result"]
 
     def config_label(self) -> str:
         checkers: dict[str, int] = {}

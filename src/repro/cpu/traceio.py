@@ -108,9 +108,14 @@ def _checkpoint_from_json(data: dict) -> RegisterCheckpoint:
         tuple(data["ints"]), tuple(data["fps"]), data["pc"])
 
 
-def save_run(run: RunResult, path: str | Path) -> None:
-    """Persist a functional run (program + trace + checkpoints)."""
-    payload = {
+def run_to_payload(run: RunResult) -> dict:
+    """A plain-value payload for one functional run.
+
+    The payload is both JSON-able (the on-disk format) and cheaply
+    picklable, so the sweep/serve engines use it to hand a trace
+    computed by one worker process to another without re-executing.
+    """
+    return {
         "version": FORMAT_VERSION,
         "program": program_to_json(run.program),
         "trace": [_entry_to_row(entry) for entry in run.trace],
@@ -120,12 +125,10 @@ def save_run(run: RunResult, path: str | Path) -> None:
         "instructions": run.instructions,
         "class_counts": run.class_counts,
     }
-    Path(path).write_text(json.dumps(payload))
 
 
-def load_run(path: str | Path) -> RunResult:
-    """Load a run saved by :func:`save_run`."""
-    payload = json.loads(Path(path).read_text())
+def run_from_payload(payload: dict) -> RunResult:
+    """Rebuild a run from :func:`run_to_payload` output."""
     version = payload.get("version")
     if version != FORMAT_VERSION:
         raise ValueError(f"unsupported trace format version {version!r}")
@@ -140,3 +143,13 @@ def load_run(path: str | Path) -> RunResult:
         instructions=payload["instructions"],
         class_counts=payload.get("class_counts", {}),
     )
+
+
+def save_run(run: RunResult, path: str | Path) -> None:
+    """Persist a functional run (program + trace + checkpoints)."""
+    Path(path).write_text(json.dumps(run_to_payload(run)))
+
+
+def load_run(path: str | Path) -> RunResult:
+    """Load a run saved by :func:`save_run`."""
+    return run_from_payload(json.loads(Path(path).read_text()))

@@ -17,18 +17,21 @@ informational only and never regress.
 
 from __future__ import annotations
 
+import fnmatch
 import json
 import math
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Sequence
 
 #: Key suffixes where an increase beyond threshold is a regression.
 HIGHER_IS_WORSE = ("wall_time_ms", "stall_ns", "slowdown", "latency_ns",
                    "extra_llc_latency_ns", "lsl_push_latency_ns",
-                   "latency_ms.mean", "checker_lag_ns.mean")
+                   "latency_ms.mean", "checker_lag_ns.mean",
+                   "queue_depth_max")
 #: Key suffixes where a decrease beyond threshold is a regression.
 LOWER_IS_WORSE = ("occupancy", "pool_occupancy", "coverage", "hit_rate",
-                  "ipc")
+                  "ipc", "overlap")
 
 
 @dataclass(frozen=True)
@@ -101,15 +104,24 @@ def classify(key: str) -> int:
 
 
 def diff_stats(tree_a: dict, tree_b: dict,
-               threshold: float = 0.10) -> list[DiffEntry]:
+               threshold: float = 0.10,
+               ignore: Sequence[str] = ()) -> list[DiffEntry]:
     """Compare two trees; entries for every shared, changed-or-directional
-    leaf, regressions first."""
+    leaf, regressions first.
+
+    ``ignore`` holds ``fnmatch`` glob patterns over dotted leaf names;
+    matching leaves are excluded entirely.  The standard use is
+    ``pipeline.*``: stage wall times are host-dependent, so a CI gate
+    over simulated stats masks them out.
+    """
     flat_a = flatten_tree(tree_a)
     flat_b = flatten_tree(tree_b)
     _derive_hit_rates(flat_a)
     _derive_hit_rates(flat_b)
     entries: list[DiffEntry] = []
     for key in sorted(set(flat_a) & set(flat_b)):
+        if any(fnmatch.fnmatchcase(key, pattern) for pattern in ignore):
+            continue
         a, b = flat_a[key], flat_b[key]
         direction = classify(key)
         if direction == 0 and a == b:

@@ -16,8 +16,15 @@ from __future__ import annotations
 
 import json
 import math
+import threading
 import time
 from typing import Iterator, Union
+
+#: Guards child creation in :meth:`StatGroup._child`.  The stage-graph
+#: executor runs pipeline stages on threads that register into disjoint
+#: subtrees of one shared tree, so only the get-or-create miss path needs
+#: serialising; reads and updates of existing stats stay lock-free.
+_CHILD_LOCK = threading.Lock()
 
 
 class Stat:
@@ -163,9 +170,12 @@ class StatGroup:
     def _child(self, name: str, factory, kind) -> Node:
         node = self._children.get(name)
         if node is None:
-            node = factory()
-            self._children[name] = node
-        elif not isinstance(node, kind):
+            with _CHILD_LOCK:
+                node = self._children.get(name)
+                if node is None:
+                    node = factory()
+                    self._children[name] = node
+        if not isinstance(node, kind):
             raise TypeError(
                 f"stat {name!r} in group {self.name!r} already exists "
                 f"as {type(node).__name__}"

@@ -27,13 +27,19 @@ shell over these stages and keeps the historical public API.
 
 from repro.pipeline.artifacts import (
     PreparedRun,
+    RunPlan,
+    RunRequest,
+    ScheduledRun,
     SegmentSchedule,
     SystemResult,
 )
 from repro.pipeline.check import verify_sample
 from repro.pipeline.context import SimContext
+from repro.pipeline.executor import GraphExecutor, env_stage_jobs, run_graph
+from repro.pipeline.graph import RUN_GRAPH, StageGraph, StageNode
 from repro.pipeline.noc import estimate_traffic, noc_adjustment
-from repro.pipeline.report import export_run_stats, finalize
+from repro.pipeline.report import assemble, export_run_stats, finalize, \
+    run_schedule
 from repro.pipeline.schedule import make_slots, schedule_segments
 from repro.pipeline.timing import (
     BASELINE_GRID,
@@ -54,15 +60,24 @@ from repro.pipeline.trace import (
 
 __all__ = [
     "BASELINE_GRID",
+    "GraphExecutor",
     "PreparedRun",
+    "RUN_GRAPH",
+    "RunPlan",
+    "RunRequest",
+    "ScheduledRun",
     "SegmentSchedule",
     "SimContext",
+    "StageGraph",
+    "StageNode",
     "SystemResult",
+    "assemble",
     "baseline_timing",
     "build_uncore",
     "checker_durations",
     "checker_timing",
     "derive_end_checkpoint",
+    "env_stage_jobs",
     "estimate_traffic",
     "export_run_stats",
     "fill_checkpoints",
@@ -72,6 +87,8 @@ __all__ = [
     "make_slots",
     "noc_adjustment",
     "run_functional",
+    "run_graph",
+    "run_schedule",
     "schedule_segments",
     "segment_trace",
     "verify_sample",

@@ -17,10 +17,33 @@ from repro.core.counter import Segment
 from repro.core.simconfig import CheckMode
 from repro.cpu.functional import RunResult
 from repro.cpu.timing import TimingResult
+from repro.isa.program import Program
+from repro.isa.registers import RegisterCheckpoint
 from repro.obs import StatGroup
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
     from repro.core.system import ParaVerserSystem
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """The external input artifact of the stage graph: what to simulate."""
+
+    program: Program
+    max_instructions: int = 100_000
+    run_result: RunResult | None = None
+    forced_boundaries: set[int] | None = None
+    boundary_checkpoints: dict[int, RegisterCheckpoint] | None = None
+    baseline: TimingResult | None = None
+    verify: bool = True
+
+
+@dataclass(frozen=True)
+class RunPlan:
+    """Build-stage output: the validated request plus the run's identity."""
+
+    request: RunRequest
+    config_label: str
 
 
 @dataclass(slots=True)
@@ -56,6 +79,17 @@ class PreparedRun:
     durations_by_class: dict[str, list[float]]
     checker_llc: int
     lsl_bytes: int
+
+
+@dataclass
+class ScheduledRun:
+    """Schedule-stage output: final main timing + the checker schedule."""
+
+    checked: TimingResult
+    slots: list[CheckerSlot]
+    schedule: list[SegmentSchedule]
+    stall_ns: float
+    covered_instructions: int
 
 
 @dataclass

@@ -13,25 +13,39 @@ from repro.isa.program import Program
 
 
 def verify_sample(config: ParaVerserConfig, program: Program,
-                  segments: list[Segment]) -> list[CheckResult]:
+                  segments: list[Segment],
+                  mapper=None) -> list[CheckResult]:
     """Replay a sample of segments on a healthy checker.
 
     A healthy checker must never report an error (no false positives);
     a detection here means the logging/replay implementation itself
     diverged, so it raises rather than returning quietly.
+
+    ``mapper`` is an optional order-preserving ``map(fn, items)`` used to
+    replay the sampled segments in parallel.  Each replay restores the
+    segment's start checkpoint into a fresh core, so segments are
+    independent by construction; the parallel path uses one
+    :class:`CheckerCore` per segment (the serial path shares one, which
+    only accumulates bookkeeping counters — the per-segment
+    :class:`CheckResult` is identical either way).
     """
     count = min(config.verify_segments, len(segments))
     if count <= 0:
         return []
-    checker = CheckerCore(program, hash_mode=config.hash_mode)
     stride = max(len(segments) // count, 1)
-    results = []
-    for seg in segments[::stride][:count]:
-        result = checker.check_segment(seg)
+    sample = segments[::stride][:count]
+    if mapper is None:
+        checker = CheckerCore(program, hash_mode=config.hash_mode)
+        results = [checker.check_segment(seg) for seg in sample]
+    else:
+        results = mapper(
+            lambda seg: CheckerCore(
+                program, hash_mode=config.hash_mode).check_segment(seg),
+            sample)
+    for result in results:
         if result.detected:
             raise RuntimeError(
                 "healthy checker detected a divergence (implementation "
                 f"bug): {result.first_event}"
             )
-        results.append(result)
     return results

@@ -1,0 +1,195 @@
+"""Bounded executor scheduling ready stage-graph nodes onto threads.
+
+The :class:`GraphExecutor` walks a :class:`~repro.pipeline.graph.StageGraph`
+and runs every node whose input artifacts exist.  With ``stage_jobs <= 1``
+(the default) nodes run inline in declaration order — byte-for-byte the
+historical serial pipeline.  With ``stage_jobs > 1`` ready nodes are
+submitted to a shared bounded thread pool, so independent stages (e.g.
+the NoC/schedule chain and the verification sample) overlap in wall
+time.  Threads are the right tool here despite the GIL: the verify stage
+is interpreter-bound but the timing stages spend much of their time in
+tight loops that release the GIL at allocation points, and — more
+importantly — the same executor powers ``map_ordered``, the
+deterministic intra-stage fan-out used by
+:func:`~repro.pipeline.timing.checker_durations`.
+
+Determinism rules (see docs/architecture.md):
+
+* stage functions return artifact dicts; the executor only stores them —
+  it never merges or reorders values;
+* ``map_ordered`` preserves input order exactly (``pool.map``), so a
+  parallel fan-out merges identically to the serial loop;
+* stats are published into disjoint subtrees per stage (creation is
+  lock-guarded in :class:`~repro.obs.StatGroup`), so registration order
+  is the only thing that can differ — never a value.
+
+``REPRO_STAGE_JOBS`` sets the default width (0 or negative = CPU count).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from typing import TYPE_CHECKING, Callable, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports, avoid cycles
+    from repro.core.system import ParaVerserSystem
+    from repro.pipeline.graph import StageGraph
+
+
+def env_stage_jobs() -> int:
+    """REPRO_STAGE_JOBS: stage-level worker threads (0/negative = CPUs)."""
+    jobs = int(os.environ.get("REPRO_STAGE_JOBS", 1))
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return jobs
+
+
+# Stage threads are shared process-wide, keyed by width: a sweep running
+# hundreds of graphs must not pay thread spawn/teardown per run.
+_POOLS: dict[int, ThreadPoolExecutor] = {}
+_POOL_LOCK = threading.Lock()
+
+
+def _shared_pool(workers: int) -> ThreadPoolExecutor:
+    with _POOL_LOCK:
+        pool = _POOLS.get(workers)
+        if pool is None:
+            pool = ThreadPoolExecutor(max_workers=workers,
+                                      thread_name_prefix="stage")
+            _POOLS[workers] = pool
+        return pool
+
+
+class GraphExecutor:
+    """Schedules ready stage nodes onto a bounded worker pool."""
+
+    def __init__(self, stage_jobs: int | None = None) -> None:
+        self.stage_jobs = env_stage_jobs() if stage_jobs is None \
+            else (stage_jobs if stage_jobs > 0 else (os.cpu_count() or 1))
+
+    # -- intra-stage fan-out ----------------------------------------------
+
+    def map_ordered(self, fn: Callable, items: Iterable) -> list:
+        """Order-preserving parallel map for intra-stage fan-out.
+
+        Runs on a transient pool rather than the node pool: a stage
+        function calling back into the pool that runs it could deadlock
+        when every slot is busy.  Serial when the executor is serial or
+        there is nothing to overlap.
+        """
+        items = list(items)
+        if self.stage_jobs <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        with ThreadPoolExecutor(
+                max_workers=min(self.stage_jobs, len(items)),
+                thread_name_prefix="stage-map") as pool:
+            return list(pool.map(fn, items))
+
+    # -- node scheduling ---------------------------------------------------
+
+    def execute(self, graph: "StageGraph", system: "ParaVerserSystem",
+                initial: dict[str, object]) -> dict[str, object]:
+        """Run every node of ``graph``; returns the full artifact store."""
+        artifacts: dict[str, object] = dict(initial)
+        started = time.perf_counter()
+        if self.stage_jobs <= 1:
+            busy, peak = self._execute_serial(graph, system, artifacts)
+        else:
+            busy, peak = self._execute_pooled(graph, system, artifacts)
+        elapsed = time.perf_counter() - started
+        self._publish(system, len(graph.nodes), busy, elapsed, peak)
+        return artifacts
+
+    def _execute_serial(self, graph, system, artifacts):
+        done: set[str] = set()
+        busy = 0.0
+        peak = 0
+        while len(done) < len(graph.nodes):
+            ready = graph.ready(artifacts, done)
+            if not ready:
+                raise RuntimeError(
+                    f"stage graph stalled; done={sorted(done)}, "
+                    f"artifacts={sorted(artifacts)}")
+            peak = max(peak, len(ready))
+            node = ready[0]
+            t0 = time.perf_counter()
+            produced = node.fn(system, artifacts, self)
+            busy += time.perf_counter() - t0
+            self._store(node, produced, artifacts)
+            done.add(node.name)
+        return busy, peak
+
+    def _execute_pooled(self, graph, system, artifacts):
+        pool = _shared_pool(self.stage_jobs)
+        done: set[str] = set()
+        in_flight: dict = {}
+        busy = 0.0
+        peak = 0
+
+        def run_node(node):
+            t0 = time.perf_counter()
+            produced = node.fn(system, artifacts, self)
+            return produced, time.perf_counter() - t0
+
+        while len(done) < len(graph.nodes):
+            launched = {node.name for node in in_flight.values()}
+            ready = [node for node in graph.ready(artifacts, done)
+                     if node.name not in launched]
+            peak = max(peak, len(ready) + len(in_flight))
+            for node in ready:
+                in_flight[pool.submit(run_node, node)] = node
+            if not in_flight:
+                raise RuntimeError(
+                    f"stage graph stalled; done={sorted(done)}, "
+                    f"artifacts={sorted(artifacts)}")
+            finished, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+            for future in finished:
+                node = in_flight.pop(future)
+                produced, node_busy = future.result()
+                busy += node_busy
+                self._store(node, produced, artifacts)
+                done.add(node.name)
+        return busy, peak
+
+    @staticmethod
+    def _store(node, produced, artifacts: dict) -> None:
+        produced = produced or {}
+        missing = set(node.outputs) - set(produced)
+        if missing:
+            raise RuntimeError(
+                f"stage {node.name!r} did not produce {sorted(missing)}")
+        for name in node.outputs:
+            artifacts[name] = produced[name]
+
+    def _publish(self, system, stages: int, busy: float, elapsed: float,
+                 peak: int) -> None:
+        stats = system.ctx.stats.group("pipeline").group(
+            "executor", "stage-graph executor occupancy")
+        stats.scalar("stage_jobs", float(self.stage_jobs),
+                     "worker-pool width for stage nodes")
+        stats.count("stages_run", stages)
+        stats.scalar("wall_time_ms", elapsed * 1e3,
+                     "graph start-to-finish wall time")
+        stats.scalar("queue_depth_max", float(peak),
+                     "peak ready+running stage nodes")
+        # overlap = aggregate stage-busy time / wall time; 1.0 means the
+        # graph ran as if serial, >1.0 means stages genuinely overlapped.
+        stats.scalar("overlap", busy / elapsed if elapsed > 0 else 0.0,
+                     "sum of stage busy times over wall time")
+        stats.scalar(
+            "occupancy",
+            busy / (elapsed * self.stage_jobs) if elapsed > 0 else 0.0,
+            "overlap normalised by pool width")
+
+
+def run_graph(graph: "StageGraph", system: "ParaVerserSystem",
+              initial: dict[str, object],
+              stage_jobs: int | None = None) -> dict[str, object]:
+    """Convenience: execute ``graph`` with a fresh executor."""
+    return GraphExecutor(stage_jobs).execute(graph, system, initial)
+
+
+__all__ = ["GraphExecutor", "env_stage_jobs", "run_graph"]

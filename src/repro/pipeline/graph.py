@@ -1,0 +1,239 @@
+"""The declared stage graph of one ParaVerser run.
+
+Each pipeline stage is a :class:`StageNode`: a name, the typed artifact
+names it consumes and produces, and a function ``fn(system, artifacts,
+executor) -> dict``.  :data:`RUN_GRAPH` declares the seven stages of a
+run and their data dependencies explicitly, instead of the implicit call
+sequence ``prepare → estimate_traffic → finalize``:
+
+.. code-block:: text
+
+    request ─ build ─ plan ─ trace ─ run/segments/boundaries ─ timing
+                                │                                 │
+                                │                              prepared
+                                │                            ┌────┴────┐
+                                └────────── check           noc        │
+                                              │              │         │
+                                              │          noc_terms     │
+                                              │              └── schedule
+                                              │                    │
+                                              └──── report ── scheduled
+                                                       │
+                                                    result
+
+``check`` depends only on the functional segments, so with a parallel
+:class:`~repro.pipeline.executor.GraphExecutor` it overlaps the whole
+noc → schedule chain.  Every stage function calls the same pipeline
+helpers with the same :meth:`~repro.pipeline.context.SimContext.stage_timer`
+accounting as the historical serial path, so ``pipeline.<stage>.*``
+stats are identical between graph and prepare/finalize execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.hashmode import DIGEST_BYTES
+from repro.pipeline.artifacts import PreparedRun, RunPlan, RunRequest
+from repro.pipeline.check import verify_sample
+from repro.pipeline.noc import estimate_traffic, noc_adjustment
+from repro.pipeline.report import assemble, run_schedule
+from repro.pipeline.timing import (
+    baseline_timing,
+    checker_durations,
+    main_timing,
+)
+from repro.pipeline.trace import run_functional, segment_trace
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
+    from repro.core.system import ParaVerserSystem
+
+#: Signature of a stage function: consumes the artifact store, returns
+#: a dict holding exactly the node's declared outputs.
+StageFn = Callable[["ParaVerserSystem", dict, object], dict]
+
+
+@dataclass(frozen=True)
+class StageNode:
+    """One declared pipeline stage."""
+
+    name: str
+    inputs: tuple[str, ...]
+    outputs: tuple[str, ...]
+    fn: StageFn
+
+
+class StageGraph:
+    """A validated DAG of :class:`StageNode` over named artifacts."""
+
+    def __init__(self, nodes: list[StageNode]) -> None:
+        names = [node.name for node in nodes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate stage names in {names}")
+        producers: dict[str, str] = {}
+        for node in nodes:
+            for output in node.outputs:
+                if output in producers:
+                    raise ValueError(
+                        f"artifact {output!r} produced by both "
+                        f"{producers[output]!r} and {node.name!r}")
+                producers[output] = node.name
+        self.nodes = list(nodes)
+        self.producers = producers
+        #: Artifacts no node produces; the caller supplies them.
+        self.external_inputs = tuple(sorted({
+            name for node in nodes for name in node.inputs
+            if name not in producers
+        }))
+        self._check_acyclic()
+
+    def _check_acyclic(self) -> None:
+        by_name = {node.name: node for node in self.nodes}
+        state: dict[str, int] = {}  # 0 visiting, 1 done
+
+        def visit(name: str, chain: tuple[str, ...]) -> None:
+            if state.get(name) == 1:
+                return
+            if state.get(name) == 0:
+                raise ValueError(
+                    f"stage graph cycle through {name!r}: {chain}")
+            state[name] = 0
+            node = by_name[name]
+            for artifact in node.inputs:
+                producer = self.producers.get(artifact)
+                if producer is not None:
+                    visit(producer, chain + (name,))
+            state[name] = 1
+
+        for node in self.nodes:
+            visit(node.name, ())
+
+    def ready(self, artifacts: dict, done: set[str]) -> list[StageNode]:
+        """Nodes whose inputs all exist and that have not yet run."""
+        return [
+            node for node in self.nodes
+            if node.name not in done
+            and all(name in artifacts for name in node.inputs)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+# -- the seven stage functions ----------------------------------------------
+
+def _stage_build(system: "ParaVerserSystem", art: dict, executor) -> dict:
+    """Stamp the validated request with the run's configuration identity."""
+    request: RunRequest = art["request"]
+    with system.ctx.stage_timer("build"):
+        plan = RunPlan(request=request,
+                       config_label=system.config_label())
+    return {"plan": plan}
+
+
+def _stage_trace(system: "ParaVerserSystem", art: dict, executor) -> dict:
+    """Functional execution + segmentation (the RCU checkpoint pass)."""
+    ctx = system.ctx
+    request = art["plan"].request
+    with ctx.stage_timer("trace"):
+        run = request.run_result or run_functional(
+            ctx, request.program, request.max_instructions)
+        segments = segment_trace(ctx, run, request.forced_boundaries,
+                                 request.boundary_checkpoints)
+    return {
+        "run": run,
+        "segments": segments,
+        "boundaries": [seg.end for seg in segments],
+    }
+
+
+def _stage_timing(system: "ParaVerserSystem", art: dict, executor) -> dict:
+    """Baseline grid, checked pass 1, per-class checker durations."""
+    ctx = system.ctx
+    config = ctx.config
+    request = art["plan"].request
+    run = art["run"]
+    segments = art["segments"]
+    boundaries = art["boundaries"]
+    with ctx.stage_timer("timing"):
+        baseline = request.baseline
+        if baseline is None:
+            baseline = baseline_timing(ctx, run)
+        checked_pass1 = main_timing(config, run, boundaries, 0.0)
+        durations_by_class, checker_llc = checker_durations(
+            ctx, run, boundaries, mapper=executor.map_ordered)
+
+    lsl_bytes = sum(seg.lines for seg in segments) * 64
+    if config.hash_mode:
+        lsl_bytes += len(segments) * DIGEST_BYTES
+
+    return {"prepared": PreparedRun(
+        system=system,
+        run=run,
+        segments=segments,
+        boundaries=boundaries,
+        baseline=baseline,
+        checked_pass1=checked_pass1,
+        durations_by_class=durations_by_class,
+        checker_llc=checker_llc,
+        lsl_bytes=int(lsl_bytes),
+    )}
+
+
+def _stage_noc(system: "ParaVerserSystem", art: dict, executor) -> dict:
+    """M/M/1 mesh contention backpropagated into LLC/LSL latencies."""
+    ctx = system.ctx
+    with ctx.stage_timer("noc"):
+        traffic = estimate_traffic(ctx, art["prepared"])
+        extra_llc, push_latency = noc_adjustment(ctx, traffic)
+    return {"noc_terms": (extra_llc, push_latency)}
+
+
+def _stage_schedule(system: "ParaVerserSystem", art: dict, executor) -> dict:
+    """Final checked timing + discrete-event schedule over the pool."""
+    extra_llc, push_latency = art["noc_terms"]
+    scheduled = run_schedule(system.ctx, art["prepared"], extra_llc,
+                             push_latency)
+    return {"scheduled": scheduled}
+
+
+def _stage_check(system: "ParaVerserSystem", art: dict, executor) -> dict:
+    """End-to-end replay self-check; independent of the noc/schedule arm."""
+    ctx = system.ctx
+    request = art["plan"].request
+    with ctx.stage_timer("check"):
+        verify_results = verify_sample(
+            ctx.config, art["run"].program, art["segments"],
+            mapper=executor.map_ordered) if request.verify else []
+    return {"verify_results": verify_results}
+
+
+def _stage_report(system: "ParaVerserSystem", art: dict, executor) -> dict:
+    """Measured-window cut, result assembly, stats export."""
+    extra_llc, _push_latency = art["noc_terms"]
+    result = assemble(system.ctx, art["prepared"], art["scheduled"],
+                      art["verify_results"], extra_llc,
+                      config_label=art["plan"].config_label)
+    return {"result": result}
+
+
+#: The declared graph of one checked run.  ``request`` is the single
+#: external input; ``result`` is the terminal artifact.
+RUN_GRAPH = StageGraph([
+    StageNode("build", ("request",), ("plan",), _stage_build),
+    StageNode("trace", ("plan",),
+              ("run", "segments", "boundaries"), _stage_trace),
+    StageNode("timing", ("plan", "run", "segments", "boundaries"),
+              ("prepared",), _stage_timing),
+    StageNode("noc", ("prepared",), ("noc_terms",), _stage_noc),
+    StageNode("schedule", ("prepared", "noc_terms"),
+              ("scheduled",), _stage_schedule),
+    StageNode("check", ("plan", "run", "segments"),
+              ("verify_results",), _stage_check),
+    StageNode("report", ("plan", "prepared", "scheduled", "verify_results",
+                         "noc_terms"),
+              ("result",), _stage_report),
+])
+
+__all__ = ["RUN_GRAPH", "StageGraph", "StageNode"]

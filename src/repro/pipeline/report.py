@@ -9,31 +9,48 @@ the :class:`SystemResult` plus the run's observability tree.
 from __future__ import annotations
 
 from repro.core.allocator import CheckerSlot
+from repro.core.checker import CheckResult
 from repro.obs import StatGroup
-from repro.pipeline.artifacts import PreparedRun, SystemResult
+from repro.pipeline.artifacts import PreparedRun, ScheduledRun, SystemResult
 from repro.pipeline.check import verify_sample
 from repro.pipeline.context import SimContext
 from repro.pipeline.schedule import make_slots, schedule_segments
 from repro.pipeline.timing import grid_time_at, main_timing
 
 
-def finalize(ctx: SimContext, prepared: PreparedRun, extra_llc: float,
-             push_latency: float, verify: bool = True,
-             config_label: str = "") -> SystemResult:
-    """Final timing + schedule with NoC effects applied."""
+def run_schedule(ctx: SimContext, prepared: PreparedRun, extra_llc: float,
+                 push_latency: float) -> ScheduledRun:
+    """Re-time the checked main with NoC effects and schedule the pool.
+
+    A stage-graph node of its own so the (expensive) final timing +
+    schedule can overlap the verification sample, which depends only on
+    the functional segments.
+    """
     config = ctx.config
-    run = prepared.run
-    segments = prepared.segments
     with ctx.stage_timer("timing"):
-        checked = main_timing(config, run, prepared.boundaries, extra_llc,
-                              stats=ctx.stats.group("main"))
+        checked = main_timing(config, prepared.run, prepared.boundaries,
+                              extra_llc, stats=ctx.stats.group("main"))
     slots = make_slots(config)
     with ctx.stage_timer("schedule"):
         schedule, stall_ns, covered = schedule_segments(
-            config, segments, checked.boundary_times_ns(),
+            config, prepared.segments, checked.boundary_times_ns(),
             prepared.durations_by_class, slots,
             push_latency_ns=push_latency)
-    coverage = covered / max(run.instructions, 1)
+    return ScheduledRun(checked=checked, slots=slots, schedule=schedule,
+                        stall_ns=stall_ns, covered_instructions=covered)
+
+
+def assemble(ctx: SimContext, prepared: PreparedRun,
+             scheduled: ScheduledRun, verify_results: list[CheckResult],
+             extra_llc: float, config_label: str = "") -> SystemResult:
+    """Measured-window cut, :class:`SystemResult` assembly, stats export."""
+    config = ctx.config
+    run = prepared.run
+    segments = prepared.segments
+    checked = scheduled.checked
+    schedule = scheduled.schedule
+    stall_ns = scheduled.stall_ns
+    coverage = scheduled.covered_instructions / max(run.instructions, 1)
     checked_time = checked.time_ns + stall_ns
     baseline_time = prepared.baseline.time_ns
 
@@ -58,10 +75,6 @@ def finalize(ctx: SimContext, prepared: PreparedRun, extra_llc: float,
         checked_time -= checked_bt[warmup - 1] + warm_stall
         baseline_time -= grid_time_at(prepared.baseline, cut_instr)
 
-    with ctx.stage_timer("check"):
-        verify_results = verify_sample(config, run.program, segments) \
-            if verify else []
-
     cut_reasons: dict[str, int] = {}
     for seg in segments:
         cut_reasons[seg.reason.value] = cut_reasons.get(
@@ -82,7 +95,7 @@ def finalize(ctx: SimContext, prepared: PreparedRun, extra_llc: float,
         noc_extra_llc_ns=extra_llc,
         baseline_timing=prepared.baseline,
         main_timing=checked,
-        checker_slots=slots,
+        checker_slots=scheduled.slots,
         schedule=schedule,
         verify_results=verify_results,
         cut_reasons=cut_reasons,
@@ -91,6 +104,19 @@ def finalize(ctx: SimContext, prepared: PreparedRun, extra_llc: float,
     with ctx.stage_timer("report"):
         export_run_stats(ctx.stats, result)
     return result
+
+
+def finalize(ctx: SimContext, prepared: PreparedRun, extra_llc: float,
+             push_latency: float, verify: bool = True,
+             config_label: str = "") -> SystemResult:
+    """Final timing + schedule with NoC effects applied (serial path)."""
+    scheduled = run_schedule(ctx, prepared, extra_llc, push_latency)
+    with ctx.stage_timer("check"):
+        verify_results = verify_sample(
+            ctx.config, prepared.run.program, prepared.segments) \
+            if verify else []
+    return assemble(ctx, prepared, scheduled, verify_results, extra_llc,
+                    config_label)
 
 
 def export_run_stats(stats: StatGroup, result: SystemResult) -> None:

@@ -7,11 +7,17 @@ partially cover instead of stalling), and deterministic stride sampling.
 
 from __future__ import annotations
 
+import operator
+
 from repro.core.allocator import CheckerAllocator, CheckerSlot
 from repro.core.counter import Segment
 from repro.core.eager import segment_finish_time
 from repro.core.simconfig import CheckMode, ParaVerserConfig
 from repro.pipeline.artifacts import SegmentSchedule
+
+#: Hoisted out of the per-segment hot loop: a closure-free key for the
+#: earliest-free-slot scan in opportunistic mode.
+_FREE_AT_NS = operator.attrgetter("free_at_ns")
 
 
 def make_slots(config: ParaVerserConfig) -> list[CheckerSlot]:
@@ -75,8 +81,7 @@ def schedule_segments(
                 # mid-segment immediately resumes checking from a new
                 # checkpoint there (section IV-A), covering the tail
                 # of the interval.
-                earliest = min(allocator.slots,
-                               key=lambda s: s.free_at_ns)
+                earliest = min(allocator.slots, key=_FREE_AT_NS)
                 if earliest.free_at_ns < m_end:
                     fraction = (m_end - earliest.free_at_ns) \
                         / max(m_end - m_start, 1e-12)

@@ -5,7 +5,11 @@ whose workers reuse the sweep engine's process-global
 :func:`~repro.harness.parallel.worker_cache`, so a worker that serves
 the same ``(workload, instructions, seed)`` twice never recomputes the
 functional trace — and with ``REPRO_TRACE_CACHE`` set, traces persist
-across workers and across service restarts.
+across workers and across service restarts.  Multi-spec batches are
+dispatched at stage granularity: one trace task, then per-spec
+evaluation tasks carrying the traced run as a serialized artifact, so
+the batch's specs spread across the whole pool instead of serialising
+on one worker.
 
 Everything a worker returns is a plain JSON-able dict: rows travel back
 through the executor, then over the wire, without pickle-sensitive
@@ -134,6 +138,44 @@ def evaluate_specs(specs: list[dict]) -> list[dict]:
     return rows
 
 
+def trace_workload(workload: str, instructions: int,
+                   seed: int) -> tuple[dict, str]:
+    """Pool entry point: one batch's trace stage.
+
+    Computes (or fetches) the batch's shared functional run and returns
+    it as a :func:`~repro.cpu.traceio.run_to_payload` artifact plus the
+    source it came from (``computed``/``disk``/``memory``), so the
+    service's trace-reuse counters stay truthful when the per-spec rows
+    all report the handed-off run as a ``memory`` hit.
+    """
+    from repro.cpu.traceio import run_to_payload
+    from repro.harness.parallel import worker_cache
+
+    cache = worker_cache(instructions, seed)
+    source = cache.trace_source(workload)
+    cached = cache.get(workload)
+    return run_to_payload(cached.run), source
+
+
+def evaluate_spec_row(spec: dict, run_payload: dict | None = None) -> dict:
+    """Pool entry point: evaluate one spec, adopting a handed-off trace.
+
+    The per-spec counterpart of :func:`evaluate_specs`: exceptions become
+    an ``{"error": ...}`` row so one bad spec cannot poison its batch.
+    """
+    from repro.cpu.traceio import run_from_payload
+    from repro.harness.parallel import worker_cache
+
+    try:
+        if run_payload is not None:
+            cache = worker_cache(spec["instructions"], spec["seed"])
+            cache.adopt_run(spec["workload"],
+                            run_from_payload(run_payload))
+        return evaluate_spec(spec)
+    except Exception as exc:  # noqa: BLE001 - row-level fault barrier
+        return {ROW_ERROR: f"{type(exc).__name__}: {exc}"}
+
+
 def prime_workload(workload: str, instructions: int, seed: int) -> str:
     """Pool entry point: warm the trace caches for one workload."""
     from repro.harness.parallel import worker_cache
@@ -180,10 +222,44 @@ class WorkerPool:
         return self._executor
 
     async def run_group(self, specs: list[dict]) -> list[dict]:
-        """Evaluate one batch on the pool; raises on worker crashes."""
+        """Evaluate one batch on the pool; raises on worker crashes.
+
+        Multi-spec batches run at stage granularity: one trace task
+        computes the batch's shared functional run, then every spec
+        evaluates concurrently (across workers) against the handed-off
+        trace — so a wide pool is not serialised behind one batch.
+        Single-spec batches keep the one-task fast path.
+        """
         loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(self._ensure(), evaluate_specs,
-                                          specs)
+        executor = self._ensure()
+        if len(specs) <= 1 or self.workers <= 1:
+            return await loop.run_in_executor(executor, evaluate_specs,
+                                              specs)
+        first = specs[0]
+        trace_key = (first["workload"], first["instructions"],
+                     first["seed"])
+        try:
+            payload, source = await loop.run_in_executor(
+                executor, trace_workload, *trace_key)
+        except RETRYABLE_POOL_ERRORS:
+            raise
+        except Exception as exc:  # noqa: BLE001 - batch-level fault barrier
+            error = f"{type(exc).__name__}: {exc}"
+            return [{ROW_ERROR: error} for _ in specs]
+        rows = list(await asyncio.gather(*[
+            loop.run_in_executor(
+                executor, evaluate_spec_row, spec,
+                payload if (spec["workload"], spec["instructions"],
+                            spec["seed"]) == trace_key else None)
+            for spec in specs
+        ]))
+        # The handoff makes every row see a memory hit; attribute the
+        # trace stage's real source to the first non-error row.
+        for row in rows:
+            if ROW_ERROR not in row:
+                row["trace_source"] = source
+                break
+        return rows
 
     async def prime(self, workloads: list[str], instructions: int,
                     seed: int) -> list[str]:

@@ -2,7 +2,14 @@
 
 from repro.core.system import CheckMode
 from repro.harness.experiments import a510, x2
-from repro.harness.parallel import SweepCell, SweepRunner
+from repro.harness.parallel import (
+    _WORKER_CACHES,
+    WORKER_CACHE_LIMIT,
+    SweepCell,
+    SweepRunner,
+    env_stage_overlap,
+    worker_cache,
+)
 from repro.harness.runner import WorkloadCache, env_jobs, make_config
 
 BUDGET = 4000
@@ -84,3 +91,74 @@ def test_sweep_serial_fallback_uses_no_pool():
     results = cache.sweep(_cells())
     assert cache._runner is None  # never spawned a pool
     assert len(results) == 4
+
+
+def test_staged_matches_grouped():
+    """Stage-granular dispatch is a scheduling change, not a numeric one."""
+    cells = _cells()
+    staged = SweepRunner(jobs=2, max_instructions=BUDGET, seed=SEED,
+                         stage_overlap=True)
+    grouped = SweepRunner(jobs=2, max_instructions=BUDGET, seed=SEED,
+                          stage_overlap=False)
+    try:
+        got_staged = [_fingerprint(r) for r in staged.run(cells)]
+        got_grouped = [_fingerprint(r) for r in grouped.run(cells)]
+    finally:
+        staged.close()
+        grouped.close()
+    assert got_staged == got_grouped
+    assert staged.last_stats["granularity"] == "stage"
+    assert grouped.last_stats["granularity"] == "benchmark"
+
+
+def test_staged_fills_pool_wider_than_benchmark_count():
+    """jobs > #benchmarks: stage tasks outnumber benchmark groups."""
+    cells = _cells()  # 2 benchmarks x 2 configs
+    runner = SweepRunner(jobs=4, max_instructions=BUDGET, seed=SEED,
+                         stage_overlap=True)
+    try:
+        results = runner.run(cells)
+    finally:
+        runner.close()
+    cache = WorkloadCache(max_instructions=BUDGET, seed=SEED,
+                          trace_cache=None, jobs=1)
+    for cell, result in zip(cells, results):
+        want = cache.run_config(cell.benchmark, cell.config)
+        assert _fingerprint(result) == _fingerprint(want)
+    stats = runner.last_stats
+    # 2 trace tasks + 4 cell tasks, against 2 tasks in grouped mode.
+    assert stats["tasks"] == 6
+    assert stats["jobs"] == 4
+    assert stats["elapsed_s"] > 0.0
+    assert stats["busy_s"] > 0.0
+    assert 0.0 < stats["occupancy"] <= 1.0
+
+
+def test_env_stage_overlap(monkeypatch):
+    monkeypatch.delenv("REPRO_STAGE_OVERLAP", raising=False)
+    assert env_stage_overlap() is True
+    monkeypatch.setenv("REPRO_STAGE_OVERLAP", "0")
+    assert env_stage_overlap() is False
+    monkeypatch.setenv("REPRO_STAGE_OVERLAP", "1")
+    assert env_stage_overlap() is True
+
+
+def test_worker_cache_is_a_bounded_lru():
+    saved = dict(_WORKER_CACHES)
+    _WORKER_CACHES.clear()
+    try:
+        for seed in range(WORKER_CACHE_LIMIT):
+            worker_cache(100, seed)
+        assert len(_WORKER_CACHES) == WORKER_CACHE_LIMIT
+        # Touch the oldest entry so it becomes most-recently used...
+        keep = worker_cache(100, 0)
+        # ...then overflow: the evicted entry is the oldest *untouched*.
+        worker_cache(100, WORKER_CACHE_LIMIT)
+        assert len(_WORKER_CACHES) == WORKER_CACHE_LIMIT
+        assert (100, 1) not in _WORKER_CACHES
+        assert _WORKER_CACHES[(100, 0)] is keep
+        # A hit returns the same object, not a rebuilt cache.
+        assert worker_cache(100, 0) is keep
+    finally:
+        _WORKER_CACHES.clear()
+        _WORKER_CACHES.update(saved)

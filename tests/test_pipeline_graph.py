@@ -1,0 +1,204 @@
+"""Stage-graph declaration, executor scheduling, and bit-identity.
+
+The tentpole guarantee of the stage-graph engine is that parallel
+execution is an implementation detail: ``stage_jobs=N`` must be
+bit-identical to the serial pipeline.  These tests pin the graph's
+declared shape, the executor's failure modes, and that guarantee.
+"""
+
+import pytest
+
+from repro.core.system import CheckMode, ParaVerserSystem
+from repro.harness.runner import make_config
+from repro.pipeline.check import verify_sample
+from repro.pipeline.executor import GraphExecutor, env_stage_jobs
+from repro.pipeline.graph import RUN_GRAPH, StageGraph, StageNode
+from repro.workloads.generator import build_program
+from repro.workloads.profiles import get_profile
+
+BUDGET = 6000
+SEED = 7
+
+
+def _nop(system, artifacts, executor):
+    return {}
+
+
+def _node(name, inputs, outputs):
+    return StageNode(name, tuple(inputs), tuple(outputs), _nop)
+
+
+# -- graph declaration -------------------------------------------------------
+
+class TestRunGraph:
+    def test_declares_seven_stages(self):
+        assert len(RUN_GRAPH) == 7
+        assert [node.name for node in RUN_GRAPH.nodes] == [
+            "build", "trace", "timing", "noc", "schedule", "check",
+            "report"]
+
+    def test_request_is_the_only_external_input(self):
+        assert RUN_GRAPH.external_inputs == ("request",)
+
+    def test_result_is_produced_by_report(self):
+        assert RUN_GRAPH.producers["result"] == "report"
+
+    def test_check_is_independent_of_noc_and_schedule(self):
+        """The overlap win: verify replay needs no timing artifacts."""
+        check = next(n for n in RUN_GRAPH.nodes if n.name == "check")
+        assert "noc_terms" not in check.inputs
+        assert "scheduled" not in check.inputs
+        assert "prepared" not in check.inputs
+
+    def test_initially_only_build_is_ready(self):
+        ready = RUN_GRAPH.ready({"request": object()}, set())
+        assert [node.name for node in ready] == ["build"]
+
+
+class TestStageGraphValidation:
+    def test_duplicate_stage_name_rejected(self):
+        with pytest.raises(ValueError, match="duplicate stage names"):
+            StageGraph([_node("a", [], ["x"]), _node("a", [], ["y"])])
+
+    def test_duplicate_producer_rejected(self):
+        with pytest.raises(ValueError, match="produced by both"):
+            StageGraph([_node("a", [], ["x"]), _node("b", [], ["x"])])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ValueError, match="cycle"):
+            StageGraph([_node("a", ["y"], ["x"]),
+                        _node("b", ["x"], ["y"])])
+
+    def test_ready_respects_done_and_missing_inputs(self):
+        graph = StageGraph([_node("a", ["ext"], ["x"]),
+                            _node("b", ["x"], ["y"])])
+        assert graph.external_inputs == ("ext",)
+        ready = graph.ready({"ext": 1}, set())
+        assert [n.name for n in ready] == ["a"]
+        ready = graph.ready({"ext": 1, "x": 2}, {"a"})
+        assert [n.name for n in ready] == ["b"]
+        assert graph.ready({"ext": 1, "x": 2, "y": 3}, {"a", "b"}) == []
+
+
+# -- executor ----------------------------------------------------------------
+
+class TestGraphExecutor:
+    def test_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STAGE_JOBS", raising=False)
+        assert env_stage_jobs() == 1
+        monkeypatch.setenv("REPRO_STAGE_JOBS", "3")
+        assert env_stage_jobs() == 3
+        assert GraphExecutor().stage_jobs == 3
+        monkeypatch.setenv("REPRO_STAGE_JOBS", "0")
+        assert env_stage_jobs() >= 1
+
+    @pytest.mark.parametrize("stage_jobs", [1, 4])
+    def test_map_ordered_preserves_input_order(self, stage_jobs):
+        executor = GraphExecutor(stage_jobs)
+        items = list(range(31))
+        assert executor.map_ordered(lambda i: i * i, items) == \
+            [i * i for i in items]
+
+    def test_map_ordered_empty(self):
+        assert GraphExecutor(4).map_ordered(lambda i: i, []) == []
+
+    @pytest.mark.parametrize("stage_jobs", [1, 4])
+    def test_missing_output_raises(self, stage_jobs):
+        graph = StageGraph([_node("a", [], ["x"])])  # _nop returns {}
+        with pytest.raises(RuntimeError, match="did not produce"):
+            GraphExecutor(stage_jobs).execute(graph, _FakeSystem(), {})
+
+    @pytest.mark.parametrize("stage_jobs", [1, 4])
+    def test_stalled_graph_raises(self, stage_jobs):
+        graph = StageGraph([_node("a", ["never"], ["x"])])
+        with pytest.raises(RuntimeError, match="stalled"):
+            GraphExecutor(stage_jobs).execute(graph, _FakeSystem(), {})
+
+
+class _FakeStats:
+    def group(self, *args, **kwargs):
+        return self
+
+    def scalar(self, *args, **kwargs):
+        pass
+
+    def count(self, *args, **kwargs):
+        pass
+
+
+class _FakeCtx:
+    stats = _FakeStats()
+
+
+class _FakeSystem:
+    ctx = _FakeCtx()
+
+
+# -- bit-identity ------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def program():
+    return build_program(get_profile("xz"), seed=SEED)
+
+
+def _fingerprint(result):
+    return (
+        result.overhead_percent,
+        result.coverage,
+        result.segments,
+        result.stall_ns,
+        result.lsl_bytes,
+        result.noc_extra_llc_ns,
+        result.cut_reasons,
+        tuple(r.detected for r in result.verify_results),
+        result.main_timing.time_ns,
+        result.baseline_timing.time_ns,
+    )
+
+
+@pytest.mark.parametrize("mode", [CheckMode.FULL, CheckMode.OPPORTUNISTIC])
+def test_parallel_stages_bit_identical_to_serial(program, mode):
+    config = make_config(_pool(), mode)
+    serial = ParaVerserSystem(config, stage_jobs=1).run(
+        program, max_instructions=BUDGET)
+    pooled = ParaVerserSystem(config, stage_jobs=4).run(
+        program, max_instructions=BUDGET)
+    assert _fingerprint(pooled) == _fingerprint(serial)
+
+
+def _pool():
+    from repro.cpu.config import CoreInstance
+    from repro.cpu.presets import A510
+
+    return [CoreInstance(A510, 2.0), CoreInstance(A510, 2.0)]
+
+
+def test_executor_stats_published(program):
+    config = make_config(_pool())
+    result = ParaVerserSystem(config, stage_jobs=2).run(
+        program, max_instructions=BUDGET)
+    flat = result.stats.flatten()
+    assert flat["pipeline.executor.stage_jobs"] == 2.0
+    assert flat["pipeline.executor.stages_run"] == 7
+    assert flat["pipeline.executor.wall_time_ms"] > 0.0
+    assert flat["pipeline.executor.queue_depth_max"] >= 1.0
+    assert flat["pipeline.executor.overlap"] > 0.0
+    assert 0.0 < flat["pipeline.executor.occupancy"] <= 1.0
+    for stage in ("build", "trace", "timing", "noc", "schedule", "check",
+                  "report"):
+        assert f"pipeline.{stage}.wall_time_ms" in flat
+
+
+def test_verify_sample_mapper_matches_serial(program):
+    config = make_config(_pool())
+    system = ParaVerserSystem(config)
+    run = system.execute(program, max_instructions=BUDGET)
+    segments = system.segment(run)
+    serial = verify_sample(config, program, segments)
+    mapped = verify_sample(config, program, segments,
+                           mapper=GraphExecutor(4).map_ordered)
+    assert len(serial) == len(mapped) > 0
+    for a, b in zip(serial, mapped):
+        assert a.detected == b.detected
+        assert a.instructions_replayed == b.instructions_replayed
+        assert a.first_event == b.first_event

@@ -1,0 +1,127 @@
+"""Opportunistic mid-segment partial coverage in ``schedule_segments``.
+
+Section IV-A: when no checker is free at a segment's start but one
+frees before the segment ends, checking resumes from a fresh checkpoint
+at the free point, covering the tail fraction of the interval.  These
+tests drive the scheduler directly with synthetic segments so the
+partial-coverage arithmetic (fraction, the ``lines >= 1`` clamp, the
+0.5 ``covered`` threshold) is pinned independently of any workload.
+"""
+
+import pytest
+
+from repro.core.allocator import CheckerSlot
+from repro.core.counter import CutReason, Segment
+from repro.core.simconfig import CheckMode
+from repro.cpu.config import CoreInstance
+from repro.cpu.presets import A510
+from repro.harness.runner import make_config
+from repro.pipeline.schedule import schedule_segments
+
+
+def _segment(index, start, end, lines=10):
+    return Segment(index=index, start=start, end=end, records=[],
+                   lsl_bytes=lines * 64, lines=lines,
+                   reason=CutReason.TIMEOUT)
+
+
+def _config():
+    # eager_wake off: lazy finish = max(free, seg_end) + duration + noc,
+    # so checker free times are exact round numbers below.
+    return make_config([CoreInstance(A510, 2.0)],
+                       mode=CheckMode.OPPORTUNISTIC, eager_wake=False)
+
+
+def _slots(config):
+    return [CheckerSlot(instance=inst,
+                        lsl_capacity_bytes=config.lsl_capacity(),
+                        position=i)
+            for i, inst in enumerate(config.checkers)]
+
+
+def _run(durations, segments, boundaries):
+    config = _config()
+    slots = _slots(config)
+    label = config.checkers[0].label
+    return schedule_segments(
+        config, segments, boundaries,
+        {label: durations}, slots, push_latency_ns=0.0)
+
+
+class TestPartialCoverage:
+    def test_tail_fraction_resumes_mid_segment(self):
+        # Segment 0 occupies the lone checker until t=1500 (lazy finish:
+        # max(0, 1000) + 500); segment 1 spans [1000, 2000], so the
+        # checker frees 50% of the way through it.
+        schedule, stall, covered = _run(
+            durations=[500.0, 400.0],
+            segments=[_segment(0, 0, 1000), _segment(1, 1000, 2000)],
+            boundaries=[1000.0, 2000.0])
+        first, second = schedule
+        assert first.covered and first.coverage_fraction == 1.0
+        assert second.checker_label is not None
+        assert second.coverage_fraction == pytest.approx(0.5)
+        # Exactly at the threshold counts as covered.
+        assert second.covered
+        assert covered == 1000 + int(1000 * 0.5)
+
+    def test_fraction_below_half_is_not_covered(self):
+        # Checker frees at 1600 -> fraction 0.4: checked, but the
+        # segment does not count toward covered status.
+        schedule, _, covered = _run(
+            durations=[600.0, 400.0],
+            segments=[_segment(0, 0, 1000), _segment(1, 1000, 2000)],
+            boundaries=[1000.0, 2000.0])
+        second = schedule[1]
+        assert second.checker_label is not None
+        assert second.coverage_fraction == pytest.approx(0.4)
+        assert not second.covered
+        assert covered == 1000 + int(1000 * 0.4)
+
+    def test_lines_clamped_to_at_least_one(self):
+        # A tiny tail of a one-line segment must still push one line:
+        # the partial checkpoint itself travels over the NoC.  With a
+        # 0.05 fraction, int(1 * 0.05) would be 0 without the clamp;
+        # the schedule still records a real (non-zero-work) assignment.
+        schedule, _, _ = _run(
+            durations=[950.0, 10.0],
+            segments=[_segment(0, 0, 1000), _segment(1, 1000, 2000,
+                                                     lines=1)],
+            boundaries=[1000.0, 2000.0])
+        second = schedule[1]
+        assert second.checker_label is not None
+        assert second.coverage_fraction == pytest.approx(0.05)
+        # Lazy finish: max(free=1950, m_end=2000) + 10 * 0.05 = 2000.5.
+        assert second.checker_finish_ns == pytest.approx(2000.5)
+
+    def test_no_checker_before_segment_end_drops_segment(self):
+        # Checker busy past m_end=2000 -> the segment goes unchecked.
+        schedule, _, covered = _run(
+            durations=[1500.0, 400.0],
+            segments=[_segment(0, 0, 1000), _segment(1, 1000, 2000)],
+            boundaries=[1000.0, 2000.0])
+        second = schedule[1]
+        assert second.checker_label is None
+        assert not second.covered
+        assert second.coverage_fraction == 0.0
+        assert covered == 1000
+
+    def test_opportunistic_never_stalls(self):
+        schedule, stall, _ = _run(
+            durations=[1500.0, 400.0, 300.0],
+            segments=[_segment(0, 0, 1000), _segment(1, 1000, 2000),
+                      _segment(2, 2000, 3000)],
+            boundaries=[1000.0, 2000.0, 3000.0])
+        assert stall == 0.0
+        assert all(entry.stalled_ns == 0.0 for entry in schedule)
+
+    def test_partial_duration_scales_with_fraction(self):
+        # The checker only replays the tail, so its busy time is the
+        # full-segment duration scaled by the covered fraction.
+        schedule, _, _ = _run(
+            durations=[500.0, 400.0],
+            segments=[_segment(0, 0, 1000), _segment(1, 1000, 2000)],
+            boundaries=[1000.0, 2000.0])
+        second = schedule[1]
+        # Lazy finish: max(free=1500, m_end=2000) + 400 * 0.5 = 2200.
+        assert second.checker_finish_ns == pytest.approx(2200.0)
