@@ -1,0 +1,94 @@
+"""Fault-injection campaign throughput (Fig. 8 at scale).
+
+Measures a fixed campaign spec serially and fanned over the process
+pool, verifying the two schedules agree bit-for-bit before timing is
+trusted.  Results merge into ``BENCH_throughput.json`` under the
+``campaign`` key.
+
+The speedup assertion is conditional on host width: a ``jobs=4``
+campaign cannot beat serial on a one-core runner, so the artifact
+records ``host_cpus`` honestly (the ``sweep_overlap`` precedent) and
+the >=3x gate only arms when four cores are really there.
+
+``REPRO_CAMPAIGN_TRIALS`` sizes the campaign (default 200);
+``REPRO_BENCH_BUDGET`` sizes the workload as in the other benches.
+"""
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+
+from repro.faults.engine import CampaignSpec, run_campaign
+
+TRIALS = int(os.environ.get("REPRO_CAMPAIGN_TRIALS", 200))
+BUDGET = int(os.environ.get("REPRO_BENCH_BUDGET", 30_000))
+JOBS = 4
+SEED = 7
+
+SPEC = CampaignSpec(workload="exchange2", instructions=BUDGET,
+                    seed=SEED, trials=TRIALS)
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
+
+
+def _merge_artifact(update: dict) -> dict:
+    payload = {}
+    if ARTIFACT.is_file():
+        try:
+            payload = json.loads(ARTIFACT.read_text())
+        except ValueError:
+            payload = {}
+    payload.update(update)
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def test_bench_campaign_speedup(benchmark):
+    # Build the campaign context (trace + segments + coverage) once in
+    # the parent: forked workers inherit it either way, so neither
+    # schedule gets a cold-start handicap.
+    run_campaign(dataclasses.replace(SPEC, trials=1), jobs=1)
+
+    def measure():
+        serial = run_campaign(SPEC, jobs=1)
+        parallel = run_campaign(SPEC, jobs=JOBS)
+        return serial, parallel
+
+    serial, parallel = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    # Timing is only meaningful if the schedules computed the same thing.
+    assert parallel.records == serial.records
+
+    host_cpus = os.cpu_count()
+    speedup = (serial.elapsed_s / parallel.elapsed_s
+               if parallel.elapsed_s > 0 else None)
+    payload = {"campaign": {
+        "workload": SPEC.workload,
+        "instructions": BUDGET,
+        "trials": TRIALS,
+        "jobs": JOBS,
+        "host_cpus": host_cpus,
+        "detected": serial.detected,
+        "masked": serial.masked,
+        "serial_s": round(serial.elapsed_s, 3),
+        "parallel_s": round(parallel.elapsed_s, 3),
+        "trials_per_sec_serial": round(TRIALS / serial.elapsed_s, 2)
+        if serial.elapsed_s > 0 else None,
+        "trials_per_sec_parallel": round(TRIALS / parallel.elapsed_s, 2)
+        if parallel.elapsed_s > 0 else None,
+        "speedup": round(speedup, 3) if speedup else None,
+    }}
+    _merge_artifact(payload)
+
+    print(f"\nserial:   {serial.elapsed_s:.2f}s "
+          f"({TRIALS / serial.elapsed_s:.1f} trials/s)")
+    print(f"parallel: {parallel.elapsed_s:.2f}s "
+          f"(jobs={JOBS}, {TRIALS / parallel.elapsed_s:.1f} trials/s)")
+    print(f"speedup:  {speedup:.2f}x on {host_cpus} cpus")
+
+    assert serial.injected == TRIALS
+    if host_cpus and host_cpus >= JOBS and TRIALS >= 200:
+        assert speedup >= 3.0, (
+            f"jobs={JOBS} campaign only {speedup:.2f}x faster than "
+            f"serial on a {host_cpus}-cpu host")

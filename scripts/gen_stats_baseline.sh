@@ -5,3 +5,8 @@
 set -e
 PYTHONPATH=src python -m repro.cli run -w mcf -n 20000 --stage-jobs 2 \
   --stats-json tests/golden/stats_smoke.json
+# Campaign coverage baseline: trial outcomes are a pure function of
+# (spec, trial), so these leaves are deterministic across hosts and
+# worker counts; faults.runtime.* is wall-clock and masked in CI.
+PYTHONPATH=src python -m repro.cli campaign -w mcf -t 10 -n 20000 -j 1 \
+  --stats-json tests/golden/campaign_smoke.json

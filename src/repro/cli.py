@@ -9,6 +9,8 @@ Installed as ``paraverser`` (see pyproject.toml)::
     paraverser backends                          # list detection backends
     paraverser run -w mcf --backend dual-lockstep  # evaluate one backend
     paraverser inject -w deepsjeng -t 30         # fault-injection campaign
+    paraverser campaign -w deepsjeng -t 200 -j 4 # parallel campaign engine
+    paraverser campaign -w mcf --campaign-dir /tmp/c --resume  # finish one
     paraverser figures fig6 fig11                # regenerate paper figures
     paraverser serve --port 8347 --workers 4     # batched evaluation server
     paraverser eval -w mcf --backend paraverser-full  # query a server
@@ -101,6 +103,47 @@ def _build_parser() -> argparse.ArgumentParser:
     inject.add_argument("-t", "--trials", type=int, default=20)
     inject.add_argument("-n", "--instructions", type=int, default=40_000)
     inject.add_argument("--seed", type=int, default=7)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="parallel fault-injection campaign (Fig. 8 at scale)")
+    campaign.add_argument("-w", "--workload", required=True)
+    campaign.add_argument("-c", "--checkers", metavar="SPEC",
+                          default="1xA510@1.0",
+                          help="checker pool spec, e.g. 1xA510@1.0")
+    campaign.add_argument("-m", "--mode",
+                          choices=[m.value for m in CheckMode],
+                          default="opportunistic")
+    campaign.add_argument("--hash", action="store_true", dest="hash_mode")
+    campaign.add_argument("-t", "--trials", type=int, default=None,
+                          help="injection trials (default: REPRO_TRIALS)")
+    campaign.add_argument("-n", "--instructions", type=int, default=40_000)
+    campaign.add_argument("--seed", type=int, default=7)
+    campaign.add_argument("-j", "--jobs", type=int, default=None,
+                          help="worker processes fanning trials out "
+                               "(default: REPRO_JOBS or 1; 0 = all CPUs)")
+    campaign.add_argument("--fault-kinds", metavar="K1,K2,...",
+                          default=None,
+                          help="fault-site mix: any of stuck_at, "
+                               "transient_lsq, transient_reg "
+                               "(default: all three)")
+    campaign.add_argument("--campaign-dir", metavar="DIR", default=None,
+                          help="directory for per-worker JSONL result "
+                               "shards (enables --resume)")
+    campaign.add_argument("--resume", action="store_true",
+                          help="skip trials already recorded in the "
+                               "--campaign-dir shards")
+    campaign.add_argument("--stats-json", metavar="PATH",
+                          help="write the campaign's faults.* stats tree")
+    campaign.add_argument("--json", action="store_true",
+                          help="print the raw campaign row as JSON")
+    campaign.add_argument("--host", default=None,
+                          help="run on an evaluation server instead of "
+                               "locally")
+    campaign.add_argument("--port", type=int, default=8347)
+    campaign.add_argument("--timeout", type=float, default=None,
+                          help="per-request deadline in seconds "
+                               "(server runs only)")
 
     workloads = sub.add_parser("workloads", help="list benchmark profiles")
     workloads.add_argument("--suite", choices=["spec2017", "gap", "parsec"],
@@ -331,6 +374,136 @@ def cmd_inject(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_campaign_row(row: dict) -> None:
+    print(f"workload:                {row['workload']}")
+    print(f"checkers:                {row['checkers']} ({row['mode']})")
+    print(f"trials:                  {row['trials']}")
+    print(f"detected:                {row['detected']}")
+    print(f"masked:                  {row['masked']}")
+    print(f"missed by coverage:      {row['missed']}")
+    print(f"detection (all):         {row['detection_rate_all'] * 100:.0f}%")
+    print("detection (effective):   "
+          f"{row['detection_rate_effective'] * 100:.0f}%")
+    latency = row.get("mean_detection_latency")
+    if latency is not None:
+        print(f"mean detection latency:  {latency:.0f} instructions")
+    for kind, counts in sorted(row.get("by_kind", {}).items()):
+        print(f"  {kind:15s} injected {counts['injected']:4d}  "
+              f"detected {counts['detected']:4d}  "
+              f"masked {counts['masked']:4d}")
+    if row.get("resumed_trials"):
+        print(f"resumed from shards:     {row['resumed_trials']} trials")
+    print(f"wall time:               {row['elapsed_s']:.2f}s "
+          f"(jobs={row['jobs']})")
+
+
+def _campaign_fault_kinds(raw: str | None) -> tuple[str, ...]:
+    from repro.faults.models import FAULT_KINDS
+
+    if raw is None:
+        return FAULT_KINDS
+    kinds = tuple(k.strip() for k in raw.split(",") if k.strip())
+    unknown = [k for k in kinds if k not in FAULT_KINDS]
+    if not kinds or unknown:
+        raise argparse.ArgumentTypeError(
+            f"bad fault kinds {raw!r}; pick from {', '.join(FAULT_KINDS)}")
+    return kinds
+
+
+def _campaign_remote(args: argparse.Namespace,
+                     fault_kinds: tuple[str, ...], trials: int) -> int:
+    import json as _json
+
+    from repro.serve.client import EvalClient
+    from repro.serve.protocol import CampaignRequest
+
+    if args.resume or args.campaign_dir:
+        print("campaign: --resume/--campaign-dir are local-only "
+              "(the server runs each request whole)", file=sys.stderr)
+        return 2
+    request = CampaignRequest(
+        workload=args.workload,
+        checkers=args.checkers,
+        mode=args.mode,
+        hash_mode=args.hash_mode,
+        instructions=args.instructions,
+        seed=args.seed,
+        trials=trials,
+        fault_kinds=fault_kinds,
+        timeout_s=args.timeout,
+    )
+    try:
+        with EvalClient(args.host, args.port) as client:
+            response = client.campaign(request)
+    except (OSError, ConnectionError) as exc:
+        print(f"campaign: cannot reach {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
+    if not response.ok:
+        print(f"campaign: {response.status}: {response.error}",
+              file=sys.stderr)
+        return _EVAL_EXIT_CODES.get(response.status, 2)
+    row = response.result or {}
+    if args.json:
+        print(_json.dumps(row, sort_keys=True))
+    else:
+        _print_campaign_row(row)
+    return 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """`paraverser campaign`: fan injection trials over worker processes."""
+    import json as _json
+
+    from repro.faults.engine import (
+        CampaignRunner,
+        CampaignSpec,
+        publish_campaign_stats,
+    )
+    from repro.harness.runner import env_jobs, env_trials
+    from repro.obs import StatGroup
+
+    try:
+        fault_kinds = _campaign_fault_kinds(args.fault_kinds)
+        parse_checkers(args.checkers)  # fail fast on a bad pool spec
+    except argparse.ArgumentTypeError as exc:
+        print(f"campaign: {exc}", file=sys.stderr)
+        return 2
+    trials = args.trials if args.trials is not None else env_trials()
+    if args.host:
+        return _campaign_remote(args, fault_kinds, trials)
+    if args.resume and not args.campaign_dir:
+        print("campaign: --resume requires --campaign-dir",
+              file=sys.stderr)
+        return 2
+    spec = CampaignSpec(
+        workload=args.workload,
+        checkers=args.checkers,
+        mode=args.mode,
+        hash_mode=args.hash_mode,
+        instructions=args.instructions,
+        seed=args.seed,
+        trials=trials,
+        fault_kinds=fault_kinds,
+    )
+    jobs = args.jobs if args.jobs is not None else env_jobs()
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    with CampaignRunner(jobs=jobs, campaign_dir=args.campaign_dir,
+                        resume=args.resume) as runner:
+        outcome = runner.run(spec)
+    row = outcome.to_row()
+    if args.json:
+        print(_json.dumps(row, sort_keys=True))
+    else:
+        _print_campaign_row(row)
+    if args.stats_json:
+        stats = StatGroup("root")
+        publish_campaign_stats(stats, outcome)
+        _write_stats_json(stats, args.stats_json)
+    return 0
+
+
 def cmd_workloads(args: argparse.Namespace) -> int:
     """`paraverser workloads`: list the benchmark profiles."""
     print(f"{'name':12s} {'suite':9s} {'threads':>7s}  description")
@@ -528,6 +701,7 @@ def cmd_stats_diff(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "run": cmd_run,
     "inject": cmd_inject,
+    "campaign": cmd_campaign,
     "workloads": cmd_workloads,
     "backends": cmd_backends,
     "figures": cmd_figures,

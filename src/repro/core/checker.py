@@ -346,7 +346,13 @@ class CheckerCore:
                 DetectionKind.LOG_OVERFLOW, segment.index,
                 f"{interface.surplus_records} logged entries never replayed",
             ))
-        event = self.rcu.compare(run.end_checkpoint, segment.index)
+        end_checkpoint = run.end_checkpoint
+        corrupt = getattr(self.fault_surface, "corrupt_checkpoint", None)
+        if corrupt is not None:
+            # Register-file fault sites strike the checker's end-of-segment
+            # snapshot itself, right before the RCU comparison.
+            end_checkpoint = corrupt(end_checkpoint, segment.index)
+        event = self.rcu.compare(end_checkpoint, segment.index)
         if event is not None:
             result.detected = True
             result.events.append(event)

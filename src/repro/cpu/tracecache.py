@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import tempfile
 from pathlib import Path
@@ -26,6 +27,8 @@ from pathlib import Path
 from repro.cpu import traceio
 from repro.cpu.functional import RunResult
 from repro.isa.instructions import Opcode
+
+logger = logging.getLogger("repro.cpu.tracecache")
 
 CACHE_VERSION = 1
 
@@ -75,7 +78,13 @@ class TraceCache:
             return None
         try:
             return traceio.load_run(path)
-        except (ValueError, KeyError, TypeError, IndexError, OSError):
+        except (ValueError, KeyError, TypeError, IndexError, EOFError,
+                OSError) as exc:
+            # E.g. a publisher killed mid-os.replace on a non-atomic
+            # filesystem leaves a truncated file; treat it as a miss.
+            logger.warning(
+                "trace cache: dropping corrupt entry %s (%s: %s)",
+                path, type(exc).__name__, exc)
             path.unlink(missing_ok=True)
             return None
 

@@ -1,0 +1,30 @@
+"""Friendly parsing for ``REPRO_*`` environment knobs.
+
+Scale knobs are set by hand in shells and CI files, where a stray
+``REPRO_JOBS=four`` or ``REPRO_TRIALS=20x`` is easy to type.  A bare
+``ValueError`` traceback from deep inside a runner hides which variable
+was wrong; :func:`env_int` fails with a one-line message naming the
+variable and the offending value instead.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def env_int(name: str, default: int) -> int:
+    """``int(os.environ[name])`` with a one-line failure mode.
+
+    Exits (via :class:`SystemExit`, so no traceback reaches the
+    terminal) when the variable is set to something that is not an
+    integer.
+    """
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise SystemExit(
+            f"{name}={raw!r} is not an integer; "
+            f"unset it or use e.g. {name}={default}") from None

@@ -8,24 +8,42 @@ from repro.faults.campaign import (
     covered_segments,
 )
 from repro.faults.models import (
+    FAULT_KINDS,
+    FAULT_STUCK_AT,
+    FAULT_TRANSIENT_LSQ,
+    FAULT_TRANSIENT_REG,
     INJECTABLE_UNITS,
+    RegisterFault,
     StuckAtFault,
     TransientFault,
     bits_to_float,
+    derive_trial_seed,
+    fault_for_trial,
     float_to_bits,
+    random_register_fault,
     random_stuck_at,
+    random_transient_lsq,
 )
 
 __all__ = [
     "CampaignResult",
+    "FAULT_KINDS",
+    "FAULT_STUCK_AT",
+    "FAULT_TRANSIENT_LSQ",
+    "FAULT_TRANSIENT_REG",
     "FaultCampaign",
     "INJECTABLE_UNITS",
     "InjectionResult",
+    "RegisterFault",
     "StuckAtFault",
     "TransientFault",
     "bits_to_float",
     "checker_fu_counts",
     "covered_segments",
+    "derive_trial_seed",
+    "fault_for_trial",
     "float_to_bits",
+    "random_register_fault",
     "random_stuck_at",
+    "random_transient_lsq",
 ]

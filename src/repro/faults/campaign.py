@@ -15,29 +15,39 @@ does).  A trial:
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
+from typing import Union
 
 from repro.core.checker import CheckerCore
 from repro.core.counter import Segment
 from repro.core.errors import DetectionEvent
 from repro.core.system import SystemResult
 from repro.cpu.config import CoreConfig
-from repro.faults.models import StuckAtFault, random_stuck_at
+from repro.faults.models import (
+    FAULT_STUCK_AT,
+    RegisterFault,
+    StuckAtFault,
+    TransientFault,
+    fault_for_trial,
+)
 from repro.isa.instructions import FUKind
 from repro.isa.program import Program
+
+Fault = Union[StuckAtFault, TransientFault, RegisterFault]
 
 
 @dataclass
 class InjectionResult:
     """Outcome of one injected fault."""
 
-    fault: StuckAtFault
+    fault: Fault
     detected: bool
     masked: bool
     detection_instruction: int = -1  # main-core trace index at detection
     detecting_segment: int = -1
     event: DetectionEvent | None = None
+    trial: int = -1  # campaign trial index (-1 for ad-hoc injections)
+    kind: str = FAULT_STUCK_AT
 
     @property
     def effective(self) -> bool:
@@ -98,11 +108,16 @@ class FaultCampaign:
         self.fu_counts = checker_fu_counts(checker_config)
         self.hash_mode = hash_mode
 
-    def run_trial(self, fault: StuckAtFault,
-                  covered: list[int] | None = None) -> InjectionResult:
+    def run_trial(self, fault: Fault,
+                  covered: list[int] | None = None,
+                  trial: int = -1,
+                  kind: str = FAULT_STUCK_AT) -> InjectionResult:
         """Inject ``fault`` on the checker; replay covered segments."""
         covered_set = set(covered) if covered is not None else None
-        checker = CheckerCore(self.program, fault_surface=fault,
+        # Stateful faults (transients) carry use counters; start each
+        # replay pass from a pristine copy so a trial's outcome never
+        # depends on what ran on the fault object before it.
+        checker = CheckerCore(self.program, fault_surface=fault.fresh(),
                               fu_counts=self.fu_counts,
                               hash_mode=self.hash_mode)
         for seg in self.segments:
@@ -115,10 +130,11 @@ class FaultCampaign:
                     detection_instruction=seg.end,
                     detecting_segment=seg.index,
                     event=result.first_event,
+                    trial=trial, kind=kind,
                 )
         # Nothing detected among covered segments: was it masked entirely?
         if covered_set is not None and len(covered_set) < len(self.segments):
-            full = CheckerCore(self.program, fault_surface=fault,
+            full = CheckerCore(self.program, fault_surface=fault.fresh(),
                                fu_counts=self.fu_counts,
                                hash_mode=self.hash_mode)
             for seg in self.segments:
@@ -127,17 +143,29 @@ class FaultCampaign:
                 if full.check_segment(seg).detected:
                     # Effective fault that coverage missed.
                     return InjectionResult(fault=fault, detected=False,
-                                           masked=False)
-        return InjectionResult(fault=fault, detected=False, masked=True)
+                                           masked=False,
+                                           trial=trial, kind=kind)
+        return InjectionResult(fault=fault, detected=False, masked=True,
+                               trial=trial, kind=kind)
 
     def run(self, trials: int, seed: int = 0,
-            covered: list[int] | None = None) -> CampaignResult:
-        """Run ``trials`` random stuck-at injections."""
-        rng = random.Random(seed ^ 0xFA17)
+            covered: list[int] | None = None,
+            kinds: tuple[str, ...] = (FAULT_STUCK_AT,),
+            first_trial: int = 0) -> CampaignResult:
+        """Run ``trials`` random fault injections.
+
+        Each trial's fault is drawn from its own derived seed
+        (:func:`~repro.faults.models.derive_trial_seed`), so any subset
+        or reordering of trials — including fan-out over worker
+        processes — reproduces exactly the serial campaign.
+        """
         result = CampaignResult(workload=self.program.name)
-        for _ in range(trials):
-            fault = random_stuck_at(rng, self.fu_counts)
-            result.trials.append(self.run_trial(fault, covered))
+        for trial in range(first_trial, first_trial + trials):
+            kind, fault = fault_for_trial(
+                seed, trial, self.fu_counts, kinds=kinds,
+                segments=len(self.segments))
+            result.trials.append(
+                self.run_trial(fault, covered, trial=trial, kind=kind))
         return result
 
 

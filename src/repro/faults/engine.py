@@ -1,0 +1,485 @@
+"""Parallel fault-injection campaign engine (Fig. 8 at scale).
+
+Campaigns are the one evaluation path where the paper's experiment is
+embarrassingly parallel *within* a single workload: every trial replays
+the same segments under an independent fault.  The
+:class:`CampaignRunner` fans trials out over the sweep engine's process
+pool (:mod:`repro.harness.parallel`), one picklable ``(spec, trial)``
+task each, and merges results as they land.
+
+Determinism does not depend on scheduling.  Trial ``t``'s fault is a
+pure function of ``(spec.seed, t)`` via
+:func:`~repro.faults.models.derive_trial_seed`, so any worker count,
+completion order, or resume split reproduces the serial campaign
+bit-for-bit.
+
+Every completed trial is appended to a per-process JSONL shard
+(``shard-<pid>.jsonl`` under the campaign directory) and flushed, so a
+killed campaign resumes where it stopped: ``resume=True`` scans the
+shards, skips records from other specs (each line carries the spec
+key) and corrupt/partial lines, and only schedules the missing trial
+ids.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, wait
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.faults.models import FAULT_KINDS, fault_for_trial
+
+logger = logging.getLogger("repro.faults.engine")
+
+#: Shard filename pattern; one per writing process.
+SHARD_GLOB = "shard-*.jsonl"
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Everything a worker needs to run one trial, picklable/JSON-able."""
+
+    workload: str
+    checkers: str = "1xA510@1.0"
+    mode: str = "opportunistic"
+    hash_mode: bool = False
+    instructions: int = 40_000
+    seed: int = 7
+    trials: int = 20
+    fault_kinds: tuple[str, ...] = FAULT_KINDS
+
+    def key(self) -> str:
+        """Stable identity of the campaign's *trial-defining* fields.
+
+        Shard records carry this so a resume never mixes results from a
+        differently-parameterised campaign that shared the directory.
+        ``trials`` is excluded: growing a campaign from 100 to 500
+        trials must reuse the first 100 results.
+        """
+        ident = {k: v for k, v in asdict(self).items() if k != "trials"}
+        blob = json.dumps(ident, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()[:16]
+
+    def to_json(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "CampaignSpec":
+        payload = dict(payload)
+        payload["fault_kinds"] = tuple(payload.get("fault_kinds",
+                                                   FAULT_KINDS))
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """JSON-able outcome of one trial (what the shards store)."""
+
+    trial: int
+    kind: str
+    fault: str  # human-readable site description
+    detected: bool
+    masked: bool
+    detection_instruction: int = -1
+    detecting_segment: int = -1
+
+    def to_json(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "TrialRecord":
+        return cls(
+            trial=int(payload["trial"]),
+            kind=str(payload["kind"]),
+            fault=str(payload["fault"]),
+            detected=bool(payload["detected"]),
+            masked=bool(payload["masked"]),
+            detection_instruction=int(
+                payload.get("detection_instruction", -1)),
+            detecting_segment=int(payload.get("detecting_segment", -1)),
+        )
+
+
+@dataclass
+class CampaignOutcome:
+    """Aggregate of one (possibly resumed, possibly parallel) campaign."""
+
+    spec: CampaignSpec
+    records: list[TrialRecord] = field(default_factory=list)
+    elapsed_s: float = 0.0
+    busy_s: float = 0.0
+    jobs: int = 1
+    resumed_trials: int = 0
+
+    @property
+    def injected(self) -> int:
+        return len(self.records)
+
+    @property
+    def detected(self) -> int:
+        return sum(1 for r in self.records if r.detected)
+
+    @property
+    def masked(self) -> int:
+        return sum(1 for r in self.records if r.masked)
+
+    @property
+    def missed(self) -> int:
+        """Effective faults the configured coverage never observed."""
+        return sum(1 for r in self.records
+                   if not r.detected and not r.masked)
+
+    @property
+    def detection_rate_all(self) -> float:
+        return self.detected / self.injected if self.injected else 0.0
+
+    @property
+    def detection_rate_effective(self) -> float:
+        effective = self.injected - self.masked
+        return self.detected / effective if effective else 1.0
+
+    @property
+    def mean_detection_latency(self) -> float:
+        latencies = [r.detection_instruction for r in self.records
+                     if r.detected]
+        return sum(latencies) / len(latencies) if latencies else float("nan")
+
+    def by_kind(self) -> dict[str, dict[str, int]]:
+        """Per fault-kind injected/detected/masked counts."""
+        out: dict[str, dict[str, int]] = {}
+        for record in self.records:
+            bucket = out.setdefault(
+                record.kind, {"injected": 0, "detected": 0, "masked": 0})
+            bucket["injected"] += 1
+            bucket["detected"] += record.detected
+            bucket["masked"] += record.masked
+        return out
+
+    def to_row(self) -> dict:
+        """Headline numbers as a JSON-able dict (CLI/serve payload)."""
+        return {
+            "workload": self.spec.workload,
+            "checkers": self.spec.checkers,
+            "mode": self.spec.mode,
+            "trials": self.injected,
+            "detected": self.detected,
+            "masked": self.masked,
+            "missed": self.missed,
+            "detection_rate_all": self.detection_rate_all,
+            "detection_rate_effective": self.detection_rate_effective,
+            "mean_detection_latency": (
+                self.mean_detection_latency if self.detected else None),
+            "by_kind": self.by_kind(),
+            "elapsed_s": self.elapsed_s,
+            "jobs": self.jobs,
+            "resumed_trials": self.resumed_trials,
+        }
+
+
+# -- worker side (runs in pool processes, and inline for jobs=1) -------------
+
+#: Per-process campaign contexts, keyed by spec key.  Bounded like the
+#: sweep worker caches: a long-lived pool cycling through campaigns must
+#: not pin every program/segment list forever.
+_CONTEXTS: dict = {}
+_CONTEXT_LIMIT = 4
+
+
+@dataclass
+class _CampaignContext:
+    """The per-process heavy state shared by all of one spec's trials."""
+
+    campaign: object  # FaultCampaign
+    covered: list[int]
+    segments: int
+
+
+def _campaign_context(spec: CampaignSpec) -> _CampaignContext:
+    """Build-or-fetch this process's context for ``spec``.
+
+    Reuses the sweep engine's process-global
+    :func:`~repro.harness.parallel.worker_cache`, so the functional
+    trace (and, with ``REPRO_TRACE_CACHE``, its on-disk copy) is shared
+    with sweep and serve workloads running in the same pool.
+    """
+    key = spec.key()
+    ctx = _CONTEXTS.get(key)
+    if ctx is not None:
+        return ctx
+
+    from repro.cli import parse_checkers
+    from repro.core.system import CheckMode, ParaVerserSystem
+    from repro.faults.campaign import FaultCampaign, covered_segments
+    from repro.harness.parallel import worker_cache
+    from repro.harness.runner import make_config
+
+    cache = worker_cache(spec.instructions, spec.seed)
+    config = make_config(parse_checkers(spec.checkers),
+                         CheckMode(spec.mode),
+                         hash_mode=spec.hash_mode)
+    cached = cache.get(spec.workload)
+    result = cache.run_config(spec.workload, config)
+    segments = ParaVerserSystem(config).segment(cached.run)
+    campaign = FaultCampaign(cached.program, segments,
+                             config.checkers[0].config,
+                             hash_mode=spec.hash_mode)
+    ctx = _CampaignContext(campaign=campaign,
+                           covered=covered_segments(result),
+                           segments=len(segments))
+    _CONTEXTS[key] = ctx
+    while len(_CONTEXTS) > _CONTEXT_LIMIT:
+        _CONTEXTS.pop(next(iter(_CONTEXTS)))
+    return ctx
+
+
+def run_trial_in_worker(spec: CampaignSpec, trial: int,
+                        shard_dir: str | None = None) -> dict:
+    """Run one trial; append its record to this process's shard.
+
+    Returns the :class:`TrialRecord` JSON dict.  Pure function of
+    ``(spec, trial)`` — the executing process is irrelevant.
+    """
+    ctx = _campaign_context(spec)
+    kind, fault = fault_for_trial(
+        spec.seed, trial, ctx.campaign.fu_counts,
+        kinds=spec.fault_kinds, segments=ctx.segments)
+    result = ctx.campaign.run_trial(fault, ctx.covered,
+                                    trial=trial, kind=kind)
+    record = TrialRecord(
+        trial=trial,
+        kind=kind,
+        fault=fault.describe(),
+        detected=result.detected,
+        masked=result.masked,
+        detection_instruction=result.detection_instruction,
+        detecting_segment=result.detecting_segment,
+    )
+    if shard_dir is not None:
+        _append_shard(Path(shard_dir), spec.key(), record)
+    return record.to_json()
+
+
+def _append_shard(shard_dir: Path, spec_key: str,
+                  record: TrialRecord) -> None:
+    """Append-and-flush one record to this process's shard file."""
+    shard_dir.mkdir(parents=True, exist_ok=True)
+    path = shard_dir / f"shard-{os.getpid()}.jsonl"
+    line = json.dumps({"spec": spec_key, **record.to_json()},
+                      sort_keys=True)
+    with path.open("a", encoding="utf-8") as fh:
+        fh.write(line + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+
+
+def load_completed(shard_dir: str | os.PathLike,
+                   spec: CampaignSpec) -> dict[int, TrialRecord]:
+    """Completed trial records for ``spec`` found in the shard files.
+
+    Tolerates the realities of killed campaigns: partial trailing
+    lines, corrupt JSON, records from other specs that shared the
+    directory — all skipped (with a warning for undecodable lines).
+    """
+    shard_dir = Path(shard_dir)
+    spec_key = spec.key()
+    completed: dict[int, TrialRecord] = {}
+    for path in sorted(shard_dir.glob(SHARD_GLOB)):
+        try:
+            text = path.read_text(encoding="utf-8", errors="replace")
+        except OSError as exc:
+            logger.warning("campaign resume: unreadable shard %s (%s)",
+                           path, exc)
+            continue
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+                if payload.get("spec") != spec_key:
+                    continue
+                record = TrialRecord.from_json(payload)
+            except (ValueError, KeyError, TypeError):
+                logger.warning(
+                    "campaign resume: skipping corrupt record "
+                    "%s:%d", path, lineno)
+                continue
+            completed[record.trial] = record
+    return completed
+
+
+# -- runner side -------------------------------------------------------------
+
+class CampaignRunner:
+    """Fans campaign trials across worker processes, merging by trial id.
+
+    ``jobs=1`` (the default via ``REPRO_JOBS``) runs everything
+    in-process through the exact same per-trial entry point, so serial
+    and parallel campaigns are the same computation scheduled
+    differently.
+    """
+
+    def __init__(self, jobs: int | None = None,
+                 campaign_dir: str | os.PathLike | None = None,
+                 resume: bool = False) -> None:
+        if jobs is None:
+            from repro.harness.runner import env_jobs
+            jobs = env_jobs()
+        self.jobs = jobs
+        self.campaign_dir = str(campaign_dir) if campaign_dir else None
+        self.resume = resume
+        #: Occupancy/wall-time record of the most recent :meth:`run`.
+        self.last_stats: dict | None = None
+        self._pool = None
+
+    def run(self, spec: CampaignSpec,
+            on_record: Callable[[TrialRecord], None] | None = None,
+            ) -> CampaignOutcome:
+        """Run (or finish) the campaign; records come back trial-ordered.
+
+        ``on_record`` fires as each trial result lands (completion
+        order), for progress reporting.
+        """
+        completed: dict[int, TrialRecord] = {}
+        if self.resume:
+            if self.campaign_dir is None:
+                raise ValueError("resume requires a campaign directory")
+            completed = load_completed(self.campaign_dir, spec)
+        todo = [t for t in range(spec.trials) if t not in completed]
+        resumed = spec.trials - len(todo)
+        if resumed:
+            logger.info("campaign resume: %d/%d trials already done",
+                        resumed, spec.trials)
+
+        started = time.perf_counter()
+        if self.jobs <= 1 or len(todo) <= 1:
+            fresh, busy = self._run_serial(spec, todo, on_record)
+        else:
+            fresh, busy = self._run_pooled(spec, todo, on_record)
+        elapsed = time.perf_counter() - started
+
+        records = dict(completed)
+        records.update(fresh)
+        outcome = CampaignOutcome(
+            spec=spec,
+            records=[records[t] for t in sorted(records)
+                     if t < spec.trials],
+            elapsed_s=elapsed,
+            busy_s=busy,
+            jobs=self.jobs,
+            resumed_trials=resumed,
+        )
+        self.last_stats = {
+            "jobs": self.jobs,
+            "tasks": len(todo),
+            "elapsed_s": elapsed,
+            "busy_s": busy,
+            "occupancy": busy / (elapsed * self.jobs)
+            if elapsed > 0 and self.jobs > 0 else 0.0,
+        }
+        return outcome
+
+    def _run_serial(self, spec, todo, on_record):
+        records: dict[int, TrialRecord] = {}
+        busy = 0.0
+        for trial in todo:
+            start = time.perf_counter()
+            payload = run_trial_in_worker(spec, trial, self.campaign_dir)
+            busy += time.perf_counter() - start
+            record = TrialRecord.from_json(payload)
+            records[trial] = record
+            if on_record is not None:
+                on_record(record)
+        return records, busy
+
+    def _run_pooled(self, spec, todo, on_record):
+        from repro.harness.parallel import _campaign_trial_task
+
+        pool = self._executor()
+        futures = {
+            pool.submit(_campaign_trial_task, spec.to_json(), trial,
+                        self.campaign_dir): trial
+            for trial in todo
+        }
+        records: dict[int, TrialRecord] = {}
+        busy = 0.0
+        pending = set(futures)
+        while pending:
+            finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in finished:
+                payload, task_busy = future.result()
+                busy += task_busy
+                record = TrialRecord.from_json(payload)
+                records[futures[future]] = record
+                if on_record is not None:
+                    on_record(record)
+        return records, busy
+
+    def _executor(self):
+        if self._pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "CampaignRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def run_campaign(spec: CampaignSpec, jobs: int | None = None,
+                 campaign_dir: str | os.PathLike | None = None,
+                 resume: bool = False,
+                 on_record: Callable[[TrialRecord], None] | None = None,
+                 ) -> CampaignOutcome:
+    """One-shot convenience wrapper around :class:`CampaignRunner`."""
+    with CampaignRunner(jobs=jobs, campaign_dir=campaign_dir,
+                        resume=resume) as runner:
+        return runner.run(spec, on_record=on_record)
+
+
+def publish_campaign_stats(stats, outcome: CampaignOutcome) -> None:
+    """Publish ``faults.*`` telemetry into a stats tree.
+
+    Coverage leaves are deterministic for a given spec; ``elapsed_s``,
+    ``busy_s`` and ``occupancy`` are host wall-clock (mask them in
+    regression gates, like ``pipeline.*`` timings).
+    """
+    group = stats.group("faults", "fault-injection campaign results")
+    group.count("injected", outcome.injected, "trials injected")
+    group.count("detected", outcome.detected, "trials detected")
+    group.count("masked", outcome.masked, "trials masked (no effect)")
+    group.count("missed", outcome.missed,
+                "effective faults missed by coverage")
+    group.scalar("detection_rate_all", outcome.detection_rate_all,
+                 "detected / injected")
+    group.scalar("detection_rate_effective",
+                 outcome.detection_rate_effective,
+                 "detected / effective (Fig. 8 coverage)")
+    if outcome.detected:
+        group.scalar("mean_detection_latency",
+                     outcome.mean_detection_latency,
+                     "mean main-core instructions to detection")
+    group.count("resumed_trials", outcome.resumed_trials,
+                "trials recovered from shards")
+    for kind, counts in sorted(outcome.by_kind().items()):
+        sub = group.group(kind, f"{kind} fault-site results")
+        sub.count("injected", counts["injected"])
+        sub.count("detected", counts["detected"])
+        sub.count("masked", counts["masked"])
+    runtime = group.group("runtime", "host wall-clock (non-deterministic)")
+    runtime.scalar("elapsed_s", outcome.elapsed_s, "campaign wall time")
+    runtime.scalar("busy_s", outcome.busy_s, "summed worker busy time")
+    runtime.scalar("jobs", outcome.jobs, "worker processes")

@@ -17,12 +17,14 @@ only for particular inputs.
 
 from __future__ import annotations
 
+import hashlib
 import math
 import random
 import struct
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.isa.instructions import FUKind
+from repro.isa.registers import RegisterCheckpoint
 
 _MASK64 = (1 << 64) - 1
 
@@ -77,22 +79,33 @@ class StuckAtFault:
             where += " (LSQ address path)"
         return f"stuck-at-{self.stuck_at} bit {self.bit} on {where}"
 
+    def fresh(self) -> "StuckAtFault":
+        """A stuck-at fault is stateless; reuse the same instance."""
+        return self
+
 
 @dataclass
 class TransientFault:
-    """A single-event upset: flips one bit on the Nth use of a unit."""
+    """A single-event upset: flips one bit on the Nth use of a unit.
+
+    With ``addresses_only`` set (a LOAD/STORE unit), the use counter
+    only advances on LSQ address computations, modelling a particle
+    strike on the address path rather than on result data.
+    """
 
     fu: FUKind
     unit: int
     bit: int
     strike_at_use: int
+    addresses_only: bool = False
     _uses: int = 0
     fired: bool = False
 
     def apply(self, fu: FUKind, unit: int, value: int | float,
               is_address: bool = False) -> int | float:
-        del is_address
         if fu is not self.fu or unit != self.unit or self.fired:
+            return value
+        if self.addresses_only and not is_address:
             return value
         self._uses += 1
         if self._uses < self.strike_at_use:
@@ -103,8 +116,65 @@ class TransientFault:
         return (int(value) ^ (1 << self.bit)) & _MASK64
 
     def describe(self) -> str:
-        return (f"transient bit-{self.bit} flip on {self.fu.value}"
-                f"[{self.unit}] at use {self.strike_at_use}")
+        where = f"{self.fu.value}[{self.unit}]"
+        if self.addresses_only:
+            where += " (LSQ address path)"
+        return (f"transient bit-{self.bit} flip on {where} "
+                f"at use {self.strike_at_use}")
+
+    def fresh(self) -> "TransientFault":
+        """A copy with the use counter and fired flag reset."""
+        return replace(self, _uses=0, fired=False)
+
+
+@dataclass
+class RegisterFault:
+    """A transient flip in the checker's end-of-segment register file.
+
+    Strikes the architectural register state exactly once, on one
+    segment's end snapshot — the point the RCU compares against the main
+    core's checkpoint (section IV-D).  It implements the
+    :class:`~repro.cpu.functional.FaultSurface` protocol as a no-op on
+    FU outputs and additionally exposes :meth:`corrupt_checkpoint`,
+    which :class:`~repro.core.checker.CheckerCore` applies to the
+    replayed end checkpoint before the RCU comparison.
+    """
+
+    is_fp: bool
+    reg: int
+    bit: int
+    strike_segment: int
+    fired: bool = False
+
+    def apply(self, fu: FUKind, unit: int, value: int | float,
+              is_address: bool = False) -> int | float:
+        del fu, unit, is_address
+        return value
+
+    def corrupt_checkpoint(
+            self, checkpoint: RegisterCheckpoint,
+            segment_index: int) -> RegisterCheckpoint:
+        """Flip the targeted bit if this is the strike segment."""
+        if self.fired or segment_index != self.strike_segment:
+            return checkpoint
+        self.fired = True
+        if self.is_fp:
+            fps = list(checkpoint.fps)
+            fps[self.reg] = bits_to_float(
+                float_to_bits(fps[self.reg]) ^ (1 << self.bit))
+            return replace(checkpoint, fps=tuple(fps))
+        ints = list(checkpoint.ints)
+        ints[self.reg] = (ints[self.reg] ^ (1 << self.bit)) & _MASK64
+        return replace(checkpoint, ints=tuple(ints))
+
+    def describe(self) -> str:
+        bank = "f" if self.is_fp else "x"
+        return (f"transient bit-{self.bit} flip in {bank}{self.reg} at "
+                f"end of segment {self.strike_segment}")
+
+    def fresh(self) -> "RegisterFault":
+        """A copy with the fired flag reset."""
+        return replace(self, fired=False)
 
 
 #: Units the paper injects into: ALU/FPU outputs and LSQ addresses.
@@ -131,3 +201,81 @@ def random_stuck_at(rng: random.Random,
         stuck_at=rng.randrange(2),
         addresses_only=addresses_only,
     )
+
+
+#: Maximum dynamic use index a transient LSQ strike is drawn from; far
+#: enough into a segment to exercise warm state, small enough that most
+#: strikes land inside typical REPRO_TIMEOUT-sized segments.
+TRANSIENT_MAX_STRIKE_USE = 512
+
+
+def random_transient_lsq(rng: random.Random,
+                         fu_counts: dict[FUKind, int]) -> TransientFault:
+    """Draw a transient single-bit flip on an LSQ address computation."""
+    fu = rng.choice((FUKind.LOAD, FUKind.STORE))
+    units = fu_counts.get(fu, 1)
+    return TransientFault(
+        fu=fu,
+        unit=rng.randrange(units),
+        bit=rng.randrange(40),  # same address-width bound as stuck-at
+        strike_at_use=rng.randrange(1, TRANSIENT_MAX_STRIKE_USE + 1),
+        addresses_only=True,
+    )
+
+
+def random_register_fault(rng: random.Random,
+                          segments: int) -> RegisterFault:
+    """Draw a transient flip in one end-of-segment register snapshot."""
+    is_fp = rng.randrange(2) == 1
+    # x0 is hard-wired to zero on the real datapath, so integer strikes
+    # target x1..x31; the FP bank has no zero register.
+    reg = rng.randrange(32) if is_fp else rng.randrange(1, 32)
+    return RegisterFault(
+        is_fp=is_fp,
+        reg=reg,
+        bit=rng.randrange(64),
+        strike_segment=rng.randrange(max(segments, 1)),
+    )
+
+
+#: Fault-site kinds the campaign engine can mix per trial.
+FAULT_STUCK_AT = "stuck_at"
+FAULT_TRANSIENT_LSQ = "transient_lsq"
+FAULT_TRANSIENT_REG = "transient_reg"
+FAULT_KINDS = (FAULT_STUCK_AT, FAULT_TRANSIENT_LSQ, FAULT_TRANSIENT_REG)
+
+
+def derive_trial_seed(seed: int, trial: int, site: str = "fault") -> int:
+    """A stable 64-bit RNG seed for one campaign trial.
+
+    Derived by hashing ``(seed, trial, site)`` so every trial owns an
+    independent stream: results do not depend on trial execution order,
+    worker count, or which process draws the fault — unlike a shared
+    sequential ``random.Random`` stream.  ``sha256`` keeps the mapping
+    identical across processes and Python versions (no ``PYTHONHASHSEED``
+    sensitivity).
+    """
+    blob = f"{seed}:{trial}:{site}".encode()
+    return int.from_bytes(hashlib.sha256(blob).digest()[:8], "big")
+
+
+def fault_for_trial(seed: int, trial: int, fu_counts: dict[FUKind, int],
+                    kinds: tuple[str, ...] = (FAULT_STUCK_AT,),
+                    segments: int = 1):
+    """Deterministically draw trial ``trial``'s fault.
+
+    Returns ``(kind, fault)``.  The fault-site kind and every site
+    parameter come from a per-trial derived RNG, so the draw is a pure
+    function of ``(seed, trial, kinds, fu_counts, segments)``.
+    """
+    for kind in kinds:
+        if kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {kind!r}; known: {FAULT_KINDS}")
+    rng = random.Random(derive_trial_seed(seed, trial))
+    kind = kinds[rng.randrange(len(kinds))]
+    if kind == FAULT_TRANSIENT_LSQ:
+        return kind, random_transient_lsq(rng, fu_counts)
+    if kind == FAULT_TRANSIENT_REG:
+        return kind, random_register_fault(rng, segments)
+    return kind, random_stuck_at(rng, fu_counts)

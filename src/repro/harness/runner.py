@@ -41,6 +41,7 @@ from repro.cpu.functional import RunResult
 from repro.cpu.presets import X2
 from repro.cpu.timing import TimingResult
 from repro.cpu.tracecache import TraceCache, env_trace_cache
+from repro.envutil import env_int
 from repro.isa.program import Program
 from repro.noc.mesh import NocConfig, FAST_NOC
 from repro.workloads.generator import build_program
@@ -54,12 +55,12 @@ DEFAULT_SEED = 7
 
 def env_instructions() -> int:
     """REPRO_INSTRUCTIONS: instructions simulated per benchmark."""
-    return int(os.environ.get("REPRO_INSTRUCTIONS", DEFAULT_INSTRUCTIONS))
+    return env_int("REPRO_INSTRUCTIONS", DEFAULT_INSTRUCTIONS)
 
 
 def env_jobs() -> int:
     """REPRO_JOBS: sweep worker processes (0 or negative = CPU count)."""
-    jobs = int(os.environ.get("REPRO_JOBS", 1))
+    jobs = env_int("REPRO_JOBS", 1)
     if jobs <= 0:
         jobs = os.cpu_count() or 1
     return jobs
@@ -67,7 +68,7 @@ def env_jobs() -> int:
 
 def env_trials() -> int:
     """REPRO_TRIALS: fault-injection trials per configuration."""
-    return int(os.environ.get("REPRO_TRIALS", DEFAULT_TRIALS))
+    return env_int("REPRO_TRIALS", DEFAULT_TRIALS)
 
 
 def env_timeout() -> int:
@@ -77,7 +78,7 @@ def env_timeout() -> int:
     copy, eager-wake tail) are physical, so shrinking segments instead of
     lengthening runs inflates overheads.
     """
-    return int(os.environ.get("REPRO_TIMEOUT", DEFAULT_TIMEOUT))
+    return env_int("REPRO_TIMEOUT", DEFAULT_TIMEOUT)
 
 
 def env_benchmarks(default: list[str]) -> list[str]:

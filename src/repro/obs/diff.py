@@ -31,7 +31,8 @@ HIGHER_IS_WORSE = ("wall_time_ms", "stall_ns", "slowdown", "latency_ns",
                    "queue_depth_max")
 #: Key suffixes where a decrease beyond threshold is a regression.
 LOWER_IS_WORSE = ("occupancy", "pool_occupancy", "coverage", "hit_rate",
-                  "ipc", "overlap")
+                  "ipc", "overlap", "detection_rate_all",
+                  "detection_rate_effective")
 
 
 @dataclass(frozen=True)

@@ -34,6 +34,8 @@ import time
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from typing import TYPE_CHECKING, Callable, Iterable
 
+from repro.envutil import env_int
+
 if TYPE_CHECKING:  # pragma: no cover - type-only imports, avoid cycles
     from repro.core.system import ParaVerserSystem
     from repro.pipeline.graph import StageGraph
@@ -41,7 +43,7 @@ if TYPE_CHECKING:  # pragma: no cover - type-only imports, avoid cycles
 
 def env_stage_jobs() -> int:
     """REPRO_STAGE_JOBS: stage-level worker threads (0/negative = CPUs)."""
-    jobs = int(os.environ.get("REPRO_STAGE_JOBS", 1))
+    jobs = env_int("REPRO_STAGE_JOBS", 1)
     if jobs <= 0:
         jobs = os.cpu_count() or 1
     return jobs

@@ -15,6 +15,7 @@ import socket
 
 from repro.serve import protocol
 from repro.serve.protocol import (
+    CampaignRequest,
     EvalRequest,
     EvalResponse,
     ProtocolError,
@@ -73,6 +74,12 @@ class EvalClient:
         request.validate()
         return protocol.response_from_wire(
             self._round_trip(protocol.request_to_wire(request)))
+
+    def campaign(self, request: CampaignRequest) -> EvalResponse:
+        """Send one fault-injection campaign and wait for its row."""
+        request.validate()
+        return protocol.response_from_wire(
+            self._round_trip(protocol.campaign_to_wire(request)))
 
     def stats(self) -> dict:
         """Fetch the service's stats tree (``serve.*`` telemetry)."""
@@ -174,6 +181,14 @@ class AsyncEvalClient:
                 request, request_id=f"r{next(self._ids)}")
         return protocol.response_from_wire(
             await self._send(protocol.request_to_wire(request)))
+
+    async def campaign(self, request: CampaignRequest) -> EvalResponse:
+        request.validate()
+        if not request.request_id:
+            request = dataclasses.replace(
+                request, request_id=f"r{next(self._ids)}")
+        return protocol.response_from_wire(
+            await self._send(protocol.campaign_to_wire(request)))
 
     async def stats(self) -> dict:
         response = protocol.response_from_wire(await self._send(

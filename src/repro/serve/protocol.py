@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, field
+from typing import ClassVar
 
 PROTOCOL_VERSION = 1
 
@@ -30,9 +31,10 @@ PROTOCOL_VERSION = 1
 MAX_LINE_BYTES = 1 << 20
 
 OP_EVAL = "eval"
+OP_CAMPAIGN = "campaign"
 OP_STATS = "stats"
 OP_PING = "ping"
-KNOWN_OPS = (OP_EVAL, OP_STATS, OP_PING)
+KNOWN_OPS = (OP_EVAL, OP_CAMPAIGN, OP_STATS, OP_PING)
 
 STATUS_OK = "ok"
 STATUS_TIMEOUT = "timeout"
@@ -104,6 +106,80 @@ class EvalRequest:
         return (self.workload, self.instructions, self.seed)
 
 
+#: Campaign fields that determine the trial outcomes (``trials`` is
+#: included: the row aggregates over exactly that many trials).
+_CAMPAIGN_SIM_FIELDS = ("workload", "checkers", "mode", "hash_mode",
+                        "instructions", "seed", "trials", "fault_kinds")
+
+#: Default fault-site mix for served campaigns (mirrors
+#: ``repro.faults.models.FAULT_KINDS`` without importing the simulator
+#: into the wire codec).
+DEFAULT_FAULT_KINDS = ("stuck_at", "transient_lsq", "transient_reg")
+
+
+@dataclass(frozen=True)
+class CampaignRequest:
+    """One fault-injection campaign: a workload under one checker pool.
+
+    Flows through the same admission queue and batching layer as
+    :class:`EvalRequest` — it exposes the identical ``sim_key`` /
+    ``sim_spec`` / ``trace_key`` surface — so long campaigns get the
+    service's load-shedding, deadlines and crash-retry for free.
+    ``backend`` is fixed at ``None``: campaigns always run against a
+    simulated checker configuration.
+    """
+
+    workload: str
+    checkers: str = "1xA510@1.0"
+    mode: str = "opportunistic"
+    hash_mode: bool = False
+    instructions: int = 40_000
+    seed: int = DEFAULT_SEED
+    trials: int = 20
+    fault_kinds: tuple[str, ...] = DEFAULT_FAULT_KINDS
+    timeout_s: float | None = None
+    request_id: str = ""
+
+    backend: ClassVar[None] = None
+
+    def validate(self) -> None:
+        if not self.workload or not isinstance(self.workload, str):
+            raise ProtocolError("campaign request needs a workload name")
+        if not self.checkers or not isinstance(self.checkers, str):
+            raise ProtocolError("campaign request needs a checkers spec")
+        if self.instructions <= 0:
+            raise ProtocolError("instructions must be positive")
+        if self.trials <= 0:
+            raise ProtocolError("trials must be positive")
+        if not self.fault_kinds:
+            raise ProtocolError("fault_kinds must not be empty")
+        unknown = [k for k in self.fault_kinds
+                   if k not in DEFAULT_FAULT_KINDS]
+        if unknown:
+            raise ProtocolError(
+                f"unknown fault kinds {unknown}; "
+                f"known: {list(DEFAULT_FAULT_KINDS)}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ProtocolError("timeout_s must be positive when given")
+
+    def sim_spec(self) -> dict:
+        """The executable subset, tagged so workers branch on ``op``."""
+        data = asdict(self)
+        spec = {name: data[name] for name in _CAMPAIGN_SIM_FIELDS}
+        spec["fault_kinds"] = list(spec["fault_kinds"])
+        spec["op"] = OP_CAMPAIGN
+        return spec
+
+    def sim_key(self) -> str:
+        """Canonical identity; equal campaigns dedup to one execution."""
+        return json.dumps(self.sim_spec(), sort_keys=True)
+
+    def trace_key(self) -> tuple[str, int, int]:
+        """Same functional-trace identity as :class:`EvalRequest`, so
+        campaigns batch with evals replaying the same trace."""
+        return (self.workload, self.instructions, self.seed)
+
+
 @dataclass(frozen=True)
 class EvalResponse:
     """The service's answer to one request."""
@@ -166,6 +242,39 @@ def request_from_wire(payload: dict) -> EvalRequest:
         request = EvalRequest(**kwargs)
     except TypeError as exc:
         raise ProtocolError(f"bad eval request: {exc}") from None
+    request.validate()
+    return request
+
+
+def campaign_to_wire(request: CampaignRequest) -> dict:
+    """Serialise a campaign request, tagging op and protocol version."""
+    payload = {"op": OP_CAMPAIGN, "v": PROTOCOL_VERSION}
+    payload.update(asdict(request))
+    payload["fault_kinds"] = list(request.fault_kinds)
+    return payload
+
+
+def campaign_from_wire(payload: dict) -> CampaignRequest:
+    """Rebuild and validate a :class:`CampaignRequest` from a wire dict."""
+    op = payload.get("op", OP_CAMPAIGN)
+    if op != OP_CAMPAIGN:
+        raise ProtocolError(f"expected a campaign request, got op {op!r}")
+    version = payload.get("v", PROTOCOL_VERSION)
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(f"unsupported protocol version {version!r}")
+    kwargs = {}
+    for name in CampaignRequest.__dataclass_fields__:
+        if name in payload:
+            kwargs[name] = payload[name]
+    if "fault_kinds" in kwargs:
+        kinds = kwargs["fault_kinds"]
+        if not isinstance(kinds, (list, tuple)):
+            raise ProtocolError("fault_kinds must be a list of kind names")
+        kwargs["fault_kinds"] = tuple(kinds)
+    try:
+        request = CampaignRequest(**kwargs)
+    except TypeError as exc:
+        raise ProtocolError(f"bad campaign request: {exc}") from None
     request.validate()
     return request
 

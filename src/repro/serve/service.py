@@ -165,6 +165,12 @@ class EvalService:
                 request = protocol.request_from_wire(payload)
                 self._validate_names(request)
                 response = await self._serve_eval(request)
+            elif op == protocol.OP_CAMPAIGN:
+                # Campaigns ride the same queue/batch/dispatch path as
+                # evals; the request type only changes the worker spec.
+                request = protocol.campaign_from_wire(payload)
+                self._validate_names(request)
+                response = await self._serve_eval(request)
             else:
                 raise ProtocolError(f"unknown op {op!r}")
         except ProtocolError as exc:

@@ -83,6 +83,28 @@ def _config_for_spec(spec: dict):
                        hash_mode=bool(spec["hash_mode"]))
 
 
+def _campaign_spec_row(spec: dict) -> dict:
+    """Run one campaign spec serially inside this worker process.
+
+    Pool workers must not spawn nested pools, so the trials run inline;
+    per-trial derived seeds make the row identical to what any other
+    scheduling of the same spec produces (``tests/test_faults_engine``).
+    """
+    from repro.faults.engine import CampaignSpec, run_campaign
+
+    campaign_spec = CampaignSpec(
+        workload=spec["workload"],
+        checkers=spec["checkers"],
+        mode=spec["mode"],
+        hash_mode=bool(spec["hash_mode"]),
+        instructions=spec["instructions"],
+        seed=spec["seed"],
+        trials=int(spec["trials"]),
+        fault_kinds=tuple(spec["fault_kinds"]),
+    )
+    return run_campaign(campaign_spec, jobs=1).to_row()
+
+
 def evaluate_spec(spec: dict) -> dict:
     """Evaluate one sim spec (see ``EvalRequest.sim_spec``) to a row."""
     from repro.detect import SimulatedBackend, get_backend
@@ -91,6 +113,12 @@ def evaluate_spec(spec: dict) -> dict:
     cache = worker_cache(spec["instructions"], spec["seed"])
     workload = spec["workload"]
     source = cache.trace_source(workload)
+    if spec.get("op") == "campaign":
+        row = _campaign_spec_row(spec)
+        row["instructions"] = spec["instructions"]
+        row["seed"] = spec["seed"]
+        row["trace_source"] = source
+        return row
     if spec.get("backend"):
         backend = get_backend(spec["backend"])
         report = backend.evaluate(cache, workload)
@@ -271,11 +299,30 @@ class WorkerPool:
                    for workload in workloads]
         return list(await asyncio.gather(*futures))
 
+    #: Per-process grace given to a broken pool's workers before they
+    #: are killed outright in :meth:`reset`.
+    REAP_TIMEOUT_S = 5.0
+
     def reset(self) -> None:
-        """Replace a broken pool (next batch recreates it)."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=False, cancel_futures=True)
-            self._executor = None
+        """Replace a broken pool (next batch recreates it).
+
+        The broken pool's worker processes are reaped — bounded join,
+        then kill — before the handle is dropped, so a crash-retry loop
+        cannot accumulate orphaned workers and their fds.
+        """
+        if self._executor is None:
+            return
+        old, self._executor = self._executor, None
+        # Snapshot before shutdown(): it drops the executor's _processes
+        # reference, and a broken pool's own reaping cannot be trusted.
+        procs = list((getattr(old, "_processes", None) or {}).values())
+        old.shutdown(wait=False, cancel_futures=True)
+        for proc in procs:
+            proc.join(timeout=self.REAP_TIMEOUT_S)
+        for proc in procs:
+            if proc.is_alive():
+                proc.kill()
+                proc.join()
 
     def shutdown(self, wait: bool = True) -> None:
         """Graceful drain: let running batches finish, then stop."""

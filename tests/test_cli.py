@@ -73,6 +73,52 @@ class TestCommands:
         assert "injected faults:         5" in out
         assert "detection" in out
 
+    def test_campaign_runs_serially(self, capsys):
+        code = main(["campaign", "-w", "exchange2", "-t", "4",
+                     "-n", "6000", "-j", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trials:" in out
+        assert "detection" in out
+
+    def test_campaign_json_row(self, capsys):
+        code = main(["campaign", "-w", "exchange2", "-t", "4",
+                     "-n", "6000", "-j", "1", "--json"])
+        assert code == 0
+        import json
+        row = json.loads(capsys.readouterr().out)
+        assert row["trials"] == 4
+        assert row["detected"] + row["masked"] + row["missed"] == 4
+
+    def test_campaign_resume_round_trip(self, capsys, tmp_path):
+        args = ["campaign", "-w", "exchange2", "-n", "6000", "-j", "1",
+                "--campaign-dir", str(tmp_path)]
+        assert main([*args, "-t", "2"]) == 0
+        capsys.readouterr()
+        assert main([*args, "-t", "4", "--resume"]) == 0
+        assert "resumed from shards:     2" in capsys.readouterr().out
+
+    def test_campaign_rejects_unknown_fault_kind(self, capsys):
+        code = main(["campaign", "-w", "exchange2",
+                     "--fault-kinds", "cosmic_ray"])
+        assert code == 2
+        assert "bad fault kinds" in capsys.readouterr().err
+
+    def test_campaign_resume_requires_dir(self, capsys):
+        code = main(["campaign", "-w", "exchange2", "--resume"])
+        assert code == 2
+        assert "--campaign-dir" in capsys.readouterr().err
+
+    def test_campaign_stats_json(self, capsys, tmp_path):
+        stats_path = tmp_path / "stats.json"
+        code = main(["campaign", "-w", "exchange2", "-t", "2",
+                     "-n", "6000", "-j", "1",
+                     "--stats-json", str(stats_path)])
+        assert code == 0
+        import json
+        tree = json.loads(stats_path.read_text())
+        assert tree["faults"]["injected"] == 2
+
     def test_unknown_workload_raises(self):
         with pytest.raises(KeyError):
             main(["run", "-w", "doom", "-n", "1000"])

@@ -66,13 +66,18 @@ def test_hit_miss_and_put(tmp_path, run_result):
     assert tc.get(BENCH, SEED, BUDGET + 1) is None
 
 
-def test_corrupt_entry_is_evicted(tmp_path, run_result):
+def test_corrupt_entry_is_evicted(tmp_path, run_result, caplog):
     tc = TraceCache(tmp_path)
     tc.put(BENCH, SEED, BUDGET, run_result)
     path = tc.path_for(BENCH, SEED, BUDGET)
     path.write_text("{not json")
-    assert tc.get(BENCH, SEED, BUDGET) is None
+    with caplog.at_level("WARNING", logger="repro.cpu.tracecache"):
+        assert tc.get(BENCH, SEED, BUDGET) is None
     assert not path.exists()  # evicted, next put can repopulate
+    # The eviction is observable, not silent: one warning naming the file.
+    warning = [r for r in caplog.records if "corrupt" in r.getMessage()]
+    assert len(warning) == 1
+    assert str(path) in warning[0].getMessage()
 
 
 def test_stale_format_version_is_evicted(tmp_path, run_result):

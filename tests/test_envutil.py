@@ -1,0 +1,46 @@
+"""``REPRO_*`` environment knobs must fail with one-line messages."""
+
+import pytest
+
+from repro.envutil import env_int
+from repro.harness.runner import env_instructions, env_jobs, env_trials
+from repro.pipeline.executor import env_stage_jobs
+
+
+def test_unset_returns_default(monkeypatch):
+    monkeypatch.delenv("REPRO_TEST_KNOB", raising=False)
+    assert env_int("REPRO_TEST_KNOB", 7) == 7
+
+
+def test_empty_returns_default(monkeypatch):
+    monkeypatch.setenv("REPRO_TEST_KNOB", "")
+    assert env_int("REPRO_TEST_KNOB", 7) == 7
+
+
+def test_valid_value_parses(monkeypatch):
+    monkeypatch.setenv("REPRO_TEST_KNOB", "42")
+    assert env_int("REPRO_TEST_KNOB", 7) == 42
+
+
+def test_bad_value_names_variable_and_value(monkeypatch):
+    monkeypatch.setenv("REPRO_TEST_KNOB", "four")
+    with pytest.raises(SystemExit) as excinfo:
+        env_int("REPRO_TEST_KNOB", 7)
+    message = str(excinfo.value)
+    assert "REPRO_TEST_KNOB" in message
+    assert "four" in message
+    assert "REPRO_TEST_KNOB=7" in message  # suggests a working example
+
+
+@pytest.mark.parametrize("variable, parser", [
+    ("REPRO_JOBS", env_jobs),
+    ("REPRO_TRIALS", env_trials),
+    ("REPRO_INSTRUCTIONS", env_instructions),
+    ("REPRO_STAGE_JOBS", env_stage_jobs),
+])
+def test_runner_knobs_fail_with_one_liner(monkeypatch, variable, parser):
+    monkeypatch.setenv(variable, "20x")
+    with pytest.raises(SystemExit) as excinfo:
+        parser()
+    assert variable in str(excinfo.value)
+    assert "20x" in str(excinfo.value)

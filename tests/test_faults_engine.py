@@ -1,0 +1,167 @@
+"""Parallel campaign engine: determinism, shards/resume, stats, serve."""
+
+import json
+
+import pytest
+
+from repro.faults.engine import (
+    SHARD_GLOB,
+    CampaignRunner,
+    CampaignSpec,
+    TrialRecord,
+    load_completed,
+    publish_campaign_stats,
+    run_campaign,
+    run_trial_in_worker,
+)
+from repro.obs import StatGroup
+
+#: Tiny but non-trivial: enough segments for opportunistic coverage to
+#: have holes, small enough for a sub-second trial.
+SPEC = CampaignSpec(workload="exchange2", instructions=6000, seed=7,
+                    trials=6)
+
+
+@pytest.fixture(scope="module")
+def serial_outcome():
+    return run_campaign(SPEC, jobs=1)
+
+
+class TestDeterminism:
+    def test_parallel_matches_serial(self, serial_outcome):
+        parallel = run_campaign(SPEC, jobs=4)
+        assert parallel.records == serial_outcome.records
+        assert parallel.detected == serial_outcome.detected
+        assert parallel.masked == serial_outcome.masked
+        assert (parallel.mean_detection_latency
+                == serial_outcome.mean_detection_latency
+                or parallel.detected == 0)
+
+    def test_trial_is_order_independent(self, serial_outcome):
+        # A single trial evaluated in isolation must equal its slot in
+        # the full campaign — no shared RNG stream to advance.
+        lone = TrialRecord.from_json(run_trial_in_worker(SPEC, 3))
+        assert lone == serial_outcome.records[3]
+
+    def test_growing_a_campaign_preserves_the_prefix(self, serial_outcome):
+        import dataclasses
+        bigger = run_campaign(
+            dataclasses.replace(SPEC, trials=8), jobs=1)
+        assert bigger.records[:6] == serial_outcome.records
+
+    def test_fault_kind_mix_covers_all_sites(self, serial_outcome):
+        kinds = {record.kind for record in serial_outcome.records}
+        # 6 derived draws over 3 kinds: at least two distinct sites.
+        assert len(kinds) >= 2
+
+
+class TestSpecKey:
+    def test_key_ignores_trial_count(self):
+        import dataclasses
+        assert SPEC.key() == dataclasses.replace(SPEC, trials=500).key()
+
+    def test_key_changes_with_seed(self):
+        import dataclasses
+        assert SPEC.key() != dataclasses.replace(SPEC, seed=8).key()
+
+    def test_json_round_trip(self):
+        assert CampaignSpec.from_json(SPEC.to_json()) == SPEC
+
+
+class TestShardsAndResume:
+    def test_shards_record_every_trial(self, tmp_path, serial_outcome):
+        outcome = run_campaign(SPEC, jobs=1, campaign_dir=tmp_path)
+        assert outcome.records == serial_outcome.records
+        shards = list(tmp_path.glob(SHARD_GLOB))
+        assert shards
+        completed = load_completed(tmp_path, SPEC)
+        assert sorted(completed) == list(range(SPEC.trials))
+        assert [completed[t] for t in sorted(completed)] == outcome.records
+
+    def test_resume_skips_completed_trials(self, tmp_path, serial_outcome):
+        import dataclasses
+        # A campaign killed after 3 trials: the shards hold a prefix.
+        partial = dataclasses.replace(SPEC, trials=3)
+        run_campaign(partial, jobs=1, campaign_dir=tmp_path)
+        resumed = run_campaign(SPEC, jobs=1, campaign_dir=tmp_path,
+                               resume=True)
+        assert resumed.resumed_trials == 3
+        assert resumed.records == serial_outcome.records
+
+    def test_parallel_resume_matches_serial(self, tmp_path, serial_outcome):
+        import dataclasses
+        partial = dataclasses.replace(SPEC, trials=2)
+        run_campaign(partial, jobs=1, campaign_dir=tmp_path)
+        resumed = run_campaign(SPEC, jobs=4, campaign_dir=tmp_path,
+                               resume=True)
+        assert resumed.resumed_trials == 2
+        assert resumed.records == serial_outcome.records
+
+    def test_fully_complete_resume_runs_nothing(self, tmp_path,
+                                                serial_outcome):
+        run_campaign(SPEC, jobs=1, campaign_dir=tmp_path)
+        with CampaignRunner(jobs=1, campaign_dir=tmp_path,
+                            resume=True) as runner:
+            outcome = runner.run(SPEC)
+        assert outcome.resumed_trials == SPEC.trials
+        assert runner.last_stats["tasks"] == 0
+        assert outcome.records == serial_outcome.records
+
+    def test_resume_without_dir_rejected(self):
+        with pytest.raises(ValueError):
+            CampaignRunner(jobs=1, resume=True).run(SPEC)
+
+    def test_corrupt_and_foreign_lines_skipped(self, tmp_path, caplog):
+        good = TrialRecord(trial=0, kind="stuck_at", fault="f",
+                           detected=True, masked=False)
+        shard = tmp_path / "shard-1.jsonl"
+        foreign = json.dumps({"spec": "deadbeef", "trial": 9,
+                              "kind": "stuck_at", "fault": "f",
+                              "detected": True, "masked": False})
+        lines = [
+            json.dumps({"spec": SPEC.key(), **good.to_json()}),
+            "{not json at all",
+            json.dumps({"spec": SPEC.key(), "trial": 1}),  # missing keys
+            foreign,
+            json.dumps({"spec": SPEC.key(), **good.to_json()})[:-9],
+        ]
+        shard.write_text("\n".join(lines) + "\n")
+        with caplog.at_level("WARNING", logger="repro.faults.engine"):
+            completed = load_completed(tmp_path, SPEC)
+        assert completed == {0: good}
+        assert any("corrupt" in r.getMessage() for r in caplog.records)
+
+
+class TestStatsPublication:
+    def test_faults_tree_leaves(self, serial_outcome):
+        stats = StatGroup("root")
+        publish_campaign_stats(stats, serial_outcome)
+        flat = stats.flatten()
+        assert flat["faults.injected"] == SPEC.trials
+        assert (flat["faults.detected"] + flat["faults.masked"]
+                + flat["faults.missed"] == SPEC.trials)
+        assert 0.0 <= flat["faults.detection_rate_all"] <= 1.0
+        assert 0.0 <= flat["faults.detection_rate_effective"] <= 1.0
+        assert "faults.runtime.elapsed_s" in flat
+        per_kind = [k for k in flat if k.startswith("faults.")
+                    and k.endswith(".injected") and k.count(".") == 2]
+        assert sum(flat[k] for k in per_kind) == SPEC.trials
+
+
+class TestServeIntegration:
+    def test_evaluate_spec_campaign_row(self, serial_outcome):
+        from repro.serve.protocol import CampaignRequest
+        from repro.serve.workers import evaluate_spec
+
+        request = CampaignRequest(
+            workload=SPEC.workload, checkers=SPEC.checkers,
+            mode=SPEC.mode, instructions=SPEC.instructions,
+            seed=SPEC.seed, trials=SPEC.trials,
+            fault_kinds=SPEC.fault_kinds)
+        row = evaluate_spec(request.sim_spec())
+        assert row["trials"] == SPEC.trials
+        assert row["detected"] == serial_outcome.detected
+        assert row["masked"] == serial_outcome.masked
+        assert row["detection_rate_effective"] == pytest.approx(
+            serial_outcome.detection_rate_effective)
+        assert row["trace_source"] in ("computed", "memory", "disk")

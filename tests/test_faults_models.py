@@ -5,15 +5,28 @@ import random
 
 from hypothesis import given, strategies as st
 
+import pytest
+
 from repro.faults.models import (
+    FAULT_KINDS,
+    FAULT_STUCK_AT,
+    FAULT_TRANSIENT_LSQ,
+    FAULT_TRANSIENT_REG,
     INJECTABLE_UNITS,
+    TRANSIENT_MAX_STRIKE_USE,
+    RegisterFault,
     StuckAtFault,
     TransientFault,
     bits_to_float,
+    derive_trial_seed,
+    fault_for_trial,
     float_to_bits,
+    random_register_fault,
     random_stuck_at,
+    random_transient_lsq,
 )
 from repro.isa.instructions import FUKind
+from repro.isa.registers import RegisterCheckpoint
 
 
 class TestFloatBits:
@@ -104,6 +117,123 @@ class TestTransient:
     def test_describe(self):
         fault = TransientFault(FUKind.FP, 0, bit=5, strike_at_use=9)
         assert "use 9" in fault.describe()
+
+
+def _checkpoint() -> RegisterCheckpoint:
+    return RegisterCheckpoint(
+        ints=tuple(range(32)),
+        fps=tuple(float(i) for i in range(32)),
+        pc=0x40,
+    )
+
+
+class TestRegisterFault:
+    def test_flips_int_register_on_strike_segment(self):
+        fault = RegisterFault(is_fp=False, reg=5, bit=3, strike_segment=2)
+        checkpoint = _checkpoint()
+        assert fault.corrupt_checkpoint(checkpoint, 1) is checkpoint
+        struck = fault.corrupt_checkpoint(checkpoint, 2)
+        assert struck.ints[5] == 5 ^ 8
+        assert struck.ints[:5] == checkpoint.ints[:5]
+        assert struck.fps == checkpoint.fps
+        assert struck.pc == checkpoint.pc
+
+    def test_flips_fp_register_bitwise(self):
+        fault = RegisterFault(is_fp=True, reg=1, bit=51, strike_segment=0)
+        struck = fault.corrupt_checkpoint(_checkpoint(), 0)
+        assert struck.fps[1] == 1.5  # mantissa MSB of 1.0
+        assert struck.ints == _checkpoint().ints
+
+    def test_strikes_exactly_once(self):
+        fault = RegisterFault(is_fp=False, reg=1, bit=0, strike_segment=0)
+        checkpoint = _checkpoint()
+        first = fault.corrupt_checkpoint(checkpoint, 0)
+        assert first != checkpoint and fault.fired
+        assert fault.corrupt_checkpoint(checkpoint, 0) is checkpoint
+
+    def test_fresh_resets_fired(self):
+        fault = RegisterFault(is_fp=False, reg=1, bit=0, strike_segment=0,
+                              fired=True)
+        assert fault.corrupt_checkpoint(_checkpoint(), 0) is not None
+        renewed = fault.fresh()
+        assert not renewed.fired
+        assert renewed.corrupt_checkpoint(_checkpoint(), 0) != _checkpoint()
+
+    def test_fu_surface_is_a_no_op(self):
+        fault = RegisterFault(is_fp=False, reg=1, bit=0, strike_segment=0)
+        assert fault.apply(FUKind.INT_ALU, 0, 42) == 42
+
+    def test_describe_names_bank_and_segment(self):
+        assert "x7" in RegisterFault(False, 7, 1, 4).describe()
+        text = RegisterFault(True, 3, 1, 4).describe()
+        assert "f3" in text and "segment 4" in text
+
+
+class TestRandomDraws:
+    def test_transient_lsq_bounds(self):
+        rng = random.Random(3)
+        for _ in range(200):
+            fault = random_transient_lsq(rng, {FUKind.LOAD: 2})
+            assert fault.fu in (FUKind.LOAD, FUKind.STORE)
+            assert fault.addresses_only
+            assert fault.bit < 40
+            assert 1 <= fault.strike_at_use <= TRANSIENT_MAX_STRIKE_USE
+
+    def test_register_fault_bounds(self):
+        rng = random.Random(4)
+        for _ in range(200):
+            fault = random_register_fault(rng, segments=5)
+            if fault.is_fp:
+                assert 0 <= fault.reg < 32
+            else:
+                assert 1 <= fault.reg < 32  # x0 is hard-wired
+            assert 0 <= fault.bit < 64
+            assert 0 <= fault.strike_segment < 5
+
+    def test_register_fault_tolerates_zero_segments(self):
+        rng = random.Random(5)
+        assert random_register_fault(rng, segments=0).strike_segment == 0
+
+
+class TestTrialSeeding:
+    def test_seed_is_stable_across_calls(self):
+        assert derive_trial_seed(7, 3) == derive_trial_seed(7, 3)
+
+    def test_seed_varies_with_every_input(self):
+        base = derive_trial_seed(7, 3)
+        assert derive_trial_seed(8, 3) != base
+        assert derive_trial_seed(7, 4) != base
+        assert derive_trial_seed(7, 3, site="other") != base
+
+    @given(st.integers(min_value=0, max_value=1 << 32),
+           st.integers(min_value=0, max_value=100_000))
+    def test_seed_fits_64_bits(self, seed, trial):
+        assert 0 <= derive_trial_seed(seed, trial) < 1 << 64
+
+    def test_fault_for_trial_is_pure(self):
+        counts = {kind: 2 for kind in INJECTABLE_UNITS}
+        a = fault_for_trial(7, 5, counts, kinds=FAULT_KINDS, segments=4)
+        b = fault_for_trial(7, 5, counts, kinds=FAULT_KINDS, segments=4)
+        assert a == b
+
+    def test_fault_for_trial_matches_kind(self):
+        counts = {kind: 1 for kind in INJECTABLE_UNITS}
+        seen = set()
+        for trial in range(30):
+            kind, fault = fault_for_trial(
+                7, trial, counts, kinds=FAULT_KINDS, segments=4)
+            seen.add(kind)
+            expected = {
+                FAULT_STUCK_AT: StuckAtFault,
+                FAULT_TRANSIENT_LSQ: TransientFault,
+                FAULT_TRANSIENT_REG: RegisterFault,
+            }[kind]
+            assert isinstance(fault, expected)
+        assert seen == set(FAULT_KINDS)
+
+    def test_fault_for_trial_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            fault_for_trial(7, 0, {}, kinds=("cosmic_ray",))
 
 
 class TestRandomStuckAt:

@@ -4,6 +4,7 @@ import pytest
 
 from repro.serve import protocol
 from repro.serve.protocol import (
+    CampaignRequest,
     EvalRequest,
     EvalResponse,
     ProtocolError,
@@ -124,3 +125,68 @@ def test_canned_responses_echo_request_id():
     assert shed_response(request, 4).status == protocol.STATUS_SHED
     assert timeout_response(request).status == protocol.STATUS_TIMEOUT
     assert "saturated" in shed_response(request, 4).error
+
+
+def test_campaign_round_trip():
+    request = CampaignRequest(workload="mcf", checkers="2xA510@2.0",
+                              mode="full", instructions=8000, seed=11,
+                              trials=50, fault_kinds=("stuck_at",),
+                              timeout_s=30.0, request_id="c1")
+    wire = protocol.campaign_to_wire(request)
+    line = protocol.encode_message(wire)
+    decoded = protocol.campaign_from_wire(protocol.decode_message(line))
+    assert decoded == request
+    assert isinstance(decoded.fault_kinds, tuple)
+
+
+def test_campaign_wire_accepts_json_lists():
+    # JSON has no tuples; a list on the wire must land back as a tuple.
+    wire = protocol.campaign_to_wire(CampaignRequest(workload="mcf"))
+    wire["fault_kinds"] = list(wire["fault_kinds"])
+    decoded = protocol.campaign_from_wire(wire)
+    assert decoded.fault_kinds == protocol.DEFAULT_FAULT_KINDS
+
+
+def test_campaign_validation():
+    with pytest.raises(ProtocolError):
+        CampaignRequest(workload="").validate()
+    with pytest.raises(ProtocolError):
+        CampaignRequest(workload="mcf", checkers="").validate()
+    with pytest.raises(ProtocolError):
+        CampaignRequest(workload="mcf", trials=0).validate()
+    with pytest.raises(ProtocolError):
+        CampaignRequest(workload="mcf", instructions=0).validate()
+    with pytest.raises(ProtocolError):
+        CampaignRequest(workload="mcf", fault_kinds=()).validate()
+    with pytest.raises(ProtocolError):
+        CampaignRequest(workload="mcf",
+                        fault_kinds=("cosmic_ray",)).validate()
+    with pytest.raises(ProtocolError):
+        CampaignRequest(workload="mcf", timeout_s=0.0).validate()
+
+
+def test_campaign_from_wire_rejects_bad_envelopes():
+    good = protocol.campaign_to_wire(CampaignRequest(workload="mcf"))
+    with pytest.raises(ProtocolError):
+        protocol.campaign_from_wire({**good, "op": "eval"})
+    with pytest.raises(ProtocolError):
+        protocol.campaign_from_wire({**good, "v": 999})
+    with pytest.raises(ProtocolError):
+        protocol.campaign_from_wire({**good, "fault_kinds": "stuck_at"})
+
+
+def test_campaign_sim_key_ignores_delivery_metadata():
+    base = CampaignRequest(workload="mcf", request_id="c1", timeout_s=5.0)
+    twin = CampaignRequest(workload="mcf", request_id="c2", timeout_s=9.0)
+    other = CampaignRequest(workload="mcf", trials=99)
+    assert base.sim_key() == twin.sim_key()
+    assert base.sim_key() != other.sim_key()
+    assert base.sim_spec()["op"] == protocol.OP_CAMPAIGN
+
+
+def test_campaign_trace_key_matches_eval_requests():
+    # Campaigns must batch with evals of the same functional run.
+    campaign = CampaignRequest(workload="mcf", instructions=4000, seed=7)
+    evaluation = EvalRequest(workload="mcf", checkers="1xA510@2.0",
+                             instructions=4000, seed=7)
+    assert campaign.trace_key() == evaluation.trace_key()

@@ -1,0 +1,49 @@
+"""WorkerPool process hygiene: reset must reap, not orphan, workers."""
+
+from repro.serve.workers import WorkerPool
+
+
+def _spawn_workers(pool):
+    """Force the lazy executor to exist and spin up its processes."""
+    executor = pool._ensure()
+    # A trivial picklable call makes the executor fork its workers.
+    for future in [executor.submit(abs, -i) for i in range(pool.workers)]:
+        future.result()
+    return list(executor._processes.values())
+
+
+def test_reset_reaps_worker_processes():
+    pool = WorkerPool(workers=2)
+    try:
+        procs = _spawn_workers(pool)
+        assert procs
+        pool.reset()
+        # Every worker the pool ever started must be dead after reset —
+        # the crash-retry loop must not accumulate orphans.
+        assert all(not p.is_alive() for p in procs)
+        assert all(p.exitcode is not None for p in procs)
+        assert pool._executor is None
+    finally:
+        pool.shutdown()
+
+
+def test_reset_before_first_use_is_a_no_op():
+    pool = WorkerPool(workers=2)
+    pool.reset()
+    assert pool._executor is None
+
+
+def test_pool_recreates_after_reset():
+    pool = WorkerPool(workers=1)
+    try:
+        first = _spawn_workers(pool)
+        pool.reset()
+        second = _spawn_workers(pool)
+        assert second  # the next batch transparently got a fresh pool
+        assert {p.pid for p in first}.isdisjoint({p.pid for p in second})
+    finally:
+        pool.shutdown()
+
+
+def test_reap_timeout_is_bounded():
+    assert 0 < WorkerPool.REAP_TIMEOUT_S <= 30
