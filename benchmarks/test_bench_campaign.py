@@ -50,12 +50,17 @@ def test_bench_campaign_speedup(benchmark):
     # schedule gets a cold-start handicap.
     run_campaign(dataclasses.replace(SPEC, trials=1), jobs=1)
 
+    from repro.faults.engine import CampaignRunner
+
     def measure():
         serial = run_campaign(SPEC, jobs=1)
-        parallel = run_campaign(SPEC, jobs=JOBS)
-        return serial, parallel
+        with CampaignRunner(jobs=JOBS) as runner:
+            parallel = runner.run(SPEC)
+            chunk = (runner.last_stats or {}).get("chunk")
+        return serial, parallel, chunk
 
-    serial, parallel = benchmark.pedantic(measure, rounds=1, iterations=1)
+    serial, parallel, chunk = benchmark.pedantic(measure, rounds=1,
+                                                 iterations=1)
 
     # Timing is only meaningful if the schedules computed the same thing.
     assert parallel.records == serial.records
@@ -68,6 +73,7 @@ def test_bench_campaign_speedup(benchmark):
         "instructions": BUDGET,
         "trials": TRIALS,
         "jobs": JOBS,
+        "chunk": chunk,
         "host_cpus": host_cpus,
         "detected": serial.detected,
         "masked": serial.masked,

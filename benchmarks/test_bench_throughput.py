@@ -28,11 +28,13 @@ from repro.mem.hierarchy import SharedUncore
 from repro.workloads.generator import build_program
 from repro.workloads.profiles import get_profile
 
-#: Dispatch-chain / per-instruction-recompute implementation, measured
-#: on the reference runner before this optimisation pass (gcc profile,
-#: 30 k instructions, best of 5).
-PRE_PR_FUNCTIONAL_IPS = 259_312
-PRE_PR_TIMING_IPS = 117_229
+#: Object-trace (per-instruction ``TraceEntry``) implementation, from
+#: the commit preceding the columnar-trace pass — measured interleaved
+#: with the columnar stack in one session on the same machine (gcc
+#: profile, 30 k instructions, best of 5, best of 3 rounds), so the
+#: speedup figures below compare like with like.
+PRE_PR_FUNCTIONAL_IPS = 530_034
+PRE_PR_TIMING_IPS = 311_734
 
 BENCH = "gcc"
 #: Reduce via REPRO_BENCH_BUDGET for smoke runs (e.g. CI); speedup
@@ -83,10 +85,10 @@ def _timing_rate(program, run):
                           hierarchy.uncore_clock_ghz)
     model = TimingModel(main, uncore)
     model.warm_data(warm_addresses(program))
-    model.simulate(program, run.trace)  # warm-up: caches + metadata pass
+    model.simulate(program, run.columns)  # warm-up: caches + metadata pass
     elapsed, _ = _best_of(
-        REPS, lambda: model.simulate(program, run.trace))
-    return len(run.trace) / elapsed
+        REPS, lambda: model.simulate(program, run.columns))
+    return len(run.columns) / elapsed
 
 
 def test_bench_throughput(benchmark):

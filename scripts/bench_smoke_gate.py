@@ -1,0 +1,86 @@
+"""CI bench-smoke gate: fail on throughput regression vs committed numbers.
+
+Measures functional-execution and timing-replay instructions/second the
+same way ``benchmarks/test_bench_throughput.py`` does (warm best-of-N,
+budget via ``REPRO_BENCH_BUDGET``) and compares against the
+``functional_inst_per_sec`` / ``timing_inst_per_sec`` values committed
+in ``BENCH_throughput.json``.  Exits non-zero when either rate drops
+more than ``REPRO_BENCH_GATE_THRESHOLD`` (default 0.10, i.e. >10%
+regression) below its committed value.
+
+CI hosts are slower than the machine the committed numbers were taken
+on; set ``REPRO_BENCH_GATE_SCALE`` to the expected host ratio (e.g.
+``0.5`` halves the committed bar) when calibrating a new runner class.
+"""
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.core.system import ParaVerserSystem, warm_addresses  # noqa: E402
+from repro.cpu.timing import TimingModel  # noqa: E402
+from repro.harness.runner import _probe_config, main_x2  # noqa: E402
+from repro.mem.hierarchy import SharedUncore  # noqa: E402
+from repro.workloads.generator import build_program  # noqa: E402
+from repro.workloads.profiles import get_profile  # noqa: E402
+
+BENCH = "gcc"
+BUDGET = int(os.environ.get("REPRO_BENCH_BUDGET", 30_000))
+REPS = int(os.environ.get("REPRO_BENCH_REPS", 5))
+SEED = 7
+
+
+def _best_of(reps, fn):
+    best = float("inf")
+    value = None
+    for _ in range(reps):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def measure() -> tuple[float, float]:
+    program = build_program(get_profile(BENCH), seed=SEED)
+    system = ParaVerserSystem(_probe_config(SEED))
+    system.execute(program, BUDGET)  # warm-up
+    elapsed, run = _best_of(REPS, lambda: system.execute(program, BUDGET))
+    functional_ips = run.instructions / elapsed
+
+    main = main_x2()
+    hierarchy = main.config.hierarchy
+    uncore = SharedUncore(hierarchy.l3, hierarchy.dram,
+                          hierarchy.uncore_clock_ghz)
+    model = TimingModel(main, uncore)
+    model.warm_data(warm_addresses(program))
+    model.simulate(program, run.columns)  # warm-up
+    elapsed, _ = _best_of(REPS, lambda: model.simulate(program, run.columns))
+    return functional_ips, len(run.columns) / elapsed
+
+
+def main() -> int:
+    committed = json.loads((ROOT / "BENCH_throughput.json").read_text())
+    threshold = float(os.environ.get("REPRO_BENCH_GATE_THRESHOLD", "0.10"))
+    scale = float(os.environ.get("REPRO_BENCH_GATE_SCALE", "1.0"))
+    functional_ips, timing_ips = measure()
+    failed = False
+    for name, measured in (("functional", functional_ips),
+                           ("timing", timing_ips)):
+        bar = committed[f"{name}_inst_per_sec"] * scale * (1.0 - threshold)
+        status = "ok" if measured >= bar else "REGRESSION"
+        if measured < bar:
+            failed = True
+        print(f"{name:10s} {measured:12,.0f} inst/s "
+              f"(bar {bar:12,.0f}, committed "
+              f"{committed[f'{name}_inst_per_sec']:12,} "
+              f"x scale {scale} x {1.0 - threshold:.2f}) {status}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

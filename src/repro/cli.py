@@ -15,6 +15,8 @@ Installed as ``paraverser`` (see pyproject.toml)::
     paraverser serve --port 8347 --workers 4     # batched evaluation server
     paraverser eval -w mcf --backend paraverser-full  # query a server
     paraverser stats-diff old.json new.json      # flag stats regressions
+    paraverser cache info --dir ~/.pvtraces      # trace-cache entry counts
+    paraverser cache migrate                     # legacy JSON -> binary
 """
 
 from __future__ import annotations
@@ -122,6 +124,10 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("-j", "--jobs", type=int, default=None,
                           help="worker processes fanning trials out "
                                "(default: REPRO_JOBS or 1; 0 = all CPUs)")
+    campaign.add_argument("--chunk", type=int, default=None,
+                          help="trials per pool task (default: auto, "
+                               "~trials/(jobs*4); results are identical "
+                               "for any chunking)")
     campaign.add_argument("--fault-kinds", metavar="K1,K2,...",
                           default=None,
                           help="fault-site mix: any of stuck_at, "
@@ -217,6 +223,16 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="per-request deadline in seconds")
     eval_cmd.add_argument("--json", action="store_true",
                           help="print the raw result row as JSON")
+
+    cache = sub.add_parser(
+        "cache", help="inspect or maintain the persistent trace cache")
+    cache.add_argument("action", choices=["info", "purge", "migrate"],
+                       help="info: entry/byte counts; purge: delete all "
+                            "entries; migrate: rewrite legacy JSON "
+                            "entries in the compressed binary format")
+    cache.add_argument("--dir", dest="directory", metavar="DIR",
+                       default=None,
+                       help="cache directory (default: REPRO_TRACE_CACHE)")
 
     diff = sub.add_parser(
         "stats-diff",
@@ -490,7 +506,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     if jobs <= 0:
         jobs = os.cpu_count() or 1
     with CampaignRunner(jobs=jobs, campaign_dir=args.campaign_dir,
-                        resume=args.resume) as runner:
+                        resume=args.resume, chunk=args.chunk) as runner:
         outcome = runner.run(spec)
     row = outcome.to_row()
     if args.json:
@@ -686,6 +702,32 @@ def cmd_eval(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cache(args: argparse.Namespace) -> int:
+    """`paraverser cache`: inspect or maintain the persistent trace cache."""
+    from repro.cpu.tracecache import TraceCache
+
+    directory = args.directory or os.environ.get("REPRO_TRACE_CACHE")
+    if not directory or directory == "0":
+        print("cache: no directory (pass --dir or set REPRO_TRACE_CACHE)",
+              file=sys.stderr)
+        return 2
+    tc = TraceCache(directory)
+    if args.action == "purge":
+        print(f"purged entries:    {tc.purge()}")
+        return 0
+    if args.action == "migrate":
+        print(f"migrated entries:  {tc.migrate()}")
+    info = tc.info()
+    print(f"directory:         {info['directory']}")
+    print(f"entries:           {info['entries']} "
+          f"({info['total_bytes'] / 1024:.1f} KiB)")
+    print(f"  binary (.pvtc):  {info['current_entries']} "
+          f"({info['current_bytes'] / 1024:.1f} KiB)")
+    print(f"  legacy (.json):  {info['legacy_entries']} "
+          f"({info['legacy_bytes'] / 1024:.1f} KiB)")
+    return 0
+
+
 def cmd_stats_diff(args: argparse.Namespace) -> int:
     """`paraverser stats-diff`: flag regressions between two dumps."""
     from repro.obs.diff import diff_stats, load_tree, render_diff
@@ -707,6 +749,7 @@ _COMMANDS = {
     "figures": cmd_figures,
     "serve": cmd_serve,
     "eval": cmd_eval,
+    "cache": cmd_cache,
     "stats-diff": cmd_stats_diff,
 }
 

@@ -317,7 +317,7 @@ class CheckerCore:
         self.rcu.arm(segment.end_checkpoint, segment.digest)
         result = CheckResult(segment.index, detected=False)
         try:
-            run = core.run(segment.instructions)
+            run = core.run(segment.instructions, record_trace=False)
         except ReplayDetection as detection:
             result.detected = True
             result.events.append(detection.event)

@@ -13,10 +13,15 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.cpu.functional import TraceEntry
 from repro.isa.instructions import CACHE_LINE_BYTES, LSL_ADDRESS_BYTES, \
     LSL_SIZE_FIELD_BYTES, Opcode
+
+if TYPE_CHECKING:
+    from repro.cpu.columns import TraceColumns
+    from repro.isa.program import Program
 
 
 class RecordKind(enum.Enum):
@@ -135,6 +140,100 @@ def record_from_trace(entry: TraceEntry, index: int) -> LSLRecord | None:
             RecordKind.NONREP, (LSLAccess(0, 8, entry.nonrep, None),), index
         )
     return None
+
+
+#: Per-pc record-kind codes for the columnar fast path.  The dispatch
+#: order mirrors :func:`record_from_trace` (BCOPY before the generic
+#: load/store tests — it sets both flags).
+(_KIND_NONE, _KIND_LOAD, _KIND_STORE, _KIND_SWAP, _KIND_SC, _KIND_LDG,
+ _KIND_STS, _KIND_BCOPY, _KIND_NONREP) = range(9)
+
+
+def _record_kind_table(program: "Program") -> list[int]:
+    """Static record kind per pc, cached on the program object."""
+    table = getattr(program, "_lsl_kind_table", None)
+    if table is None:
+        table = []
+        for instr in program.instructions:
+            op = instr.op
+            spec = instr.spec
+            if op is Opcode.BCOPY:
+                code = _KIND_BCOPY
+            elif op is Opcode.SWP:
+                code = _KIND_SWAP
+            elif op is Opcode.SC:
+                code = _KIND_SC
+            elif op is Opcode.LDG:
+                code = _KIND_LDG
+            elif op is Opcode.STS:
+                code = _KIND_STS
+            elif spec.is_load:
+                code = _KIND_LOAD
+            elif spec.is_store:
+                code = _KIND_STORE
+            elif spec.is_nonrepeatable:
+                code = _KIND_NONREP
+            else:
+                code = _KIND_NONE
+            table.append(code)
+        program._lsl_kind_table = table
+    return table
+
+
+def records_from_columns(columns: "TraceColumns") -> list[LSLRecord]:
+    """Bulk record extraction from a columnar trace.
+
+    Every instruction that produces a log record also emits a mem-plane
+    row (and vice versa), so this walks the sparse row plane instead of
+    materialising per-instruction ``TraceEntry`` objects.  Produces the
+    same records, in the same order, as calling :func:`record_from_trace`
+    on each entry.
+    """
+    table = _record_kind_table(columns.program)
+    pcs = columns.pcs
+    bulks = columns.bulks
+    out: list[LSLRecord] = []
+    append = out.append
+    for idx, addr, addr2, size, loaded, loaded2, stored, nonrep \
+            in columns.mem_rows:
+        kind = table[pcs[idx]]
+        if kind == _KIND_LOAD:
+            append(LSLRecord(RecordKind.LOAD,
+                             (LSLAccess(addr, size, loaded, None),), idx))
+        elif kind == _KIND_STORE:
+            append(LSLRecord(RecordKind.STORE,
+                             (LSLAccess(addr, size, None, stored),), idx))
+        elif kind == _KIND_SWAP:
+            append(LSLRecord(RecordKind.SWAP,
+                             (LSLAccess(addr, size, loaded, stored),), idx))
+        elif kind == _KIND_SC:
+            append(LSLRecord(RecordKind.NONREP_STORE,
+                             (LSLAccess(addr, size, nonrep, stored),), idx))
+        elif kind == _KIND_LDG:
+            first = LSLAccess(addr, size, loaded, None)
+            second = LSLAccess(addr2, size, loaded2, None)
+            # Lowest address first (microarchitectural invariance, IV-C).
+            accesses = (first, second) if addr <= addr2 else (second, first)
+            append(LSLRecord(RecordKind.GATHER, accesses, idx))
+        elif kind == _KIND_STS:
+            first = LSLAccess(addr, size, None, stored)
+            second = LSLAccess(addr2, size, None, stored)
+            accesses = (first, second) if addr <= addr2 else (second, first)
+            append(LSLRecord(RecordKind.SCATTER, accesses, idx))
+        elif kind == _KIND_BCOPY:
+            bulk = bulks[idx]
+            accesses = tuple(
+                LSLAccess(addr + 8 * i, 8, loaded=value, stored=None)
+                for i, value in enumerate(bulk)
+            ) + tuple(
+                LSLAccess(addr2 + 8 * i, 8, loaded=None, stored=value)
+                for i, value in enumerate(bulk)
+            )
+            append(LSLRecord(RecordKind.BULK, accesses, idx))
+        else:  # _KIND_NONREP
+            append(LSLRecord(RecordKind.NONREP,
+                             (LSLAccess(0, 8, nonrep, None),), idx))
+    return out
 
 
 class LoadStoreLogCache:

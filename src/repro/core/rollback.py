@@ -59,6 +59,12 @@ class UndoLogPort:
         self.undo.append((addr, size, self.memory.load(addr, size)))
         return self.inner.swap(addr, size, value)
 
+    def bulk_copy(self, src: int, dst: int, words: int) -> tuple[int, ...]:
+        for i in range(words):
+            self.undo.append((dst + 8 * i, 8,
+                              self.memory.load(dst + 8 * i, 8)))
+        return self.inner.bulk_copy(src, dst, words)
+
     def take_undo(self) -> list[tuple[int, int, int]]:
         log, self.undo = self.undo, []
         return log
@@ -177,7 +183,7 @@ class RecoverableSystem:
 
     def _segment_of(self, builder: SegmentBuilder, chunk, start,
                     index: int) -> Segment:
-        segments = builder.split(chunk.trace)
+        segments = builder.split(chunk.columns)
         records = [record for seg in segments for record in seg.records]
         segment = Segment(
             index=index, start=0, end=chunk.instructions,

@@ -19,7 +19,7 @@ class BranchPredictor:
     """Tournament (bimodal + gshare) conditional predictor + indirect table."""
 
     __slots__ = ("_bimodal", "_gshare", "_chooser", "_mask", "_history",
-                 "_history_bits", "_targets", "_target_mask",
+                 "_history_bits", "_history_mask", "_targets", "_target_mask",
                  "predictions", "mispredictions")
 
     def __init__(self, storage_kib: int = 64, history_bits: int = 10) -> None:
@@ -32,6 +32,7 @@ class BranchPredictor:
         self._mask = entries - 1
         self._history = 0
         self._history_bits = history_bits
+        self._history_mask = (1 << history_bits) - 1
         target_entries = max(256, entries // 64)
         self._targets: list[int] = [-1] * target_entries
         self._target_mask = target_entries - 1
@@ -40,10 +41,12 @@ class BranchPredictor:
 
     def predict_conditional(self, pc: int, taken: bool) -> bool:
         """Record one conditional branch; return True if predicted correctly."""
+        bimodal = self._bimodal
+        gshare = self._gshare
         b_idx = pc & self._mask
         g_idx = (pc ^ (self._history * 0x9E3779B1)) & self._mask
-        b_counter = self._bimodal[b_idx]
-        g_counter = self._gshare[g_idx]
+        b_counter = bimodal[b_idx]
+        g_counter = gshare[g_idx]
         b_pred = b_counter >= 2
         g_pred = g_counter >= 2
         use_gshare = self._chooser[b_idx] >= 2
@@ -59,15 +62,18 @@ class BranchPredictor:
                 self._chooser[b_idx] = chooser + 1
             elif b_pred == taken and chooser > 0:
                 self._chooser[b_idx] = chooser - 1
-        for table, idx, counter in ((self._bimodal, b_idx, b_counter),
-                                    (self._gshare, g_idx, g_counter)):
-            if taken and counter < 3:
-                table[idx] = counter + 1
-            elif not taken and counter > 0:
-                table[idx] = counter - 1
-        self._history = ((self._history << 1) | (1 if taken else 0)) & (
-            (1 << self._history_bits) - 1
-        )
+        if taken:
+            if b_counter < 3:
+                bimodal[b_idx] = b_counter + 1
+            if g_counter < 3:
+                gshare[g_idx] = g_counter + 1
+            self._history = ((self._history << 1) | 1) & self._history_mask
+        else:
+            if b_counter > 0:
+                bimodal[b_idx] = b_counter - 1
+            if g_counter > 0:
+                gshare[g_idx] = g_counter - 1
+            self._history = (self._history << 1) & self._history_mask
         return correct
 
     def predict_indirect(self, pc: int, target: int) -> bool:

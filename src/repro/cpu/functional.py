@@ -11,20 +11,32 @@ Fault injection (section VII-B) hooks in through :class:`FaultSurface`:
 every functional-unit result and every load/store address passes through
 ``apply`` tagged with the unit class and instance that produced it.
 
-Dispatch is table-driven end to end: every opcode maps to a dedicated
-handler function (generated from per-family operator tables, so there is
-no if/elif chain on the commit path), and the per-opcode handler list is
-precomputed once per :class:`Program` and cached on the program object.
-Cores with no fault surface and single-unit FU pools additionally bind
-no-op fast paths for the ALU/FPU/AGU fault hooks.
+Dispatch is table-driven end to end, and the commit trace is columnar
+(:class:`~repro.cpu.columns.TraceColumns`): handlers append to the dense
+pc column and the sparse memory/branch planes instead of building one
+``TraceEntry`` heap object per instruction.  Two per-program handler
+tables are cached on the program object:
+
+* the generic table — one handler per opcode, routing every produced
+  value through the fault surface; used whenever a fault surface is
+  installed or an FU class has multiple units;
+* the fast table — one *per-pc* closure with the instruction's register
+  indices, immediates and masks bound at build time, used by healthy
+  single-unit cores (the overwhelmingly common case: main trace runs,
+  checkpoint passes, and healthy checker replays).  Bit-identical to the
+  generic table with a :class:`NoFaults` surface by construction.
+
+``TraceEntry`` remains as the object view; ``RunResult.trace``
+materialises it lazily from the columns.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Protocol
 
+from repro.cpu.columns import TraceColumns
 from repro.isa.instructions import FUKind, Instruction, OP_SPECS, Opcode
 from repro.isa.program import Program
 from repro.isa.registers import RegisterCheckpoint, RegisterFile
@@ -127,7 +139,11 @@ class MainNonRepSource:
 
 @dataclass(slots=True)
 class TraceEntry:
-    """One committed instruction, with its architectural effects."""
+    """One committed instruction, with its architectural effects.
+
+    The object view of one columnar trace row; materialised on demand by
+    ``RunResult.trace`` / ``TraceColumns.entries``.
+    """
 
     pc: int
     instr: Instruction
@@ -144,17 +160,42 @@ class TraceEntry:
     bulk: tuple[int, ...] | None = None
 
 
-@dataclass
 class RunResult:
     """Outcome of a functional run (one segment or a whole program)."""
 
-    program: Program
-    trace: list[TraceEntry]
-    start_checkpoint: RegisterCheckpoint
-    end_checkpoint: RegisterCheckpoint
-    halted: bool
-    instructions: int
-    class_counts: dict[str, int] = field(default_factory=dict)
+    __slots__ = ("program", "columns", "start_checkpoint", "end_checkpoint",
+                 "halted", "instructions", "class_counts", "_trace")
+
+    def __init__(
+        self,
+        program: Program,
+        columns: TraceColumns | None = None,
+        start_checkpoint: RegisterCheckpoint | None = None,
+        end_checkpoint: RegisterCheckpoint | None = None,
+        halted: bool = False,
+        instructions: int = 0,
+        class_counts: dict[str, int] | None = None,
+        trace: list[TraceEntry] | None = None,
+    ) -> None:
+        self.program = program
+        if columns is None:
+            columns = TraceColumns.from_entries(trace or [], program)
+        elif columns.program is None:
+            columns.program = program
+        self.columns = columns
+        self.start_checkpoint = start_checkpoint
+        self.end_checkpoint = end_checkpoint
+        self.halted = halted
+        self.instructions = instructions
+        self.class_counts = {} if class_counts is None else class_counts
+        self._trace = trace
+
+    @property
+    def trace(self) -> list[TraceEntry]:
+        """Object view of the trace, materialised lazily from the columns."""
+        if self._trace is None:
+            self._trace = self.columns.entries(self.program)
+        return self._trace
 
     @property
     def final_pc(self) -> int:
@@ -162,7 +203,7 @@ class RunResult:
 
 
 def _program_tables(program: Program) -> tuple[list, list]:
-    """Per-pc (handler, fu-name) tables, computed once per program.
+    """Per-pc (generic handler, fu-name) tables, computed once per program.
 
     The tables only depend on the static instruction stream, so they are
     cached on the program object and shared by every core — main, the
@@ -177,6 +218,39 @@ def _program_tables(program: Program) -> tuple[list, list]:
         tables = (handlers, fu_names)
         program._functional_tables = tables
     return tables
+
+
+def _fast_tables(program: Program) -> list:
+    """Per-pc specialised closures for healthy single-unit cores."""
+    table = getattr(program, "_fast_handlers", None)
+    if table is None:
+        n = len(program.instructions)
+        table = [_build_fast(pc, instr, n)
+                 for pc, instr in enumerate(program.instructions)]
+        program._fast_handlers = table
+    return table
+
+
+class _NullColumns:
+    """Sink for the no-trace runs (checkpoint pass, checker replay)."""
+
+    __slots__ = ()
+
+    def mem(self, addr, addr2, size, loaded, loaded2, stored, nonrep):
+        pass
+
+    def mem_bulk(self, src, dst, values):
+        pass
+
+    def br(self, taken, next_pc):
+        pass
+
+
+_NULL_COLUMNS = _NullColumns()
+
+
+def _discard(pc):
+    pass
 
 
 class FunctionalCore:
@@ -194,6 +268,19 @@ class FunctionalCore:
     ) -> None:
         self.program = program
         self.port = memory_port
+        # Bind the port accessors once per core; the main core's direct
+        # port is pure delegation, so bind straight through to the
+        # backing Memory and save a call frame on every access.
+        if type(memory_port) is DirectMemoryPort:
+            memory = memory_port.memory
+            self._load = memory.load
+            self._store = memory.store
+            self._swap = memory.swap
+        else:
+            self._load = memory_port.load
+            self._store = memory_port.store
+            self._swap = memory_port.swap
+        self._bulk_copy = memory_port.bulk_copy
         self.regs = registers or RegisterFile()
         self.nonrep = nonrep or MainNonRepSource()
         self.fault = fault_surface or NoFaults()
@@ -202,14 +289,13 @@ class FunctionalCore:
         self.pc = program.entry if start_pc is None else start_pc
         self.committed = 0
         self.halted = False
-        # Healthy single-unit cores skip the fault surface and the
-        # round-robin unit selection entirely (their slow-path results are
-        # identities by construction, so this is bit-exact).
-        if (type(self.fault) is NoFaults
-                and all(c <= 1 for c in self.fu_counts.values())):
-            self._alu = _alu_fast
-            self._fpu = _fpu_fast
-            self._mem_addr = _addr_fast
+        self._cols = _NULL_COLUMNS
+        # Healthy single-unit cores run the per-pc fast handler table,
+        # which skips the fault surface and round-robin unit selection
+        # entirely (their slow-path results are identities by
+        # construction, so this is bit-exact).
+        self._fast = (type(self.fault) is NoFaults
+                      and all(c <= 1 for c in self.fu_counts.values()))
 
     # -- functional-unit plumbing -------------------------------------------
 
@@ -240,32 +326,47 @@ class FunctionalCore:
             record_trace: bool = True) -> RunResult:
         """Execute up to ``max_instructions`` instructions."""
         start = self.regs.snapshot(self.pc)
-        trace: list[TraceEntry] = []
-        append = trace.append
-        class_counts: dict[str, int] = {}
-        counts_get = class_counts.get
-        instructions = self.program.instructions
-        handlers, fu_names = _program_tables(self.program)
-        n = len(instructions)
+        program = self.program
+        n = len(program.instructions)
+        cols = TraceColumns(program)
+        self._cols = cols if record_trace else _NULL_COLUMNS
+        pcs_append = cols.pcs.append if record_trace else _discard
         executed = 0
         pc = self.pc
-        while executed < max_instructions and not self.halted:
-            if not 0 <= pc < n:
-                break  # fell off the end of the program
+        try:
+            if self._fast:
+                handlers = _fast_tables(program)
+                while executed < max_instructions and not self.halted:
+                    if not 0 <= pc < n:
+                        break  # fell off the end of the program
+                    pcs_append(pc)
+                    pc = handlers[pc](self)
+                    executed += 1
+                    self.committed += 1
+            else:
+                handlers, _ = _program_tables(program)
+                instrs = program.instructions
+                while executed < max_instructions and not self.halted:
+                    if not 0 <= pc < n:
+                        break
+                    self.pc = pc
+                    pcs_append(pc)
+                    pc = handlers[pc](self, instrs[pc])
+                    executed += 1
+                    self.committed += 1
+        except BaseException:
             self.pc = pc
-            instr = instructions[pc]
-            entry = handlers[pc](self, instr)
-            executed += 1
-            self.committed += 1
-            if record_trace:
-                append(entry)
-                fu = fu_names[pc]
-                class_counts[fu] = counts_get(fu, 0) + 1
-            pc = entry.next_pc
+            raise
+        finally:
+            self._cols = _NULL_COLUMNS
         self.pc = pc
+        if record_trace:
+            class_counts = cols.class_counts(_program_tables(program)[1])
+        else:
+            class_counts = {}
         return RunResult(
-            program=self.program,
-            trace=trace,
+            program=program,
+            columns=cols,
             start_checkpoint=start,
             end_checkpoint=self.regs.snapshot(pc),
             halted=self.halted,
@@ -273,84 +374,10 @@ class FunctionalCore:
             class_counts=class_counts,
         )
 
-    def _execute(self, instr: Instruction) -> TraceEntry:
-        handler = _HANDLERS[instr.op]
-        return handler(self, instr)
 
-
-# -- fast-path functional-unit hooks (healthy, single-unit cores) -----------
-# Bound per-instance in FunctionalCore.__init__; bit-identical to the slow
-# path with a NoFaults surface and unit count <= 1 for every class.
-
-def _alu_fast(fu: FUKind, value: int) -> int:
-    return value & _MASK64
-
-
-def _fpu_fast(fu: FUKind, value: float) -> float:
-    return value
-
-
-def _addr_fast(fu: FUKind, addr: int) -> int:
-    return addr & _MASK64
-
-
-# -- opcode handlers --------------------------------------------------------
-# One dedicated handler per opcode, generated from per-family operator
-# tables (the precomputed-dispatch replacement for the old if/elif chains).
-# Each takes (core, instr) and returns a fully-populated TraceEntry.
+# -- opcode operator tables --------------------------------------------------
 
 _INT_ALU = FUKind.INT_ALU
-
-
-def _make_int3(op_fn):
-    def handler(core: FunctionalCore, instr: Instruction) -> TraceEntry:
-        regs = core.regs
-        ints = regs.ints
-        regs.write_int(
-            instr.rd,
-            core._alu(_INT_ALU, op_fn(ints[instr.rs1], ints[instr.rs2])),
-        )
-        pc = core.pc
-        return TraceEntry(pc=pc, instr=instr, next_pc=pc + 1)
-    return handler
-
-
-def _make_imm(op_fn):
-    def handler(core: FunctionalCore, instr: Instruction) -> TraceEntry:
-        regs = core.regs
-        regs.write_int(
-            instr.rd,
-            core._alu(_INT_ALU, op_fn(regs.ints[instr.rs1], instr.imm)),
-        )
-        pc = core.pc
-        return TraceEntry(pc=pc, instr=instr, next_pc=pc + 1)
-    return handler
-
-
-def _make_fp3(op_fn):
-    def handler(core: FunctionalCore, instr: Instruction) -> TraceEntry:
-        regs = core.regs
-        fps = regs.fps
-        regs.write_fp(
-            instr.rd,
-            core._fpu(FUKind.FP, op_fn(fps[instr.rs1], fps[instr.rs2])),
-        )
-        pc = core.pc
-        return TraceEntry(pc=pc, instr=instr, next_pc=pc + 1)
-    return handler
-
-
-def _make_branch(cmp_fn):
-    def handler(core: FunctionalCore, instr: Instruction) -> TraceEntry:
-        ints = core.regs.ints
-        taken = cmp_fn(to_signed(ints[instr.rs1]), to_signed(ints[instr.rs2]))
-        # The branch ALU computes the condition; a fault can flip it.
-        cond = core._alu(FUKind.BRANCH, 1 if taken else 0) & 1
-        pc = core.pc
-        return TraceEntry(pc=pc, instr=instr, taken=bool(cond),
-                          next_pc=instr.target if cond else pc + 1)
-    return handler
-
 
 _INT3_OPS = {
     Opcode.ADD: lambda a, b: a + b,
@@ -388,15 +415,70 @@ _BRANCH_OPS = {
 }
 
 
-def _h_mul(core: FunctionalCore, instr: Instruction) -> TraceEntry:
+# -- generic opcode handlers -------------------------------------------------
+# One handler per opcode, generated from the per-family operator tables.
+# Each takes (core, instr), appends the instruction's sparse trace rows to
+# ``core._cols``, and returns the next pc.  Every produced value passes
+# through the core's fault surface.
+
+def _make_int3(op_fn):
+    def handler(core: FunctionalCore, instr: Instruction) -> int:
+        regs = core.regs
+        ints = regs.ints
+        regs.write_int(
+            instr.rd,
+            core._alu(_INT_ALU, op_fn(ints[instr.rs1], ints[instr.rs2])),
+        )
+        return core.pc + 1
+    return handler
+
+
+def _make_imm(op_fn):
+    def handler(core: FunctionalCore, instr: Instruction) -> int:
+        regs = core.regs
+        regs.write_int(
+            instr.rd,
+            core._alu(_INT_ALU, op_fn(regs.ints[instr.rs1], instr.imm)),
+        )
+        return core.pc + 1
+    return handler
+
+
+def _make_fp3(op_fn):
+    def handler(core: FunctionalCore, instr: Instruction) -> int:
+        regs = core.regs
+        fps = regs.fps
+        regs.write_fp(
+            instr.rd,
+            core._fpu(FUKind.FP, op_fn(fps[instr.rs1], fps[instr.rs2])),
+        )
+        return core.pc + 1
+    return handler
+
+
+def _make_branch(cmp_fn):
+    def handler(core: FunctionalCore, instr: Instruction) -> int:
+        ints = core.regs.ints
+        taken = cmp_fn(to_signed(ints[instr.rs1]), to_signed(ints[instr.rs2]))
+        # The branch ALU computes the condition; a fault can flip it.
+        cond = core._alu(FUKind.BRANCH, 1 if taken else 0) & 1
+        if cond:
+            core._cols.br(True, instr.target)
+            return instr.target
+        next_pc = core.pc + 1
+        core._cols.br(False, next_pc)
+        return next_pc
+    return handler
+
+
+def _h_mul(core: FunctionalCore, instr: Instruction) -> int:
     ints = core.regs.ints
     v = ints[instr.rs1] * ints[instr.rs2]
     core.regs.write_int(instr.rd, core._alu(FUKind.INT_MUL, v))
-    pc = core.pc
-    return TraceEntry(pc=pc, instr=instr, next_pc=pc + 1)
+    return core.pc + 1
 
 
-def _h_div(core: FunctionalCore, instr: Instruction) -> TraceEntry:
+def _h_div(core: FunctionalCore, instr: Instruction) -> int:
     ints = core.regs.ints
     a = to_signed(ints[instr.rs1])
     b = to_signed(ints[instr.rs2])
@@ -407,11 +489,10 @@ def _h_div(core: FunctionalCore, instr: Instruction) -> TraceEntry:
         if (a < 0) != (b < 0):
             v = -v
     core.regs.write_int(instr.rd, core._alu(FUKind.INT_DIV, v))
-    pc = core.pc
-    return TraceEntry(pc=pc, instr=instr, next_pc=pc + 1)
+    return core.pc + 1
 
 
-def _h_rem(core: FunctionalCore, instr: Instruction) -> TraceEntry:
+def _h_rem(core: FunctionalCore, instr: Instruction) -> int:
     ints = core.regs.ints
     a = to_signed(ints[instr.rs1])
     b = to_signed(ints[instr.rs2])
@@ -422,24 +503,21 @@ def _h_rem(core: FunctionalCore, instr: Instruction) -> TraceEntry:
         if a < 0:
             v = -v
     core.regs.write_int(instr.rd, core._alu(FUKind.INT_DIV, v))
-    pc = core.pc
-    return TraceEntry(pc=pc, instr=instr, next_pc=pc + 1)
+    return core.pc + 1
 
 
-def _h_lui(core: FunctionalCore, instr: Instruction) -> TraceEntry:
+def _h_lui(core: FunctionalCore, instr: Instruction) -> int:
     core.regs.write_int(instr.rd, core._alu(_INT_ALU, instr.imm))
-    pc = core.pc
-    return TraceEntry(pc=pc, instr=instr, next_pc=pc + 1)
+    return core.pc + 1
 
 
-def _h_mov(core: FunctionalCore, instr: Instruction) -> TraceEntry:
+def _h_mov(core: FunctionalCore, instr: Instruction) -> int:
     regs = core.regs
     regs.write_int(instr.rd, core._alu(_INT_ALU, regs.ints[instr.rs1]))
-    pc = core.pc
-    return TraceEntry(pc=pc, instr=instr, next_pc=pc + 1)
+    return core.pc + 1
 
 
-def _h_fdiv(core: FunctionalCore, instr: Instruction) -> TraceEntry:
+def _h_fdiv(core: FunctionalCore, instr: Instruction) -> int:
     fps = core.regs.fps
     a = fps[instr.rs1]
     b = fps[instr.rs2]
@@ -448,26 +526,23 @@ def _h_fdiv(core: FunctionalCore, instr: Instruction) -> TraceEntry:
     else:
         v = a / b
     core.regs.write_fp(instr.rd, core._fpu(FUKind.FP_DIV, v))
-    pc = core.pc
-    return TraceEntry(pc=pc, instr=instr, next_pc=pc + 1)
+    return core.pc + 1
 
 
-def _h_fsqrt(core: FunctionalCore, instr: Instruction) -> TraceEntry:
+def _h_fsqrt(core: FunctionalCore, instr: Instruction) -> int:
     a = core.regs.fps[instr.rs1]
     v = a ** 0.5 if a >= 0.0 else float("nan")
     core.regs.write_fp(instr.rd, core._fpu(FUKind.FP_DIV, v))
-    pc = core.pc
-    return TraceEntry(pc=pc, instr=instr, next_pc=pc + 1)
+    return core.pc + 1
 
 
-def _h_fcvt_if(core: FunctionalCore, instr: Instruction) -> TraceEntry:
+def _h_fcvt_if(core: FunctionalCore, instr: Instruction) -> int:
     v = float(to_signed(core.regs.ints[instr.rs1]))
     core.regs.write_fp(instr.rd, core._fpu(FUKind.FP, v))
-    pc = core.pc
-    return TraceEntry(pc=pc, instr=instr, next_pc=pc + 1)
+    return core.pc + 1
 
 
-def _h_fcvt_fi(core: FunctionalCore, instr: Instruction) -> TraceEntry:
+def _h_fcvt_fi(core: FunctionalCore, instr: Instruction) -> int:
     f = core.regs.fps[instr.rs1]
     if f != f:  # NaN
         v = 0
@@ -478,133 +553,124 @@ def _h_fcvt_fi(core: FunctionalCore, instr: Instruction) -> TraceEntry:
     else:
         v = int(f)
     core.regs.write_int(instr.rd, core._alu(FUKind.FP, v))
-    pc = core.pc
-    return TraceEntry(pc=pc, instr=instr, next_pc=pc + 1)
+    return core.pc + 1
 
 
-def _h_fmov(core: FunctionalCore, instr: Instruction) -> TraceEntry:
+def _h_fmov(core: FunctionalCore, instr: Instruction) -> int:
     regs = core.regs
     regs.write_fp(instr.rd, core._fpu(FUKind.FP, regs.fps[instr.rs1]))
-    pc = core.pc
-    return TraceEntry(pc=pc, instr=instr, next_pc=pc + 1)
+    return core.pc + 1
 
 
-def _h_ld(core: FunctionalCore, instr: Instruction) -> TraceEntry:
+def _h_ld(core: FunctionalCore, instr: Instruction) -> int:
     regs = core.regs
     addr = core._mem_addr(FUKind.LOAD, regs.ints[instr.rs1] + instr.imm)
     size = instr.size
-    value = core.port.load(addr, size)
+    value = core._load(addr, size)
     # Loaded data is ECC-protected on its way into the load queue
     # (section IV-C), so it does not pass through the fault surface.
     if size == 8:
         regs.write_int(instr.rd, value)
     else:
         regs.write_int(instr.rd, value & ((1 << (size * 8)) - 1))
-    pc = core.pc
-    return TraceEntry(pc=pc, instr=instr, next_pc=pc + 1,
-                      addr=addr, size=size, loaded=value)
+    core._cols.mem(addr, -1, size, value, None, None, None)
+    return core.pc + 1
 
 
-def _h_st(core: FunctionalCore, instr: Instruction) -> TraceEntry:
+def _h_st(core: FunctionalCore, instr: Instruction) -> int:
     regs = core.regs
     addr = core._mem_addr(FUKind.STORE, regs.ints[instr.rs1] + instr.imm)
     size = instr.size
     value = regs.ints[instr.rs2]
-    core.port.store(addr, size, value)
-    pc = core.pc
-    return TraceEntry(pc=pc, instr=instr, next_pc=pc + 1,
-                      addr=addr, size=size,
-                      stored=value & ((1 << (size * 8)) - 1))
+    core._store(addr, size, value)
+    core._cols.mem(addr, -1, size, None, None,
+                   value & ((1 << (size * 8)) - 1), None)
+    return core.pc + 1
 
 
-def _h_ldg(core: FunctionalCore, instr: Instruction) -> TraceEntry:
+def _h_ldg(core: FunctionalCore, instr: Instruction) -> int:
     regs = core.regs
     addr1 = core._mem_addr(FUKind.LOAD, regs.ints[instr.rs1])
     addr2 = core._mem_addr(FUKind.LOAD, regs.ints[instr.rs2])
-    v1 = core.port.load(addr1, 8)
-    v2 = core.port.load(addr2, 8)
+    v1 = core._load(addr1, 8)
+    v2 = core._load(addr2, 8)
     regs.write_int(instr.rd, v1)
     regs.write_int(instr.rd2, v2)
-    pc = core.pc
-    return TraceEntry(pc=pc, instr=instr, next_pc=pc + 1,
-                      addr=addr1, addr2=addr2, size=8, loaded=v1, loaded2=v2)
+    core._cols.mem(addr1, addr2, 8, v1, v2, None, None)
+    return core.pc + 1
 
 
-def _h_sts(core: FunctionalCore, instr: Instruction) -> TraceEntry:
+def _h_sts(core: FunctionalCore, instr: Instruction) -> int:
     regs = core.regs
     addr1 = core._mem_addr(FUKind.STORE, regs.ints[instr.rs1])
     addr2 = core._mem_addr(FUKind.STORE, regs.ints[instr.rs2])
     value = regs.ints[instr.rs3]
-    core.port.store(addr1, 8, value)
-    core.port.store(addr2, 8, value)
-    pc = core.pc
-    return TraceEntry(pc=pc, instr=instr, next_pc=pc + 1,
-                      addr=addr1, addr2=addr2, size=8, stored=value)
+    core._store(addr1, 8, value)
+    core._store(addr2, 8, value)
+    core._cols.mem(addr1, addr2, 8, None, None, value, None)
+    return core.pc + 1
 
 
-def _h_swp(core: FunctionalCore, instr: Instruction) -> TraceEntry:
+def _h_swp(core: FunctionalCore, instr: Instruction) -> int:
     regs = core.regs
     addr = core._mem_addr(FUKind.LOAD, regs.ints[instr.rs1])
     new = regs.ints[instr.rs2]
-    old = core.port.swap(addr, 8, new)
+    old = core._swap(addr, 8, new)
     regs.write_int(instr.rd, old)
-    pc = core.pc
-    return TraceEntry(pc=pc, instr=instr, next_pc=pc + 1,
-                      addr=addr, size=8, loaded=old, stored=new)
+    core._cols.mem(addr, -1, 8, old, None, new, None)
+    return core.pc + 1
 
 
-def _h_bcopy(core: FunctionalCore, instr: Instruction) -> TraceEntry:
+def _h_bcopy(core: FunctionalCore, instr: Instruction) -> int:
     regs = core.regs
     words = max(1, min(instr.imm, 32))
     src = core._mem_addr(FUKind.LOAD, regs.ints[instr.rs1])
     dst = core._mem_addr(FUKind.STORE, regs.ints[instr.rs2])
-    values = core.port.bulk_copy(src, dst, words)
-    pc = core.pc
-    return TraceEntry(pc=pc, instr=instr, next_pc=pc + 1,
-                      addr=src, addr2=dst, size=8, bulk=values)
+    values = core._bulk_copy(src, dst, words)
+    core._cols.mem_bulk(src, dst, values)
+    return core.pc + 1
 
 
-def _h_sc(core: FunctionalCore, instr: Instruction) -> TraceEntry:
+def _h_sc(core: FunctionalCore, instr: Instruction) -> int:
     regs = core.regs
     addr = core._mem_addr(FUKind.STORE, regs.ints[instr.rs1])
     success = core.nonrep.sc_success() & 1
     stored = None
     if success:
         stored = regs.ints[instr.rs2]
-        core.port.store(addr, 8, stored)
+        core._store(addr, 8, stored)
     regs.write_int(instr.rd, success)
-    pc = core.pc
-    return TraceEntry(pc=pc, instr=instr, next_pc=pc + 1,
-                      addr=addr, size=8, stored=stored, nonrep=success)
+    core._cols.mem(addr, -1, 8, None, None, stored, success)
+    return core.pc + 1
 
 
-def _h_rdrand(core: FunctionalCore, instr: Instruction) -> TraceEntry:
+def _h_rdrand(core: FunctionalCore, instr: Instruction) -> int:
     v = core.nonrep.rdrand()
     core.regs.write_int(instr.rd, v)
-    pc = core.pc
-    return TraceEntry(pc=pc, instr=instr, next_pc=pc + 1, nonrep=v)
+    core._cols.mem(-1, -1, 0, None, None, None, v)
+    return core.pc + 1
 
 
-def _h_rdtime(core: FunctionalCore, instr: Instruction) -> TraceEntry:
+def _h_rdtime(core: FunctionalCore, instr: Instruction) -> int:
     v = core.nonrep.rdtime(core.committed)
     core.regs.write_int(instr.rd, v)
-    pc = core.pc
-    return TraceEntry(pc=pc, instr=instr, next_pc=pc + 1, nonrep=v)
+    core._cols.mem(-1, -1, 0, None, None, None, v)
+    return core.pc + 1
 
 
-def _h_sysrd(core: FunctionalCore, instr: Instruction) -> TraceEntry:
+def _h_sysrd(core: FunctionalCore, instr: Instruction) -> int:
     v = core.nonrep.sysrd()
     core.regs.write_int(instr.rd, v)
-    pc = core.pc
-    return TraceEntry(pc=pc, instr=instr, next_pc=pc + 1, nonrep=v)
+    core._cols.mem(-1, -1, 0, None, None, None, v)
+    return core.pc + 1
 
 
-def _h_jmp(core: FunctionalCore, instr: Instruction) -> TraceEntry:
-    return TraceEntry(pc=core.pc, instr=instr, taken=True,
-                      next_pc=instr.target)
+def _h_jmp(core: FunctionalCore, instr: Instruction) -> int:
+    # Statically taken; reconstructed from the program, no branch row.
+    return instr.target
 
 
-def _h_jalr(core: FunctionalCore, instr: Instruction) -> TraceEntry:
+def _h_jalr(core: FunctionalCore, instr: Instruction) -> int:
     target = core._alu(FUKind.BRANCH, core.regs.ints[instr.rs1])
     pc = core.pc
     core.regs.write_int(instr.rd, pc + 1)
@@ -613,18 +679,17 @@ def _h_jalr(core: FunctionalCore, instr: Instruction) -> TraceEntry:
             f"jalr to {target} at pc={pc} "
             f"(program has {len(core.program.instructions)} instructions)"
         )
-    return TraceEntry(pc=pc, instr=instr, taken=True, next_pc=target)
+    core._cols.br(True, target)
+    return target
 
 
-def _h_nop(core: FunctionalCore, instr: Instruction) -> TraceEntry:
-    pc = core.pc
-    return TraceEntry(pc=pc, instr=instr, next_pc=pc + 1)
+def _h_nop(core: FunctionalCore, instr: Instruction) -> int:
+    return core.pc + 1
 
 
-def _h_halt(core: FunctionalCore, instr: Instruction) -> TraceEntry:
+def _h_halt(core: FunctionalCore, instr: Instruction) -> int:
     core.halted = True
-    pc = core.pc
-    return TraceEntry(pc=pc, instr=instr, next_pc=pc)
+    return core.pc
 
 
 _HANDLERS = {
@@ -657,3 +722,366 @@ _HANDLERS = {
     Opcode.NOP: _h_nop,
     Opcode.HALT: _h_halt,
 }
+
+
+# -- per-pc fast handlers (healthy, single-unit cores) -----------------------
+# Built once per program by _fast_tables.  Register indices, immediates,
+# masks and successors are bound at build time; the fault surface and unit
+# round-robin are skipped (identities under NoFaults + single units), and
+# destination-x0 writes are elided (write_int discards them anyway).
+
+def _f_nop(nxt):
+    def handler(core):
+        return nxt
+    return handler
+
+
+def _build_fast(pc, instr, n_instructions):
+    op = instr.op
+    nxt = pc + 1
+    rd = instr.rd
+    rs1 = instr.rs1
+    rs2 = instr.rs2
+
+    if op in _INT3_OPS:
+        if rd == 0:
+            return _f_nop(nxt)
+
+        def h_int3(core, rd=rd, rs1=rs1, rs2=rs2, fn=_INT3_OPS[op], nxt=nxt):
+            ints = core.regs.ints
+            ints[rd] = fn(ints[rs1], ints[rs2]) & _MASK64
+            return nxt
+        return h_int3
+
+    if op in _IMM_OPS:
+        if rd == 0:
+            return _f_nop(nxt)
+
+        def h_imm(core, rd=rd, rs1=rs1, imm=instr.imm, fn=_IMM_OPS[op],
+                  nxt=nxt):
+            ints = core.regs.ints
+            ints[rd] = fn(ints[rs1], imm) & _MASK64
+            return nxt
+        return h_imm
+
+    if op in _FP3_OPS:
+        def h_fp3(core, rd=rd, rs1=rs1, rs2=rs2, fn=_FP3_OPS[op], nxt=nxt):
+            fps = core.regs.fps
+            fps[rd] = fn(fps[rs1], fps[rs2])
+            return nxt
+        return h_fp3
+
+    if op in _BRANCH_OPS:
+        target = instr.target
+        if op is Opcode.BEQ:
+            def h_beq(core, rs1=rs1, rs2=rs2, target=target, nxt=nxt):
+                ints = core.regs.ints
+                if ints[rs1] == ints[rs2]:
+                    core._cols.br(True, target)
+                    return target
+                core._cols.br(False, nxt)
+                return nxt
+            return h_beq
+        if op is Opcode.BNE:
+            def h_bne(core, rs1=rs1, rs2=rs2, target=target, nxt=nxt):
+                ints = core.regs.ints
+                if ints[rs1] != ints[rs2]:
+                    core._cols.br(True, target)
+                    return target
+                core._cols.br(False, nxt)
+                return nxt
+            return h_bne
+
+        def h_br(core, rs1=rs1, rs2=rs2, fn=_BRANCH_OPS[op], target=target,
+                 nxt=nxt):
+            ints = core.regs.ints
+            if fn(to_signed(ints[rs1]), to_signed(ints[rs2])):
+                core._cols.br(True, target)
+                return target
+            core._cols.br(False, nxt)
+            return nxt
+        return h_br
+
+    if op is Opcode.MUL:
+        if rd == 0:
+            return _f_nop(nxt)
+
+        def h_mul(core, rd=rd, rs1=rs1, rs2=rs2, nxt=nxt):
+            ints = core.regs.ints
+            ints[rd] = (ints[rs1] * ints[rs2]) & _MASK64
+            return nxt
+        return h_mul
+
+    if op is Opcode.DIV:
+        if rd == 0:
+            return _f_nop(nxt)
+
+        def h_div(core, rd=rd, rs1=rs1, rs2=rs2, nxt=nxt):
+            ints = core.regs.ints
+            a = to_signed(ints[rs1])
+            b = to_signed(ints[rs2])
+            if b == 0:
+                v = -1
+            else:
+                v = abs(a) // abs(b)
+                if (a < 0) != (b < 0):
+                    v = -v
+            ints[rd] = v & _MASK64
+            return nxt
+        return h_div
+
+    if op is Opcode.REM:
+        if rd == 0:
+            return _f_nop(nxt)
+
+        def h_rem(core, rd=rd, rs1=rs1, rs2=rs2, nxt=nxt):
+            ints = core.regs.ints
+            a = to_signed(ints[rs1])
+            b = to_signed(ints[rs2])
+            if b == 0:
+                v = a
+            else:
+                v = abs(a) % abs(b)
+                if a < 0:
+                    v = -v
+            ints[rd] = v & _MASK64
+            return nxt
+        return h_rem
+
+    if op is Opcode.LUI:
+        if rd == 0:
+            return _f_nop(nxt)
+
+        def h_lui(core, rd=rd, value=instr.imm & _MASK64, nxt=nxt):
+            core.regs.ints[rd] = value
+            return nxt
+        return h_lui
+
+    if op is Opcode.MOV:
+        if rd == 0:
+            return _f_nop(nxt)
+
+        def h_mov(core, rd=rd, rs1=rs1, nxt=nxt):
+            ints = core.regs.ints
+            ints[rd] = ints[rs1]
+            return nxt
+        return h_mov
+
+    if op is Opcode.FDIV:
+        def h_fdiv(core, rd=rd, rs1=rs1, rs2=rs2, nxt=nxt):
+            fps = core.regs.fps
+            a = fps[rs1]
+            b = fps[rs2]
+            if b == 0.0:
+                v = float("inf") if a > 0 \
+                    else float("-inf") if a < 0 else float("nan")
+            else:
+                v = a / b
+            fps[rd] = v
+            return nxt
+        return h_fdiv
+
+    if op is Opcode.FSQRT:
+        def h_fsqrt(core, rd=rd, rs1=rs1, nxt=nxt):
+            fps = core.regs.fps
+            a = fps[rs1]
+            fps[rd] = a ** 0.5 if a >= 0.0 else float("nan")
+            return nxt
+        return h_fsqrt
+
+    if op is Opcode.FCVTIF:
+        def h_fcvt_if(core, rd=rd, rs1=rs1, nxt=nxt):
+            regs = core.regs
+            regs.fps[rd] = float(to_signed(regs.ints[rs1]))
+            return nxt
+        return h_fcvt_if
+
+    if op is Opcode.FCVTFI:
+        if rd == 0:
+            return _f_nop(nxt)
+
+        def h_fcvt_fi(core, rd=rd, rs1=rs1, nxt=nxt):
+            regs = core.regs
+            f = regs.fps[rs1]
+            if f != f:  # NaN
+                v = 0
+            elif f >= (1 << 63):
+                v = (1 << 63) - 1
+            elif f < -(1 << 63):
+                v = -(1 << 63)
+            else:
+                v = int(f)
+            regs.ints[rd] = v & _MASK64
+            return nxt
+        return h_fcvt_fi
+
+    if op is Opcode.FMOV:
+        def h_fmov(core, rd=rd, rs1=rs1, nxt=nxt):
+            fps = core.regs.fps
+            fps[rd] = fps[rs1]
+            return nxt
+        return h_fmov
+
+    if op is Opcode.LD:
+        imm = instr.imm
+        size = instr.size
+        if size == 8:
+            def h_ld8(core, rd=rd, rs1=rs1, imm=imm, nxt=nxt):
+                regs = core.regs
+                ints = regs.ints
+                addr = (ints[rs1] + imm) & _MASK64
+                value = core._load(addr, 8)
+                if rd:
+                    ints[rd] = value
+                core._cols.mem(addr, -1, 8, value, None, None, None)
+                return nxt
+            return h_ld8
+
+        def h_ld(core, rd=rd, rs1=rs1, imm=imm, size=size,
+                 mask=(1 << (size * 8)) - 1, nxt=nxt):
+            regs = core.regs
+            ints = regs.ints
+            addr = (ints[rs1] + imm) & _MASK64
+            value = core._load(addr, size)
+            if rd:
+                ints[rd] = value & mask
+            core._cols.mem(addr, -1, size, value, None, None, None)
+            return nxt
+        return h_ld
+
+    if op is Opcode.ST:
+        def h_st(core, rs1=rs1, rs2=rs2, imm=instr.imm, size=instr.size,
+                 mask=(1 << (instr.size * 8)) - 1, nxt=nxt):
+            ints = core.regs.ints
+            addr = (ints[rs1] + imm) & _MASK64
+            value = ints[rs2]
+            core._store(addr, size, value)
+            core._cols.mem(addr, -1, size, None, None, value & mask, None)
+            return nxt
+        return h_st
+
+    if op is Opcode.LDG:
+        def h_ldg(core, rd=rd, rd2=instr.rd2, rs1=rs1, rs2=rs2, nxt=nxt):
+            ints = core.regs.ints
+            addr1 = ints[rs1]
+            addr2 = ints[rs2]
+            v1 = core._load(addr1, 8)
+            v2 = core._load(addr2, 8)
+            if rd:
+                ints[rd] = v1
+            if rd2:
+                ints[rd2] = v2
+            core._cols.mem(addr1, addr2, 8, v1, v2, None, None)
+            return nxt
+        return h_ldg
+
+    if op is Opcode.STS:
+        def h_sts(core, rs1=rs1, rs2=rs2, rs3=instr.rs3, nxt=nxt):
+            ints = core.regs.ints
+            addr1 = ints[rs1]
+            addr2 = ints[rs2]
+            value = ints[rs3]
+            core._store(addr1, 8, value)
+            core._store(addr2, 8, value)
+            core._cols.mem(addr1, addr2, 8, None, None, value, None)
+            return nxt
+        return h_sts
+
+    if op is Opcode.SWP:
+        def h_swp(core, rd=rd, rs1=rs1, rs2=rs2, nxt=nxt):
+            ints = core.regs.ints
+            addr = ints[rs1]
+            new = ints[rs2]
+            old = core._swap(addr, 8, new)
+            if rd:
+                ints[rd] = old
+            core._cols.mem(addr, -1, 8, old, None, new, None)
+            return nxt
+        return h_swp
+
+    if op is Opcode.BCOPY:
+        def h_bcopy(core, rs1=rs1, rs2=rs2, words=max(1, min(instr.imm, 32)),
+                    nxt=nxt):
+            ints = core.regs.ints
+            src = ints[rs1]
+            dst = ints[rs2]
+            values = core._bulk_copy(src, dst, words)
+            core._cols.mem_bulk(src, dst, values)
+            return nxt
+        return h_bcopy
+
+    if op is Opcode.SC:
+        def h_sc(core, rd=rd, rs1=rs1, rs2=rs2, nxt=nxt):
+            ints = core.regs.ints
+            addr = ints[rs1]
+            success = core.nonrep.sc_success() & 1
+            stored = None
+            if success:
+                stored = ints[rs2]
+                core._store(addr, 8, stored)
+            if rd:
+                ints[rd] = success
+            core._cols.mem(addr, -1, 8, None, None, stored, success)
+            return nxt
+        return h_sc
+
+    if op is Opcode.RDRAND:
+        def h_rdrand(core, rd=rd, nxt=nxt):
+            v = core.nonrep.rdrand()
+            if rd:
+                core.regs.ints[rd] = v & _MASK64
+            core._cols.mem(-1, -1, 0, None, None, None, v)
+            return nxt
+        return h_rdrand
+
+    if op is Opcode.RDTIME:
+        def h_rdtime(core, rd=rd, nxt=nxt):
+            v = core.nonrep.rdtime(core.committed)
+            if rd:
+                core.regs.ints[rd] = v & _MASK64
+            core._cols.mem(-1, -1, 0, None, None, None, v)
+            return nxt
+        return h_rdtime
+
+    if op is Opcode.SYSRD:
+        def h_sysrd(core, rd=rd, nxt=nxt):
+            v = core.nonrep.sysrd()
+            if rd:
+                core.regs.ints[rd] = v & _MASK64
+            core._cols.mem(-1, -1, 0, None, None, None, v)
+            return nxt
+        return h_sysrd
+
+    if op is Opcode.JMP:
+        def h_jmp(core, target=instr.target):
+            return target
+        return h_jmp
+
+    if op is Opcode.JALR:
+        def h_jalr(core, rd=rd, rs1=rs1, pc=pc, nxt=nxt, n=n_instructions):
+            ints = core.regs.ints
+            target = ints[rs1]
+            if rd:
+                ints[rd] = nxt
+            if not 0 <= target < n:
+                raise ControlFlowEscape(
+                    f"jalr to {target} at pc={pc} "
+                    f"(program has {n} instructions)"
+                )
+            core._cols.br(True, target)
+            return target
+        return h_jalr
+
+    if op is Opcode.NOP:
+        return _f_nop(nxt)
+
+    if op is Opcode.HALT:
+        def h_halt(core, pc=pc):
+            core.halted = True
+            return pc
+        return h_halt
+
+    # Unknown / future opcode: fall back to the generic handler.
+    def h_generic(core, fn=_HANDLERS[op], instr=instr):
+        return fn(core, instr)
+    return h_generic

@@ -12,12 +12,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.cpu.columns import TraceColumns
 from repro.cpu.functional import (
     DirectMemoryPort,
     FunctionalCore,
     MainNonRepSource,
     RunResult,
-    TraceEntry,
+    _program_tables,
 )
 from repro.isa.program import Program
 from repro.isa.registers import RegisterCheckpoint
@@ -63,7 +64,7 @@ def run_multicore(
         for tid, program in enumerate(programs)
     ]
     starts = [core.regs.snapshot(core.pc) for core in cores]
-    traces: list[list[TraceEntry]] = [[] for _ in cores]
+    traces = [TraceColumns(program) for program in programs]
     switch_points: list[list[int]] = [[] for _ in cores]
     checkpoints: list[dict[int, RegisterCheckpoint]] = [{} for _ in cores]
     remaining = [max_instructions_per_thread] * len(cores)
@@ -75,7 +76,7 @@ def run_multicore(
             if not active[tid]:
                 continue
             chunk = core.run(min(quantum, remaining[tid]))
-            traces[tid].extend(chunk.trace)
+            traces[tid].extend(chunk.columns)
             remaining[tid] -= chunk.instructions
             if chunk.instructions:
                 progressed = True
@@ -89,19 +90,18 @@ def run_multicore(
 
     runs: list[ThreadRun] = []
     for tid, core in enumerate(cores):
-        class_counts: dict[str, int] = {}
-        for entry in traces[tid]:
-            fu = entry.instr.spec.fu.value
-            class_counts[fu] = class_counts.get(fu, 0) + 1
+        columns = traces[tid]
+        class_counts = columns.class_counts(
+            _program_tables(programs[tid])[1])
         runs.append(ThreadRun(
             program=programs[tid],
             result=RunResult(
                 program=programs[tid],
-                trace=traces[tid],
+                columns=columns,
                 start_checkpoint=starts[tid],
                 end_checkpoint=core.regs.snapshot(core.pc),
                 halted=core.halted,
-                instructions=len(traces[tid]),
+                instructions=len(columns),
                 class_counts=class_counts,
             ),
             switch_points=switch_points[tid],

@@ -23,9 +23,12 @@ hierarchy and can contend.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
+from heapq import heapreplace
 
 from repro.cpu.branch import BranchPredictor
+from repro.cpu.columns import TraceColumns
 from repro.cpu.config import CoreConfig, CoreInstance, CoreKind
 from repro.cpu.functional import TraceEntry
 from repro.isa.instructions import FUKind, Instruction, Opcode
@@ -33,6 +36,18 @@ from repro.isa.program import Program
 from repro.mem.hierarchy import MemoryHierarchy, SharedUncore
 
 _FP_BASE = 32  # fp register keys offset in the scoreboard
+
+#: Scoreboard slots.  Real keys are 1..31 (int) and 33..63 (fp).  Key 0 is
+#: x0: never written, so it reads as 0.0 forever and pads unused read
+#: slots.  ``_DEAD_SLOT`` is never read and absorbs unused write slots.
+_DEAD_SLOT = 64
+_SCOREBOARD_SLOTS = 96
+
+#: Dense functional-unit ids, so the hot loop indexes lists instead of
+#: hashing FUKind enum members.
+_FU_ORDER = list(FUKind)
+_FU_INDEX = {kind: idx for idx, kind in enumerate(_FU_ORDER)}
+_FU_NAMES = [kind.value for kind in _FU_ORDER]
 
 
 def _compute_operands(instr: Instruction) -> tuple[tuple[int, ...], tuple[int, ...]]:
@@ -86,6 +101,12 @@ def _compute_operands(instr: Instruction) -> tuple[tuple[int, ...], tuple[int, .
 #: ``branch_kind`` codes in the per-program static metadata.
 _NOT_BRANCH, _COND_BRANCH, _JMP, _JALR = 0, 1, 2, 3
 
+#: ``mem_kind`` bit flags: what the memory stage must do for this opcode.
+#: ``_MEM_NONREP`` marks non-repeatable reads that emit a trace mem-row
+#: carrying no timing information (RDRAND/RDTIME/SYSRD), so the replay
+#: loop advances the row pointer without touching the cache model.
+_MEM_LOAD, _MEM_STORE, _MEM_BCOPY, _MEM_STS, _MEM_NONREP = 1, 2, 4, 8, 16
+
 
 def _program_metadata(program: Program) -> list[tuple]:
     """Per-pc static timing metadata, computed once per program.
@@ -112,10 +133,28 @@ def _program_metadata(program: Program) -> list[tuple]:
                 branch_kind = _JMP
             else:
                 branch_kind = _COND_BRANCH
+            if len(reads) > 3 or len(writes) > 2:
+                raise AssertionError(f"operand arity overflow at pc {pc}")
+            r1, r2, r3 = (reads + (0, 0, 0))[:3]
+            w1, w2 = (writes + (_DEAD_SLOT, _DEAD_SLOT))[:2]
+            fetch_addr = program.fetch_address(pc)
+            mem_kind = 0
+            if spec.is_load:
+                mem_kind |= _MEM_LOAD
+            if spec.is_store:
+                mem_kind |= _MEM_STORE
+            if op is Opcode.BCOPY:
+                mem_kind |= _MEM_BCOPY
+            if op is Opcode.STS:
+                mem_kind |= _MEM_STS
+            if spec.is_nonrepeatable and not mem_kind:
+                mem_kind = _MEM_NONREP
             meta.append((
-                spec.fu, spec.fu.value, reads, writes,
-                spec.is_load, spec.is_store, op is Opcode.BCOPY,
-                branch_kind, program.fetch_address(pc), op is Opcode.STS,
+                _FU_INDEX[spec.fu], r1, r2, r3, w1, w2, mem_kind,
+                branch_kind, fetch_addr >> 6, fetch_addr,
+                # JMPs redirect statically; precompute whether the target
+                # leaves the fall-through fetch line.
+                branch_kind == _JMP and instr.target != pc + 1,
             ))
         program._timing_metadata = meta
     return meta
@@ -280,7 +319,7 @@ class TimingModel:
         if state[2] >= 2 and state[1] != 0:
             target = addr + state[1] * self.PREFETCH_DISTANCE
             if (target ^ addr) >> 6:  # only when it lands on another line
-                self.hierarchy.data_access(target, self.freq)
+                self.hierarchy.data_access_fast(target, self.freq)
                 self.prefetches_issued += 1
 
     def warm_data(self, addresses) -> None:
@@ -292,7 +331,7 @@ class TimingModel:
         locality is visible from the first measured instruction.
         """
         for addr in addresses:
-            self.hierarchy.data_access(addr, self.freq)
+            self.hierarchy.data_access_fast(addr, self.freq)
         self.hierarchy.reset_stats()
         self.hierarchy.uncore.reset_stats()
 
@@ -307,25 +346,29 @@ class TimingModel:
         # One extra line: the next-line prefetcher reaches past the end.
         end = program.fetch_address(len(program.instructions)) + 64
         for addr in range(base, end, 64):
-            self.hierarchy.fetch_access(addr, self.freq)
+            self.hierarchy.fetch_access_fast(addr, self.freq)
         self.hierarchy.reset_stats()
         self.hierarchy.uncore.reset_stats()
 
     def simulate(
         self,
         program: Program,
-        trace: list[TraceEntry],
+        trace: "TraceColumns | list[TraceEntry]",
         boundaries: list[int] | None = None,
         checkpoint_overhead: bool = False,
     ) -> TimingResult:
         """Replay ``trace`` and return timing.
 
+        ``trace`` is a :class:`TraceColumns` (the native hot path) or a
+        legacy ``list[TraceEntry]``, which is converted on entry.
         ``boundaries`` is a sorted list of *end-exclusive* instruction
         indices; the cumulative commit cycle at each boundary is reported in
         ``boundary_cycles``.  With ``checkpoint_overhead``, the RCU's
         register-file copy latency is charged at every boundary (this is the
         main-core cost the paper measures under "Register Checkpointing").
         """
+        if not isinstance(trace, TraceColumns):
+            trace = TraceColumns.from_entries(trace, program)
         config = self.config
         freq = self.freq
         hier = self.hierarchy
@@ -345,11 +388,14 @@ class TimingModel:
         fu_free: dict[FUKind, list[float]] = {
             kind: [0.0] * fu.units for kind, fu in config.fus.items()
         }
-        #: One lookup per instruction: kind -> (units, latency, interval).
-        fu_info = {kind: (fu_free[kind], fu.latency, fu.interval)
-                   for kind, fu in config.fus.items()}
+        #: Indexed by dense FU id: (units, latency, interval, single-unit).
+        fu_info: list = [None] * len(_FU_ORDER)
+        for kind, fu in config.fus.items():
+            fu_info[_FU_INDEX[kind]] = (fu_free[kind], fu.latency,
+                                        fu.interval, fu.units == 1)
         mshrs = [0.0] * config.hierarchy.l1d.mshrs
-        ready: dict[int, float] = {}
+        # Scoreboard: int keys 1..31, fp keys _FP_BASE+1.., dense list.
+        ready: list[float] = [0.0] * _SCOREBOARD_SLOTS
         rob: list[float] = [0.0] * window  # ring buffer of commit cycles
         rob_pos = 0
 
@@ -361,36 +407,99 @@ class TimingModel:
         icache_misses = 0
         loads = 0
         stores = 0
-        fu_issue_counts: dict[str, int] = {}
-        fu_busy_cycles: dict[str, float] = {}
+        #: Per-FU busy cycles beyond ``count * interval`` (BCOPY stretches
+        #: its initiation interval to the word count); issue counts and the
+        #: base busy product are recovered from the trace after the loop.
+        extra_busy: dict[int, int] = {}
 
         boundary_iter = iter(boundaries or [])
-        next_boundary = next(boundary_iter, None)
+        # Compare against ``i`` directly (boundaries are end-exclusive, so
+        # subtract one); 0 - 1 == -1 never matches an index.
+        next_boundary = next(boundary_iter, 0) - 1
         boundary_cycles: list[float] = []
 
         meta = _program_metadata(program)
-        fetch_access = hier.fetch_access
-        data_access = hier.data_access
-        ready_get = ready.get
-        predict_conditional = predictor.predict_conditional
+        fetch_access = hier.fetch_access_fast
+        data_access = hier.data_access_fast
         predict_indirect = predictor.predict_indirect
-        issue_get = fu_issue_counts.get
-        busy_get = fu_busy_cycles.get
 
-        for i, entry in enumerate(trace):
-            (fu_kind, fu_name, reads, writes, is_load, is_store, is_bcopy,
-             branch_kind, fetch_addr, is_sts) = meta[entry.pc]
+        # The conditional predictor is inlined below (same trick as the
+        # L1 probes): its tables are plain bytearrays, so the tournament
+        # update is a handful of index ops once the call frame is gone.
+        # History and the prediction counters are carried in locals and
+        # written back after the loop.
+        bp_bimodal = predictor._bimodal
+        bp_gshare = predictor._gshare
+        bp_chooser = predictor._chooser
+        bp_mask = predictor._mask
+        bp_history = predictor._history
+        bp_hmask = predictor._history_mask
+        cond_predictions = 0
+        cond_mispredictions = 0
+
+        # Per-PC stride prefetcher, likewise inlined: the common case
+        # (streaming stride, target line already resident) is an L1 hit.
+        prefetch_table = self._prefetch
+        prefetch_distance = self.PREFETCH_DISTANCE
+        prefetches = 0
+
+        # L1 hit probes are inlined below (reaching into Cache internals):
+        # the warm-cache common case then costs a set lookup and an LRU
+        # touch instead of two call frames.  Misses fall through to the
+        # full hierarchy walk, whose own L1 probe still misses, so hit /
+        # miss / eviction counters stay exact.
+        l1d = hier.l1d
+        l1d_sets = l1d._sets
+        l1d_set_mask = l1d._set_mask
+        l1d_shift = l1d._line_shift
+        l1i = hier.l1i
+        l1i_sets = l1i._sets
+        l1i_set_mask = l1i._set_mask
+        l1i_shift = l1i._line_shift
+        counts = hier.level_counts
+        #: Same expression shape as ``data_access_fast`` on an L1 hit.
+        l1d_hit_ns = hier._l1d_hit_cycles / freq
+
+        pcs = trace.pcs
+        # Sentinel row: index -2 never matches, so the row-pointer test
+        # needs no bounds check.  (Copies the list; the trace is shared.)
+        mem_rows = trace.mem_rows + [(-2, -1, -1, 0, None, None, None, None)]
+        br_rows = trace.br_rows
+        bulks = trace.bulks
+        mp = 0
+        bp = 0
+
+        for i, pc in enumerate(pcs):
+            (fu_id, r1, r2, r3, w1, w2, mem_kind, branch_kind, fetch_line,
+             fetch_addr, jmp_redirect) = meta[pc]
 
             # -- fetch / dispatch ----------------------------------------
-            line = fetch_addr >> 6
-            if line != last_fetch_line:
-                last_fetch_line = line
-                result = fetch_access(fetch_addr, freq)
+            if fetch_line != last_fetch_line:
+                last_fetch_line = fetch_line
+                tag = fetch_addr >> l1i_shift
+                ways = l1i_sets[tag & l1i_set_mask]
+                if tag in ways:  # inline L1I hit
+                    if ways[-1] != tag:
+                        ways.remove(tag)
+                        ways.append(tag)
+                    l1i.hits += 1
+                    counts["l1"] += 1
+                else:
+                    latency_ns, level = fetch_access(fetch_addr, freq)
+                    if level != "l1":
+                        icache_misses += 1
+                        fetch_cycle += latency_ns * freq - l1i_hit_cycles
                 # Next-line instruction prefetch (sequential streams hit).
-                fetch_access(fetch_addr + 64, freq)
-                if result.level != "l1":
-                    icache_misses += 1
-                    fetch_cycle += result.latency_ns * freq - l1i_hit_cycles
+                tag = (fetch_addr + 64) >> l1i_shift
+                ways = l1i_sets[tag & l1i_set_mask]
+                if tag in ways:
+                    if ways[-1] != tag:
+                        ways.remove(tag)
+                        ways.append(tag)
+                    l1i.hits += 1
+                    counts["l1"] += 1
+                else:
+                    fetch_access(fetch_addr + 64, freq)
             disp = fetch_cycle
             fetch_cycle += width_step
             # Window limit: the i-th instruction cannot dispatch before the
@@ -398,85 +507,173 @@ class TimingModel:
             oldest = rob[rob_pos]
             if oldest > disp:
                 disp = oldest
-            if in_order and last_issue > disp:
+            # Out-of-order cores never update last_issue, so it stays 0.0
+            # and this test is always false for them.
+            if last_issue > disp:
                 disp = last_issue
 
             # -- register dependencies -----------------------------------
+            # Unused read slots hold key 0 (x0), pinned at 0.0 <= disp.
             t_ready = disp
-            for key in reads:
-                t = ready_get(key, 0.0)
-                if t > t_ready:
-                    t_ready = t
+            t = ready[r1]
+            if t > t_ready:
+                t_ready = t
+            t = ready[r2]
+            if t > t_ready:
+                t_ready = t
+            t = ready[r3]
+            if t > t_ready:
+                t_ready = t
 
             # -- functional unit -----------------------------------------
-            units, latency, interval = fu_info[fu_kind]
-            if len(units) == 1:
-                unit_idx = 0
-                unit_free = units[0]
-            else:
-                unit_idx = min(range(len(units)), key=units.__getitem__)
-                unit_free = units[unit_idx]
+            # Units within a class are interchangeable, so only the
+            # multiset of free times matters; keeping it as a heap makes
+            # pick-earliest-and-reoccupy one C call instead of a
+            # min + index double scan.
+            units, latency, interval, single = fu_info[fu_id]
+            unit_free = units[0]
             issue = t_ready if t_ready > unit_free else unit_free
             if in_order:
                 last_issue = issue
 
             # -- memory ----------------------------------------------------
-            if is_bcopy and entry.bulk is not None:
-                # Microcoded bulk copy: one word per cycle through the
-                # load/store pipes, touching source and destination lines.
-                words = len(entry.bulk)
-                loads += words
-                stores += words
-                if checker:
-                    latency = max(words, lsl_latency)
+            if mem_kind:
+                if mem_kind == _MEM_NONREP:
+                    # Non-repeatable read: the row carries no timing info.
+                    if mem_rows[mp][0] == i:
+                        mp += 1
                 else:
-                    worst = 0.0
-                    for base in (entry.addr, entry.addr2):
-                        for off in range(0, words * 8, 64):
-                            result = data_access(base + off, freq)
-                            worst = max(worst, result.latency_ns * freq)
-                    latency = max(words, worst)
-                interval = max(words, interval)
-            elif is_load or is_store:
-                if is_load:
-                    loads += 1
-                    if entry.addr2 >= 0:
-                        loads += 1
-                if is_store:
-                    stores += 1
-                    if entry.addr2 >= 0 and is_sts:
-                        stores += 1
-                if checker:
-                    latency = lsl_latency
-                elif is_load:
-                    self._prefetch_data(entry.pc, entry.addr)
-                    result = data_access(entry.addr, freq)
-                    mem_cycles = result.latency_ns * freq
-                    if entry.addr2 >= 0:
-                        result2 = data_access(entry.addr2, freq)
-                        mem_cycles = max(mem_cycles, result2.latency_ns * freq)
-                    if result.level != "l1":
-                        # A miss occupies an MSHR until the fill returns.
-                        slot = min(range(len(mshrs)), key=mshrs.__getitem__)
-                        if mshrs[slot] > issue:
-                            issue = mshrs[slot]
-                        mshrs[slot] = issue + mem_cycles
-                    latency = mem_cycles
-                else:
-                    # Stores retire through the store buffer: residency and
-                    # stats are tracked but the pipeline sees 1 cycle.
-                    data_access(entry.addr, freq, is_write=True)
-                    if entry.addr2 >= 0:
-                        data_access(entry.addr2, freq, is_write=True)
-                    latency = 1
+                    row = mem_rows[mp]
+                    if row[0] == i:
+                        mp += 1
+                        addr = row[1]
+                        addr2 = row[2]
+                    else:
+                        addr = addr2 = -1
+                    if mem_kind & _MEM_BCOPY \
+                            and (bulk := bulks.get(i)) is not None:
+                        # Microcoded bulk copy: one word per cycle through
+                        # the load/store pipes, touching source and
+                        # destination lines.
+                        words = len(bulk)
+                        loads += words
+                        stores += words
+                        if checker:
+                            latency = max(words, lsl_latency)
+                        else:
+                            worst = 0.0
+                            for base in (addr, addr2):
+                                for off in range(0, words * 8, 64):
+                                    latency_ns, _ = data_access(base + off,
+                                                                freq)
+                                    worst = max(worst, latency_ns * freq)
+                            latency = max(words, worst)
+                        if words > interval:
+                            extra_busy[fu_id] = (extra_busy.get(fu_id, 0)
+                                                 + words - interval)
+                            interval = words
+                    else:
+                        if mem_kind & _MEM_LOAD:
+                            loads += 1
+                            if addr2 >= 0:
+                                loads += 1
+                        if mem_kind & _MEM_STORE:
+                            stores += 1
+                            if addr2 >= 0 and mem_kind & _MEM_STS:
+                                stores += 1
+                        if checker:
+                            latency = lsl_latency
+                        elif mem_kind & _MEM_LOAD:
+                            # Inline _prefetch_data: train the per-PC
+                            # stride entry; confirmed strides pull
+                            # PREFETCH_DISTANCE ahead.  The probe order
+                            # (prefetch before demand) matches the
+                            # method it replaces.
+                            state = prefetch_table.get(pc)
+                            if state is None:
+                                prefetch_table[pc] = [addr, 0, 0]
+                            else:
+                                stride = addr - state[0]
+                                if stride != 0 and stride == state[1]:
+                                    state[2] += 1
+                                else:
+                                    state[1] = stride
+                                    state[2] = 0
+                                state[0] = addr
+                                if state[2] >= 2 and state[1] != 0:
+                                    target = addr \
+                                        + state[1] * prefetch_distance
+                                    if (target ^ addr) >> 6:
+                                        tag = target >> l1d_shift
+                                        ways = l1d_sets[tag
+                                                        & l1d_set_mask]
+                                        if tag in ways:  # inline L1D hit
+                                            if ways[-1] != tag:
+                                                ways.remove(tag)
+                                                ways.append(tag)
+                                            l1d.hits += 1
+                                            counts["l1"] += 1
+                                        else:
+                                            data_access(target, freq)
+                                        prefetches += 1
+                            tag = addr >> l1d_shift
+                            ways = l1d_sets[tag & l1d_set_mask]
+                            if tag in ways:  # inline L1D hit
+                                if ways[-1] != tag:
+                                    ways.remove(tag)
+                                    ways.append(tag)
+                                l1d.hits += 1
+                                counts["l1"] += 1
+                                mem_cycles = l1d_hit_ns * freq
+                                if addr2 >= 0:
+                                    latency2_ns, _ = data_access(addr2,
+                                                                 freq)
+                                    mem_cycles = max(mem_cycles,
+                                                     latency2_ns * freq)
+                            else:
+                                latency_ns, level = data_access(addr, freq)
+                                mem_cycles = latency_ns * freq
+                                if addr2 >= 0:
+                                    latency2_ns, _ = data_access(addr2,
+                                                                 freq)
+                                    mem_cycles = max(mem_cycles,
+                                                     latency2_ns * freq)
+                                if level != "l1":
+                                    # A miss occupies an MSHR until the
+                                    # fill returns (heap: same slot
+                                    # interchangeability as FU units).
+                                    slot_free = mshrs[0]
+                                    if slot_free > issue:
+                                        issue = slot_free
+                                    heapreplace(mshrs, issue + mem_cycles)
+                            latency = mem_cycles
+                        else:
+                            # Stores retire through the store buffer:
+                            # residency and stats are tracked but the
+                            # pipeline sees 1 cycle.
+                            tag = addr >> l1d_shift
+                            ways = l1d_sets[tag & l1d_set_mask]
+                            if tag in ways:  # inline L1D hit
+                                if ways[-1] != tag:
+                                    ways.remove(tag)
+                                    ways.append(tag)
+                                l1d.hits += 1
+                                counts["l1"] += 1
+                            else:
+                                data_access(addr, freq)
+                            if addr2 >= 0:
+                                data_access(addr2, freq)
+                            latency = 1
 
-            units[unit_idx] = issue + interval
-            fu_issue_counts[fu_name] = issue_get(fu_name, 0) + 1
-            fu_busy_cycles[fu_name] = busy_get(fu_name, 0.0) + interval
+            if single:
+                units[0] = issue + interval
+            else:
+                heapreplace(units, issue + interval)
             complete = issue + latency
 
-            for key in writes:
-                ready[key] = complete
+            # Unused write slots land in the never-read dead slot.
+            ready[w1] = complete
+            ready[w2] = complete
 
             # -- commit ----------------------------------------------------
             commit = last_commit + commit_step
@@ -490,29 +687,87 @@ class TimingModel:
 
             # -- control flow ----------------------------------------------
             if branch_kind:
-                if branch_kind == _JALR:
-                    correct = predict_indirect(entry.pc, entry.next_pc)
-                elif branch_kind == _JMP:
-                    correct = True
+                if branch_kind == _JMP:
+                    # Always predicted correctly; static redirect only.
+                    if jmp_redirect:
+                        last_fetch_line = -1
                 else:
-                    correct = predict_conditional(entry.pc, entry.taken)
-                if not correct:
-                    mispredicts += 1
-                    redirect = complete + penalty
-                    if redirect > fetch_cycle:
-                        fetch_cycle = redirect
-                # Any taken control flow changes the fetch line.
-                if entry.next_pc != entry.pc + 1:
-                    last_fetch_line = -1
+                    row = br_rows[bp]
+                    bp += 1
+                    next_pc = row[1]
+                    if branch_kind == _JALR:
+                        correct = predict_indirect(pc, next_pc)
+                    else:
+                        # Inline BranchPredictor.predict_conditional
+                        # (tournament: bimodal + gshare + chooser).
+                        taken = row[2]
+                        b_idx = pc & bp_mask
+                        g_idx = (pc ^ (bp_history * 0x9E3779B1)) & bp_mask
+                        b_counter = bp_bimodal[b_idx]
+                        g_counter = bp_gshare[g_idx]
+                        b_pred = b_counter >= 2
+                        g_pred = g_counter >= 2
+                        if bp_chooser[b_idx] >= 2:
+                            correct = g_pred == taken
+                        else:
+                            correct = b_pred == taken
+                        cond_predictions += 1
+                        if not correct:
+                            cond_mispredictions += 1
+                        if b_pred != g_pred:
+                            chooser = bp_chooser[b_idx]
+                            if g_pred == taken and chooser < 3:
+                                bp_chooser[b_idx] = chooser + 1
+                            elif b_pred == taken and chooser > 0:
+                                bp_chooser[b_idx] = chooser - 1
+                        if taken:
+                            if b_counter < 3:
+                                bp_bimodal[b_idx] = b_counter + 1
+                            if g_counter < 3:
+                                bp_gshare[g_idx] = g_counter + 1
+                            bp_history = ((bp_history << 1) | 1) \
+                                & bp_hmask
+                        else:
+                            if b_counter > 0:
+                                bp_bimodal[b_idx] = b_counter - 1
+                            if g_counter > 0:
+                                bp_gshare[g_idx] = g_counter - 1
+                            bp_history = (bp_history << 1) & bp_hmask
+                    if not correct:
+                        mispredicts += 1
+                        redirect = complete + penalty
+                        if redirect > fetch_cycle:
+                            fetch_cycle = redirect
+                    # Any taken control flow changes the fetch line.
+                    if next_pc != pc + 1:
+                        last_fetch_line = -1
 
             # -- segment boundary ------------------------------------------
-            if next_boundary is not None and i + 1 == next_boundary:
+            if i == next_boundary:
                 if checkpoint_overhead:
                     last_commit += self.config.checkpoint_latency
                     if last_commit > fetch_cycle:
                         fetch_cycle = last_commit
                 boundary_cycles.append(last_commit)
-                next_boundary = next(boundary_iter, None)
+                next_boundary = next(boundary_iter, 0) - 1
+
+        predictor._history = bp_history
+        predictor.predictions += cond_predictions
+        predictor.mispredictions += cond_mispredictions
+        self.prefetches_issued += prefetches
+
+        # Issue counts per FU, in first-issue order (Counter preserves
+        # first-seen order); busy cycles are ``count * interval`` — exact,
+        # because intervals are integers — plus the BCOPY stretch.
+        fu_ids = [m[0] for m in meta]
+        fu_issue_counts = {}
+        fu_busy_cycles = {}
+        for fu_id, count in Counter(map(fu_ids.__getitem__, pcs)).items():
+            name = _FU_NAMES[fu_id]
+            fu_issue_counts[name] = count
+            interval = fu_info[fu_id][2]
+            fu_busy_cycles[name] = float(interval * count
+                                         + extra_busy.get(fu_id, 0))
 
         # DRAM bandwidth floor: the run cannot finish faster than the memory
         # channel can deliver its line traffic (demand + prefetch).  If the

@@ -6,10 +6,18 @@ bench invocations can skip functional execution entirely by persisting
 the run with :mod:`repro.cpu.traceio` and keying it on those inputs.
 
 The key also folds in every version that could silently change the
-trace semantics: the cache's own schema version, the ``traceio`` format
-version, and a fingerprint of the ISA opcode set.  Bumping any of them
-invalidates old entries without needing a manual wipe — stale files are
-simply misses (and corrupt ones are deleted on sight).
+trace semantics: the cache's own schema version, the ``traceio``
+*semantics* version (container-layout changes alone keep old entries
+valid — the loader sniffs the generation per file), and a fingerprint
+of the ISA opcode set.  Bumping any of them invalidates old entries
+without needing a manual wipe — stale files are simply misses (and
+corrupt ones are deleted on sight).
+
+New entries are zlib-compressed binary containers (``<key>.pvtc``);
+pre-existing JSON entries (``<key>.json``) keep hitting and are
+upgraded in place by :meth:`TraceCache.migrate` (also exposed as
+``paraverser cache migrate``).  The first byte disambiguates every
+generation: ``0x78`` zlib, ``P`` raw binary container, ``{`` JSON.
 
 Enable it via ``REPRO_TRACE_CACHE=/path/to/dir`` (unset, empty or ``0``
 disables caching), or construct a :class:`TraceCache` explicitly.
@@ -22,6 +30,8 @@ import json
 import logging
 import os
 import tempfile
+import zlib
+from dataclasses import dataclass
 from pathlib import Path
 
 from repro.cpu import traceio
@@ -31,6 +41,19 @@ from repro.isa.instructions import Opcode
 logger = logging.getLogger("repro.cpu.tracecache")
 
 CACHE_VERSION = 1
+
+#: Suffix of current-generation entries (zlib-wrapped binary container).
+ENTRY_SUFFIX = ".pvtc"
+
+#: Suffix of legacy JSON entries (still readable, no longer written).
+LEGACY_SUFFIX = ".json"
+
+#: zlib level for new entries: trace columns are byte-repetitive, so
+#: the fastest setting already shrinks them severalfold; higher levels
+#: only add CPU time on the put path.
+COMPRESSION_LEVEL = 1
+
+_ZLIB_FIRST_BYTE = 0x78
 
 
 def _isa_fingerprint() -> str:
@@ -44,7 +67,7 @@ def cache_key(profile: str, seed: int, max_instructions: int) -> str:
     payload = json.dumps(
         {
             "cache_version": CACHE_VERSION,
-            "trace_format": traceio.FORMAT_VERSION,
+            "trace_format": traceio.TRACE_SEMANTICS_VERSION,
             "isa": _isa_fingerprint(),
             "profile": profile,
             "seed": seed,
@@ -55,16 +78,62 @@ def cache_key(profile: str, seed: int, max_instructions: int) -> str:
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
+def _decode_entry(data: bytes) -> RunResult:
+    """Decode one cache file of any generation."""
+    if data[:1] == bytes([_ZLIB_FIRST_BYTE]):
+        data = zlib.decompress(data)
+    return traceio.run_from_bytes(data)
+
+
+@dataclass
+class TraceCacheStats:
+    """Hit/miss and traffic counters for one :class:`TraceCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def export_stats(self, group) -> None:
+        """Publish the counters into an obs StatGroup."""
+        group.count("hits", self.hits)
+        group.count("misses", self.misses)
+        group.count("bytes_read", self.bytes_read)
+        group.count("bytes_written", self.bytes_written)
+        group.scalar("hit_rate", self.hit_rate)
+
+
 class TraceCache:
     """On-disk store of serialized functional runs."""
 
     def __init__(self, directory: str | Path) -> None:
         self.directory = Path(directory)
+        self.stats = TraceCacheStats()
 
     def path_for(self, profile: str, seed: int,
                  max_instructions: int) -> Path:
         key = cache_key(profile, seed, max_instructions)
-        return self.directory / f"{key}.json"
+        return self.directory / f"{key}{ENTRY_SUFFIX}"
+
+    def existing_path_for(self, profile: str, seed: int,
+                          max_instructions: int) -> Path | None:
+        """The on-disk entry serving this key right now, if any.
+
+        Current-generation entries shadow legacy JSON ones of the same
+        key.
+        """
+        path = self.path_for(profile, seed, max_instructions)
+        if path.is_file():
+            return path
+        legacy = path.with_suffix(LEGACY_SUFFIX)
+        if legacy.is_file():
+            return legacy
+        return None
 
     def get(self, profile: str, seed: int,
             max_instructions: int) -> RunResult | None:
@@ -73,20 +142,26 @@ class TraceCache:
         Unreadable or stale-format files count as misses and are removed
         so they cannot shadow a fresh entry forever.
         """
-        path = self.path_for(profile, seed, max_instructions)
-        if not path.is_file():
+        path = self.existing_path_for(profile, seed, max_instructions)
+        if path is None:
+            self.stats.misses += 1
             return None
         try:
-            return traceio.load_run(path)
+            data = path.read_bytes()
+            run = _decode_entry(data)
         except (ValueError, KeyError, TypeError, IndexError, EOFError,
-                OSError) as exc:
+                OSError, zlib.error) as exc:
             # E.g. a publisher killed mid-os.replace on a non-atomic
             # filesystem leaves a truncated file; treat it as a miss.
             logger.warning(
                 "trace cache: dropping corrupt entry %s (%s: %s)",
                 path, type(exc).__name__, exc)
             path.unlink(missing_ok=True)
+            self.stats.misses += 1
             return None
+        self.stats.hits += 1
+        self.stats.bytes_read += len(data)
+        return run
 
     def put(self, profile: str, seed: int, max_instructions: int,
             run: RunResult) -> None:
@@ -103,12 +178,14 @@ class TraceCache:
         """
         path = self.path_for(profile, seed, max_instructions)
         self.directory.mkdir(parents=True, exist_ok=True)
+        blob = zlib.compress(traceio.run_to_bytes(run), COMPRESSION_LEVEL)
         fd, tmp_name = tempfile.mkstemp(
             dir=self.directory, prefix=f".{path.name}.", suffix=".tmp")
-        os.close(fd)
         try:
-            traceio.save_run(run, tmp_name)
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
             os.replace(tmp_name, path)
+            self.stats.bytes_written += len(blob)
         except BaseException:
             # Never leave half-written temp files shadowing the cache.
             try:
@@ -116,6 +193,85 @@ class TraceCache:
             except FileNotFoundError:
                 pass
             raise
+
+    # -- maintenance (the ``paraverser cache`` subcommand) ------------------
+
+    def entries(self) -> list[Path]:
+        """Every cache entry on disk, current generation and legacy."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(
+            p for p in self.directory.iterdir()
+            if p.suffix in (ENTRY_SUFFIX, LEGACY_SUFFIX)
+            and not p.name.startswith(".")
+        )
+
+    def info(self) -> dict:
+        """Shape of the on-disk cache: entry counts and byte totals."""
+        current = legacy = current_bytes = legacy_bytes = 0
+        for path in self.entries():
+            size = path.stat().st_size
+            if path.suffix == ENTRY_SUFFIX:
+                current += 1
+                current_bytes += size
+            else:
+                legacy += 1
+                legacy_bytes += size
+        return {
+            "directory": str(self.directory),
+            "entries": current + legacy,
+            "current_entries": current,
+            "current_bytes": current_bytes,
+            "legacy_entries": legacy,
+            "legacy_bytes": legacy_bytes,
+            "total_bytes": current_bytes + legacy_bytes,
+        }
+
+    def purge(self) -> int:
+        """Delete every entry; returns how many files were removed."""
+        removed = 0
+        for path in self.entries():
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def migrate(self) -> int:
+        """Rewrite legacy JSON entries as compressed binary, in place.
+
+        Corrupt legacy files are dropped (same policy as :meth:`get`).
+        Returns the number of entries rewritten.
+        """
+        migrated = 0
+        for path in self.entries():
+            if path.suffix != LEGACY_SUFFIX:
+                continue
+            try:
+                run = _decode_entry(path.read_bytes())
+            except (ValueError, KeyError, TypeError, IndexError, EOFError,
+                    OSError, zlib.error) as exc:
+                logger.warning(
+                    "trace cache: dropping corrupt entry %s (%s: %s)",
+                    path, type(exc).__name__, exc)
+                path.unlink(missing_ok=True)
+                continue
+            target = path.with_suffix(ENTRY_SUFFIX)
+            blob = zlib.compress(traceio.run_to_bytes(run),
+                                 COMPRESSION_LEVEL)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=self.directory, prefix=f".{target.name}.", suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(blob)
+                os.replace(tmp_name, target)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except FileNotFoundError:
+                    pass
+                raise
+            path.unlink(missing_ok=True)
+            migrated += 1
+        return migrated
 
 
 def env_trace_cache() -> TraceCache | None:

@@ -1,23 +1,61 @@
 """Trace and program serialization.
 
 Functional runs are the expensive part of large sweeps; this module
-persists them as portable JSON so a trace captured once (e.g. in CI, or
-on a big machine) can be replayed through any number of timing/checking
-configurations later.  No pickle: the format is stable, diffable and
-safe to load from untrusted sources.
+persists them so a trace captured once (e.g. in CI, or on a big machine)
+can be replayed through any number of timing/checking configurations
+later.  No pickle: the format is stable and safe to load from untrusted
+sources.
+
+Two generations coexist:
+
+* **v1** — portable JSON with one row per committed instruction.  Still
+  readable (old trace-cache entries and archived runs keep working) but
+  no longer written.
+* **v2** — a binary container: a 13-byte preamble (``PVTC`` magic,
+  format version, little-endian u64 header length), a JSON header with
+  everything human-scaled (program, checkpoints, counters, section
+  table), then the packed column bytes of the
+  :class:`~repro.cpu.columns.TraceColumns` planes back to back.  The
+  same column bytes ride inside :func:`run_to_payload` dicts, so the
+  pickled stage-handoff between sweep/serve workers shrinks with the
+  on-disk format.
+
+``TRACE_SEMANTICS_VERSION`` tracks the *meaning* of a trace (what the
+functional core records), separately from the container layout; cache
+keys fold in the semantics version so a pure container change does not
+invalidate every cached run.
 """
 
 from __future__ import annotations
 
 import json
+import struct
 from pathlib import Path
 
+from repro.cpu.columns import TraceColumns
 from repro.cpu.functional import RunResult, TraceEntry
 from repro.isa.instructions import Instruction, Opcode
 from repro.isa.program import Program
 from repro.isa.registers import RegisterCheckpoint
 
-FORMAT_VERSION = 1
+#: Container/payload layout version (v2 = binary columnar).
+FORMAT_VERSION = 2
+
+#: Version of what a trace *means*; bump when the functional core's
+#: recording semantics change (new fields, different sentinels...).
+TRACE_SEMANTICS_VERSION = 1
+
+#: On-disk magic of the binary container.
+MAGIC = b"PVTC"
+
+_PREAMBLE = struct.Struct("<4sBQ")  # magic, version, header byte length
+
+#: Packed-column section order inside the binary container body.
+_COLUMN_KEYS = (
+    "pcs", "m_idx", "m_flags", "m_addr", "m_addr2", "m_size",
+    "m_loaded", "m_loaded2", "m_stored", "m_nonrep",
+    "b_idx", "b_next", "b_taken", "k_idx", "k_lens", "k_data",
+)
 
 _INSTR_FIELDS = ("rd", "rs1", "rs2", "rs3", "rd2", "imm", "target", "size")
 
@@ -77,17 +115,8 @@ def program_from_json(data: dict) -> Program:
     return program
 
 
-def _entry_to_row(entry: TraceEntry) -> list:
-    """Compact positional row; instruction recovered through the pc."""
-    return [
-        entry.pc, entry.addr, entry.addr2, entry.size,
-        entry.loaded, entry.loaded2, entry.stored, entry.nonrep,
-        1 if entry.taken else 0, entry.next_pc,
-        list(entry.bulk) if entry.bulk is not None else None,
-    ]
-
-
 def _entry_from_row(row: list, program: Program) -> TraceEntry:
+    """Rebuild one v1 JSON trace row (legacy read path)."""
     (pc, addr, addr2, size, loaded, loaded2, stored, nonrep,
      taken, next_pc, bulk) = row
     return TraceEntry(
@@ -111,32 +140,38 @@ def _checkpoint_from_json(data: dict) -> RegisterCheckpoint:
 def run_to_payload(run: RunResult) -> dict:
     """A plain-value payload for one functional run.
 
-    The payload is both JSON-able (the on-disk format) and cheaply
-    picklable, so the sweep/serve engines use it to hand a trace
-    computed by one worker process to another without re-executing.
+    The trace rides as packed column byte strings (the binary
+    container's section bodies), so the payload is cheap to pickle —
+    the sweep/serve engines use it to hand a trace computed by one
+    worker process to another without re-executing.
     """
-    return {
+    payload = {
         "version": FORMAT_VERSION,
         "program": program_to_json(run.program),
-        "trace": [_entry_to_row(entry) for entry in run.trace],
         "start_checkpoint": _checkpoint_to_json(run.start_checkpoint),
         "end_checkpoint": _checkpoint_to_json(run.end_checkpoint),
         "halted": run.halted,
         "instructions": run.instructions,
         "class_counts": run.class_counts,
     }
+    payload["columns"] = run.columns.to_payload()
+    return payload
 
 
 def run_from_payload(payload: dict) -> RunResult:
-    """Rebuild a run from :func:`run_to_payload` output."""
+    """Rebuild a run from :func:`run_to_payload` output (v1 or v2)."""
     version = payload.get("version")
-    if version != FORMAT_VERSION:
+    if version not in (1, FORMAT_VERSION):
         raise ValueError(f"unsupported trace format version {version!r}")
     program = program_from_json(payload["program"])
-    trace = [_entry_from_row(row, program) for row in payload["trace"]]
+    if version == FORMAT_VERSION:
+        columns = TraceColumns.from_payload(payload["columns"], program)
+    else:
+        trace = [_entry_from_row(row, program) for row in payload["trace"]]
+        columns = TraceColumns.from_entries(trace, program)
     return RunResult(
         program=program,
-        trace=trace,
+        columns=columns,
         start_checkpoint=_checkpoint_from_json(payload["start_checkpoint"]),
         end_checkpoint=_checkpoint_from_json(payload["end_checkpoint"]),
         halted=payload["halted"],
@@ -145,11 +180,70 @@ def run_from_payload(payload: dict) -> RunResult:
     )
 
 
+def run_to_bytes(run: RunResult) -> bytes:
+    """Serialize a run into the v2 binary container."""
+    columns = run.columns.to_payload()
+    sections = [(key, columns[key]) for key in _COLUMN_KEYS]
+    header = {
+        "program": program_to_json(run.program),
+        "start_checkpoint": _checkpoint_to_json(run.start_checkpoint),
+        "end_checkpoint": _checkpoint_to_json(run.end_checkpoint),
+        "halted": run.halted,
+        "instructions": run.instructions,
+        "class_counts": run.class_counts,
+        "n": columns["n"],
+        "sections": [[key, len(data)] for key, data in sections],
+    }
+    header_bytes = json.dumps(header).encode("utf-8")
+    parts = [_PREAMBLE.pack(MAGIC, FORMAT_VERSION, len(header_bytes)),
+             header_bytes]
+    parts.extend(data for _, data in sections)
+    return b"".join(parts)
+
+
+def run_from_bytes(data: bytes) -> RunResult:
+    """Deserialize a run: v2 binary container or v1 JSON text."""
+    if not data.startswith(MAGIC):
+        # Legacy JSON files start with '{' (and can never start with
+        # the magic); same bytes, older layout.
+        return run_from_payload(json.loads(data.decode("utf-8")))
+    if len(data) < _PREAMBLE.size:
+        raise ValueError("binary trace truncated before header")
+    _, version, header_len = _PREAMBLE.unpack_from(data)
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported trace container version {version}")
+    body = _PREAMBLE.size + header_len
+    if len(data) < body:
+        raise ValueError("binary trace truncated inside header")
+    header = json.loads(data[_PREAMBLE.size:body].decode("utf-8"))
+    program = program_from_json(header["program"])
+    columns_payload: dict = {"n": header["n"]}
+    offset = body
+    for key, length in header["sections"]:
+        end = offset + length
+        if end > len(data):
+            raise ValueError(f"binary trace truncated in section {key!r}")
+        columns_payload[key] = data[offset:end]
+        offset = end
+    for key in _COLUMN_KEYS:
+        if key not in columns_payload:
+            raise ValueError(f"binary trace missing section {key!r}")
+    return RunResult(
+        program=program,
+        columns=TraceColumns.from_payload(columns_payload, program),
+        start_checkpoint=_checkpoint_from_json(header["start_checkpoint"]),
+        end_checkpoint=_checkpoint_from_json(header["end_checkpoint"]),
+        halted=header["halted"],
+        instructions=header["instructions"],
+        class_counts=header.get("class_counts", {}),
+    )
+
+
 def save_run(run: RunResult, path: str | Path) -> None:
     """Persist a functional run (program + trace + checkpoints)."""
-    Path(path).write_text(json.dumps(run_to_payload(run)))
+    Path(path).write_bytes(run_to_bytes(run))
 
 
 def load_run(path: str | Path) -> RunResult:
-    """Load a run saved by :func:`save_run`."""
-    return run_from_payload(json.loads(Path(path).read_text()))
+    """Load a run saved by :func:`save_run` (either generation)."""
+    return run_from_bytes(Path(path).read_bytes())

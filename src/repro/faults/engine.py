@@ -325,18 +325,32 @@ class CampaignRunner:
     differently.
     """
 
+    #: Target tasks per worker when auto-sizing chunks: enough slack
+    #: for load balancing across uneven trial durations, few enough
+    #: submissions that dispatch overhead stays amortised.
+    TASKS_PER_WORKER = 4
+
     def __init__(self, jobs: int | None = None,
                  campaign_dir: str | os.PathLike | None = None,
-                 resume: bool = False) -> None:
+                 resume: bool = False,
+                 chunk: int | None = None) -> None:
         if jobs is None:
             from repro.harness.runner import env_jobs
             jobs = env_jobs()
         self.jobs = jobs
         self.campaign_dir = str(campaign_dir) if campaign_dir else None
         self.resume = resume
+        #: Trials per pool task; ``None`` auto-sizes from the workload.
+        self.chunk = chunk
         #: Occupancy/wall-time record of the most recent :meth:`run`.
         self.last_stats: dict | None = None
         self._pool = None
+
+    def _chunk_size(self, todo: int) -> int:
+        """Trials per pool task (explicit ``chunk``, else auto)."""
+        if self.chunk is not None:
+            return max(1, self.chunk)
+        return max(1, todo // (self.jobs * self.TASKS_PER_WORKER))
 
     def run(self, spec: CampaignSpec,
             on_record: Callable[[TrialRecord], None] | None = None,
@@ -375,9 +389,11 @@ class CampaignRunner:
             jobs=self.jobs,
             resumed_trials=resumed,
         )
+        chunk = self._chunk_size(len(todo)) if todo else 1
         self.last_stats = {
             "jobs": self.jobs,
             "tasks": len(todo),
+            "chunk": chunk,
             "elapsed_s": elapsed,
             "busy_s": busy,
             "occupancy": busy / (elapsed * self.jobs)
@@ -399,13 +415,16 @@ class CampaignRunner:
         return records, busy
 
     def _run_pooled(self, spec, todo, on_record):
-        from repro.harness.parallel import _campaign_trial_task
+        from repro.harness.parallel import _campaign_chunk_task
 
+        size = self._chunk_size(len(todo))
+        chunks = [todo[i:i + size] for i in range(0, len(todo), size)]
         pool = self._executor()
+        spec_payload = spec.to_json()
         futures = {
-            pool.submit(_campaign_trial_task, spec.to_json(), trial,
-                        self.campaign_dir): trial
-            for trial in todo
+            pool.submit(_campaign_chunk_task, spec_payload, chunk,
+                        self.campaign_dir): chunk
+            for chunk in chunks
         }
         records: dict[int, TrialRecord] = {}
         busy = 0.0
@@ -413,12 +432,13 @@ class CampaignRunner:
         while pending:
             finished, pending = wait(pending, return_when=FIRST_COMPLETED)
             for future in finished:
-                payload, task_busy = future.result()
+                payloads, task_busy = future.result()
                 busy += task_busy
-                record = TrialRecord.from_json(payload)
-                records[futures[future]] = record
-                if on_record is not None:
-                    on_record(record)
+                for trial, payload in zip(futures[future], payloads):
+                    record = TrialRecord.from_json(payload)
+                    records[trial] = record
+                    if on_record is not None:
+                        on_record(record)
         return records, busy
 
     def _executor(self):
@@ -442,11 +462,12 @@ class CampaignRunner:
 def run_campaign(spec: CampaignSpec, jobs: int | None = None,
                  campaign_dir: str | os.PathLike | None = None,
                  resume: bool = False,
+                 chunk: int | None = None,
                  on_record: Callable[[TrialRecord], None] | None = None,
                  ) -> CampaignOutcome:
     """One-shot convenience wrapper around :class:`CampaignRunner`."""
     with CampaignRunner(jobs=jobs, campaign_dir=campaign_dir,
-                        resume=resume) as runner:
+                        resume=resume, chunk=chunk) as runner:
         return runner.run(spec, on_record=on_record)
 
 

@@ -36,7 +36,7 @@ def core_throughput_gips(program: Program, run: RunResult,
     """Instructions/ns this core class achieves on the workload."""
     model = TimingModel(instance)
     model.warm_data(program.memory_image.keys())
-    timing = model.simulate(program, run.trace)
+    timing = model.simulate(program, run.columns)
     return timing.instructions / timing.time_ns
 
 

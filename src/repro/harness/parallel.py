@@ -141,6 +141,26 @@ def _campaign_trial_task(spec_payload: dict, trial: int,
     return record, time.perf_counter() - start
 
 
+def _campaign_chunk_task(spec_payload: dict, trials: list[int],
+                         shard_dir: str | None) -> tuple[list[dict], float]:
+    """Stage entry point: run a chunk of campaign trials in one task.
+
+    One submission per trial drowns short trials in pool round-trip and
+    pickling overhead (a jobs=4 campaign used to run *slower* than
+    serial); chunking amortises the dispatch while each trial stays the
+    same pure function of ``(spec.seed, trial)``, so results are
+    bit-identical to any other scheduling.  Shard appends still happen
+    per trial, so a killed worker loses at most the trial in flight.
+    """
+    from repro.faults.engine import CampaignSpec, run_trial_in_worker
+
+    spec = CampaignSpec.from_json(spec_payload)
+    start = time.perf_counter()
+    records = [run_trial_in_worker(spec, trial, shard_dir)
+               for trial in trials]
+    return records, time.perf_counter() - start
+
+
 class SweepRunner:
     """Fans sweep cells across worker processes, merging deterministically."""
 

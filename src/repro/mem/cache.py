@@ -44,7 +44,7 @@ class Cache:
     residency.
     """
 
-    __slots__ = ("config", "_sets", "_set_mask", "_line_shift",
+    __slots__ = ("config", "_sets", "_set_mask", "_line_shift", "_ways",
                  "hits", "misses", "evictions")
 
     def __init__(self, config: CacheConfig) -> None:
@@ -55,6 +55,7 @@ class Cache:
         self._sets: list[list[int]] = [[] for _ in range(num_sets)]
         self._set_mask = num_sets - 1
         self._line_shift = config.line_bytes.bit_length() - 1
+        self._ways = config.ways
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -65,16 +66,18 @@ class Cache:
 
     def access(self, addr: int) -> bool:
         """Access ``addr``; return True on hit.  Misses allocate the line."""
-        set_idx, tag = self._index(addr)
-        ways = self._sets[set_idx]
+        tag = addr >> self._line_shift
+        ways = self._sets[tag & self._set_mask]
         if tag in ways:
-            ways.remove(tag)
-            ways.append(tag)
+            # MRU hit on the MRU line is an LRU no-op — skip the reorder.
+            if ways[-1] != tag:
+                ways.remove(tag)
+                ways.append(tag)
             self.hits += 1
             return True
         self.misses += 1
         ways.append(tag)
-        if len(ways) > self.config.ways:
+        if len(ways) > self._ways:
             ways.pop(0)
             self.evictions += 1
         return False

@@ -46,6 +46,7 @@ class SharedUncore:
         self.l3 = Cache(l3_config)
         self.dram = DramModel(dram_config)
         self.clock_ghz = clock_ghz
+        self._l3_hit_cycles = l3_config.hit_latency
         #: Added by the NoC model to every LLC access (paper section VI).
         self.extra_llc_latency_ns = 0.0
         #: Utilisation fed into the DRAM queueing model.
@@ -60,15 +61,22 @@ class SharedUncore:
         self.llc_accesses = 0
         self.dram.reset_stats()
 
-    def access(self, addr: int) -> AccessResult:
-        """Access the LLC, falling through to DRAM on a miss."""
+    def access_fast(self, addr: int) -> tuple[float, str]:
+        """Hot-path LLC access: ``(latency_ns, level)`` without the
+        AccessResult wrapper allocation."""
         self.llc_accesses += 1
-        latency = self.l3_hit_latency_ns() + self.extra_llc_latency_ns
+        latency = self._l3_hit_cycles / self.clock_ghz \
+            + self.extra_llc_latency_ns
         if self.l3.access(addr):
-            return AccessResult(latency, "l3")
+            return latency, "l3"
         self.dram.record_access(addr)
         latency += self.dram.latency_ns(self.dram_utilisation)
-        return AccessResult(latency, "dram")
+        return latency, "dram"
+
+    def access(self, addr: int) -> AccessResult:
+        """Access the LLC, falling through to DRAM on a miss."""
+        latency, level = self.access_fast(addr)
+        return AccessResult(latency, level)
 
     def export_stats(self, group) -> None:
         """Publish LLC and DRAM counters into an obs StatGroup."""
@@ -89,6 +97,9 @@ class MemoryHierarchy:
         self.l1i = Cache(config.l1i)
         self.l1d = Cache(config.l1d)
         self.l2 = Cache(config.l2)
+        self._l1i_hit_cycles = config.l1i.hit_latency
+        self._l1d_hit_cycles = config.l1d.hit_latency
+        self._l2_hit_cycles = config.l2.hit_latency
         self.uncore = uncore or SharedUncore(
             config.l3, config.dram, config.uncore_clock_ghz
         )
@@ -97,28 +108,52 @@ class MemoryHierarchy:
     def _cycles_ns(self, cycles: int, core_freq_ghz: float) -> float:
         return cycles / core_freq_ghz
 
-    def _walk(self, l1: Cache, addr: int, core_freq_ghz: float) -> AccessResult:
-        latency = self._cycles_ns(l1.config.hit_latency, core_freq_ghz)
-        if l1.access(addr):
-            self.level_counts["l1"] += 1
-            return AccessResult(latency, "l1")
-        latency += self._cycles_ns(self.l2.config.hit_latency, core_freq_ghz)
+    def data_access_fast(self, addr: int,
+                         core_freq_ghz: float) -> tuple[float, str]:
+        """Hot-path load/store walk: ``(latency_ns, level)`` tuples
+        instead of AccessResult allocations.  Latency accumulation keeps
+        the per-level division structure of the object path, so results
+        are bit-identical."""
+        counts = self.level_counts
+        latency = self._l1d_hit_cycles / core_freq_ghz
+        if self.l1d.access(addr):
+            counts["l1"] += 1
+            return latency, "l1"
+        latency += self._l2_hit_cycles / core_freq_ghz
         if self.l2.access(addr):
-            self.level_counts["l2"] += 1
-            return AccessResult(latency, "l2")
-        result = self.uncore.access(addr)
-        self.level_counts[result.level] += 1
-        return AccessResult(latency + result.latency_ns, result.level)
+            counts["l2"] += 1
+            return latency, "l2"
+        uncore_latency, level = self.uncore.access_fast(addr)
+        counts[level] += 1
+        return latency + uncore_latency, level
+
+    def fetch_access_fast(self, addr: int,
+                          core_freq_ghz: float) -> tuple[float, str]:
+        """Hot-path instruction-fetch walk (see ``data_access_fast``)."""
+        counts = self.level_counts
+        latency = self._l1i_hit_cycles / core_freq_ghz
+        if self.l1i.access(addr):
+            counts["l1"] += 1
+            return latency, "l1"
+        latency += self._l2_hit_cycles / core_freq_ghz
+        if self.l2.access(addr):
+            counts["l2"] += 1
+            return latency, "l2"
+        uncore_latency, level = self.uncore.access_fast(addr)
+        counts[level] += 1
+        return latency + uncore_latency, level
 
     def data_access(self, addr: int, core_freq_ghz: float,
                     is_write: bool = False) -> AccessResult:
         """A load or store (write-allocate) from this core's pipeline."""
         del is_write  # write-allocate: identical residency behaviour
-        return self._walk(self.l1d, addr, core_freq_ghz)
+        latency, level = self.data_access_fast(addr, core_freq_ghz)
+        return AccessResult(latency, level)
 
     def fetch_access(self, addr: int, core_freq_ghz: float) -> AccessResult:
         """An instruction fetch."""
-        return self._walk(self.l1i, addr, core_freq_ghz)
+        latency, level = self.fetch_access_fast(addr, core_freq_ghz)
+        return AccessResult(latency, level)
 
     def reset_stats(self) -> None:
         for cache in (self.l1i, self.l1d, self.l2):

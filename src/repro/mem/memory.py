@@ -17,8 +17,15 @@ class Memory:
     __slots__ = ("_words",)
 
     def __init__(self, image: dict[int, int] | None = None) -> None:
-        self._words: dict[int, int] = {}
-        if image:
+        if not image:
+            self._words: dict[int, int] = {}
+        elif all(addr & 7 == 0 for addr in image):
+            # Aligned images (the generator always emits these) settle in
+            # one dict comprehension instead of a store() call per word.
+            self._words = {addr: value & _MASK64
+                           for addr, value in image.items()}
+        else:
+            self._words = {}
             for addr, value in image.items():
                 self.store(addr, 8, value)
 
@@ -35,10 +42,10 @@ class Memory:
 
     def store(self, addr: int, size: int, value: int) -> None:
         """Write the low ``size`` bytes of ``value`` at ``addr``."""
-        value &= (1 << (size * 8)) - 1
         if size == 8 and addr & 7 == 0:
-            self._words[addr] = value
+            self._words[addr] = value & _MASK64
             return
+        value &= (1 << (size * 8)) - 1
         for i in range(size):
             byte_addr = addr + i
             base = byte_addr & ~7

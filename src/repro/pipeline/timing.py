@@ -89,7 +89,7 @@ def main_timing(config: ParaVerserConfig, run: RunResult,
     model.warm_data(warm_addresses(run.program))
     if checkpoint_overhead is None:
         checkpoint_overhead = boundaries is not None
-    result = model.simulate(run.program, run.trace, boundaries,
+    result = model.simulate(run.program, run.columns, boundaries,
                             checkpoint_overhead=checkpoint_overhead)
     if stats is not None:
         result.export_stats(stats, config.main.config)
@@ -105,7 +105,7 @@ def checker_timing(config: ParaVerserConfig, run: RunResult,
     model = TimingModel(instance, uncore or build_uncore(config, 0.0),
                         checker_mode=True)
     model.warm_code(run.program)
-    return model.simulate(run.program, run.trace, boundaries,
+    return model.simulate(run.program, run.columns, boundaries,
                           checkpoint_overhead=True)
 
 
@@ -127,8 +127,8 @@ def baseline_timing(ctx: SimContext, run: RunResult) -> TimingResult:
     mesh = ctx.traffic_model.build([base_traffic], include_lsl=False)
     base_extra = ctx.traffic_model.llc_extra_latency_ns(
         mesh, config.main_id)
-    grid = list(range(BASELINE_GRID, len(run.trace), BASELINE_GRID))
-    grid.append(len(run.trace))
+    grid = list(range(BASELINE_GRID, len(run.columns), BASELINE_GRID))
+    grid.append(len(run.columns))
     return main_timing(config, run, grid, base_extra,
                        checkpoint_overhead=False)
 

@@ -51,7 +51,7 @@ def segment_trace(
         timeout_instructions=config.timeout_instructions,
         hash_mode=config.hash_mode,
     )
-    segments = builder.split(run.trace, forced_boundaries)
+    segments = builder.split(run.columns, forced_boundaries)
     fill_checkpoints(config, run, segments, boundary_checkpoints)
     if config.hash_mode:
         for seg in segments:
@@ -114,5 +114,5 @@ def derive_end_checkpoint(program: Program,
     core = FunctionalCore(program, interface, registers=regs,
                           nonrep=interface,
                           start_pc=seg.start_checkpoint.pc)
-    result = core.run(seg.instructions)
+    result = core.run(seg.instructions, record_trace=False)
     return result.end_checkpoint

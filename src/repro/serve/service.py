@@ -300,6 +300,12 @@ class EvalService:
                           ).inc()
             if source in ("memory", "disk"):
                 trace.counter("hits", "trace-cache hits (memory+disk)").inc()
+            traffic = row.pop("trace_cache", None)
+            if traffic:
+                cache_group = trace.group(
+                    "cache", "persistent trace-cache traffic")
+                for key, value in traffic.items():
+                    cache_group.counter(key).inc(value)
             for waiter in group.waiters:
                 waiter.resolve(protocol.ok_response(waiter.request, row))
 

@@ -105,6 +105,35 @@ def _campaign_spec_row(spec: dict) -> dict:
     return run_campaign(campaign_spec, jobs=1).to_row()
 
 
+def _cache_traffic_snapshot(cache) -> tuple | None:
+    """Current persistent-cache counters, or None when caching is off."""
+    tc = cache.trace_cache
+    if tc is None:
+        return None
+    s = tc.stats
+    return (s.hits, s.misses, s.bytes_read, s.bytes_written)
+
+
+def _cache_traffic_delta(cache, before: tuple | None) -> dict | None:
+    """What this task added to the persistent-cache counters.
+
+    The worker-process :class:`~repro.cpu.tracecache.TraceCache` counters
+    are cumulative and invisible to the service, so each task ships its
+    own delta in the row; the service folds them into the stats tree and
+    strips the key before the row reaches a client.
+    """
+    if before is None or cache.trace_cache is None:
+        return None
+    s = cache.trace_cache.stats
+    delta = {
+        "hits": s.hits - before[0],
+        "misses": s.misses - before[1],
+        "bytes_read": s.bytes_read - before[2],
+        "bytes_written": s.bytes_written - before[3],
+    }
+    return delta if any(delta.values()) else None
+
+
 def evaluate_spec(spec: dict) -> dict:
     """Evaluate one sim spec (see ``EvalRequest.sim_spec``) to a row."""
     from repro.detect import SimulatedBackend, get_backend
@@ -112,12 +141,16 @@ def evaluate_spec(spec: dict) -> dict:
 
     cache = worker_cache(spec["instructions"], spec["seed"])
     workload = spec["workload"]
+    traffic_before = _cache_traffic_snapshot(cache)
     source = cache.trace_source(workload)
     if spec.get("op") == "campaign":
         row = _campaign_spec_row(spec)
         row["instructions"] = spec["instructions"]
         row["seed"] = spec["seed"]
         row["trace_source"] = source
+        traffic = _cache_traffic_delta(cache, traffic_before)
+        if traffic:
+            row["trace_cache"] = traffic
         return row
     if spec.get("backend"):
         backend = get_backend(spec["backend"])
@@ -148,6 +181,9 @@ def evaluate_spec(spec: dict) -> dict:
     row["instructions"] = spec["instructions"]
     row["seed"] = spec["seed"]
     row["trace_source"] = source
+    traffic = _cache_traffic_delta(cache, traffic_before)
+    if traffic:
+        row["trace_cache"] = traffic
     return row
 
 
@@ -167,22 +203,25 @@ def evaluate_specs(specs: list[dict]) -> list[dict]:
 
 
 def trace_workload(workload: str, instructions: int,
-                   seed: int) -> tuple[dict, str]:
+                   seed: int) -> tuple[dict, str, dict | None]:
     """Pool entry point: one batch's trace stage.
 
     Computes (or fetches) the batch's shared functional run and returns
     it as a :func:`~repro.cpu.traceio.run_to_payload` artifact plus the
-    source it came from (``computed``/``disk``/``memory``), so the
-    service's trace-reuse counters stay truthful when the per-spec rows
-    all report the handed-off run as a ``memory`` hit.
+    source it came from (``computed``/``disk``/``memory``) and the
+    persistent-cache traffic it caused, so the service's trace-reuse
+    counters stay truthful when the per-spec rows all report the
+    handed-off run as a ``memory`` hit.
     """
     from repro.cpu.traceio import run_to_payload
     from repro.harness.parallel import worker_cache
 
     cache = worker_cache(instructions, seed)
+    traffic_before = _cache_traffic_snapshot(cache)
     source = cache.trace_source(workload)
     cached = cache.get(workload)
-    return run_to_payload(cached.run), source
+    return (run_to_payload(cached.run), source,
+            _cache_traffic_delta(cache, traffic_before))
 
 
 def evaluate_spec_row(spec: dict, run_payload: dict | None = None) -> dict:
@@ -267,7 +306,7 @@ class WorkerPool:
         trace_key = (first["workload"], first["instructions"],
                      first["seed"])
         try:
-            payload, source = await loop.run_in_executor(
+            payload, source, trace_traffic = await loop.run_in_executor(
                 executor, trace_workload, *trace_key)
         except RETRYABLE_POOL_ERRORS:
             raise
@@ -282,10 +321,16 @@ class WorkerPool:
             for spec in specs
         ]))
         # The handoff makes every row see a memory hit; attribute the
-        # trace stage's real source to the first non-error row.
+        # trace stage's real source (and cache traffic) to the first
+        # non-error row.
         for row in rows:
             if ROW_ERROR not in row:
                 row["trace_source"] = source
+                if trace_traffic:
+                    merged = row.get("trace_cache", {})
+                    for key, value in trace_traffic.items():
+                        merged[key] = merged.get(key, 0) + value
+                    row["trace_cache"] = merged
                 break
         return rows
 

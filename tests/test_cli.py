@@ -119,6 +119,78 @@ class TestCommands:
         tree = json.loads(stats_path.read_text())
         assert tree["faults"]["injected"] == 2
 
+    def test_campaign_chunked_matches_serial(self, capsys):
+        import json
+        base = ["campaign", "-w", "exchange2", "-t", "4", "-n", "6000",
+                "--json"]
+        assert main([*base, "-j", "1"]) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main([*base, "-j", "2", "--chunk", "2"]) == 0
+        chunked = json.loads(capsys.readouterr().out)
+        for key in ("trials", "detected", "masked", "missed", "by_kind"):
+            assert chunked[key] == serial[key]
+
+    def test_cache_requires_directory(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE_CACHE", raising=False)
+        assert main(["cache", "info"]) == 2
+        assert "REPRO_TRACE_CACHE" in capsys.readouterr().err
+
+    def test_cache_info_purge(self, capsys, tmp_path, monkeypatch):
+        from repro.cpu.tracecache import TraceCache
+        from repro.harness.runner import WorkloadCache
+
+        tc = TraceCache(tmp_path)
+        cache = WorkloadCache(max_instructions=4000, seed=7,
+                              trace_cache=tc)
+        cache.get("exchange2")  # populates one entry
+        assert main(["cache", "info", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries:           1" in out
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        assert main(["cache", "purge"]) == 0
+        assert "purged entries:    1" in capsys.readouterr().out
+        assert tc.info()["entries"] == 0
+
+    def test_cache_migrate(self, capsys, tmp_path):
+        import json
+
+        from repro.cpu import traceio
+        from repro.cpu.tracecache import TraceCache
+        from repro.harness.runner import WorkloadCache
+
+        tc = TraceCache(tmp_path)
+        run = WorkloadCache(max_instructions=4000, seed=7,
+                            trace_cache=None).get("exchange2").run
+        legacy = tc.path_for("exchange2", 7, 4000).with_suffix(".json")
+        legacy.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": 1,
+            "program": traceio.program_to_json(run.program),
+            "trace": [[e.pc, e.addr, e.addr2, e.size, e.loaded,
+                       e.loaded2, e.stored, e.nonrep,
+                       1 if e.taken else 0, e.next_pc,
+                       list(e.bulk) if e.bulk is not None else None]
+                      for e in run.trace],
+            "start_checkpoint": {
+                "ints": list(run.start_checkpoint.ints),
+                "fps": list(run.start_checkpoint.fps),
+                "pc": run.start_checkpoint.pc},
+            "end_checkpoint": {
+                "ints": list(run.end_checkpoint.ints),
+                "fps": list(run.end_checkpoint.fps),
+                "pc": run.end_checkpoint.pc},
+            "halted": run.halted,
+            "instructions": run.instructions,
+            "class_counts": run.class_counts,
+        }
+        legacy.write_text(json.dumps(payload))
+        assert main(["cache", "migrate", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "migrated entries:  1" in out
+        assert not legacy.exists()
+        hit = tc.get("exchange2", 7, 4000)
+        assert hit is not None and hit.columns == run.columns
+
     def test_unknown_workload_raises(self):
         with pytest.raises(KeyError):
             main(["run", "-w", "doom", "-n", "1000"])

@@ -50,7 +50,7 @@ def test_cache_key_tracks_versions(monkeypatch):
     bumped = cache_key(BENCH, SEED, BUDGET)
     assert base != bumped
     monkeypatch.setattr(tracecache, "CACHE_VERSION", 1)
-    monkeypatch.setattr(traceio, "FORMAT_VERSION", 999)
+    monkeypatch.setattr(traceio, "TRACE_SEMANTICS_VERSION", 999)
     assert cache_key(BENCH, SEED, BUDGET) != base
 
 
@@ -82,13 +82,116 @@ def test_corrupt_entry_is_evicted(tmp_path, run_result, caplog):
 
 def test_stale_format_version_is_evicted(tmp_path, run_result):
     tc = TraceCache(tmp_path)
-    tc.put(BENCH, SEED, BUDGET, run_result)
-    path = tc.path_for(BENCH, SEED, BUDGET)
-    payload = json.loads(path.read_text())
-    payload["version"] = -1
+    path = tc.path_for(BENCH, SEED, BUDGET).with_suffix(".json")
+    payload = traceio.run_to_payload(run_result)
+    payload = {"version": -1, "program": payload["program"]}
+    path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(payload))
     assert tc.get(BENCH, SEED, BUDGET) is None
     assert not path.exists()
+
+
+def _legacy_entry_payload(run) -> dict:
+    """A v1 JSON cache entry, as the old writer produced it."""
+    return {
+        "version": 1,
+        "program": traceio.program_to_json(run.program),
+        "trace": [[e.pc, e.addr, e.addr2, e.size, e.loaded, e.loaded2,
+                   e.stored, e.nonrep, 1 if e.taken else 0, e.next_pc,
+                   list(e.bulk) if e.bulk is not None else None]
+                  for e in run.trace],
+        "start_checkpoint": {"ints": list(run.start_checkpoint.ints),
+                             "fps": list(run.start_checkpoint.fps),
+                             "pc": run.start_checkpoint.pc},
+        "end_checkpoint": {"ints": list(run.end_checkpoint.ints),
+                           "fps": list(run.end_checkpoint.fps),
+                           "pc": run.end_checkpoint.pc},
+        "halted": run.halted,
+        "instructions": run.instructions,
+        "class_counts": run.class_counts,
+    }
+
+
+def test_legacy_json_entry_hits_and_migrates(tmp_path, run_result):
+    """Entries written by the JSON-era cache keep hitting; ``migrate``
+    rewrites them in the compressed binary format, bit-identically."""
+    tc = TraceCache(tmp_path)
+    path = tc.path_for(BENCH, SEED, BUDGET).with_suffix(".json")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(_legacy_entry_payload(run_result)))
+
+    hit = tc.get(BENCH, SEED, BUDGET)
+    assert hit is not None
+    assert hit.columns == run_result.columns
+    assert tc.info()["legacy_entries"] == 1
+
+    assert tc.migrate() == 1
+    assert not path.exists()
+    assert tc.path_for(BENCH, SEED, BUDGET).exists()
+    migrated = tc.get(BENCH, SEED, BUDGET)
+    assert migrated is not None
+    assert migrated.columns == run_result.columns
+    info = tc.info()
+    assert info["legacy_entries"] == 0 and info["current_entries"] == 1
+
+
+def test_new_entry_shadows_legacy(tmp_path, run_result):
+    tc = TraceCache(tmp_path)
+    path = tc.path_for(BENCH, SEED, BUDGET).with_suffix(".json")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text("{not json")  # would be evicted if ever read
+    tc.put(BENCH, SEED, BUDGET, run_result)
+    assert tc.existing_path_for(BENCH, SEED, BUDGET) \
+        == tc.path_for(BENCH, SEED, BUDGET)
+    assert tc.get(BENCH, SEED, BUDGET) is not None
+    assert path.exists()  # the shadowed legacy file was never touched
+
+
+def test_entries_are_compressed_and_raw_binary_still_loads(tmp_path,
+                                                           run_result):
+    tc = TraceCache(tmp_path)
+    tc.put(BENCH, SEED, BUDGET, run_result)
+    path = tc.path_for(BENCH, SEED, BUDGET)
+    data = path.read_bytes()
+    raw = traceio.run_to_bytes(run_result)
+    assert data[0] == 0x78  # zlib magic byte
+    assert len(data) < len(raw)
+    # A raw (uncompressed) binary container is sniffed and loads too.
+    path.write_bytes(raw)
+    hit = tc.get(BENCH, SEED, BUDGET)
+    assert hit is not None
+    assert hit.columns == run_result.columns
+
+
+def test_stats_counters(tmp_path, run_result):
+    from repro.obs import StatGroup
+
+    tc = TraceCache(tmp_path)
+    assert tc.get(BENCH, SEED, BUDGET) is None
+    assert tc.stats.misses == 1 and tc.stats.hits == 0
+    assert tc.stats.hit_rate == 0.0
+    tc.put(BENCH, SEED, BUDGET, run_result)
+    written = tc.stats.bytes_written
+    assert written > 0
+    assert tc.get(BENCH, SEED, BUDGET) is not None
+    assert tc.stats.hits == 1
+    assert tc.stats.bytes_read == written
+    assert tc.stats.hit_rate == 0.5
+    group = StatGroup("trace_cache")
+    tc.stats.export_stats(group)
+    flat = group.flatten()
+    assert flat["hits"] == 1 and flat["misses"] == 1
+    assert flat["bytes_written"] == written
+
+
+def test_purge_empties_the_cache(tmp_path, run_result):
+    tc = TraceCache(tmp_path)
+    tc.put(BENCH, SEED, BUDGET, run_result)
+    tc.put(BENCH, SEED + 1, BUDGET, run_result)
+    assert tc.info()["entries"] == 2
+    assert tc.purge() == 2
+    assert tc.info()["entries"] == 0
+    assert tc.get(BENCH, SEED, BUDGET) is None
 
 
 def test_env_trace_cache(monkeypatch, tmp_path):
@@ -187,9 +290,13 @@ def test_concurrent_writers_never_publish_torn_entries(tmp_path,
 def test_put_failure_leaves_no_temp_files(tmp_path, run_result,
                                           monkeypatch):
     tc = TraceCache(tmp_path)
-    monkeypatch.setattr(traceio, "save_run",
-                        lambda run, path: (_ for _ in ()).throw(
-                            OSError("disk full")))
+
+    def failing_replace(src, dst):
+        raise OSError("disk full")
+
+    # Fail at publication time, after the temp file has been written,
+    # exercising the cleanup path.
+    monkeypatch.setattr(tracecache.os, "replace", failing_replace)
     with pytest.raises(OSError):
         tc.put(BENCH, SEED, BUDGET, run_result)
     assert list(tmp_path.iterdir()) == []

@@ -9,6 +9,7 @@ from repro.core.system import ParaVerserConfig, ParaVerserSystem
 from repro.cpu.config import CoreInstance
 from repro.cpu.presets import A510, X2
 from repro.cpu.timing import TimingModel
+from repro.cpu import traceio
 from repro.cpu.traceio import (
     load_run,
     program_from_json,
@@ -80,21 +81,57 @@ def test_loaded_trace_times_identically(tmp_path, run_and_program):
     assert reloaded.cycles == pytest.approx(original.cycles)
 
 
-def test_format_is_plain_json(tmp_path, run_and_program):
+def test_format_is_binary_container(tmp_path, run_and_program):
+    _, _, run = run_and_program
+    path = tmp_path / "run.pvtc"
+    save_run(run, path)
+    data = path.read_bytes()
+    assert data.startswith(traceio.MAGIC)
+    assert data[4] == traceio.FORMAT_VERSION
+    header_len = int.from_bytes(data[5:13], "little")
+    header = json.loads(data[13:13 + header_len].decode("utf-8"))
+    assert header["n"] == run.instructions
+    assert sum(length for _, length in header["sections"]) \
+        == len(data) - 13 - header_len
+
+
+def test_legacy_json_files_still_load(tmp_path, run_and_program):
+    """Files written by the v1 JSON writer keep loading bit-identically."""
     _, _, run = run_and_program
     path = tmp_path / "run.json"
-    save_run(run, path)
-    payload = json.loads(path.read_text())
-    assert payload["version"] == 1
-    assert isinstance(payload["trace"], list)
+    legacy = {
+        "version": 1,
+        "program": traceio.program_to_json(run.program),
+        "trace": [[e.pc, e.addr, e.addr2, e.size, e.loaded, e.loaded2,
+                   e.stored, e.nonrep, 1 if e.taken else 0, e.next_pc,
+                   list(e.bulk) if e.bulk is not None else None]
+                  for e in run.trace],
+        "start_checkpoint": {"ints": list(run.start_checkpoint.ints),
+                             "fps": list(run.start_checkpoint.fps),
+                             "pc": run.start_checkpoint.pc},
+        "end_checkpoint": {"ints": list(run.end_checkpoint.ints),
+                           "fps": list(run.end_checkpoint.fps),
+                           "pc": run.end_checkpoint.pc},
+        "halted": run.halted,
+        "instructions": run.instructions,
+        "class_counts": run.class_counts,
+    }
+    path.write_text(json.dumps(legacy))
+    restored = load_run(path)
+    assert restored.instructions == run.instructions
+    assert restored.end_checkpoint.matches(run.end_checkpoint)
+    assert restored.columns == run.columns
 
 
 def test_version_check(tmp_path, run_and_program):
     _, _, run = run_and_program
-    path = tmp_path / "run.json"
+    path = tmp_path / "run.pvtc"
     save_run(run, path)
-    payload = json.loads(path.read_text())
-    payload["version"] = 99
-    path.write_text(json.dumps(payload))
+    data = bytearray(path.read_bytes())
+    data[4] = 99  # container version byte
+    path.write_bytes(bytes(data))
+    with pytest.raises(ValueError):
+        load_run(path)
+    path.write_text(json.dumps({"version": 99}))
     with pytest.raises(ValueError):
         load_run(path)
