@@ -3,10 +3,12 @@
 
 A day in the life of one 6-core big.LITTLE server node: demand rises and
 falls; the OS-level role scheduler reassigns cores between main work,
-checking and idle at checkpoint boundaries. Checking runs at full
+checking and idle at checkpoint boundaries.  Checking runs at full
 coverage when spare little cores are plentiful, degrades to
 opportunistic under pressure, disables entirely at peak load, and
-resumes afterwards — while a health monitor accumulates the detection
+resumes afterwards.  For representative hours the node's traffic is
+replayed through the event-driven fleet model to show what each mode
+costs at the tail, while a health monitor accumulates the detection
 statistics that drive predictive maintenance.
 """
 
@@ -14,10 +16,31 @@ from repro.core.errors import DetectionEvent, DetectionKind
 from repro.core.maintenance import HealthMonitor
 from repro.core.scheduler import PoolCore, RoleScheduler
 from repro.cpu import A510, CoreInstance, X2
+from repro.fleet import FleetTrafficConfig, FleetTrafficSim, summarize
 
 #: Hourly demand (cores of main work wanted), a plausible diurnal curve.
 DEMAND = [1, 1, 1, 1, 1, 2, 3, 4, 5, 6, 6, 6,
           5, 5, 6, 6, 5, 4, 4, 3, 2, 2, 1, 1]
+
+
+def tail_for(mode: str, demand: int) -> str:
+    """Replay one hour's traffic in ``mode``; return a tail summary.
+
+    Demand maps onto offered per-server load; disabled hours run
+    unchecked, which the traffic model expresses as opportunistic
+    checking with the ``"none"`` checker pool (every segment lags past
+    the bound and retires unchecked).
+    """
+    load = 0.15 + 0.13 * demand
+    config = FleetTrafficConfig(
+        servers=4,
+        mode="opportunistic" if mode == "disabled" else mode,
+        checkers="none" if mode == "disabled" else "2xA510@2.0",
+        load=load, duration_s=0.5, seed=11,
+    )
+    cell = summarize(FleetTrafficSim(config).run())
+    return (f"load {load:.2f}: p99 {cell.p99_ms:6.2f} ms, "
+            f"coverage {cell.coverage * 100:5.1f}%")
 
 
 def main() -> None:
@@ -34,6 +57,15 @@ def main() -> None:
               f"{len(plan.mains):6d} {len(plan.checkers):9d}  {mode}")
     print(f"\nchecking available {outcome.checking_availability:.0%} "
           "of the day (disabled only at peak load)")
+
+    # What each hour's mode costs, measured by the traffic model on
+    # three representative hours of the diurnal curve.
+    print("\ntail latency vs. coverage across the day:")
+    for hour in (2, 8, 10):
+        plan = outcome.plans[hour]
+        mode = scheduler.coverage_mode_for(plan)
+        print(f"  hour {hour:2d} ({mode:13s}) "
+              f"{tail_for(mode, DEMAND[hour])}")
 
     # Meanwhile the health monitor digests the day's detection events:
     # little2 develops a hard fault at hour 14 — every checked segment it

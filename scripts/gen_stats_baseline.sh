@@ -10,3 +10,11 @@ PYTHONPATH=src python -m repro.cli run -w mcf -n 20000 --stage-jobs 2 \
 # worker counts; faults.runtime.* is wall-clock and masked in CI.
 PYTHONPATH=src python -m repro.cli campaign -w mcf -t 10 -n 20000 -j 1 \
   --stats-json tests/golden/campaign_smoke.json
+# Fleet traffic baseline: every leaf is a pure function of the config
+# matrix (sha256 per-request RNG streams, rep-order merge), so CI can
+# regenerate it with -j 2 and demand bit-identity; fleet.runtime.* is
+# wall-clock and masked in CI.
+PYTHONPATH=src python -m repro.cli fleet --policies shortest,jbsq2 \
+  --modes full,opportunistic --loads 0.7,0.92 \
+  --duration 0.5 --reps 2 -j 1 \
+  --stats-json tests/golden/fleet_smoke.json

@@ -11,6 +11,7 @@ Installed as ``paraverser`` (see pyproject.toml)::
     paraverser inject -w deepsjeng -t 30         # fault-injection campaign
     paraverser campaign -w deepsjeng -t 200 -j 4 # parallel campaign engine
     paraverser campaign -w mcf --campaign-dir /tmp/c --resume  # finish one
+    paraverser fleet --loads 0.7,0.9 -j 4        # datacenter traffic matrix
     paraverser figures fig6 fig11                # regenerate paper figures
     paraverser serve --port 8347 --workers 4     # batched evaluation server
     paraverser eval -w mcf --backend paraverser-full  # query a server
@@ -151,6 +152,59 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="per-request deadline in seconds "
                                "(server runs only)")
 
+    fleet = sub.add_parser(
+        "fleet",
+        help="event-driven datacenter traffic model (policy/load/mode "
+             "matrix with tail-latency and coverage accounting)")
+    fleet.add_argument("--policies", metavar="P1,P2,...",
+                       default="random,shortest,jbsq2",
+                       help="dispatch policies: random, rr, shortest, "
+                            "jbsq<d>, affinity")
+    fleet.add_argument("--modes", metavar="M1,M2,...",
+                       default="full,opportunistic",
+                       help="checking modes per cell")
+    fleet.add_argument("--loads", metavar="L1,L2,...", default="0.7,0.9",
+                       help="offered per-server utilisations")
+    # Numeric flags stay strings here and go through repro.envutil in
+    # cmd_fleet, so a typo fails with a one-line message, not a
+    # traceback.
+    fleet.add_argument("--servers", default="8",
+                       help="fleet size (default 8)")
+    fleet.add_argument("--duration", default="2.0",
+                       help="simulated seconds per cell (default 2.0)")
+    fleet.add_argument("--reps", default="1",
+                       help="replications per cell, merged in rep order")
+    fleet.add_argument("-j", "--jobs", default=None,
+                       help="worker processes fanning replications "
+                            "(default: REPRO_JOBS or 1; 0 = all CPUs)")
+    fleet.add_argument("--seed", default="7")
+    fleet.add_argument("-w", "--workload", default="mcf",
+                       help="profile the bimodal service split derives "
+                            "from ('exponential' = memoryless M/M/1)")
+    fleet.add_argument("--checkers", metavar="SPEC", default="4xA510@2.0",
+                       help="per-server checker pool (sets the replay "
+                            "rate relative to the main core)")
+    fleet.add_argument("--lag-bound-ms", default="4.0",
+                       help="checker lag bound (LSL capacity) in ms of "
+                            "main-core work")
+    fleet.add_argument("--mean-service-ms", default="1.0",
+                       help="mean request service demand in ms")
+    fleet.add_argument("--closed", action="store_true",
+                       help="closed-loop clients instead of an open "
+                            "Poisson stream")
+    fleet.add_argument("--clients", default="64",
+                       help="closed-loop client population")
+    fleet.add_argument("--think-ms", default="10.0",
+                       help="closed-loop mean think time in ms")
+    fleet.add_argument("--keys", default="1024",
+                       help="distinct request keys (Zipf popularity)")
+    fleet.add_argument("--zipf", default="1.1",
+                       help="Zipf popularity exponent")
+    fleet.add_argument("--stats-json", metavar="PATH",
+                       help="write the fleet.* statistics tree as JSON")
+    fleet.add_argument("--json", action="store_true",
+                       help="print raw cell metrics as JSON lines")
+
     workloads = sub.add_parser("workloads", help="list benchmark profiles")
     workloads.add_argument("--suite", choices=["spec2017", "gap", "parsec"],
                            default=None)
@@ -162,7 +216,8 @@ def _build_parser() -> argparse.ArgumentParser:
                              help="regenerate the paper's tables/figures")
     figures.add_argument("names", nargs="+",
                          choices=["fig6", "fig7", "fig8", "fig9", "fig10",
-                                  "fig11", "sec7e", "sec7f", "all"])
+                                  "fig11", "sec7e", "sec7f", "fleet",
+                                  "all"])
     figures.add_argument("--chart", action="store_true",
                          help="render ASCII bar charts instead of tables")
     figures.add_argument("-j", "--jobs", type=int, default=None,
@@ -520,6 +575,111 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """`paraverser fleet`: run the (policy, mode, load) traffic matrix."""
+    import json as _json
+    import time
+
+    from repro.envutil import parse_float, parse_int
+    from repro.fleet import (
+        FleetTrafficConfig,
+        checker_relative_rate,
+        make_policy,
+        matrix,
+        publish_fleet_stats,
+        run_cell,
+        summarize,
+    )
+    from repro.harness.runner import env_jobs
+    from repro.obs import StatGroup
+
+    servers = parse_int("--servers", args.servers, 8)
+    duration = parse_float("--duration", args.duration, 2.0)
+    reps = parse_int("--reps", args.reps, 1)
+    seed = parse_int("--seed", args.seed, 7)
+    clients = parse_int("--clients", args.clients, 64)
+    keys = parse_int("--keys", args.keys, 1024)
+    zipf = parse_float("--zipf", args.zipf, 1.1)
+    lag_bound_ms = parse_float("--lag-bound-ms", args.lag_bound_ms, 4.0)
+    mean_service_ms = parse_float("--mean-service-ms",
+                                  args.mean_service_ms, 1.0)
+    think_ms = parse_float("--think-ms", args.think_ms, 10.0)
+    jobs = parse_int("--jobs", args.jobs, 0) if args.jobs is not None \
+        else env_jobs()
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    if servers < 1 or duration <= 0 or reps < 1:
+        print("fleet: --servers/--reps must be >= 1 and --duration > 0",
+              file=sys.stderr)
+        return 2
+
+    policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    modes = [m.strip() for m in args.modes.split(",") if m.strip()]
+    loads = [parse_float("--loads", raw.strip(), 0.7)
+             for raw in args.loads.split(",") if raw.strip()]
+    try:
+        for name in policies:
+            make_policy(name)
+        checker_relative_rate(args.checkers)
+        unknown = [m for m in modes if m not in ("full", "opportunistic")]
+        if unknown:
+            raise ValueError(f"unknown mode(s) {', '.join(unknown)}; "
+                             "pick from full, opportunistic")
+        if not (policies and modes and loads):
+            raise ValueError("need at least one policy, mode and load")
+    except ValueError as exc:
+        print(f"fleet: {exc}", file=sys.stderr)
+        return 2
+
+    base = FleetTrafficConfig(
+        servers=servers,
+        checkers=args.checkers,
+        lag_bound_s=lag_bound_ms / 1e3,
+        traffic_kind="closed" if args.closed else "open",
+        clients=clients,
+        think_s=think_ms / 1e3,
+        workload=args.workload,
+        mean_service_s=mean_service_ms / 1e3,
+        n_keys=keys,
+        zipf_alpha=zipf,
+        duration_s=duration,
+        seed=seed,
+    )
+    started = time.perf_counter()
+    metrics = [summarize(run_cell(config, reps=reps, jobs=jobs))
+               for config in matrix(policies, modes, loads, base)]
+    elapsed = time.perf_counter() - started
+
+    if args.json:
+        from dataclasses import asdict
+
+        for cell in metrics:
+            print(_json.dumps(asdict(cell), sort_keys=True))
+    else:
+        print(f"fleet: {servers} servers x {duration:g}s x {reps} rep(s), "
+              f"{args.checkers} checkers, "
+              f"{'closed' if args.closed else 'open'} loop "
+              f"({args.workload} service)")
+        width = max(28, max(len(cell.label) for cell in metrics))
+        print(f"{'cell':{width}s} {'p50':>8s} {'p95':>8s} {'p99':>8s} "
+              f"{'p999':>8s} {'util':>6s} {'cover':>7s} {'stall':>7s} "
+              f"{'SDC/yr':>8s}")
+        for cell in metrics:
+            print(f"{cell.label:{width}s} {cell.p50_ms:8.2f} "
+                  f"{cell.p95_ms:8.2f} "
+                  f"{cell.p99_ms:8.2f} {cell.p999_ms:8.2f} "
+                  f"{cell.utilization * 100:5.1f}% "
+                  f"{cell.coverage * 100:6.2f}% "
+                  f"{cell.stall_fraction * 100:6.2f}% "
+                  f"{cell.sdc_events:8.0f}")
+        print(f"wall time:         {elapsed:.2f}s (jobs={jobs})")
+    if args.stats_json:
+        stats = StatGroup("root")
+        publish_fleet_stats(stats, metrics, elapsed_s=elapsed)
+        _write_stats_json(stats, args.stats_json)
+    return 0
+
+
 def cmd_workloads(args: argparse.Namespace) -> int:
     """`paraverser workloads`: list the benchmark profiles."""
     print(f"{'name':12s} {'suite':9s} {'threads':>7s}  description")
@@ -588,6 +748,10 @@ def cmd_figures(args: argparse.Namespace) -> int:
                 show(result.energy)
                 print(f"ED2P: {result.ed2p_energy_percent:.0f}% energy at "
                       f"{result.ed2p_slowdown_percent:.1f}% slowdown")
+            elif name == "fleet":
+                result = experiments.run_fleet_sweep()
+                show(result.tail)
+                show(result.coverage)
             elif name == "sec7f":
                 for row in experiments.run_sec7f():
                     print(f"{row.workload:10s} "
@@ -744,6 +908,7 @@ _COMMANDS = {
     "run": cmd_run,
     "inject": cmd_inject,
     "campaign": cmd_campaign,
+    "fleet": cmd_fleet,
     "workloads": cmd_workloads,
     "backends": cmd_backends,
     "figures": cmd_figures,

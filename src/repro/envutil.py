@@ -1,10 +1,11 @@
-"""Friendly parsing for ``REPRO_*`` environment knobs.
+"""Friendly parsing for ``REPRO_*`` environment knobs and CLI numerics.
 
 Scale knobs are set by hand in shells and CI files, where a stray
-``REPRO_JOBS=four`` or ``REPRO_TRIALS=20x`` is easy to type.  A bare
-``ValueError`` traceback from deep inside a runner hides which variable
-was wrong; :func:`env_int` fails with a one-line message naming the
-variable and the offending value instead.
+``REPRO_JOBS=four`` or ``--servers four`` is easy to type.  A bare
+``ValueError`` traceback from deep inside a runner hides which knob was
+wrong; :func:`parse_int`/:func:`parse_float` fail with a one-line
+message naming the knob and the offending value instead, and
+:func:`env_int` applies the same contract to environment variables.
 """
 
 from __future__ import annotations
@@ -12,14 +13,14 @@ from __future__ import annotations
 import os
 
 
-def env_int(name: str, default: int) -> int:
-    """``int(os.environ[name])`` with a one-line failure mode.
+def parse_int(name: str, raw: str | None, default: int) -> int:
+    """``int(raw)`` with a one-line failure mode.
 
     Exits (via :class:`SystemExit`, so no traceback reaches the
-    terminal) when the variable is set to something that is not an
-    integer.
+    terminal) when ``raw`` is not an integer; ``None``/empty falls back
+    to ``default``.  ``name`` is whatever the user typed the value
+    against — an environment variable or a CLI flag.
     """
-    raw = os.environ.get(name)
     if raw is None or raw == "":
         return default
     try:
@@ -28,3 +29,20 @@ def env_int(name: str, default: int) -> int:
         raise SystemExit(
             f"{name}={raw!r} is not an integer; "
             f"unset it or use e.g. {name}={default}") from None
+
+
+def parse_float(name: str, raw: str | None, default: float) -> float:
+    """``float(raw)`` with the same one-line failure mode."""
+    if raw is None or raw == "":
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise SystemExit(
+            f"{name}={raw!r} is not a number; "
+            f"unset it or use e.g. {name}={default}") from None
+
+
+def env_int(name: str, default: int) -> int:
+    """``int(os.environ[name])`` with a one-line failure mode."""
+    return parse_int(name, os.environ.get(name), default)

@@ -1,0 +1,95 @@
+"""Fleet-scale modelling: traffic, dispatch, checking, and hazards.
+
+Two timescales, one package:
+
+* :mod:`repro.fleet.hazard` — the section III-A Monte Carlo over
+  months: fault arrival, per-day detection hazards, SDC exposure.
+  ``from repro.fleet import FleetSimulator`` keeps meaning this.
+* :mod:`repro.fleet.sim` (+ :mod:`~repro.fleet.traffic`,
+  :mod:`~repro.fleet.dispatch`, :mod:`~repro.fleet.server`,
+  :mod:`~repro.fleet.metrics`) — an event-driven datacenter traffic
+  model over milliseconds: open/closed-loop generators with Zipf key
+  popularity, pluggable dispatch policies, and per-server ParaVerser
+  checking whose lag either stalls the main core (full coverage) or
+  drops coverage (opportunistic).  Its measured coverage parameterises
+  the hazard model via :func:`strategy_from_coverage`, replacing the
+  assumed-constant detection inputs.
+"""
+
+from repro.fleet.dispatch import (
+    DispatchPolicy,
+    JBSQPolicy,
+    KeyAffinityPolicy,
+    POLICY_NAMES,
+    RandomPolicy,
+    RoundRobinPolicy,
+    ShortestQueuePolicy,
+    make_policy,
+)
+from repro.fleet.hazard import (
+    DetectionStrategy,
+    FleetConfig,
+    FleetResult,
+    FleetSimulator,
+    LockstepStrategy,
+    ParaVerserStrategy,
+    ScannerStrategy,
+    registry_strategies,
+    strategy_from_coverage,
+)
+from repro.fleet.metrics import (
+    TrafficMetrics,
+    publish_fleet_stats,
+    summarize,
+)
+from repro.fleet.server import Server, ServerConfig, checker_relative_rate
+from repro.fleet.sim import (
+    FleetTrafficConfig,
+    FleetTrafficSim,
+    TrafficResult,
+    matrix,
+    run_cell,
+)
+from repro.fleet.traffic import (
+    Request,
+    ServiceModel,
+    TrafficConfig,
+    ZipfKeys,
+    service_model_for,
+)
+
+__all__ = [
+    "DetectionStrategy",
+    "DispatchPolicy",
+    "FleetConfig",
+    "FleetResult",
+    "FleetSimulator",
+    "FleetTrafficConfig",
+    "FleetTrafficSim",
+    "JBSQPolicy",
+    "KeyAffinityPolicy",
+    "LockstepStrategy",
+    "POLICY_NAMES",
+    "ParaVerserStrategy",
+    "RandomPolicy",
+    "Request",
+    "RoundRobinPolicy",
+    "ScannerStrategy",
+    "Server",
+    "ServerConfig",
+    "ServiceModel",
+    "ShortestQueuePolicy",
+    "TrafficConfig",
+    "TrafficMetrics",
+    "TrafficResult",
+    "ZipfKeys",
+    "checker_relative_rate",
+    "make_policy",
+    "matrix",
+    "publish_fleet_stats",
+    "registry_strategies",
+    "run_cell",
+    "service_model_for",
+    "strategy_from_coverage",
+    "summarize",
+]

@@ -1,4 +1,4 @@
-"""Fleet-scale detection simulation (the section III-A motivation).
+"""Fleet-scale hazard-model simulation (the section III-A motivation).
 
 Models a fleet of machines developing permanent CPU faults over time and
 compares detection strategies:
@@ -16,6 +16,12 @@ Every day a machine spends undetected-faulty, it produces silent data
 corruptions at a configurable rate; the simulator reports total SDC
 exposure, mean time-to-detection and detection fraction, reproducing the
 paper's argument that months-long scanner windows are the real cost.
+
+The per-day Monte Carlo here is the *slow* (months) timescale of the
+fleet model; :mod:`repro.fleet.sim` is the *fast* (milliseconds)
+timescale — an event-driven traffic simulator whose measured coverage
+fraction feeds :func:`strategy_from_coverage`, so the hazard inputs are
+derived from simulated load rather than assumed constants.
 """
 
 from __future__ import annotations
@@ -40,6 +46,7 @@ __all__ = [
     "ParaVerserStrategy",
     "ScannerStrategy",
     "registry_strategies",
+    "strategy_from_coverage",
 ]
 
 
@@ -58,6 +65,25 @@ def registry_strategies() -> list[DetectionStrategy]:
         if strategy is not None and strategy not in strategies:
             strategies.append(strategy)
     return strategies
+
+
+def strategy_from_coverage(coverage: float,
+                           effective_fraction: float = 0.76,
+                           exercise_probability_per_day: float = 0.95,
+                           ) -> ParaVerserStrategy:
+    """A ParaVerser hazard whose coverage input is *measured*, not assumed.
+
+    ``coverage`` is the run-time checked-work fraction reported by the
+    traffic simulator (:class:`repro.fleet.metrics.TrafficMetrics`), so
+    the per-day detection probability reflects what checking actually
+    survived the load — opportunistic mode under pressure detects slower
+    than the section VII-B constants suggest.
+    """
+    return ParaVerserStrategy(
+        instruction_coverage=coverage,
+        effective_fraction=effective_fraction,
+        exercise_probability_per_day=exercise_probability_per_day,
+    )
 
 
 @dataclass
@@ -80,14 +106,24 @@ class FleetResult:
     strategy: str
     faults: int = 0
     detected: int = 0
+    #: Architecturally masked faults: never observable by any scheme and
+    #: harmless by definition.  Counted separately — *not* as detections
+    #: with zero latency — so they neither deflate
+    #: :attr:`mean_detection_days` nor inflate :attr:`detection_fraction`.
+    masked: int = 0
     exposure_days: float = 0.0
     sdc_events: float = 0.0
     detection_latencies: list[int] = field(default_factory=list)
 
     @property
+    def detectable(self) -> int:
+        """Faults that could ever be observed (arrivals minus masked)."""
+        return self.faults - self.masked
+
+    @property
     def detection_fraction(self) -> float:
-        """Fraction of faults detected within the horizon."""
-        return self.detected / self.faults if self.faults else 1.0
+        """Fraction of detectable faults detected within the horizon."""
+        return self.detected / self.detectable if self.detectable else 1.0
 
     @property
     def mean_detection_days(self) -> float:
@@ -130,8 +166,7 @@ class FleetSimulator:
             if rng.random() > detectable_fraction:
                 # Architecturally masked everywhere: produces no SDCs and
                 # is never observable — excluded from exposure by nature.
-                result.detected += 1
-                result.detection_latencies.append(0)
+                result.masked += 1
                 continue
             detected_on = None
             for day in range(fault_day, self.config.duration_days):

@@ -1,0 +1,142 @@
+"""Tail-latency and coverage accounting for fleet traffic runs.
+
+Turns one (possibly rep-merged) :class:`~repro.fleet.sim.TrafficResult`
+into the numbers the paper's fleet argument is about — p50/p95/p99/p999
+latency, utilisation, coverage fraction, and SDC exposure — and
+publishes them into the shared ``repro.obs`` stats tree under
+``fleet.<cell>``, where the CI ``stats-diff`` gate can watch them.
+
+SDC exposure closes the loop between the two fleet timescales: the
+measured coverage fraction parameterises the per-day hazard model
+(:func:`repro.fleet.hazard.strategy_from_coverage`), and the expected
+silent-corruption count of a standard fleet-year under that hazard is
+reported per cell.  Full-coverage mode pays in ``p999``; opportunistic
+mode pays here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fleet.hazard import FleetConfig, FleetSimulator, \
+    strategy_from_coverage
+from repro.fleet.sim import TrafficResult
+from repro.obs import StatGroup
+
+#: The standard fleet-year the per-cell SDC exposure is quoted for.
+EXPOSURE_FLEET = FleetConfig(machines=10_000,
+                             fault_rate_per_machine_day=5e-5,
+                             sdc_per_faulty_day=3.0,
+                             duration_days=365)
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile over an already-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(round(q * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+@dataclass(frozen=True)
+class TrafficMetrics:
+    """One cell's summary (latencies in milliseconds)."""
+
+    label: str
+    offered: int
+    completed: int
+    mean_ms: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    p999_ms: float
+    max_ms: float
+    utilization: float
+    #: Fraction of main-core work that was actually checked.
+    coverage: float
+    #: Main-core stall time as a fraction of service time (full mode).
+    stall_fraction: float
+    max_lag_ms: float
+    #: Expected SDCs over :data:`EXPOSURE_FLEET` under the hazard
+    #: derived from the measured coverage.
+    sdc_events: float
+    mean_detection_days: float
+
+
+def sdc_exposure(coverage: float, seed: int = 0):
+    """Run the hazard model under a measured-coverage strategy."""
+    simulator = FleetSimulator(EXPOSURE_FLEET, seed=seed)
+    return simulator.run(strategy_from_coverage(coverage))
+
+
+def summarize(result: TrafficResult) -> TrafficMetrics:
+    """Collapse one traffic result into its reportable metrics."""
+    config = result.config
+    ordered = sorted(result.latencies_s)
+    n = len(ordered)
+    mean_s = sum(result.latencies_s) / n if n else 0.0
+    busy = sum(s.busy_s for s in result.server_stats)
+    stall = sum(s.stall_s for s in result.server_stats)
+    checked = sum(s.checked_work_s for s in result.server_stats)
+    unchecked = sum(s.unchecked_work_s for s in result.server_stats)
+    work = checked + unchecked
+    coverage = checked / work if work else 1.0
+    horizon = result.makespan_s * max(config.servers, 1)
+    hazard = sdc_exposure(coverage, seed=config.seed)
+    return TrafficMetrics(
+        label=config.label,
+        offered=result.offered,
+        completed=result.completed,
+        mean_ms=mean_s * 1e3,
+        p50_ms=percentile(ordered, 0.50) * 1e3,
+        p95_ms=percentile(ordered, 0.95) * 1e3,
+        p99_ms=percentile(ordered, 0.99) * 1e3,
+        p999_ms=percentile(ordered, 0.999) * 1e3,
+        max_ms=(ordered[-1] if ordered else 0.0) * 1e3,
+        utilization=busy / horizon if horizon else 0.0,
+        coverage=coverage,
+        stall_fraction=stall / busy if busy else 0.0,
+        max_lag_ms=max((s.max_lag_s for s in result.server_stats),
+                       default=0.0) * 1e3,
+        sdc_events=hazard.sdc_events,
+        mean_detection_days=hazard.mean_detection_days,
+    )
+
+
+def publish_fleet_stats(root: StatGroup,
+                        metrics: list[TrafficMetrics],
+                        elapsed_s: float | None = None) -> StatGroup:
+    """Publish a matrix of cell metrics as ``fleet.<cell>.*``.
+
+    Every leaf is a pure function of the configs, so two runs of the
+    same matrix produce identical trees regardless of worker count —
+    only ``fleet.runtime.*`` is host wall-clock (CI masks it).
+    """
+    fleet = root.group("fleet", "fleet traffic model")
+    for cell in metrics:
+        group = fleet.group(cell.label)
+        group.count("offered", cell.offered, "requests offered")
+        group.count("completed", cell.completed, "requests completed")
+        latency = group.group("latency_ms")
+        latency.scalar("mean", cell.mean_ms)
+        latency.scalar("p50", cell.p50_ms)
+        latency.scalar("p95", cell.p95_ms)
+        latency.scalar("p99", cell.p99_ms)
+        latency.scalar("p999", cell.p999_ms)
+        latency.scalar("max", cell.max_ms)
+        group.scalar("utilization", cell.utilization,
+                     "mean per-server core utilisation")
+        group.scalar("coverage", cell.coverage,
+                     "checked fraction of main-core work")
+        group.scalar("stall_fraction", cell.stall_fraction,
+                     "stall time / service time")
+        group.scalar("max_lag_ms", cell.max_lag_ms,
+                     "worst checker lag observed")
+        group.scalar("sdc_events", cell.sdc_events,
+                     "expected fleet-year SDCs at measured coverage")
+        group.scalar("mean_detection_days", cell.mean_detection_days)
+    if elapsed_s is not None:
+        fleet.group("runtime").scalar("elapsed_s", elapsed_s,
+                                      "host wall time (not simulated)")
+    return fleet

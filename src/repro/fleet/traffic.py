@@ -1,0 +1,262 @@
+"""Request generators for the datacenter traffic model.
+
+Two load shapes, matching how datacenter services are actually driven:
+
+* **open loop** — requests arrive in a Poisson stream at a configured
+  offered load, regardless of how the fleet is coping (the "millions of
+  independent users" regime where overload shows up as queueing, not as
+  back-pressure);
+* **closed loop** — a fixed population of clients, each issuing its next
+  request one think time after the previous response (the internal-RPC
+  regime, self-limiting under overload).
+
+Keys follow a Zipf popularity law and service demands are bimodal,
+both standard findings for datacenter key-value traffic; the bimodal
+split is *derived from the existing workload profiles*
+(:func:`service_model_for`), so ``--workload mcf`` produces
+heavier-tailed service demands than ``--workload imagick``.
+
+Every stochastic value a request carries (arrival gap, key, service
+demand, dispatch coin, think time) is drawn from an RNG seeded by
+``sha256(seed, request-id, site)`` — the same per-trial derivation the
+fault-campaign engine uses — so a request's identity fully determines
+its randomness.  Nothing is drawn from a shared stream during event
+processing, which is what makes simulation results independent of
+event-processing order and worker count.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import random
+from dataclasses import dataclass
+
+from repro.workloads.profiles import WorkloadProfile, get_profile
+
+
+def stream_rng(seed: int, rid: int, site: str) -> random.Random:
+    """The private RNG of one (request, site) pair.
+
+    sha256 keeps the mapping identical across processes and Python
+    versions (no ``PYTHONHASHSEED`` sensitivity), exactly like
+    :func:`repro.faults.models.derive_trial_seed`.
+    """
+    blob = f"fleet:{seed}:{rid}:{site}".encode()
+    return random.Random(int.from_bytes(
+        hashlib.sha256(blob).digest()[:8], "big"))
+
+
+def stable_key_hash(key: int) -> int:
+    """A process-independent hash for key-affinity dispatch."""
+    blob = f"fleetkey:{key}".encode()
+    return int.from_bytes(hashlib.sha256(blob).digest()[:8], "big")
+
+
+class ZipfKeys:
+    """Zipf(alpha) popularity over ``n_keys`` keys (key 0 is hottest)."""
+
+    def __init__(self, n_keys: int, alpha: float) -> None:
+        if n_keys < 1:
+            raise ValueError(f"n_keys must be >= 1, got {n_keys}")
+        self.n_keys = n_keys
+        self.alpha = alpha
+        weights = [1.0 / (i + 1) ** alpha for i in range(n_keys)]
+        total = sum(weights)
+        self._cdf = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            self._cdf.append(acc)
+        self._cdf[-1] = 1.0  # guard against float undershoot
+
+    def key_for(self, u: float) -> int:
+        """Map one uniform draw to a key index."""
+        return bisect.bisect_left(self._cdf, u)
+
+
+@dataclass(frozen=True)
+class ServiceModel:
+    """Per-request service demand distribution (seconds of main-core work).
+
+    ``bimodal``: a light request of ``small_s`` with probability
+    ``1 - heavy_fraction``, else a heavy request of ``heavy_s``.
+    ``exponential``: memoryless with mean ``small_s`` — the M/M/1 shape
+    the analytic sanity tests compare against.
+    """
+
+    kind: str = "bimodal"
+    small_s: float = 0.8e-3
+    heavy_s: float = 4e-3
+    heavy_fraction: float = 0.05
+
+    @property
+    def mean_s(self) -> float:
+        if self.kind == "exponential":
+            return self.small_s
+        return ((1.0 - self.heavy_fraction) * self.small_s
+                + self.heavy_fraction * self.heavy_s)
+
+    def sample(self, rng: random.Random) -> float:
+        if self.kind == "exponential":
+            return rng.expovariate(1.0 / self.small_s)
+        if rng.random() < self.heavy_fraction:
+            return self.heavy_s
+        return self.small_s
+
+
+def service_model_for(workload: str | WorkloadProfile,
+                      mean_service_s: float = 1e-3) -> ServiceModel:
+    """Derive a bimodal service model from a workload profile.
+
+    The heavy-mode fraction rises with the profile's irregularity
+    (pointer chasing, bulk copies, branch entropy) and the heavy/light
+    ratio with its working set: memory-bound requests are the long ones.
+    The light/heavy pair is then solved so the model's mean equals
+    ``mean_service_s`` — load factors stay comparable across workloads.
+    """
+    profile = workload if isinstance(workload, WorkloadProfile) \
+        else get_profile(workload)
+    heavy_fraction = min(
+        0.30, max(0.02, 0.04 + 0.4 * profile.pointer_chase
+                  + 2.0 * profile.bulk + 0.2 * profile.branch_entropy))
+    heavy_ratio = min(20.0, 4.0 + profile.working_set_kib / 2048.0)
+    small = mean_service_s / (
+        (1.0 - heavy_fraction) + heavy_fraction * heavy_ratio)
+    return ServiceModel(kind="bimodal", small_s=small,
+                        heavy_s=small * heavy_ratio,
+                        heavy_fraction=heavy_fraction)
+
+
+@dataclass(frozen=True)
+class Request:
+    """One unit of offered work."""
+
+    rid: int
+    arrival_s: float
+    key: int
+    service_s: float
+    #: Issuing client index (closed loop) or -1 (open loop).
+    client: int = -1
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """Shape of the offered load."""
+
+    kind: str = "open"                # "open" | "closed"
+    #: Open loop: offered requests/second across the fleet.
+    rate_rps: float = 1000.0
+    #: Closed loop: client population and mean think time.
+    clients: int = 64
+    think_s: float = 10e-3
+    n_keys: int = 1024
+    zipf_alpha: float = 1.1
+    service: ServiceModel = ServiceModel()
+    duration_s: float = 1.0
+
+
+class OpenLoopGenerator:
+    """Poisson arrivals at ``rate_rps`` until the duration elapses.
+
+    Arrival gaps are exponential, each drawn from the owning request's
+    private stream; the arrival *time* is the running sum in rid order,
+    which is fixed by construction.
+    """
+
+    def __init__(self, config: TrafficConfig, seed: int) -> None:
+        self.config = config
+        self.seed = seed
+
+    def initial_requests(self) -> list[Request]:
+        zipf = ZipfKeys(self.config.n_keys, self.config.zipf_alpha)
+        requests = []
+        t = 0.0
+        rid = 0
+        mean_gap = 1.0 / self.config.rate_rps
+        while True:
+            t += stream_rng(self.seed, rid, "gap").expovariate(1.0 / mean_gap)
+            if t >= self.config.duration_s:
+                break
+            requests.append(Request(
+                rid=rid,
+                arrival_s=t,
+                key=zipf.key_for(stream_rng(self.seed, rid, "key").random()),
+                service_s=self.config.service.sample(
+                    stream_rng(self.seed, rid, "service")),
+            ))
+            rid += 1
+        return requests
+
+    def next_request(self, completed: Request,
+                     finish_s: float) -> Request | None:
+        del completed, finish_s
+        return None  # open loop never reacts to completions
+
+
+class ClosedLoopGenerator:
+    """A fixed client population with exponential think times.
+
+    Client ``c``'s ``k``-th request has rid ``k * clients + c`` — a
+    stable identity independent of the order completions are processed
+    in, so its key/service/think draws are too.
+    """
+
+    def __init__(self, config: TrafficConfig, seed: int) -> None:
+        self.config = config
+        self.seed = seed
+        self._zipf = ZipfKeys(config.n_keys, config.zipf_alpha)
+        self._next_seq = [1] * config.clients
+
+    def _make(self, client: int, seq: int, arrival_s: float) -> Request:
+        rid = seq * self.config.clients + client
+        return Request(
+            rid=rid,
+            arrival_s=arrival_s,
+            key=self._zipf.key_for(stream_rng(self.seed, rid,
+                                              "key").random()),
+            service_s=self.config.service.sample(
+                stream_rng(self.seed, rid, "service")),
+            client=client,
+        )
+
+    def initial_requests(self) -> list[Request]:
+        # Every client starts with one think time, staggering the herd.
+        requests = []
+        for client in range(self.config.clients):
+            arrival = stream_rng(self.seed, client, "think").expovariate(
+                1.0 / self.config.think_s)
+            if arrival < self.config.duration_s:
+                requests.append(self._make(client, 0, arrival))
+        return requests
+
+    def next_request(self, completed: Request,
+                     finish_s: float) -> Request | None:
+        client = completed.client
+        seq = self._next_seq[client]
+        self._next_seq[client] = seq + 1
+        rid = seq * self.config.clients + client
+        think = stream_rng(self.seed, rid, "think").expovariate(
+            1.0 / self.config.think_s)
+        arrival = finish_s + think
+        if arrival >= self.config.duration_s:
+            return None
+        return self._make(client, seq, arrival)
+
+
+def make_generator(config: TrafficConfig, seed: int):
+    """Build the generator for ``config.kind``."""
+    if config.kind == "open":
+        return OpenLoopGenerator(config, seed)
+    if config.kind == "closed":
+        return ClosedLoopGenerator(config, seed)
+    raise ValueError(f"unknown traffic kind {config.kind!r}; "
+                     "expected 'open' or 'closed'")
+
+
+def poisson_rate_for_load(load: float, servers: int,
+                          mean_service_s: float) -> float:
+    """Offered arrival rate giving utilisation ``load`` per server."""
+    if mean_service_s <= 0:
+        raise ValueError("mean service time must be positive")
+    return load * servers / mean_service_s

@@ -384,6 +384,57 @@ def run_sec7e_energy(cache: WorkloadCache | None = None,
     )
 
 
+# -- Fleet traffic: stall tail vs. coverage loss -------------------------------
+
+#: Offered per-server loads swept by the fleet tail experiment; the top
+#: value sits just under the 4xA510@2GHz checker replay rate (0.96 of
+#: the main core), where the stall-vs-coverage trade is sharpest.
+FLEET_SWEEP_LOADS = (0.5, 0.7, 0.85, 0.92)
+FLEET_SWEEP_POLICIES = ("random", "shortest", "jbsq2")
+
+
+@dataclass
+class FleetSweepResult:
+    """p99 tail latency and coverage per (policy, mode, load) cell."""
+
+    tail: Table
+    coverage: Table
+
+
+def run_fleet_sweep(policies: tuple[str, ...] = FLEET_SWEEP_POLICIES,
+                    loads: tuple[float, ...] = FLEET_SWEEP_LOADS,
+                    servers: int = 8, duration_s: float = 2.0,
+                    reps: int = 1, jobs: int | None = None,
+                    seed: int = DEFAULT_SEED) -> FleetSweepResult:
+    """The paper's section-III trade, measured under load.
+
+    Full-coverage mode keeps coverage at 100 % and pays checker-lag
+    stalls in the p99 tail as load approaches the checker replay rate;
+    opportunistic mode keeps the tail clean and pays in coverage (hence
+    fleet-year SDC exposure).  Rows are offered loads, columns are
+    (policy, mode) cells.
+    """
+    from repro.fleet import FleetTrafficConfig, matrix, run_cell, summarize
+    from repro.harness.runner import env_jobs
+
+    jobs = env_jobs() if jobs is None else jobs
+    base = FleetTrafficConfig(servers=servers, duration_s=duration_s,
+                              seed=seed)
+    tail = Table(title="Fleet traffic — p99 latency (ms) per "
+                       "(policy, mode) cell", row_label="load",
+                 unit="ms at p99")
+    coverage = Table(title="Fleet traffic — checked-work coverage (%)",
+                     row_label="load", unit="% of main-core work checked")
+    for config in matrix(list(policies), ["full", "opportunistic"],
+                         list(loads), base):
+        metrics = summarize(run_cell(config, reps=reps, jobs=jobs))
+        row = f"{config.load:g}"
+        column = f"{config.policy}/{config.mode[:4]}"
+        tail.add(row, column, metrics.p99_ms)
+        coverage.add(row, column, metrics.coverage * 100)
+    return FleetSweepResult(tail=tail, coverage=coverage)
+
+
 # -- Section VII-F: compute opportunity cost -----------------------------------
 
 @dataclass

@@ -161,6 +161,19 @@ def _campaign_chunk_task(spec_payload: dict, trials: list[int],
     return records, time.perf_counter() - start
 
 
+def _fleet_rep_task(config_payload: dict, rep: int) -> dict:
+    """Stage entry point: one replication of one fleet-traffic cell.
+
+    A replication is a pure function of ``(config, rep)`` — its RNG
+    streams are sha256-derived per (seed, request, site) — so the fleet
+    runner can fan replications over this pool and merge them in rep
+    order with output bit-identical to a serial run.
+    """
+    from repro.fleet.sim import run_replication
+
+    return run_replication(config_payload, rep)
+
+
 class SweepRunner:
     """Fans sweep cells across worker processes, merging deterministically."""
 

@@ -27,7 +27,10 @@ from typing import Sequence
 #: Key suffixes where an increase beyond threshold is a regression.
 HIGHER_IS_WORSE = ("wall_time_ms", "stall_ns", "slowdown", "latency_ns",
                    "extra_llc_latency_ns", "lsl_push_latency_ns",
-                   "latency_ms.mean", "checker_lag_ns.mean",
+                   "latency_ms.mean", "latency_ms.p50", "latency_ms.p95",
+                   "latency_ms.p99", "latency_ms.p999", "latency_ms.max",
+                   "stall_fraction", "sdc_events", "max_lag_ms",
+                   "mean_detection_days", "checker_lag_ns.mean",
                    "queue_depth_max")
 #: Key suffixes where a decrease beyond threshold is a regression.
 LOWER_IS_WORSE = ("occupancy", "pool_occupancy", "coverage", "hit_rate",

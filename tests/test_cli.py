@@ -191,6 +191,59 @@ class TestCommands:
         hit = tc.get("exchange2", 7, 4000)
         assert hit is not None and hit.columns == run.columns
 
+    def test_fleet_prints_cell_table(self, capsys):
+        code = main(["fleet", "--policies", "shortest", "--modes", "full",
+                     "--loads", "0.7", "--duration", "0.2", "-j", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shortest_full_load0.7" in out
+        assert "p99" in out and "cover" in out
+
+    def test_fleet_json_rows(self, capsys):
+        import json
+        code = main(["fleet", "--policies", "rr", "--modes",
+                     "opportunistic", "--loads", "0.9", "--duration",
+                     "0.2", "-j", "1", "--json"])
+        assert code == 0
+        row = json.loads(capsys.readouterr().out.splitlines()[0])
+        assert row["label"] == "rr_opportunistic_load0.9"
+        assert 0.0 < row["coverage"] <= 1.0
+
+    def test_fleet_stats_json(self, capsys, tmp_path):
+        import json
+        stats_path = tmp_path / "fleet.json"
+        code = main(["fleet", "--policies", "shortest", "--modes", "full",
+                     "--loads", "0.7", "--duration", "0.2", "-j", "1",
+                     "--stats-json", str(stats_path)])
+        assert code == 0
+        tree = json.loads(stats_path.read_text())
+        cell = tree["fleet"]["shortest_full_load0.7"]
+        assert cell["coverage"] == 1.0
+        assert cell["latency_ms"]["p99"] > 0
+
+    def test_fleet_bad_numeric_flag_one_liner(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fleet", "--servers", "four"])
+        message = str(excinfo.value)
+        assert "--servers" in message and "four" in message
+        assert "Traceback" not in message
+
+    def test_fleet_bad_float_flag_one_liner(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fleet", "--duration", "2s"])
+        assert "--duration" in str(excinfo.value)
+
+    def test_fleet_unknown_policy_rejected(self, capsys):
+        code = main(["fleet", "--policies", "power-of-two",
+                     "--duration", "0.2"])
+        assert code == 2
+        assert "unknown dispatch policy" in capsys.readouterr().err
+
+    def test_fleet_unknown_mode_rejected(self, capsys):
+        code = main(["fleet", "--modes", "sometimes", "--duration", "0.2"])
+        assert code == 2
+        assert "unknown mode" in capsys.readouterr().err
+
     def test_unknown_workload_raises(self):
         with pytest.raises(KeyError):
             main(["run", "-w", "doom", "-n", "1000"])

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.envutil import env_int
+from repro.envutil import env_int, parse_float, parse_int
 from repro.harness.runner import env_instructions, env_jobs, env_trials
 from repro.pipeline.executor import env_stage_jobs
 
@@ -44,3 +44,29 @@ def test_runner_knobs_fail_with_one_liner(monkeypatch, variable, parser):
         parser()
     assert variable in str(excinfo.value)
     assert "20x" in str(excinfo.value)
+
+
+class TestParseHelpers:
+    """CLI flags share the env-var contract (used by `paraverser fleet`)."""
+
+    def test_parse_int_accepts_value_and_default(self):
+        assert parse_int("--servers", "12", 8) == 12
+        assert parse_int("--servers", None, 8) == 8
+        assert parse_int("--servers", "", 8) == 8
+
+    def test_parse_int_names_the_flag(self):
+        with pytest.raises(SystemExit) as excinfo:
+            parse_int("--servers", "four", 8)
+        message = str(excinfo.value)
+        assert "--servers" in message and "four" in message
+        assert "--servers=8" in message
+
+    def test_parse_float_accepts_value_and_default(self):
+        assert parse_float("--duration", "2.5", 2.0) == 2.5
+        assert parse_float("--duration", None, 2.0) == 2.0
+
+    def test_parse_float_names_the_flag(self):
+        with pytest.raises(SystemExit) as excinfo:
+            parse_float("--duration", "2s", 2.0)
+        message = str(excinfo.value)
+        assert "--duration" in message and "2s" in message

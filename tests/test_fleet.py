@@ -43,6 +43,37 @@ class TestParaVerserStrategy:
             pytest.approx(0.76)
 
 
+class TestMaskedAccounting:
+    def test_masked_faults_counted_separately(self):
+        result = small_fleet(seed=7).run(ParaVerserStrategy())
+        assert result.masked > 0
+        assert result.detectable == result.faults - result.masked
+        assert result.detected <= result.detectable
+        assert result.detection_fraction == pytest.approx(
+            result.detected / result.detectable)
+
+    def test_masked_faults_add_no_zero_latency_detections(self):
+        # The old accounting counted masked faults as detections with
+        # latency 0, deflating the mean and inflating the fraction.
+        result = small_fleet(seed=7).run(ParaVerserStrategy())
+        assert len(result.detection_latencies) == result.detected
+
+    def test_all_masked_strategy_is_vacuously_covered(self):
+        strategy = ParaVerserStrategy(effective_fraction=0.0)
+        result = small_fleet(seed=8).run(strategy)
+        assert result.faults > 0
+        assert result.masked == result.faults
+        assert result.detected == 0
+        assert result.detection_fraction == 1.0
+        assert result.sdc_events == 0.0
+        assert math.isnan(result.mean_detection_days)
+
+    def test_scanners_see_every_fault_as_detectable(self):
+        result = small_fleet(seed=9).run(ScannerStrategy(FLEETSCANNER))
+        assert result.masked == 0
+        assert result.detectable == result.faults
+
+
 class TestSimulation:
     def test_deterministic_by_seed(self):
         a = small_fleet(seed=3).run(ScannerStrategy(FLEETSCANNER))

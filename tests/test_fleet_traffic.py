@@ -1,0 +1,256 @@
+"""Tests for the event-driven fleet traffic model (repro.fleet.sim etc.)."""
+
+import math
+from dataclasses import replace
+
+import pytest
+
+from repro.fleet import (
+    FleetTrafficConfig,
+    FleetTrafficSim,
+    checker_relative_rate,
+    make_policy,
+    matrix,
+    publish_fleet_stats,
+    run_cell,
+    service_model_for,
+    summarize,
+)
+from repro.fleet.dispatch import JBSQPolicy, KeyAffinityPolicy
+from repro.fleet.metrics import percentile
+from repro.fleet.server import Server, ServerConfig
+from repro.fleet.traffic import ServiceModel, ZipfKeys, stream_rng
+from repro.obs import StatGroup
+
+
+def config(**overrides) -> FleetTrafficConfig:
+    base = FleetTrafficConfig(servers=4, duration_s=0.5, seed=7)
+    return replace(base, **overrides)
+
+
+class RecordingPolicy:
+    """Wraps a policy, recording every (request, occupancy, choice)."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.name = inner.name
+        self.choices = []
+
+    def choose(self, request, occupancy):
+        chosen = self.inner.choose(request, occupancy)
+        self.choices.append((request.key, list(occupancy), chosen))
+        return chosen
+
+    def admit_on_free(self, server, occupancy):
+        return self.inner.admit_on_free(server, occupancy)
+
+
+class TestTraffic:
+    def test_stream_rng_is_pure(self):
+        a = stream_rng(7, 123, "service").random()
+        b = stream_rng(7, 123, "service").random()
+        assert a == b
+        assert stream_rng(7, 124, "service").random() != a
+        assert stream_rng(7, 123, "key").random() != a
+
+    def test_zipf_head_is_hottest(self):
+        zipf = ZipfKeys(256, alpha=1.1)
+        draws = [zipf.key_for(stream_rng(0, rid, "key").random())
+                 for rid in range(4000)]
+        head = sum(1 for k in draws if k == 0) / len(draws)
+        tail = sum(1 for k in draws if k == 255) / len(draws)
+        assert head > 0.05 > tail
+        assert all(0 <= k < 256 for k in draws)
+
+    def test_service_model_mean_matches_target(self):
+        for workload in ("mcf", "imagick", "bfs"):
+            model = service_model_for(workload, mean_service_s=1e-3)
+            assert model.mean_s == pytest.approx(1e-3)
+
+    def test_irregular_workloads_get_heavier_tails(self):
+        mcf = service_model_for("mcf")          # pointer-chasing
+        imagick = service_model_for("imagick")  # regular compute
+        assert mcf.heavy_fraction > imagick.heavy_fraction
+
+    def test_exponential_model_samples_to_mean(self):
+        model = ServiceModel(kind="exponential", small_s=2e-3)
+        draws = [model.sample(stream_rng(1, rid, "service"))
+                 for rid in range(5000)]
+        assert sum(draws) / len(draws) == pytest.approx(2e-3, rel=0.05)
+
+
+class TestDispatch:
+    def test_make_policy_parses_all_names(self):
+        for name in ("random", "rr", "shortest", "jbsq2", "jbsq8",
+                     "affinity"):
+            assert make_policy(name).name == name
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown dispatch policy"):
+            make_policy("power-of-two")
+
+    def test_shortest_breaks_ties_low(self):
+        policy = make_policy("shortest")
+        assert policy.choose(None, [2, 1, 1, 3]) == 1
+
+    def test_jbsq_defers_when_all_full(self):
+        policy = JBSQPolicy(2)
+        assert policy.choose(None, [2, 2, 2]) is None
+        assert policy.choose(None, [2, 1, 2]) == 1
+        assert not policy.admit_on_free(0, [2, 1, 2])
+        assert policy.admit_on_free(1, [2, 1, 2])
+
+
+class TestServer:
+    def test_checker_rate_from_presets(self):
+        # 4 A510 @ 2 GHz: 4*3*2.0*0.6 / (5*3.0) = 0.96 of the main core.
+        assert checker_relative_rate("4xA510@2.0") == pytest.approx(0.96)
+        # A second X2 at 3 GHz replays exactly as fast as the main core.
+        assert checker_relative_rate("1xX2@3.0") == pytest.approx(1.0)
+        assert checker_relative_rate("none") == 0.0
+
+    def test_bad_checker_specs_rejected(self):
+        with pytest.raises(ValueError, match="bad checker spec"):
+            checker_relative_rate("A510")
+        with pytest.raises(ValueError, match="unknown core class"):
+            checker_relative_rate("2xM1@3.0")
+        with pytest.raises(ValueError, match="empty"):
+            checker_relative_rate("0xA510@2.0")
+
+    def test_full_mode_requires_live_checkers(self):
+        with pytest.raises(ValueError, match="live checker pool"):
+            Server(0, ServerConfig(checkers="none", mode="full"))
+
+    def test_full_mode_stalls_at_lag_bound(self):
+        server = Server(0, ServerConfig(checkers="1xA510@2.0",
+                                        mode="full", lag_bound_s=1e-3))
+        # Rate 0.24: back-to-back 1 ms requests outrun the checkers.
+        t = 0.0
+        for _ in range(20):
+            server.admit(t)
+            t = server.start(t, 1e-3)
+            server.depart(t)
+        assert server.stats.stall_s > 0
+        assert server.stats.unchecked_work_s == 0.0
+        # The lag bound actually bounds the lag at service start.
+        assert server.stats.max_lag_s <= 1e-3 + 1e-3 + 1e-9
+
+    def test_opportunistic_mode_drops_coverage_instead(self):
+        server = Server(0, ServerConfig(checkers="1xA510@2.0",
+                                        mode="opportunistic",
+                                        lag_bound_s=1e-3))
+        t = 0.0
+        for _ in range(20):
+            server.admit(t)
+            t = server.start(t, 1e-3)
+            server.depart(t)
+        assert server.stats.stall_s == 0.0
+        assert server.stats.unchecked_work_s > 0
+
+
+class TestSimulation:
+    def test_mm1_mean_sojourn_matches_analytic(self):
+        # One server, Poisson arrivals, exponential service: M/M/1 with
+        # mean sojourn  E[T] = E[S] / (1 - rho).
+        cell = config(servers=1, policy="rr", workload="exponential",
+                      load=0.5, mean_service_s=1e-3, duration_s=20.0,
+                      mode="opportunistic")
+        metrics = summarize(FleetTrafficSim(cell).run())
+        assert metrics.completed > 5000
+        assert metrics.mean_ms == pytest.approx(2.0, rel=0.15)
+        assert metrics.utilization == pytest.approx(0.5, rel=0.1)
+
+    def test_jobs_fanout_is_bit_identical(self):
+        cell = config(load=0.8)
+        serial = run_cell(cell, reps=3, jobs=1)
+        fanned = run_cell(cell, reps=3, jobs=3)
+        assert fanned.latencies_s == serial.latencies_s
+        assert summarize(fanned) == summarize(serial)
+
+    def test_reps_are_independent(self):
+        cell = config(load=0.8)
+        merged = run_cell(cell, reps=2, jobs=1)
+        single = run_cell(cell, reps=1, jobs=1)
+        assert merged.reps == 2
+        assert merged.offered > single.offered
+        assert merged.latencies_s[:single.completed] == single.latencies_s
+
+    def test_jbsq_never_exceeds_bound(self):
+        recorder = RecordingPolicy(JBSQPolicy(2))
+        cell = config(policy="jbsq2", load=0.95)
+        FleetTrafficSim(cell, policy=recorder).run()
+        assigned = [(occ, chosen) for _, occ, chosen in recorder.choices
+                    if chosen is not None]
+        assert assigned, "no request was ever assigned"
+        assert all(occ[chosen] < 2 for occ, chosen in assigned)
+        deferred = [1 for _, occ, chosen in recorder.choices
+                    if chosen is None]
+        assert deferred, "load 0.95 should overflow a bound of 2"
+
+    def test_affinity_is_a_function_of_the_key(self):
+        recorder = RecordingPolicy(KeyAffinityPolicy())
+        cell = config(policy="affinity", load=0.6)
+        FleetTrafficSim(cell, policy=recorder).run()
+        routes = {}
+        for key, _, chosen in recorder.choices:
+            assert routes.setdefault(key, chosen) == chosen
+        assert len(set(routes.values())) > 1  # spreads across servers
+
+    def test_full_vs_opportunistic_trade(self):
+        # Near the checker replay rate, full mode pays the tail and
+        # opportunistic pays coverage — the paper's central trade-off.
+        full = summarize(FleetTrafficSim(
+            config(mode="full", load=0.92, duration_s=1.0)).run())
+        opp = summarize(FleetTrafficSim(
+            config(mode="opportunistic", load=0.92, duration_s=1.0)).run())
+        assert full.coverage == 1.0
+        assert full.stall_fraction > 0
+        assert opp.coverage < 1.0
+        assert opp.stall_fraction == 0.0
+        assert opp.p99_ms < full.p99_ms
+        assert opp.sdc_events > full.sdc_events
+
+    def test_closed_loop_self_limits(self):
+        cell = config(traffic_kind="closed", clients=8, think_s=5e-3,
+                      duration_s=2.0)
+        result = FleetTrafficSim(cell).run()
+        # Never more requests in flight than clients.
+        assert result.offered > 0
+        assert max(s.max_in_system for s in result.server_stats) <= 8
+
+    def test_config_round_trips_through_json(self):
+        cell = config(policy="jbsq2", load=0.9)
+        assert FleetTrafficConfig.from_json(cell.to_json()) == cell
+
+    def test_matrix_covers_the_grid(self):
+        cells = matrix(["rr", "shortest"], ["full", "opportunistic"],
+                       [0.5, 0.9])
+        assert len(cells) == 8
+        assert len({c.label for c in cells}) == 8
+
+
+class TestMetrics:
+    def test_percentile_nearest_rank(self):
+        values = [float(v) for v in range(1, 101)]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 0.5) == 51.0
+        assert percentile(values, 1.0) == 100.0
+        assert percentile([], 0.99) == 0.0
+
+    def test_publish_builds_the_stats_tree(self):
+        metrics = summarize(FleetTrafficSim(config()).run())
+        root = StatGroup("root")
+        publish_fleet_stats(root, [metrics], elapsed_s=1.0)
+        flat = root.flatten()
+        label = metrics.label
+        for leaf in ("latency_ms.p99", "coverage", "stall_fraction",
+                     "sdc_events", "utilization"):
+            assert f"fleet.{label}.{leaf}" in flat
+        assert "fleet.runtime.elapsed_s" in flat
+
+    def test_unchecked_coverage_raises_sdc_exposure(self):
+        low = summarize(FleetTrafficSim(
+            config(mode="opportunistic", checkers="none")).run())
+        assert low.coverage < 0.2
+        assert low.sdc_events > 1000
+        assert math.isfinite(low.mean_detection_days)
