@@ -18,3 +18,10 @@ PYTHONPATH=src python -m repro.cli fleet --policies shortest,jbsq2 \
   --modes full,opportunistic --loads 0.7,0.92 \
   --duration 0.5 --reps 2 -j 1 \
   --stats-json tests/golden/fleet_smoke.json
+# Router baseline: the smoke script's fixed serial traffic against 3
+# spawned shards yields a deterministic router.* tree (sha256 ring
+# placement, exact-integer campaign merge); router.runtime.* is
+# wall-clock and masked in CI.  The smoke verifies result bit-identity
+# before writing the golden.
+PYTHONPATH=src python scripts/router_smoke.py --write-golden \
+  --skip-kill-leg

@@ -14,6 +14,8 @@ Installed as ``paraverser`` (see pyproject.toml)::
     paraverser fleet --loads 0.7,0.9 -j 4        # datacenter traffic matrix
     paraverser figures fig6 fig11                # regenerate paper figures
     paraverser serve --port 8347 --workers 4     # batched evaluation server
+    paraverser route --shards 3 --port 8346      # consistent-hash router
+    paraverser route --backends h1:8347,h2:8347  # route over running servers
     paraverser eval -w mcf --backend paraverser-full  # query a server
     paraverser stats-diff old.json new.json      # flag stats regressions
     paraverser cache info --dir ~/.pvtraces      # trace-cache entry counts
@@ -254,6 +256,40 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="seed used for --prime")
     serve.add_argument("--stats-json", metavar="PATH",
                        help="write the service stats tree on shutdown")
+
+    route = sub.add_parser(
+        "route",
+        help="consistent-hash shard router over N serve backends")
+    route.add_argument("--host", default="127.0.0.1")
+    route.add_argument("--port", type=int, default=8346,
+                       help="router TCP port (0 = OS-assigned, printed "
+                            "on start)")
+    # Numeric scale knobs stay strings and go through repro.envutil in
+    # cmd_route, so a typo fails with a one-line message, not a
+    # traceback.
+    route.add_argument("--shards", default=None,
+                       help="spawn this many local serve backends on "
+                            "OS-assigned ports (default 2 when "
+                            "--backends is not given)")
+    route.add_argument("--backends", metavar="H1:P1,H2:P2,...",
+                       default=None,
+                       help="adopt already-running serve backends "
+                            "instead of spawning (mutually exclusive "
+                            "with --shards)")
+    route.add_argument("--replicas", default="64",
+                       help="virtual nodes per shard on the hash ring")
+    route.add_argument("--health-interval", default="2.0",
+                       help="seconds between backend health pings "
+                            "(0 disables the health loop)")
+    route.add_argument("--workers", default="1",
+                       help="worker processes per spawned backend")
+    route.add_argument("--batch-window-ms", default=None,
+                       help="batch window forwarded to spawned backends")
+    route.add_argument("--trace-cache", metavar="DIR", default=None,
+                       help="persistent trace cache shared by spawned "
+                            "backends (default: REPRO_TRACE_CACHE)")
+    route.add_argument("--stats-json", metavar="PATH",
+                       help="write the router.* stats tree on shutdown")
 
     eval_cmd = sub.add_parser(
         "eval", help="evaluate a workload/backend pair on a running server")
@@ -804,6 +840,86 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_route(args: argparse.Namespace) -> int:
+    """`paraverser route`: shard requests across N serve backends."""
+    import asyncio
+
+    from repro.envutil import parse_float, parse_int
+    from repro.router import BackendManager, RouterService, \
+        parse_backend_address
+
+    if args.shards is not None and args.backends is not None:
+        print("route: pass either --shards (spawn local backends) or "
+              "--backends (adopt running ones), not both",
+              file=sys.stderr)
+        return 2
+    replicas = parse_int("--replicas", args.replicas, 64)
+    health_interval = parse_float("--health-interval",
+                                  args.health_interval, 2.0)
+    workers = parse_int("--workers", args.workers, 1)
+    batch_window_ms = (parse_float("--batch-window-ms",
+                                   args.batch_window_ms, 10.0)
+                       if args.batch_window_ms is not None else None)
+    shards = parse_int("--shards", args.shards, 2)
+    if replicas < 1 or shards < 1 or workers < 1 or health_interval < 0:
+        print("route: --replicas/--shards/--workers must be >= 1 and "
+              "--health-interval >= 0", file=sys.stderr)
+        return 2
+    addresses = None
+    if args.backends is not None:
+        addresses = [parse_backend_address(raw.strip())
+                     for raw in args.backends.split(",") if raw.strip()]
+        if not addresses:
+            print("route: --backends needs at least one host:port",
+                  file=sys.stderr)
+            return 2
+
+    manager = BackendManager()
+    if addresses is not None:
+        manager.adopt(addresses)
+        print(f"adopted backends:  "
+              f"{', '.join(b.address for b in manager.backends.values())}",
+              flush=True)
+    else:
+        trace_dir = args.trace_cache or os.environ.get("REPRO_TRACE_CACHE")
+        if trace_dir == "0":
+            trace_dir = None
+        spawned = manager.spawn_local(shards, workers=workers,
+                                      trace_dir=trace_dir,
+                                      batch_window_ms=batch_window_ms)
+        print(f"spawned backends:  "
+              f"{', '.join(f'{b.name}={b.address}' for b in spawned)}",
+              flush=True)
+
+    async def _route() -> None:
+        service = RouterService(
+            manager,
+            host=args.host,
+            port=args.port,
+            replicas=replicas,
+            health_interval_s=health_interval,
+        )
+        host, port = await service.start()
+        print(f"paraverser route: listening on {host}:{port} "
+              f"({len(manager)} shards)", flush=True)
+        try:
+            await service.serve_forever()
+        except (asyncio.CancelledError, KeyboardInterrupt):
+            pass
+        finally:
+            await service.stop()
+            if args.stats_json:
+                _write_stats_json(service.stats_root, args.stats_json)
+
+    try:
+        asyncio.run(_route())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        manager.stop_processes()
+    return 0
+
+
 _EVAL_EXIT_CODES = {"ok": 0, "timeout": 4, "shed": 3, "error": 2}
 
 
@@ -913,6 +1029,7 @@ _COMMANDS = {
     "backends": cmd_backends,
     "figures": cmd_figures,
     "serve": cmd_serve,
+    "route": cmd_route,
     "eval": cmd_eval,
     "cache": cmd_cache,
     "stats-diff": cmd_stats_diff,

@@ -52,6 +52,11 @@ class CampaignSpec:
     instructions: int = 40_000
     seed: int = 7
     trials: int = 20
+    #: First trial id of this campaign's window: trials run over
+    #: ``[trial_offset, trial_offset + trials)``.  Offset windows let
+    #: the shard router fan one campaign out across backends while
+    #: every trial stays the same pure function of ``(seed, trial)``.
+    trial_offset: int = 0
     fault_kinds: tuple[str, ...] = FAULT_KINDS
 
     def key(self) -> str:
@@ -59,10 +64,12 @@ class CampaignSpec:
 
         Shard records carry this so a resume never mixes results from a
         differently-parameterised campaign that shared the directory.
-        ``trials`` is excluded: growing a campaign from 100 to 500
-        trials must reuse the first 100 results.
+        ``trials`` and ``trial_offset`` are excluded: trial ids are
+        global, so growing a campaign from 100 to 500 trials (or
+        finishing someone else's window) must reuse recorded results.
         """
-        ident = {k: v for k, v in asdict(self).items() if k != "trials"}
+        ident = {k: v for k, v in asdict(self).items()
+                 if k not in ("trials", "trial_offset")}
         blob = json.dumps(ident, sort_keys=True).encode()
         return hashlib.sha256(blob).hexdigest()[:16]
 
@@ -145,10 +152,21 @@ class CampaignOutcome:
         return self.detected / effective if effective else 1.0
 
     @property
+    def detection_latency_sum(self) -> int:
+        """Exact integer sum of detection latencies (detected trials).
+
+        Shipped in :meth:`to_row` so a router merging offset windows
+        can recompute the mean with one division — bit-identical to an
+        unsplit campaign, which floating-point partial means are not.
+        """
+        return sum(r.detection_instruction for r in self.records
+                   if r.detected)
+
+    @property
     def mean_detection_latency(self) -> float:
-        latencies = [r.detection_instruction for r in self.records
-                     if r.detected]
-        return sum(latencies) / len(latencies) if latencies else float("nan")
+        if not self.detected:
+            return float("nan")
+        return self.detection_latency_sum / self.detected
 
     def by_kind(self) -> dict[str, dict[str, int]]:
         """Per fault-kind injected/detected/masked counts."""
@@ -173,6 +191,7 @@ class CampaignOutcome:
             "missed": self.missed,
             "detection_rate_all": self.detection_rate_all,
             "detection_rate_effective": self.detection_rate_effective,
+            "detection_latency_sum": self.detection_latency_sum,
             "mean_detection_latency": (
                 self.mean_detection_latency if self.detected else None),
             "by_kind": self.by_kind(),
@@ -365,7 +384,8 @@ class CampaignRunner:
             if self.campaign_dir is None:
                 raise ValueError("resume requires a campaign directory")
             completed = load_completed(self.campaign_dir, spec)
-        todo = [t for t in range(spec.trials) if t not in completed]
+        window = range(spec.trial_offset, spec.trial_offset + spec.trials)
+        todo = [t for t in window if t not in completed]
         resumed = spec.trials - len(todo)
         if resumed:
             logger.info("campaign resume: %d/%d trials already done",
@@ -383,7 +403,7 @@ class CampaignRunner:
         outcome = CampaignOutcome(
             spec=spec,
             records=[records[t] for t in sorted(records)
-                     if t < spec.trials],
+                     if t in window],
             elapsed_s=elapsed,
             busy_s=busy,
             jobs=self.jobs,

@@ -1,0 +1,117 @@
+"""Consistent-hash ring with virtual nodes.
+
+The router keys placement on the functional-trace identity
+``(workload, instructions, seed)`` so every shard keeps serving the
+same traces: its workers' in-process :class:`WorkloadCache` entries and
+the persistent trace cache stay hot, and a request never recomputes a
+trace another shard already holds.
+
+Positions are sha256-derived — never Python's randomized ``hash()`` —
+so placement is a pure function of the node names and the replica
+count: the same shard set produces the same ring in every process,
+across restarts (the invariant ``tests/test_router_ring.py`` pins).
+Virtual nodes (``replicas`` per shard) even out the arc lengths, and
+removing or adding one shard moves only the keys on its arcs (bounded
+by roughly ``1/N`` of the key space).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+#: Virtual nodes per shard; enough to keep arc-length variance low at
+#: single-digit shard counts without bloating lookups.
+DEFAULT_REPLICAS = 64
+
+
+def _position(label: str) -> int:
+    """Deterministic 64-bit ring position for one label."""
+    digest = hashlib.sha256(label.encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def hash_key(key: object) -> int:
+    """Ring position of a request key (any stable repr-able value)."""
+    if isinstance(key, tuple):
+        label = "|".join(str(part) for part in key)
+    else:
+        label = str(key)
+    return _position("key:" + label)
+
+
+class HashRing:
+    """Deterministic consistent-hash ring over named nodes."""
+
+    def __init__(self, nodes: list[str] | tuple[str, ...] = (),
+                 replicas: int = DEFAULT_REPLICAS) -> None:
+        if replicas <= 0:
+            raise ValueError("replicas must be positive")
+        self.replicas = replicas
+        self._nodes: set[str] = set()
+        self._positions: list[int] = []
+        self._owners: dict[int, str] = {}
+        for node in nodes:
+            self.add(node)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    @property
+    def nodes(self) -> list[str]:
+        return sorted(self._nodes)
+
+    def _vnode_positions(self, node: str) -> list[int]:
+        return [_position(f"node:{node}#{i}") for i in range(self.replicas)]
+
+    def add(self, node: str) -> None:
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for pos in self._vnode_positions(node):
+            # sha256 collisions across distinct labels are not a
+            # realistic concern; last add wins keeps this total.
+            self._owners[pos] = node
+            bisect.insort(self._positions, pos)
+
+    def remove(self, node: str) -> None:
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        for pos in self._vnode_positions(node):
+            if self._owners.get(pos) == node:
+                del self._owners[pos]
+                index = bisect.bisect_left(self._positions, pos)
+                if index < len(self._positions) \
+                        and self._positions[index] == pos:
+                    del self._positions[index]
+
+    def lookup(self, key: object) -> str:
+        """Primary owner of ``key`` (first vnode clockwise)."""
+        if not self._positions:
+            raise LookupError("hash ring is empty")
+        return self.preference(key, 1)[0]
+
+    def preference(self, key: object, n: int | None = None) -> list[str]:
+        """Distinct nodes clockwise from ``key``: the failover order.
+
+        The first entry is the primary owner; a router that cannot
+        reach it re-dispatches to the next entries in turn, so every
+        key has a deterministic failover chain.
+        """
+        if not self._positions:
+            raise LookupError("hash ring is empty")
+        want = len(self._nodes) if n is None else min(n, len(self._nodes))
+        start = bisect.bisect_right(self._positions, hash_key(key))
+        seen: list[str] = []
+        for step in range(len(self._positions)):
+            pos = self._positions[(start + step) % len(self._positions)]
+            node = self._owners[pos]
+            if node not in seen:
+                seen.append(node)
+                if len(seen) >= want:
+                    break
+        return seen

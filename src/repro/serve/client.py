@@ -3,7 +3,11 @@
 The sync :class:`EvalClient` is a plain socket wrapper for scripts and
 the ``paraverser eval`` CLI; :class:`AsyncEvalClient` multiplexes many
 in-flight requests over one connection for asyncio callers (requests
-are matched to responses by ``request_id``).
+are matched to responses by ``request_id``).  :class:`RouterClient`
+discovers a shard router's consistent-hash ring (the ``ring`` op) and
+then talks straight to the owning backend per request — ring locality
+without the extra front-door hop — falling back along the ring's
+failover order when a shard is unreachable.
 """
 
 from __future__ import annotations
@@ -61,11 +65,24 @@ class EvalClient:
         self.close()
 
     def _round_trip(self, payload: dict) -> dict:
-        self.connect()
+        # Any failure tears the connection down before propagating:
+        # retry loops (RouterClient failover, flapping servers) must
+        # never accumulate half-dead sockets across attempts, and the
+        # next call must reconnect instead of reusing a broken fd.
+        try:
+            self.connect()
+        except OSError:
+            self.close()
+            raise
         assert self._sock is not None and self._file is not None
-        self._sock.sendall(protocol.encode_message(payload))
-        line = self._file.readline()
+        try:
+            self._sock.sendall(protocol.encode_message(payload))
+            line = self._file.readline()
+        except OSError:
+            self.close()
+            raise
         if not line:
+            self.close()
             raise ConnectionError("server closed the connection")
         return protocol.decode_message(line)
 
@@ -197,3 +214,113 @@ class AsyncEvalClient:
         if not response.ok or response.result is None:
             raise ProtocolError(f"stats query failed: {response.error}")
         return response.result
+
+
+class RouterClient:
+    """Sync client that follows a shard router's ring to the backends.
+
+    On first use it asks the router (``host``/``port``) for its ring —
+    shard names, addresses, virtual-node count — then sends each
+    request directly to the shard owning its trace key, exactly where
+    the router itself would have forwarded it.  A shard that cannot be
+    reached is skipped in favour of the next ring replica, mirroring
+    the router's failover order, and its connection is closed so retry
+    loops never leak sockets.  ``refresh()`` re-reads the ring after
+    fleet changes.
+    """
+
+    def __init__(self, host: str = DEFAULT_HOST,
+                 port: int = DEFAULT_PORT,
+                 connect_timeout_s: float = 5.0) -> None:
+        self.host = host
+        self.port = port
+        self.connect_timeout_s = connect_timeout_s
+        self._ring = None
+        self._addresses: dict[str, tuple[str, int]] = {}
+        self._clients: dict[str, EvalClient] = {}
+
+    # -- ring discovery ----------------------------------------------------
+
+    def refresh(self) -> None:
+        """(Re-)fetch the ring description from the router."""
+        from repro.router.ring import HashRing
+
+        with EvalClient(self.host, self.port,
+                        connect_timeout_s=self.connect_timeout_s) as probe:
+            payload = probe._round_trip({"op": protocol.OP_RING})
+        response = protocol.response_from_wire(payload)
+        if not response.ok or response.result is None:
+            raise ProtocolError(f"ring query failed: {response.error}")
+        ring = response.result
+        self._addresses = {
+            backend["name"]: (backend["host"], backend["port"])
+            for backend in ring.get("backends", [])
+        }
+        if not self._addresses:
+            raise ProtocolError("router reported an empty ring")
+        self._ring = HashRing(sorted(self._addresses),
+                              replicas=int(ring.get("replicas", 1)))
+
+    def _ensure_ring(self):
+        if self._ring is None:
+            self.refresh()
+        return self._ring
+
+    def _client(self, name: str) -> EvalClient:
+        client = self._clients.get(name)
+        if client is None:
+            host, port = self._addresses[name]
+            client = EvalClient(host, port,
+                                connect_timeout_s=self.connect_timeout_s)
+            self._clients[name] = client
+        return client
+
+    def close(self) -> None:
+        for client in self._clients.values():
+            client.close()
+        self._clients.clear()
+
+    def __enter__(self) -> "RouterClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- request routing ---------------------------------------------------
+
+    def _route(self, request, send) -> EvalResponse:
+        ring = self._ensure_ring()
+        last_exc: Exception | None = None
+        for name in ring.preference(request.trace_key()):
+            client = self._client(name)
+            try:
+                return send(client)
+            except (OSError, ConnectionError) as exc:
+                # EvalClient closed its socket already; drop the handle
+                # so the next attempt reconnects from scratch.
+                client.close()
+                last_exc = exc
+        raise ConnectionError(
+            f"no shard reachable for {request.workload!r}: {last_exc}")
+
+    def evaluate(self, request: EvalRequest) -> EvalResponse:
+        request.validate()
+        return self._route(request,
+                           lambda client: client.evaluate(request))
+
+    def campaign(self, request: CampaignRequest) -> EvalResponse:
+        """Send one campaign to the shard owning its trace key.
+
+        Whole-campaign placement (no fan-out): fan-out with failover
+        bookkeeping is the router's job; this path is for clients that
+        want ring locality without the front-door hop.
+        """
+        request.validate()
+        return self._route(request,
+                           lambda client: client.campaign(request))
+
+    def stats(self) -> dict:
+        """The *router's* stats tree (``router.*`` telemetry)."""
+        with EvalClient(self.host, self.port,
+                        connect_timeout_s=self.connect_timeout_s) as probe:
+            return probe.stats()

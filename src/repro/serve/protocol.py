@@ -34,7 +34,11 @@ OP_EVAL = "eval"
 OP_CAMPAIGN = "campaign"
 OP_STATS = "stats"
 OP_PING = "ping"
-KNOWN_OPS = (OP_EVAL, OP_CAMPAIGN, OP_STATS, OP_PING)
+#: Router-only op: describe the consistent-hash ring (shard addresses
+#: and replica count) so clients can follow it; plain serve backends
+#: reject it as unknown.
+OP_RING = "ring"
+KNOWN_OPS = (OP_EVAL, OP_CAMPAIGN, OP_STATS, OP_PING, OP_RING)
 
 STATUS_OK = "ok"
 STATUS_TIMEOUT = "timeout"
@@ -106,10 +110,12 @@ class EvalRequest:
         return (self.workload, self.instructions, self.seed)
 
 
-#: Campaign fields that determine the trial outcomes (``trials`` is
-#: included: the row aggregates over exactly that many trials).
+#: Campaign fields that determine the trial outcomes (``trials`` and
+#: ``trial_offset`` are included: the row aggregates over exactly the
+#: trial window ``[trial_offset, trial_offset + trials)``).
 _CAMPAIGN_SIM_FIELDS = ("workload", "checkers", "mode", "hash_mode",
-                        "instructions", "seed", "trials", "fault_kinds")
+                        "instructions", "seed", "trials", "trial_offset",
+                        "fault_kinds")
 
 #: Default fault-site mix for served campaigns (mirrors
 #: ``repro.faults.models.FAULT_KINDS`` without importing the simulator
@@ -136,6 +142,11 @@ class CampaignRequest:
     instructions: int = 40_000
     seed: int = DEFAULT_SEED
     trials: int = 20
+    #: First trial id of this request's window.  Trial ``t``'s fault is
+    #: a pure function of ``(seed, t)``, so a T-trial campaign split
+    #: into offset windows (the shard router's fan-out) reproduces the
+    #: unsplit campaign record-for-record.
+    trial_offset: int = 0
     fault_kinds: tuple[str, ...] = DEFAULT_FAULT_KINDS
     timeout_s: float | None = None
     request_id: str = ""
@@ -151,6 +162,8 @@ class CampaignRequest:
             raise ProtocolError("instructions must be positive")
         if self.trials <= 0:
             raise ProtocolError("trials must be positive")
+        if self.trial_offset < 0:
+            raise ProtocolError("trial_offset must be >= 0")
         if not self.fault_kinds:
             raise ProtocolError("fault_kinds must not be empty")
         unknown = [k for k in self.fault_kinds

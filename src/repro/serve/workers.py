@@ -100,6 +100,7 @@ def _campaign_spec_row(spec: dict) -> dict:
         instructions=spec["instructions"],
         seed=spec["seed"],
         trials=int(spec["trials"]),
+        trial_offset=int(spec.get("trial_offset", 0)),
         fault_kinds=tuple(spec["fault_kinds"]),
     )
     return run_campaign(campaign_spec, jobs=1).to_row()

@@ -251,3 +251,63 @@ class TestCommands:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestRouteCli:
+    """`paraverser route` flag validation: one-line errors, no spawns."""
+
+    def test_bad_replicas_one_liner(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["route", "--replicas", "many"])
+        message = str(excinfo.value)
+        assert "--replicas" in message and "many" in message
+        assert "Traceback" not in message
+
+    def test_bad_shards_one_liner(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["route", "--shards", "3.5"])
+        assert "--shards" in str(excinfo.value)
+
+    def test_bad_health_interval_one_liner(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["route", "--health-interval", "soon"])
+        assert "--health-interval" in str(excinfo.value)
+
+    def test_bad_workers_one_liner(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["route", "--workers", "a few"])
+        assert "--workers" in str(excinfo.value)
+
+    def test_shards_and_backends_conflict(self, capsys):
+        code = main(["route", "--shards", "2",
+                     "--backends", "127.0.0.1:1"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--shards" in err and "--backends" in err
+
+    def test_out_of_range_values_rejected(self, capsys):
+        assert main(["route", "--shards", "0"]) == 2
+        assert "route:" in capsys.readouterr().err
+        assert main(["route", "--replicas", "-3"]) == 2
+        assert main(["route", "--health-interval", "-1",
+                     "--shards", "1"]) == 2
+
+    def test_backends_entry_without_port(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["route", "--backends", "localhost"])
+        assert "host:port" in str(excinfo.value)
+
+    def test_backends_entry_bad_port(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["route", "--backends", "127.0.0.1:http"])
+        assert "non-integer port" in str(excinfo.value)
+
+    def test_backends_entry_port_out_of_range(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["route", "--backends", "127.0.0.1:99999"])
+        assert "1..65535" in str(excinfo.value)
+
+    def test_backends_empty_list_rejected(self, capsys):
+        code = main(["route", "--backends", " , "])
+        assert code == 2
+        assert "at least one" in capsys.readouterr().err

@@ -1,0 +1,140 @@
+"""Consistent-hash ring invariants the shard router depends on.
+
+Two properties are load-bearing: placement is a pure function of the
+shard set (same ring in every process, across restarts — campaign
+results cannot depend on which router computed them), and membership
+changes move only a bounded slice of the key space (a shard join/leave
+does not reshuffle every shard's cache working set).
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.router.ring import DEFAULT_REPLICAS, HashRing, hash_key
+
+NODES = ["shard0", "shard1", "shard2", "shard3"]
+
+
+def _keys(count=2000):
+    """Trace-identity-shaped keys: (workload, instructions, seed)."""
+    workloads = ["exchange2", "mcf", "xz", "omnetpp"]
+    return [(workloads[i % len(workloads)], 4000 + 1000 * (i % 7), i)
+            for i in range(count)]
+
+
+class TestDeterminism:
+    def test_placement_is_stable_across_processes(self):
+        """A fresh interpreter (fresh PYTHONHASHSEED) places identically.
+
+        This is the restart invariant: ring positions must come from
+        sha256, never from Python's per-process randomized hash().
+        """
+        keys = _keys(64)
+        local = [HashRing(NODES).lookup(k) for k in keys]
+        script = (
+            "from repro.router.ring import HashRing\n"
+            f"ring = HashRing({NODES!r})\n"
+            f"print('\\n'.join(ring.lookup(k) for k in {keys!r}))\n"
+        )
+        import repro
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(pathlib.Path(repro.__file__).parents[1])
+        env["PYTHONHASHSEED"] = "12345"
+        out = subprocess.run(
+            [sys.executable, "-c", script], capture_output=True,
+            text=True, check=True, env=env)
+        assert out.stdout.split() == local
+
+    def test_insertion_order_is_irrelevant(self):
+        forward = HashRing(NODES)
+        backward = HashRing(list(reversed(NODES)))
+        for key in _keys(500):
+            assert forward.lookup(key) == backward.lookup(key)
+
+    def test_rebuild_equals_incremental(self):
+        rebuilt = HashRing(NODES)
+        grown = HashRing(NODES[:1])
+        for node in NODES[1:]:
+            grown.add(node)
+        for key in _keys(500):
+            assert rebuilt.preference(key) == grown.preference(key)
+
+    def test_hash_key_tuple_and_string_forms(self):
+        assert hash_key(("mcf", 20000, 7)) == hash_key("mcf|20000|7")
+        assert hash_key("a") != hash_key("b")
+
+
+class TestPreference:
+    def test_preference_is_distinct_and_starts_at_owner(self):
+        ring = HashRing(NODES)
+        for key in _keys(200):
+            chain = ring.preference(key)
+            assert chain[0] == ring.lookup(key)
+            assert sorted(chain) == sorted(NODES)  # all nodes, no dupes
+
+    def test_preference_n_truncates(self):
+        ring = HashRing(NODES)
+        full = ring.preference("k")
+        assert ring.preference("k", 2) == full[:2]
+        assert ring.preference("k", 99) == full
+
+    def test_empty_ring_raises(self):
+        ring = HashRing()
+        with pytest.raises(LookupError):
+            ring.lookup("k")
+        with pytest.raises(LookupError):
+            ring.preference("k")
+
+    def test_bad_replicas_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing(NODES, replicas=0)
+
+
+class TestMembershipChurn:
+    def test_leave_moves_only_departed_keys(self):
+        """Removing a shard relocates exactly its own keys."""
+        before = HashRing(NODES)
+        after = HashRing([n for n in NODES if n != "shard2"])
+        for key in _keys(3000):
+            owner = before.lookup(key)
+            if owner != "shard2":
+                assert after.lookup(key) == owner
+
+    def test_join_moves_a_bounded_slice(self):
+        """Adding one shard to N moves < 2/(N+1) of keys (vs ~1/(N+1)
+        ideal; the slack covers vnode arc-length variance)."""
+        n = 8
+        nodes = [f"shard{i}" for i in range(n)]
+        before = HashRing(nodes)
+        after = HashRing(nodes + [f"shard{n}"])
+        keys = _keys(10_000)
+        moved = sum(before.lookup(k) != after.lookup(k) for k in keys)
+        assert moved > 0  # the new shard does take keys
+        assert moved / len(keys) < 2.0 / (n + 1)
+        # ...and every moved key landed on the new shard, nowhere else.
+        for key in keys:
+            if before.lookup(key) != after.lookup(key):
+                assert after.lookup(key) == f"shard{n}"
+
+    def test_leave_moves_a_bounded_slice(self):
+        n = 8
+        nodes = [f"shard{i}" for i in range(n)]
+        before = HashRing(nodes)
+        after = HashRing(nodes[:-1])
+        keys = _keys(10_000)
+        moved = sum(before.lookup(k) != after.lookup(k) for k in keys)
+        assert moved / len(keys) < 2.0 / n
+
+    def test_balance_is_reasonable(self):
+        """Vnodes keep the worst shard below ~3x the fair share."""
+        ring = HashRing(NODES, replicas=DEFAULT_REPLICAS)
+        counts = {node: 0 for node in NODES}
+        for key in _keys(8000):
+            counts[ring.lookup(key)] += 1
+        fair = 8000 / len(NODES)
+        assert max(counts.values()) < 3 * fair
+        assert min(counts.values()) > 0

@@ -145,3 +145,44 @@ class TestCli:
         # parse real dumps and compare every simulated leaf cleanly.
         code = main(["stats-diff", str(a), str(b), "--threshold", "1e9"])
         assert code == 0
+
+
+class TestRouterClassification:
+    """Shard-router leaves carry regression directions."""
+
+    def test_router_failure_counters_are_higher_worse(self):
+        assert classify("router.re_dispatches") == 1
+        assert classify("router.mark_downs") == 1
+        assert classify("router.unroutable") == 1
+        assert classify("router.shards.shard0.re_dispatched_away") == 1
+
+    def test_locality_ratio_is_lower_worse(self):
+        assert classify("router.locality.primary_ratio") == -1
+
+    def test_neutral_router_counters_stay_informational(self):
+        assert classify("router.requests_total") == 0
+        assert classify("router.locality.primary") == 0
+        assert classify("router.campaign.trials_forwarded") == 0
+
+    def _router_tree(self, re_dispatches=0, primary_ratio=1.0):
+        return {"router": {
+            "re_dispatches": re_dispatches,
+            "mark_downs": 0,
+            "locality": {"primary_ratio": primary_ratio},
+        }}
+
+    def test_re_dispatch_growth_flags_a_regression(self):
+        entries = diff_stats(self._router_tree(re_dispatches=0),
+                             self._router_tree(re_dispatches=5))
+        flagged = {e.key for e in entries if e.regression}
+        assert "router.re_dispatches" in flagged
+
+    def test_lost_locality_flags_a_regression(self):
+        entries = diff_stats(self._router_tree(primary_ratio=1.0),
+                             self._router_tree(primary_ratio=0.6))
+        flagged = {e.key for e in entries if e.regression}
+        assert "router.locality.primary_ratio" in flagged
+
+    def test_identical_router_trees_are_clean(self):
+        entries = diff_stats(self._router_tree(), self._router_tree())
+        assert not any(e.regression for e in entries)
