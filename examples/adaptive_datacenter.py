@@ -1,74 +1,79 @@
 #!/usr/bin/env python3
 """Adaptive checking under datacenter load (Fig. 1 + sections I, IV-A).
 
-A day in the life of one 6-core big.LITTLE server node: demand rises and
-falls; the OS-level role scheduler reassigns cores between main work,
-checking and idle at checkpoint boundaries.  Checking runs at full
-coverage when spare little cores are plentiful, degrades to
-opportunistic under pressure, disables entirely at peak load, and
-resumes afterwards.  For representative hours the node's traffic is
-replayed through the event-driven fleet model to show what each mode
-costs at the tail, while a health monitor accumulates the detection
-statistics that drive predictive maintenance.
+A day in the life of a checked fleet, in three acts:
+
+1. **Closed loop.**  A diurnal load curve drives the event-driven fleet
+   model while a threshold controller re-decides the checking mode at
+   epoch boundaries — full coverage off-peak, opportunistic through the
+   evening peak.  The same day is replayed with both static endpoints
+   to show the frontier: the controller matches always-opportunistic's
+   tail while checking more of the day's work.
+2. **Role scheduling.**  The OS-level scheduler from section IV-A
+   assigns main/checker/idle roles on one big.LITTLE node as demand
+   rises and falls; checking degrades to opportunistic under pressure
+   and disables entirely at peak load.
+3. **Predictive maintenance.**  A health monitor digests the day's
+   detection events and retires a little core that developed a hard
+   fault mid-afternoon.
 """
 
+from repro.control import PoolCore, RoleScheduler
+from repro.control.bench import DEFAULT_CONTROLLER, run_diurnal_bench
 from repro.core.errors import DetectionEvent, DetectionKind
 from repro.core.maintenance import HealthMonitor
-from repro.core.scheduler import PoolCore, RoleScheduler
 from repro.cpu import A510, CoreInstance, X2
-from repro.fleet import FleetTrafficConfig, FleetTrafficSim, summarize
 
 #: Hourly demand (cores of main work wanted), a plausible diurnal curve.
 DEMAND = [1, 1, 1, 1, 1, 2, 3, 4, 5, 6, 6, 6,
           5, 5, 6, 6, 5, 4, 4, 3, 2, 2, 1, 1]
 
 
-def tail_for(mode: str, demand: int) -> str:
-    """Replay one hour's traffic in ``mode``; return a tail summary.
+def closed_loop_day() -> None:
+    """Act 1: the adaptive control plane against the static endpoints."""
+    out = run_diurnal_bench(servers=4, duration_s=1.0, epoch_s=0.1,
+                            controller=DEFAULT_CONTROLLER)
+    controlled = out["results"]["controlled"]
 
-    Demand maps onto offered per-server load; disabled hours run
-    unchecked, which the traffic model expresses as opportunistic
-    checking with the ``"none"`` checker pool (every segment lags past
-    the bound and retires unchecked).
-    """
-    load = 0.15 + 0.13 * demand
-    config = FleetTrafficConfig(
-        servers=4,
-        mode="opportunistic" if mode == "disabled" else mode,
-        checkers="none" if mode == "disabled" else "2xA510@2.0",
-        load=load, duration_s=0.5, seed=11,
-    )
-    cell = summarize(FleetTrafficSim(config).run())
-    return (f"load {load:.2f}: p99 {cell.p99_ms:6.2f} ms, "
-            f"coverage {cell.coverage * 100:5.1f}%")
+    print("closed-loop day (threshold policy, 0.1 s epochs):")
+    print("  epoch  mode           p99 ms  coverage")
+    for record in controlled.epochs:
+        switched = "  <- switch" if record["switched"] else ""
+        print(f"  {record['epoch']:5d}  {record['mode']:13s} "
+              f"{record['p99_ms']:7.2f} {record['coverage'] * 100:8.1f}%"
+              f"{switched}")
+
+    print("\n  the frontier after one day:")
+    print(f"  {'arm':22s} {'p99 ms':>8s} {'coverage':>9s} {'energy+':>8s}")
+    for name, row in out["arms"].items():
+        print(f"  {name:22s} {row['p99_ms']:8.2f} "
+              f"{row['coverage'] * 100:8.2f}% "
+              f"{row['energy_overhead'] * 100:7.1f}%")
+    won = out["dominates"]
+    print(f"  controller beats always-full on p99: "
+          f"{won['p99_vs_full']}; beats always-opportunistic on "
+          f"coverage: {won['coverage_vs_opportunistic']}")
 
 
-def main() -> None:
+def scheduled_day() -> HealthMonitor:
+    """Acts 2 and 3: role scheduling, then predictive maintenance."""
     cores = [PoolCore(f"big{i}", CoreInstance(X2, 3.0)) for i in range(2)]
     cores += [PoolCore(f"little{i}", CoreInstance(A510, 2.0))
               for i in range(4)]
     scheduler = RoleScheduler(cores, min_checkers_per_main=2)
     outcome = scheduler.run(DEMAND)
 
-    print("hour  demand  mains  checkers  mode")
+    print("\nrole-scheduled node (hourly demand trace):")
+    print("  hour  demand  mains  checkers  mode")
     for plan in outcome.plans:
         mode = scheduler.coverage_mode_for(plan)
-        print(f"{plan.epoch:4d} {plan.demand_cores:7.0f} "
+        print(f"  {plan.epoch:4d} {plan.demand_cores:7.0f} "
               f"{len(plan.mains):6d} {len(plan.checkers):9d}  {mode}")
-    print(f"\nchecking available {outcome.checking_availability:.0%} "
+    print(f"  checking available {outcome.checking_availability:.0%} "
           "of the day (disabled only at peak load)")
 
-    # What each hour's mode costs, measured by the traffic model on
-    # three representative hours of the diurnal curve.
-    print("\ntail latency vs. coverage across the day:")
-    for hour in (2, 8, 10):
-        plan = outcome.plans[hour]
-        mode = scheduler.coverage_mode_for(plan)
-        print(f"  hour {hour:2d} ({mode:13s}) "
-              f"{tail_for(mode, DEMAND[hour])}")
-
-    # Meanwhile the health monitor digests the day's detection events:
-    # little2 develops a hard fault at hour 14 — every checked segment it
+    # The health monitor digests the day's detection events: little2
+    # develops a hard fault at hour 14 — every checked segment it
     # touches afterwards reports a divergence.
     monitor = HealthMonitor(retire_threshold=0.01, min_checks=50)
     for plan in outcome.plans:
@@ -85,6 +90,12 @@ def main() -> None:
                     monitor.observe_check(main_id, checker_id)
                 if event is not None:
                     monitor.observe_check(main_id, checker_id, event)
+    return monitor
+
+
+def main() -> None:
+    closed_loop_day()
+    monitor = scheduled_day()
 
     print("\ncore health after the day:")
     for core_id, health in monitor.report().items():

@@ -18,6 +18,14 @@ PYTHONPATH=src python -m repro.cli fleet --policies shortest,jbsq2 \
   --modes full,opportunistic --loads 0.7,0.92 \
   --duration 0.5 --reps 2 -j 1 \
   --stats-json tests/golden/fleet_smoke.json
+# Control-plane baseline: the diurnal bench's three arms (always-full,
+# always-opportunistic, closed-loop threshold controller).  Every
+# control.*/power.* leaf is a pure function of the config — controllers
+# are rebuilt per rep from the JSON spec and epoch records merge in rep
+# order — so CI regenerates the tree with -j 2 and demands bit-identity.
+PYTHONPATH=src python -m repro.cli control --servers 4 --load 0.7 \
+  --duration 1.0 --epoch-s 0.1 --reps 2 -j 1 \
+  --stats-json tests/golden/control_smoke.json
 # Router baseline: the smoke script's fixed serial traffic against 3
 # spawned shards yields a deterministic router.* tree (sha256 ring
 # placement, exact-integer campaign merge); router.runtime.* is

@@ -12,6 +12,7 @@ Installed as ``paraverser`` (see pyproject.toml)::
     paraverser campaign -w deepsjeng -t 200 -j 4 # parallel campaign engine
     paraverser campaign -w mcf --campaign-dir /tmp/c --resume  # finish one
     paraverser fleet --loads 0.7,0.9 -j 4        # datacenter traffic matrix
+    paraverser control --policy threshold -j 4   # closed loop vs static arms
     paraverser figures fig6 fig11                # regenerate paper figures
     paraverser serve --port 8347 --workers 4     # batched evaluation server
     paraverser route --shards 3 --port 8346      # consistent-hash router
@@ -144,6 +145,11 @@ def _build_parser() -> argparse.ArgumentParser:
                                "--campaign-dir shards")
     campaign.add_argument("--stats-json", metavar="PATH",
                           help="write the campaign's faults.* stats tree")
+    campaign.add_argument("--telemetry-jsonl", metavar="PATH",
+                          default=None,
+                          help="stream faults.* progress epochs (one "
+                               "JSONL line per ~5%% of trials) while "
+                               "the campaign runs")
     campaign.add_argument("--json", action="store_true",
                           help="print the raw campaign row as JSON")
     campaign.add_argument("--host", default=None,
@@ -164,7 +170,8 @@ def _build_parser() -> argparse.ArgumentParser:
                             "jbsq<d>, affinity")
     fleet.add_argument("--modes", metavar="M1,M2,...",
                        default="full,opportunistic",
-                       help="checking modes per cell")
+                       help="checking modes per cell (full, "
+                            "opportunistic, disabled)")
     fleet.add_argument("--loads", metavar="L1,L2,...", default="0.7,0.9",
                        help="offered per-server utilisations")
     # Numeric flags stay strings here and go through repro.envutil in
@@ -202,10 +209,64 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="distinct request keys (Zipf popularity)")
     fleet.add_argument("--zipf", default="1.1",
                        help="Zipf popularity exponent")
+    fleet.add_argument("--epoch-s", default="0",
+                       help="telemetry epoch length in simulated "
+                            "seconds (0 = no epoch stream)")
+    fleet.add_argument("--telemetry-jsonl", metavar="PATH",
+                       help="write the per-epoch telemetry stream "
+                            "(needs --epoch-s > 0); bit-identical at "
+                            "any -j")
     fleet.add_argument("--stats-json", metavar="PATH",
                        help="write the fleet.* statistics tree as JSON")
     fleet.add_argument("--json", action="store_true",
                        help="print raw cell metrics as JSON lines")
+
+    control = sub.add_parser(
+        "control",
+        help="closed-loop checking under a diurnal load curve "
+             "(adaptive control plane vs the static endpoints)")
+    # Numeric flags stay strings and go through repro.envutil in
+    # cmd_control — one-line errors, not tracebacks.
+    control.add_argument("--policy", default=None,
+                         help="controller policy: threshold, "
+                              "ed2p_budget, scheduler, static "
+                              "(default threshold)")
+    control.add_argument("--servers", default="8")
+    control.add_argument("--load", default="0.7",
+                         help="base offered utilisation the diurnal "
+                              "curve multiplies")
+    control.add_argument("--duration", default="2.0",
+                         help="simulated seconds (one compressed day)")
+    control.add_argument("--epoch-s", default=None,
+                         help="control epoch length in simulated "
+                              "seconds (default REPRO_CONTROL_EPOCH_S "
+                              "or 0.1)")
+    control.add_argument("--budget", default=None,
+                         help="checker energy-overhead budget for "
+                              "ed2p_budget (default "
+                              "REPRO_CONTROL_BUDGET or 0.40)")
+    control.add_argument("--dwell", default="2",
+                         help="min epochs between applied switches "
+                              "(hysteresis dwell)")
+    control.add_argument("--stall-high", default="0.05",
+                         help="degrade watermark on the stall fraction")
+    control.add_argument("--stall-low", default="0.01",
+                         help="restore watermark on the stall fraction")
+    control.add_argument("--checkers", metavar="SPEC", default=None,
+                         help="per-server checker pool (default: the "
+                              "bench's under-provisioned 3xA510@2.0)")
+    control.add_argument("--reps", default="1")
+    control.add_argument("-j", "--jobs", default=None,
+                         help="worker processes (default REPRO_JOBS "
+                              "or 1; 0 = all CPUs)")
+    control.add_argument("--seed", default="7")
+    control.add_argument("--telemetry-jsonl", metavar="PATH",
+                         help="write the controlled arm's epoch stream "
+                              "as JSONL (bit-identical at any -j)")
+    control.add_argument("--stats-json", metavar="PATH",
+                         help="write fleet.*/control.*/power.* stats")
+    control.add_argument("--json", action="store_true",
+                         help="print the frontier report as JSON")
 
     workloads = sub.add_parser("workloads", help="list benchmark profiles")
     workloads.add_argument("--suite", choices=["spec2017", "gap", "parsec"],
@@ -254,6 +315,12 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="instruction budget used for --prime")
     serve.add_argument("--seed", type=int, default=7,
                        help="seed used for --prime")
+    serve.add_argument("--epoch-s", type=float, default=0.0,
+                       help="publish a telemetry epoch of the stats "
+                            "tree every EPOCH_S seconds (0 = off)")
+    serve.add_argument("--telemetry-jsonl", metavar="PATH", default=None,
+                       help="mirror telemetry epochs to a JSONL file "
+                            "(one line per epoch; tail -f friendly)")
     serve.add_argument("--stats-json", metavar="PATH",
                        help="write the service stats tree on shutdown")
 
@@ -596,9 +663,36 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     jobs = args.jobs if args.jobs is not None else env_jobs()
     if jobs <= 0:
         jobs = os.cpu_count() or 1
-    with CampaignRunner(jobs=jobs, campaign_dir=args.campaign_dir,
-                        resume=args.resume, chunk=args.chunk) as runner:
-        outcome = runner.run(spec)
+    # Live progress epochs on the telemetry bus: counts accumulate in
+    # completion order (progress, not a golden surface — the final
+    # faults.* tree in --stats-json stays the deterministic record).
+    bus = None
+    on_record = None
+    if args.telemetry_jsonl:
+        from repro.obs import TelemetryBus
+
+        bus = TelemetryBus(history=1)
+        bus.attach_jsonl(args.telemetry_jsonl)
+        label = f"faults.{spec.workload}"
+        every = max(1, trials // 20)
+        progress = {"trials": 0, "detected": 0, "masked": 0}
+
+        def on_record(record):
+            progress["trials"] += 1
+            progress["detected"] += 1 if record.detected else 0
+            progress["masked"] += 1 if record.masked else 0
+            if progress["trials"] % every == 0 \
+                    or progress["trials"] == trials:
+                bus.publish({"campaign": dict(progress)}, label=label)
+
+    try:
+        with CampaignRunner(jobs=jobs, campaign_dir=args.campaign_dir,
+                            resume=args.resume,
+                            chunk=args.chunk) as runner:
+            outcome = runner.run(spec, on_record=on_record)
+    finally:
+        if bus is not None:
+            bus.close()
     row = outcome.to_row()
     if args.json:
         print(_json.dumps(row, sort_keys=True))
@@ -640,6 +734,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     mean_service_ms = parse_float("--mean-service-ms",
                                   args.mean_service_ms, 1.0)
     think_ms = parse_float("--think-ms", args.think_ms, 10.0)
+    epoch_s = parse_float("--epoch-s", args.epoch_s, 0.0)
     jobs = parse_int("--jobs", args.jobs, 0) if args.jobs is not None \
         else env_jobs()
     if jobs <= 0:
@@ -648,6 +743,12 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         print("fleet: --servers/--reps must be >= 1 and --duration > 0",
               file=sys.stderr)
         return 2
+    if args.telemetry_jsonl and epoch_s <= 0:
+        print("fleet: --telemetry-jsonl needs --epoch-s > 0",
+              file=sys.stderr)
+        return 2
+
+    from repro.fleet.server import MODES
 
     policies = [p.strip() for p in args.policies.split(",") if p.strip()]
     modes = [m.strip() for m in args.modes.split(",") if m.strip()]
@@ -657,10 +758,10 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         for name in policies:
             make_policy(name)
         checker_relative_rate(args.checkers)
-        unknown = [m for m in modes if m not in ("full", "opportunistic")]
+        unknown = [m for m in modes if m not in MODES]
         if unknown:
             raise ValueError(f"unknown mode(s) {', '.join(unknown)}; "
-                             "pick from full, opportunistic")
+                             f"pick from {', '.join(MODES)}")
         if not (policies and modes and loads):
             raise ValueError("need at least one policy, mode and load")
     except ValueError as exc:
@@ -680,11 +781,28 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         zipf_alpha=zipf,
         duration_s=duration,
         seed=seed,
+        epoch_s=epoch_s,
     )
+    configs = matrix(policies, modes, loads, base)
     started = time.perf_counter()
-    metrics = [summarize(run_cell(config, reps=reps, jobs=jobs))
-               for config in matrix(policies, modes, loads, base)]
+    results = [run_cell(config, reps=reps, jobs=jobs)
+               for config in configs]
     elapsed = time.perf_counter() - started
+    metrics = [summarize(result) for result in results]
+    if args.telemetry_jsonl:
+        from repro.obs import TelemetryBus
+
+        # Worker processes collected the epoch records; replaying the
+        # rep-order merge onto one bus here makes the file a pure
+        # function of the configs — bit-identical at any -j.
+        bus = TelemetryBus(history=1)
+        bus.attach_jsonl(args.telemetry_jsonl)
+        try:
+            for config, result in zip(configs, results):
+                for record in result.epochs:
+                    bus.publish(record, label=f"fleet.{config.label}")
+        finally:
+            bus.close()
 
     if args.json:
         from dataclasses import asdict
@@ -712,6 +830,122 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     if args.stats_json:
         stats = StatGroup("root")
         publish_fleet_stats(stats, metrics, elapsed_s=elapsed)
+        _write_stats_json(stats, args.stats_json)
+    return 0
+
+
+def cmd_control(args: argparse.Namespace) -> int:
+    """`paraverser control`: diurnal bench of the adaptive control plane.
+
+    Runs the same diurnal day three ways — always-full,
+    always-opportunistic, and closed-loop — and reports the frontier:
+    the controller should beat always-full on p99 while beating
+    always-opportunistic on coverage.
+    """
+    import json as _json
+    import re as _re
+
+    from repro.control import publish_control_stats
+    from repro.control.bench import BENCH_CHECKERS, run_diurnal_bench
+    from repro.envutil import (
+        env_float,
+        parse_choice,
+        parse_float,
+        parse_int,
+    )
+    from repro.fleet import publish_fleet_stats, summarize
+    from repro.harness.runner import env_jobs
+    from repro.obs import StatGroup, write_epoch_jsonl
+
+    servers = parse_int("--servers", args.servers, 8)
+    load = parse_float("--load", args.load, 0.7)
+    duration = parse_float("--duration", args.duration, 2.0)
+    epoch_s = parse_float("--epoch-s", args.epoch_s,
+                          env_float("REPRO_CONTROL_EPOCH_S", 0.1))
+    budget = parse_float("--budget", args.budget,
+                         env_float("REPRO_CONTROL_BUDGET", 0.40))
+    dwell = parse_int("--dwell", args.dwell, 2)
+    stall_high = parse_float("--stall-high", args.stall_high, 0.05)
+    stall_low = parse_float("--stall-low", args.stall_low, 0.01)
+    reps = parse_int("--reps", args.reps, 1)
+    seed = parse_int("--seed", args.seed, 7)
+    policy = parse_choice(
+        "--policy", args.policy, "threshold",
+        ("threshold", "ed2p_budget", "scheduler", "static"))
+    checkers = args.checkers or BENCH_CHECKERS
+    jobs = parse_int("--jobs", args.jobs, 0) if args.jobs is not None \
+        else env_jobs()
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    if servers < 1 or duration <= 0 or reps < 1 or epoch_s <= 0:
+        print("control: --servers/--reps must be >= 1 and "
+              "--duration/--epoch-s > 0", file=sys.stderr)
+        return 2
+
+    if policy == "threshold":
+        spec = {"kind": "threshold", "checkers": checkers,
+                "dwell": dwell, "stall_high": stall_high,
+                "stall_low": stall_low}
+    elif policy == "ed2p_budget":
+        match = _re.match(r"^(\d+)x([A-Za-z0-9]+)@[\d.]+$",
+                          checkers.strip())
+        if not match:
+            print(f"control: ed2p_budget needs a single-group pool "
+                  f"spec like 3xA510@2.0, got {checkers!r}",
+                  file=sys.stderr)
+            return 2
+        spec = {"kind": "ed2p_budget", "budget": budget,
+                "dwell": dwell, "pool": int(match.group(1)),
+                "core": match.group(2)}
+    elif policy == "scheduler":
+        spec = {"kind": "scheduler", "dwell": dwell}
+    else:
+        spec = {"kind": "static", "checkers": checkers}
+    try:
+        out = run_diurnal_bench(servers=servers, load=load,
+                                duration_s=duration, epoch_s=epoch_s,
+                                reps=reps, jobs=jobs, seed=seed,
+                                controller=spec)
+    except ValueError as exc:
+        print(f"control: {exc}", file=sys.stderr)
+        return 2
+    results = out.pop("results")
+
+    if args.json:
+        print(_json.dumps(out, sort_keys=True))
+    else:
+        print(f"control: {servers} servers x {duration:g}s day, "
+              f"epoch {epoch_s:g}s, {policy} policy, "
+              f"{checkers} checkers")
+        print(f"{'arm':22s} {'p50':>8s} {'p99':>8s} {'cover':>7s} "
+              f"{'SDC/yr':>7s} {'energy+':>8s} {'switch':>6s}  "
+              f"residency")
+        for name, row in out["arms"].items():
+            residency = " ".join(
+                f"{mode}:{frac * 100:.0f}%"
+                for mode, frac in row["mode_residency"].items())
+            print(f"{name:22s} {row['p50_ms']:8.2f} "
+                  f"{row['p99_ms']:8.2f} {row['coverage'] * 100:6.2f}% "
+                  f"{row['sdc_events']:7.0f} "
+                  f"{row['energy_overhead'] * 100:7.1f}% "
+                  f"{row['switches']:6d}  {residency}")
+        won = out["dominates"]
+        print(f"frontier: p99 vs always-full "
+              f"{'WON' if won['p99_vs_full'] else 'lost'}, "
+              f"coverage vs always-opportunistic "
+              f"{'WON' if won['coverage_vs_opportunistic'] else 'lost'}")
+
+    if args.telemetry_jsonl:
+        controlled = results["controlled"]
+        write_epoch_jsonl(args.telemetry_jsonl, controlled.epochs,
+                          label=f"control.{controlled.config.label}")
+    if args.stats_json:
+        stats = StatGroup("root")
+        publish_fleet_stats(stats,
+                            [summarize(r) for r in results.values()])
+        for result in results.values():
+            publish_control_stats(stats, result,
+                                  metrics=summarize(result))
         _write_stats_json(stats, args.stats_json)
     return 0
 
@@ -815,6 +1049,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             queue_depth=args.queue_depth,
             batch_window_s=args.batch_window_ms / 1e3,
             default_timeout_s=args.timeout,
+            epoch_s=args.epoch_s,
+            telemetry_jsonl=args.telemetry_jsonl,
         )
         if args.prime:
             workloads = [w.strip() for w in args.prime.split(",")
@@ -1025,6 +1261,7 @@ _COMMANDS = {
     "inject": cmd_inject,
     "campaign": cmd_campaign,
     "fleet": cmd_fleet,
+    "control": cmd_control,
     "workloads": cmd_workloads,
     "backends": cmd_backends,
     "figures": cmd_figures,

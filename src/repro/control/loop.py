@@ -1,0 +1,159 @@
+"""The closed loop: dwell hysteresis, energy roll-ups, control stats.
+
+:class:`Controller` is the one object the fleet simulator talks to.  It
+wraps any :class:`~repro.control.policy.Policy` with a *dwell*: once a
+switch is applied, further switches are held for ``dwell_epochs``
+epochs.  Policies already carry watermark hysteresis (no switch while
+the signal sits inside the band); the dwell covers the remaining thrash
+mode — a load that swings across *both* watermarks every epoch — by
+bounding the switch rate outright.
+
+The roll-up side turns a finished
+:class:`~repro.fleet.sim.TrafficResult` into ``control.*`` and
+``power.*`` stats: mode residency, switch counts and rate, energy
+overhead of checking against the power-gated baseline, worst budget
+overshoot, and a fleet-timescale ED2P figure (total energy times
+squared tail latency — the same merit function the per-core DVFS sweep
+minimises, lifted to the datacenter scale).
+"""
+
+from __future__ import annotations
+
+from repro.control.policy import (
+    ControlAction,
+    EpochObservation,
+    Policy,
+    fleet_energy_nj,
+)
+from repro.fleet.metrics import TrafficMetrics, percentile
+from repro.fleet.sim import TrafficResult
+from repro.obs import StatGroup
+
+
+class Controller:
+    """A policy plus dwell-time hysteresis on applied switches."""
+
+    def __init__(self, policy: Policy, dwell_epochs: int = 1) -> None:
+        if dwell_epochs < 1:
+            raise ValueError(
+                f"dwell_epochs must be >= 1, got {dwell_epochs}")
+        self.policy = policy
+        self.dwell_epochs = dwell_epochs
+        self._last_switch_epoch: int | None = None
+
+    def on_epoch(self, obs: EpochObservation) -> ControlAction | None:
+        action = self.policy.on_epoch(obs)
+        if action is None:
+            return None
+        changed = (action.mode != obs.mode
+                   or action.checkers != obs.checkers)
+        if changed and self._last_switch_epoch is not None \
+                and obs.epoch - self._last_switch_epoch \
+                < self.dwell_epochs:
+            # Inside the dwell window: hold the current operating point
+            # (the policy's internal state still advances, so a demand
+            # that persists through the dwell is acted on immediately
+            # after it expires).
+            info = dict(action.info or {})
+            info["held"] = True
+            return ControlAction(mode=obs.mode, checkers=obs.checkers,
+                                 info=info)
+        if changed:
+            self._last_switch_epoch = obs.epoch
+        return action
+
+
+# ---------------------------------------------------------------------------
+# Result roll-ups.
+# ---------------------------------------------------------------------------
+
+def result_energy_nj(result: TrafficResult) -> tuple[float, float]:
+    """``(main_nj, checker_nj)`` over a whole (possibly merged) run.
+
+    Epoch-resolved when the run recorded epochs (each window costed
+    under the pool it actually ran — a mid-run DVFS change is priced
+    correctly); otherwise the static pool covers the whole run.
+    """
+    if result.epochs:
+        main = checker = 0.0
+        for record in result.epochs:
+            m, c = fleet_energy_nj(record["busy_s"], record["checked_s"],
+                                   record["checkers"])
+            main += m
+            checker += c
+        return main, checker
+    busy = sum(s.busy_s for s in result.server_stats)
+    checked = sum(s.checked_work_s for s in result.server_stats)
+    return fleet_energy_nj(busy, checked, result.config.checkers)
+
+
+def result_ed2p(result: TrafficResult) -> float:
+    """Fleet-scale ED2P: total energy (J) times squared p99 (ms²).
+
+    The per-core sweep minimises ``energy x delay²`` over one checked
+    run; at the fleet timescale the delay that matters is the tail, so
+    the figure of merit is joules burned times the square of the p99
+    sojourn time.  Lower is better on both axes at once.
+    """
+    main_nj, checker_nj = result_energy_nj(result)
+    ordered = sorted(result.latencies_s)
+    p99_ms = percentile(ordered, 0.99) * 1e3
+    return (main_nj + checker_nj) * 1e-9 * p99_ms ** 2
+
+
+def budget_overshoot(result: TrafficResult) -> float:
+    """Worst per-epoch excess of energy overhead above the budget.
+
+    Zero when no epoch reported an overshoot (no budget policy ran, or
+    the budget held throughout).
+    """
+    worst = 0.0
+    for record in result.epochs:
+        policy = record.get("policy") or {}
+        worst = max(worst, float(policy.get("overshoot", 0.0)))
+    return worst
+
+
+def publish_control_stats(root: StatGroup, result: TrafficResult,
+                          metrics: TrafficMetrics | None = None,
+                          ) -> StatGroup:
+    """Publish one controlled cell as ``control.<cell>.*``/``power.*``.
+
+    Every leaf is a pure function of the result (no wall clock), so the
+    CI golden gate can watch all of them.
+    """
+    label = result.config.label
+    control = root.group("control", "adaptive control plane")
+    cell = control.group(label)
+    n_epochs = len(result.epochs)
+    cell.count("epochs", n_epochs, "control epochs closed")
+    cell.count("switches", result.switches,
+               "operating-point switches applied")
+    cell.scalar("switch_rate", result.switches / n_epochs
+                if n_epochs else 0.0,
+                "switches per epoch (thrash indicator)")
+    residency = cell.group("residency", "simulated seconds per mode")
+    total = sum(result.mode_residency_s.values())
+    for mode in sorted(result.mode_residency_s):
+        seconds = result.mode_residency_s[mode]
+        residency.scalar(f"{mode}_s", seconds)
+        residency.scalar(f"{mode}_frac", seconds / total if total
+                         else 0.0)
+    main_nj, checker_nj = result_energy_nj(result)
+    power = root.group("power", "fleet-timescale energy accounting")
+    pcell = power.group(label)
+    pcell.scalar("main_j", main_nj * 1e-9, "main-core energy")
+    pcell.scalar("checker_j", checker_nj * 1e-9,
+                 "checker-pool energy (the overhead the paper bounds)")
+    pcell.scalar("energy_overhead", checker_nj / main_nj
+                 if main_nj else 0.0,
+                 "checker / main energy fraction")
+    pcell.scalar("budget_overshoot", budget_overshoot(result),
+                 "worst epoch excess over the energy budget")
+    pcell.scalar("ed2p_j_ms2", result_ed2p(result),
+                 "energy x p99^2 (lower is better)")
+    if metrics is not None:
+        cell.scalar("coverage", metrics.coverage,
+                    "checked fraction under control")
+        cell.scalar("p99_ms", metrics.p99_ms)
+    return control

@@ -45,13 +45,6 @@ from repro.core.forensics import (
     locate_divergence,
     replay_vote,
 )
-from repro.core.scheduler import (
-    EpochPlan,
-    PoolCore,
-    Role,
-    RoleScheduler,
-    ScheduleOutcome,
-)
 from repro.core.rollback import (
     RecoverableSystem,
     RecoveredRun,
@@ -127,3 +120,18 @@ __all__ = [
     "replay_vote",
     "segment_finish_time",
 ]
+
+#: Scheduler names now live in :mod:`repro.control.roles`; resolved
+#: lazily (PEP 562) so importing :mod:`repro.core` does not pull the
+#: whole control plane in (and cannot cycle through it).
+_MOVED_TO_CONTROL = ("EpochPlan", "PoolCore", "Role", "RoleScheduler",
+                     "ScheduleOutcome")
+
+
+def __getattr__(name: str):
+    if name in _MOVED_TO_CONTROL:
+        from repro.control import roles
+
+        return getattr(roles, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")

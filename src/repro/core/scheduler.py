@@ -1,161 +1,32 @@
-"""OS-level core-role scheduling under varying load (section IV-A).
+"""Compatibility shim: the role scheduler moved to the control plane.
 
-The operating system decides which cores run workloads and which act as
-checkers, re-deciding at checkpoint boundaries (checkpoints are bounded,
-so there is no starvation).  The paper's operational claims:
-
-* preference for checker duty goes to idle cores, and among those to
-  lower-performance cores;
-* under high system load, checking is automatically scaled down (to
-  opportunistic coverage) or disabled entirely, so fault detection never
-  steals throughput the datacenter needs (section I / Fig. 1);
-* when load recedes, checking resumes.
-
-:class:`RoleScheduler` simulates that control loop over a demand trace:
-each epoch it assigns every core a role (main work, checker, idle) and
-reports the achieved compute capacity and checking coverage.
+The OS core-role scheduler started life here as an offline study over
+demand traces; it is now one policy of the closed-loop control plane in
+:mod:`repro.control.roles`, which this module re-exports.  The re-export
+is lazy (PEP 562) because :mod:`repro.control` reaches back through
+:mod:`repro.power` into :mod:`repro.core` — an eager import here would
+cycle during package initialisation.
 """
 
 from __future__ import annotations
 
-import enum
-from dataclasses import dataclass, field
-
-from repro.cpu.config import CoreInstance
-
-
-class Role(enum.Enum):
-    """What a core is doing during an epoch."""
-
-    MAIN = "main"
-    CHECKER = "checker"
-    IDLE = "idle"
+__all__ = [
+    "EpochPlan",
+    "PoolCore",
+    "Role",
+    "RoleScheduler",
+    "ScheduleOutcome",
+]
 
 
-@dataclass(frozen=True)
-class PoolCore:
-    """One schedulable core."""
+def __getattr__(name: str):
+    if name in __all__:
+        from repro.control import roles
 
-    core_id: str
-    instance: CoreInstance
-
-    @property
-    def is_little(self) -> bool:
-        return self.instance.config.area_mm2 < 1.0
-
-    @property
-    def compute_capacity(self) -> float:
-        """Relative single-thread capacity (area as a crude proxy would be
-        wrong — use width x frequency)."""
-        return self.instance.config.width * self.instance.freq_ghz
+        return getattr(roles, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")
 
 
-@dataclass
-class EpochPlan:
-    """The scheduler's decision for one epoch."""
-
-    epoch: int
-    demand_cores: float
-    roles: dict[str, Role]
-    #: Checker capacity per main core actually running checked work.
-    checkers_per_main: float
-    checking_enabled: bool
-
-    @property
-    def mains(self) -> list[str]:
-        return [cid for cid, role in self.roles.items() if role is Role.MAIN]
-
-    @property
-    def checkers(self) -> list[str]:
-        return [cid for cid, role in self.roles.items()
-                if role is Role.CHECKER]
-
-
-@dataclass
-class ScheduleOutcome:
-    """Aggregate over a demand trace."""
-
-    plans: list[EpochPlan] = field(default_factory=list)
-
-    @property
-    def epochs_with_checking(self) -> int:
-        return sum(1 for plan in self.plans if plan.checking_enabled)
-
-    @property
-    def checking_availability(self) -> float:
-        if not self.plans:
-            return 0.0
-        return self.epochs_with_checking / len(self.plans)
-
-    def roles_of(self, core_id: str) -> list[Role]:
-        return [plan.roles[core_id] for plan in self.plans]
-
-
-class RoleScheduler:
-    """Assigns main/checker/idle roles to a core pool per epoch.
-
-    ``min_checkers_per_main`` is the pool needed for full coverage
-    (e.g. 4 little cores per big main, section VII-A); when spare cores
-    fall below it, checking degrades to opportunistic; when demand wants
-    every core, checking disables.
-    """
-
-    def __init__(self, cores: list[PoolCore],
-                 min_checkers_per_main: float = 1.0) -> None:
-        if not cores:
-            raise ValueError("empty core pool")
-        self.cores = cores
-        self.min_checkers_per_main = min_checkers_per_main
-
-    def plan_epoch(self, epoch: int, demand_cores: float) -> EpochPlan:
-        """Assign roles for one epoch of ``demand_cores`` of main work.
-
-        Demand is satisfied with the *fastest* cores first (main work
-        needs single-thread performance); remaining cores become
-        checkers, littlest first (paper's preference), or stay idle when
-        there is nothing to check.
-        """
-        by_speed = sorted(self.cores, key=lambda c: -c.compute_capacity)
-        roles: dict[str, Role] = {}
-        need = demand_cores
-        mains: list[PoolCore] = []
-        for core in by_speed:
-            if need > 0:
-                roles[core.core_id] = Role.MAIN
-                mains.append(core)
-                need -= 1
-            else:
-                roles[core.core_id] = Role.IDLE
-        spare = [core for core in self.cores
-                 if roles[core.core_id] is Role.IDLE]
-        # Littlest spare cores become checkers (energy preference).
-        spare.sort(key=lambda c: c.instance.config.area_mm2)
-        checking_enabled = bool(mains) and bool(spare)
-        checkers = 0
-        if checking_enabled:
-            for core in spare:
-                roles[core.core_id] = Role.CHECKER
-                checkers += 1
-        return EpochPlan(
-            epoch=epoch,
-            demand_cores=demand_cores,
-            roles=roles,
-            checkers_per_main=checkers / len(mains) if mains else 0.0,
-            checking_enabled=checking_enabled,
-        )
-
-    def run(self, demand_trace: list[float]) -> ScheduleOutcome:
-        """Plan every epoch of a demand trace."""
-        outcome = ScheduleOutcome()
-        for epoch, demand in enumerate(demand_trace):
-            clamped = max(0.0, min(demand, len(self.cores)))
-            outcome.plans.append(self.plan_epoch(epoch, clamped))
-        return outcome
-
-    def coverage_mode_for(self, plan: EpochPlan) -> str:
-        """The checking mode the plan supports (Fig. 1's spectrum)."""
-        if not plan.checking_enabled:
-            return "disabled"
-        if plan.checkers_per_main >= self.min_checkers_per_main:
-            return "full"
-        return "opportunistic"
+def __dir__() -> list[str]:
+    return sorted(__all__)

@@ -46,3 +46,20 @@ def parse_float(name: str, raw: str | None, default: float) -> float:
 def env_int(name: str, default: int) -> int:
     """``int(os.environ[name])`` with a one-line failure mode."""
     return parse_int(name, os.environ.get(name), default)
+
+
+def env_float(name: str, default: float) -> float:
+    """``float(os.environ[name])`` with a one-line failure mode."""
+    return parse_float(name, os.environ.get(name), default)
+
+
+def parse_choice(name: str, raw: str | None, default: str,
+                 choices: tuple[str, ...]) -> str:
+    """Validate an enumerated knob with a one-line failure mode."""
+    if raw is None or raw == "":
+        return default
+    if raw not in choices:
+        raise SystemExit(
+            f"{name}={raw!r} is not one of {', '.join(choices)}; "
+            f"unset it or use e.g. {name}={default}")
+    return raw

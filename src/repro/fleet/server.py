@@ -77,6 +77,10 @@ def checker_relative_rate(spec: str) -> float:
     return total / MAIN_THROUGHPUT
 
 
+#: The checking modes a server can run in (Fig. 1's spectrum).
+MODES = ("full", "opportunistic", "disabled")
+
+
 @dataclass(frozen=True)
 class ServerConfig:
     """One server's checking arrangement."""
@@ -86,13 +90,26 @@ class ServerConfig:
     #: is stable below that load and pays tail stalls near it).
     checkers: str = "4xA510@2.0"
     #: ``"full"`` stalls at the lag bound; ``"opportunistic"`` drops
-    #: coverage instead.
+    #: coverage instead; ``"disabled"`` runs every request unchecked
+    #: (checking scaled to zero at peak load, section I / Fig. 1).
     mode: str = "full"
     #: Seconds of main-core work the LSL lets the checkers lag behind.
     lag_bound_s: float = 4e-3
 
     def relative_rate(self) -> float:
         return checker_relative_rate(self.checkers)
+
+    def validate_rate(self) -> float:
+        """Replay rate, rejecting inconsistent (mode, pool) pairs."""
+        if self.mode not in MODES:
+            raise ValueError(f"unknown server mode {self.mode!r}; "
+                             f"pick from {', '.join(MODES)}")
+        rate = self.relative_rate()
+        if self.mode == "full" and rate <= 0.0:
+            raise ValueError(
+                "full coverage needs a live checker pool; "
+                f"got checkers={self.checkers!r}")
+        return rate
 
 
 @dataclass
@@ -119,16 +136,27 @@ class Server:
     def __init__(self, index: int, config: ServerConfig) -> None:
         self.index = index
         self.config = config
-        self.check_rate = config.relative_rate()
-        if config.mode == "full" and self.check_rate <= 0.0:
-            raise ValueError(
-                "full coverage needs a live checker pool; "
-                f"got checkers={config.checkers!r}")
+        self.check_rate = config.validate_rate()
         self.in_system = 0
         self.stats = ServerStats()
         self._lag_s = 0.0
         self._lag_at = 0.0  # sim time the lag was last integrated at
         self._free_at = 0.0  # when the core finishes its current work
+
+    def reconfigure(self, t: float, config: ServerConfig) -> None:
+        """Swap mode/pool/DVFS point at an epoch boundary (time ``t``).
+
+        The lag is integrated up to ``t`` under the *old* pool first, so
+        a reconfiguration is exact: work committed before the switch
+        drains at the old rate, work after at the new one.  Unreplayed
+        lag survives the switch — the LSL's content does not vanish when
+        the controller reshapes the pool (it keeps draining under the
+        new rate, or sits inert if the new pool is ``"none"``).
+        """
+        rate = config.validate_rate()
+        self._drain_to(t)
+        self.config = config
+        self.check_rate = rate
 
     def _drain_to(self, t: float) -> None:
         """Integrate checker progress up to sim time ``t``."""
@@ -156,8 +184,8 @@ class Server:
         """
         self._drain_to(t)
         start = t
-        checked = True
-        if self._lag_s > self.config.lag_bound_s:
+        checked = self.config.mode != "disabled"
+        if checked and self._lag_s > self.config.lag_bound_s:
             if self.config.mode == "full":
                 # Stall the main core until the checkers catch back up
                 # to the bound; the lag drains at check_rate meanwhile.

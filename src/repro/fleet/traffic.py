@@ -154,6 +154,11 @@ class TrafficConfig:
     zipf_alpha: float = 1.1
     service: ServiceModel = ServiceModel()
     duration_s: float = 1.0
+    #: Piecewise-constant load multipliers over the duration (a diurnal
+    #: curve): phase ``k`` of ``len(rate_curve)`` equal phases offers
+    #: ``rate_rps * rate_curve[k]``.  ``None`` keeps the rate flat —
+    #: bit-identical to the pre-curve generator.
+    rate_curve: tuple[float, ...] | None = None
 
 
 class OpenLoopGenerator:
@@ -167,14 +172,28 @@ class OpenLoopGenerator:
     def __init__(self, config: TrafficConfig, seed: int) -> None:
         self.config = config
         self.seed = seed
+        if config.rate_curve is not None and (
+                not config.rate_curve
+                or any(m <= 0.0 for m in config.rate_curve)):
+            raise ValueError("rate_curve needs at least one positive "
+                             f"multiplier, got {config.rate_curve!r}")
+
+    def _rate_at(self, t: float) -> float:
+        """Offered rate at sim time ``t`` (piecewise diurnal curve)."""
+        curve = self.config.rate_curve
+        if curve is None:
+            return self.config.rate_rps
+        phase = min(len(curve) - 1,
+                    int(t / self.config.duration_s * len(curve)))
+        return self.config.rate_rps * curve[phase]
 
     def initial_requests(self) -> list[Request]:
         zipf = ZipfKeys(self.config.n_keys, self.config.zipf_alpha)
         requests = []
         t = 0.0
         rid = 0
-        mean_gap = 1.0 / self.config.rate_rps
         while True:
+            mean_gap = 1.0 / self._rate_at(t)
             t += stream_rng(self.seed, rid, "gap").expovariate(1.0 / mean_gap)
             if t >= self.config.duration_s:
                 break

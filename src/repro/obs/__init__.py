@@ -8,6 +8,11 @@ stages, checker slots) publishes observation points into one
 simulated behaviour — registering more of them cannot change a result.
 """
 
+from repro.obs.bus import (
+    TelemetryBus,
+    TelemetrySnapshot,
+    write_epoch_jsonl,
+)
 from repro.obs.stats import (
     Counter,
     Gauge,
@@ -24,4 +29,7 @@ __all__ = [
     "StageTimer",
     "Stat",
     "StatGroup",
+    "TelemetryBus",
+    "TelemetrySnapshot",
+    "write_epoch_jsonl",
 ]

@@ -1,0 +1,204 @@
+"""Streaming telemetry: epoch snapshots/deltas of the stats tree.
+
+The :class:`~repro.obs.stats.StatGroup` tree is a point-in-time view;
+long-running components (the evaluation service, the fleet traffic
+simulator, the fault-campaign engine) previously only dumped it once at
+shutdown via ``--stats-json``.  :class:`TelemetryBus` turns the tree
+into a *stream*: a publisher snapshots its tree at epoch boundaries,
+each snapshot gets a monotonic epoch id and a numeric-leaf delta against
+the previous snapshot of the same label, and consumers either
+
+* **subscribe** — a callback per published :class:`TelemetrySnapshot`
+  (the closed-loop controller's path),
+* **poll** — ``poll(since)`` returns the bounded history of snapshots
+  newer than an epoch id (the serve ``stats`` op's path), or
+* **tail a JSONL sink** — one compact-JSON line per snapshot, so a live
+  run can be watched with ``tail -f`` and epoch streams from two runs
+  can be compared byte-for-byte.
+
+The bus never influences what it observes: publishing is side-effect
+free for the simulation, and a deterministic publisher (fixed policy,
+fixed seed) produces an identical epoch stream at any worker count.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, IO
+
+from repro.obs.stats import StatGroup
+
+
+def flatten_numeric(tree: dict, prefix: str = "") -> dict[str, float]:
+    """Dotted-name -> numeric-leaf map (histogram buckets skipped)."""
+    flat: dict[str, float] = {}
+    for name, value in tree.items():
+        dotted = f"{prefix}{name}"
+        if isinstance(value, dict):
+            flat.update(flatten_numeric(value, dotted + "."))
+        elif isinstance(value, bool):
+            flat[dotted] = float(value)
+        elif isinstance(value, (int, float)):
+            flat[dotted] = float(value)
+    return flat
+
+
+@dataclass(frozen=True)
+class TelemetrySnapshot:
+    """One published epoch of one stats tree."""
+
+    epoch: int
+    label: str
+    tree: dict
+    #: Numeric leaves that changed since the previous snapshot of the
+    #: same label, as ``dotted-name -> (new - old)``.  The first
+    #: snapshot of a label has every non-zero leaf as its delta.
+    delta: dict[str, float] = field(default_factory=dict)
+
+    def flat(self) -> dict[str, float]:
+        """Dotted numeric leaves of this snapshot's tree."""
+        return flatten_numeric(self.tree)
+
+    def to_wire(self) -> dict:
+        """The JSONL line payload (stable key order when dumped)."""
+        return {"epoch": self.epoch, "label": self.label,
+                "stats": self.tree, "delta": self.delta}
+
+
+class TelemetryBus:
+    """Publish/subscribe/poll hub for epoch-stamped stats snapshots.
+
+    Epoch ids are monotonic across *all* labels on one bus, so a
+    consumer polling ``since=last_seen`` never misses or re-reads a
+    snapshot regardless of how many publishers share the bus.  History
+    is bounded (``history`` snapshots); pollers that fall further behind
+    simply resynchronise from the oldest retained epoch.
+    """
+
+    def __init__(self, history: int = 256) -> None:
+        if history < 1:
+            raise ValueError(f"history must be >= 1, got {history}")
+        self._lock = threading.Lock()
+        self._epoch = 0
+        self._history: deque[TelemetrySnapshot] = deque(maxlen=history)
+        self._last_flat: dict[str, dict[str, float]] = {}
+        self._subscribers: list[Callable[[TelemetrySnapshot], None]] = []
+        self._sink: IO[str] | None = None
+        self._sink_owned = False
+
+    # -- sink --------------------------------------------------------------
+
+    def attach_jsonl(self, path: str | Path | IO[str]) -> None:
+        """Mirror every snapshot to a JSONL sink (one line per epoch)."""
+        with self._lock:
+            self._close_sink()
+            if hasattr(path, "write"):
+                self._sink = path  # type: ignore[assignment]
+                self._sink_owned = False
+            else:
+                self._sink = open(path, "w", encoding="utf-8")
+                self._sink_owned = True
+
+    def _close_sink(self) -> None:
+        if self._sink is not None and self._sink_owned:
+            self._sink.close()
+        self._sink = None
+        self._sink_owned = False
+
+    def close(self) -> None:
+        with self._lock:
+            self._close_sink()
+
+    # -- publishing --------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """Epoch id of the most recent snapshot (0 before the first)."""
+        with self._lock:
+            return self._epoch
+
+    def publish(self, stats: StatGroup | dict,
+                label: str = "") -> TelemetrySnapshot:
+        """Snapshot one stats tree; returns the stamped snapshot.
+
+        ``stats`` may be a live :class:`StatGroup` (snapshotted via
+        ``to_dict``) or an already-exported plain tree.
+        """
+        tree = stats.to_dict() if isinstance(stats, StatGroup) else stats
+        flat = flatten_numeric(tree)
+        with self._lock:
+            previous = self._last_flat.get(label, {})
+            delta = {}
+            for key in sorted(set(previous) | set(flat)):
+                change = flat.get(key, 0.0) - previous.get(key, 0.0)
+                if change != 0.0:
+                    delta[key] = change
+            self._epoch += 1
+            snapshot = TelemetrySnapshot(epoch=self._epoch, label=label,
+                                         tree=tree, delta=delta)
+            self._history.append(snapshot)
+            self._last_flat[label] = flat
+            subscribers = list(self._subscribers)
+            if self._sink is not None:
+                self._sink.write(json.dumps(snapshot.to_wire(),
+                                            sort_keys=True,
+                                            separators=(",", ":")) + "\n")
+                self._sink.flush()
+        for callback in subscribers:
+            callback(snapshot)
+        return snapshot
+
+    # -- consumption -------------------------------------------------------
+
+    def subscribe(self, callback: Callable[[TelemetrySnapshot], None],
+                  ) -> Callable[[], None]:
+        """Register a per-snapshot callback; returns an unsubscriber."""
+        with self._lock:
+            self._subscribers.append(callback)
+
+        def unsubscribe() -> None:
+            with self._lock:
+                if callback in self._subscribers:
+                    self._subscribers.remove(callback)
+
+        return unsubscribe
+
+    def poll(self, since: int = 0,
+             label: str | None = None) -> list[TelemetrySnapshot]:
+        """Snapshots with ``epoch > since`` (oldest first), optionally
+        filtered to one label."""
+        with self._lock:
+            return [s for s in self._history
+                    if s.epoch > since
+                    and (label is None or s.label == label)]
+
+    def latest(self, label: str | None = None) -> TelemetrySnapshot | None:
+        """The most recent snapshot (of one label, if given)."""
+        with self._lock:
+            for snapshot in reversed(self._history):
+                if label is None or snapshot.label == label:
+                    return snapshot
+        return None
+
+
+def write_epoch_jsonl(path: str | Path, records: list[dict],
+                      label: str) -> None:
+    """Write an already-collected epoch-record list as a bus JSONL file.
+
+    The fleet simulator collects per-epoch records *inside* worker
+    processes (a pure function of the cell config), merges them in rep
+    order, and only then writes the stream — so the file is bit-identical
+    at any ``--jobs``.  Epoch ids restart from 1, exactly as if the
+    records had been published live on a fresh bus.
+    """
+    bus = TelemetryBus(history=1)
+    bus.attach_jsonl(path)
+    try:
+        for record in records:
+            bus.publish(record, label=label)
+    finally:
+        bus.close()

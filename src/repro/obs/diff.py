@@ -35,14 +35,22 @@ HIGHER_IS_WORSE = ("wall_time_ms", "stall_ns", "slowdown", "latency_ns",
                    # Shard-router health: forwards re-sent to another
                    # shard and shards marked down are failure events.
                    "re_dispatches", "re_dispatched_away", "mark_downs",
-                   "unroutable")
+                   "unroutable",
+                   # Control plane: mode thrashing, energy-budget
+                   # excursions, and fleet-scale energy figures must
+                   # only ever shrink.
+                   "switch_rate", "budget_overshoot", "energy_overhead",
+                   "ed2p_j_ms2", "residency.disabled_frac")
 #: Key suffixes where a decrease beyond threshold is a regression.
 LOWER_IS_WORSE = ("occupancy", "pool_occupancy", "coverage", "hit_rate",
                   "ipc", "overlap", "detection_rate_all",
                   "detection_rate_effective",
                   # Ring locality: requests landing off their primary
                   # owner lose cache heat.
-                  "locality.primary_ratio")
+                  "locality.primary_ratio",
+                  # Control plane: time spent at full coverage is the
+                  # payoff the controller exists to maximise.
+                  "residency.full_frac")
 
 
 @dataclass(frozen=True)

@@ -98,10 +98,19 @@ class EvalClient:
         return protocol.response_from_wire(
             self._round_trip(protocol.campaign_to_wire(request)))
 
-    def stats(self) -> dict:
-        """Fetch the service's stats tree (``serve.*`` telemetry)."""
-        response = protocol.response_from_wire(
-            self._round_trip({"op": protocol.OP_STATS}))
+    def stats(self, since: int | None = None) -> dict:
+        """Fetch the service's stats tree (``serve.*`` telemetry).
+
+        Plain call returns the bare tree.  With ``since=<epoch>`` the
+        server publishes a telemetry epoch and returns ``{"epoch",
+        "stats", "delta"}`` — pass the returned ``epoch`` back as the
+        next ``since`` to stream counter changes incrementally
+        (``since=0`` starts a stream).
+        """
+        payload: dict = {"op": protocol.OP_STATS}
+        if since is not None:
+            payload["since"] = since
+        response = protocol.response_from_wire(self._round_trip(payload))
         if not response.ok or response.result is None:
             raise ProtocolError(f"stats query failed: {response.error}")
         return response.result
@@ -207,10 +216,14 @@ class AsyncEvalClient:
         return protocol.response_from_wire(
             await self._send(protocol.campaign_to_wire(request)))
 
-    async def stats(self) -> dict:
-        response = protocol.response_from_wire(await self._send(
-            {"op": protocol.OP_STATS,
-             "request_id": f"r{next(self._ids)}"}))
+    async def stats(self, since: int | None = None) -> dict:
+        """Stats tree, or epoch view with ``since`` (see
+        :meth:`EvalClient.stats`)."""
+        payload: dict = {"op": protocol.OP_STATS,
+                         "request_id": f"r{next(self._ids)}"}
+        if since is not None:
+            payload["since"] = since
+        response = protocol.response_from_wire(await self._send(payload))
         if not response.ok or response.result is None:
             raise ProtocolError(f"stats query failed: {response.error}")
         return response.result
@@ -324,3 +337,27 @@ class RouterClient:
         with EvalClient(self.host, self.port,
                         connect_timeout_s=self.connect_timeout_s) as probe:
             return probe.stats()
+
+    def shard_stats(self, since: dict[str, int] | None = None,
+                    ) -> dict[str, dict]:
+        """Live stats from every backend shard, keyed by shard name.
+
+        Walks the discovered ring and issues the ``stats`` op directly
+        to each backend — the per-shard view the router's own tree
+        cannot give (it only sees what it forwarded).  ``since`` maps
+        shard name to the last seen epoch id, switching that shard to
+        the incremental ``{"epoch", "stats", "delta"}`` shape.  An
+        unreachable shard reports ``{"error": ...}`` instead of taking
+        the sweep down.
+        """
+        self._ensure_ring()
+        since = since or {}
+        report: dict[str, dict] = {}
+        for name in sorted(self._addresses):
+            client = self._client(name)
+            try:
+                report[name] = client.stats(since.get(name))
+            except (OSError, ConnectionError, ProtocolError) as exc:
+                client.close()
+                report[name] = {"error": f"{type(exc).__name__}: {exc}"}
+        return report

@@ -9,16 +9,22 @@ processes, so the event loop stays responsive at high client counts.
 
 Telemetry is published into a ``serve`` group of a standard
 :class:`~repro.obs.StatGroup` tree — the same machinery as
-``paraverser run --stats-json`` — and is also queryable in-band via the
-``stats`` op.
+``paraverser run --stats-json`` — and streams through a
+:class:`~repro.obs.TelemetryBus`: with ``epoch_s > 0`` the service
+publishes an epoch snapshot of the whole tree every period (mirrored to
+``--telemetry-jsonl`` when given), and the in-band ``stats`` op both
+returns the live tree and, given ``since: <epoch>``, the delta stream
+newer than that epoch — a client can follow counters incrementally
+instead of re-diffing full dumps.
 """
 
 from __future__ import annotations
 
 import asyncio
 import logging
+from pathlib import Path
 
-from repro.obs import StatGroup
+from repro.obs import StatGroup, TelemetryBus
 from repro.serve import protocol
 from repro.serve.batcher import Batch, plan_batches
 from repro.serve.protocol import (
@@ -43,7 +49,10 @@ class EvalService:
                  default_timeout_s: float | None = None,
                  max_retries: int = 2,
                  retry_backoff_s: float = 0.25,
-                 stats: StatGroup | None = None) -> None:
+                 stats: StatGroup | None = None,
+                 telemetry: TelemetryBus | None = None,
+                 epoch_s: float = 0.0,
+                 telemetry_jsonl: str | Path | None = None) -> None:
         self.pool = pool
         self.host = host
         self.port = port
@@ -55,8 +64,14 @@ class EvalService:
         self.stats_root = stats if stats is not None else StatGroup("root")
         self._stats = self.stats_root.group(
             "serve", "evaluation service telemetry")
+        self.telemetry = telemetry if telemetry is not None \
+            else TelemetryBus()
+        self.epoch_s = epoch_s
+        if telemetry_jsonl is not None:
+            self.telemetry.attach_jsonl(telemetry_jsonl)
         self._server: asyncio.base_events.Server | None = None
         self._dispatcher: asyncio.Task | None = None
+        self._publisher: asyncio.Task | None = None
         self._batch_tasks: set[asyncio.Task] = set()
         self._running = False
 
@@ -72,6 +87,9 @@ class EvalService:
         self.host, self.port = sockname[0], sockname[1]
         self._dispatcher = asyncio.create_task(self._dispatch_loop(),
                                                name="serve-dispatch")
+        if self.epoch_s > 0:
+            self._publisher = asyncio.create_task(
+                self._publish_loop(), name="serve-telemetry")
         log.info("serve: listening on %s:%d", self.host, self.port)
         return self.host, self.port
 
@@ -92,6 +110,12 @@ class EvalService:
                 await self._dispatcher
             except asyncio.CancelledError:
                 pass
+        if self._publisher is not None:
+            self._publisher.cancel()
+            try:
+                await self._publisher
+            except asyncio.CancelledError:
+                pass
         # Whatever was admitted but never dispatched is shed; batches
         # already in flight run to completion (pool drain).
         self.queue.drain(
@@ -101,6 +125,10 @@ class EvalService:
             await asyncio.gather(*self._batch_tasks, return_exceptions=True)
         self.pool.shutdown(wait=True)
         self._publish_queue_stats()
+        if self.epoch_s > 0:
+            # Final epoch so the stream's last line is the shutdown tree.
+            self.telemetry.publish(self.stats_root, label="serve")
+        self.telemetry.close()
 
     # -- connection handling ----------------------------------------------
 
@@ -160,7 +188,7 @@ class EvalService:
                 response = EvalResponse(
                     protocol.STATUS_OK,
                     payload.get("request_id", ""),
-                    result=self.stats_root.to_dict())
+                    result=self._stats_result(payload.get("since")))
             elif op == protocol.OP_EVAL:
                 request = protocol.request_from_wire(payload)
                 self._validate_names(request)
@@ -310,6 +338,41 @@ class EvalService:
                 waiter.resolve(protocol.ok_response(waiter.request, row))
 
     # -- stats -------------------------------------------------------------
+
+    def _stats_result(self, since) -> dict:
+        """The ``stats`` op result: plain tree, or epoch view for
+        ``since``.
+
+        Without ``since`` the result is the bare stats tree (the
+        original wire shape, kept for old clients).  With ``since:
+        <epoch>`` a fresh epoch is published and the result carries the
+        new epoch id, the tree, and the summed numeric delta of every
+        retained snapshot newer than ``since`` — counters accumulate
+        exactly, so polling clients can integrate changes without
+        re-diffing full dumps.  A ``since`` older than the bus history
+        yields the delta over the retained window only.
+        """
+        if since is None:
+            return self.stats_root.to_dict()
+        if not isinstance(since, int) or isinstance(since, bool) \
+                or since < 0:
+            raise ProtocolError(
+                f"stats 'since' must be a non-negative epoch id, "
+                f"got {since!r}")
+        snapshot = self.telemetry.publish(self.stats_root, label="serve")
+        delta: dict[str, float] = {}
+        for past in self.telemetry.poll(since=since, label="serve"):
+            for key, change in past.delta.items():
+                delta[key] = delta.get(key, 0.0) + change
+        return {"epoch": snapshot.epoch, "stats": snapshot.tree,
+                "delta": delta}
+
+    async def _publish_loop(self) -> None:
+        """Stream the stats tree as telemetry epochs every ``epoch_s``."""
+        while True:
+            await asyncio.sleep(self.epoch_s)
+            self._publish_queue_stats()
+            self.telemetry.publish(self.stats_root, label="serve")
 
     def _publish_queue_stats(self) -> None:
         queue = self._stats.group("queue", "admission control")

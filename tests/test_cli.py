@@ -119,6 +119,22 @@ class TestCommands:
         tree = json.loads(stats_path.read_text())
         assert tree["faults"]["injected"] == 2
 
+    def test_campaign_telemetry_jsonl(self, capsys, tmp_path):
+        import json
+        jsonl_path = tmp_path / "faults.jsonl"
+        code = main(["campaign", "-w", "exchange2", "-t", "8",
+                     "-n", "6000", "-j", "1",
+                     "--telemetry-jsonl", str(jsonl_path)])
+        assert code == 0
+        lines = jsonl_path.read_text().splitlines()
+        assert lines
+        records = [json.loads(line) for line in lines]
+        assert all(r["label"] == "faults.exchange2" for r in records)
+        assert [r["epoch"] for r in records] == list(range(1, len(records) + 1))
+        final = records[-1]["stats"]["campaign"]
+        assert final["trials"] == 8
+        assert 0 <= final["detected"] <= 8
+
     def test_campaign_chunked_matches_serial(self, capsys):
         import json
         base = ["campaign", "-w", "exchange2", "-t", "4", "-n", "6000",
@@ -243,6 +259,82 @@ class TestCommands:
         code = main(["fleet", "--modes", "sometimes", "--duration", "0.2"])
         assert code == 2
         assert "unknown mode" in capsys.readouterr().err
+
+    def test_control_prints_frontier_table(self, capsys):
+        code = main(["control", "--servers", "4", "--duration", "0.5",
+                     "--epoch-s", "0.1", "--reps", "1", "-j", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "always_full" in out
+        assert "always_opportunistic" in out
+        assert "controlled" in out
+        assert "frontier: p99 vs always-full" in out
+
+    def test_control_json_reports_dominance(self, capsys):
+        import json
+        code = main(["control", "--servers", "4", "--duration", "0.5",
+                     "--epoch-s", "0.1", "--reps", "1", "-j", "1",
+                     "--json"])
+        assert code == 0
+        out = json.loads(capsys.readouterr().out)
+        assert set(out["arms"]) == {"always_full",
+                                    "always_opportunistic", "controlled"}
+        assert set(out["dominates"]) == {"p99_vs_full",
+                                         "coverage_vs_opportunistic"}
+
+    def test_control_stats_and_telemetry_outputs(self, capsys, tmp_path):
+        import json
+        stats_path = tmp_path / "control.json"
+        jsonl_path = tmp_path / "epochs.jsonl"
+        code = main(["control", "--servers", "4", "--duration", "0.5",
+                     "--epoch-s", "0.1", "--reps", "1", "-j", "1",
+                     "--stats-json", str(stats_path),
+                     "--telemetry-jsonl", str(jsonl_path)])
+        assert code == 0
+        capsys.readouterr()
+        tree = json.loads(stats_path.read_text())
+        cell = tree["control"]["shortest_threshold_load0.7"]
+        assert cell["epochs"] == 5
+        assert "power" in tree
+        assert "shortest_full_load0.7" in tree["fleet"]
+        lines = jsonl_path.read_text().strip().splitlines()
+        assert len(lines) == 5
+        assert json.loads(lines[0])["label"] \
+            == "control.shortest_threshold_load0.7"
+
+    def test_control_bad_flags_one_liner(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["control", "--epoch-s", "fast"])
+        assert "--epoch-s" in str(excinfo.value)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["control", "--policy", "pid"])
+        message = str(excinfo.value)
+        assert "--policy" in message and "threshold" in message
+
+    def test_control_env_knobs_apply(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CONTROL_EPOCH_S", "0.25")
+        code = main(["control", "--servers", "4", "--duration", "0.5",
+                     "--reps", "1", "-j", "1"])
+        assert code == 0
+        assert "epoch 0.25s" in capsys.readouterr().out
+
+    def test_control_bad_env_knob_one_liner(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CONTROL_EPOCH_S", "fast")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["control", "--servers", "4", "--duration", "0.5"])
+        assert "REPRO_CONTROL_EPOCH_S" in str(excinfo.value)
+
+    def test_control_rejects_degenerate_scale(self, capsys):
+        code = main(["control", "--servers", "0", "--duration", "0.5"])
+        assert code == 2
+        assert "--servers" in capsys.readouterr().err
+
+    def test_control_ed2p_needs_single_group_pool(self, capsys):
+        code = main(["control", "--policy", "ed2p_budget",
+                     "--checkers", "2xA510@2.0,1xX2@3.0",
+                     "--duration", "0.5"])
+        assert code == 2
+        assert "single-group pool" in capsys.readouterr().err
 
     def test_unknown_workload_raises(self):
         with pytest.raises(KeyError):

@@ -1,0 +1,170 @@
+"""The closed loop end to end: dwell, controlled runs, determinism."""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.control import (
+    ControlAction,
+    Controller,
+    publish_control_stats,
+    result_energy_nj,
+)
+from repro.control.bench import (
+    BENCH_CHECKERS,
+    DEFAULT_CONTROLLER,
+    diurnal_config,
+    run_diurnal_bench,
+)
+from repro.fleet import FleetTrafficConfig, FleetTrafficSim, run_cell, summarize
+from repro.obs import StatGroup, write_epoch_jsonl
+
+
+class FlipFlopPolicy:
+    """Worst-case thrasher: demands the other mode every epoch."""
+
+    def __init__(self):
+        self.checkers = BENCH_CHECKERS
+
+    def on_epoch(self, obs):
+        mode = "opportunistic" if obs.mode == "full" else "full"
+        return ControlAction(mode=mode, checkers=self.checkers)
+
+
+def controlled_config(**overrides) -> FleetTrafficConfig:
+    base = diurnal_config(servers=4, duration_s=1.0, epoch_s=0.1)
+    return replace(base, controller=dict(DEFAULT_CONTROLLER), **overrides)
+
+
+class TestDwell:
+    def test_dwell_bounds_the_switch_rate(self):
+        from repro.control.policy import EpochObservation
+
+        def observe(epoch, mode):
+            return EpochObservation(
+                epoch=epoch, t_s=epoch * 0.1, epoch_len_s=0.1, servers=1,
+                offered=10, completed=10, p50_ms=1.0, p99_ms=1.0,
+                utilization=0.5, stall_fraction=0.0, coverage=1.0,
+                lag_max_frac=0.1, busy_s=0.05, checked_work_s=0.05,
+                mode=mode, checkers=BENCH_CHECKERS)
+
+        controller = Controller(FlipFlopPolicy(), dwell_epochs=4)
+        mode, switches = "full", 0
+        for epoch in range(1, 21):
+            action = controller.on_epoch(observe(epoch, mode))
+            if action.mode != mode:
+                switches += 1
+                mode = action.mode
+            else:
+                assert action.info.get("held") is True
+        # 20 epochs of maximal pressure, at most one switch per dwell.
+        assert switches <= 20 // 4 + 1
+
+    def test_dwell_must_be_positive(self):
+        with pytest.raises(ValueError, match="dwell_epochs"):
+            Controller(FlipFlopPolicy(), dwell_epochs=0)
+
+
+class TestControlledRuns:
+    def test_controller_requires_epochs(self):
+        config = replace(diurnal_config(),
+                         epoch_s=0.0, controller=DEFAULT_CONTROLLER)
+        with pytest.raises(ValueError, match="epoch_s"):
+            FleetTrafficSim(config)
+
+    def test_controlled_config_round_trips_through_json(self):
+        config = controlled_config()
+        assert FleetTrafficConfig.from_json(config.to_json()) == config
+
+    def test_epoch_records_cover_the_run(self):
+        config = controlled_config()
+        result = FleetTrafficSim(config).run()
+        assert len(result.epochs) == 10  # duration 1.0 / epoch 0.1
+        assert [r["epoch"] for r in result.epochs] == list(range(1, 11))
+        assert all(r["mode"] in ("full", "opportunistic", "disabled")
+                   for r in result.epochs)
+        switched = sum(1 for r in result.epochs if r["switched"])
+        assert switched == result.switches
+        assert sum(result.mode_residency_s.values()) == pytest.approx(
+            config.duration_s * 1)  # one rep
+
+    def test_fanout_is_bit_identical_with_a_controller(self):
+        config = controlled_config()
+        serial = run_cell(config, reps=2, jobs=1)
+        fanned = run_cell(config, reps=2, jobs=2)
+        assert fanned.latencies_s == serial.latencies_s
+        assert fanned.epochs == serial.epochs
+        assert fanned.switches == serial.switches
+        assert fanned.mode_residency_s == serial.mode_residency_s
+
+    def test_epoch_jsonl_is_bit_identical_across_jobs(self, tmp_path):
+        config = controlled_config()
+        streams = []
+        for jobs in (1, 3):
+            result = run_cell(config, reps=3, jobs=jobs)
+            path = tmp_path / f"epochs_j{jobs}.jsonl"
+            write_epoch_jsonl(path, result.epochs,
+                              label=f"fleet.{config.label}")
+            streams.append(path.read_bytes())
+        assert streams[0] == streams[1]
+        lines = [json.loads(line) for line in
+                 streams[0].decode().strip().splitlines()]
+        assert len(lines) == 30  # 3 reps x 10 epochs
+        assert [line["epoch"] for line in lines] == list(range(1, 31))
+
+    def test_static_and_controlled_agree_when_policy_never_switches(self):
+        # A controller pinned to the static point must not perturb the
+        # simulation: control is observation-only until it acts.
+        base = diurnal_config(servers=4, duration_s=1.0, epoch_s=0.1)
+        static = FleetTrafficSim(replace(base, mode="full")).run()
+        pinned = FleetTrafficSim(replace(
+            base, controller={"kind": "static", "mode": "full",
+                              "checkers": BENCH_CHECKERS})).run()
+        assert pinned.latencies_s == static.latencies_s
+        assert pinned.switches == 0
+        assert set(pinned.mode_residency_s) == {"full"}
+
+
+class TestStats:
+    def test_publish_control_stats_tree(self):
+        config = controlled_config()
+        result = run_cell(config, reps=1, jobs=1)
+        root = StatGroup("root")
+        publish_control_stats(root, result, metrics=summarize(result))
+        flat = root.flatten()
+        label = config.label
+        for leaf in ("epochs", "switches", "switch_rate", "coverage",
+                     "p99_ms"):
+            assert f"control.{label}.{leaf}" in flat
+        for leaf in ("main_j", "checker_j", "energy_overhead",
+                     "budget_overshoot", "ed2p_j_ms2"):
+            assert f"power.{label}.{leaf}" in flat
+        fracs = [value for key, value in flat.items()
+                 if key.startswith(f"control.{label}.residency.")
+                 and key.endswith("_frac")]
+        assert sum(fracs) == pytest.approx(1.0)
+
+    def test_energy_accounting_is_epoch_resolved(self):
+        config = controlled_config()
+        result = run_cell(config, reps=1, jobs=1)
+        main_nj, checker_nj = result_energy_nj(result)
+        assert main_nj > 0
+        # The controlled run spends part of the day degraded, so its
+        # checker energy must undercut the always-full pool.
+        full = run_cell(replace(config, controller=None, mode="full"),
+                        reps=1, jobs=1)
+        _, full_checker_nj = result_energy_nj(full)
+        assert 0 < checker_nj < full_checker_nj
+
+
+class TestDiurnalBench:
+    def test_controlled_dominates_both_endpoints(self):
+        out = run_diurnal_bench(servers=4, duration_s=1.0, epoch_s=0.1)
+        assert out["dominates"]["p99_vs_full"]
+        assert out["dominates"]["coverage_vs_opportunistic"]
+        rows = out["arms"]
+        assert rows["always_full"]["coverage"] == 1.0
+        assert rows["always_full"]["switches"] == 0
+        assert rows["controlled"]["switches"] > 0
+        assert set(rows["controlled"]["mode_residency"]) >= {"full"}

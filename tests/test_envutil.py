@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.envutil import env_int, parse_float, parse_int
+from repro.envutil import (
+    env_float,
+    env_int,
+    parse_choice,
+    parse_float,
+    parse_int,
+)
 from repro.harness.runner import env_instructions, env_jobs, env_trials
 from repro.pipeline.executor import env_stage_jobs
 
@@ -70,3 +76,37 @@ class TestParseHelpers:
             parse_float("--duration", "2s", 2.0)
         message = str(excinfo.value)
         assert "--duration" in message and "2s" in message
+
+    def test_parse_choice_accepts_member_and_default(self):
+        choices = ("threshold", "ed2p_budget", "scheduler")
+        assert parse_choice("--policy", "scheduler", "threshold",
+                            choices) == "scheduler"
+        assert parse_choice("--policy", None, "threshold",
+                            choices) == "threshold"
+        assert parse_choice("--policy", "", "threshold",
+                            choices) == "threshold"
+
+    def test_parse_choice_lists_the_choices(self):
+        with pytest.raises(SystemExit) as excinfo:
+            parse_choice("--policy", "pid", "threshold",
+                         ("threshold", "scheduler"))
+        message = str(excinfo.value)
+        assert "--policy" in message and "pid" in message
+        assert "threshold" in message and "scheduler" in message
+
+
+class TestEnvFloat:
+    """REPRO_CONTROL_* knobs (`paraverser control`) parse as floats."""
+
+    def test_unset_and_valid(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CONTROL_EPOCH_S", raising=False)
+        assert env_float("REPRO_CONTROL_EPOCH_S", 0.1) == 0.1
+        monkeypatch.setenv("REPRO_CONTROL_EPOCH_S", "0.25")
+        assert env_float("REPRO_CONTROL_EPOCH_S", 0.1) == 0.25
+
+    def test_bad_value_is_a_one_liner(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CONTROL_BUDGET", "40%")
+        with pytest.raises(SystemExit) as excinfo:
+            env_float("REPRO_CONTROL_BUDGET", 0.4)
+        message = str(excinfo.value)
+        assert "REPRO_CONTROL_BUDGET" in message and "40%" in message

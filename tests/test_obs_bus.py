@@ -1,0 +1,131 @@
+"""Telemetry bus: epoch snapshots, deltas, polling, JSONL sinks."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    StatGroup,
+    TelemetryBus,
+    TelemetrySnapshot,
+    write_epoch_jsonl,
+)
+from repro.obs.bus import flatten_numeric
+
+
+def tree(**leaves) -> dict:
+    return {"group": dict(leaves)}
+
+
+class TestFlatten:
+    def test_nested_numeric_leaves(self):
+        flat = flatten_numeric({"a": {"b": 1, "c": 2.5}, "d": True})
+        assert flat == {"a.b": 1.0, "a.c": 2.5, "d": 1.0}
+
+    def test_non_numeric_leaves_skipped(self):
+        assert flatten_numeric({"name": "cell", "n": 3}) == {"n": 3.0}
+
+
+class TestPublish:
+    def test_epochs_are_monotonic_across_labels(self):
+        bus = TelemetryBus()
+        first = bus.publish(tree(n=1), label="a")
+        second = bus.publish(tree(n=1), label="b")
+        third = bus.publish(tree(n=2), label="a")
+        assert (first.epoch, second.epoch, third.epoch) == (1, 2, 3)
+        assert bus.epoch == 3
+
+    def test_delta_is_per_label(self):
+        bus = TelemetryBus()
+        bus.publish(tree(n=10), label="a")
+        bus.publish(tree(n=99), label="b")
+        snapshot = bus.publish(tree(n=13), label="a")
+        assert snapshot.delta == {"group.n": 3.0}
+
+    def test_first_snapshot_delta_is_nonzero_leaves(self):
+        bus = TelemetryBus()
+        snapshot = bus.publish(tree(n=5, zero=0))
+        assert snapshot.delta == {"group.n": 5.0}
+
+    def test_vanished_leaf_reports_negative_delta(self):
+        bus = TelemetryBus()
+        bus.publish(tree(n=5))
+        snapshot = bus.publish({"group": {}})
+        assert snapshot.delta == {"group.n": -5.0}
+
+    def test_accepts_live_statgroup(self):
+        root = StatGroup("root")
+        root.count("hits", 3)
+        snapshot = TelemetryBus().publish(root)
+        assert snapshot.tree["hits"] == 3
+
+    def test_history_must_be_positive(self):
+        with pytest.raises(ValueError, match="history"):
+            TelemetryBus(history=0)
+
+
+class TestConsume:
+    def test_poll_since_never_rereads(self):
+        bus = TelemetryBus()
+        for n in range(5):
+            bus.publish(tree(n=n), label="a" if n % 2 else "b")
+        seen = bus.poll(since=0)
+        assert [s.epoch for s in seen] == [1, 2, 3, 4, 5]
+        assert bus.poll(since=seen[-1].epoch) == []
+        assert [s.epoch for s in bus.poll(since=2, label="b")] == [3, 5]
+
+    def test_poll_resyncs_from_bounded_history(self):
+        bus = TelemetryBus(history=2)
+        for n in range(5):
+            bus.publish(tree(n=n))
+        assert [s.epoch for s in bus.poll(since=0)] == [4, 5]
+
+    def test_latest_filters_by_label(self):
+        bus = TelemetryBus()
+        assert bus.latest() is None
+        bus.publish(tree(n=1), label="a")
+        bus.publish(tree(n=2), label="b")
+        latest = bus.latest(label="a")
+        assert latest is not None and latest.epoch == 1
+
+    def test_subscribe_and_unsubscribe(self):
+        bus = TelemetryBus()
+        seen: list[TelemetrySnapshot] = []
+        unsubscribe = bus.subscribe(seen.append)
+        bus.publish(tree(n=1))
+        unsubscribe()
+        bus.publish(tree(n=2))
+        assert [s.epoch for s in seen] == [1]
+
+
+class TestJsonl:
+    def test_sink_mirrors_every_snapshot(self):
+        sink = io.StringIO()
+        bus = TelemetryBus()
+        bus.attach_jsonl(sink)
+        bus.publish(tree(n=1), label="run")
+        bus.publish(tree(n=2), label="run")
+        lines = [json.loads(line) for line in
+                 sink.getvalue().strip().splitlines()]
+        assert [line["epoch"] for line in lines] == [1, 2]
+        assert lines[1]["delta"] == {"group.n": 1.0}
+        assert lines[0]["label"] == "run"
+
+    def test_write_epoch_jsonl_restarts_epochs(self, tmp_path):
+        path = tmp_path / "epochs.jsonl"
+        records = [{"n": 1}, {"n": 4}]
+        write_epoch_jsonl(path, records, label="fleet.cell")
+        lines = [json.loads(line) for line in
+                 path.read_text().strip().splitlines()]
+        assert [line["epoch"] for line in lines] == [1, 2]
+        assert lines[1]["delta"] == {"n": 3.0}
+        assert all(line["label"] == "fleet.cell" for line in lines)
+
+    def test_owned_file_sink_closes(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        bus = TelemetryBus()
+        bus.attach_jsonl(path)
+        bus.publish(tree(n=1))
+        bus.close()
+        assert path.read_text().count("\n") == 1

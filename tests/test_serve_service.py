@@ -19,6 +19,7 @@ from repro.harness.runner import WorkloadCache
 from repro.serve.client import AsyncEvalClient, EvalClient
 from repro.serve.protocol import (
     EvalRequest,
+    ProtocolError,
     STATUS_ERROR,
     STATUS_OK,
     STATUS_SHED,
@@ -296,6 +297,26 @@ class TestEndToEnd:
             tree = client.stats()
         assert "serve" in tree
         assert "queue" in tree["serve"]
+
+    def test_stats_since_streams_epochs(self, live_service):
+        with EvalClient(live_service.host, live_service.port) as client:
+            first = client.stats(since=0)
+            assert set(first) == {"epoch", "stats", "delta"}
+            assert first["epoch"] >= 1
+            assert "serve" in first["stats"]
+            # Each epoch-view query publishes a fresh snapshot, so the
+            # stream always advances and deltas never repeat.
+            second = client.stats(since=first["epoch"])
+            assert second["epoch"] > first["epoch"]
+            assert isinstance(second["delta"], dict)
+            # A plain call keeps the legacy bare-tree shape.
+            bare = client.stats()
+            assert "serve" in bare and "epoch" not in bare
+
+    def test_stats_since_rejects_bad_cursor(self, live_service):
+        with EvalClient(live_service.host, live_service.port) as client:
+            with pytest.raises(ProtocolError, match="since"):
+                client.stats(since=-1)
 
     def test_cli_eval_round_trip(self, live_service, capsys):
         code = main(["eval", "-w", "exchange2",

@@ -186,3 +186,50 @@ class TestRouterClassification:
     def test_identical_router_trees_are_clean(self):
         entries = diff_stats(self._router_tree(), self._router_tree())
         assert not any(e.regression for e in entries)
+
+
+class TestControlClassification:
+    """Control-plane and power leaves carry regression directions."""
+
+    def test_thrash_and_energy_leaves_are_higher_worse(self):
+        assert classify("control.cell.switch_rate") == 1
+        assert classify("power.cell.budget_overshoot") == 1
+        assert classify("power.cell.energy_overhead") == 1
+        assert classify("power.cell.ed2p_j_ms2") == 1
+        assert classify("control.cell.residency.disabled_frac") == 1
+
+    def test_full_residency_is_lower_worse(self):
+        assert classify("control.cell.residency.full_frac") == -1
+
+    def test_neutral_control_counters_stay_informational(self):
+        assert classify("control.cell.epochs") == 0
+        assert classify("control.cell.switches") == 0
+        assert classify("power.cell.main_j") == 0
+
+    def _control_tree(self, switch_rate=0.1, full_frac=0.8,
+                      overhead=0.3):
+        return {
+            "control": {"cell": {
+                "switch_rate": switch_rate,
+                "residency": {"full_frac": full_frac,
+                              "disabled_frac": 0.0},
+            }},
+            "power": {"cell": {"energy_overhead": overhead,
+                               "budget_overshoot": 0.0}},
+        }
+
+    def test_mode_thrash_flags_a_regression(self):
+        entries = diff_stats(self._control_tree(switch_rate=0.1),
+                             self._control_tree(switch_rate=0.5))
+        flagged = {e.key for e in entries if e.regression}
+        assert "control.cell.switch_rate" in flagged
+
+    def test_lost_full_coverage_time_flags_a_regression(self):
+        entries = diff_stats(self._control_tree(full_frac=0.8),
+                             self._control_tree(full_frac=0.4))
+        flagged = {e.key for e in entries if e.regression}
+        assert "control.cell.residency.full_frac" in flagged
+
+    def test_identical_control_trees_are_clean(self):
+        entries = diff_stats(self._control_tree(), self._control_tree())
+        assert not any(e.regression for e in entries)
