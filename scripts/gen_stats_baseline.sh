@@ -10,6 +10,12 @@ PYTHONPATH=src python -m repro.cli run -w mcf -n 20000 --stage-jobs 2 \
 # worker counts; faults.runtime.* is wall-clock and masked in CI.
 PYTHONPATH=src python -m repro.cli campaign -w mcf -t 10 -n 20000 -j 1 \
   --stats-json tests/golden/campaign_smoke.json
+# Scenario-matrix baseline: one campaign per detection scheme
+# (paraverser, dme, ithica-sdc, meek-ro) under faults.<scheme>.*; same
+# purity argument as above, so CI regenerates with -j 2 and demands
+# bit-identity with faults.*runtime* masked.
+PYTHONPATH=src python -m repro.cli scenarios -w mcf -t 8 -n 20000 -j 1 \
+  --stats-json tests/golden/scenarios_smoke.json
 # Fleet traffic baseline: every leaf is a pure function of the config
 # matrix (sha256 per-request RNG streams, rep-order merge), so CI can
 # regenerate it with -j 2 and demand bit-identity; fleet.runtime.* is

@@ -11,6 +11,8 @@ Installed as ``paraverser`` (see pyproject.toml)::
     paraverser inject -w deepsjeng -t 30         # fault-injection campaign
     paraverser campaign -w deepsjeng -t 200 -j 4 # parallel campaign engine
     paraverser campaign -w mcf --campaign-dir /tmp/c --resume  # finish one
+    paraverser campaign -w mcf --backend dme     # divergent multi-version
+    paraverser scenarios -w mcf -t 12            # per-scheme campaign matrix
     paraverser fleet --loads 0.7,0.9 -j 4        # datacenter traffic matrix
     paraverser control --policy threshold -j 4   # closed loop vs static arms
     paraverser figures fig6 fig11                # regenerate paper figures
@@ -132,11 +134,17 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="trials per pool task (default: auto, "
                                "~trials/(jobs*4); results are identical "
                                "for any chunking)")
+    campaign.add_argument("--backend", metavar="SCHEME",
+                          dest="scheme", default="paraverser",
+                          help="detection scheme the trials run under: "
+                               "paraverser, dme, ithica-sdc or meek-ro "
+                               "(default: paraverser)")
     campaign.add_argument("--fault-kinds", metavar="K1,K2,...",
                           default=None,
                           help="fault-site mix: any of stuck_at, "
-                               "transient_lsq, transient_reg "
-                               "(default: all three)")
+                               "transient_lsq, transient_reg, defect "
+                               "(default: per scheme — defect for "
+                               "ithica-sdc, the classic three otherwise)")
     campaign.add_argument("--campaign-dir", metavar="DIR", default=None,
                           help="directory for per-worker JSONL result "
                                "shards (enables --resume)")
@@ -159,6 +167,32 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--timeout", type=float, default=None,
                           help="per-request deadline in seconds "
                                "(server runs only)")
+
+    scenarios = sub.add_parser(
+        "scenarios",
+        help="detection-scenario matrix: one campaign per scheme "
+             "(paraverser, dme, ithica-sdc, meek-ro)")
+    scenarios.add_argument("-w", "--workload", default="mcf")
+    scenarios.add_argument("-c", "--checkers", metavar="SPEC",
+                           default="1xA510@1.0")
+    scenarios.add_argument("-m", "--mode",
+                           choices=[m.value for m in CheckMode],
+                           default="opportunistic")
+    scenarios.add_argument("-t", "--trials", type=int, default=12,
+                           help="injection trials per scheme")
+    scenarios.add_argument("-n", "--instructions", type=int,
+                           default=40_000)
+    scenarios.add_argument("--seed", type=int, default=7)
+    scenarios.add_argument("-j", "--jobs", type=int, default=None,
+                           help="worker processes (default: REPRO_JOBS "
+                                "or 1; 0 = all CPUs)")
+    scenarios.add_argument("--schemes", metavar="S1,S2,...", default=None,
+                           help="subset of schemes to run "
+                                "(default: all four)")
+    scenarios.add_argument("--stats-json", metavar="PATH",
+                           help="write the faults.<scheme>.* stats tree")
+    scenarios.add_argument("--json", action="store_true",
+                           help="print the per-scheme rows as JSON")
 
     fleet = sub.add_parser(
         "fleet",
@@ -551,6 +585,8 @@ def cmd_inject(args: argparse.Namespace) -> int:
 def _print_campaign_row(row: dict) -> None:
     print(f"workload:                {row['workload']}")
     print(f"checkers:                {row['checkers']} ({row['mode']})")
+    if row.get("scheme", "paraverser") != "paraverser":
+        print(f"scheme:                  {row['scheme']}")
     print(f"trials:                  {row['trials']}")
     print(f"detected:                {row['detected']}")
     print(f"masked:                  {row['masked']}")
@@ -571,17 +607,30 @@ def _print_campaign_row(row: dict) -> None:
           f"(jobs={row['jobs']})")
 
 
-def _campaign_fault_kinds(raw: str | None) -> tuple[str, ...]:
-    from repro.faults.models import FAULT_KINDS
+def _campaign_fault_kinds(raw: str | None,
+                          scheme: str = "paraverser") -> tuple[str, ...]:
+    from repro.faults.models import ALL_FAULT_KINDS
+    from repro.faults.scenarios import default_fault_kinds
 
     if raw is None:
-        return FAULT_KINDS
+        return default_fault_kinds(scheme)
     kinds = tuple(k.strip() for k in raw.split(",") if k.strip())
-    unknown = [k for k in kinds if k not in FAULT_KINDS]
+    unknown = [k for k in kinds if k not in ALL_FAULT_KINDS]
     if not kinds or unknown:
         raise argparse.ArgumentTypeError(
-            f"bad fault kinds {raw!r}; pick from {', '.join(FAULT_KINDS)}")
+            f"bad fault kinds {raw!r}; "
+            f"pick from {', '.join(ALL_FAULT_KINDS)}")
     return kinds
+
+
+def _campaign_scheme(raw: str) -> str:
+    from repro.faults.scenarios import CAMPAIGN_SCHEMES
+
+    if raw not in CAMPAIGN_SCHEMES:
+        raise argparse.ArgumentTypeError(
+            f"unknown detection scheme {raw!r}; "
+            f"pick from {', '.join(CAMPAIGN_SCHEMES)}")
+    return raw
 
 
 def _campaign_remote(args: argparse.Namespace,
@@ -604,6 +653,7 @@ def _campaign_remote(args: argparse.Namespace,
         seed=args.seed,
         trials=trials,
         fault_kinds=fault_kinds,
+        scheme=args.scheme,
         timeout_s=args.timeout,
     )
     try:
@@ -638,7 +688,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     from repro.obs import StatGroup
 
     try:
-        fault_kinds = _campaign_fault_kinds(args.fault_kinds)
+        scheme = _campaign_scheme(args.scheme)
+        fault_kinds = _campaign_fault_kinds(args.fault_kinds, scheme)
         parse_checkers(args.checkers)  # fail fast on a bad pool spec
     except argparse.ArgumentTypeError as exc:
         print(f"campaign: {exc}", file=sys.stderr)
@@ -659,6 +710,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         seed=args.seed,
         trials=trials,
         fault_kinds=fault_kinds,
+        scheme=scheme,
     )
     jobs = args.jobs if args.jobs is not None else env_jobs()
     if jobs <= 0:
@@ -701,6 +753,89 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     if args.stats_json:
         stats = StatGroup("root")
         publish_campaign_stats(stats, outcome)
+        _write_stats_json(stats, args.stats_json)
+    return 0
+
+
+def cmd_scenarios(args: argparse.Namespace) -> int:
+    """`paraverser scenarios`: one campaign per detection scheme.
+
+    Runs the same workload/trial budget under every scheme and prints
+    the detection-latency/coverage comparison (the EXPERIMENTS.md
+    table); ``--stats-json`` writes one ``faults.<scheme>.*`` subtree
+    per scheme for the CI golden gate.
+    """
+    import json as _json
+
+    from repro.faults.engine import (
+        CampaignSpec,
+        publish_campaign_stats,
+        run_campaign,
+    )
+    from repro.faults.scenarios import (
+        CAMPAIGN_SCHEMES,
+        default_fault_kinds,
+    )
+    from repro.obs import StatGroup
+
+    if args.schemes is None:
+        schemes = list(CAMPAIGN_SCHEMES)
+    else:
+        schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
+        unknown = [s for s in schemes if s not in CAMPAIGN_SCHEMES]
+        if not schemes or unknown:
+            print(f"scenarios: unknown schemes {unknown}; "
+                  f"pick from {', '.join(CAMPAIGN_SCHEMES)}",
+                  file=sys.stderr)
+            return 2
+    try:
+        parse_checkers(args.checkers)
+    except argparse.ArgumentTypeError as exc:
+        print(f"scenarios: {exc}", file=sys.stderr)
+        return 2
+    jobs = args.jobs
+    if jobs is not None and jobs <= 0:
+        jobs = os.cpu_count() or 1
+
+    stats = StatGroup("root")
+    faults_group = stats.group("faults", "detection-scenario campaigns")
+    rows = []
+    for scheme in schemes:
+        spec = CampaignSpec(
+            workload=args.workload,
+            checkers=args.checkers,
+            mode=args.mode,
+            instructions=args.instructions,
+            seed=args.seed,
+            trials=args.trials,
+            fault_kinds=default_fault_kinds(scheme),
+            scheme=scheme,
+        )
+        outcome = run_campaign(spec, jobs=jobs)
+        publish_campaign_stats(faults_group, outcome,
+                               name=scheme.replace("-", "_"))
+        rows.append(outcome.to_row())
+
+    if args.json:
+        print(_json.dumps(rows, sort_keys=True))
+    else:
+        print(f"workload {args.workload}, {args.trials} trials/scheme, "
+              f"{args.instructions} instructions "
+              f"({args.checkers}, {args.mode})")
+        header = (f"{'scheme':14s} {'inj':>4s} {'det':>4s} {'mask':>5s} "
+                  f"{'miss':>5s} {'cov_eff':>8s} {'escape':>7s} "
+                  f"{'lat_mean':>9s} {'lat_max':>8s}")
+        print(header)
+        for row in rows:
+            latency = row.get("mean_detection_latency")
+            print(f"{row['scheme']:14s} {row['trials']:4d} "
+                  f"{row['detected']:4d} {row['masked']:5d} "
+                  f"{row['missed']:5d} "
+                  f"{row['detection_rate_effective'] * 100:7.0f}% "
+                  f"{row['sdc_escape_rate'] * 100:6.0f}% "
+                  f"{latency if latency is not None else 0:9.0f} "
+                  f"{row['detection_latency_max']:8d}")
+    if args.stats_json:
         _write_stats_json(stats, args.stats_json)
     return 0
 
@@ -1260,6 +1395,7 @@ _COMMANDS = {
     "run": cmd_run,
     "inject": cmd_inject,
     "campaign": cmd_campaign,
+    "scenarios": cmd_scenarios,
     "fleet": cmd_fleet,
     "control": cmd_control,
     "workloads": cmd_workloads,

@@ -15,6 +15,8 @@ constructors.  Third parties extend the registry two ways:
 
 from __future__ import annotations
 
+import logging
+
 from repro.baselines.lockstep import LockstepKind
 from repro.baselines.prior_work import dsn18_config, paradox_config
 from repro.baselines.swscan import FLEETSCANNER, RIPPLE
@@ -27,7 +29,10 @@ from repro.detect.backends import (
     ScannerBackend,
     SimulatedBackend,
 )
+from repro.detect.scenarios import scenario_backends
 from repro.detect.strategies import ParaVerserStrategy
+
+logger = logging.getLogger("repro.detect")
 
 _REGISTRY: dict[str, DetectionBackend] = {}
 
@@ -52,13 +57,40 @@ def _iter_backend_entry_points():
     return entry_points(group=ENTRY_POINT_GROUP)
 
 
+def _entry_point_backends(entry_point) -> list[DetectionBackend]:
+    """Load and validate one entry point's backends (may raise)."""
+    obj = entry_point.load()
+    if not isinstance(obj, DetectionBackend) and callable(obj):
+        obj = obj()
+    backends = [obj] if isinstance(obj, DetectionBackend) else obj
+    try:
+        backends = list(backends)
+    except TypeError:
+        raise TypeError(
+            f"entry point {entry_point.name!r} in group "
+            f"{ENTRY_POINT_GROUP!r} must provide a DetectionBackend, "
+            f"a factory, or an iterable of backends; "
+            f"got {type(obj).__name__}"
+        ) from None
+    for backend in backends:
+        if not isinstance(backend, DetectionBackend):
+            raise TypeError(
+                f"entry point {entry_point.name!r} in group "
+                f"{ENTRY_POINT_GROUP!r} yielded "
+                f"{type(backend).__name__}, not a DetectionBackend")
+    return backends
+
+
 def load_entry_point_backends(*, reload: bool = False) -> list[str]:
     """Discover and register third-party backends; returns new names.
 
     Runs once per process (every lookup calls it); ``reload=True``
     forces a re-scan (tests, or after installing a plugin into a live
-    interpreter).  A plugin clashing with an existing name — builtin or
-    another plugin — raises ``ValueError`` naming the entry point, so a
+    interpreter).  One broken plugin — ``load()`` raising, a crashing
+    factory, a non-backend object — is logged with its entry-point name
+    and skipped, so it never takes the rest of the discovery down with
+    it.  A plugin clashing with an existing name — builtin or another
+    plugin — still raises ``ValueError`` naming the entry point, so a
     misconfigured install never silently shadows a scheme.
     """
     global _entry_points_loaded
@@ -67,25 +99,14 @@ def load_entry_point_backends(*, reload: bool = False) -> list[str]:
     _entry_points_loaded = True
     loaded: list[str] = []
     for entry_point in _iter_backend_entry_points():
-        obj = entry_point.load()
-        if not isinstance(obj, DetectionBackend) and callable(obj):
-            obj = obj()
-        backends = [obj] if isinstance(obj, DetectionBackend) else obj
         try:
-            backends = list(backends)
-        except TypeError:
-            raise TypeError(
-                f"entry point {entry_point.name!r} in group "
-                f"{ENTRY_POINT_GROUP!r} must provide a DetectionBackend, "
-                f"a factory, or an iterable of backends; "
-                f"got {type(obj).__name__}"
-            ) from None
+            backends = _entry_point_backends(entry_point)
+        except Exception:
+            logger.exception(
+                "skipping broken entry point %r in group %r",
+                entry_point.name, ENTRY_POINT_GROUP)
+            continue
         for backend in backends:
-            if not isinstance(backend, DetectionBackend):
-                raise TypeError(
-                    f"entry point {entry_point.name!r} in group "
-                    f"{ENTRY_POINT_GROUP!r} yielded "
-                    f"{type(backend).__name__}, not a DetectionBackend")
             if backend.name in _REGISTRY:
                 raise ValueError(
                     f"entry point {entry_point.name!r} in group "
@@ -195,3 +216,10 @@ register(ScannerBackend(
                 "6 months",
     scanner=RIPPLE,
 ))
+# Related-work schemes (ROADMAP: detection scenarios beyond the paper):
+# DME divergent multi-version, the ITHICA SDC screen and the MEEK
+# reduced-observability checker, each with a campaign scheme of the
+# same name (`paraverser campaign --backend <name>`).
+for _backend in scenario_backends():
+    register(_backend)
+del _backend

@@ -1,0 +1,181 @@
+"""Detection backends from related work: DME, ITHICA, MEEK.
+
+Three schemes beyond the paper's, each registered in
+:mod:`repro.detect.registry` and reachable from ``paraverser run
+--backend``, ``paraverser campaign --backend`` (via the campaign-scheme
+field), the fleet simulator (through :meth:`fleet_strategy`) and the
+serve/router paths.  The quantitative surface for each scheme is its
+campaign scenario (:mod:`repro.faults.scenarios` — detection-latency
+and coverage curves per fault kind); :meth:`evaluate` reports the
+run-time overhead picture on one benchmark like every other simulated
+backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.baselines.swscan import ScannerModel
+from repro.core.simconfig import ParaVerserConfig
+from repro.detect.backends import BackendResult
+from repro.detect.strategies import (
+    DetectionStrategy,
+    DivergentStrategy,
+    ReducedObservabilityStrategy,
+    ScannerStrategy,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.harness.runner import WorkloadCache
+
+#: ITHICA's software screen as a periodic scanner: per-FU defect tests
+#: run in production roughly daily, catching most (not all) defect
+#: signatures per pass (arXiv:2605.15638).
+ITHICA_SCREEN = ScannerModel(
+    name="ITHICA",
+    coverage=0.88,
+    scan_interval_days=1.0,
+    in_production=True,
+)
+
+
+@dataclass(frozen=True)
+class ScenarioBackend:
+    """A related-work scheme evaluated by the simulation pipeline.
+
+    Like :class:`~repro.detect.backends.SimulatedBackend`, but carries
+    the campaign ``scheme`` name the fault engine dispatches on and the
+    scheme-specific cost model: ``replication`` scales checker
+    energy/area (DME replays every segment once per version), and
+    ``verify_decorrelated`` runs a real healthy replay under each
+    non-identity decorrelation mask to prove the remap composes to the
+    identity (no false positives).
+    """
+
+    name: str
+    description: str
+    scheme: str
+    config_factory: Callable[..., ParaVerserConfig]
+    strategy: DetectionStrategy | None = None
+    replication: int = 1
+    verify_decorrelated: bool = False
+
+    def make_config(self, **overrides) -> ParaVerserConfig:
+        return self.config_factory(**overrides)
+
+    def evaluate(self, cache: "WorkloadCache",
+                 benchmark: str) -> BackendResult:
+        from repro.power.energy import energy_report
+
+        config = self.make_config()
+        result = cache.run_config(benchmark, config)
+        energy = energy_report(result, config.main)
+        checker_area = sum(c.config.area_mm2 for c in config.checkers)
+        verified = all(not r.detected for r in result.verify_results)
+        if self.verify_decorrelated and verified:
+            verified = self._decorrelated_clean(cache, benchmark, config)
+        return BackendResult(
+            backend=self.name,
+            benchmark=benchmark,
+            slowdown_percent=result.overhead_percent,
+            coverage=result.coverage,
+            energy_overhead_percent=(
+                energy.overhead_percent * self.replication),
+            area_overhead_percent=(
+                checker_area / config.main.config.area_mm2
+                * 100.0 * self.replication),
+            segments=result.segments,
+            verified_clean=verified,
+            result=result,
+        )
+
+    def _decorrelated_clean(self, cache: "WorkloadCache", benchmark: str,
+                            config: ParaVerserConfig) -> bool:
+        """Healthy replay under every non-identity mask must stay clean."""
+        from repro.core.checker import CheckerCore
+        from repro.core.system import ParaVerserSystem
+        from repro.faults.campaign import checker_fu_counts
+        from repro.faults.scenarios import (
+            DecorrelatedSurface,
+            decorrelation_mask,
+        )
+
+        cached = cache.get(benchmark)
+        segments = ParaVerserSystem(config).segment(cached.run)
+        fu_counts = checker_fu_counts(config.checkers[0].config)
+        for version in range(1, self.replication):
+            mask = decorrelation_mask(cache.seed, version)
+            checker = CheckerCore(
+                cached.program,
+                fault_surface=DecorrelatedSurface(_NoFault(), mask),
+                fu_counts=fu_counts)
+            for seg in segments:
+                if checker.check_segment(seg).detected:
+                    return False
+        return True
+
+    def fleet_strategy(self) -> DetectionStrategy | None:
+        return self.strategy
+
+
+class _NoFault:
+    """Identity fault surface for healthy decorrelated verification."""
+
+    def apply(self, fu, unit, value, is_address=False):
+        del fu, unit, is_address
+        return value
+
+    def describe(self) -> str:
+        return "no fault"
+
+    def fresh(self) -> "_NoFault":
+        return self
+
+
+def _a510_factory(mode_name: str):
+    def factory(**overrides):
+        from repro.core.simconfig import CheckMode
+        from repro.cpu.config import CoreInstance
+        from repro.cpu.presets import A510
+        from repro.harness.runner import make_config
+        return make_config([CoreInstance(A510, 2.0)] * 4,
+                           CheckMode(mode_name), **overrides)
+    return factory
+
+
+def scenario_backends() -> tuple[ScenarioBackend, ...]:
+    """The three related-work backends, ready for registration."""
+    return (
+        ScenarioBackend(
+            name="dme",
+            description="DME divergent multi-version: replay under "
+                        "sha256-keyed address-space decorrelation so "
+                        "correlated faults cannot mask identically "
+                        "across replicas",
+            scheme="dme",
+            config_factory=_a510_factory("full"),
+            strategy=DivergentStrategy(),
+            replication=2,
+            verify_decorrelated=True,
+        ),
+        ScenarioBackend(
+            name="ithica-sdc",
+            description="ITHICA SDC screen: persistent per-FU defect "
+                        "signatures (bit-pattern predicates), measuring "
+                        "silent-corruption escape rate",
+            scheme="ithica-sdc",
+            config_factory=_a510_factory("opportunistic"),
+            strategy=ScannerStrategy(ITHICA_SCREEN),
+        ),
+        ScenarioBackend(
+            name="meek-ro",
+            description="MEEK reduced observability: retired "
+                        "architectural state only, compared at "
+                        "coarsened checkpoint intervals (latency for "
+                        "checker bandwidth)",
+            scheme="meek-ro",
+            config_factory=_a510_factory("full"),
+            strategy=ReducedObservabilityStrategy(),
+        ),
+    )

@@ -73,6 +73,62 @@ class ParaVerserStrategy:
 
 
 @dataclass(frozen=True)
+class DivergentStrategy:
+    """DME-style divergent multi-version replay as a fleet hazard.
+
+    Per-day detection behaves like ParaVerser (the canonical replica is
+    a ParaVerser checker), but address-space decorrelation converts
+    most architecturally-masked correlated faults into effective ones
+    in at least one replica, so the detectable fraction is higher.
+    """
+
+    versions: int = 2
+    instruction_coverage: float = 1.0
+    effective_fraction: float = 0.93
+    exercise_probability_per_day: float = 0.95
+
+    @property
+    def name(self) -> str:
+        return "DME"
+
+    def daily_detection_probability(self, day_with_fault: int) -> float:
+        del day_with_fault
+        return self.instruction_coverage * self.exercise_probability_per_day
+
+    @property
+    def detectable_fraction(self) -> float:
+        return self.effective_fraction
+
+
+@dataclass(frozen=True)
+class ReducedObservabilityStrategy:
+    """MEEK-style retired-state checking at coarse checkpoints.
+
+    ``observability`` is the share of effective faults still visible in
+    the window-final register file once per-access compares are dropped;
+    the rest escape silently, and the surviving detections land a window
+    later than ParaVerser's would.
+    """
+
+    checkpoint_interval: int = 4
+    observability: float = 0.85
+    effective_fraction: float = 0.76
+    exercise_probability_per_day: float = 0.95
+
+    @property
+    def name(self) -> str:
+        return "MEEK"
+
+    def daily_detection_probability(self, day_with_fault: int) -> float:
+        del day_with_fault
+        return self.observability * self.exercise_probability_per_day
+
+    @property
+    def detectable_fraction(self) -> float:
+        return self.effective_fraction
+
+
+@dataclass(frozen=True)
 class LockstepStrategy:
     """Cycle-synchronised lockstep: the first faulty computation is caught.
 

@@ -15,6 +15,7 @@ does).  A trial:
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Union
 
@@ -25,6 +26,7 @@ from repro.core.system import SystemResult
 from repro.cpu.config import CoreConfig
 from repro.faults.models import (
     FAULT_STUCK_AT,
+    DefectFault,
     RegisterFault,
     StuckAtFault,
     TransientFault,
@@ -33,7 +35,9 @@ from repro.faults.models import (
 from repro.isa.instructions import FUKind
 from repro.isa.program import Program
 
-Fault = Union[StuckAtFault, TransientFault, RegisterFault]
+logger = logging.getLogger("repro.faults.campaign")
+
+Fault = Union[StuckAtFault, TransientFault, RegisterFault, DefectFault]
 
 
 @dataclass
@@ -77,13 +81,34 @@ class CampaignResult:
     @property
     def detection_rate_all(self) -> float:
         """Detected / injected (the paper's 76 % full-coverage number)."""
-        return self.detected / self.injected if self.injected else 0.0
+        if not self.injected:
+            logger.warning("campaign %s: 0 trials injected; "
+                           "detection_rate_all reported as 0.0",
+                           self.workload)
+            return 0.0
+        return self.detected / self.injected
 
     @property
     def detection_rate_effective(self) -> float:
         """Detected / non-masked (Fig. 8's coverage metric)."""
         effective = self.injected - self.masked
-        return self.detected / effective if effective else 1.0
+        if not effective:
+            # 0 trials, or every fault masked: no denominator, so
+            # report 0.0 instead of dividing (or claiming coverage).
+            logger.warning("campaign %s: no effective faults "
+                           "(injected=%d, masked=%d); "
+                           "detection_rate_effective reported as 0.0",
+                           self.workload, self.injected, self.masked)
+            return 0.0
+        return self.detected / effective
+
+    @property
+    def sdc_escape_rate(self) -> float:
+        """Effective-but-undetected faults per injection (silent SDCs)."""
+        if not self.injected:
+            return 0.0
+        return sum(1 for t in self.trials
+                   if not t.detected and not t.masked) / self.injected
 
     @property
     def mean_detection_latency(self) -> float:

@@ -58,6 +58,11 @@ class CampaignSpec:
     #: every trial stays the same pure function of ``(seed, trial)``.
     trial_offset: int = 0
     fault_kinds: tuple[str, ...] = FAULT_KINDS
+    #: Detection scheme the trials run under (see
+    #: :mod:`repro.faults.scenarios`): ``paraverser`` (the paper's
+    #: checker), ``dme`` divergent multi-version, ``ithica-sdc`` defect
+    #: screen, or ``meek-ro`` reduced observability.
+    scheme: str = "paraverser"
 
     def key(self) -> str:
         """Stable identity of the campaign's *trial-defining* fields.
@@ -81,6 +86,9 @@ class CampaignSpec:
         payload = dict(payload)
         payload["fault_kinds"] = tuple(payload.get("fault_kinds",
                                                    FAULT_KINDS))
+        # Payloads recorded before the scheme field existed default to
+        # the paper's checker.
+        payload.setdefault("scheme", "paraverser")
         return cls(**payload)
 
 
@@ -144,12 +152,34 @@ class CampaignOutcome:
 
     @property
     def detection_rate_all(self) -> float:
-        return self.detected / self.injected if self.injected else 0.0
+        if not self.injected:
+            logger.warning(
+                "campaign %s/%s: 0 trials injected; "
+                "detection_rate_all reported as 0.0",
+                self.spec.workload, self.spec.scheme)
+            return 0.0
+        return self.detected / self.injected
 
     @property
     def detection_rate_effective(self) -> float:
         effective = self.injected - self.masked
-        return self.detected / effective if effective else 1.0
+        if not effective:
+            # Zero-denominator campaign: 0 trials, or every fault
+            # masked (tiny smoke campaigns, --resume from an empty
+            # shard dir).  Report 0.0 rather than dividing.
+            logger.warning(
+                "campaign %s/%s: no effective faults "
+                "(injected=%d, masked=%d); "
+                "detection_rate_effective reported as 0.0",
+                self.spec.workload, self.spec.scheme,
+                self.injected, self.masked)
+            return 0.0
+        return self.detected / effective
+
+    @property
+    def sdc_escape_rate(self) -> float:
+        """Effective-but-undetected faults per injection (silent SDCs)."""
+        return self.missed / self.injected if self.injected else 0.0
 
     @property
     def detection_latency_sum(self) -> int:
@@ -168,6 +198,12 @@ class CampaignOutcome:
             return float("nan")
         return self.detection_latency_sum / self.detected
 
+    @property
+    def max_detection_latency(self) -> int:
+        """Worst-case detection latency in main-core instructions."""
+        return max((r.detection_instruction for r in self.records
+                    if r.detected), default=0)
+
     def by_kind(self) -> dict[str, dict[str, int]]:
         """Per fault-kind injected/detected/masked counts."""
         out: dict[str, dict[str, int]] = {}
@@ -185,13 +221,16 @@ class CampaignOutcome:
             "workload": self.spec.workload,
             "checkers": self.spec.checkers,
             "mode": self.spec.mode,
+            "scheme": self.spec.scheme,
             "trials": self.injected,
             "detected": self.detected,
             "masked": self.masked,
             "missed": self.missed,
             "detection_rate_all": self.detection_rate_all,
             "detection_rate_effective": self.detection_rate_effective,
+            "sdc_escape_rate": self.sdc_escape_rate,
             "detection_latency_sum": self.detection_latency_sum,
+            "detection_latency_max": self.max_detection_latency,
             "mean_detection_latency": (
                 self.mean_detection_latency if self.detected else None),
             "by_kind": self.by_kind(),
@@ -234,7 +273,8 @@ def _campaign_context(spec: CampaignSpec) -> _CampaignContext:
 
     from repro.cli import parse_checkers
     from repro.core.system import CheckMode, ParaVerserSystem
-    from repro.faults.campaign import FaultCampaign, covered_segments
+    from repro.faults.campaign import covered_segments
+    from repro.faults.scenarios import make_campaign
     from repro.harness.parallel import worker_cache
     from repro.harness.runner import make_config
 
@@ -245,9 +285,9 @@ def _campaign_context(spec: CampaignSpec) -> _CampaignContext:
     cached = cache.get(spec.workload)
     result = cache.run_config(spec.workload, config)
     segments = ParaVerserSystem(config).segment(cached.run)
-    campaign = FaultCampaign(cached.program, segments,
+    campaign = make_campaign(spec.scheme, cached.program, segments,
                              config.checkers[0].config,
-                             hash_mode=spec.hash_mode)
+                             hash_mode=spec.hash_mode, seed=spec.seed)
     ctx = _CampaignContext(campaign=campaign,
                            covered=covered_segments(result),
                            segments=len(segments))
@@ -304,10 +344,16 @@ def load_completed(shard_dir: str | os.PathLike,
     Tolerates the realities of killed campaigns: partial trailing
     lines, corrupt JSON, records from other specs that shared the
     directory — all skipped (with a warning for undecodable lines).
+    Duplicate ``(spec_key, trial)`` records — a crash between write and
+    fsync can replay a line, and a killed worker's trial may be re-run
+    into another shard — are deduplicated (first record wins; every
+    record is the same pure function of the trial id anyway) so a
+    resumed campaign never double-counts a trial.
     """
     shard_dir = Path(shard_dir)
     spec_key = spec.key()
     completed: dict[int, TrialRecord] = {}
+    duplicates = 0
     for path in sorted(shard_dir.glob(SHARD_GLOB)):
         try:
             text = path.read_text(encoding="utf-8", errors="replace")
@@ -329,7 +375,14 @@ def load_completed(shard_dir: str | os.PathLike,
                     "campaign resume: skipping corrupt record "
                     "%s:%d", path, lineno)
                 continue
+            if record.trial in completed:
+                duplicates += 1
+                continue
             completed[record.trial] = record
+    if duplicates:
+        logger.warning(
+            "campaign resume: ignored %d duplicate trial record(s) "
+            "for spec %s", duplicates, spec_key)
     return completed
 
 
@@ -491,14 +544,17 @@ def run_campaign(spec: CampaignSpec, jobs: int | None = None,
         return runner.run(spec, on_record=on_record)
 
 
-def publish_campaign_stats(stats, outcome: CampaignOutcome) -> None:
+def publish_campaign_stats(stats, outcome: CampaignOutcome,
+                           name: str = "faults") -> None:
     """Publish ``faults.*`` telemetry into a stats tree.
 
     Coverage leaves are deterministic for a given spec; ``elapsed_s``,
     ``busy_s`` and ``occupancy`` are host wall-clock (mask them in
-    regression gates, like ``pipeline.*`` timings).
+    regression gates, like ``pipeline.*`` timings).  ``name`` lets the
+    scenario matrix publish one campaign per scheme under
+    ``faults.<scheme>.*``.
     """
-    group = stats.group("faults", "fault-injection campaign results")
+    group = stats.group(name, "fault-injection campaign results")
     group.count("injected", outcome.injected, "trials injected")
     group.count("detected", outcome.detected, "trials detected")
     group.count("masked", outcome.masked, "trials masked (no effect)")
@@ -509,6 +565,15 @@ def publish_campaign_stats(stats, outcome: CampaignOutcome) -> None:
     group.scalar("detection_rate_effective",
                  outcome.detection_rate_effective,
                  "detected / effective (Fig. 8 coverage)")
+    group.scalar("sdc_escape_rate", outcome.sdc_escape_rate,
+                 "effective-but-undetected faults / injected")
+    group.scalar("detection_latency_mean",
+                 outcome.mean_detection_latency
+                 if outcome.detected else 0.0,
+                 "mean main-core instructions to detection")
+    group.scalar("detection_latency_max",
+                 float(outcome.max_detection_latency),
+                 "worst-case main-core instructions to detection")
     if outcome.detected:
         group.scalar("mean_detection_latency",
                      outcome.mean_detection_latency,

@@ -177,6 +177,64 @@ class RegisterFault:
         return replace(self, fired=False)
 
 
+@dataclass
+class DefectFault:
+    """A persistent per-FU-class defect signature (ITHICA-style SDC).
+
+    Manufacturing defects do not behave like uniformly random bit flips:
+    a marginal circuit corrupts only the results whose operand/result
+    bit patterns exercise the weak path, and it does so *persistently*
+    (arXiv:2605.15638).  This model corrupts every value produced by a
+    functional-unit *class* (all round-robin instances — the defect is
+    in the shared cell library, not one unit) whose bit pattern matches
+    ``value & trigger_mask == trigger_value``, by XORing ``corruption``
+    into it.
+
+    ``latch_after`` models wear-in: the weak path must be exercised that
+    many times before the defect starts corrupting.  The match counter is
+    *persistent state* and must never leak between replay passes —
+    :meth:`fresh` returns a pristine copy (``tests/test_faults_scenarios``
+    covers the protocol).
+    """
+
+    fus: tuple[FUKind, ...]
+    trigger_mask: int
+    trigger_value: int  # pre-masked: trigger_value & trigger_mask
+    corruption: int     # XOR pattern applied once latched
+    latch_after: int = 1
+    addresses_only: bool = False
+    matches: int = 0    # persistent activation state
+
+    def apply(self, fu: FUKind, unit: int, value: int | float,
+              is_address: bool = False) -> int | float:
+        del unit  # the defect is in the FU class, every instance has it
+        if fu not in self.fus:
+            return value
+        if self.addresses_only and not is_address:
+            return value
+        is_float = isinstance(value, float)
+        bits = float_to_bits(value) if is_float else int(value) & _MASK64
+        if (bits & self.trigger_mask) != self.trigger_value:
+            return value
+        self.matches += 1
+        if self.matches < self.latch_after:
+            return value
+        corrupted = (bits ^ self.corruption) & _MASK64
+        return bits_to_float(corrupted) if is_float else corrupted
+
+    def describe(self) -> str:
+        where = "/".join(fu.value for fu in self.fus)
+        if self.addresses_only:
+            where += " (LSQ address path)"
+        return (f"defect on {where}: pattern &0x{self.trigger_mask:x}=="
+                f"0x{self.trigger_value:x} xor 0x{self.corruption:x} "
+                f"after {self.latch_after} matches")
+
+    def fresh(self) -> "DefectFault":
+        """A copy with the persistent match counter reset."""
+        return replace(self, matches=0)
+
+
 #: Units the paper injects into: ALU/FPU outputs and LSQ addresses.
 INJECTABLE_UNITS = (
     FUKind.INT_ALU, FUKind.INT_MUL, FUKind.INT_DIV,
@@ -238,11 +296,51 @@ def random_register_fault(rng: random.Random,
     )
 
 
+#: Functional-unit classes a defect signature can live in; LSQ-class
+#: defects corrupt address computations only (like LSQ stuck-ats).
+DEFECT_FU_CLASSES = (
+    (FUKind.INT_ALU, FUKind.INT_MUL, FUKind.INT_DIV),
+    (FUKind.FP, FUKind.FP_DIV),
+    (FUKind.LOAD, FUKind.STORE),
+)
+
+
+def random_defect_fault(rng: random.Random,
+                        fu_counts: dict[FUKind, int]) -> DefectFault:
+    """Draw a random persistent defect signature (ITHICA SDC model)."""
+    del fu_counts  # defects hit every instance of the class
+    fus = DEFECT_FU_CLASSES[rng.randrange(len(DEFECT_FU_CLASSES))]
+    addresses_only = FUKind.LOAD in fus
+    # Trigger on 1-3 low bits so real workload values exercise the weak
+    # path; wider masks would make most defects architecturally masked.
+    pattern_bits = 12 if addresses_only else 16
+    width = rng.randrange(1, 4)
+    mask_bits = rng.sample(range(pattern_bits), width)
+    trigger_mask = 0
+    for bit in mask_bits:
+        trigger_mask |= 1 << bit
+    trigger_value = rng.getrandbits(64) & trigger_mask
+    max_bit = 39 if addresses_only else 63
+    return DefectFault(
+        fus=fus,
+        trigger_mask=trigger_mask,
+        trigger_value=trigger_value,
+        corruption=1 << rng.randrange(max_bit + 1),
+        latch_after=rng.randrange(1, 4),
+        addresses_only=addresses_only,
+    )
+
+
 #: Fault-site kinds the campaign engine can mix per trial.
 FAULT_STUCK_AT = "stuck_at"
 FAULT_TRANSIENT_LSQ = "transient_lsq"
 FAULT_TRANSIENT_REG = "transient_reg"
+FAULT_DEFECT = "defect"
 FAULT_KINDS = (FAULT_STUCK_AT, FAULT_TRANSIENT_LSQ, FAULT_TRANSIENT_REG)
+#: Every kind the engine understands; ``FAULT_KINDS`` stays the default
+#: campaign mix (defects opt in via ``--fault-kinds`` or the ithica-sdc
+#: scenario) so existing campaign baselines are untouched.
+ALL_FAULT_KINDS = FAULT_KINDS + (FAULT_DEFECT,)
 
 
 def derive_trial_seed(seed: int, trial: int, site: str = "fault") -> int:
@@ -269,13 +367,15 @@ def fault_for_trial(seed: int, trial: int, fu_counts: dict[FUKind, int],
     function of ``(seed, trial, kinds, fu_counts, segments)``.
     """
     for kind in kinds:
-        if kind not in FAULT_KINDS:
+        if kind not in ALL_FAULT_KINDS:
             raise ValueError(
-                f"unknown fault kind {kind!r}; known: {FAULT_KINDS}")
+                f"unknown fault kind {kind!r}; known: {ALL_FAULT_KINDS}")
     rng = random.Random(derive_trial_seed(seed, trial))
     kind = kinds[rng.randrange(len(kinds))]
     if kind == FAULT_TRANSIENT_LSQ:
         return kind, random_transient_lsq(rng, fu_counts)
     if kind == FAULT_TRANSIENT_REG:
         return kind, random_register_fault(rng, segments)
+    if kind == FAULT_DEFECT:
+        return kind, random_defect_fault(rng, fu_counts)
     return kind, random_stuck_at(rng, fu_counts)

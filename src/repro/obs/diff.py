@@ -40,7 +40,11 @@ HIGHER_IS_WORSE = ("wall_time_ms", "stall_ns", "slowdown", "latency_ns",
                    # excursions, and fleet-scale energy figures must
                    # only ever shrink.
                    "switch_rate", "budget_overshoot", "energy_overhead",
-                   "ed2p_j_ms2", "residency.disabled_frac")
+                   "ed2p_j_ms2", "residency.disabled_frac",
+                   # Fault campaigns: silent escapes and detection
+                   # latency (campaign scenarios) must only shrink.
+                   "sdc_escape_rate", "detection_latency_mean",
+                   "detection_latency_max", "mean_detection_latency")
 #: Key suffixes where a decrease beyond threshold is a regression.
 LOWER_IS_WORSE = ("occupancy", "pool_occupancy", "coverage", "hit_rate",
                   "ipc", "overlap", "detection_rate_all",

@@ -82,10 +82,14 @@ def merge_campaign_rows(rows: list[dict]) -> dict:
         "missed": trials - detected - masked,
         "detection_rate_all": detected / trials if trials else 0.0,
         "detection_rate_effective": (
-            detected / effective if effective else 1.0),
+            detected / effective if effective else 0.0),
+        "sdc_escape_rate": (
+            (trials - detected - masked) / trials if trials else 0.0),
         "detection_latency_sum": latency_sum,
         "mean_detection_latency": (
             latency_sum / detected if detected else None),
+        "detection_latency_max": max(
+            (r.get("detection_latency_max", 0) for r in rows), default=0),
         "by_kind": by_kind,
         "elapsed_s": max(r["elapsed_s"] for r in rows),
         "jobs": sum(r["jobs"] for r in rows),

@@ -115,12 +115,20 @@ class EvalRequest:
 #: trial window ``[trial_offset, trial_offset + trials)``).
 _CAMPAIGN_SIM_FIELDS = ("workload", "checkers", "mode", "hash_mode",
                         "instructions", "seed", "trials", "trial_offset",
-                        "fault_kinds")
+                        "fault_kinds", "scheme")
 
 #: Default fault-site mix for served campaigns (mirrors
 #: ``repro.faults.models.FAULT_KINDS`` without importing the simulator
 #: into the wire codec).
 DEFAULT_FAULT_KINDS = ("stuck_at", "transient_lsq", "transient_reg")
+
+#: Every fault kind a served campaign may request (mirrors
+#: ``repro.faults.models.ALL_FAULT_KINDS``).
+KNOWN_FAULT_KINDS = DEFAULT_FAULT_KINDS + ("defect",)
+
+#: Detection schemes the campaign engine can run (mirrors
+#: ``repro.faults.scenarios.CAMPAIGN_SCHEMES``).
+KNOWN_CAMPAIGN_SCHEMES = ("paraverser", "dme", "ithica-sdc", "meek-ro")
 
 
 @dataclass(frozen=True)
@@ -148,6 +156,9 @@ class CampaignRequest:
     #: unsplit campaign record-for-record.
     trial_offset: int = 0
     fault_kinds: tuple[str, ...] = DEFAULT_FAULT_KINDS
+    #: Detection scheme the trials run under (paraverser, dme,
+    #: ithica-sdc or meek-ro — see ``repro.faults.scenarios``).
+    scheme: str = "paraverser"
     timeout_s: float | None = None
     request_id: str = ""
 
@@ -167,11 +178,15 @@ class CampaignRequest:
         if not self.fault_kinds:
             raise ProtocolError("fault_kinds must not be empty")
         unknown = [k for k in self.fault_kinds
-                   if k not in DEFAULT_FAULT_KINDS]
+                   if k not in KNOWN_FAULT_KINDS]
         if unknown:
             raise ProtocolError(
                 f"unknown fault kinds {unknown}; "
-                f"known: {list(DEFAULT_FAULT_KINDS)}")
+                f"known: {list(KNOWN_FAULT_KINDS)}")
+        if self.scheme not in KNOWN_CAMPAIGN_SCHEMES:
+            raise ProtocolError(
+                f"unknown campaign scheme {self.scheme!r}; "
+                f"known: {list(KNOWN_CAMPAIGN_SCHEMES)}")
         if self.timeout_s is not None and self.timeout_s <= 0:
             raise ProtocolError("timeout_s must be positive when given")
 

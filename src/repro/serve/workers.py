@@ -102,6 +102,7 @@ def _campaign_spec_row(spec: dict) -> dict:
         trials=int(spec["trials"]),
         trial_offset=int(spec.get("trial_offset", 0)),
         fault_kinds=tuple(spec["fault_kinds"]),
+        scheme=spec.get("scheme", "paraverser"),
     )
     return run_campaign(campaign_spec, jobs=1).to_row()
 

@@ -92,11 +92,44 @@ def test_duplicate_between_plugins_raises(plugin_env):
     assert "plugin-x" in str(excinfo.value)
 
 
-def test_non_backend_entry_point_raises(plugin_env):
+def test_non_backend_entry_point_skipped_with_log(plugin_env, caplog):
     plugin_env(FakeEntryPoint("junk", object()))
-    with pytest.raises(TypeError) as excinfo:
-        registry.load_entry_point_backends(reload=True)
-    assert "junk" in str(excinfo.value)
+    with caplog.at_level("ERROR", logger="repro.detect"):
+        loaded = registry.load_entry_point_backends(reload=True)
+    assert loaded == []
+    assert "junk" in caplog.text
+    assert "repro.backends" in caplog.text
+
+
+class ExplodingEntryPoint:
+    name = "broken"
+
+    def load(self):
+        raise ImportError("plugin module is missing a dependency")
+
+
+def test_broken_plugin_does_not_take_down_discovery(plugin_env, caplog):
+    """One entry point whose load() raises is skipped; the rest load."""
+    good = PluginBackend(name="plugin-good")
+    plugin_env(ExplodingEntryPoint(), FakeEntryPoint("plugin", good))
+    with caplog.at_level("ERROR", logger="repro.detect"):
+        loaded = registry.load_entry_point_backends(reload=True)
+    assert loaded == ["plugin-good"]
+    assert get_backend("plugin-good") is good
+    assert "broken" in caplog.text
+
+
+def test_crashing_factory_is_skipped(plugin_env, caplog):
+    def factory():
+        raise RuntimeError("factory exploded")
+
+    good = PluginBackend(name="plugin-survivor")
+    plugin_env(FakeEntryPoint("bad-factory", factory),
+               FakeEntryPoint("plugin", good))
+    with caplog.at_level("ERROR", logger="repro.detect"):
+        loaded = registry.load_entry_point_backends(reload=True)
+    assert loaded == ["plugin-survivor"]
+    assert "bad-factory" in caplog.text
 
 
 def test_load_runs_once_unless_reloaded(plugin_env):

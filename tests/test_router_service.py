@@ -37,6 +37,7 @@ def fake_campaign_row(workload="exchange2", checkers="1xA510@1.0",
     by_kind = {k: {"injected": 0, "detected": 0, "masked": 0}
                for k in KINDS}
     detected = masked = latency_sum = 0
+    latency_max = 0
     for t in range(trial_offset, trial_offset + trials):
         counts = by_kind[KINDS[t % len(KINDS)]]
         counts["injected"] += 1
@@ -46,18 +47,23 @@ def fake_campaign_row(workload="exchange2", checkers="1xA510@1.0",
         elif t % 3 != 0:
             detected += 1
             latency_sum += (seed + t) * 10
+            latency_max = max(latency_max, (seed + t) * 10)
             counts["detected"] += 1
     effective = trials - masked
     return {
         "workload": workload, "checkers": checkers, "mode": mode,
+        "scheme": "paraverser",
         "trials": trials, "detected": detected, "masked": masked,
         "missed": trials - detected - masked,
         "detection_rate_all": detected / trials if trials else 0.0,
         "detection_rate_effective": (detected / effective
-                                     if effective else 1.0),
+                                     if effective else 0.0),
+        "sdc_escape_rate": ((trials - detected - masked) / trials
+                            if trials else 0.0),
         "detection_latency_sum": latency_sum,
         "mean_detection_latency": (latency_sum / detected
                                    if detected else None),
+        "detection_latency_max": latency_max,
         "by_kind": by_kind,
         "elapsed_s": 0.0, "jobs": 1, "resumed_trials": 0,
     }
